@@ -1,0 +1,21 @@
+//! Reproduces **Fig. 8**: accumulated job latency (a) and energy usage (b)
+//! versus the number of jobs for M = 30 servers, comparing the hierarchical
+//! framework, DRL-based resource allocation only, and the round-robin
+//! baseline.
+//!
+//! ```sh
+//! cargo run --release -p hierdrl-bench --bin fig8            # paper scale (95k jobs)
+//! cargo run --release -p hierdrl-bench --bin fig8 -- --quick # smoke scale
+//! ```
+
+use hierdrl_bench::harness::{
+    print_comparison, print_figure_series, run_three_systems, scale_from_args, Scale,
+};
+
+fn main() {
+    let scale = scale_from_args(Scale::paper(30));
+    eprintln!("fig8: M = {}, jobs = {}", scale.m, scale.jobs);
+    let results = run_three_systems(scale, 42);
+    print_comparison(&results);
+    print_figure_series(&results);
+}

@@ -1,0 +1,21 @@
+//! Reproduces **Fig. 9**: accumulated job latency (a) and energy usage (b)
+//! versus the number of jobs for M = 40 servers (same comparison as Fig. 8
+//! at the larger cluster size; arrival volume scales with M so per-server
+//! load matches the paper's setup).
+//!
+//! ```sh
+//! cargo run --release -p hierdrl-bench --bin fig9            # paper scale
+//! cargo run --release -p hierdrl-bench --bin fig9 -- --quick # smoke scale
+//! ```
+
+use hierdrl_bench::harness::{
+    print_comparison, print_figure_series, run_three_systems, scale_from_args, Scale,
+};
+
+fn main() {
+    let scale = scale_from_args(Scale::paper(40));
+    eprintln!("fig9: M = {}, jobs = {}", scale.m, scale.jobs);
+    let results = run_three_systems(scale, 43);
+    print_comparison(&results);
+    print_figure_series(&results);
+}

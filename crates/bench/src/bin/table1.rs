@@ -1,0 +1,26 @@
+//! Reproduces **Table I**: accumulated energy (kWh), accumulated latency
+//! (1e6 s), and average power (W) at job count 95,000 for the round-robin
+//! baseline, DRL-based allocation only, and the hierarchical framework, at
+//! M = 30 and M = 40 — plus the paper's headline percentage savings
+//! (Sec. VII-B: 53.97% power/energy saving vs round-robin at M = 30, etc.).
+//!
+//! ```sh
+//! cargo run --release -p hierdrl-bench --bin table1            # paper scale
+//! cargo run --release -p hierdrl-bench --bin table1 -- --quick # smoke scale
+//! ```
+
+use hierdrl_bench::harness::{print_comparison, run_three_systems, scale_from_args, Scale};
+
+fn main() {
+    let base = scale_from_args(Scale::paper(30));
+    for m in [30usize, 40] {
+        // Hold per-server load constant across cluster sizes like the paper.
+        let scale = Scale {
+            m: if base.m == 30 { m } else { base.m * m / 30 },
+            jobs: base.jobs * m as u64 / 30,
+        };
+        println!("\n===== M = {} (jobs = {}) =====", scale.m, scale.jobs);
+        let results = run_three_systems(scale, 42 + m as u64);
+        print_comparison(&results);
+    }
+}

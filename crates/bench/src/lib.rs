@@ -1,0 +1,20 @@
+//! # hierdrl-bench
+//!
+//! Benchmark harnesses that regenerate every table and figure of the
+//! paper's evaluation (Section VII), plus ablations. Each binary prints the
+//! same rows/series the paper reports:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `fig8` | Fig. 8: accumulated latency & energy vs. jobs, M = 30 |
+//! | `fig9` | Fig. 9: same, M = 40 |
+//! | `table1` | Table I: energy/latency/power at job 95,000 |
+//! | `fig10` | Fig. 10: latency-energy trade-off curves |
+//! | `ablation_dqn` | autoencoder/weight-sharing & group-count ablations |
+//! | `lstm_accuracy` | LSTM predictor vs. simpler baselines |
+//!
+//! All binaries accept `--jobs N` and `--m M` to scale down (e.g. for smoke
+//! runs); defaults reproduce the paper's setup. Criterion micro-benches
+//! (decision latency, LSTM step, simulator throughput) live in `benches/`.
+
+pub mod harness;

@@ -1,0 +1,488 @@
+//! The global tier's Q-network: shared autoencoder + shared Sub-Q networks
+//! (the paper's Fig. 6).
+//!
+//! For each group `k`, the Sub-Q network estimates Q values for allocating
+//! the job to each server in `G_k`. Its input is the *raw* state of its own
+//! group `g_k`, the job state `s_j`, and the autoencoder-compressed codes
+//! `ḡ_{k'}` of every *other* group — the dimension difference expresses
+//! that the target group's own state matters most. One parameter set is
+//! shared by all `K` autoencoder applications and one by all `K` Sub-Q
+//! applications; gradients from every application accumulate into the
+//! shared weights (the crate's cache-stack layers make this exact).
+
+use crate::state::{GlobalState, StateEncoder};
+use hierdrl_neural::activation::Activation;
+use hierdrl_neural::autoencoder::Autoencoder;
+use hierdrl_neural::dense::Mlp;
+use hierdrl_neural::init::Init;
+use hierdrl_neural::matrix::Matrix;
+use hierdrl_neural::optim::{clip_grad_norm, Adam, Optimizer, Trainable};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the grouped Q-network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QNetworkConfig {
+    /// Width of the autoencoder code (paper: 15).
+    pub code_size: usize,
+    /// Width of the autoencoder's hidden layer (paper: 30).
+    pub ae_hidden: usize,
+    /// Width of the Sub-Q hidden layer (paper: 128 ELUs).
+    pub hidden: usize,
+    /// Adam learning rate for Q-fitting.
+    pub learning_rate: f32,
+    /// Global gradient-norm clip (paper: 10).
+    pub grad_clip: f32,
+    /// Back-propagate Q-loss into the encoder (extension; the paper
+    /// pre-trains the autoencoder offline and we default to freezing it).
+    pub fine_tune_encoder: bool,
+}
+
+impl Default for QNetworkConfig {
+    fn default() -> Self {
+        Self {
+            code_size: 15,
+            ae_hidden: 30,
+            hidden: 128,
+            learning_rate: 1e-3,
+            grad_clip: 10.0,
+            fine_tune_encoder: false,
+        }
+    }
+}
+
+/// A training sample: fit `Q(state, action)` to `target`.
+#[derive(Debug, Clone)]
+pub struct QSample {
+    /// Encoded global state.
+    pub state: GlobalState,
+    /// Global action index (server index).
+    pub action: usize,
+    /// Target Q value (from the SMDP update rule).
+    pub target: f32,
+}
+
+/// The weight-shared, autoencoder-compressed Q-network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroupedQNetwork {
+    autoencoder: Autoencoder,
+    sub_q: Mlp,
+    adam: Adam,
+    config: QNetworkConfig,
+    num_groups: usize,
+    group_size: usize,
+    group_width: usize,
+    job_width: usize,
+}
+
+impl GroupedQNetwork {
+    /// Builds the network for the given state layout.
+    pub fn new(layout: &StateEncoder, config: QNetworkConfig, rng: &mut impl Rng) -> Self {
+        let group_width = layout.group_width();
+        let job_width = layout.job_width();
+        let num_groups = layout.num_groups();
+        let input = Self::input_width_for(group_width, job_width, num_groups, config.code_size);
+        let autoencoder = Autoencoder::new(
+            &[group_width, config.ae_hidden, config.code_size],
+            Activation::ELU,
+            rng,
+        );
+        let sub_q = Mlp::new(
+            &[input, config.hidden, layout.group_size()],
+            Activation::ELU,
+            Activation::Linear,
+            Init::HeNormal,
+            rng,
+        );
+        Self {
+            autoencoder,
+            sub_q,
+            adam: Adam::new(config.learning_rate),
+            config,
+            num_groups,
+            group_size: layout.group_size(),
+            group_width,
+            job_width,
+        }
+    }
+
+    fn input_width_for(group_width: usize, job_width: usize, k: usize, code: usize) -> usize {
+        group_width + job_width + (k.saturating_sub(1)) * code
+    }
+
+    /// Width of the Sub-Q input vector.
+    pub fn input_width(&self) -> usize {
+        Self::input_width_for(
+            self.group_width,
+            self.job_width,
+            self.num_groups,
+            self.config.code_size,
+        )
+    }
+
+    /// Total action count (`K * group_size`, including padding slots).
+    pub fn num_actions(&self) -> usize {
+        self.num_groups * self.group_size
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &QNetworkConfig {
+        &self.config
+    }
+
+    /// The shared autoencoder (e.g. for inspecting reconstruction error).
+    pub fn autoencoder(&self) -> &Autoencoder {
+        &self.autoencoder
+    }
+
+    /// Encodes every group state into its low-dimensional code.
+    fn codes(&self, s: &GlobalState) -> Vec<Matrix> {
+        (0..self.num_groups)
+            .map(|k| self.autoencoder.encode(&s.group_matrix(k)))
+            .collect()
+    }
+
+    /// Builds the Sub-Q input row for group `k`: `[g_k | s_j | ḡ_{k'≠k}]`.
+    fn sub_q_input(&self, s: &GlobalState, k: usize, codes: &[Matrix]) -> Matrix {
+        let g_k = s.group_matrix(k);
+        let job = s.job_matrix();
+        let mut parts: Vec<&Matrix> = vec![&g_k, &job];
+        for (k2, code) in codes.iter().enumerate() {
+            if k2 != k {
+                parts.push(code);
+            }
+        }
+        Matrix::hcat(&parts)
+    }
+
+    /// Q estimates for all `K * group_size` actions (padding slots
+    /// included; callers mask indices `>= M`).
+    pub fn q_values(&self, s: &GlobalState) -> Vec<f32> {
+        let codes = self.codes(s);
+        let mut out = Vec::with_capacity(self.num_actions());
+        for k in 0..self.num_groups {
+            let input = self.sub_q_input(s, k, &codes);
+            let q = self.sub_q.infer(&input);
+            out.extend_from_slice(q.row(0));
+        }
+        out
+    }
+
+    /// `max_a Q(s, a)` over the first `valid_actions` actions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `valid_actions` is zero or exceeds the action count.
+    pub fn max_q(&self, s: &GlobalState, valid_actions: usize) -> f32 {
+        assert!(
+            valid_actions > 0 && valid_actions <= self.num_actions(),
+            "valid_actions {valid_actions} out of range"
+        );
+        self.q_values(s)[..valid_actions]
+            .iter()
+            .cloned()
+            .fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Pre-trains the shared autoencoder on observed group states
+    /// (rows = samples of width `group_width`), returning the final epoch's
+    /// reconstruction loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample width does not match the group width.
+    pub fn pretrain_autoencoder(
+        &mut self,
+        group_states: &Matrix,
+        epochs: usize,
+        batch_size: usize,
+        learning_rate: f32,
+    ) -> f32 {
+        assert_eq!(
+            group_states.cols(),
+            self.group_width,
+            "autoencoder samples must have width {}",
+            self.group_width
+        );
+        let mut adam = Adam::new(learning_rate);
+        self.autoencoder
+            .fit(group_states, epochs, batch_size, &mut adam)
+    }
+
+    /// One fitted-Q training step over a minibatch: regresses the chosen
+    /// actions' outputs onto the stored targets with MSE, clips the global
+    /// gradient norm, and applies Adam. Returns the mean squared error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty or an action index is out of range.
+    pub fn train_batch(&mut self, samples: &[QSample]) -> f32 {
+        assert!(!samples.is_empty(), "training batch is empty");
+        for s in samples {
+            assert!(
+                s.action < self.num_actions(),
+                "action {} out of range ({})",
+                s.action,
+                self.num_actions()
+            );
+        }
+        self.sub_q.zero_grad();
+        self.autoencoder.zero_grad();
+        let n = samples.len() as f32;
+        let mut loss = 0.0f32;
+
+        if self.config.fine_tune_encoder {
+            // Per-sample path so the encoder cache stack balances exactly.
+            for s in samples {
+                loss += self.train_one_finetune(s, n);
+            }
+            let mut joint = JointParams {
+                sub_q: &mut self.sub_q,
+                encoder: Some(&mut self.autoencoder),
+            };
+            clip_grad_norm(&mut joint, self.config.grad_clip);
+            self.adam.step(&mut joint);
+        } else {
+            // Frozen encoder: batch all samples of each group together.
+            for k in 0..self.num_groups {
+                let group_samples: Vec<&QSample> = samples
+                    .iter()
+                    .filter(|s| s.action / self.group_size == k)
+                    .collect();
+                if group_samples.is_empty() {
+                    continue;
+                }
+                let rows: Vec<Matrix> = group_samples
+                    .iter()
+                    .map(|s| {
+                        let codes = self.codes(&s.state);
+                        self.sub_q_input(&s.state, k, &codes)
+                    })
+                    .collect();
+                let refs: Vec<&Matrix> = rows.iter().collect();
+                let x = Matrix::vcat(&refs);
+                let y = self.sub_q.forward(&x);
+                let mut dy = Matrix::zeros(y.rows(), y.cols());
+                for (i, s) in group_samples.iter().enumerate() {
+                    let slot = s.action % self.group_size;
+                    let err = y[(i, slot)] - s.target;
+                    loss += err * err;
+                    dy[(i, slot)] = 2.0 * err / n;
+                }
+                self.sub_q.backward(&dy);
+            }
+            let mut joint = JointParams {
+                sub_q: &mut self.sub_q,
+                encoder: None,
+            };
+            clip_grad_norm(&mut joint, self.config.grad_clip);
+            self.adam.step(&mut joint);
+        }
+        loss / n
+    }
+
+    /// Forward/backward for one sample with encoder fine-tuning.
+    fn train_one_finetune(&mut self, s: &QSample, n: f32) -> f32 {
+        let k = s.action / self.group_size;
+        let slot = s.action % self.group_size;
+        // Forward the encoder for every other group, caching (ascending k').
+        let mut codes: Vec<(usize, Matrix)> = Vec::with_capacity(self.num_groups - 1);
+        for k2 in 0..self.num_groups {
+            if k2 != k {
+                let code = self.autoencoder.encoder_mut().forward(&s.state.group_matrix(k2));
+                codes.push((k2, code));
+            }
+        }
+        let g_k = s.state.group_matrix(k);
+        let job = s.state.job_matrix();
+        let mut parts: Vec<&Matrix> = vec![&g_k, &job];
+        for (_, c) in &codes {
+            parts.push(c);
+        }
+        let x = Matrix::hcat(&parts);
+        let y = self.sub_q.forward(&x);
+        let err = y[(0, slot)] - s.target;
+        let mut dy = Matrix::zeros(1, y.cols());
+        dy[(0, slot)] = 2.0 * err / n;
+        let dx = self.sub_q.backward(&dy);
+        // Route code gradients back through the encoder in reverse order of
+        // the forward calls (cache-stack discipline).
+        let base = self.group_width + self.job_width;
+        let code_w = self.config.code_size;
+        for (i, _) in codes.iter().enumerate().rev() {
+            let grad = dx.slice_cols(base + i * code_w, code_w);
+            let _ = self.autoencoder.encoder_mut().backward(&grad);
+        }
+        err * err
+    }
+}
+
+/// Joint parameter view for the optimizer: Sub-Q weights, plus the encoder
+/// when fine-tuning. Visit order is stable for the lifetime of the network.
+struct JointParams<'a> {
+    sub_q: &'a mut Mlp,
+    encoder: Option<&'a mut Autoencoder>,
+}
+
+impl Trainable for JointParams<'_> {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
+        self.sub_q.visit_params(f);
+        if let Some(enc) = self.encoder.as_mut() {
+            enc.visit_params(f);
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        self.sub_q.zero_grad();
+        if let Some(enc) = self.encoder.as_mut() {
+            enc.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::StateEncoderConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layout(m: usize, k: usize) -> StateEncoder {
+        StateEncoder::new(
+            m,
+            3,
+            StateEncoderConfig {
+                num_groups: k,
+                ..Default::default()
+            },
+        )
+    }
+
+    fn random_state(layout: &StateEncoder, rng: &mut StdRng) -> GlobalState {
+        use rand::Rng;
+        GlobalState {
+            groups: (0..layout.num_groups())
+                .map(|_| (0..layout.group_width()).map(|_| rng.gen::<f32>()).collect())
+                .collect(),
+            job: (0..layout.job_width()).map(|_| rng.gen::<f32>()).collect(),
+        }
+    }
+
+    #[test]
+    fn dimensions_match_paper_setup() {
+        // M = 30, K = 2, D = 3 + availability + queue: group width 75.
+        let mut rng = StdRng::seed_from_u64(0);
+        let lay = layout(30, 2);
+        let net = GroupedQNetwork::new(&lay, QNetworkConfig::default(), &mut rng);
+        assert_eq!(net.num_actions(), 30);
+        assert_eq!(net.input_width(), 75 + 4 + 15);
+        let s = random_state(&lay, &mut rng);
+        assert_eq!(net.q_values(&s).len(), 30);
+    }
+
+    #[test]
+    fn padded_groups_produce_extra_masked_actions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let lay = layout(30, 4); // group size 8 -> 32 actions
+        let net = GroupedQNetwork::new(&lay, QNetworkConfig::default(), &mut rng);
+        assert_eq!(net.num_actions(), 32);
+        let s = random_state(&lay, &mut rng);
+        assert_eq!(net.q_values(&s).len(), 32);
+        // max over valid prefix only
+        let _ = net.max_q(&s, 30);
+    }
+
+    #[test]
+    fn training_fits_targets() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let lay = layout(8, 2);
+        let mut net = GroupedQNetwork::new(
+            &lay,
+            QNetworkConfig {
+                learning_rate: 3e-3,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        // A handful of fixed states with fixed targets: loss must fall.
+        let samples: Vec<QSample> = (0..8)
+            .map(|i| QSample {
+                state: random_state(&lay, &mut rng),
+                action: i % 8,
+                target: (i as f32 - 4.0) * 0.5,
+            })
+            .collect();
+        let first = net.train_batch(&samples);
+        let mut last = first;
+        for _ in 0..300 {
+            last = net.train_batch(&samples);
+        }
+        assert!(last < first * 0.1, "loss {first} -> {last} did not fall");
+    }
+
+    #[test]
+    fn fine_tune_path_also_fits() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let lay = layout(6, 3);
+        let mut net = GroupedQNetwork::new(
+            &lay,
+            QNetworkConfig {
+                learning_rate: 3e-3,
+                fine_tune_encoder: true,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let samples: Vec<QSample> = (0..6)
+            .map(|i| QSample {
+                state: random_state(&lay, &mut rng),
+                action: i,
+                target: 1.0,
+            })
+            .collect();
+        let first = net.train_batch(&samples);
+        let mut last = first;
+        for _ in 0..300 {
+            last = net.train_batch(&samples);
+        }
+        assert!(last < first * 0.2, "loss {first} -> {last} did not fall");
+    }
+
+    #[test]
+    fn autoencoder_pretraining_reduces_reconstruction_error() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let lay = layout(8, 2);
+        let mut net = GroupedQNetwork::new(&lay, QNetworkConfig::default(), &mut rng);
+        // Structured group states (low-rank): compressible.
+        let mut data = Matrix::zeros(64, lay.group_width());
+        for r in 0..64 {
+            use rand::Rng;
+            let a: f32 = rng.gen();
+            for c in 0..lay.group_width() {
+                data[(r, c)] = a * (c % 4) as f32 / 4.0;
+            }
+        }
+        let before = net.autoencoder().reconstruction_error(&data);
+        net.pretrain_autoencoder(&data, 100, 16, 3e-3);
+        let after = net.autoencoder().reconstruction_error(&data);
+        assert!(after < before * 0.5, "recon {before} -> {after}");
+    }
+
+    #[test]
+    fn q_values_are_deterministic() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let lay = layout(10, 2);
+        let net = GroupedQNetwork::new(&lay, QNetworkConfig::default(), &mut rng);
+        let s = random_state(&lay, &mut rng);
+        assert_eq!(net.q_values(&s), net.q_values(&s));
+    }
+
+    #[test]
+    #[should_panic(expected = "training batch is empty")]
+    fn empty_batch_rejected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let lay = layout(4, 2);
+        let mut net = GroupedQNetwork::new(&lay, QNetworkConfig::default(), &mut rng);
+        let _ = net.train_batch(&[]);
+    }
+}

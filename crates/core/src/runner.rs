@@ -1,0 +1,269 @@
+//! Experiment runner: executes policy pairs on traces and collects the
+//! metrics the paper reports (accumulated energy/latency curves, Table I
+//! summaries, trade-off points).
+
+use crate::allocator::DrlAllocator;
+use crate::hierarchical::PolicyPair;
+use hierdrl_sim::cluster::{Allocator, Cluster, PowerManager, RunLimit};
+use hierdrl_sim::config::ClusterConfig;
+use hierdrl_sim::metrics::{LatencyStats, RunOutcome, SamplePoint};
+use hierdrl_sim::policies::SleepImmediatelyPower;
+use hierdrl_trace::trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Fleet-level power behaviour summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FleetStats {
+    /// Mean fraction of time servers spent busy.
+    pub busy_fraction: f64,
+    /// Mean fraction of time servers spent idle (on, no jobs).
+    pub idle_fraction: f64,
+    /// Mean fraction of time servers spent asleep.
+    pub sleep_fraction: f64,
+    /// Mean fraction of time servers spent in power transitions.
+    pub transition_fraction: f64,
+    /// Total sleep -> wake transitions across the fleet.
+    pub total_wake_transitions: u64,
+}
+
+/// The result of one experiment run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Policy name.
+    pub name: String,
+    /// Final totals and end time.
+    pub outcome: RunOutcome,
+    /// Latency distribution over completed jobs.
+    pub latency: Option<LatencyStats>,
+    /// Fleet power behaviour.
+    pub fleet: FleetStats,
+}
+
+impl ExperimentResult {
+    /// The accumulated-latency / energy curves (Figs. 8/9 series).
+    pub fn samples(&self) -> &[SamplePoint] {
+        &self.outcome.samples
+    }
+
+    /// Energy in kWh (Table I column 1).
+    pub fn energy_kwh(&self) -> f64 {
+        self.outcome.totals.energy_kwh()
+    }
+
+    /// Accumulated latency in units of 1e6 seconds (Table I column 2).
+    pub fn latency_mega_s(&self) -> f64 {
+        self.outcome.totals.total_latency_s / 1e6
+    }
+
+    /// Average power in watts (Table I column 3).
+    pub fn average_power_w(&self) -> f64 {
+        self.outcome.totals.average_power_watts()
+    }
+
+    /// Average latency per job, seconds (Fig. 10 y-axis).
+    pub fn mean_latency_s(&self) -> f64 {
+        self.outcome.totals.mean_latency_s()
+    }
+
+    /// Average energy per job, joules (Fig. 10 x-axis).
+    pub fn energy_per_job_j(&self) -> f64 {
+        self.outcome.totals.energy_per_job_joules()
+    }
+}
+
+fn fleet_stats(cluster: &Cluster) -> FleetStats {
+    let mut f = FleetStats::default();
+    let n = cluster.servers().len() as f64;
+    for s in cluster.servers() {
+        let st = s.stats();
+        let total =
+            (st.busy_seconds + st.idle_seconds + st.sleep_seconds + st.transition_seconds)
+                .max(1e-9);
+        f.busy_fraction += st.busy_seconds / total / n;
+        f.idle_fraction += st.idle_seconds / total / n;
+        f.sleep_fraction += st.sleep_seconds / total / n;
+        f.transition_fraction += st.transition_seconds / total / n;
+        f.total_wake_transitions += st.wake_transitions;
+    }
+    f
+}
+
+/// Runs pre-built policy objects on a trace. Useful when the caller owns a
+/// pre-trained learner and wants to keep it afterwards.
+///
+/// # Errors
+///
+/// Returns an error if the cluster configuration or trace is invalid.
+pub fn run_policies(
+    name: &str,
+    cluster_config: &ClusterConfig,
+    trace: &Trace,
+    allocator: &mut dyn Allocator,
+    power: &mut dyn PowerManager,
+    limit: RunLimit,
+) -> Result<ExperimentResult, String> {
+    let mut cluster = Cluster::new(cluster_config.clone(), trace.jobs().to_vec())?;
+    let outcome = cluster.run(allocator, power, limit);
+    Ok(ExperimentResult {
+        name: name.to_string(),
+        latency: LatencyStats::from_jobs(cluster.completed_jobs()),
+        fleet: fleet_stats(&cluster),
+        outcome,
+    })
+}
+
+/// Runs a [`PolicyPair`] on a trace, building fresh policy objects.
+///
+/// # Errors
+///
+/// Returns an error if the cluster configuration or trace is invalid.
+pub fn run_experiment(
+    pair: &PolicyPair,
+    cluster_config: &ClusterConfig,
+    trace: &Trace,
+    limit: RunLimit,
+) -> Result<ExperimentResult, String> {
+    let mut allocator = pair
+        .allocator
+        .build(cluster_config.num_servers, cluster_config.resource_dims);
+    let mut power = pair.power.build(cluster_config.num_servers);
+    run_policies(
+        &pair.name,
+        cluster_config,
+        trace,
+        allocator.as_mut(),
+        power.as_mut(),
+        limit,
+    )
+}
+
+/// Offline pre-training of a DRL allocator (Section VII-A): epsilon-greedy
+/// rollouts over several workload segments, filling the experience memory,
+/// pre-training the autoencoder, and fitting the DNN. The paper uses
+/// workload traces for five different clusters.
+///
+/// Rollouts pair the allocator with the ad-hoc sleep-immediately local
+/// behaviour so the learned Q function reflects wake penalties.
+///
+/// # Errors
+///
+/// Returns an error if any rollout fails to construct.
+pub fn pretrain_drl(
+    allocator: &mut DrlAllocator,
+    cluster_config: &ClusterConfig,
+    segments: &[Trace],
+) -> Result<(), String> {
+    pretrain_pair(allocator, &mut SleepImmediatelyPower, cluster_config, segments)
+}
+
+/// Offline pre-training of an (allocator, power manager) pair over several
+/// workload segments. Used to co-train the hierarchical framework's two
+/// tiers before evaluation, so the global tier's learned values reflect the
+/// local tier's timeout behaviour and vice versa.
+///
+/// # Errors
+///
+/// Returns an error if any rollout fails to construct.
+pub fn pretrain_pair(
+    allocator: &mut dyn Allocator,
+    power: &mut dyn PowerManager,
+    cluster_config: &ClusterConfig,
+    segments: &[Trace],
+) -> Result<(), String> {
+    for segment in segments {
+        let mut cluster = Cluster::new(cluster_config.clone(), segment.jobs().to_vec())?;
+        cluster.run(allocator, power, RunLimit::unbounded());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocator::DrlAllocatorConfig;
+    use hierdrl_trace::generator::{TraceGenerator, WorkloadConfig};
+
+    fn small_trace(seed: u64, n: usize) -> Trace {
+        let config = WorkloadConfig::google_like(seed, 95_000.0);
+        TraceGenerator::new(config).unwrap().generate_n(n)
+    }
+
+    #[test]
+    fn round_robin_experiment_completes() {
+        let trace = small_trace(1, 300);
+        let result = run_experiment(
+            &PolicyPair::round_robin_baseline(),
+            &ClusterConfig::paper(5),
+            &trace,
+            RunLimit::unbounded(),
+        )
+        .unwrap();
+        assert_eq!(result.outcome.totals.jobs_completed, 300);
+        assert!(result.energy_kwh() > 0.0);
+        assert!(result.latency.is_some());
+        // Always-on: no sleeping at all.
+        assert_eq!(result.fleet.sleep_fraction, 0.0);
+    }
+
+    #[test]
+    fn fleet_fractions_sum_to_one() {
+        let trace = small_trace(2, 200);
+        let pair = PolicyPair {
+            name: "ff+timeout".into(),
+            allocator: crate::hierarchical::AllocatorKind::FirstFit,
+            power: crate::hierarchical::PowerKind::FixedTimeout(60.0),
+        };
+        let result =
+            run_experiment(&pair, &ClusterConfig::paper(5), &trace, RunLimit::unbounded())
+                .unwrap();
+        let f = result.fleet;
+        let sum =
+            f.busy_fraction + f.idle_fraction + f.sleep_fraction + f.transition_fraction;
+        assert!((sum - 1.0).abs() < 1e-6, "fractions sum to {sum}");
+        assert!(f.sleep_fraction > 0.0, "consolidation should sleep servers");
+    }
+
+    #[test]
+    fn pretraining_then_evaluation_reuses_learner() {
+        let config = ClusterConfig::paper(4);
+        let mut drl_config = DrlAllocatorConfig::default();
+        drl_config.warmup_decisions = 20;
+        drl_config.ae_pretrain_samples = 100;
+        drl_config.ae_epochs = 2;
+        let mut allocator = DrlAllocator::new(4, 3, drl_config);
+
+        let segments: Vec<Trace> = (0..2).map(|s| small_trace(10 + s, 150)).collect();
+        pretrain_drl(&mut allocator, &config, &segments).unwrap();
+        let trained_decisions = allocator.stats().decisions;
+        assert_eq!(trained_decisions, 300);
+
+        let eval = small_trace(99, 100);
+        let result = run_policies(
+            "drl-eval",
+            &config,
+            &eval,
+            &mut allocator,
+            &mut SleepImmediatelyPower,
+            RunLimit::unbounded(),
+        )
+        .unwrap();
+        assert_eq!(result.outcome.totals.jobs_completed, 100);
+        assert_eq!(allocator.stats().decisions, trained_decisions + 100);
+    }
+
+    #[test]
+    fn table_one_columns_are_consistent() {
+        let trace = small_trace(3, 200);
+        let result = run_experiment(
+            &PolicyPair::round_robin_baseline(),
+            &ClusterConfig::paper(5),
+            &trace,
+            RunLimit::unbounded(),
+        )
+        .unwrap();
+        // energy (kWh) == avg power (W) * span (h) / 1000
+        let hours = result.outcome.end_time.as_hours();
+        let expect_kwh = result.average_power_w() * hours / 1000.0;
+        assert!((result.energy_kwh() - expect_kwh).abs() < 1e-9);
+    }
+}

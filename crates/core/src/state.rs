@@ -1,0 +1,343 @@
+//! Global-tier state construction (Section V-A).
+//!
+//! The DRL state at job `j`'s arrival is the union of the cluster state and
+//! the job state: `s^{t_j} = [g_1, ..., g_K, s_j]`, where `g_k` collects
+//! the per-resource utilization of every server in group `G_k` and `s_j`
+//! holds the job's resource demands and (estimated) duration.
+
+use hierdrl_neural::matrix::Matrix;
+use hierdrl_sim::cluster::ClusterView;
+use hierdrl_sim::job::Job;
+use hierdrl_sim::power::MachineState;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the state encoder.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StateEncoderConfig {
+    /// Number of server groups `K` (the paper varies 2–4).
+    pub num_groups: usize,
+    /// Append a per-server availability feature (1 on, 0 asleep, fractional
+    /// in transition). The paper's state carries only utilizations; this
+    /// enrichment lets the agent see wake-up penalties directly and is
+    /// ablated in `ablation_dqn`.
+    pub include_power_state: bool,
+    /// Append a per-server queued-jobs feature,
+    /// `ln(1 + queue) / ln(1 + queue_scale)` clamped to `[0, 1]`.
+    /// Utilization alone cannot distinguish a busy server from a busy
+    /// server with a deep backlog; log scaling keeps the feature sensitive
+    /// at both shallow and deep queues. Also ablated in `ablation_dqn`.
+    pub include_queue_len: bool,
+    /// Queue depth at which the feature saturates.
+    pub queue_scale: f64,
+    /// Duration normalization constant, seconds (the paper's jobs are
+    /// clipped at 2 h = 7200 s).
+    pub duration_scale: f64,
+}
+
+impl Default for StateEncoderConfig {
+    fn default() -> Self {
+        Self {
+            num_groups: 2,
+            include_power_state: true,
+            include_queue_len: true,
+            queue_scale: 50.0,
+            duration_scale: 7200.0,
+        }
+    }
+}
+
+/// The encoded global state: `K` per-group feature vectors plus the job
+/// feature vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalState {
+    /// Per-group feature vectors, each `group_width` long.
+    pub groups: Vec<Vec<f32>>,
+    /// Job features: demands then normalized duration.
+    pub job: Vec<f32>,
+}
+
+impl GlobalState {
+    /// Group `k` as a `1 x group_width` matrix.
+    pub fn group_matrix(&self, k: usize) -> Matrix {
+        Matrix::row_vector(&self.groups[k])
+    }
+
+    /// Job features as a `1 x job_width` matrix.
+    pub fn job_matrix(&self) -> Matrix {
+        Matrix::row_vector(&self.job)
+    }
+}
+
+/// Encodes [`ClusterView`]s and [`Job`]s into [`GlobalState`]s with a fixed
+/// group layout.
+///
+/// Servers are split into `K` equal groups of `ceil(M / K)` slots; when `M`
+/// is not divisible by `K`, trailing slots of the last group are zero-padded
+/// and the corresponding actions masked out at selection time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateEncoder {
+    num_servers: usize,
+    resource_dims: usize,
+    config: StateEncoderConfig,
+    group_size: usize,
+}
+
+impl StateEncoder {
+    /// Creates an encoder for a cluster of `num_servers` servers with
+    /// `resource_dims` resources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `num_groups > num_servers`.
+    pub fn new(num_servers: usize, resource_dims: usize, config: StateEncoderConfig) -> Self {
+        assert!(num_servers > 0, "need at least one server");
+        assert!(resource_dims > 0, "need at least one resource dimension");
+        assert!(config.num_groups > 0, "need at least one group");
+        assert!(
+            config.num_groups <= num_servers,
+            "more groups ({}) than servers ({})",
+            config.num_groups,
+            num_servers
+        );
+        assert!(
+            config.duration_scale > 0.0,
+            "duration_scale must be positive"
+        );
+        let group_size = num_servers.div_ceil(config.num_groups);
+        Self {
+            num_servers,
+            resource_dims,
+            config,
+            group_size,
+        }
+    }
+
+    /// Number of servers `M`.
+    pub fn num_servers(&self) -> usize {
+        self.num_servers
+    }
+
+    /// Number of groups `K`.
+    pub fn num_groups(&self) -> usize {
+        self.config.num_groups
+    }
+
+    /// Servers (slots) per group.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Features per server: D resources, plus the optional availability
+    /// and queue-depth features.
+    pub fn features_per_server(&self) -> usize {
+        self.resource_dims
+            + usize::from(self.config.include_power_state)
+            + usize::from(self.config.include_queue_len)
+    }
+
+    /// Width of one group's feature vector.
+    pub fn group_width(&self) -> usize {
+        self.group_size * self.features_per_server()
+    }
+
+    /// Width of the job feature vector (demands + duration).
+    pub fn job_width(&self) -> usize {
+        self.resource_dims + 1
+    }
+
+    /// The group containing server `m`.
+    pub fn group_of(&self, m: usize) -> usize {
+        m / self.group_size
+    }
+
+    /// The slot of server `m` within its group.
+    pub fn slot_of(&self, m: usize) -> usize {
+        m % self.group_size
+    }
+
+    /// The global server index for `(group, slot)`, or `None` for a padding
+    /// slot.
+    pub fn server_at(&self, group: usize, slot: usize) -> Option<usize> {
+        let m = group * self.group_size + slot;
+        (m < self.num_servers).then_some(m)
+    }
+
+    /// Availability feature for a machine state.
+    fn availability(state: MachineState) -> f32 {
+        match state {
+            MachineState::On => 1.0,
+            MachineState::WakingUp { .. } => 0.5,
+            MachineState::GoingToSleep { .. } => 0.25,
+            MachineState::Sleeping => 0.0,
+        }
+    }
+
+    /// Encodes the cluster + job state at a decision epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view's server count or the job's demand dimensionality
+    /// disagree with the encoder.
+    pub fn encode(&self, job: &Job, view: &ClusterView<'_>) -> GlobalState {
+        assert_eq!(
+            view.num_servers(),
+            self.num_servers,
+            "view has {} servers, encoder expects {}",
+            view.num_servers(),
+            self.num_servers
+        );
+        assert_eq!(
+            job.demand.dims(),
+            self.resource_dims,
+            "job has {} resource dims, encoder expects {}",
+            job.demand.dims(),
+            self.resource_dims
+        );
+        let f = self.features_per_server();
+        let mut groups = Vec::with_capacity(self.config.num_groups);
+        for k in 0..self.config.num_groups {
+            let mut g = vec![0.0f32; self.group_width()];
+            for slot in 0..self.group_size {
+                if let Some(m) = self.server_at(k, slot) {
+                    let server = &view.servers()[m];
+                    let util = server.utilization();
+                    let base = slot * f;
+                    for p in 0..self.resource_dims {
+                        g[base + p] = util.get(p) as f32;
+                    }
+                    let mut extra = self.resource_dims;
+                    if self.config.include_power_state {
+                        g[base + extra] = Self::availability(server.state());
+                        extra += 1;
+                    }
+                    if self.config.include_queue_len {
+                        let q = (1.0 + server.queue_len() as f64).ln()
+                            / (1.0 + self.config.queue_scale).ln();
+                        g[base + extra] = q.min(1.0) as f32;
+                    }
+                }
+            }
+            groups.push(g);
+        }
+        let mut job_vec = Vec::with_capacity(self.job_width());
+        for p in 0..self.resource_dims {
+            job_vec.push(job.demand.get(p) as f32);
+        }
+        job_vec.push((job.duration / self.config.duration_scale).min(1.0) as f32);
+        GlobalState {
+            groups,
+            job: job_vec,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hierdrl_sim::cluster::{Allocator, Cluster, RunLimit};
+    use hierdrl_sim::config::ClusterConfig;
+    use hierdrl_sim::job::{JobId, ServerId};
+    use hierdrl_sim::policies::AlwaysOnPower;
+    use hierdrl_sim::resources::ResourceVec;
+    use hierdrl_sim::time::SimTime;
+
+    fn encoder(m: usize, k: usize) -> StateEncoder {
+        StateEncoder::new(
+            m,
+            3,
+            StateEncoderConfig {
+                num_groups: k,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn layout_for_divisible_cluster() {
+        let e = encoder(30, 2);
+        assert_eq!(e.group_size(), 15);
+        assert_eq!(e.features_per_server(), 5);
+        assert_eq!(e.group_width(), 75);
+        assert_eq!(e.job_width(), 4);
+        assert_eq!(e.group_of(14), 0);
+        assert_eq!(e.group_of(15), 1);
+        assert_eq!(e.slot_of(17), 2);
+        assert_eq!(e.server_at(1, 2), Some(17));
+    }
+
+    #[test]
+    fn layout_pads_non_divisible_cluster() {
+        let e = encoder(30, 4); // group_size = 8, 4*8 = 32 slots, 2 padded
+        assert_eq!(e.group_size(), 8);
+        assert_eq!(e.server_at(3, 5), Some(29));
+        assert_eq!(e.server_at(3, 6), None);
+        assert_eq!(e.server_at(3, 7), None);
+    }
+
+    /// Captures an encoded state from inside a live simulation.
+    struct Probe {
+        encoder: StateEncoder,
+        state: Option<GlobalState>,
+    }
+
+    impl Allocator for Probe {
+        fn select(&mut self, job: &Job, view: &ClusterView<'_>) -> ServerId {
+            self.state = Some(self.encoder.encode(job, view));
+            ServerId(0)
+        }
+    }
+
+    #[test]
+    fn encode_reflects_utilization_and_job() {
+        // First job lands on server 0; the second arrival observes it.
+        let jobs = vec![
+            Job::new(
+                JobId(0),
+                SimTime::from_secs(0.0),
+                600.0,
+                ResourceVec::cpu_mem_disk(0.5, 0.25, 0.1),
+            ),
+            Job::new(
+                JobId(1),
+                SimTime::from_secs(10.0),
+                3600.0,
+                ResourceVec::cpu_mem_disk(0.3, 0.2, 0.1),
+            ),
+        ];
+        let mut cluster = Cluster::new(ClusterConfig::paper(4), jobs).unwrap();
+        let mut probe = Probe {
+            encoder: encoder(4, 2),
+            state: None,
+        };
+        cluster.run(&mut probe, &mut AlwaysOnPower, RunLimit::unbounded());
+        let s = probe.state.expect("probe saw the second arrival");
+
+        // Group 0, slot 0 = server 0 running job 0.
+        assert!((s.groups[0][0] - 0.5).abs() < 1e-6); // cpu
+        assert!((s.groups[0][1] - 0.25).abs() < 1e-6); // mem
+        assert!((s.groups[0][2] - 0.1).abs() < 1e-6); // disk
+        assert!((s.groups[0][3] - 1.0).abs() < 1e-6); // availability: on
+        assert_eq!(s.groups[0][4], 0.0); // empty queue
+        // Server 1 idle (slot 1 starts at feature 5).
+        assert_eq!(s.groups[0][5], 0.0);
+        // Job features of job 1.
+        assert!((s.job[0] - 0.3).abs() < 1e-6);
+        assert!((s.job[3] - 0.5).abs() < 1e-6); // 3600 / 7200
+    }
+
+    #[test]
+    fn group_matrices_have_expected_shape() {
+        let s = GlobalState {
+            groups: vec![vec![0.0; 6], vec![0.0; 6]],
+            job: vec![0.0; 4],
+        };
+        assert_eq!(s.group_matrix(1).shape(), (1, 6));
+        assert_eq!(s.job_matrix().shape(), (1, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "more groups")]
+    fn too_many_groups_rejected() {
+        let _ = encoder(2, 3);
+    }
+}

@@ -1,0 +1,507 @@
+//! Fully-connected layers with built-in activations.
+
+use crate::activation::Activation;
+use crate::init::Init;
+use crate::matrix::Matrix;
+use crate::optim::Trainable;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Per-call cache used by back-propagation.
+#[derive(Debug, Clone)]
+struct DenseCache {
+    input: Matrix,
+    pre: Matrix,
+    post: Matrix,
+}
+
+/// A fully-connected layer `y = act(x W + b)`.
+///
+/// Weights are stored input-major (`in x out`), so a batch `x` of shape
+/// `n x in` produces `n x out`.
+///
+/// Forward calls in training mode push onto an internal cache stack and
+/// backward calls pop it, so the *same* layer object can be applied several
+/// times per step (weight sharing): gradients from every application
+/// accumulate into the shared parameter gradients. This is exactly the
+/// semantics the paper's shared autoencoders and Sub-Q networks need.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    w: Matrix,
+    b: Matrix,
+    activation: Activation,
+    grad_w: Matrix,
+    grad_b: Matrix,
+    #[serde(skip)]
+    cache: Vec<DenseCache>,
+}
+
+impl Dense {
+    /// Creates a layer with the given fan-in/fan-out, activation, and weight
+    /// initialization. Biases start at zero.
+    pub fn new(
+        input: usize,
+        output: usize,
+        activation: Activation,
+        init: Init,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self {
+            w: init.sample(input, output, rng),
+            b: Matrix::zeros(1, output),
+            activation,
+            grad_w: Matrix::zeros(input, output),
+            grad_b: Matrix::zeros(1, output),
+            cache: Vec::new(),
+        }
+    }
+
+    /// Creates a layer with explicit bias initialization (the paper sets
+    /// LSTM in/out layer biases to the constant 0.1).
+    pub fn with_bias(
+        input: usize,
+        output: usize,
+        activation: Activation,
+        weight_init: Init,
+        bias_init: Init,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let mut layer = Self::new(input, output, activation, weight_init, rng);
+        layer.b = bias_init.sample(1, output, rng);
+        layer
+    }
+
+    /// Input width.
+    pub fn input_size(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output width.
+    pub fn output_size(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// The layer's activation function.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Immutable view of the weights (`in x out`).
+    pub fn weights(&self) -> &Matrix {
+        &self.w
+    }
+
+    /// Immutable view of the bias (`1 x out`).
+    pub fn bias(&self) -> &Matrix {
+        &self.b
+    }
+
+    /// Inference pass without caching; usable through `&self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != input_size()`.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let mut z = x.matmul(&self.w);
+        z.add_row_broadcast(&self.b);
+        z.map_inplace(|v| self.activation.apply(v));
+        z
+    }
+
+    /// Training-mode forward pass; caches intermediates for [`Dense::backward`].
+    ///
+    /// Each call pushes one cache entry; calls must be matched by backward
+    /// calls in reverse order.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let mut pre = x.matmul(&self.w);
+        pre.add_row_broadcast(&self.b);
+        let post = pre.map(|v| self.activation.apply(v));
+        self.cache.push(DenseCache {
+            input: x.clone(),
+            pre: pre.clone(),
+            post: post.clone(),
+        });
+        post
+    }
+
+    /// Back-propagates `grad_out` (gradient of the loss w.r.t. this layer's
+    /// output) through the most recent un-consumed forward call, accumulates
+    /// parameter gradients, and returns the gradient w.r.t. the input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no cached forward call, or on shape mismatch.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let cache = self
+            .cache
+            .pop()
+            .expect("Dense::backward called without a matching forward");
+        assert_eq!(
+            grad_out.shape(),
+            cache.post.shape(),
+            "gradient shape {:?} does not match output shape {:?}",
+            grad_out.shape(),
+            cache.post.shape()
+        );
+        // dz = dy * act'(pre, post)
+        let mut dz = grad_out.clone();
+        for i in 0..dz.rows() {
+            let pre = cache.pre.row(i);
+            let post = cache.post.row(i);
+            let row = dz.row_mut(i);
+            for ((g, &p), &q) in row.iter_mut().zip(pre).zip(post) {
+                *g *= self.activation.derivative(p, q);
+            }
+        }
+        self.grad_w.axpy(1.0, &cache.input.matmul_tn(&dz));
+        self.grad_b.axpy(1.0, &dz.sum_rows());
+        dz.matmul_nt(&self.w)
+    }
+
+    /// Number of pending (cached, not yet back-propagated) forward calls.
+    pub fn pending_backwards(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Drops any cached forward state without touching gradients.
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+}
+
+impl Trainable for Dense {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
+        f(&mut self.w, &mut self.grad_w);
+        f(&mut self.b, &mut self.grad_b);
+    }
+
+    fn zero_grad(&mut self) {
+        self.grad_w.fill_zero();
+        self.grad_b.fill_zero();
+    }
+}
+
+/// A feed-forward stack of [`Dense`] layers (multi-layer perceptron).
+///
+/// # Examples
+///
+/// ```
+/// use hierdrl_neural::prelude::*;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mlp = Mlp::new(&[4, 8, 2], Activation::ELU, Activation::Linear,
+///                    Init::XavierUniform, &mut rng);
+/// let y = mlp.infer(&Matrix::zeros(3, 4));
+/// assert_eq!(y.shape(), (3, 2));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths. `dims` lists the input
+    /// width followed by each layer's output width; hidden layers use
+    /// `hidden_activation` and the last layer uses `output_activation`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims.len() < 2`.
+    pub fn new(
+        dims: &[usize],
+        hidden_activation: Activation,
+        output_activation: Activation,
+        init: Init,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(dims.len() >= 2, "an MLP needs at least input and output widths");
+        let mut layers = Vec::with_capacity(dims.len() - 1);
+        for i in 0..dims.len() - 1 {
+            let act = if i + 2 == dims.len() {
+                output_activation
+            } else {
+                hidden_activation
+            };
+            layers.push(Dense::new(dims[i], dims[i + 1], act, init, rng));
+        }
+        Self { layers }
+    }
+
+    /// Builds an MLP from pre-constructed layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or consecutive widths do not match.
+    pub fn from_layers(layers: Vec<Dense>) -> Self {
+        assert!(!layers.is_empty(), "an MLP needs at least one layer");
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].output_size(),
+                pair[1].input_size(),
+                "consecutive layer widths must match"
+            );
+        }
+        Self { layers }
+    }
+
+    /// Input width.
+    pub fn input_size(&self) -> usize {
+        self.layers[0].input_size()
+    }
+
+    /// Output width.
+    pub fn output_size(&self) -> usize {
+        self.layers[self.layers.len() - 1].output_size()
+    }
+
+    /// The layers, in order.
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Inference pass without caching.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let mut h = self.layers[0].infer(x);
+        for layer in &self.layers[1..] {
+            h = layer.infer(&h);
+        }
+        h
+    }
+
+    /// Training-mode forward pass (caches intermediates; may be called
+    /// repeatedly before backward for weight-shared application).
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        for layer in &mut self.layers {
+            h = layer.forward(&h);
+        }
+        h
+    }
+
+    /// Back-propagates through the most recent un-consumed forward call and
+    /// returns the gradient w.r.t. the input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no forward call is pending.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Total number of learnable scalars.
+    pub fn num_parameters(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.weights().len() + l.bias().len())
+            .sum()
+    }
+
+    /// Drops cached forward state in every layer.
+    pub fn clear_cache(&mut self) {
+        for layer in &mut self.layers {
+            layer.clear_cache();
+        }
+    }
+}
+
+impl Trainable for Mlp {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::Loss;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn finite_diff_check(mlp: &mut Mlp, x: &Matrix, target: &Matrix) {
+        // Analytic gradients.
+        mlp.zero_grad();
+        let pred = mlp.forward(x);
+        let dy = Loss::Mse.gradient(&pred, target);
+        mlp.backward(&dy);
+
+        // Collect analytic grads.
+        let mut analytic: Vec<f32> = Vec::new();
+        mlp.visit_params(&mut |_, g| analytic.extend_from_slice(g.as_slice()));
+
+        // Numeric gradients.
+        let eps = 1e-3_f32;
+        let mut idx = 0;
+        let mut max_err = 0.0_f32;
+        // Perturb each parameter in turn.
+        let mut param_shapes = Vec::new();
+        mlp.visit_params(&mut |p, _| param_shapes.push(p.shape()));
+        for (tensor_i, &(r, c)) in param_shapes.iter().enumerate() {
+            for k in 0..r * c {
+                let mut set = |mlp: &mut Mlp, delta: f32| {
+                    let mut t = 0;
+                    mlp.visit_params(&mut |p, _| {
+                        if t == tensor_i {
+                            p.as_mut_slice()[k] += delta;
+                        }
+                        t += 1;
+                    });
+                };
+                set(mlp, eps);
+                let up = Loss::Mse.value(&mlp.infer(x), target);
+                set(mlp, -2.0 * eps);
+                let down = Loss::Mse.value(&mlp.infer(x), target);
+                set(mlp, eps);
+                let numeric = (up - down) / (2.0 * eps);
+                let err = (numeric - analytic[idx]).abs();
+                max_err = max_err.max(err);
+                idx += 1;
+            }
+        }
+        assert!(max_err < 5e-3, "max gradient error {max_err}");
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut mlp = Mlp::new(
+            &[3, 5, 2],
+            Activation::ELU,
+            Activation::Linear,
+            Init::XavierUniform,
+            &mut rng,
+        );
+        let x = Matrix::from_rows(&[&[0.2, -0.4, 0.9], &[1.0, 0.3, -0.6]]);
+        let target = Matrix::from_rows(&[&[0.5, -0.5], &[1.0, 0.0]]);
+        finite_diff_check(&mut mlp, &x, &target);
+    }
+
+    #[test]
+    fn gradients_match_with_tanh_hidden() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut mlp = Mlp::new(
+            &[4, 6, 3],
+            Activation::Tanh,
+            Activation::Linear,
+            Init::XavierUniform,
+            &mut rng,
+        );
+        let x = Matrix::from_rows(&[&[0.1, 0.2, -0.3, 0.4]]);
+        let target = Matrix::from_rows(&[&[1.0, 0.0, -1.0]]);
+        finite_diff_check(&mut mlp, &x, &target);
+    }
+
+    #[test]
+    fn weight_shared_double_application_accumulates_gradients() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut layer = Dense::new(2, 2, Activation::Linear, Init::XavierUniform, &mut rng);
+        let x1 = Matrix::row_vector(&[1.0, 0.0]);
+        let x2 = Matrix::row_vector(&[0.0, 1.0]);
+        let _ = layer.forward(&x1);
+        let _ = layer.forward(&x2);
+        assert_eq!(layer.pending_backwards(), 2);
+        let g = Matrix::row_vector(&[1.0, 1.0]);
+        let _ = layer.backward(&g); // consumes x2's cache
+        let _ = layer.backward(&g); // consumes x1's cache
+        // grad_w = x1^T g + x2^T g = ones(2,2)
+        let mut grads = Vec::new();
+        layer.visit_params(&mut |_, gm| grads.push(gm.clone()));
+        assert_eq!(grads[0], Matrix::filled(2, 2, 1.0));
+        assert_eq!(grads[1], Matrix::row_vector(&[2.0, 2.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "without a matching forward")]
+    fn backward_without_forward_panics() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut layer = Dense::new(2, 2, Activation::Linear, Init::XavierUniform, &mut rng);
+        let _ = layer.backward(&Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut mlp = Mlp::new(
+            &[3, 4, 2],
+            Activation::ELU,
+            Activation::Linear,
+            Init::HeNormal,
+            &mut rng,
+        );
+        let x = Matrix::from_rows(&[&[0.5, -1.0, 0.25]]);
+        let a = mlp.infer(&x);
+        let b = mlp.forward(&x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn training_reduces_loss_on_toy_regression() {
+        use crate::optim::{Adam, Optimizer};
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut mlp = Mlp::new(
+            &[1, 16, 1],
+            Activation::Tanh,
+            Activation::Linear,
+            Init::XavierUniform,
+            &mut rng,
+        );
+        let mut adam = Adam::new(1e-2);
+        // Fit y = 2x - 1 on [-1, 1].
+        let xs: Vec<f32> = (0..32).map(|i| -1.0 + 2.0 * i as f32 / 31.0).collect();
+        let ys: Vec<f32> = xs.iter().map(|x| 2.0 * x - 1.0).collect();
+        let x = Matrix::from_vec(32, 1, xs);
+        let y = Matrix::from_vec(32, 1, ys);
+        let initial = Loss::Mse.value(&mlp.infer(&x), &y);
+        for _ in 0..300 {
+            mlp.zero_grad();
+            let pred = mlp.forward(&x);
+            let dy = Loss::Mse.gradient(&pred, &y);
+            mlp.backward(&dy);
+            adam.step(&mut mlp);
+        }
+        let fin = Loss::Mse.value(&mlp.infer(&x), &y);
+        assert!(fin < initial * 0.05, "loss {initial} -> {fin} did not drop");
+    }
+
+    #[test]
+    fn num_parameters_counts_weights_and_biases() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mlp = Mlp::new(
+            &[3, 4, 2],
+            Activation::ELU,
+            Activation::Linear,
+            Init::HeNormal,
+            &mut rng,
+        );
+        assert_eq!(mlp.num_parameters(), 3 * 4 + 4 + 4 * 2 + 2);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_inference() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mlp = Mlp::new(
+            &[2, 3, 1],
+            Activation::ELU,
+            Activation::Linear,
+            Init::XavierUniform,
+            &mut rng,
+        );
+        let json = serde_json::to_string(&mlp).unwrap();
+        let restored: Mlp = serde_json::from_str(&json).unwrap();
+        let x = Matrix::row_vector(&[0.3, -0.7]);
+        assert_eq!(mlp.infer(&x), restored.infer(&x));
+    }
+}

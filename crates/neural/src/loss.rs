@@ -1,0 +1,153 @@
+//! Loss functions.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A scalar loss over batched predictions.
+///
+/// Both variants average over every element of the batch, so gradient
+/// magnitudes are independent of batch size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Loss {
+    /// Mean squared error.
+    Mse,
+    /// Huber loss with the given `delta`; quadratic inside `|e| <= delta`,
+    /// linear outside. Commonly used to stabilize Q-learning targets.
+    Huber(f32),
+}
+
+impl Loss {
+    /// Loss value averaged over all elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn value(&self, pred: &Matrix, target: &Matrix) -> f32 {
+        assert_eq!(
+            pred.shape(),
+            target.shape(),
+            "loss shape mismatch: {:?} vs {:?}",
+            pred.shape(),
+            target.shape()
+        );
+        let n = pred.len().max(1) as f32;
+        match *self {
+            Loss::Mse => {
+                pred.as_slice()
+                    .iter()
+                    .zip(target.as_slice())
+                    .map(|(&p, &t)| (p - t) * (p - t))
+                    .sum::<f32>()
+                    / n
+            }
+            Loss::Huber(delta) => {
+                pred.as_slice()
+                    .iter()
+                    .zip(target.as_slice())
+                    .map(|(&p, &t)| {
+                        let e = (p - t).abs();
+                        if e <= delta {
+                            0.5 * e * e
+                        } else {
+                            delta * (e - 0.5 * delta)
+                        }
+                    })
+                    .sum::<f32>()
+                    / n
+            }
+        }
+    }
+
+    /// Gradient of [`Loss::value`] with respect to `pred`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn gradient(&self, pred: &Matrix, target: &Matrix) -> Matrix {
+        assert_eq!(
+            pred.shape(),
+            target.shape(),
+            "loss shape mismatch: {:?} vs {:?}",
+            pred.shape(),
+            target.shape()
+        );
+        let n = pred.len().max(1) as f32;
+        match *self {
+            Loss::Mse => pred.zip_with(target, |p, t| 2.0 * (p - t) / n),
+            Loss::Huber(delta) => pred.zip_with(target, |p, t| {
+                let e = p - t;
+                if e.abs() <= delta {
+                    e / n
+                } else {
+                    delta * e.signum() / n
+                }
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_of_equal_inputs_is_zero() {
+        let a = Matrix::row_vector(&[1.0, 2.0, 3.0]);
+        assert_eq!(Loss::Mse.value(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let p = Matrix::row_vector(&[1.0, 2.0]);
+        let t = Matrix::row_vector(&[0.0, 0.0]);
+        assert!((Loss::Mse.value(&p, &t) - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn huber_equals_half_mse_inside_delta() {
+        let p = Matrix::row_vector(&[0.5, -0.5]);
+        let t = Matrix::row_vector(&[0.0, 0.0]);
+        let huber = Loss::Huber(1.0).value(&p, &t);
+        let mse = Loss::Mse.value(&p, &t);
+        assert!((huber - 0.5 * mse).abs() < 1e-6);
+    }
+
+    #[test]
+    fn huber_is_linear_outside_delta() {
+        let t = Matrix::row_vector(&[0.0]);
+        let v10 = Loss::Huber(1.0).value(&Matrix::row_vector(&[10.0]), &t);
+        let v11 = Loss::Huber(1.0).value(&Matrix::row_vector(&[11.0]), &t);
+        assert!((v11 - v10 - 1.0).abs() < 1e-4);
+    }
+
+    fn grad_check(loss: Loss, p: &[f32], t: &[f32]) {
+        let pred = Matrix::row_vector(p);
+        let target = Matrix::row_vector(t);
+        let g = loss.gradient(&pred, &target);
+        let eps = 1e-3;
+        for i in 0..p.len() {
+            let mut up = pred.clone();
+            up.as_mut_slice()[i] += eps;
+            let mut down = pred.clone();
+            down.as_mut_slice()[i] -= eps;
+            let numeric = (loss.value(&up, &target) - loss.value(&down, &target)) / (2.0 * eps);
+            assert!(
+                (numeric - g.as_slice()[i]).abs() < 1e-3,
+                "{loss:?} grad[{i}]: numeric {numeric} vs {}",
+                g.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        grad_check(Loss::Mse, &[0.3, -1.2, 2.0], &[0.0, 0.0, 1.0]);
+        grad_check(Loss::Huber(1.0), &[0.3, -3.0, 2.0], &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss shape mismatch")]
+    fn mismatched_shapes_panic() {
+        let _ = Loss::Mse.value(&Matrix::zeros(1, 2), &Matrix::zeros(1, 3));
+    }
+}

@@ -1,0 +1,511 @@
+//! Long short-term memory (LSTM) cell and sequence network with truncated
+//! back-propagation through time (BPTT).
+//!
+//! The paper's workload predictor (Fig. 7) is an unrolled LSTM: an input
+//! hidden layer, an LSTM cell layer with 30 hidden units shared across all
+//! time steps, and an output hidden layer. [`LstmNetwork`] reproduces that
+//! exact topology.
+
+use crate::activation::Activation;
+use crate::dense::Dense;
+use crate::init::Init;
+use crate::matrix::Matrix;
+use crate::optim::Trainable;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Cached values for one time step of one forward pass.
+#[derive(Debug, Clone)]
+struct StepCache {
+    z: Matrix,      // [n x (input + hidden)]  concatenated input
+    i: Matrix,      // input gate (post-sigmoid)
+    f: Matrix,      // forget gate
+    o: Matrix,      // output gate
+    g: Matrix,      // candidate (post-tanh)
+    c_prev: Matrix, // previous cell state
+    tanh_c: Matrix, // tanh of new cell state
+}
+
+/// Hidden and cell state of an LSTM, batch-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstmState {
+    /// Hidden state `h`, shape `n x hidden`.
+    pub h: Matrix,
+    /// Cell state `c`, shape `n x hidden`.
+    pub c: Matrix,
+}
+
+impl LstmState {
+    /// Zero state for a batch of `n` sequences (the paper initializes the
+    /// LSTM state to zero).
+    pub fn zeros(batch: usize, hidden: usize) -> Self {
+        Self {
+            h: Matrix::zeros(batch, hidden),
+            c: Matrix::zeros(batch, hidden),
+        }
+    }
+}
+
+/// A single LSTM cell with weights shared across time steps.
+///
+/// Gate weights are packed into one `(input + hidden) x 4*hidden` matrix in
+/// `[i | f | o | g]` order; the forget-gate bias is initialized to 1, a
+/// standard trick that eases gradient flow early in training.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LstmCell {
+    input_size: usize,
+    hidden_size: usize,
+    w: Matrix,
+    b: Matrix,
+    grad_w: Matrix,
+    grad_b: Matrix,
+    #[serde(skip)]
+    cache: Vec<StepCache>,
+}
+
+impl LstmCell {
+    /// Creates a cell with Xavier-initialized gate weights.
+    pub fn new(input_size: usize, hidden_size: usize, rng: &mut impl Rng) -> Self {
+        let w = Init::XavierUniform.sample(input_size + hidden_size, 4 * hidden_size, rng);
+        let mut b = Matrix::zeros(1, 4 * hidden_size);
+        // Forget-gate bias = 1.
+        for j in hidden_size..2 * hidden_size {
+            b.as_mut_slice()[j] = 1.0;
+        }
+        Self {
+            input_size,
+            hidden_size,
+            grad_w: Matrix::zeros(w.rows(), w.cols()),
+            grad_b: Matrix::zeros(1, 4 * hidden_size),
+            w,
+            b,
+            cache: Vec::new(),
+        }
+    }
+
+    /// Input width.
+    pub fn input_size(&self) -> usize {
+        self.input_size
+    }
+
+    /// Hidden width.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden_size
+    }
+
+    fn gates(&self, z: &Matrix) -> (Matrix, Matrix, Matrix, Matrix) {
+        let mut a = z.matmul(&self.w);
+        a.add_row_broadcast(&self.b);
+        let h = self.hidden_size;
+        let mut i = a.slice_cols(0, h);
+        let mut f = a.slice_cols(h, h);
+        let mut o = a.slice_cols(2 * h, h);
+        let mut g = a.slice_cols(3 * h, h);
+        i.map_inplace(|x| Activation::Sigmoid.apply(x));
+        f.map_inplace(|x| Activation::Sigmoid.apply(x));
+        o.map_inplace(|x| Activation::Sigmoid.apply(x));
+        g.map_inplace(|x| Activation::Tanh.apply(x));
+        (i, f, o, g)
+    }
+
+    /// One forward time step without caching (inference).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `n x input_size` or `state` does not match.
+    pub fn infer_step(&self, x: &Matrix, state: &LstmState) -> LstmState {
+        let z = Matrix::hcat(&[x, &state.h]);
+        let (i, f, o, g) = self.gates(&z);
+        let c = f.hadamard(&state.c).add(&i.hadamard(&g));
+        let tanh_c = c.map(|v| v.tanh());
+        LstmState {
+            h: o.hadamard(&tanh_c),
+            c,
+        }
+    }
+
+    /// One forward time step with caching for BPTT.
+    pub fn forward_step(&mut self, x: &Matrix, state: &LstmState) -> LstmState {
+        let z = Matrix::hcat(&[x, &state.h]);
+        let (i, f, o, g) = self.gates(&z);
+        let c = f.hadamard(&state.c).add(&i.hadamard(&g));
+        let tanh_c = c.map(|v| v.tanh());
+        let h = o.hadamard(&tanh_c);
+        self.cache.push(StepCache {
+            z,
+            i: i.clone(),
+            f: f.clone(),
+            o: o.clone(),
+            g: g.clone(),
+            c_prev: state.c.clone(),
+            tanh_c,
+        });
+        LstmState { h, c }
+    }
+
+    /// Back-propagates one time step (most recent cached step first).
+    ///
+    /// `dh` and `dc` are gradients w.r.t. this step's output hidden/cell
+    /// state; returns `(dx, dh_prev, dc_prev)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cached step is pending.
+    pub fn backward_step(&mut self, dh: &Matrix, dc: &Matrix) -> (Matrix, Matrix, Matrix) {
+        let s = self
+            .cache
+            .pop()
+            .expect("LstmCell::backward_step without a matching forward_step");
+        // dc_total = dh * o * (1 - tanh(c)^2) + dc
+        let mut dc_total = dh.hadamard(&s.o);
+        dc_total = dc_total.zip_with(&s.tanh_c, |v, tc| v * (1.0 - tc * tc));
+        dc_total.axpy(1.0, dc);
+
+        let d_o = dh.hadamard(&s.tanh_c);
+        let d_i = dc_total.hadamard(&s.g);
+        let d_g = dc_total.hadamard(&s.i);
+        let d_f = dc_total.hadamard(&s.c_prev);
+        let dc_prev = dc_total.hadamard(&s.f);
+
+        // Pre-activation gate gradients.
+        let da_i = d_i.zip_with(&s.i, |d, y| d * y * (1.0 - y));
+        let da_f = d_f.zip_with(&s.f, |d, y| d * y * (1.0 - y));
+        let da_o = d_o.zip_with(&s.o, |d, y| d * y * (1.0 - y));
+        let da_g = d_g.zip_with(&s.g, |d, y| d * (1.0 - y * y));
+        let da = Matrix::hcat(&[&da_i, &da_f, &da_o, &da_g]);
+
+        self.grad_w.axpy(1.0, &s.z.matmul_tn(&da));
+        self.grad_b.axpy(1.0, &da.sum_rows());
+
+        let dz = da.matmul_nt(&self.w);
+        let dx = dz.slice_cols(0, self.input_size);
+        let dh_prev = dz.slice_cols(self.input_size, self.hidden_size);
+        (dx, dh_prev, dc_prev)
+    }
+
+    /// Number of cached, un-consumed forward steps.
+    pub fn pending_steps(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Drops cached forward state.
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+}
+
+impl Trainable for LstmCell {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
+        f(&mut self.w, &mut self.grad_w);
+        f(&mut self.b, &mut self.grad_b);
+    }
+
+    fn zero_grad(&mut self) {
+        self.grad_w.fill_zero();
+        self.grad_b.fill_zero();
+    }
+}
+
+/// The paper's predictor topology: input hidden layer -> LSTM cell layer ->
+/// output hidden layer, unrolled over a fixed look-back window.
+///
+/// The input/output layers use normal(0, 1) weight init with constant 0.1
+/// bias, matching Section VI-A.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LstmNetwork {
+    input_layer: Dense,
+    cell: LstmCell,
+    output_layer: Dense,
+}
+
+impl LstmNetwork {
+    /// Creates a network mapping sequences of `input_size`-wide vectors to a
+    /// single `output_size`-wide prediction from the final hidden state.
+    pub fn new(
+        input_size: usize,
+        proj_size: usize,
+        hidden_size: usize,
+        output_size: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let weight_init = Init::Normal { mean: 0.0, std: 1.0 };
+        let bias_init = Init::Constant(0.1);
+        Self {
+            input_layer: Dense::with_bias(
+                input_size,
+                proj_size,
+                Activation::Tanh,
+                weight_init,
+                bias_init,
+                rng,
+            ),
+            cell: LstmCell::new(proj_size, hidden_size, rng),
+            output_layer: Dense::with_bias(
+                hidden_size,
+                output_size,
+                Activation::Linear,
+                weight_init,
+                bias_init,
+                rng,
+            ),
+        }
+    }
+
+    /// The paper's exact configuration: scalar in/out, 30 hidden units.
+    pub fn paper_predictor(rng: &mut impl Rng) -> Self {
+        Self::new(1, 1, 30, 1, rng)
+    }
+
+    /// Input width per time step.
+    pub fn input_size(&self) -> usize {
+        self.input_layer.input_size()
+    }
+
+    /// Output width.
+    pub fn output_size(&self) -> usize {
+        self.output_layer.output_size()
+    }
+
+    /// Hidden width of the LSTM cell.
+    pub fn hidden_size(&self) -> usize {
+        self.cell.hidden_size()
+    }
+
+    /// Predicts from a sequence without caching. `steps` holds one
+    /// `n x input_size` matrix per time step; returns `n x output_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is empty.
+    pub fn infer(&self, steps: &[Matrix]) -> Matrix {
+        assert!(!steps.is_empty(), "LSTM needs at least one time step");
+        let n = steps[0].rows();
+        let mut state = LstmState::zeros(n, self.cell.hidden_size());
+        for x in steps {
+            let proj = self.input_layer.infer(x);
+            state = self.cell.infer_step(&proj, &state);
+        }
+        self.output_layer.infer(&state.h)
+    }
+
+    /// Convenience wrapper for scalar sequences: predicts the next value
+    /// from a window of previous values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network is not scalar-in/scalar-out or `window` is empty.
+    pub fn predict_next(&self, window: &[f32]) -> f32 {
+        assert_eq!(self.input_size(), 1, "predict_next requires scalar input");
+        assert_eq!(self.output_size(), 1, "predict_next requires scalar output");
+        let steps: Vec<Matrix> = window
+            .iter()
+            .map(|&v| Matrix::row_vector(&[v]))
+            .collect();
+        self.infer(&steps).as_slice()[0]
+    }
+
+    /// Training forward pass; caches every step for [`LstmNetwork::backward`].
+    pub fn forward(&mut self, steps: &[Matrix]) -> Matrix {
+        assert!(!steps.is_empty(), "LSTM needs at least one time step");
+        let n = steps[0].rows();
+        let mut state = LstmState::zeros(n, self.cell.hidden_size());
+        for x in steps {
+            let proj = self.input_layer.forward(x);
+            state = self.cell.forward_step(&proj, &state);
+        }
+        self.output_layer.forward(&state.h)
+    }
+
+    /// Back-propagates through time for the most recent forward pass,
+    /// accumulating gradients in all three layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no forward pass is pending.
+    pub fn backward(&mut self, grad_out: &Matrix) {
+        let mut dh = self.output_layer.backward(grad_out);
+        let steps = self.cell.pending_steps();
+        assert!(steps > 0, "LstmNetwork::backward without a forward pass");
+        let n = dh.rows();
+        let mut dc = Matrix::zeros(n, self.cell.hidden_size());
+        for _ in 0..steps {
+            let (dx, dh_prev, dc_prev) = self.cell.backward_step(&dh, &dc);
+            // Gradient w.r.t. the shared input layer at this time step.
+            let _ = self.input_layer.backward(&dx);
+            dh = dh_prev;
+            dc = dc_prev;
+        }
+    }
+
+    /// Drops cached forward state in all layers.
+    pub fn clear_cache(&mut self) {
+        self.input_layer.clear_cache();
+        self.cell.clear_cache();
+        self.output_layer.clear_cache();
+    }
+
+    /// Total number of learnable scalars.
+    pub fn num_parameters(&mut self) -> usize {
+        self.parameter_count()
+    }
+}
+
+impl Trainable for LstmNetwork {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
+        self.input_layer.visit_params(f);
+        self.cell.visit_params(f);
+        self.output_layer.visit_params(f);
+    }
+
+    fn zero_grad(&mut self) {
+        self.input_layer.zero_grad();
+        self.cell.zero_grad();
+        self.output_layer.zero_grad();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::Loss;
+    use crate::optim::{Adam, Optimizer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn scalar_steps(values: &[f32]) -> Vec<Matrix> {
+        values.iter().map(|&v| Matrix::row_vector(&[v])).collect()
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = LstmNetwork::new(1, 2, 4, 1, &mut rng);
+        let steps = scalar_steps(&[0.1, 0.5, -0.2, 0.8]);
+        let a = net.infer(&steps);
+        let b = net.forward(&steps);
+        assert!((a.as_slice()[0] - b.as_slice()[0]).abs() < 1e-6);
+        net.clear_cache();
+    }
+
+    #[test]
+    fn forward_shapes_are_batch_by_output() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let net = LstmNetwork::new(3, 3, 5, 2, &mut rng);
+        let steps = vec![Matrix::zeros(4, 3), Matrix::zeros(4, 3)];
+        assert_eq!(net.infer(&steps).shape(), (4, 2));
+    }
+
+    #[test]
+    fn bptt_gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = LstmNetwork::new(1, 1, 3, 1, &mut rng);
+        let steps = scalar_steps(&[0.3, -0.1, 0.7]);
+        let target = Matrix::row_vector(&[0.5]);
+
+        net.zero_grad();
+        let pred = net.forward(&steps);
+        let dy = Loss::Mse.gradient(&pred, &target);
+        net.backward(&dy);
+
+        let mut analytic: Vec<f32> = Vec::new();
+        net.visit_params(&mut |_, g| analytic.extend_from_slice(g.as_slice()));
+
+        let mut shapes = Vec::new();
+        net.visit_params(&mut |p, _| shapes.push(p.shape()));
+
+        let eps = 1e-3_f32;
+        let mut idx = 0;
+        let mut max_err = 0.0_f32;
+        for (tensor_i, &(r, c)) in shapes.iter().enumerate() {
+            for k in 0..r * c {
+                let mut nudge = |net: &mut LstmNetwork, delta: f32| {
+                    let mut t = 0;
+                    net.visit_params(&mut |p, _| {
+                        if t == tensor_i {
+                            p.as_mut_slice()[k] += delta;
+                        }
+                        t += 1;
+                    });
+                };
+                nudge(&mut net, eps);
+                let up = Loss::Mse.value(&net.infer(&steps), &target);
+                nudge(&mut net, -2.0 * eps);
+                let down = Loss::Mse.value(&net.infer(&steps), &target);
+                nudge(&mut net, eps);
+                let numeric = (up - down) / (2.0 * eps);
+                max_err = max_err.max((numeric - analytic[idx]).abs());
+                idx += 1;
+            }
+        }
+        assert!(max_err < 5e-3, "max BPTT gradient error {max_err}");
+    }
+
+    #[test]
+    fn learns_a_simple_recurrence() {
+        // Predict the next element of an alternating +0.5/-0.5 sequence,
+        // which requires at least one step of memory.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut net = LstmNetwork::new(1, 1, 8, 1, &mut rng);
+        let mut adam = Adam::new(5e-3);
+        let window = 6;
+        let series: Vec<f32> = (0..200)
+            .map(|i| if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+
+        let mut final_loss = f32::MAX;
+        for epoch in 0..60 {
+            let mut total = 0.0;
+            let mut count = 0;
+            for start in (0..series.len() - window - 1).step_by(7) {
+                let steps = scalar_steps(&series[start..start + window]);
+                let target = Matrix::row_vector(&[series[start + window]]);
+                net.zero_grad();
+                let pred = net.forward(&steps);
+                total += Loss::Mse.value(&pred, &target);
+                count += 1;
+                let dy = Loss::Mse.gradient(&pred, &target);
+                net.backward(&dy);
+                adam.step(&mut net);
+            }
+            final_loss = total / count as f32;
+            if epoch == 0 {
+                assert!(final_loss.is_finite());
+            }
+        }
+        assert!(final_loss < 0.01, "final loss {final_loss} too high");
+    }
+
+    #[test]
+    fn paper_predictor_has_30_hidden_units() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = LstmNetwork::paper_predictor(&mut rng);
+        assert_eq!(net.hidden_size(), 30);
+        assert_eq!(net.input_size(), 1);
+        assert_eq!(net.output_size(), 1);
+    }
+
+    #[test]
+    fn state_starts_at_zero() {
+        let s = LstmState::zeros(2, 3);
+        assert!(s.h.as_slice().iter().all(|&x| x == 0.0));
+        assert!(s.c.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one time step")]
+    fn empty_sequence_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let net = LstmNetwork::new(1, 1, 2, 1, &mut rng);
+        let _ = net.infer(&[]);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_predictions() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let net = LstmNetwork::new(1, 1, 4, 1, &mut rng);
+        let json = serde_json::to_string(&net).unwrap();
+        let restored: LstmNetwork = serde_json::from_str(&json).unwrap();
+        let w = [0.2, 0.4, 0.1];
+        assert_eq!(net.predict_next(&w), restored.predict_next(&w));
+    }
+}

@@ -1,0 +1,676 @@
+//! A minimal dense row-major `f32` matrix used throughout the neural substrate.
+//!
+//! The networks in this crate are tiny (at most a few hundred units per
+//! layer), so a straightforward cache-friendly implementation is more than
+//! fast enough and keeps the crate dependency-free.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `f32` values.
+///
+/// Rows are the batch dimension throughout this crate: a batch of `n`
+/// feature vectors of width `d` is an `n x d` matrix.
+///
+/// # Examples
+///
+/// ```
+/// use hierdrl_neural::matrix::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = Matrix::identity(2);
+/// let c = a.matmul(&b);
+/// assert_eq!(c, a);
+/// ```
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a matrix filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols` overflows `usize`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let len = rows
+            .checked_mul(cols)
+            .expect("matrix dimensions overflow usize");
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        m.data.fill(value);
+        m
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths or `rows` is empty.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), cols, "row {i} has inconsistent length");
+            data.extend_from_slice(r);
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Creates a `1 x n` row vector from a slice.
+    pub fn row_vector(values: &[f32]) -> Self {
+        Self::from_vec(1, values.len(), values.to_vec())
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat row-major view of the data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat row-major view of the data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of bounds ({})", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {r} out of bounds ({})", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies row `r` into a new `1 x cols` matrix.
+    pub fn row_matrix(&self, r: usize) -> Matrix {
+        Matrix::from_vec(1, self.cols, self.row(r).to_vec())
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.rows`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: {:?} x {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // i-k-j loop order: streams through `rhs` and `out` rows sequentially.
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for (k, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = rhs.row(k);
+                let o_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += aik * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Computes `self^T * rhs` without materializing the transpose.
+    ///
+    /// Shapes: `self` is `n x a`, `rhs` is `n x b`, result is `a x b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts differ.
+    pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "matmul_tn shape mismatch: {:?} x {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        for n in 0..self.rows {
+            let a_row = self.row(n);
+            let b_row = rhs.row(n);
+            for (i, &ai) in a_row.iter().enumerate() {
+                if ai == 0.0 {
+                    continue;
+                }
+                let o_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += ai * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Computes `self * rhs^T` without materializing the transpose.
+    ///
+    /// Shapes: `self` is `n x a`, `rhs` is `m x a`, result is `n x m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts differ.
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_nt shape mismatch: {:?} x {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..rhs.rows {
+                let b_row = rhs.row(j);
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        out
+    }
+
+    /// Element-wise sum `self + rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        self.zip_with(rhs, |a, b| a + b)
+    }
+
+    /// Element-wise difference `self - rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub(&self, rhs: &Matrix) -> Matrix {
+        self.zip_with(rhs, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
+        self.zip_with(rhs, |a, b| a * b)
+    }
+
+    /// Applies `f` element-wise, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` element-wise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Combines two same-shaped matrices element-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn zip_with(&self, rhs: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "element-wise op shape mismatch: {:?} vs {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// In-place `self += alpha * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, alpha: f32, rhs: &Matrix) {
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "axpy shape mismatch: {:?} vs {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiplies every element by `alpha` in place.
+    pub fn scale(&mut self, alpha: f32) {
+        for x in &mut self.data {
+            *x *= alpha;
+        }
+    }
+
+    /// Sets every element to zero.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Adds a `1 x cols` row vector to every row (broadcast).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 x self.cols`.
+    pub fn add_row_broadcast(&mut self, bias: &Matrix) {
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(bias.cols, self.cols, "bias width mismatch");
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (x, &b) in row.iter_mut().zip(&bias.data) {
+                *x += b;
+            }
+        }
+    }
+
+    /// Sums the rows into a `1 x cols` row vector.
+    pub fn sum_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for (o, &x) in out.data.iter_mut().zip(self.row(r)) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements; `0.0` for an empty matrix.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Squared Frobenius norm (sum of squared elements).
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Horizontally concatenates matrices with identical row counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or row counts differ.
+    pub fn hcat(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "hcat requires at least one matrix");
+        let rows = parts[0].rows;
+        let cols: usize = parts.iter().map(|m| m.cols).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            let mut offset = 0;
+            for m in parts {
+                assert_eq!(m.rows, rows, "hcat row count mismatch");
+                out.data[r * cols + offset..r * cols + offset + m.cols]
+                    .copy_from_slice(m.row(r));
+                offset += m.cols;
+            }
+        }
+        out
+    }
+
+    /// Vertically stacks matrices with identical column counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or column counts differ.
+    pub fn vcat(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "vcat requires at least one matrix");
+        let cols = parts[0].cols;
+        let rows: usize = parts.iter().map(|m| m.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for m in parts {
+            assert_eq!(m.cols, cols, "vcat column count mismatch");
+            data.extend_from_slice(&m.data);
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Extracts columns `[start, start + width)` into a new matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the matrix width.
+    pub fn slice_cols(&self, start: usize, width: usize) -> Matrix {
+        assert!(
+            start + width <= self.cols,
+            "column slice {}..{} out of bounds (cols = {})",
+            start,
+            start + width,
+            self.cols
+        );
+        let mut out = Matrix::zeros(self.rows, width);
+        for r in 0..self.rows {
+            out.row_mut(r)
+                .copy_from_slice(&self.row(r)[start..start + width]);
+        }
+        out
+    }
+
+    /// Index of the maximum element in row `r`, breaking ties toward the
+    /// lowest index. Returns `None` for a zero-width matrix.
+    pub fn argmax_row(&self, r: usize) -> Option<usize> {
+        let row = self.row(r);
+        let mut best: Option<(usize, f32)> = None;
+        for (i, &x) in row.iter().enumerate() {
+            match best {
+                Some((_, b)) if x <= b => {}
+                _ => best = Some((i, x)),
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// `true` if every element is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  [")?;
+            for c in 0..self.cols.min(12) {
+                write!(f, "{:9.4}", self[(r, c)])?;
+                if c + 1 < self.cols.min(12) {
+                    write!(f, ", ")?;
+                }
+            }
+            if self.cols > 12 {
+                write!(f, ", ...")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_correct_shape_and_content() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.matmul(&Matrix::identity(3)), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 0.5, 2.0], &[0.0, 1.0, -1.0], &[2.0, 2.0, 2.0]]);
+        assert_eq!(a.matmul_tn(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 0.0, 1.0], &[2.0, 1.0, 0.0]]);
+        assert_eq!(a.matmul_nt(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn add_row_broadcast_adds_bias_to_every_row() {
+        let mut a = Matrix::zeros(3, 2);
+        a.add_row_broadcast(&Matrix::row_vector(&[1.0, -2.0]));
+        for r in 0..3 {
+            assert_eq!(a.row(r), &[1.0, -2.0]);
+        }
+    }
+
+    #[test]
+    fn sum_rows_collapses_batch() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.sum_rows(), Matrix::row_vector(&[4.0, 6.0]));
+    }
+
+    #[test]
+    fn hcat_concatenates_columns() {
+        let a = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]);
+        let c = Matrix::hcat(&[&a, &b]);
+        assert_eq!(c, Matrix::from_rows(&[&[1.0, 3.0, 4.0], &[2.0, 5.0, 6.0]]));
+    }
+
+    #[test]
+    fn vcat_stacks_rows() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 4.0]]);
+        assert_eq!(
+            Matrix::vcat(&[&a, &b]),
+            Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])
+        );
+    }
+
+    #[test]
+    fn slice_cols_extracts_block() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(
+            a.slice_cols(1, 2),
+            Matrix::from_rows(&[&[2.0, 3.0], &[5.0, 6.0]])
+        );
+    }
+
+    #[test]
+    fn argmax_row_breaks_ties_low() {
+        let a = Matrix::from_rows(&[&[1.0, 3.0, 3.0, 2.0]]);
+        assert_eq!(a.argmax_row(0), Some(1));
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Matrix::filled(2, 2, 1.0);
+        a.axpy(2.0, &Matrix::filled(2, 2, 3.0));
+        assert_eq!(a, Matrix::filled(2, 2, 7.0));
+    }
+
+    #[test]
+    fn norm_of_unit_vector() {
+        let a = Matrix::row_vector(&[3.0, 4.0]);
+        assert!((a.norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "row 5 out of bounds")]
+    fn row_out_of_bounds_panics() {
+        let a = Matrix::zeros(2, 2);
+        let _ = a.row(5);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let a = Matrix::from_rows(&[&[1.5, -2.5], &[0.0, 4.25]]);
+        let json = serde_json::to_string(&a).unwrap();
+        let b: Matrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,128 @@
+//! Upper-confidence-bound (UCB1) action selection.
+//!
+//! An alternative to epsilon-greedy for the local tier's power manager:
+//! with only a few hundred decision epochs per server, undirected random
+//! exploration is wasteful, while UCB1's optimism bonus focuses trials on
+//! actions whose value is still uncertain and vanishes as counts grow.
+
+use serde::{Deserialize, Serialize};
+
+/// UCB1 selector over a fixed action set, maintaining per-(state, action)
+/// visit counts externally supplied by the caller.
+///
+/// The selection rule is `argmax_a Q(s, a) + c * sqrt(ln N(s) / n(s, a))`,
+/// with unvisited actions tried first (infinite bonus).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ucb1 {
+    /// Exploration coefficient `c` (scales the confidence radius). Should
+    /// be on the order of the Q-value spread.
+    pub exploration: f64,
+}
+
+impl Ucb1 {
+    /// Creates a selector with the given exploration coefficient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exploration` is negative or non-finite.
+    pub fn new(exploration: f64) -> Self {
+        assert!(
+            exploration.is_finite() && exploration >= 0.0,
+            "exploration coefficient must be finite and non-negative"
+        );
+        Self { exploration }
+    }
+
+    /// Selects an action from per-action values and visit counts.
+    /// Unvisited actions win immediately (lowest index first); otherwise
+    /// the argmax of value plus confidence bonus (lowest index on ties).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q_values` and `visits` differ in length or are empty.
+    pub fn select(&self, q_values: &[f64], visits: &[u64]) -> usize {
+        assert_eq!(
+            q_values.len(),
+            visits.len(),
+            "q_values and visits must align"
+        );
+        assert!(!q_values.is_empty(), "cannot select from zero actions");
+        if let Some(i) = visits.iter().position(|&n| n == 0) {
+            return i;
+        }
+        let total: u64 = visits.iter().sum();
+        let ln_total = (total as f64).ln();
+        let mut best = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for (i, (&q, &n)) in q_values.iter().zip(visits).enumerate() {
+            let bonus = self.exploration * (ln_total / n as f64).sqrt();
+            let score = q + bonus;
+            if score > best_score {
+                best_score = score;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unvisited_actions_are_tried_first() {
+        let ucb = Ucb1::new(1.0);
+        assert_eq!(ucb.select(&[0.0, 0.0, 0.0], &[3, 0, 5]), 1);
+        assert_eq!(ucb.select(&[-10.0, 0.0], &[0, 7]), 0);
+    }
+
+    #[test]
+    fn exploitation_dominates_once_counts_grow() {
+        let ucb = Ucb1::new(0.5);
+        // Action 1 clearly best, all well-visited.
+        assert_eq!(ucb.select(&[-3.0, -1.0, -2.0], &[1000, 1000, 1000]), 1);
+    }
+
+    #[test]
+    fn under_visited_actions_get_a_bonus() {
+        let ucb = Ucb1::new(2.0);
+        // Action 0 slightly better but heavily visited; action 1 nearly as
+        // good with one visit: the bonus flips the choice.
+        assert_eq!(ucb.select(&[-1.0, -1.2], &[10_000, 1]), 1);
+    }
+
+    #[test]
+    fn zero_exploration_is_pure_greedy() {
+        let ucb = Ucb1::new(0.0);
+        assert_eq!(ucb.select(&[-2.0, -1.0, -3.0], &[1, 1, 1]), 1);
+    }
+
+    #[test]
+    fn bonus_shrinks_with_visits() {
+        let ucb = Ucb1::new(1.0);
+        // Equal values: the less-visited action wins.
+        assert_eq!(ucb.select(&[-1.0, -1.0], &[100, 5]), 1);
+        // After equalizing counts, ties break low.
+        assert_eq!(ucb.select(&[-1.0, -1.0], &[100, 100]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero actions")]
+    fn empty_actions_panic() {
+        let _ = Ucb1::new(1.0).select(&[], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_lengths_panic() {
+        let _ = Ucb1::new(1.0).select(&[0.0], &[1, 2]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let u = Ucb1::new(1.5);
+        let json = serde_json::to_string(&u).unwrap();
+        assert_eq!(u, serde_json::from_str(&json).unwrap());
+    }
+}

@@ -1,0 +1,724 @@
+//! The event-driven cluster simulator and the control-plane traits that the
+//! hierarchical framework's tiers plug into.
+
+use crate::config::ClusterConfig;
+use crate::events::{Event, EventQueue};
+use crate::job::{CompletedJob, Job, ServerId};
+use crate::metrics::{ClusterTotals, RunOutcome, SamplePoint};
+use crate::power::MachineState;
+use crate::server::Server;
+use crate::time::SimTime;
+
+/// Read-only view of the cluster handed to allocators and power managers at
+/// decision epochs. All time integrals are up to date as of [`ClusterView::now`].
+#[derive(Debug)]
+pub struct ClusterView<'a> {
+    /// Current simulation time.
+    pub now: SimTime,
+    servers: &'a [Server],
+    totals: ClusterTotals,
+    config: &'a ClusterConfig,
+}
+
+impl<'a> ClusterView<'a> {
+    /// Number of servers `M`.
+    pub fn num_servers(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Immutable access to a server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn server(&self, id: ServerId) -> &Server {
+        &self.servers[id.0]
+    }
+
+    /// All servers, indexed by `ServerId`.
+    pub fn servers(&self) -> &[Server] {
+        self.servers
+    }
+
+    /// Cluster-wide accumulated totals at `now`.
+    pub fn totals(&self) -> &ClusterTotals {
+        &self.totals
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        self.config
+    }
+}
+
+/// The global-tier control interface: dispatches each arriving job (VM
+/// request) to a server. Called exactly once per arrival — the paper's
+/// event-driven, continuous-time decision epoch.
+pub trait Allocator {
+    /// Chooses the target server for `job`.
+    fn select(&mut self, job: &Job, view: &ClusterView<'_>) -> ServerId;
+
+    /// Called once when the run ends, for learners that flush final updates.
+    fn on_run_end(&mut self, view: &ClusterView<'_>) {
+        let _ = view;
+    }
+}
+
+/// Decision returned by a power manager when a server goes idle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TimeoutDecision {
+    /// Begin the sleep transition immediately (timeout value 0).
+    SleepNow,
+    /// Sleep if still idle after this many seconds.
+    After(f64),
+    /// Stay powered on indefinitely.
+    StayAwake,
+}
+
+/// The local-tier control interface: per-server dynamic power management.
+///
+/// The callbacks correspond to the paper's three decision-epoch cases:
+/// [`PowerManager::on_idle`] is case (1) — the machine enters the idle state
+/// with an empty queue; [`PowerManager::on_job_arrival`] covers cases (2)
+/// and (3) — a job arrives while the machine is idle or asleep (it is also
+/// invoked for arrivals at busy servers so predictors can observe the full
+/// arrival stream). `on_job_arrival` runs *before* the job is enqueued, so
+/// the view reflects the pre-arrival state.
+pub trait PowerManager {
+    /// Case (1): `server` is on with no queued or running jobs. Returns the
+    /// timeout decision.
+    fn on_idle(&mut self, server: ServerId, view: &ClusterView<'_>, now: SimTime)
+        -> TimeoutDecision;
+
+    /// Cases (2)/(3) and bookkeeping: a job is about to be enqueued on
+    /// `server`.
+    fn on_job_arrival(&mut self, server: ServerId, view: &ClusterView<'_>, now: SimTime) {
+        let (_, _, _) = (server, view, now);
+    }
+
+    /// Called once when the run ends.
+    fn on_run_end(&mut self, view: &ClusterView<'_>) {
+        let _ = view;
+    }
+}
+
+/// Bounds on a simulation run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunLimit {
+    /// Stop once this many jobs have completed.
+    pub max_completed: Option<u64>,
+    /// Stop once simulation time passes this point.
+    pub max_time: Option<SimTime>,
+}
+
+impl RunLimit {
+    /// Run until all events drain.
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// Run until `n` jobs complete.
+    pub fn jobs(n: u64) -> Self {
+        Self {
+            max_completed: Some(n),
+            max_time: None,
+        }
+    }
+}
+
+/// The continuous-time, event-driven cluster simulator.
+///
+/// Create one with a [`ClusterConfig`] and a workload (jobs sorted by
+/// arrival), then [`Cluster::run`] it under an [`Allocator`] and a
+/// [`PowerManager`].
+///
+/// # Examples
+///
+/// ```
+/// use hierdrl_sim::prelude::*;
+///
+/// let config = ClusterConfig::paper(4);
+/// let jobs = vec![Job::new(
+///     JobId(0),
+///     SimTime::from_secs(1.0),
+///     60.0,
+///     ResourceVec::cpu_mem_disk(0.25, 0.1, 0.05),
+/// )];
+/// let mut cluster = Cluster::new(config, jobs).unwrap();
+/// let outcome = cluster.run(
+///     &mut RoundRobinAllocator::new(),
+///     &mut AlwaysOnPower,
+///     RunLimit::unbounded(),
+/// );
+/// assert_eq!(outcome.totals.jobs_completed, 1);
+/// ```
+#[derive(Debug)]
+pub struct Cluster {
+    config: ClusterConfig,
+    servers: Vec<Server>,
+    events: EventQueue,
+    now: SimTime,
+    jobs_arrived: u64,
+    completed: Vec<CompletedJob>,
+    total_latency: f64,
+    samples: Vec<SamplePoint>,
+}
+
+impl Cluster {
+    /// Builds a cluster and seeds the arrival events from `jobs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid or a job's resource
+    /// dimensionality does not match the cluster's.
+    pub fn new(config: ClusterConfig, jobs: Vec<Job>) -> Result<Self, String> {
+        config.validate()?;
+        for job in &jobs {
+            if job.demand.dims() != config.resource_dims {
+                return Err(format!(
+                    "{} has {} resource dims, cluster has {}",
+                    job.id,
+                    job.demand.dims(),
+                    config.resource_dims
+                ));
+            }
+        }
+        let servers = (0..config.num_servers)
+            .map(|i| {
+                let capacity = config
+                    .server_capacities
+                    .as_ref()
+                    .map(|caps| caps[i].clone())
+                    .unwrap_or_else(|| {
+                        crate::resources::ResourceVec::ones(config.resource_dims)
+                    });
+                Server::new(capacity, config.servers_initially_on, config.reliability)
+            })
+            .collect();
+        let mut events = EventQueue::new();
+        for job in jobs {
+            events.push(job.arrival, Event::JobArrival(job));
+        }
+        Ok(Self {
+            config,
+            servers,
+            events,
+            now: SimTime::ZERO,
+            jobs_arrived: 0,
+            completed: Vec::new(),
+            total_latency: 0.0,
+            samples: Vec::new(),
+        })
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The servers (read-only).
+    pub fn servers(&self) -> &[Server] {
+        &self.servers
+    }
+
+    /// Completed-job records, in completion order.
+    pub fn completed_jobs(&self) -> &[CompletedJob] {
+        &self.completed
+    }
+
+    /// Sampled accumulated-latency/energy curve points so far.
+    pub fn samples(&self) -> &[SamplePoint] {
+        &self.samples
+    }
+
+    fn account_all(&mut self, now: SimTime) {
+        for s in &mut self.servers {
+            s.account(now, &self.config.power);
+        }
+    }
+
+    fn totals(&self) -> ClusterTotals {
+        let mut t = ClusterTotals {
+            time_s: self.now.as_secs(),
+            jobs_arrived: self.jobs_arrived,
+            jobs_completed: self.completed.len() as u64,
+            total_latency_s: self.total_latency,
+            ..Default::default()
+        };
+        for s in &self.servers {
+            let st = s.stats();
+            t.energy_joules += st.energy_joules;
+            t.vm_time_integral += st.jobs_in_system_integral;
+            t.queue_time_integral += st.queue_integral;
+            t.overload_integral += st.overload_integral;
+            t.power_watts += s.power_watts(&self.config.power);
+        }
+        t
+    }
+
+    /// A fresh view with up-to-date totals (accounting must already have
+    /// advanced to `self.now`).
+    fn view(&self) -> ClusterView<'_> {
+        ClusterView {
+            now: self.now,
+            servers: &self.servers,
+            totals: self.totals(),
+            config: &self.config,
+        }
+    }
+
+    /// Public snapshot of current cluster totals.
+    pub fn current_totals(&mut self) -> ClusterTotals {
+        let now = self.now;
+        self.account_all(now);
+        self.totals()
+    }
+
+    fn schedule_started(events: &mut EventQueue, server: ServerId, started: Vec<crate::server::RunningJob>) {
+        for run in started {
+            events.push(
+                run.finishes,
+                Event::JobFinish {
+                    server,
+                    job: run.id,
+                },
+            );
+        }
+    }
+
+    fn handle_idle_decision(
+        &mut self,
+        sid: ServerId,
+        power: &mut dyn PowerManager,
+    ) {
+        let decision = {
+            let view = self.view();
+            power.on_idle(sid, &view, self.now)
+        };
+        let server = &mut self.servers[sid.0];
+        if !server.is_idle() {
+            // The power manager cannot change server state, so this only
+            // guards against future refactors.
+            return;
+        }
+        match decision {
+            TimeoutDecision::SleepNow => {
+                let until = server.begin_sleep(self.now, self.config.t_off);
+                self.events.push(until, Event::SleepComplete { server: sid });
+            }
+            TimeoutDecision::After(seconds) => {
+                assert!(
+                    seconds.is_finite() && seconds >= 0.0,
+                    "timeout must be finite and non-negative, got {seconds}"
+                );
+                let token = server.issue_timeout_token();
+                self.events
+                    .push(self.now + seconds, Event::TimeoutFired { server: sid, token });
+            }
+            TimeoutDecision::StayAwake => {}
+        }
+    }
+
+    fn handle_arrival(
+        &mut self,
+        job: Job,
+        allocator: &mut dyn Allocator,
+        power: &mut dyn PowerManager,
+    ) {
+        self.jobs_arrived += 1;
+        let sid = {
+            let view = self.view();
+            let sid = allocator.select(&job, &view);
+            assert!(
+                sid.0 < self.servers.len(),
+                "allocator chose {sid} out of {} servers",
+                self.servers.len()
+            );
+            // Power manager observes the arrival before the job lands.
+            power.on_job_arrival(sid, &view, self.now);
+            sid
+        };
+        let t_on = self.config.t_on;
+        let server = &mut self.servers[sid.0];
+        server.enqueue(job);
+        match server.state() {
+            MachineState::On => {
+                // A pending idle timeout no longer applies.
+                server.cancel_timeout();
+                let started = server.start_fitting_jobs(self.now);
+                Self::schedule_started(&mut self.events, sid, started);
+            }
+            MachineState::Sleeping => {
+                let until = server.begin_wake(self.now, t_on);
+                self.events.push(until, Event::WakeComplete { server: sid });
+            }
+            MachineState::WakingUp { .. } => {
+                // Already waking; the job starts when the wake completes.
+            }
+            MachineState::GoingToSleep { .. } => {
+                // Fig. 4(a): the transition cannot be aborted; re-wake after.
+                server.request_wake_after_sleep();
+            }
+        }
+    }
+
+    fn handle_finish(
+        &mut self,
+        sid: ServerId,
+        job: crate::job::JobId,
+        power: &mut dyn PowerManager,
+    ) {
+        let server = &mut self.servers[sid.0];
+        let Some(run) = server.complete_job(job) else {
+            return; // stale event
+        };
+        let record = CompletedJob {
+            id: run.id,
+            server: sid,
+            arrival: run.arrival,
+            started: run.started,
+            finished: self.now,
+        };
+        self.total_latency += record.latency();
+        self.completed.push(record);
+
+        let started = server.start_fitting_jobs(self.now);
+        Self::schedule_started(&mut self.events, sid, started);
+
+        if self.completed.len() % self.config.sample_every == 0 {
+            let totals = self.totals();
+            self.samples.push(SamplePoint {
+                jobs_completed: totals.jobs_completed,
+                time_s: totals.time_s,
+                total_latency_s: totals.total_latency_s,
+                energy_joules: totals.energy_joules,
+            });
+        }
+
+        if self.servers[sid.0].is_idle() {
+            self.handle_idle_decision(sid, power);
+        }
+    }
+
+    fn handle_wake_complete(&mut self, sid: ServerId, power: &mut dyn PowerManager) {
+        let server = &mut self.servers[sid.0];
+        server.finish_wake();
+        let started = server.start_fitting_jobs(self.now);
+        Self::schedule_started(&mut self.events, sid, started);
+        if self.servers[sid.0].is_idle() {
+            self.handle_idle_decision(sid, power);
+        }
+    }
+
+    fn handle_sleep_complete(&mut self, sid: ServerId) {
+        let t_on = self.config.t_on;
+        let server = &mut self.servers[sid.0];
+        if server.finish_sleep() {
+            let until = server.begin_wake(self.now, t_on);
+            self.events.push(until, Event::WakeComplete { server: sid });
+        }
+    }
+
+    fn handle_timeout(&mut self, sid: ServerId, token: u64) {
+        let t_off = self.config.t_off;
+        let server = &mut self.servers[sid.0];
+        if server.timeout_token_is_current(token) && server.is_idle() {
+            let until = server.begin_sleep(self.now, t_off);
+            self.events.push(until, Event::SleepComplete { server: sid });
+        }
+    }
+
+    /// Runs the simulation under the given control policies until `limit`
+    /// is reached or all events drain.
+    pub fn run(
+        &mut self,
+        allocator: &mut dyn Allocator,
+        power: &mut dyn PowerManager,
+        limit: RunLimit,
+    ) -> RunOutcome {
+        // Initially-on idle servers get their case-(1) decision epoch at
+        // t = 0; otherwise a server that never receives a job would idle
+        // forever without the power manager ever being consulted.
+        for i in 0..self.servers.len() {
+            if self.servers[i].is_idle() {
+                self.handle_idle_decision(ServerId(i), power);
+            }
+        }
+        while let Some((time, event)) = self.events.pop() {
+            if let Some(max_t) = limit.max_time {
+                if time > max_t {
+                    // Account up to the boundary and stop.
+                    self.now = max_t;
+                    self.account_all(max_t);
+                    break;
+                }
+            }
+            debug_assert!(time >= self.now, "event time went backwards");
+            self.now = time;
+            self.account_all(time);
+            match event {
+                Event::JobArrival(job) => self.handle_arrival(job, allocator, power),
+                Event::JobFinish { server, job } => self.handle_finish(server, job, power),
+                Event::WakeComplete { server } => self.handle_wake_complete(server, power),
+                Event::SleepComplete { server } => self.handle_sleep_complete(server),
+                Event::TimeoutFired { server, token } => self.handle_timeout(server, token),
+            }
+            if let Some(max_jobs) = limit.max_completed {
+                if self.completed.len() as u64 >= max_jobs {
+                    break;
+                }
+            }
+        }
+        let view = self.view();
+        allocator.on_run_end(&view);
+        power.on_run_end(&view);
+        RunOutcome {
+            totals: self.totals(),
+            end_time: self.now,
+            samples: self.samples.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobId;
+    use crate::policies::{AlwaysOnPower, FixedTimeoutPower, RoundRobinAllocator, SleepImmediatelyPower};
+    use crate::resources::ResourceVec;
+
+    fn job(id: u64, t: f64, dur: f64, cpu: f64) -> Job {
+        Job::new(
+            JobId(id),
+            SimTime::from_secs(t),
+            dur,
+            ResourceVec::cpu_mem_disk(cpu, 0.1, 0.05),
+        )
+    }
+
+    fn cluster(n: usize, jobs: Vec<Job>) -> Cluster {
+        Cluster::new(ClusterConfig::paper(n), jobs).unwrap()
+    }
+
+    #[test]
+    fn single_job_completes_with_pure_service_latency() {
+        let mut c = cluster(2, vec![job(0, 10.0, 60.0, 0.5)]);
+        let out = c.run(
+            &mut RoundRobinAllocator::new(),
+            &mut AlwaysOnPower,
+            RunLimit::unbounded(),
+        );
+        assert_eq!(out.totals.jobs_completed, 1);
+        let rec = &c.completed_jobs()[0];
+        assert_eq!(rec.latency(), 60.0);
+        assert_eq!(rec.waiting_time(), 0.0);
+    }
+
+    #[test]
+    fn fcfs_queueing_adds_latency() {
+        // Two 0.8-CPU jobs on one server: second waits for the first.
+        let jobs = vec![job(0, 0.0, 100.0, 0.8), job(1, 0.0, 100.0, 0.8)];
+        let mut c = cluster(1, jobs);
+        c.run(
+            &mut RoundRobinAllocator::new(),
+            &mut AlwaysOnPower,
+            RunLimit::unbounded(),
+        );
+        let recs = c.completed_jobs();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].latency(), 100.0);
+        assert_eq!(recs[1].latency(), 200.0);
+        assert_eq!(recs[1].waiting_time(), 100.0);
+    }
+
+    #[test]
+    fn sleeping_server_adds_wake_latency() {
+        let mut config = ClusterConfig::paper(1);
+        config.servers_initially_on = false;
+        let mut c = Cluster::new(config, vec![job(0, 0.0, 60.0, 0.5)]).unwrap();
+        c.run(
+            &mut RoundRobinAllocator::new(),
+            &mut AlwaysOnPower,
+            RunLimit::unbounded(),
+        );
+        // Latency = Ton (30 s wake) + 60 s service.
+        assert_eq!(c.completed_jobs()[0].latency(), 90.0);
+    }
+
+    #[test]
+    fn always_on_energy_includes_idle_tail_up_to_last_event() {
+        let mut c = cluster(1, vec![job(0, 0.0, 100.0, 0.0)]);
+        let out = c.run(
+            &mut RoundRobinAllocator::new(),
+            &mut AlwaysOnPower,
+            RunLimit::unbounded(),
+        );
+        // One server on for 100 s at ~idle power (0 CPU demand job).
+        assert!((out.totals.energy_joules - 87.0 * 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn sleep_immediately_powers_down_after_completion() {
+        let mut config = ClusterConfig::paper(1);
+        config.servers_initially_on = false;
+        let jobs = vec![job(0, 0.0, 100.0, 0.5)];
+        let mut c = Cluster::new(config, jobs).unwrap();
+        let out = c.run(
+            &mut RoundRobinAllocator::new(),
+            &mut SleepImmediatelyPower,
+            RunLimit::unbounded(),
+        );
+        let s = &c.servers()[0];
+        assert!(matches!(s.state(), MachineState::Sleeping));
+        assert_eq!(s.stats().wake_transitions, 1);
+        assert_eq!(s.stats().sleep_transitions, 1);
+        // Energy: 30 s wake + 100 s active + 30 s sleep transition.
+        let expected =
+            crate::power::PowerModel::paper().active_power(0.5) * 100.0 + 145.0 * 60.0;
+        assert!((out.totals.energy_joules - expected).abs() < 1.0);
+    }
+
+    #[test]
+    fn job_arriving_during_sleep_transition_waits_for_full_cycle() {
+        // Fig. 4(a): job arrives during Toff; server completes sleep, then
+        // wakes, then serves.
+        let mut config = ClusterConfig::paper(1);
+        config.servers_initially_on = false;
+        let jobs = vec![job(0, 0.0, 10.0, 0.5), job(1, 50.0, 10.0, 0.5)];
+        let mut c = Cluster::new(config, jobs).unwrap();
+        c.run(
+            &mut RoundRobinAllocator::new(),
+            &mut SleepImmediatelyPower,
+            RunLimit::unbounded(),
+        );
+        let recs = c.completed_jobs();
+        // Job 0: wake 0..30, runs 30..40. Sleep transition 40..70.
+        // Job 1 arrives at 50 (mid-transition): sleep completes at 70,
+        // wake 70..100, job 1 runs 100..110.
+        assert_eq!(recs[0].finished.as_secs(), 40.0);
+        assert_eq!(recs[1].finished.as_secs(), 110.0);
+        assert_eq!(recs[1].latency(), 60.0);
+    }
+
+    #[test]
+    fn fixed_timeout_keeps_server_on_for_bursts() {
+        // Second job arrives 20 s after first completes; 30 s timeout keeps
+        // the server awake so no wake penalty is paid.
+        let jobs = vec![job(0, 0.0, 10.0, 0.5), job(1, 30.0, 10.0, 0.5)];
+        let mut c = cluster(1, jobs);
+        c.run(
+            &mut RoundRobinAllocator::new(),
+            &mut FixedTimeoutPower::new(30.0),
+            RunLimit::unbounded(),
+        );
+        let recs = c.completed_jobs();
+        assert_eq!(recs[1].latency(), 10.0, "no wake penalty expected");
+        assert_eq!(c.servers()[0].stats().sleep_transitions, 1); // after job 1
+    }
+
+    #[test]
+    fn fixed_timeout_sleeps_after_quiet_period() {
+        let jobs = vec![job(0, 0.0, 10.0, 0.5), job(1, 200.0, 10.0, 0.5)];
+        let mut c = cluster(1, jobs);
+        c.run(
+            &mut RoundRobinAllocator::new(),
+            &mut FixedTimeoutPower::new(30.0),
+            RunLimit::unbounded(),
+        );
+        let recs = c.completed_jobs();
+        // Sleeps at 10+30=40 (until 70). Job 1 arrives 200, wakes by 230.
+        assert_eq!(recs[1].latency(), 40.0);
+        assert_eq!(c.servers()[0].stats().wake_transitions, 1);
+    }
+
+    #[test]
+    fn round_robin_spreads_jobs() {
+        let jobs: Vec<Job> = (0..4).map(|i| job(i, i as f64, 50.0, 0.3)).collect();
+        let mut c = cluster(4, jobs);
+        c.run(
+            &mut RoundRobinAllocator::new(),
+            &mut AlwaysOnPower,
+            RunLimit::unbounded(),
+        );
+        for s in c.servers() {
+            assert_eq!(s.stats().jobs_completed, 1);
+        }
+    }
+
+    #[test]
+    fn max_completed_limit_stops_early() {
+        let jobs: Vec<Job> = (0..10).map(|i| job(i, i as f64, 5.0, 0.3)).collect();
+        let mut c = cluster(2, jobs);
+        let out = c.run(
+            &mut RoundRobinAllocator::new(),
+            &mut AlwaysOnPower,
+            RunLimit::jobs(3),
+        );
+        assert_eq!(out.totals.jobs_completed, 3);
+    }
+
+    #[test]
+    fn max_time_limit_accounts_to_boundary() {
+        let jobs = vec![job(0, 0.0, 1000.0, 0.0)];
+        let mut c = cluster(1, jobs);
+        let out = c.run(
+            &mut RoundRobinAllocator::new(),
+            &mut AlwaysOnPower,
+            RunLimit {
+                max_completed: None,
+                max_time: Some(SimTime::from_secs(500.0)),
+            },
+        );
+        assert_eq!(out.totals.jobs_completed, 0);
+        assert!((out.totals.energy_joules - 87.0 * 500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn energy_equals_sum_of_server_energies() {
+        let jobs: Vec<Job> = (0..20).map(|i| job(i, i as f64 * 3.0, 40.0, 0.4)).collect();
+        let mut c = cluster(3, jobs);
+        let out = c.run(
+            &mut RoundRobinAllocator::new(),
+            &mut FixedTimeoutPower::new(10.0),
+            RunLimit::unbounded(),
+        );
+        let sum: f64 = c.servers().iter().map(|s| s.stats().energy_joules).sum();
+        assert!((out.totals.energy_joules - sum).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mismatched_job_dims_rejected() {
+        let bad = Job::new(
+            JobId(0),
+            SimTime::ZERO,
+            10.0,
+            ResourceVec::new(&[0.5]),
+        );
+        assert!(Cluster::new(ClusterConfig::paper(2), vec![bad]).is_err());
+    }
+
+    #[test]
+    fn samples_record_monotone_curves() {
+        let mut config = ClusterConfig::paper(2);
+        config.sample_every = 2;
+        let jobs: Vec<Job> = (0..10).map(|i| job(i, i as f64, 5.0, 0.3)).collect();
+        let mut c = Cluster::new(config, jobs).unwrap();
+        c.run(
+            &mut RoundRobinAllocator::new(),
+            &mut AlwaysOnPower,
+            RunLimit::unbounded(),
+        );
+        let samples = c.samples();
+        assert!(!samples.is_empty());
+        for w in samples.windows(2) {
+            assert!(w[1].jobs_completed > w[0].jobs_completed);
+            assert!(w[1].total_latency_s >= w[0].total_latency_s);
+            assert!(w[1].energy_joules >= w[0].energy_joules);
+        }
+    }
+}

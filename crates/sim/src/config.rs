@@ -1,0 +1,190 @@
+//! Cluster configuration.
+
+use crate::power::PowerModel;
+use serde::{Deserialize, Serialize};
+
+/// Definition of the per-server reliability "hot spot" penalty that feeds
+/// the global tier's reliability objective (Eqn. 4). A server is penalized
+/// both for running its busiest resource above `hot_utilization` and for
+/// building a backlog deeper than `hot_queue_len` jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityConfig {
+    /// Utilization above which the busiest resource counts as hot.
+    pub hot_utilization: f64,
+    /// VMs in the system (running + queued) beyond which a server counts
+    /// as over-consolidated (anti-colocation).
+    pub hot_queue_len: usize,
+    /// Penalty per VM beyond `hot_queue_len`.
+    pub queue_overload_per_job: f64,
+}
+
+impl ReliabilityConfig {
+    /// Paper-style defaults: 90% hot-spot threshold, and anti-colocation
+    /// pressure beyond 8 VMs on one server (the paper's reliability
+    /// objective includes co-location limits to keep failures from hitting
+    /// many VMs of one customer at once).
+    pub fn paper() -> Self {
+        Self {
+            hot_utilization: 0.9,
+            hot_queue_len: 8,
+            queue_overload_per_job: 0.05,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.hot_utilization > 0.0 && self.hot_utilization <= 1.0) {
+            return Err(format!(
+                "hot_utilization must be in (0, 1], got {}",
+                self.hot_utilization
+            ));
+        }
+        if !(self.queue_overload_per_job.is_finite() && self.queue_overload_per_job >= 0.0) {
+            return Err(format!(
+                "queue_overload_per_job must be >= 0, got {}",
+                self.queue_overload_per_job
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ReliabilityConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Configuration of a simulated server cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of physical servers `M`.
+    pub num_servers: usize,
+    /// Number of resource dimensions `D` (3 for CPU/memory/disk).
+    pub resource_dims: usize,
+    /// Power model shared by all (homogeneous) servers.
+    pub power: PowerModel,
+    /// Sleep -> active transition time, seconds. Paper: 30 s.
+    pub t_on: f64,
+    /// Active -> sleep transition time, seconds. Paper: 30 s.
+    pub t_off: f64,
+    /// Reliability hot-spot definition (utilization + backlog).
+    pub reliability: ReliabilityConfig,
+    /// Whether servers start powered on (true matches the round-robin
+    /// baseline; sleeping servers wake on their first job either way).
+    pub servers_initially_on: bool,
+    /// Optional per-server capacity vectors for heterogeneous clusters
+    /// (an extension; the paper assumes homogeneity "without loss of
+    /// generality"). `None` gives every server unit capacity. When set,
+    /// the length must equal `num_servers` and each vector must have
+    /// `resource_dims` components.
+    pub server_capacities: Option<Vec<crate::resources::ResourceVec>>,
+    /// Record a time-series sample every this many job completions.
+    pub sample_every: usize,
+}
+
+impl ClusterConfig {
+    /// The paper's simulation setup (Section VII-A) for a cluster of
+    /// `num_servers` machines.
+    pub fn paper(num_servers: usize) -> Self {
+        Self {
+            num_servers,
+            resource_dims: 3,
+            power: PowerModel::paper(),
+            t_on: 30.0,
+            t_off: 30.0,
+            reliability: ReliabilityConfig::paper(),
+            servers_initially_on: true,
+            server_capacities: None,
+            sample_every: 1000,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_servers == 0 {
+            return Err("cluster needs at least one server".into());
+        }
+        if self.resource_dims == 0 {
+            return Err("cluster needs at least one resource dimension".into());
+        }
+        self.power.validate()?;
+        if !(self.t_on.is_finite() && self.t_on >= 0.0) {
+            return Err(format!("t_on must be >= 0, got {}", self.t_on));
+        }
+        if !(self.t_off.is_finite() && self.t_off >= 0.0) {
+            return Err(format!("t_off must be >= 0, got {}", self.t_off));
+        }
+        self.reliability.validate()?;
+        if let Some(caps) = &self.server_capacities {
+            if caps.len() != self.num_servers {
+                return Err(format!(
+                    "server_capacities has {} entries for {} servers",
+                    caps.len(),
+                    self.num_servers
+                ));
+            }
+            for (i, c) in caps.iter().enumerate() {
+                if c.dims() != self.resource_dims {
+                    return Err(format!(
+                        "server {i} capacity has {} dims, expected {}",
+                        c.dims(),
+                        self.resource_dims
+                    ));
+                }
+                if c.as_slice().iter().any(|&v| v <= 0.0) {
+                    return Err(format!("server {i} capacity must be positive"));
+                }
+            }
+        }
+        if self.sample_every == 0 {
+            return Err("sample_every must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self::paper(30)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_valid() {
+        assert!(ClusterConfig::paper(30).validate().is_ok());
+        assert!(ClusterConfig::paper(40).validate().is_ok());
+    }
+
+    #[test]
+    fn zero_servers_rejected() {
+        assert!(ClusterConfig::paper(0).validate().is_err());
+    }
+
+    #[test]
+    fn bad_threshold_rejected() {
+        let mut c = ClusterConfig::paper(10);
+        c.reliability.hot_utilization = 1.5;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = ClusterConfig::paper(40);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ClusterConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,163 @@
+//! Discrete-event queue.
+
+use crate::job::{Job, JobId, ServerId};
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A simulation event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A job arrives at the broker (a global-tier decision epoch).
+    JobArrival(Job),
+    /// A running job finishes on a server.
+    JobFinish {
+        /// The executing server.
+        server: ServerId,
+        /// The finishing job.
+        job: JobId,
+    },
+    /// A server completes its sleep -> active transition.
+    WakeComplete {
+        /// The transitioning server.
+        server: ServerId,
+    },
+    /// A server completes its active -> sleep transition.
+    SleepComplete {
+        /// The transitioning server.
+        server: ServerId,
+    },
+    /// A power-management timeout expires. Ignored unless `token` is still
+    /// the server's current timeout token.
+    TimeoutFired {
+        /// The idle server.
+        server: ServerId,
+        /// Token that must match the server's current one.
+        token: u64,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed for a min-heap on (time, seq); seq breaks ties
+        // deterministically in insertion order.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic min-priority event queue ordered by `(time, insertion)`.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn push(&mut self, time: SimTime, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// Time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wake(s: usize) -> Event {
+        Event::WakeComplete { server: ServerId(s) }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(5.0), wake(1));
+        q.push(SimTime::from_secs(1.0), wake(2));
+        q.push(SimTime::from_secs(3.0), wake(3));
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop())
+            .map(|(t, _)| t.as_secs())
+            .collect();
+        assert_eq!(order, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn ties_break_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(2.0);
+        q.push(t, wake(1));
+        q.push(t, wake(2));
+        q.push(t, wake(3));
+        let ids: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::WakeComplete { server } => server.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(7.0), wake(0));
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(7.0)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn empty_queue_behaves() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek_time(), None);
+    }
+}

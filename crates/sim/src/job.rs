@@ -1,0 +1,147 @@
+//! Jobs (VM requests) and completion records.
+
+use crate::resources::ResourceVec;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a job within a trace, unique and ordered by arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job#{}", self.0)
+    }
+}
+
+/// Identifier of a physical server in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ServerId(pub usize);
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "server#{}", self.0)
+    }
+}
+
+/// A job (VM) request: it arrives, is dispatched by the broker to one
+/// server, possibly waits in that server's FCFS queue, then holds its
+/// resource demand for exactly `duration` seconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Unique job id.
+    pub id: JobId,
+    /// Arrival time at the job broker.
+    pub arrival: SimTime,
+    /// Execution time once started, in seconds.
+    pub duration: f64,
+    /// Resource demand, normalized per-server (each component in `[0, 1]`).
+    pub demand: ResourceVec,
+}
+
+impl Job {
+    /// Creates a job, validating its fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is not positive/finite, or any demand component
+    /// exceeds `1.0` (a job can never need more than one whole server).
+    pub fn new(id: JobId, arrival: SimTime, duration: f64, demand: ResourceVec) -> Self {
+        assert!(
+            duration.is_finite() && duration > 0.0,
+            "job duration must be positive, got {duration}"
+        );
+        assert!(
+            demand.as_slice().iter().all(|&d| d <= 1.0 + 1e-9),
+            "job demand {demand} exceeds one server"
+        );
+        Self {
+            id,
+            arrival,
+            duration,
+            demand,
+        }
+    }
+}
+
+/// The lifecycle record of a completed job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompletedJob {
+    /// The job id.
+    pub id: JobId,
+    /// The server that executed it.
+    pub server: ServerId,
+    /// Arrival time at the broker.
+    pub arrival: SimTime,
+    /// Time execution began on the server.
+    pub started: SimTime,
+    /// Completion time.
+    pub finished: SimTime,
+}
+
+impl CompletedJob {
+    /// Total latency: queueing (and any server wake-up) time plus execution
+    /// time, i.e. `finished - arrival` (the paper's definition).
+    pub fn latency(&self) -> f64 {
+        self.finished.since(self.arrival)
+    }
+
+    /// Time spent waiting before execution started.
+    pub fn waiting_time(&self) -> f64 {
+        self.started.since(self.arrival)
+    }
+
+    /// Execution time.
+    pub fn service_time(&self) -> f64 {
+        self.finished.since(self.started)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand() -> ResourceVec {
+        ResourceVec::cpu_mem_disk(0.5, 0.2, 0.1)
+    }
+
+    #[test]
+    fn job_construction_validates() {
+        let j = Job::new(JobId(1), SimTime::from_secs(10.0), 60.0, demand());
+        assert_eq!(j.id, JobId(1));
+        assert_eq!(j.duration, 60.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn zero_duration_rejected() {
+        let _ = Job::new(JobId(1), SimTime::ZERO, 0.0, demand());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds one server")]
+    fn oversized_demand_rejected() {
+        let _ = Job::new(
+            JobId(1),
+            SimTime::ZERO,
+            10.0,
+            ResourceVec::cpu_mem_disk(1.5, 0.1, 0.1),
+        );
+    }
+
+    #[test]
+    fn latency_decomposes_into_wait_plus_service() {
+        let c = CompletedJob {
+            id: JobId(3),
+            server: ServerId(0),
+            arrival: SimTime::from_secs(100.0),
+            started: SimTime::from_secs(130.0),
+            finished: SimTime::from_secs(190.0),
+        };
+        assert_eq!(c.latency(), 90.0);
+        assert_eq!(c.waiting_time(), 30.0);
+        assert_eq!(c.service_time(), 60.0);
+        assert_eq!(c.latency(), c.waiting_time() + c.service_time());
+    }
+}

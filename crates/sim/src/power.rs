@@ -1,0 +1,198 @@
+//! Server power model and power-state machine.
+//!
+//! The active-mode power curve follows Fan et al. (the model the paper
+//! adopts in Eqn. 3): `P(x) = P_idle + (P_peak - P_idle) * (2x - x^1.4)`
+//! where `x` is CPU utilization. Sleep power is zero and wake/sleep
+//! transitions draw more than idle power.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Analytic server power model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Idle (0% utilization) active power, watts. Paper: 87 W.
+    pub idle_watts: f64,
+    /// Full-load power, watts. Paper: 145 W.
+    pub peak_watts: f64,
+    /// Exponent of the calibration term. Paper: 1.4.
+    pub exponent: f64,
+    /// Power drawn during sleep<->active transitions, watts. The paper
+    /// states only that it exceeds idle power; we default to peak power.
+    pub transition_watts: f64,
+}
+
+impl PowerModel {
+    /// The paper's configuration (Section VII-A).
+    pub fn paper() -> Self {
+        Self {
+            idle_watts: 87.0,
+            peak_watts: 145.0,
+            exponent: 1.4,
+            transition_watts: 145.0,
+        }
+    }
+
+    /// Active power at CPU utilization `x` (clamped to `[0, 1]`), in watts.
+    pub fn active_power(&self, x: f64) -> f64 {
+        let x = x.clamp(0.0, 1.0);
+        self.idle_watts + (self.peak_watts - self.idle_watts) * (2.0 * x - x.powf(self.exponent))
+    }
+
+    /// Validates the model parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.idle_watts.is_finite() && self.idle_watts >= 0.0) {
+            return Err(format!("idle_watts must be >= 0, got {}", self.idle_watts));
+        }
+        if !(self.peak_watts.is_finite() && self.peak_watts >= self.idle_watts) {
+            return Err(format!(
+                "peak_watts must be >= idle_watts, got {}",
+                self.peak_watts
+            ));
+        }
+        if !(self.exponent.is_finite() && self.exponent > 0.0) {
+            return Err(format!("exponent must be positive, got {}", self.exponent));
+        }
+        if !(self.transition_watts.is_finite() && self.transition_watts >= 0.0) {
+            return Err(format!(
+                "transition_watts must be >= 0, got {}",
+                self.transition_watts
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The power state of a server.
+///
+/// `On` covers both the paper's "active" (jobs running) and "idle" (no
+/// jobs) modes; which one applies is derived from the server's job load.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MachineState {
+    /// Fully powered; consumes `P(x)` for current utilization `x`.
+    On,
+    /// Asleep; consumes no power.
+    Sleeping,
+    /// Transitioning sleep -> active; completes at the given time.
+    WakingUp {
+        /// When the transition completes.
+        until: SimTime,
+    },
+    /// Transitioning active -> sleep; completes at the given time.
+    GoingToSleep {
+        /// When the transition completes.
+        until: SimTime,
+    },
+}
+
+impl MachineState {
+    /// Whether the server can start jobs right now.
+    pub fn is_on(&self) -> bool {
+        matches!(self, MachineState::On)
+    }
+
+    /// Whether the server is in (or heading into) sleep.
+    pub fn is_sleeping_or_descending(&self) -> bool {
+        matches!(
+            self,
+            MachineState::Sleeping | MachineState::GoingToSleep { .. }
+        )
+    }
+
+    /// Instantaneous power draw under `model` at CPU utilization `x`.
+    pub fn power_watts(&self, model: &PowerModel, x: f64) -> f64 {
+        match self {
+            MachineState::On => model.active_power(x),
+            MachineState::Sleeping => 0.0,
+            MachineState::WakingUp { .. } | MachineState::GoingToSleep { .. } => {
+                model.transition_watts
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_model_endpoints() {
+        let m = PowerModel::paper();
+        assert!((m.active_power(0.0) - 87.0).abs() < 1e-9);
+        assert!((m.active_power(1.0) - 145.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn active_power_is_monotone_on_unit_interval() {
+        let m = PowerModel::paper();
+        let mut prev = m.active_power(0.0);
+        for i in 1..=100 {
+            let p = m.active_power(i as f64 / 100.0);
+            assert!(p >= prev - 1e-9, "power decreased at {}", i);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn active_power_is_concave_like_midpoint_above_half() {
+        // 2x - x^1.4 at x=0.5 gives more than half the idle..peak range.
+        let m = PowerModel::paper();
+        let mid = m.active_power(0.5);
+        assert!(mid > (87.0 + 145.0) / 2.0);
+    }
+
+    #[test]
+    fn utilization_is_clamped() {
+        let m = PowerModel::paper();
+        assert_eq!(m.active_power(1.5), m.active_power(1.0));
+        assert_eq!(m.active_power(-0.5), m.active_power(0.0));
+    }
+
+    #[test]
+    fn state_power_dispatch() {
+        let m = PowerModel::paper();
+        assert_eq!(MachineState::Sleeping.power_watts(&m, 0.5), 0.0);
+        assert_eq!(MachineState::On.power_watts(&m, 0.0), 87.0);
+        let t = SimTime::from_secs(5.0);
+        assert_eq!(
+            MachineState::WakingUp { until: t }.power_watts(&m, 0.0),
+            145.0
+        );
+        assert_eq!(
+            MachineState::GoingToSleep { until: t }.power_watts(&m, 0.0),
+            145.0
+        );
+    }
+
+    #[test]
+    fn validate_accepts_paper_and_rejects_bad() {
+        assert!(PowerModel::paper().validate().is_ok());
+        let mut bad = PowerModel::paper();
+        bad.peak_watts = 10.0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn state_predicates() {
+        assert!(MachineState::On.is_on());
+        assert!(MachineState::Sleeping.is_sleeping_or_descending());
+        assert!(MachineState::GoingToSleep {
+            until: SimTime::ZERO
+        }
+        .is_sleeping_or_descending());
+        assert!(!MachineState::WakingUp {
+            until: SimTime::ZERO
+        }
+        .is_on());
+    }
+}

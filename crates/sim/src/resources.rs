@@ -1,0 +1,297 @@
+//! Multi-dimensional server resources.
+//!
+//! The paper considers `D` resource types per server (CPU, memory, disk in
+//! the Google traces), with job demands normalized by the capacity of one
+//! server.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The resource types used by the Google-trace workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// CPU cores (normalized).
+    Cpu,
+    /// Memory (normalized).
+    Memory,
+    /// Local disk (normalized).
+    Disk,
+}
+
+impl ResourceKind {
+    /// The standard three-resource set in trace column order.
+    pub const STANDARD: [ResourceKind; 3] =
+        [ResourceKind::Cpu, ResourceKind::Memory, ResourceKind::Disk];
+
+    /// Index of this kind within [`ResourceKind::STANDARD`].
+    pub fn index(self) -> usize {
+        match self {
+            ResourceKind::Cpu => 0,
+            ResourceKind::Memory => 1,
+            ResourceKind::Disk => 2,
+        }
+    }
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ResourceKind::Cpu => "cpu",
+            ResourceKind::Memory => "memory",
+            ResourceKind::Disk => "disk",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A `D`-dimensional resource quantity (demand, usage, or capacity),
+/// normalized so that one server's capacity is `1.0` per dimension.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceVec(Vec<f64>);
+
+impl ResourceVec {
+    /// A zero vector with `dims` dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims == 0`.
+    pub fn zeros(dims: usize) -> Self {
+        assert!(dims > 0, "resource vector needs at least one dimension");
+        ResourceVec(vec![0.0; dims])
+    }
+
+    /// A vector of ones (one full server) with `dims` dimensions.
+    pub fn ones(dims: usize) -> Self {
+        assert!(dims > 0, "resource vector needs at least one dimension");
+        ResourceVec(vec![1.0; dims])
+    }
+
+    /// Builds from components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or any component is negative or non-finite.
+    pub fn new(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "resource vector needs at least one dimension");
+        for (i, &v) in values.iter().enumerate() {
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "resource component {i} must be finite and non-negative, got {v}"
+            );
+        }
+        ResourceVec(values.to_vec())
+    }
+
+    /// CPU/memory/disk convenience constructor.
+    pub fn cpu_mem_disk(cpu: f64, mem: f64, disk: f64) -> Self {
+        Self::new(&[cpu, mem, disk])
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Component `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= dims()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        self.0[i]
+    }
+
+    /// The CPU component (dimension 0).
+    #[inline]
+    pub fn cpu(&self) -> f64 {
+        self.0[0]
+    }
+
+    /// All components as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// `self + other`, component-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn add(&self, other: &ResourceVec) -> ResourceVec {
+        self.check_dims(other);
+        ResourceVec(
+            self.0
+                .iter()
+                .zip(&other.0)
+                .map(|(a, b)| a + b)
+                .collect(),
+        )
+    }
+
+    /// In-place `self += other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn add_assign(&mut self, other: &ResourceVec) {
+        self.check_dims(other);
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self -= other`, clamping tiny negative residue (floating
+    /// point) to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch, or (debug) if a component would become
+    /// significantly negative.
+    pub fn sub_assign(&mut self, other: &ResourceVec) {
+        self.check_dims(other);
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            debug_assert!(
+                *a >= *b - 1e-9,
+                "resource release would go negative: {a} - {b}"
+            );
+            *a = (*a - b).max(0.0);
+        }
+    }
+
+    /// Whether `self + extra` fits within `capacity` in every dimension
+    /// (with a tiny epsilon for floating-point accumulation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn fits_with(&self, extra: &ResourceVec, capacity: &ResourceVec) -> bool {
+        self.check_dims(extra);
+        self.check_dims(capacity);
+        self.0
+            .iter()
+            .zip(&extra.0)
+            .zip(&capacity.0)
+            .all(|((u, e), c)| u + e <= c + 1e-9)
+    }
+
+    /// Component-wise utilization `self / capacity`, clamped to `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or zero capacity component.
+    pub fn utilization(&self, capacity: &ResourceVec) -> ResourceVec {
+        self.check_dims(capacity);
+        ResourceVec(
+            self.0
+                .iter()
+                .zip(&capacity.0)
+                .map(|(u, c)| {
+                    assert!(*c > 0.0, "capacity component must be positive");
+                    (u / c).clamp(0.0, 1.0)
+                })
+                .collect(),
+        )
+    }
+
+    /// Largest component.
+    pub fn max_component(&self) -> f64 {
+        self.0.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Sum of components.
+    pub fn sum(&self) -> f64 {
+        self.0.iter().sum()
+    }
+
+    fn check_dims(&self, other: &ResourceVec) {
+        assert_eq!(
+            self.dims(),
+            other.dims(),
+            "resource dimension mismatch: {} vs {}",
+            self.dims(),
+            other.dims()
+        );
+    }
+}
+
+impl fmt::Display for ResourceVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.3}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_kinds_index_in_order() {
+        for (i, k) in ResourceKind::STANDARD.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+
+    #[test]
+    fn add_and_sub_round_trip() {
+        let mut u = ResourceVec::zeros(3);
+        let d = ResourceVec::cpu_mem_disk(0.5, 0.25, 0.1);
+        u.add_assign(&d);
+        assert_eq!(u, d);
+        u.sub_assign(&d);
+        assert_eq!(u, ResourceVec::zeros(3));
+    }
+
+    #[test]
+    fn fits_with_respects_capacity() {
+        let used = ResourceVec::cpu_mem_disk(0.6, 0.2, 0.0);
+        let cap = ResourceVec::ones(3);
+        assert!(used.fits_with(&ResourceVec::cpu_mem_disk(0.4, 0.5, 0.9), &cap));
+        assert!(!used.fits_with(&ResourceVec::cpu_mem_disk(0.41, 0.0, 0.0), &cap));
+    }
+
+    #[test]
+    fn utilization_is_clamped() {
+        let used = ResourceVec::cpu_mem_disk(1.5, 0.5, 0.0);
+        let cap = ResourceVec::ones(3);
+        let u = used.utilization(&cap);
+        assert_eq!(u.as_slice(), &[1.0, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn max_component_and_sum() {
+        let v = ResourceVec::cpu_mem_disk(0.1, 0.7, 0.3);
+        assert_eq!(v.max_component(), 0.7);
+        assert!((v.sum() - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sub_assign_clamps_float_residue() {
+        let mut u = ResourceVec::new(&[0.30000000000000004]);
+        u.sub_assign(&ResourceVec::new(&[0.3000000000000001]));
+        assert_eq!(u.get(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_dims_panic() {
+        let a = ResourceVec::zeros(2);
+        let b = ResourceVec::zeros(3);
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_component_rejected() {
+        let _ = ResourceVec::new(&[-0.1]);
+    }
+}

@@ -1,0 +1,515 @@
+//! A single physical server: FCFS job queue, resource accounting,
+//! power-state machine, and time-integrated statistics.
+
+use crate::config::ReliabilityConfig;
+use crate::job::{Job, JobId};
+use crate::power::{MachineState, PowerModel};
+use crate::resources::ResourceVec;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A job currently holding resources on a server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunningJob {
+    /// The job id.
+    pub id: JobId,
+    /// Resources held.
+    pub demand: ResourceVec,
+    /// When the job originally arrived at the broker.
+    pub arrival: SimTime,
+    /// When execution started.
+    pub started: SimTime,
+    /// When execution will finish.
+    pub finishes: SimTime,
+}
+
+/// Time-integrated per-server statistics.
+///
+/// All integrals advance lazily: [`Server::account`] must be called with the
+/// current time before any state change, which the cluster guarantees.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Total energy consumed, joules.
+    pub energy_joules: f64,
+    /// `∫ jobs_in_system dt` — queued plus running jobs, by Little's law
+    /// proportional to accumulated latency.
+    pub jobs_in_system_integral: f64,
+    /// `∫ queued_jobs dt` — waiting jobs only (including those waiting for
+    /// a wake transition). The policy-sensitive part of the VM count: every
+    /// job runs for its fixed duration wherever it is placed, so only the
+    /// waiting room differs between policies.
+    pub queue_integral: f64,
+    /// `∫ overload(t) dt` where overload is the amount by which the busiest
+    /// resource exceeds the hot-spot threshold.
+    pub overload_integral: f64,
+    /// Seconds spent with at least one running job.
+    pub busy_seconds: f64,
+    /// Seconds spent on but with no running jobs.
+    pub idle_seconds: f64,
+    /// Seconds spent asleep.
+    pub sleep_seconds: f64,
+    /// Seconds spent in wake/sleep transitions.
+    pub transition_seconds: f64,
+    /// Number of sleep -> wake transitions begun.
+    pub wake_transitions: u64,
+    /// Number of active -> sleep transitions begun.
+    pub sleep_transitions: u64,
+    /// Jobs fully executed on this server.
+    pub jobs_completed: u64,
+    /// Deepest backlog (queued + running) ever observed.
+    pub max_jobs_in_system: u64,
+}
+
+/// A physical server.
+#[derive(Debug, Clone)]
+pub struct Server {
+    capacity: ResourceVec,
+    used: ResourceVec,
+    state: MachineState,
+    /// Set when a job arrives while the server is descending into sleep;
+    /// the server must re-wake as soon as the sleep transition finishes
+    /// (Fig. 4(a) semantics: transitions cannot be aborted).
+    wake_after_sleep: bool,
+    queue: VecDeque<Job>,
+    running: Vec<RunningJob>,
+    /// Incremented to invalidate outstanding timeout events.
+    timeout_token: u64,
+    last_account: SimTime,
+    stats: ServerStats,
+    reliability: ReliabilityConfig,
+}
+
+impl Server {
+    /// Creates a powered-on, empty server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reliability config is invalid or capacity has a
+    /// non-positive component.
+    pub fn new(capacity: ResourceVec, initially_on: bool, reliability: ReliabilityConfig) -> Self {
+        assert!(
+            capacity.as_slice().iter().all(|&c| c > 0.0),
+            "server capacity must be positive in every dimension"
+        );
+        reliability.validate().expect("invalid reliability config");
+        let dims = capacity.dims();
+        Self {
+            capacity,
+            used: ResourceVec::zeros(dims),
+            state: if initially_on {
+                MachineState::On
+            } else {
+                MachineState::Sleeping
+            },
+            wake_after_sleep: false,
+            queue: VecDeque::new(),
+            running: Vec::new(),
+            timeout_token: 0,
+            last_account: SimTime::ZERO,
+            stats: ServerStats::default(),
+            reliability,
+        }
+    }
+
+    /// Current power state.
+    pub fn state(&self) -> MachineState {
+        self.state
+    }
+
+    /// Capacity vector.
+    pub fn capacity(&self) -> &ResourceVec {
+        &self.capacity
+    }
+
+    /// Resources currently held by running jobs.
+    pub fn used(&self) -> &ResourceVec {
+        &self.used
+    }
+
+    /// Component-wise utilization in `[0, 1]`.
+    pub fn utilization(&self) -> ResourceVec {
+        self.used.utilization(&self.capacity)
+    }
+
+    /// CPU utilization in `[0, 1]` (drives the power model).
+    pub fn cpu_utilization(&self) -> f64 {
+        self.utilization().cpu()
+    }
+
+    /// Jobs waiting in the FCFS queue.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Jobs currently executing.
+    pub fn running_len(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Queued plus running jobs (the `JQ(t)` of the local-tier reward when
+    /// combined with Little's law).
+    pub fn jobs_in_system(&self) -> usize {
+        self.queue.len() + self.running.len()
+    }
+
+    /// Whether the server is on with no jobs at all.
+    pub fn is_idle(&self) -> bool {
+        self.state.is_on() && self.jobs_in_system() == 0
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Instantaneous power draw in watts.
+    pub fn power_watts(&self, model: &PowerModel) -> f64 {
+        self.state.power_watts(model, self.cpu_utilization())
+    }
+
+    /// Reliability hot-spot measure: the amount by which the busiest
+    /// resource exceeds the hot-utilization threshold, plus a penalty for
+    /// backlog deeper than the hot queue length. Feeds the reliability
+    /// term of the global reward (Eqn. 4).
+    pub fn overload(&self) -> f64 {
+        let util_excess =
+            (self.utilization().max_component() - self.reliability.hot_utilization).max(0.0);
+        let backlog = self
+            .jobs_in_system()
+            .saturating_sub(self.reliability.hot_queue_len) as f64;
+        util_excess + self.reliability.queue_overload_per_job * backlog
+    }
+
+    /// Advances all time integrals to `now`. Must be called before any
+    /// mutation that changes power draw or job counts.
+    pub fn account(&mut self, now: SimTime, model: &PowerModel) {
+        let dt = now.since(self.last_account);
+        if dt > 0.0 {
+            self.stats.energy_joules += self.power_watts(model) * dt;
+            self.stats.jobs_in_system_integral += self.jobs_in_system() as f64 * dt;
+            self.stats.queue_integral += self.queue.len() as f64 * dt;
+            self.stats.overload_integral += self.overload() * dt;
+            match self.state {
+                MachineState::On => {
+                    if self.running.is_empty() {
+                        self.stats.idle_seconds += dt;
+                    } else {
+                        self.stats.busy_seconds += dt;
+                    }
+                }
+                MachineState::Sleeping => self.stats.sleep_seconds += dt,
+                MachineState::WakingUp { .. } | MachineState::GoingToSleep { .. } => {
+                    self.stats.transition_seconds += dt
+                }
+            }
+        }
+        self.last_account = now;
+    }
+
+    /// Appends a job to the FCFS queue (does not start it).
+    pub fn enqueue(&mut self, job: Job) {
+        self.queue.push_back(job);
+        self.stats.max_jobs_in_system =
+            self.stats.max_jobs_in_system.max(self.jobs_in_system() as u64);
+    }
+
+    /// Starts queued jobs in strict FCFS order while the head job fits,
+    /// returning the newly started jobs (the caller schedules their finish
+    /// events). Does nothing unless the server is `On`.
+    pub fn start_fitting_jobs(&mut self, now: SimTime) -> Vec<RunningJob> {
+        let mut started = Vec::new();
+        if !self.state.is_on() {
+            return started;
+        }
+        while let Some(head) = self.queue.front() {
+            if !self.used.fits_with(&head.demand, &self.capacity) {
+                // Strict FCFS: the head blocks everything behind it.
+                break;
+            }
+            let job = self.queue.pop_front().expect("front was Some");
+            self.used.add_assign(&job.demand);
+            let run = RunningJob {
+                id: job.id,
+                demand: job.demand,
+                arrival: job.arrival,
+                started: now,
+                finishes: now + job.duration,
+            };
+            started.push(run.clone());
+            self.running.push(run);
+        }
+        started
+    }
+
+    /// Completes a running job, releasing its resources. Returns the record
+    /// of the job, or `None` if it was not running (e.g. a stale event).
+    pub fn complete_job(&mut self, id: JobId) -> Option<RunningJob> {
+        let idx = self.running.iter().position(|r| r.id == id)?;
+        let run = self.running.swap_remove(idx);
+        self.used.sub_assign(&run.demand);
+        self.stats.jobs_completed += 1;
+        Some(run)
+    }
+
+    /// Begins a sleep -> active transition; returns the completion time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server is not `Sleeping`.
+    pub fn begin_wake(&mut self, now: SimTime, t_on: f64) -> SimTime {
+        assert!(
+            matches!(self.state, MachineState::Sleeping),
+            "begin_wake from {:?}",
+            self.state
+        );
+        let until = now + t_on;
+        self.state = MachineState::WakingUp { until };
+        self.stats.wake_transitions += 1;
+        until
+    }
+
+    /// Begins an active -> sleep transition; returns the completion time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server is not `On`, or still has jobs.
+    pub fn begin_sleep(&mut self, now: SimTime, t_off: f64) -> SimTime {
+        assert!(
+            self.state.is_on(),
+            "begin_sleep from {:?}",
+            self.state
+        );
+        assert_eq!(
+            self.jobs_in_system(),
+            0,
+            "cannot sleep with jobs queued or running"
+        );
+        let until = now + t_off;
+        self.state = MachineState::GoingToSleep { until };
+        self.stats.sleep_transitions += 1;
+        // Any outstanding timeout becomes irrelevant.
+        self.timeout_token += 1;
+        until
+    }
+
+    /// Completes a wake transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server is not `WakingUp`.
+    pub fn finish_wake(&mut self) {
+        assert!(
+            matches!(self.state, MachineState::WakingUp { .. }),
+            "finish_wake from {:?}",
+            self.state
+        );
+        self.state = MachineState::On;
+    }
+
+    /// Completes a sleep transition; returns `true` if the server must
+    /// immediately re-wake because jobs arrived during the transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server is not `GoingToSleep`.
+    pub fn finish_sleep(&mut self) -> bool {
+        assert!(
+            matches!(self.state, MachineState::GoingToSleep { .. }),
+            "finish_sleep from {:?}",
+            self.state
+        );
+        self.state = MachineState::Sleeping;
+        std::mem::take(&mut self.wake_after_sleep)
+    }
+
+    /// Records that a job arrived while the server was descending into
+    /// sleep, so it must re-wake when the transition completes.
+    pub fn request_wake_after_sleep(&mut self) {
+        debug_assert!(
+            matches!(self.state, MachineState::GoingToSleep { .. }),
+            "wake_after_sleep only applies while going to sleep"
+        );
+        self.wake_after_sleep = true;
+    }
+
+    /// Issues a fresh timeout token, invalidating all earlier ones.
+    pub fn issue_timeout_token(&mut self) -> u64 {
+        self.timeout_token += 1;
+        self.timeout_token
+    }
+
+    /// Invalidates any outstanding timeout without issuing a new one.
+    pub fn cancel_timeout(&mut self) {
+        self.timeout_token += 1;
+    }
+
+    /// Whether `token` is the most recently issued timeout token.
+    pub fn timeout_token_is_current(&self, token: u64) -> bool {
+        self.timeout_token == token
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server_on() -> Server {
+        Server::new(ResourceVec::ones(3), true, ReliabilityConfig::paper())
+    }
+
+    fn job(id: u64, t: f64, dur: f64, cpu: f64) -> Job {
+        Job::new(
+            JobId(id),
+            SimTime::from_secs(t),
+            dur,
+            ResourceVec::cpu_mem_disk(cpu, 0.1, 0.05),
+        )
+    }
+
+    #[test]
+    fn fcfs_starts_jobs_in_order_while_fitting() {
+        let mut s = server_on();
+        s.enqueue(job(1, 0.0, 100.0, 0.5));
+        s.enqueue(job(2, 0.0, 100.0, 0.4));
+        s.enqueue(job(3, 0.0, 100.0, 0.4)); // does not fit after 1 and 2
+        let started = s.start_fitting_jobs(SimTime::ZERO);
+        assert_eq!(started.len(), 2);
+        assert_eq!(started[0].id, JobId(1));
+        assert_eq!(started[1].id, JobId(2));
+        assert_eq!(s.queue_len(), 1);
+        assert!((s.cpu_utilization() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn head_of_line_blocking_is_strict() {
+        // Job 2 would fit but job 1 (head) does not: FCFS blocks it.
+        let mut s = server_on();
+        s.enqueue(job(10, 0.0, 50.0, 0.9));
+        let _ = s.start_fitting_jobs(SimTime::ZERO);
+        s.enqueue(job(11, 0.0, 50.0, 0.2)); // head, does not fit (0.9+0.2)
+        s.enqueue(job(12, 0.0, 50.0, 0.05)); // would fit, must wait
+        let started = s.start_fitting_jobs(SimTime::ZERO);
+        assert!(started.is_empty());
+        assert_eq!(s.queue_len(), 2);
+    }
+
+    #[test]
+    fn completion_releases_resources_and_unblocks_queue() {
+        let mut s = server_on();
+        s.enqueue(job(1, 0.0, 10.0, 0.8));
+        s.enqueue(job(2, 0.0, 10.0, 0.5));
+        let _ = s.start_fitting_jobs(SimTime::ZERO);
+        assert_eq!(s.running_len(), 1);
+        let done = s.complete_job(JobId(1)).unwrap();
+        assert_eq!(done.id, JobId(1));
+        let started = s.start_fitting_jobs(SimTime::from_secs(10.0));
+        assert_eq!(started.len(), 1);
+        assert_eq!(started[0].id, JobId(2));
+    }
+
+    #[test]
+    fn complete_unknown_job_returns_none() {
+        let mut s = server_on();
+        assert!(s.complete_job(JobId(42)).is_none());
+    }
+
+    #[test]
+    fn sleeping_server_starts_nothing() {
+        let mut s = Server::new(ResourceVec::ones(3), false, ReliabilityConfig::paper());
+        s.enqueue(job(1, 0.0, 10.0, 0.2));
+        assert!(s.start_fitting_jobs(SimTime::ZERO).is_empty());
+        assert_eq!(s.queue_len(), 1);
+    }
+
+    #[test]
+    fn energy_integrates_idle_power() {
+        let model = PowerModel::paper();
+        let mut s = server_on();
+        s.account(SimTime::from_secs(100.0), &model);
+        assert!((s.stats().energy_joules - 8700.0).abs() < 1e-6);
+        assert_eq!(s.stats().idle_seconds, 100.0);
+    }
+
+    #[test]
+    fn energy_is_zero_while_sleeping() {
+        let model = PowerModel::paper();
+        let mut s = Server::new(ResourceVec::ones(3), false, ReliabilityConfig::paper());
+        s.account(SimTime::from_secs(50.0), &model);
+        assert_eq!(s.stats().energy_joules, 0.0);
+        assert_eq!(s.stats().sleep_seconds, 50.0);
+    }
+
+    #[test]
+    fn transition_draws_transition_power() {
+        let model = PowerModel::paper();
+        let mut s = Server::new(ResourceVec::ones(3), false, ReliabilityConfig::paper());
+        let until = s.begin_wake(SimTime::ZERO, 30.0);
+        assert_eq!(until, SimTime::from_secs(30.0));
+        s.account(SimTime::from_secs(30.0), &model);
+        assert!((s.stats().energy_joules - 145.0 * 30.0).abs() < 1e-6);
+        s.finish_wake();
+        assert!(s.state().is_on());
+    }
+
+    #[test]
+    fn wake_after_sleep_round_trip() {
+        let mut s = server_on();
+        s.begin_sleep(SimTime::ZERO, 30.0);
+        s.request_wake_after_sleep();
+        let rewake = s.finish_sleep();
+        assert!(rewake);
+        // Flag is consumed.
+        s.begin_wake(SimTime::from_secs(30.0), 30.0);
+        s.finish_wake();
+        s.begin_sleep(SimTime::from_secs(60.0), 30.0);
+        assert!(!s.finish_sleep());
+    }
+
+    #[test]
+    fn timeout_tokens_invalidate_older_ones() {
+        let mut s = server_on();
+        let t1 = s.issue_timeout_token();
+        assert!(s.timeout_token_is_current(t1));
+        let t2 = s.issue_timeout_token();
+        assert!(!s.timeout_token_is_current(t1));
+        assert!(s.timeout_token_is_current(t2));
+        s.cancel_timeout();
+        assert!(!s.timeout_token_is_current(t2));
+    }
+
+    #[test]
+    fn overload_kicks_in_above_threshold() {
+        let mut s = server_on();
+        s.enqueue(job(1, 0.0, 10.0, 0.95));
+        let _ = s.start_fitting_jobs(SimTime::ZERO);
+        assert!((s.overload() - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jobs_in_system_integral_tracks_queue_and_running() {
+        let model = PowerModel::paper();
+        let mut s = server_on();
+        s.enqueue(job(1, 0.0, 100.0, 0.5));
+        s.enqueue(job(2, 0.0, 100.0, 0.9)); // waits behind job 1
+        let _ = s.start_fitting_jobs(SimTime::ZERO);
+        s.account(SimTime::from_secs(10.0), &model);
+        // 2 jobs in system for 10 s.
+        assert!((s.stats().jobs_in_system_integral - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sleep with jobs")]
+    fn sleeping_with_jobs_panics() {
+        let mut s = server_on();
+        s.enqueue(job(1, 0.0, 10.0, 0.5));
+        s.begin_sleep(SimTime::ZERO, 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "begin_wake from")]
+    fn waking_an_on_server_panics() {
+        let mut s = server_on();
+        s.begin_wake(SimTime::ZERO, 30.0);
+    }
+}

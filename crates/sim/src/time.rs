@@ -1,0 +1,154 @@
+//! Simulation time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in seconds since the start of the run.
+///
+/// `SimTime` is totally ordered; constructing a non-finite time panics, so
+/// event-queue ordering is always well defined.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero (start of the simulation).
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is NaN or infinite, or negative.
+    pub fn from_secs(seconds: f64) -> Self {
+        assert!(seconds.is_finite(), "SimTime must be finite, got {seconds}");
+        assert!(seconds >= 0.0, "SimTime must be non-negative, got {seconds}");
+        SimTime(seconds)
+    }
+
+    /// Creates a time from hours.
+    pub fn from_hours(hours: f64) -> Self {
+        Self::from_secs(hours * 3600.0)
+    }
+
+    /// Seconds since time zero.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Hours since time zero.
+    #[inline]
+    pub fn as_hours(self) -> f64 {
+        self.0 / 3600.0
+    }
+
+    /// Seconds between `self` and an earlier time.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `earlier` is later than `self`.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> f64 {
+        debug_assert!(
+            self.0 >= earlier.0 - 1e-9,
+            "since() called with a later time: {} < {}",
+            self.0,
+            earlier.0
+        );
+        (self.0 - earlier.0).max(0.0)
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for SimTime {}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Finiteness is enforced at construction, so total order is safe.
+        self.0
+            .partial_cmp(&other.0)
+            .expect("SimTime is always finite")
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, seconds: f64) -> SimTime {
+        SimTime::from_secs(self.0 + seconds)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    fn add_assign(&mut self, seconds: f64) {
+        *self = *self + seconds;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = f64;
+
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.0)
+    }
+}
+
+impl Default for SimTime {
+    fn default() -> Self {
+        SimTime::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let t = SimTime::from_secs(10.0) + 5.0;
+        assert_eq!(t.as_secs(), 15.0);
+        assert_eq!(t.since(SimTime::from_secs(10.0)), 5.0);
+        assert_eq!(t - SimTime::from_secs(5.0), 10.0);
+    }
+
+    #[test]
+    fn hours_conversion() {
+        assert_eq!(SimTime::from_hours(1.0).as_secs(), 3600.0);
+        assert!((SimTime::from_secs(7200.0).as_hours() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn nan_is_rejected() {
+        let _ = SimTime::from_secs(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_is_rejected() {
+        let _ = SimTime::from_secs(-1.0);
+    }
+}

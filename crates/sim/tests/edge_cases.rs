@@ -1,0 +1,245 @@
+//! Edge-case and failure-injection tests for the cluster simulator.
+
+use hierdrl_sim::prelude::*;
+
+fn job(id: u64, t: f64, dur: f64, cpu: f64) -> Job {
+    Job::new(
+        JobId(id),
+        SimTime::from_secs(t),
+        dur,
+        ResourceVec::cpu_mem_disk(cpu, 0.05, 0.01),
+    )
+}
+
+#[test]
+fn empty_workload_is_a_valid_run() {
+    let mut cluster = Cluster::new(ClusterConfig::paper(3), Vec::new()).unwrap();
+    let out = cluster.run(
+        &mut RoundRobinAllocator::new(),
+        &mut AlwaysOnPower,
+        RunLimit::unbounded(),
+    );
+    assert_eq!(out.totals.jobs_completed, 0);
+    assert_eq!(out.totals.energy_joules, 0.0); // no events, no elapsed time
+}
+
+#[test]
+fn zero_transition_times_are_supported() {
+    let mut config = ClusterConfig::paper(1);
+    config.t_on = 0.0;
+    config.t_off = 0.0;
+    config.servers_initially_on = false;
+    let mut cluster = Cluster::new(config, vec![job(0, 10.0, 60.0, 0.5)]).unwrap();
+    let out = cluster.run(
+        &mut RoundRobinAllocator::new(),
+        &mut SleepImmediatelyPower,
+        RunLimit::unbounded(),
+    );
+    assert_eq!(out.totals.jobs_completed, 1);
+    // Instant wake: no added latency.
+    assert_eq!(cluster.completed_jobs()[0].latency(), 60.0);
+}
+
+#[test]
+fn single_server_cluster_handles_full_size_jobs() {
+    let jobs = vec![job(0, 0.0, 100.0, 1.0), job(1, 1.0, 100.0, 1.0)];
+    let mut cluster = Cluster::new(ClusterConfig::paper(1), jobs).unwrap();
+    let out = cluster.run(
+        &mut RoundRobinAllocator::new(),
+        &mut AlwaysOnPower,
+        RunLimit::unbounded(),
+    );
+    assert_eq!(out.totals.jobs_completed, 2);
+    // Serialized: second job waits for the first.
+    assert_eq!(cluster.completed_jobs()[1].waiting_time(), 99.0);
+}
+
+#[test]
+fn simultaneous_arrivals_are_processed_in_id_order() {
+    let jobs: Vec<Job> = (0..5).map(|i| job(i, 100.0, 50.0, 0.1)).collect();
+    let mut cluster = Cluster::new(ClusterConfig::paper(5), jobs).unwrap();
+    cluster.run(
+        &mut RoundRobinAllocator::new(),
+        &mut AlwaysOnPower,
+        RunLimit::unbounded(),
+    );
+    // Round-robin: job i lands on server i (deterministic tie-break).
+    for (i, s) in cluster.servers().iter().enumerate() {
+        assert_eq!(s.stats().jobs_completed, 1, "server {i}");
+    }
+}
+
+#[test]
+fn jobs_arriving_at_time_zero_on_sleeping_cluster() {
+    let mut config = ClusterConfig::paper(2);
+    config.servers_initially_on = false;
+    let jobs = vec![job(0, 0.0, 60.0, 0.3), job(1, 0.0, 60.0, 0.3)];
+    let mut cluster = Cluster::new(config, jobs).unwrap();
+    let out = cluster.run(
+        &mut RoundRobinAllocator::new(),
+        &mut FixedTimeoutPower::new(30.0),
+        RunLimit::unbounded(),
+    );
+    assert_eq!(out.totals.jobs_completed, 2);
+    for rec in cluster.completed_jobs() {
+        assert_eq!(rec.latency(), 90.0); // 30 s wake + 60 s service
+    }
+}
+
+#[test]
+fn timeout_longer_than_remaining_workload_still_drains() {
+    // A pending timeout event must not prevent run() from terminating.
+    let jobs = vec![job(0, 0.0, 10.0, 0.2)];
+    let mut cluster = Cluster::new(ClusterConfig::paper(1), jobs).unwrap();
+    let out = cluster.run(
+        &mut RoundRobinAllocator::new(),
+        &mut FixedTimeoutPower::new(100_000.0),
+        RunLimit::unbounded(),
+    );
+    assert_eq!(out.totals.jobs_completed, 1);
+    // The run ends at the timeout event (the last scheduled event).
+    assert!(out.end_time.as_secs() >= 10.0);
+}
+
+#[test]
+fn max_time_limit_cuts_mid_execution() {
+    let jobs = vec![job(0, 0.0, 1_000.0, 0.2)];
+    let mut cluster = Cluster::new(ClusterConfig::paper(1), jobs).unwrap();
+    let out = cluster.run(
+        &mut RoundRobinAllocator::new(),
+        &mut AlwaysOnPower,
+        RunLimit {
+            max_completed: None,
+            max_time: Some(SimTime::from_secs(500.0)),
+        },
+    );
+    assert_eq!(out.totals.jobs_completed, 0);
+    assert_eq!(out.end_time.as_secs(), 500.0);
+}
+
+#[test]
+fn heavy_burst_to_one_server_preserves_all_jobs() {
+    // 100 simultaneous jobs, one server: everything must still complete.
+    struct ToZero;
+    impl Allocator for ToZero {
+        fn select(&mut self, _job: &Job, _view: &ClusterView<'_>) -> ServerId {
+            ServerId(0)
+        }
+    }
+    let jobs: Vec<Job> = (0..100).map(|i| job(i, 0.0, 30.0, 0.2)).collect();
+    let mut cluster = Cluster::new(ClusterConfig::paper(4), jobs).unwrap();
+    let out = cluster.run(&mut ToZero, &mut AlwaysOnPower, RunLimit::unbounded());
+    assert_eq!(out.totals.jobs_completed, 100);
+    assert_eq!(cluster.servers()[0].stats().jobs_completed, 100);
+    assert_eq!(cluster.servers()[0].stats().max_jobs_in_system, 100);
+}
+
+#[test]
+fn power_off_transition_blocks_start_until_wake_cycle() {
+    // Job arrives exactly when the server begins sleeping: Fig. 4(a).
+    let mut config = ClusterConfig::paper(1);
+    config.servers_initially_on = false;
+    let jobs = vec![job(0, 0.0, 10.0, 0.5), job(1, 45.0, 10.0, 0.5)];
+    // Timeline: wake 0-30, job0 runs 30-40, sleep starts at 40 (ad hoc);
+    // job1 arrives at 45 — during GoingToSleep.
+    let mut cluster = Cluster::new(config, jobs).unwrap();
+    cluster.run(
+        &mut RoundRobinAllocator::new(),
+        &mut SleepImmediatelyPower,
+        RunLimit::unbounded(),
+    );
+    let rec = &cluster.completed_jobs()[1];
+    // Sleep completes 70, wake 70-100, run 100-110.
+    assert_eq!(rec.finished.as_secs(), 110.0);
+}
+
+#[test]
+fn cluster_rejects_dimension_mismatch() {
+    let bad = Job::new(
+        JobId(0),
+        SimTime::ZERO,
+        10.0,
+        ResourceVec::new(&[0.5, 0.5]),
+    );
+    assert!(Cluster::new(ClusterConfig::paper(1), vec![bad]).is_err());
+}
+
+#[test]
+fn invalid_configs_are_rejected() {
+    let mut c = ClusterConfig::paper(2);
+    c.t_on = f64::NAN;
+    assert!(Cluster::new(c, Vec::new()).is_err());
+
+    let mut c = ClusterConfig::paper(2);
+    c.sample_every = 0;
+    assert!(Cluster::new(c, Vec::new()).is_err());
+
+    let mut c = ClusterConfig::paper(2);
+    c.power.peak_watts = 1.0; // below idle
+    assert!(Cluster::new(c, Vec::new()).is_err());
+}
+
+#[test]
+fn overload_metric_reflects_anti_colocation() {
+    // Stuff 12 tiny jobs onto one server: overload must become positive
+    // once past the colocation cap (8 by default).
+    struct ToZero;
+    impl Allocator for ToZero {
+        fn select(&mut self, _job: &Job, _view: &ClusterView<'_>) -> ServerId {
+            ServerId(0)
+        }
+    }
+    let jobs: Vec<Job> = (0..12).map(|i| job(i, 0.0, 1_000.0, 0.01)).collect();
+    let mut cluster = Cluster::new(ClusterConfig::paper(2), jobs).unwrap();
+    let out = cluster.run(&mut ToZero, &mut AlwaysOnPower, RunLimit::unbounded());
+    assert!(
+        out.totals.overload_integral > 0.0,
+        "colocation beyond the cap must register as overload"
+    );
+}
+
+#[test]
+fn heterogeneous_capacities_change_packing() {
+    // Server 0 has 2x capacity: a pair of 0.8-CPU jobs that would
+    // serialize on a unit server run concurrently on the big one.
+    let mut config = ClusterConfig::paper(2);
+    config.server_capacities = Some(vec![
+        ResourceVec::cpu_mem_disk(2.0, 2.0, 2.0),
+        ResourceVec::ones(3),
+    ]);
+    struct ToZero;
+    impl Allocator for ToZero {
+        fn select(&mut self, _job: &Job, _view: &ClusterView<'_>) -> ServerId {
+            ServerId(0)
+        }
+    }
+    let jobs = vec![job(0, 0.0, 100.0, 0.8), job(1, 0.0, 100.0, 0.8)];
+    let mut cluster = Cluster::new(config, jobs).unwrap();
+    cluster.run(&mut ToZero, &mut AlwaysOnPower, RunLimit::unbounded());
+    // Both finish at t = 100: no serialization on the double-size server.
+    for rec in cluster.completed_jobs() {
+        assert_eq!(rec.finished.as_secs(), 100.0);
+        assert_eq!(rec.waiting_time(), 0.0);
+    }
+}
+
+#[test]
+fn heterogeneous_capacity_validation() {
+    // Wrong count.
+    let mut c = ClusterConfig::paper(3);
+    c.server_capacities = Some(vec![ResourceVec::ones(3); 2]);
+    assert!(c.validate().is_err());
+
+    // Wrong dimensionality.
+    let mut c = ClusterConfig::paper(2);
+    c.server_capacities = Some(vec![ResourceVec::new(&[1.0]); 2]);
+    assert!(c.validate().is_err());
+
+    // Valid heterogeneous setup.
+    let mut c = ClusterConfig::paper(2);
+    c.server_capacities = Some(vec![
+        ResourceVec::cpu_mem_disk(2.0, 1.0, 1.0),
+        ResourceVec::ones(3),
+    ]);
+    assert!(c.validate().is_ok());
+}

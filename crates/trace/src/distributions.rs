@@ -1,0 +1,227 @@
+//! Scalar sampling distributions for workload synthesis.
+//!
+//! Implemented locally (Box–Muller for normals) so the crate depends only
+//! on `rand`'s uniform sampling.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A one-dimensional sampling distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Dist {
+    /// Always returns the same value.
+    Constant(f64),
+    /// Uniform on `[lo, hi)`.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (exclusive).
+        hi: f64,
+    },
+    /// Exponential with the given mean.
+    Exponential {
+        /// Mean (`1 / rate`).
+        mean: f64,
+    },
+    /// Log-normal: `exp(N(mu, sigma^2))`.
+    LogNormal {
+        /// Mean of the underlying normal.
+        mu: f64,
+        /// Standard deviation of the underlying normal.
+        sigma: f64,
+    },
+    /// Log-normal clamped to `[min, max]` — the paper's job durations are
+    /// clipped to [1 minute, 2 hours] this way.
+    ClippedLogNormal {
+        /// Mean of the underlying normal.
+        mu: f64,
+        /// Standard deviation of the underlying normal.
+        sigma: f64,
+        /// Lower clamp.
+        min: f64,
+        /// Upper clamp.
+        max: f64,
+    },
+}
+
+impl Dist {
+    /// A log-normal specified by its median and shape, clipped to bounds.
+    pub fn clipped_log_normal_median(median: f64, sigma: f64, min: f64, max: f64) -> Self {
+        Dist::ClippedLogNormal {
+            mu: median.ln(),
+            sigma,
+            min,
+            max,
+        }
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        match *self {
+            Dist::Constant(v) => v,
+            Dist::Uniform { lo, hi } => rng.gen_range(lo..hi),
+            Dist::Exponential { mean } => {
+                // Inverse CDF; 1 - u avoids ln(0).
+                let u: f64 = 1.0 - rng.gen::<f64>();
+                -mean * u.ln()
+            }
+            Dist::LogNormal { mu, sigma } => (mu + sigma * standard_normal(rng)).exp(),
+            Dist::ClippedLogNormal {
+                mu,
+                sigma,
+                min,
+                max,
+            } => (mu + sigma * standard_normal(rng)).exp().clamp(min, max),
+        }
+    }
+
+    /// Validates parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            Dist::Constant(v) => {
+                if !v.is_finite() {
+                    return Err(format!("constant must be finite, got {v}"));
+                }
+            }
+            Dist::Uniform { lo, hi } => {
+                if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+                    return Err(format!("uniform requires lo < hi, got [{lo}, {hi})"));
+                }
+            }
+            Dist::Exponential { mean } => {
+                if !(mean.is_finite() && mean > 0.0) {
+                    return Err(format!("exponential mean must be positive, got {mean}"));
+                }
+            }
+            Dist::LogNormal { mu, sigma } => {
+                if !(mu.is_finite() && sigma.is_finite() && sigma >= 0.0) {
+                    return Err(format!("log-normal params invalid: mu={mu} sigma={sigma}"));
+                }
+            }
+            Dist::ClippedLogNormal {
+                mu,
+                sigma,
+                min,
+                max,
+            } => {
+                if !(mu.is_finite() && sigma.is_finite() && sigma >= 0.0) {
+                    return Err(format!("log-normal params invalid: mu={mu} sigma={sigma}"));
+                }
+                if !(min.is_finite() && max.is_finite() && min > 0.0 && min <= max) {
+                    return Err(format!("clip bounds invalid: [{min}, {max}]"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Standard normal variate via Box–Muller.
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_mean(d: Dist, n: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_always_returns_value() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = Dist::Constant(3.5);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 3.5);
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Dist::Uniform { lo: 2.0, hi: 5.0 };
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!((2.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_calibrated() {
+        let mean = sample_mean(Dist::Exponential { mean: 10.0 }, 50_000, 2);
+        assert!((mean - 10.0).abs() < 0.3, "mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_median_matches_exp_mu() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Dist::LogNormal {
+            mu: (480.0f64).ln(),
+            sigma: 1.0,
+        };
+        let mut xs: Vec<f64> = (0..20_001).map(|_| d.sample(&mut rng)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        assert!(
+            (median - 480.0).abs() < 480.0 * 0.1,
+            "median {median} far from 480"
+        );
+    }
+
+    #[test]
+    fn clipped_lognormal_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = Dist::clipped_log_normal_median(480.0, 1.2, 60.0, 7200.0);
+        for _ in 0..5000 {
+            let x = d.sample(&mut rng);
+            assert!((60.0..=7200.0).contains(&x), "sample {x} out of bounds");
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_params() {
+        assert!(Dist::Uniform { lo: 5.0, hi: 1.0 }.validate().is_err());
+        assert!(Dist::Exponential { mean: -1.0 }.validate().is_err());
+        assert!(Dist::ClippedLogNormal {
+            mu: 0.0,
+            sigma: 1.0,
+            min: 10.0,
+            max: 5.0
+        }
+        .validate()
+        .is_err());
+        assert!(Dist::clipped_log_normal_median(480.0, 1.2, 60.0, 7200.0)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn standard_normal_has_unit_moments() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = Dist::clipped_log_normal_median(480.0, 1.2, 60.0, 7200.0);
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Dist = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+}

@@ -1,0 +1,45 @@
+//! # hierdrl-trace
+//!
+//! Workload substrate for the hierarchical DRL framework: synthetic
+//! Google-cluster-style trace generation, trace statistics/slicing, and a
+//! parser for the real Google ClusterData-2011 `task_events` format.
+//!
+//! The paper evaluates on the May-2011 Google cluster-usage traces, split
+//! into ~week-long segments of ~100,000 jobs for a 30–40 machine cluster,
+//! with job durations clipped to [1 minute, 2 hours]. Since the real trace
+//! is not redistributable, [`generator::WorkloadConfig::google_like`]
+//! produces synthetic traces with the same marginals (arrival rate, duration
+//! law, demand law) and realistic non-stationarity (diurnal + weekend
+//! cycles); [`google::parse_task_events`] ingests the real thing for users
+//! who have it.
+//!
+//! # Examples
+//!
+//! ```
+//! use hierdrl_trace::prelude::*;
+//!
+//! // One day of a ~95k-jobs/week workload.
+//! let config = WorkloadConfig::google_like(42, 95_000.0);
+//! let trace = TraceGenerator::new(config)?.generate(86_400.0);
+//! let stats = trace.stats().unwrap();
+//! assert!(stats.count > 10_000);
+//! assert!(stats.mean_duration_s >= 60.0 && stats.mean_duration_s <= 7200.0);
+//! # Ok::<(), String>(())
+//! ```
+
+pub mod distributions;
+pub mod generator;
+pub mod google;
+pub mod pattern;
+pub mod stats;
+pub mod trace;
+
+/// Convenient glob-import of the crate's main types.
+pub mod prelude {
+    pub use crate::distributions::Dist;
+    pub use crate::generator::{TraceGenerator, WorkloadConfig};
+    pub use crate::google::{parse_task_events, parse_task_events_paper, ParseError};
+    pub use crate::pattern::{ArrivalPattern, SECS_PER_DAY, SECS_PER_WEEK};
+    pub use crate::stats::{Histogram, WorkloadProfile};
+    pub use crate::trace::{Trace, TraceError, TraceStats};
+}

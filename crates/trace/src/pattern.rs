@@ -1,0 +1,161 @@
+//! Time-varying arrival-rate patterns.
+//!
+//! Real cloud workloads are non-stationary (the paper stresses that its
+//! agents must cope with "realistic, non-stationary cloud environments");
+//! this module models the dominant structure of the Google traces: a
+//! diurnal cycle and a weekday/weekend effect.
+
+use serde::{Deserialize, Serialize};
+
+/// Seconds per day.
+pub const SECS_PER_DAY: f64 = 86_400.0;
+/// Seconds per week.
+pub const SECS_PER_WEEK: f64 = 7.0 * SECS_PER_DAY;
+
+/// A non-homogeneous Poisson arrival-rate profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalPattern {
+    /// Long-run average arrival rate, jobs per second.
+    pub base_rate: f64,
+    /// Relative amplitude of the diurnal cycle in `[0, 1)`; 0 is stationary.
+    pub diurnal_amplitude: f64,
+    /// Hour of day (0-24) at which the diurnal cycle peaks.
+    pub peak_hour: f64,
+    /// Rate multiplier applied on days 5 and 6 of each week (the weekend).
+    pub weekend_factor: f64,
+}
+
+impl ArrivalPattern {
+    /// A stationary Poisson process.
+    pub fn stationary(rate: f64) -> Self {
+        Self {
+            base_rate: rate,
+            diurnal_amplitude: 0.0,
+            peak_hour: 0.0,
+            weekend_factor: 1.0,
+        }
+    }
+
+    /// A Google-trace-like profile: mid-afternoon peak, moderate diurnal
+    /// swing, slightly quieter weekends.
+    pub fn google_like(base_rate: f64) -> Self {
+        Self {
+            base_rate,
+            diurnal_amplitude: 0.35,
+            peak_hour: 15.0,
+            weekend_factor: 0.8,
+        }
+    }
+
+    /// Instantaneous arrival rate at time `t` (seconds from trace start,
+    /// where the trace starts at hour 0 of day 0).
+    pub fn rate_at(&self, t: f64) -> f64 {
+        let hour = (t.rem_euclid(SECS_PER_DAY)) / 3600.0;
+        let day = (t.rem_euclid(SECS_PER_WEEK) / SECS_PER_DAY) as usize;
+        let diurnal = 1.0
+            + self.diurnal_amplitude
+                * ((hour - self.peak_hour) * std::f64::consts::TAU / 24.0).cos();
+        let weekly = if day >= 5 { self.weekend_factor } else { 1.0 };
+        (self.base_rate * diurnal * weekly).max(0.0)
+    }
+
+    /// A tight upper bound on [`ArrivalPattern::rate_at`], used for
+    /// Poisson thinning.
+    pub fn max_rate(&self) -> f64 {
+        self.base_rate * (1.0 + self.diurnal_amplitude) * self.weekend_factor.max(1.0)
+    }
+
+    /// The week-averaged rate as a multiple of `base_rate`. The diurnal
+    /// cosine integrates to zero over a day, so only the weekend factor
+    /// shifts the mean: `(5 + 2 * weekend_factor) / 7`.
+    pub fn mean_rate_factor(&self) -> f64 {
+        (5.0 + 2.0 * self.weekend_factor) / 7.0
+    }
+
+    /// The week-averaged arrival rate, jobs per second.
+    pub fn mean_rate(&self) -> f64 {
+        self.base_rate * self.mean_rate_factor()
+    }
+
+    /// Validates the pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.base_rate.is_finite() && self.base_rate > 0.0) {
+            return Err(format!("base_rate must be positive, got {}", self.base_rate));
+        }
+        if !(0.0..1.0).contains(&self.diurnal_amplitude) {
+            return Err(format!(
+                "diurnal_amplitude must be in [0, 1), got {}",
+                self.diurnal_amplitude
+            ));
+        }
+        if !(0.0..=24.0).contains(&self.peak_hour) {
+            return Err(format!("peak_hour must be in [0, 24], got {}", self.peak_hour));
+        }
+        if !(self.weekend_factor.is_finite() && self.weekend_factor > 0.0) {
+            return Err(format!(
+                "weekend_factor must be positive, got {}",
+                self.weekend_factor
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stationary_rate_is_constant() {
+        let p = ArrivalPattern::stationary(0.5);
+        assert_eq!(p.rate_at(0.0), 0.5);
+        assert_eq!(p.rate_at(123_456.0), 0.5);
+    }
+
+    #[test]
+    fn diurnal_peaks_at_peak_hour() {
+        let p = ArrivalPattern::google_like(1.0);
+        let peak = p.rate_at(15.0 * 3600.0);
+        let trough = p.rate_at(3.0 * 3600.0);
+        assert!(peak > trough);
+        assert!((peak - 1.35).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weekend_is_quieter() {
+        let p = ArrivalPattern::google_like(1.0);
+        let monday_noon = p.rate_at(12.0 * 3600.0);
+        let saturday_noon = p.rate_at(5.0 * SECS_PER_DAY + 12.0 * 3600.0);
+        assert!((saturday_noon - 0.8 * monday_noon).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_rate_bounds_rate_at() {
+        let p = ArrivalPattern::google_like(0.2);
+        let max = p.max_rate();
+        for i in 0..(7 * 24) {
+            let r = p.rate_at(i as f64 * 3600.0);
+            assert!(r <= max + 1e-12, "rate {r} exceeds bound {max} at hour {i}");
+        }
+    }
+
+    #[test]
+    fn rate_is_periodic_weekly() {
+        let p = ArrivalPattern::google_like(1.0);
+        let t = 2.5 * SECS_PER_DAY;
+        assert!((p.rate_at(t) - p.rate_at(t + SECS_PER_WEEK)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ArrivalPattern::google_like(0.15).validate().is_ok());
+        assert!(ArrivalPattern::stationary(-1.0).validate().is_err());
+        let mut p = ArrivalPattern::google_like(1.0);
+        p.diurnal_amplitude = 1.5;
+        assert!(p.validate().is_err());
+    }
+}

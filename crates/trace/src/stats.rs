@@ -1,0 +1,222 @@
+//! Workload distribution statistics: histograms and temporal profiles for
+//! validating that a (synthetic or parsed) trace has the intended shape.
+
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// A fixed-width histogram over `[lo, hi)` with under/overflow buckets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width buckets over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(lo < hi, "lo must be below hi");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        self.sum += x;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = (((x - self.lo) / width) as usize).min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Per-bucket counts (excluding under/overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of all recorded observations (`0` if empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Approximate quantile from bucket midpoints (`None` if empty or `q`
+    /// outside `[0, 1]`).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let target = (q * self.total as f64).ceil() as u64;
+        let mut seen = self.underflow;
+        if seen >= target {
+            return Some(self.lo);
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(self.lo + (i as f64 + 0.5) * width);
+            }
+        }
+        Some(self.hi)
+    }
+}
+
+/// Distributional profile of a workload trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Job durations, seconds (60 s buckets over [0, 7500)).
+    pub durations: Histogram,
+    /// CPU demands (buckets over [0, 0.2)).
+    pub cpu_demands: Histogram,
+    /// Inter-arrival times, seconds (buckets over [0, 120)).
+    pub inter_arrivals: Histogram,
+    /// Arrivals per hour-of-day (24 entries).
+    pub arrivals_by_hour: Vec<u64>,
+}
+
+impl WorkloadProfile {
+    /// Profiles a trace.
+    pub fn of(trace: &Trace) -> Self {
+        let mut durations = Histogram::new(0.0, 7_500.0, 125);
+        let mut cpu_demands = Histogram::new(0.0, 0.2, 100);
+        let mut inter_arrivals = Histogram::new(0.0, 120.0, 60);
+        let mut arrivals_by_hour = vec![0u64; 24];
+        for j in trace.jobs() {
+            durations.record(j.duration);
+            cpu_demands.record(j.demand.cpu());
+            let hour = ((j.arrival.as_secs() % 86_400.0) / 3_600.0) as usize;
+            arrivals_by_hour[hour.min(23)] += 1;
+        }
+        for iat in trace.inter_arrival_times() {
+            inter_arrivals.record(iat);
+        }
+        Self {
+            durations,
+            cpu_demands,
+            inter_arrivals,
+            arrivals_by_hour,
+        }
+    }
+
+    /// The busiest hour of day by arrival count (`0..24`).
+    pub fn peak_hour(&self) -> usize {
+        self.arrivals_by_hour
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(h, _)| h)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{TraceGenerator, WorkloadConfig};
+
+    #[test]
+    fn histogram_counts_and_bounds() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [-1.0, 0.5, 5.5, 9.9, 10.0, 25.0] {
+            h.record(x);
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[5], 1);
+        assert_eq!(h.counts()[9], 1);
+    }
+
+    #[test]
+    fn histogram_mean_and_quantile() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.record(i as f64);
+        }
+        assert!((h.mean() - 49.5).abs() < 1e-9);
+        let median = h.quantile(0.5).unwrap();
+        assert!((median - 49.5).abs() <= 1.0, "median {median}");
+        assert_eq!(h.quantile(1.5), None);
+    }
+
+    #[test]
+    fn empty_histogram_behaves() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn workload_profile_matches_generator_shape() {
+        let config = WorkloadConfig::google_like(5, 95_000.0);
+        let trace = TraceGenerator::new(config).unwrap().generate(86_400.0 * 3.0);
+        let profile = WorkloadProfile::of(&trace);
+
+        // Durations respect the paper's clamp window.
+        assert_eq!(profile.durations.underflow(), 0);
+        assert_eq!(profile.durations.overflow(), 0);
+        assert!(profile.durations.mean() >= 60.0);
+
+        // The diurnal peak lands in the configured afternoon.
+        let peak = profile.peak_hour();
+        assert!(
+            (12..=18).contains(&peak),
+            "peak hour {peak} not in the afternoon"
+        );
+
+        // Batched submissions: a large short-gap mass in inter-arrivals.
+        let short: u64 = profile.inter_arrivals.counts()[..5].iter().sum();
+        assert!(
+            short as f64 > profile.inter_arrivals.total() as f64 * 0.3,
+            "expected a short-gap mass from batching"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "lo must be below hi")]
+    fn invalid_bounds_rejected() {
+        let _ = Histogram::new(5.0, 1.0, 4);
+    }
+}

@@ -1,0 +1,354 @@
+//! Workload traces: validated job sequences with statistics and slicing.
+
+use hierdrl_sim::job::Job;
+use hierdrl_sim::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors produced when constructing or loading a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// Jobs were not sorted by arrival time.
+    Unsorted {
+        /// Index of the first out-of-order job.
+        index: usize,
+    },
+    /// A job failed validation.
+    InvalidJob {
+        /// Index of the offending job.
+        index: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+    /// (De)serialization failed.
+    Serde(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Unsorted { index } => {
+                write!(f, "jobs not sorted by arrival (first violation at {index})")
+            }
+            TraceError::InvalidJob { index, reason } => {
+                write!(f, "invalid job at index {index}: {reason}")
+            }
+            TraceError::Serde(e) => write!(f, "trace serialization error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Summary statistics of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Number of jobs.
+    pub count: usize,
+    /// Time between the first and last arrival, seconds.
+    pub span_s: f64,
+    /// Mean arrival rate over the span, jobs per second.
+    pub arrival_rate: f64,
+    /// Mean job duration, seconds.
+    pub mean_duration_s: f64,
+    /// Mean CPU demand (normalized).
+    pub mean_cpu: f64,
+    /// Mean memory demand (normalized).
+    pub mean_mem: f64,
+    /// Mean disk demand (normalized).
+    pub mean_disk: f64,
+    /// Largest single demand component in the trace.
+    pub max_demand: f64,
+}
+
+impl TraceStats {
+    /// Expected average CPU load offered to a cluster of `m` servers, as a
+    /// fraction of total CPU capacity (Little's law:
+    /// `rate * mean_duration * mean_cpu / m`).
+    pub fn offered_cpu_load(&self, m: usize) -> f64 {
+        assert!(m > 0, "cluster size must be positive");
+        self.arrival_rate * self.mean_duration_s * self.mean_cpu / m as f64
+    }
+}
+
+/// A validated workload trace: jobs sorted by arrival time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    jobs: Vec<Job>,
+}
+
+impl Trace {
+    /// Wraps a job list, validating sort order and demand sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Unsorted`] or [`TraceError::InvalidJob`].
+    pub fn new(jobs: Vec<Job>) -> Result<Self, TraceError> {
+        for (i, w) in jobs.windows(2).enumerate() {
+            if w[1].arrival < w[0].arrival {
+                return Err(TraceError::Unsorted { index: i + 1 });
+            }
+        }
+        for (i, j) in jobs.iter().enumerate() {
+            if !(j.duration.is_finite() && j.duration > 0.0) {
+                return Err(TraceError::InvalidJob {
+                    index: i,
+                    reason: format!("non-positive duration {}", j.duration),
+                });
+            }
+            if j.demand.as_slice().iter().any(|&d| d > 1.0 + 1e-9) {
+                return Err(TraceError::InvalidJob {
+                    index: i,
+                    reason: format!("demand {} exceeds one server", j.demand),
+                });
+            }
+        }
+        Ok(Self { jobs })
+    }
+
+    /// Sorts `jobs` by arrival and wraps them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidJob`] for invalid jobs.
+    pub fn from_unsorted(mut jobs: Vec<Job>) -> Result<Self, TraceError> {
+        jobs.sort_by(|a, b| a.arrival.cmp(&b.arrival));
+        Self::new(jobs)
+    }
+
+    /// The jobs, sorted by arrival.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Consumes the trace, returning the job list.
+    pub fn into_jobs(self) -> Vec<Job> {
+        self.jobs
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Summary statistics; `None` for an empty trace.
+    pub fn stats(&self) -> Option<TraceStats> {
+        if self.jobs.is_empty() {
+            return None;
+        }
+        let n = self.jobs.len();
+        let first = self.jobs[0].arrival.as_secs();
+        let last = self.jobs[n - 1].arrival.as_secs();
+        let span = (last - first).max(1e-9);
+        let mut dur = 0.0;
+        let mut cpu = 0.0;
+        let mut mem = 0.0;
+        let mut disk = 0.0;
+        let mut max_d: f64 = 0.0;
+        for j in &self.jobs {
+            dur += j.duration;
+            cpu += j.demand.get(0);
+            if j.demand.dims() > 1 {
+                mem += j.demand.get(1);
+            }
+            if j.demand.dims() > 2 {
+                disk += j.demand.get(2);
+            }
+            max_d = max_d.max(j.demand.max_component());
+        }
+        let nf = n as f64;
+        Some(TraceStats {
+            count: n,
+            span_s: span,
+            arrival_rate: nf / span,
+            mean_duration_s: dur / nf,
+            mean_cpu: cpu / nf,
+            mean_mem: mem / nf,
+            mean_disk: disk / nf,
+            max_demand: max_d,
+        })
+    }
+
+    /// Splits the trace into `k` contiguous segments of (nearly) equal job
+    /// count, each re-based so its first arrival is at time zero — the
+    /// paper splits the month-long Google trace into week-scale segments
+    /// this way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn segments(&self, k: usize) -> Vec<Trace> {
+        assert!(k > 0, "segment count must be positive");
+        let n = self.jobs.len();
+        let mut out = Vec::with_capacity(k);
+        for s in 0..k {
+            let lo = n * s / k;
+            let hi = n * (s + 1) / k;
+            out.push(Self::rebased_slice(&self.jobs[lo..hi]));
+        }
+        out
+    }
+
+    /// Returns the first `count` jobs as a re-based trace (arrivals shifted
+    /// so the first is at zero).
+    pub fn take(&self, count: usize) -> Trace {
+        Self::rebased_slice(&self.jobs[..count.min(self.jobs.len())])
+    }
+
+    fn rebased_slice(slice: &[Job]) -> Trace {
+        if slice.is_empty() {
+            return Trace { jobs: Vec::new() };
+        }
+        let base = slice[0].arrival;
+        let jobs = slice
+            .iter()
+            .map(|j| {
+                Job::new(
+                    j.id,
+                    SimTime::from_secs(j.arrival.since(base)),
+                    j.duration,
+                    j.demand.clone(),
+                )
+            })
+            .collect();
+        Trace { jobs }
+    }
+
+    /// Serializes the trace to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Serde`] on failure.
+    pub fn to_json(&self) -> Result<String, TraceError> {
+        serde_json::to_string(&self.jobs).map_err(|e| TraceError::Serde(e.to_string()))
+    }
+
+    /// Loads a trace from JSON produced by [`Trace::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Serde`] on malformed JSON, or a validation
+    /// error for inconsistent jobs.
+    pub fn from_json(json: &str) -> Result<Self, TraceError> {
+        let jobs: Vec<Job> =
+            serde_json::from_str(json).map_err(|e| TraceError::Serde(e.to_string()))?;
+        Self::new(jobs)
+    }
+
+    /// Per-server inter-arrival times (seconds) of the whole trace, for
+    /// predictor training/evaluation.
+    pub fn inter_arrival_times(&self) -> Vec<f64> {
+        self.jobs
+            .windows(2)
+            .map(|w| w[1].arrival.since(w[0].arrival))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hierdrl_sim::job::JobId;
+    use hierdrl_sim::resources::ResourceVec;
+
+    fn job(id: u64, t: f64, dur: f64) -> Job {
+        Job::new(
+            JobId(id),
+            SimTime::from_secs(t),
+            dur,
+            ResourceVec::cpu_mem_disk(0.1, 0.2, 0.05),
+        )
+    }
+
+    #[test]
+    fn sorted_jobs_accepted() {
+        let t = Trace::new(vec![job(0, 0.0, 10.0), job(1, 5.0, 10.0)]).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn unsorted_jobs_rejected_with_index() {
+        let err = Trace::new(vec![job(0, 5.0, 10.0), job(1, 1.0, 10.0)]).unwrap_err();
+        assert_eq!(err, TraceError::Unsorted { index: 1 });
+    }
+
+    #[test]
+    fn from_unsorted_sorts() {
+        let t = Trace::from_unsorted(vec![job(0, 5.0, 10.0), job(1, 1.0, 10.0)]).unwrap();
+        assert_eq!(t.jobs()[0].id, JobId(1));
+    }
+
+    #[test]
+    fn stats_compute_means() {
+        let t = Trace::new(vec![job(0, 0.0, 100.0), job(1, 10.0, 300.0)]).unwrap();
+        let s = t.stats().unwrap();
+        assert_eq!(s.count, 2);
+        assert!((s.mean_duration_s - 200.0).abs() < 1e-9);
+        assert!((s.arrival_rate - 0.2).abs() < 1e-9);
+        assert!((s.mean_cpu - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offered_load_uses_littles_law() {
+        let t = Trace::new(vec![job(0, 0.0, 100.0), job(1, 10.0, 300.0)]).unwrap();
+        let s = t.stats().unwrap();
+        // rate 0.2 * mean dur 200 * cpu 0.1 / 4 servers = 1.0
+        assert!((s.offered_cpu_load(4) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_has_no_stats() {
+        let t = Trace::new(Vec::new()).unwrap();
+        assert!(t.stats().is_none());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn segments_partition_and_rebase() {
+        let jobs: Vec<Job> = (0..10).map(|i| job(i, 100.0 + i as f64, 10.0)).collect();
+        let t = Trace::new(jobs).unwrap();
+        let segs = t.segments(3);
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs.iter().map(|s| s.len()).sum::<usize>(), 10);
+        for s in &segs {
+            assert_eq!(s.jobs()[0].arrival, SimTime::ZERO);
+        }
+    }
+
+    #[test]
+    fn take_rebases_prefix() {
+        let jobs: Vec<Job> = (0..5).map(|i| job(i, 50.0 + i as f64 * 2.0, 10.0)).collect();
+        let t = Trace::new(jobs).unwrap();
+        let head = t.take(3);
+        assert_eq!(head.len(), 3);
+        assert_eq!(head.jobs()[0].arrival, SimTime::ZERO);
+        assert_eq!(head.jobs()[2].arrival, SimTime::from_secs(4.0));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = Trace::new(vec![job(0, 0.0, 10.0), job(1, 5.0, 10.0)]).unwrap();
+        let json = t.to_json().unwrap();
+        let back = Trace::from_json(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn malformed_json_reports_serde_error() {
+        assert!(matches!(
+            Trace::from_json("not json"),
+            Err(TraceError::Serde(_))
+        ));
+    }
+
+    #[test]
+    fn inter_arrival_times() {
+        let t = Trace::new(vec![job(0, 0.0, 1.0), job(1, 3.0, 1.0), job(2, 7.0, 1.0)]).unwrap();
+        assert_eq!(t.inter_arrival_times(), vec![3.0, 4.0]);
+    }
+}

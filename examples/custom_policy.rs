@@ -1,0 +1,97 @@
+//! Extending the framework: plugging a custom allocation policy and a
+//! custom power-management policy into the simulator.
+//!
+//! Demonstrates the two control-plane traits ([`Allocator`] and
+//! [`PowerManager`]) that the paper's tiers also implement, so downstream
+//! users can prototype their own schedulers against the same cluster model
+//! and metrics.
+//!
+//! ```sh
+//! cargo run --release --example custom_policy
+//! ```
+
+use hierdrl::sim::prelude::*;
+use hierdrl::trace::prelude::*;
+
+/// A "power-aware best-fit" allocator: among awake servers where the job
+/// fits without queueing, pick the one whose CPU would become fullest
+/// (classic best-fit-decreasing intuition); otherwise wake the first
+/// sleeping server; otherwise join the shortest queue.
+struct BestFitAllocator;
+
+impl Allocator for BestFitAllocator {
+    fn select(&mut self, job: &Job, view: &ClusterView<'_>) -> ServerId {
+        let mut best: Option<(usize, f64)> = None; // (id, resulting cpu)
+        let mut sleeper = None;
+        let mut shortest: Option<(usize, usize)> = None;
+        for (i, s) in view.servers().iter().enumerate() {
+            if s.state().is_on() {
+                if s.queue_len() == 0 && s.used().fits_with(&job.demand, s.capacity()) {
+                    let after = s.cpu_utilization() + job.demand.cpu();
+                    if best.map_or(true, |(_, b)| after > b) {
+                        best = Some((i, after));
+                    }
+                }
+                let key = (s.jobs_in_system(), i);
+                if shortest.map_or(true, |f| key < f) {
+                    shortest = Some(key);
+                }
+            } else if sleeper.is_none() {
+                sleeper = Some(i);
+            }
+        }
+        if let Some((i, _)) = best {
+            ServerId(i)
+        } else if let Some(i) = sleeper {
+            ServerId(i)
+        } else {
+            ServerId(shortest.map_or(0, |(_, i)| i))
+        }
+    }
+}
+
+/// A power manager that sleeps only during the night hours (a simple
+/// calendar heuristic a datacenter operator might try).
+struct NightSleeper;
+
+impl PowerManager for NightSleeper {
+    fn on_idle(
+        &mut self,
+        _server: ServerId,
+        _view: &ClusterView<'_>,
+        now: SimTime,
+    ) -> TimeoutDecision {
+        let hour = (now.as_secs() % 86_400.0) / 3600.0;
+        if (0.0..6.0).contains(&hour) {
+            TimeoutDecision::SleepNow
+        } else {
+            TimeoutDecision::After(120.0)
+        }
+    }
+}
+
+fn main() -> Result<(), String> {
+    let m = 6;
+    let cluster_config = ClusterConfig::paper(m);
+    let workload = WorkloadConfig::google_like(3, 95_000.0 * m as f64 / 30.0);
+    let trace = TraceGenerator::new(workload)?.generate(SECS_PER_DAY);
+
+    let mut cluster = Cluster::new(cluster_config, trace.jobs().to_vec())?;
+    let outcome = cluster.run(
+        &mut BestFitAllocator,
+        &mut NightSleeper,
+        RunLimit::unbounded(),
+    );
+
+    println!("jobs completed : {}", outcome.totals.jobs_completed);
+    println!("energy         : {:.2} kWh", outcome.totals.energy_kwh());
+    println!("mean latency   : {:.1} s", outcome.totals.mean_latency_s());
+    println!("avg power      : {:.1} W", outcome.totals.average_power_watts());
+    if let Some(stats) = LatencyStats::from_jobs(cluster.completed_jobs()) {
+        println!(
+            "latency p50/p95: {:.0} s / {:.0} s (max {:.0} s)",
+            stats.p50, stats.p95, stats.max
+        );
+    }
+    Ok(())
+}

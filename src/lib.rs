@@ -1,0 +1,17 @@
+//! # hierdrl — Hierarchical DRL for Cloud Resource Allocation & Power Management
+//!
+//! Facade crate re-exporting the full public API of the workspace. See the
+//! individual crates for details:
+//!
+//! - [`neural`] — neural-network substrate (MLP, LSTM, autoencoder, Adam),
+//! - [`sim`] — continuous-time, event-driven cluster simulator,
+//! - [`trace`] — Google-cluster-style workload traces,
+//! - [`rl`] — SMDP Q-learning primitives,
+//! - [`core`] — the hierarchical framework itself (global DRL allocation
+//!   tier + local power-management tier) and all baselines.
+
+pub use hierdrl_core as core;
+pub use hierdrl_neural as neural;
+pub use hierdrl_rl as rl;
+pub use hierdrl_sim as sim;
+pub use hierdrl_trace as trace;

@@ -1,0 +1,188 @@
+//! Property-based invariants of the simulator and substrates, exercised
+//! with randomized workloads and configurations.
+
+use hierdrl::rl::prelude::*;
+use hierdrl::sim::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a small, valid job list sorted by arrival.
+fn arb_jobs(max_jobs: usize) -> impl Strategy<Value = Vec<Job>> {
+    prop::collection::vec(
+        (
+            0.0f64..5_000.0,  // arrival
+            1.0f64..2_000.0,  // duration
+            0.01f64..0.9,     // cpu
+            0.01f64..0.9,     // mem
+            0.001f64..0.3,    // disk
+        ),
+        1..max_jobs,
+    )
+    .prop_map(|raw| {
+        let mut jobs: Vec<Job> = raw
+            .into_iter()
+            .map(|(t, d, c, m, k)| {
+                (
+                    SimTime::from_secs(t),
+                    d,
+                    ResourceVec::cpu_mem_disk(c, m, k),
+                )
+            })
+            .enumerate()
+            .map(|(i, (t, d, dem))| Job::new(JobId(i as u64), t, d, dem))
+            .collect();
+        jobs.sort_by(|a, b| a.arrival.cmp(&b.arrival));
+        jobs
+    })
+}
+
+fn run_cluster(
+    jobs: Vec<Job>,
+    servers: usize,
+    timeout: f64,
+) -> (Cluster, RunOutcome) {
+    let mut cluster = Cluster::new(ClusterConfig::paper(servers), jobs).expect("valid cluster");
+    let outcome = cluster.run(
+        &mut RoundRobinAllocator::new(),
+        &mut FixedTimeoutPower::new(timeout),
+        RunLimit::unbounded(),
+    );
+    (cluster, outcome)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every job completes exactly once, and no later than physically
+    /// possible (arrival + duration is a lower bound on completion).
+    #[test]
+    fn all_jobs_complete_and_respect_causality(jobs in arb_jobs(40), servers in 1usize..6) {
+        let expected = jobs.len();
+        let (cluster, outcome) = run_cluster(jobs.clone(), servers, 30.0);
+        prop_assert_eq!(outcome.totals.jobs_completed as usize, expected);
+        for rec in cluster.completed_jobs() {
+            let job = jobs.iter().find(|j| j.id == rec.id).expect("job exists");
+            prop_assert!(rec.started >= job.arrival);
+            prop_assert!(rec.finished.as_secs() >= job.arrival.as_secs() + job.duration - 1e-6);
+            prop_assert!((rec.service_time() - job.duration).abs() < 1e-6);
+        }
+    }
+
+    /// Energy is non-negative, bounded by peak power times elapsed time,
+    /// and equals the sum of per-server energies.
+    #[test]
+    fn energy_is_conserved_and_bounded(jobs in arb_jobs(30), servers in 1usize..5) {
+        let (cluster, outcome) = run_cluster(jobs, servers, 60.0);
+        let sum: f64 = cluster.servers().iter().map(|s| s.stats().energy_joules).sum();
+        prop_assert!((outcome.totals.energy_joules - sum).abs() < 1e-6);
+        prop_assert!(outcome.totals.energy_joules >= 0.0);
+        let bound = 145.0 * servers as f64 * outcome.end_time.as_secs() + 1e-6;
+        prop_assert!(outcome.totals.energy_joules <= bound,
+            "energy {} exceeds peak bound {}", outcome.totals.energy_joules, bound);
+    }
+
+    /// Per-server time accounting partitions the whole run.
+    #[test]
+    fn state_times_partition_run(jobs in arb_jobs(30), servers in 1usize..5) {
+        let (cluster, outcome) = run_cluster(jobs, servers, 45.0);
+        let total = outcome.end_time.as_secs();
+        for s in cluster.servers() {
+            let st = s.stats();
+            let sum = st.busy_seconds + st.idle_seconds + st.sleep_seconds + st.transition_seconds;
+            prop_assert!((sum - total).abs() < 1e-6,
+                "state times {} do not sum to run length {}", sum, total);
+        }
+    }
+
+    /// Resource capacity is never exceeded: the jobs running concurrently
+    /// on a server always fit (verified post-hoc from completion records).
+    #[test]
+    fn capacity_is_never_exceeded(jobs in arb_jobs(30), servers in 1usize..4) {
+        let (cluster, _) = run_cluster(jobs.clone(), servers, 30.0);
+        // Sweep each server's records: at any job's start, the sum of
+        // demands of overlapping jobs must fit.
+        for sid in 0..servers {
+            let recs: Vec<_> = cluster
+                .completed_jobs()
+                .iter()
+                .filter(|r| r.server == ServerId(sid))
+                .collect();
+            for r in &recs {
+                let mut used = ResourceVec::zeros(3);
+                for other in &recs {
+                    // Overlapping execution intervals.
+                    if other.started.as_secs() <= r.started.as_secs() + 1e-9
+                        && other.finished.as_secs() > r.started.as_secs() + 1e-9
+                    {
+                        let job = jobs.iter().find(|j| j.id == other.id).unwrap();
+                        used.add_assign(&job.demand);
+                    }
+                }
+                for p in 0..3 {
+                    prop_assert!(used.get(p) <= 1.0 + 1e-6,
+                        "server {sid} exceeded capacity in dim {p}: {}", used.get(p));
+                }
+            }
+        }
+    }
+
+    /// FCFS: on any single server, start order equals arrival order.
+    #[test]
+    fn fcfs_start_order_matches_arrival_order(jobs in arb_jobs(30)) {
+        let (cluster, _) = run_cluster(jobs, 1, 30.0);
+        let recs = cluster.completed_jobs();
+        let mut by_start: Vec<_> = recs.to_vec();
+        by_start.sort_by(|a, b| a.started.cmp(&b.started).then(a.arrival.cmp(&b.arrival)));
+        for w in by_start.windows(2) {
+            prop_assert!(w[0].arrival <= w[1].arrival,
+                "job {:?} started before earlier-arriving {:?}", w[1].id, w[0].id);
+        }
+    }
+
+    /// Replay memory never exceeds capacity and sampling returns the
+    /// requested batch size once non-empty.
+    #[test]
+    fn replay_memory_bounds(capacity in 1usize..64, pushes in 0usize..200) {
+        let mut memory = ReplayMemory::new(capacity);
+        for i in 0..pushes {
+            memory.push(i);
+        }
+        prop_assert!(memory.len() <= capacity);
+        prop_assert_eq!(memory.len(), pushes.min(capacity));
+        let mut rng = rand::rngs::OsRng;
+        let batch = memory.sample(16, &mut rng);
+        if pushes == 0 {
+            prop_assert!(batch.is_empty());
+        } else {
+            prop_assert_eq!(batch.len(), 16);
+        }
+    }
+
+    /// The SMDP fixed point under constant reward matches the closed form.
+    /// (The per-iteration contraction is `1 - alpha (1 - e^{-beta tau})`,
+    /// so tiny sojourns converge slowly; the tau range keeps the iteration
+    /// budget sufficient.)
+    #[test]
+    fn smdp_fixed_point(r in -10.0f64..0.0, tau in 1.0f64..100.0) {
+        let params = SmdpParams::new(0.3, 0.01);
+        let w = reward_weight(params.beta, tau);
+        let d = discount(params.beta, tau);
+        let expected = w * r / (1.0 - d);
+        let mut q = 0.0;
+        for _ in 0..10_000 {
+            q = smdp_update(&params, q, r, tau, q);
+        }
+        prop_assert!((q - expected).abs() < 1e-3 * expected.abs().max(1.0),
+            "q {} vs fixed point {}", q, expected);
+    }
+
+    /// Discretizer bins are exhaustive and ordered.
+    #[test]
+    fn discretizer_bins_partition(lo in 0.5f64..10.0, ratio in 1.5f64..20.0, x in 0.0f64..100_000.0) {
+        let hi = lo * ratio;
+        let d = Discretizer::log_spaced(lo, hi, 6);
+        let bin = d.bin(x);
+        prop_assert!(bin < d.num_bins());
+        // Monotone: larger x never maps to a smaller bin.
+        prop_assert!(d.bin(x * 2.0 + 1.0) >= bin);
+    }
+}
