@@ -28,7 +28,11 @@ fn layout_m30() -> StateEncoder {
 fn random_state(layout: &StateEncoder, rng: &mut StdRng) -> GlobalState {
     GlobalState {
         groups: (0..layout.num_groups())
-            .map(|_| (0..layout.group_width()).map(|_| rng.gen::<f32>()).collect())
+            .map(|_| {
+                (0..layout.group_width())
+                    .map(|_| rng.gen::<f32>())
+                    .collect()
+            })
             .collect(),
         job: (0..layout.job_width()).map(|_| rng.gen::<f32>()).collect(),
     }
@@ -105,20 +109,18 @@ fn bench_simulator(c: &mut Criterion) {
 
 fn bench_matmul(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
-    let a = Matrix::from_vec(
-        32,
-        128,
-        (0..32 * 128).map(|_| rng.gen::<f32>()).collect(),
-    );
-    let b = Matrix::from_vec(
-        128,
-        64,
-        (0..128 * 64).map(|_| rng.gen::<f32>()).collect(),
-    );
+    let a = Matrix::from_vec(32, 128, (0..32 * 128).map(|_| rng.gen::<f32>()).collect());
+    let b = Matrix::from_vec(128, 64, (0..128 * 64).map(|_| rng.gen::<f32>()).collect());
     c.bench_function("matmul_32x128x64", |bch| {
         bch.iter(|| black_box(a.matmul(black_box(&b))))
     });
 }
 
-criterion_group!(benches, bench_dqn, bench_lstm, bench_simulator, bench_matmul);
+criterion_group!(
+    benches,
+    bench_dqn,
+    bench_lstm,
+    bench_simulator,
+    bench_matmul
+);
 criterion_main!(benches);

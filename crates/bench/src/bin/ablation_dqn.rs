@@ -1,112 +1,52 @@
 //! Ablations of the global tier's design choices (Section V-A): the group
 //! count `K` the paper varies between 2 and 4, the state enrichments this
 //! reproduction adds (availability + queue-depth features), encoder
-//! fine-tuning, and the first-fit guide component of the behavior policy.
+//! fine-tuning, and the first-fit guide component of the behavior policy —
+//! executed as the `ablation_dqn` suite preset.
 //!
-//! Each variant pre-trains on the same segments and evaluates on the same
-//! trace with the ad-hoc (sleep-immediately) local behaviour, reporting the
-//! Table-I metrics plus the final DNN training loss (a convergence proxy —
-//! the paper motivates the autoencoder + weight sharing as convergence
-//! accelerators).
+//! Each variant pre-trains on the same segments (shared through the trace
+//! cache) and evaluates on the same trace with the ad-hoc
+//! (sleep-immediately) local behaviour, reporting the Table-I metrics plus
+//! the final DNN training loss (a convergence proxy — the paper motivates
+//! the autoencoder + weight sharing as convergence accelerators).
 //!
 //! ```sh
 //! cargo run --release -p hierdrl-bench --bin ablation_dqn -- --jobs 10000
 //! ```
 
-use hierdrl_bench::harness::{drl_config, scale_from_args, Scale};
-use hierdrl_core::allocator::{DrlAllocator, DrlAllocatorConfig};
-use hierdrl_core::runner::{pretrain_drl, run_policies};
-use hierdrl_rl::policy::EpsilonSchedule;
-use hierdrl_sim::cluster::RunLimit;
-use hierdrl_sim::policies::SleepImmediatelyPower;
-
-struct Variant {
-    name: &'static str,
-    config: DrlAllocatorConfig,
-}
-
-fn variants(seed: u64) -> Vec<Variant> {
-    let base = drl_config(seed);
-    let mut out = Vec::new();
-
-    out.push(Variant {
-        name: "full (K=2)",
-        config: base.clone(),
-    });
-
-    for k in [3usize, 4] {
-        let mut c = base.clone();
-        c.state.num_groups = k;
-        out.push(Variant {
-            name: if k == 3 { "K=3 groups" } else { "K=4 groups" },
-            config: c,
-        });
-    }
-
-    let mut c = base.clone();
-    c.state.include_power_state = false;
-    out.push(Variant {
-        name: "no availability feature",
-        config: c,
-    });
-
-    let mut c = base.clone();
-    c.state.include_queue_len = false;
-    out.push(Variant {
-        name: "no queue feature",
-        config: c,
-    });
-
-    let mut c = base.clone();
-    c.qnet.fine_tune_encoder = true;
-    out.push(Variant {
-        name: "fine-tuned encoder",
-        config: c,
-    });
-
-    let mut c = base.clone();
-    c.guide = EpsilonSchedule::Constant(0.0);
-    out.push(Variant {
-        name: "no first-fit guide",
-        config: c,
-    });
-
-    out
-}
+use hierdrl_exp::cli::SweepArgs;
+use hierdrl_exp::presets::{self, Scale};
 
 fn main() {
-    let scale = scale_from_args(Scale {
+    let args = SweepArgs::from_env();
+    let scale = args.scale(Scale {
         m: 30,
         jobs: 10_000,
     });
-    eprintln!("ablation_dqn: M = {}, jobs = {}", scale.m, scale.jobs);
-    let cluster = scale.cluster();
-    let trace = scale.trace(60);
-    let segments = scale.pretrain_segments(5, 1.0, 60);
+    let runner = args.runner();
+    eprintln!(
+        "ablation_dqn: M = {}, jobs = {}, threads = {}",
+        scale.m,
+        scale.jobs,
+        runner.threads()
+    );
+    let run = runner
+        .run(&presets::ablation_dqn(scale))
+        .expect("ablation suite");
 
     println!(
         "{:<26} {:>12} {:>12} {:>10} {:>10}",
         "variant", "energy kWh", "lat/job s", "loss", "params ok"
     );
-    for v in variants(61) {
-        let mut allocator = DrlAllocator::new(scale.m, 3, v.config);
-        pretrain_drl(&mut allocator, &cluster, &segments).expect("pretraining");
-        let r = run_policies(
-            v.name,
-            &cluster,
-            &trace,
-            &mut allocator,
-            &mut SleepImmediatelyPower,
-            RunLimit::unbounded(),
-        )
-        .expect("evaluation run");
+    for cell in &run.cells {
+        let stats = cell.drl_stats.expect("ablation cells are DRL variants");
         println!(
             "{:<26} {:>12.2} {:>12.1} {:>10.4} {:>10}",
-            v.name,
-            r.energy_kwh(),
-            r.mean_latency_s(),
-            allocator.stats().loss_ema,
-            allocator.stats().autoencoder_trained,
+            cell.result.name,
+            cell.result.energy_kwh(),
+            cell.result.mean_latency_s(),
+            stats.loss_ema,
+            stats.autoencoder_trained,
         );
     }
 }

@@ -1,21 +1,29 @@
-//! Quick calibration probe: runs the paper's three systems at a reduced
-//! scale and prints the summary shape. Not a paper artifact — use it to
-//! sanity-check reward weights and workload calibration before the full
-//! `fig8`/`table1` runs.
+//! Quick calibration probe: runs the paper's three systems plus the
+//! hand-written consolidation envelope at a reduced scale and prints the
+//! summary shape. Not a paper artifact — use it to sanity-check reward
+//! weights and workload calibration before the full `fig8`/`table1` runs.
+//! Executed as the `calibrate` suite preset.
 
-use hierdrl_bench::harness::{
-    pretrained_drl, pretrained_hierarchical, print_summary_header, scale_from_args, summary_row,
-    Scale,
-};
-use hierdrl_core::hierarchical::PolicyPair;
-use hierdrl_core::runner::{run_experiment, run_policies};
-use hierdrl_sim::cluster::RunLimit;
-use hierdrl_sim::policies::SleepImmediatelyPower;
+use hierdrl_bench::harness::{print_summary_header, summary_row};
+use hierdrl_exp::cli::SweepArgs;
+use hierdrl_exp::presets::{self, Scale};
+use hierdrl_trace::materialize::TraceCache;
+use std::sync::Arc;
 
 fn main() {
-    let scale = scale_from_args(Scale { m: 10, jobs: 8_000 });
-    let cluster = scale.cluster();
-    let trace = scale.trace(42);
+    let args = SweepArgs::from_env();
+    let scale = args.scale(Scale { m: 10, jobs: 8_000 });
+    let traces = Arc::new(TraceCache::new());
+    let runner = args.runner().with_trace_cache(Arc::clone(&traces));
+    let suite = presets::calibrate(scale);
+    let run = runner.run(&suite).expect("calibrate suite");
+
+    // Workload shape of the shared evaluation trace (cache hit: the run
+    // already materialized it).
+    let scenario = &run.cells[0].scenario;
+    let trace = traces
+        .get(&scenario.trace_spec())
+        .expect("trace materializes");
     let stats = trace.stats().expect("non-empty trace");
     println!(
         "trace: {} jobs, span {:.2} h, mean duration {:.0} s, mean cpu {:.3}, offered load {:.2}",
@@ -27,71 +35,33 @@ fn main() {
     );
 
     print_summary_header();
-
-    // Round-robin baseline.
-    let rr = run_experiment(
-        &PolicyPair::round_robin_baseline(),
-        &cluster,
-        &trace,
-        RunLimit::unbounded(),
-    )
-    .expect("round-robin run");
-    println!("{}", summary_row(&rr));
-
-    // Reference envelope: hand-written consolidation and load-balancing.
-    for (name, alloc) in [
-        ("first-fit+sleep", hierdrl_core::hierarchical::AllocatorKind::FirstFit),
-        ("least-loaded+sleep", hierdrl_core::hierarchical::AllocatorKind::LeastLoaded),
-    ] {
-        let pair = PolicyPair {
-            name: name.into(),
-            allocator: alloc,
-            power: hierdrl_core::hierarchical::PowerKind::SleepImmediately,
-        };
-        let r = run_experiment(&pair, &cluster, &trace, RunLimit::unbounded()).expect(name);
-        println!("{}", summary_row(&r));
+    for cell in &run.cells {
+        println!("{}", summary_row(&cell.result));
     }
 
-    // DRL-only: pre-trained global tier + ad-hoc sleep.
-    let mut drl = pretrained_drl(scale, 7, 5);
-    let drl_only = run_policies(
-        "drl-only",
-        &cluster,
-        &trace,
-        &mut drl,
-        &mut SleepImmediatelyPower,
-        RunLimit::unbounded(),
-    )
-    .expect("drl-only run");
-    println!("{}", summary_row(&drl_only));
-    if let Some(l) = &drl_only.latency {
-        println!("  drl latency p50={:.0} p95={:.0} p99={:.0} max={:.0}", l.p50, l.p95, l.p99, l.max);
-    }
-    println!(
-        "  drl stats: decisions={} train_steps={} loss_ema={:.5} ae_loss={:.5}",
-        drl.stats().decisions, drl.stats().train_steps, drl.stats().loss_ema, drl.stats().autoencoder_loss
-    );
-
-    // Hierarchical: global + local tiers co-pre-trained.
-    let (mut drl2, mut dpm) = pretrained_hierarchical(scale, 7, 5, 0.5);
-    let hier = run_policies(
-        "hierarchical",
-        &cluster,
-        &trace,
-        &mut drl2,
-        &mut dpm,
-        RunLimit::unbounded(),
-    )
-    .expect("hierarchical run");
-    println!("{}", summary_row(&hier));
-    if let Some(l) = &hier.latency {
-        println!("  hier latency p50={:.0} p95={:.0} p99={:.0} max={:.0}", l.p50, l.p95, l.p99, l.max);
+    for policy in ["drl-only", "hierarchical"] {
+        let cell = run.find_policy(policy).expect("preset includes policy");
+        if let Some(l) = &cell.result.latency {
+            println!(
+                "  {policy} latency p50={:.0} p95={:.0} p99={:.0} max={:.0}",
+                l.p50, l.p95, l.p99, l.max
+            );
+        }
+        if let Some(stats) = &cell.drl_stats {
+            println!(
+                "  {policy} drl stats: decisions={} train_steps={} loss_ema={:.5} ae_loss={:.5}",
+                stats.decisions, stats.train_steps, stats.loss_ema, stats.autoencoder_loss
+            );
+        }
     }
 
+    let rr = &run.find_policy("round-robin").expect("rr cell").result;
+    let drl = &run.find_policy("drl-only").expect("drl cell").result;
+    let hier = &run.find_policy("hierarchical").expect("hier cell").result;
     println!(
         "\nshape check: RR lowest latency? {}  |  hier energy < drl-only? {}  |  drl-only energy < RR? {}",
-        rr.mean_latency_s() <= drl_only.mean_latency_s() && rr.mean_latency_s() <= hier.mean_latency_s(),
-        hier.energy_kwh() < drl_only.energy_kwh(),
-        drl_only.energy_kwh() < rr.energy_kwh(),
+        rr.mean_latency_s() <= drl.mean_latency_s() && rr.mean_latency_s() <= hier.mean_latency_s(),
+        hier.energy_kwh() < drl.energy_kwh(),
+        drl.energy_kwh() < rr.energy_kwh(),
     );
 }

@@ -6,70 +6,36 @@
 //! The paper's claim: the hierarchical curve encloses the smallest area
 //! against the axes — it dominates every fixed timeout.
 //!
-//! The global tier is pre-trained once and restored from a snapshot for
-//! every sweep point, so all points share the same allocation policy.
+//! All ten operating points share one scenario seed, so the suite runner's
+//! pre-train cache restores the *same* pre-trained global tier for every
+//! point — the paper's "pre-trained once, restored per sweep point" setup —
+//! while the points themselves run in parallel.
 //!
 //! ```sh
 //! cargo run --release -p hierdrl-bench --bin fig10            # paper scale
 //! cargo run --release -p hierdrl-bench --bin fig10 -- --quick # smoke scale
 //! ```
 
-use hierdrl_bench::harness::{dpm_config, pretrained_drl, scale_from_args, Scale};
-use hierdrl_core::allocator::DrlAllocator;
-use hierdrl_core::dpm::RlPowerManager;
-use hierdrl_core::runner::run_policies;
-use hierdrl_sim::cluster::RunLimit;
-use hierdrl_sim::policies::FixedTimeoutPower;
+use hierdrl_exp::cli::SweepArgs;
+use hierdrl_exp::presets::{self, Scale};
 
 fn main() {
-    let scale = scale_from_args(Scale::paper(30));
-    eprintln!("fig10: M = {}, jobs = {}", scale.m, scale.jobs);
-    let cluster = scale.cluster();
-    let trace = scale.trace(50);
-
-    // One shared pre-trained global tier.
-    let snapshot = pretrained_drl(scale, 77, 5).snapshot();
+    let args = SweepArgs::from_env();
+    let scale = args.scale(Scale::paper(30));
+    let runner = args.runner();
+    eprintln!(
+        "fig10: M = {}, jobs = {}, threads = {}",
+        scale.m,
+        scale.jobs,
+        runner.threads()
+    );
+    let run = runner.run(&presets::fig10(scale)).expect("fig10 suite");
 
     println!(
         "{:<26} {:>16} {:>16}",
         "system", "energy/job (kJ)", "latency/job (s)"
     );
-
-    // Fixed-timeout baselines: DRL global tier + timeout in {30, 60, 90} s.
-    for timeout in [30.0, 60.0, 90.0] {
-        let mut drl = DrlAllocator::from_snapshot(snapshot.clone());
-        let mut power = FixedTimeoutPower::new(timeout);
-        let r = run_policies(
-            &format!("drl+timeout-{timeout:.0}s"),
-            &cluster,
-            &trace,
-            &mut drl,
-            &mut power,
-            RunLimit::unbounded(),
-        )
-        .expect("fixed-timeout run");
-        println!(
-            "{:<26} {:>16.1} {:>16.1}",
-            r.name,
-            r.energy_per_job_j() / 1e3,
-            r.mean_latency_s()
-        );
-    }
-
-    // The hierarchical framework across the weight sweep: each point is one
-    // operating point of the trade-off curve.
-    for w in [0.05, 0.2, 0.35, 0.5, 0.65, 0.8, 0.95] {
-        let mut drl = DrlAllocator::from_snapshot(snapshot.clone());
-        let mut dpm = RlPowerManager::new(scale.m, dpm_config(w, 3));
-        let r = run_policies(
-            &format!("hierarchical w={w}"),
-            &cluster,
-            &trace,
-            &mut drl,
-            &mut dpm,
-            RunLimit::unbounded(),
-        )
-        .expect("hierarchical run");
+    for r in run.results() {
         println!(
             "{:<26} {:>16.1} {:>16.1}",
             r.name,

@@ -1,21 +1,29 @@
 //! Reproduces **Fig. 8**: accumulated job latency (a) and energy usage (b)
 //! versus the number of jobs for M = 30 servers, comparing the hierarchical
 //! framework, DRL-based resource allocation only, and the round-robin
-//! baseline.
+//! baseline — executed as the `fig8` suite preset.
 //!
 //! ```sh
 //! cargo run --release -p hierdrl-bench --bin fig8            # paper scale (95k jobs)
 //! cargo run --release -p hierdrl-bench --bin fig8 -- --quick # smoke scale
 //! ```
 
-use hierdrl_bench::harness::{
-    print_comparison, print_figure_series, run_three_systems, scale_from_args, Scale,
-};
+use hierdrl_bench::harness::{print_comparison, print_figure_series};
+use hierdrl_exp::cli::SweepArgs;
+use hierdrl_exp::presets::{self, Scale};
 
 fn main() {
-    let scale = scale_from_args(Scale::paper(30));
-    eprintln!("fig8: M = {}, jobs = {}", scale.m, scale.jobs);
-    let results = run_three_systems(scale, 42);
-    print_comparison(&results);
+    let args = SweepArgs::from_env();
+    let scale = args.scale(Scale::paper(30));
+    let runner = args.runner();
+    eprintln!(
+        "fig8: M = {}, jobs = {}, threads = {}",
+        scale.m,
+        scale.jobs,
+        runner.threads()
+    );
+    let run = runner.run(&presets::fig8(scale)).expect("fig8 suite");
+    let results = run.results();
+    print_comparison([results[0], results[1], results[2]]);
     print_figure_series(&results);
 }

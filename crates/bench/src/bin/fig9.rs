@@ -1,21 +1,29 @@
 //! Reproduces **Fig. 9**: accumulated job latency (a) and energy usage (b)
 //! versus the number of jobs for M = 40 servers (same comparison as Fig. 8
 //! at the larger cluster size; arrival volume scales with M so per-server
-//! load matches the paper's setup).
+//! load matches the paper's setup) — executed as the `fig9` suite preset.
 //!
 //! ```sh
 //! cargo run --release -p hierdrl-bench --bin fig9            # paper scale
 //! cargo run --release -p hierdrl-bench --bin fig9 -- --quick # smoke scale
 //! ```
 
-use hierdrl_bench::harness::{
-    print_comparison, print_figure_series, run_three_systems, scale_from_args, Scale,
-};
+use hierdrl_bench::harness::{print_comparison, print_figure_series};
+use hierdrl_exp::cli::SweepArgs;
+use hierdrl_exp::presets::{self, Scale};
 
 fn main() {
-    let scale = scale_from_args(Scale::paper(40));
-    eprintln!("fig9: M = {}, jobs = {}", scale.m, scale.jobs);
-    let results = run_three_systems(scale, 43);
-    print_comparison(&results);
+    let args = SweepArgs::from_env();
+    let scale = args.scale(Scale::paper(40));
+    let runner = args.runner();
+    eprintln!(
+        "fig9: M = {}, jobs = {}, threads = {}",
+        scale.m,
+        scale.jobs,
+        runner.threads()
+    );
+    let run = runner.run(&presets::fig9(scale)).expect("fig9 suite");
+    let results = run.results();
+    print_comparison([results[0], results[1], results[2]]);
     print_figure_series(&results);
 }

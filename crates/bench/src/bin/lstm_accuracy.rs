@@ -13,11 +13,13 @@
 //! cargo run --release -p hierdrl-bench --bin lstm_accuracy -- --jobs 20000
 //! ```
 
-use hierdrl_bench::harness::{scale_from_args, Scale};
 use hierdrl_core::predictor::{
     EwmaPredictor, IatPredictor, LastValuePredictor, LstmIatPredictor, MovingAveragePredictor,
     PredictorConfig,
 };
+use hierdrl_exp::cli::SweepArgs;
+use hierdrl_exp::presets::Scale;
+use hierdrl_exp::scenario::{Topology, WorkloadSpec};
 use hierdrl_rl::discretize::Discretizer;
 use hierdrl_sim::cluster::{Cluster, ClusterView, PowerManager, RunLimit, TimeoutDecision};
 use hierdrl_sim::job::ServerId;
@@ -46,11 +48,7 @@ impl PowerManager for ArrivalRecorder {
     }
 }
 
-fn score(
-    mut p: impl IatPredictor,
-    streams: &[Vec<f64>],
-    bins: &Discretizer,
-) -> (f64, f64, usize) {
+fn score(mut p: impl IatPredictor, streams: &[Vec<f64>], bins: &Discretizer) -> (f64, f64, usize) {
     let mut log_err = 0.0;
     let mut bin_hits = 0usize;
     let mut scored = 0usize;
@@ -75,23 +73,24 @@ fn score(
 }
 
 fn main() {
-    let scale = scale_from_args(Scale {
+    let scale = SweepArgs::from_env().scale(Scale {
         m: 30,
         jobs: 20_000,
     });
     eprintln!("lstm_accuracy: M = {}, jobs = {}", scale.m, scale.jobs);
 
     // Produce per-server arrival streams with a consolidating allocator.
-    let trace = scale.trace(70);
-    let mut cluster = Cluster::new(scale.cluster(), trace.into_jobs()).expect("cluster");
+    let topology = Topology::paper(scale.m);
+    let trace = WorkloadSpec::paper()
+        .with_total_jobs(scale.jobs)
+        .trace_spec(&topology, 70)
+        .materialize()
+        .expect("trace materializes");
+    let mut cluster = Cluster::new(topology.cluster, trace.into_jobs()).expect("cluster");
     let mut recorder = ArrivalRecorder {
         arrivals: vec![Vec::new(); scale.m],
     };
-    cluster.run(
-        &mut FirstFitAllocator,
-        &mut recorder,
-        RunLimit::unbounded(),
-    );
+    cluster.run(&mut FirstFitAllocator, &mut recorder, RunLimit::unbounded());
     let streams: Vec<Vec<f64>> = recorder
         .arrivals
         .into_iter()
@@ -111,7 +110,10 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(3);
     let lstm = LstmIatPredictor::new(PredictorConfig::default(), &mut rng);
     let (mae, acc, n) = score(lstm, &streams, &bins);
-    println!("{:<22} {:>16.4} {:>14.3} {:>10}", "lstm (paper)", mae, acc, n);
+    println!(
+        "{:<22} {:>16.4} {:>14.3} {:>10}",
+        "lstm (paper)", mae, acc, n
+    );
 
     let (mae, acc, n) = score(LastValuePredictor::default(), &streams, &bins);
     println!("{:<22} {:>16.4} {:>14.3} {:>10}", "last-value", mae, acc, n);

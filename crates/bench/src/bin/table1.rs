@@ -1,26 +1,56 @@
 //! Reproduces **Table I**: accumulated energy (kWh), accumulated latency
-//! (1e6 s), and average power (W) at job count 95,000 for the round-robin
-//! baseline, DRL-based allocation only, and the hierarchical framework, at
-//! M = 30 and M = 40 — plus the paper's headline percentage savings
-//! (Sec. VII-B: 53.97% power/energy saving vs round-robin at M = 30, etc.).
+//! (1e6 s), and average power (W) for the round-robin baseline, DRL-based
+//! allocation only, and the hierarchical framework, at M = 30 and M = 40 —
+//! plus the paper's headline percentage savings (Sec. VII-B). The whole
+//! grid runs through the parallel `SuiteRunner` as the `table1` preset, and
+//! the per-cell timing lands in a machine-readable artifact
+//! (`BENCH_suite.json` by default) for tracking runner throughput.
 //!
 //! ```sh
 //! cargo run --release -p hierdrl-bench --bin table1            # paper scale
 //! cargo run --release -p hierdrl-bench --bin table1 -- --quick # smoke scale
+//! cargo run --release -p hierdrl-bench --bin table1 -- --out /tmp/bench.json
 //! ```
 
-use hierdrl_bench::harness::{print_comparison, run_three_systems, scale_from_args, Scale};
+use hierdrl_bench::harness::print_comparison;
+use hierdrl_exp::cli::SweepArgs;
+use hierdrl_exp::presets::{self, Scale};
 
 fn main() {
-    let base = scale_from_args(Scale::paper(30));
-    for m in [30usize, 40] {
-        // Hold per-server load constant across cluster sizes like the paper.
-        let scale = Scale {
-            m: if base.m == 30 { m } else { base.m * m / 30 },
-            jobs: base.jobs * m as u64 / 30,
-        };
-        println!("\n===== M = {} (jobs = {}) =====", scale.m, scale.jobs);
-        let results = run_three_systems(scale, 42 + m as u64);
-        print_comparison(&results);
+    let args = SweepArgs::from_env();
+    let scale = args.scale(Scale::paper(30));
+    let runner = args.runner();
+    eprintln!(
+        "table1: base M = {}, jobs = {}, threads = {}",
+        scale.m,
+        scale.jobs,
+        runner.threads()
+    );
+    let suite = presets::table1(scale);
+    let run = runner.run(&suite).expect("table1 suite");
+
+    // The grid is 2 topologies x 3 systems, in suite order.
+    let results = run.results();
+    for (topo_idx, chunk) in results.chunks(3).enumerate() {
+        let cell = &run.cells[topo_idx * 3].scenario;
+        println!(
+            "\n===== M = {} (jobs = {}) =====",
+            cell.topology.servers(),
+            cell.workload.jobs_for(cell.topology.servers())
+        );
+        print_comparison([chunk[0], chunk[1], chunk[2]]);
     }
+
+    let bench = run.bench_report();
+    eprintln!(
+        "\nsuite: {} cells in {:.2}s wall ({:.0} jobs/s aggregate, {} traces materialized, {} cache hits)",
+        bench.cells_total,
+        bench.total_wall_s,
+        bench.jobs_per_s,
+        bench.traces_materialized,
+        bench.trace_cache_hits
+    );
+    let out = args.out.as_deref().unwrap_or("BENCH_suite.json");
+    std::fs::write(out, bench.to_json_pretty() + "\n").expect("write bench artifact");
+    eprintln!("wrote {out}");
 }

@@ -1,143 +1,10 @@
-//! Shared experiment plumbing for the benchmark binaries.
+//! Presentation helpers for the benchmark binaries.
+//!
+//! All experiment *orchestration* (scales, grids, pre-training, execution)
+//! lives in `hierdrl-exp`; this module only formats the resulting
+//! [`ExperimentResult`]s into the paper's tables and figure series.
 
-use hierdrl_core::allocator::{DrlAllocator, DrlAllocatorConfig};
-use hierdrl_core::dpm::RlPowerConfig;
-use hierdrl_core::dpm::RlPowerManager;
-use hierdrl_core::runner::{pretrain_drl, pretrain_pair, ExperimentResult};
-use hierdrl_sim::config::ClusterConfig;
-use hierdrl_trace::generator::{TraceGenerator, WorkloadConfig};
-use hierdrl_trace::trace::Trace;
-
-/// Jobs per week the paper's segments carry for a 30-machine cluster.
-pub const PAPER_JOBS_PER_WEEK_M30: f64 = 95_000.0;
-/// The job count at which Table I reports its metrics.
-pub const PAPER_REPORT_JOBS: u64 = 95_000;
-
-/// Scale of an experiment: cluster size and job count.
-#[derive(Debug, Clone, Copy)]
-pub struct Scale {
-    /// Number of servers `M`.
-    pub m: usize,
-    /// Jobs to simulate.
-    pub jobs: u64,
-}
-
-impl Scale {
-    /// The paper's setup for a given `M` (load per server held constant).
-    pub fn paper(m: usize) -> Self {
-        Self {
-            m,
-            jobs: PAPER_REPORT_JOBS,
-        }
-    }
-
-    /// Weekly arrival volume scaled so per-server load matches the paper's
-    /// 30-machine setup.
-    pub fn jobs_per_week(&self) -> f64 {
-        PAPER_JOBS_PER_WEEK_M30 * self.m as f64 / 30.0
-    }
-
-    /// Generates the evaluation trace for this scale.
-    pub fn trace(&self, seed: u64) -> Trace {
-        let config = WorkloadConfig::google_like(seed, self.jobs_per_week());
-        TraceGenerator::new(config)
-            .expect("valid workload config")
-            .generate_n(self.jobs as usize)
-    }
-
-    /// Generates `count` pre-training segments (Section VII-A uses five
-    /// clusters' traces), each `fraction` of the evaluation length.
-    pub fn pretrain_segments(&self, count: usize, fraction: f64, seed0: u64) -> Vec<Trace> {
-        let n = ((self.jobs as f64 * fraction) as usize).max(200);
-        (0..count)
-            .map(|i| {
-                let config =
-                    WorkloadConfig::google_like(seed0 + 1000 + i as u64, self.jobs_per_week());
-                TraceGenerator::new(config)
-                    .expect("valid workload config")
-                    .generate_n(n)
-            })
-            .collect()
-    }
-
-    /// The paper's cluster configuration at this scale.
-    pub fn cluster(&self) -> ClusterConfig {
-        ClusterConfig::paper(self.m)
-    }
-}
-
-/// Parses `--m <M>` and `--jobs <N>` (and `--quick`) from argv, starting
-/// from `default_scale`.
-pub fn scale_from_args(default_scale: Scale) -> Scale {
-    let args: Vec<String> = std::env::args().collect();
-    let mut scale = default_scale;
-    let mut i = 1;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--m" if i + 1 < args.len() => {
-                scale.m = args[i + 1].parse().expect("--m expects an integer");
-                i += 2;
-            }
-            "--jobs" if i + 1 < args.len() => {
-                scale.jobs = args[i + 1].parse().expect("--jobs expects an integer");
-                i += 2;
-            }
-            "--quick" => {
-                scale.m = scale.m.min(10);
-                scale.jobs = scale.jobs.min(5_000);
-                i += 1;
-            }
-            other => {
-                eprintln!("ignoring unknown argument {other:?}");
-                i += 1;
-            }
-        }
-    }
-    scale
-}
-
-/// The DRL allocator configuration used by all benches.
-pub fn drl_config(seed: u64) -> DrlAllocatorConfig {
-    DrlAllocatorConfig {
-        seed,
-        ..Default::default()
-    }
-}
-
-/// The RL local-tier configuration used by all benches, parameterized by
-/// the power/latency weight `w` of Eqn. 5.
-pub fn dpm_config(weight: f64, seed: u64) -> RlPowerConfig {
-    RlPowerConfig {
-        weight,
-        seed,
-        ..Default::default()
-    }
-}
-
-/// Builds and offline-pre-trains a DRL allocator exactly as Section VII-A
-/// describes: epsilon-greedy rollouts over `segments` workload segments.
-pub fn pretrained_drl(scale: Scale, seed: u64, segments: usize) -> DrlAllocator {
-    let mut allocator = DrlAllocator::new(scale.m, 3, drl_config(seed));
-    let segs = scale.pretrain_segments(segments, 0.15, seed);
-    pretrain_drl(&mut allocator, &scale.cluster(), &segs).expect("pretraining rollouts run");
-    allocator
-}
-
-/// Builds and co-pre-trains the hierarchical pair (DRL global tier + RL
-/// local tier) on shared rollout segments.
-pub fn pretrained_hierarchical(
-    scale: Scale,
-    seed: u64,
-    segments: usize,
-    weight: f64,
-) -> (DrlAllocator, RlPowerManager) {
-    let mut allocator = DrlAllocator::new(scale.m, 3, drl_config(seed));
-    let mut dpm = RlPowerManager::new(scale.m, dpm_config(weight, seed ^ 0x5eed));
-    let segs = scale.pretrain_segments(segments, 0.15, seed);
-    pretrain_pair(&mut allocator, &mut dpm, &scale.cluster(), &segs)
-        .expect("pretraining rollouts run");
-    (allocator, dpm)
-}
+use hierdrl_core::runner::ExperimentResult;
 
 /// Formats a row of the Table I-style summary.
 pub fn summary_row(result: &ExperimentResult) -> String {
@@ -175,54 +42,9 @@ pub fn pct_saving(baseline: f64, ours: f64) -> f64 {
     }
 }
 
-/// Runs the paper's three systems (round-robin, DRL-only, hierarchical) on
-/// one evaluation trace at the given scale, pre-training the learners
-/// offline first. Returns results in that order.
-pub fn run_three_systems(scale: Scale, seed: u64) -> [ExperimentResult; 3] {
-    use hierdrl_core::hierarchical::PolicyPair;
-    use hierdrl_core::runner::{run_experiment, run_policies};
-    use hierdrl_sim::cluster::RunLimit;
-    use hierdrl_sim::policies::SleepImmediatelyPower;
-
-    let cluster = scale.cluster();
-    let trace = scale.trace(seed);
-
-    let rr = run_experiment(
-        &PolicyPair::round_robin_baseline(),
-        &cluster,
-        &trace,
-        RunLimit::unbounded(),
-    )
-    .expect("round-robin run");
-
-    let mut drl = pretrained_drl(scale, seed.wrapping_add(7), 5);
-    let drl_only = run_policies(
-        "drl-only",
-        &cluster,
-        &trace,
-        &mut drl,
-        &mut SleepImmediatelyPower,
-        RunLimit::unbounded(),
-    )
-    .expect("drl-only run");
-
-    let (mut drl2, mut dpm) = pretrained_hierarchical(scale, seed.wrapping_add(7), 5, 0.5);
-    let hier = run_policies(
-        "hierarchical",
-        &cluster,
-        &trace,
-        &mut drl2,
-        &mut dpm,
-        RunLimit::unbounded(),
-    )
-    .expect("hierarchical run");
-
-    [rr, drl_only, hier]
-}
-
 /// Prints the accumulated-latency and energy-vs-jobs curves of Figs. 8/9 as
 /// aligned CSV (one row per sample stride).
-pub fn print_figure_series(results: &[ExperimentResult]) {
+pub fn print_figure_series(results: &[&ExperimentResult]) {
     println!("\n# accumulated job latency (1e6 s) and energy (kWh) vs completed jobs");
     print!("jobs");
     for r in results {
@@ -253,11 +75,12 @@ pub fn print_figure_series(results: &[ExperimentResult]) {
 }
 
 /// Prints the Table I-style comparison plus the paper's headline
-/// percentage-saving claims for a three-system result set.
-pub fn print_comparison(results: &[ExperimentResult; 3]) {
+/// percentage-saving claims for a `[round-robin, drl-only, hierarchical]`
+/// result triple.
+pub fn print_comparison(results: [&ExperimentResult; 3]) {
     let [rr, drl, hier] = results;
     print_summary_header();
-    for r in results.iter() {
+    for r in results {
         println!("{}", summary_row(r));
     }
     println!();
@@ -286,35 +109,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn paper_scale_matches_section_vii() {
-        let s = Scale::paper(30);
-        assert_eq!(s.m, 30);
-        assert_eq!(s.jobs, 95_000);
-        assert!((s.jobs_per_week() - 95_000.0).abs() < 1e-9);
-        let s40 = Scale::paper(40);
-        assert!((s40.jobs_per_week() - 95_000.0 * 40.0 / 30.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn trace_generation_honors_job_count() {
-        let s = Scale { m: 5, jobs: 300 };
-        assert_eq!(s.trace(1).len(), 300);
-    }
-
-    #[test]
     fn pct_saving_signs() {
         assert!((pct_saving(100.0, 50.0) - 50.0).abs() < 1e-12);
         assert!(pct_saving(100.0, 120.0) < 0.0);
         assert_eq!(pct_saving(0.0, 5.0), 0.0);
-    }
-
-    #[test]
-    fn pretrain_segments_have_requested_size() {
-        let s = Scale { m: 5, jobs: 1000 };
-        let segs = s.pretrain_segments(3, 0.2, 9);
-        assert_eq!(segs.len(), 3);
-        for seg in &segs {
-            assert_eq!(seg.len(), 200);
-        }
     }
 }

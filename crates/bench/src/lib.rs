@@ -1,20 +1,24 @@
 //! # hierdrl-bench
 //!
-//! Benchmark harnesses that regenerate every table and figure of the
-//! paper's evaluation (Section VII), plus ablations. Each binary prints the
-//! same rows/series the paper reports:
+//! Benchmark binaries that regenerate every table and figure of the
+//! paper's evaluation (Section VII), plus ablations. Each binary is a thin
+//! wrapper over a named suite preset in `hierdrl_exp::presets`, executed by
+//! the parallel `SuiteRunner`:
 //!
-//! | Binary | Paper artifact |
-//! |---|---|
-//! | `fig8` | Fig. 8: accumulated latency & energy vs. jobs, M = 30 |
-//! | `fig9` | Fig. 9: same, M = 40 |
-//! | `table1` | Table I: energy/latency/power at job 95,000 |
-//! | `fig10` | Fig. 10: latency-energy trade-off curves |
-//! | `ablation_dqn` | autoencoder/weight-sharing & group-count ablations |
-//! | `lstm_accuracy` | LSTM predictor vs. simpler baselines |
+//! | Binary | Paper artifact | Preset |
+//! |---|---|---|
+//! | `fig8` | Fig. 8: accumulated latency & energy vs. jobs, M = 30 | `presets::fig8` |
+//! | `fig9` | Fig. 9: same, M = 40 | `presets::fig9` |
+//! | `table1` | Table I: energy/latency/power at job 95,000 | `presets::table1` |
+//! | `fig10` | Fig. 10: latency-energy trade-off curves | `presets::fig10` |
+//! | `ablation_dqn` | autoencoder/weight-sharing & group-count ablations | `presets::ablation_dqn` |
+//! | `calibrate` | calibration probe (not a paper artifact) | `presets::calibrate` |
+//! | `lstm_accuracy` | LSTM predictor vs. simpler baselines | (bespoke) |
 //!
-//! All binaries accept `--jobs N` and `--m M` to scale down (e.g. for smoke
-//! runs); defaults reproduce the paper's setup. Criterion micro-benches
-//! (decision latency, LSTM step, simulator throughput) live in `benches/`.
+//! All binaries accept `--jobs N`, `--m M`, `--quick` (smoke scale), and
+//! `--threads T`; `table1` additionally writes its machine-readable timing
+//! artifact to `--out PATH` (default `BENCH_suite.json`). Criterion
+//! micro-benches (decision latency, LSTM step, simulator throughput) live
+//! in `benches/`.
 
 pub mod harness;

@@ -224,6 +224,7 @@ impl DrlAllocator {
     pub fn new(num_servers: usize, resource_dims: usize, config: DrlAllocatorConfig) -> Self {
         assert!(config.minibatch > 0, "minibatch must be positive");
         assert!(config.train_interval > 0, "train_interval must be positive");
+        assert!(config.target_sync > 0, "target_sync must be positive");
         config.reward.validate().expect("invalid reward weights");
         let mut rng = StdRng::seed_from_u64(config.seed);
         let encoder = StateEncoder::new(num_servers, resource_dims, config.state);
@@ -381,7 +382,10 @@ impl DrlAllocator {
     fn maybe_train(&mut self) {
         if !self.learning
             || self.stats.decisions < self.config.warmup_decisions
-            || self.stats.decisions % self.config.train_interval != 0
+            || !self
+                .stats
+                .decisions
+                .is_multiple_of(self.config.train_interval)
             || self.replay.len() < self.config.minibatch
         {
             return;
@@ -399,13 +403,9 @@ impl DrlAllocator {
         let batch: Vec<QSample> = transitions
             .into_iter()
             .map(|t| {
-                let max_next =
-                    f64::from(self.target_net.max_q(&t.next_state, self.num_servers));
-                let raw =
-                    smdp_target(&self.config.smdp, t.reward_rate, t.sojourn, max_next);
-                let prev = f64::from(
-                    self.target_net.q_values(&t.state)[t.action],
-                );
+                let max_next = f64::from(self.target_net.max_q(&t.next_state, self.num_servers));
+                let raw = smdp_target(&self.config.smdp, t.reward_rate, t.sojourn, max_next);
+                let prev = f64::from(self.target_net.q_values(&t.state)[t.action]);
                 let blended = prev + self.config.smdp.alpha * (raw - prev);
                 QSample {
                     state: t.state,
@@ -416,7 +416,11 @@ impl DrlAllocator {
             .collect();
         let loss = self.qnet.train_batch(&batch) as f64;
         self.stats.train_steps += 1;
-        if self.stats.train_steps % self.config.target_sync == 0 {
+        if self
+            .stats
+            .train_steps
+            .is_multiple_of(self.config.target_sync)
+        {
             self.target_net = self.qnet.clone();
         }
         self.stats.loss_ema = if self.stats.train_steps == 1 {

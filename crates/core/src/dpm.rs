@@ -90,11 +90,7 @@ impl RlPowerConfig {
         if self.timeouts.is_empty() {
             return Err("need at least one timeout action".into());
         }
-        if self
-            .timeouts
-            .iter()
-            .any(|t| !(t.is_finite() && *t >= 0.0))
-        {
+        if self.timeouts.iter().any(|t| !(t.is_finite() && *t >= 0.0)) {
             return Err("timeouts must be finite and non-negative".into());
         }
         if !(0.0..=1.0).contains(&self.weight) {
@@ -199,7 +195,11 @@ impl RlPowerManager {
                 }
             })
             .collect();
-        let table_count = if config.shared_learning { 1 } else { num_servers };
+        let table_count = if config.shared_learning {
+            1
+        } else {
+            num_servers
+        };
         let tables = (0..table_count)
             .map(|_| QTable::new(config.timeouts.len(), 0.0))
             .collect();
@@ -267,13 +267,9 @@ impl RlPowerManager {
     }
 
     fn state_for(&self, agent: &ServerAgent) -> u16 {
-        let predicted = agent
-            .predictor
-            .predict()
-            .unwrap_or(self.config.iat_range.1);
+        let predicted = agent.predictor.predict().unwrap_or(self.config.iat_range.1);
         self.discretizer.bin(predicted) as u16
     }
-
 }
 
 /// Computes the reward rate (Eqn. 5) and sojourn over a closed interval
@@ -292,10 +288,7 @@ fn reward_rate(
     }
     let avg_power_norm = (energy_j - pending.energy_j) / tau / peak_watts;
     let avg_jq = (queue_integral - pending.queue_integral) / tau;
-    Some((
-        -(weight * avg_power_norm + (1.0 - weight) * avg_jq),
-        tau,
-    ))
+    Some((-(weight * avg_power_norm + (1.0 - weight) * avg_jq), tau))
 }
 
 impl PowerManager for RlPowerManager {
@@ -484,11 +477,7 @@ mod tests {
         // All jobs to server 0 via a constant allocator.
         struct ToZero;
         impl hierdrl_sim::cluster::Allocator for ToZero {
-            fn select(
-                &mut self,
-                _job: &Job,
-                _view: &ClusterView<'_>,
-            ) -> ServerId {
+            fn select(&mut self, _job: &Job, _view: &ClusterView<'_>) -> ServerId {
                 ServerId(0)
             }
         }

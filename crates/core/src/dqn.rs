@@ -289,7 +289,10 @@ impl GroupedQNetwork {
         let mut codes: Vec<(usize, Matrix)> = Vec::with_capacity(self.num_groups - 1);
         for k2 in 0..self.num_groups {
             if k2 != k {
-                let code = self.autoencoder.encoder_mut().forward(&s.state.group_matrix(k2));
+                let code = self
+                    .autoencoder
+                    .encoder_mut()
+                    .forward(&s.state.group_matrix(k2));
                 codes.push((k2, code));
             }
         }
@@ -362,7 +365,11 @@ mod tests {
         use rand::Rng;
         GlobalState {
             groups: (0..layout.num_groups())
-                .map(|_| (0..layout.group_width()).map(|_| rng.gen::<f32>()).collect())
+                .map(|_| {
+                    (0..layout.group_width())
+                        .map(|_| rng.gen::<f32>())
+                        .collect()
+                })
                 .collect(),
             job: (0..layout.job_width()).map(|_| rng.gen::<f32>()).collect(),
         }

@@ -189,10 +189,8 @@ mod tests {
         assert_eq!(drl_only.power, PowerKind::SleepImmediately);
         assert!(matches!(drl_only.allocator, AllocatorKind::Drl(_)));
 
-        let hier = PolicyPair::hierarchical(
-            DrlAllocatorConfig::default(),
-            RlPowerConfig::default(),
-        );
+        let hier =
+            PolicyPair::hierarchical(DrlAllocatorConfig::default(), RlPowerConfig::default());
         assert!(matches!(hier.power, PowerKind::Rl(_)));
     }
 

@@ -58,12 +58,13 @@ pub mod prelude {
     pub use crate::dqn::{GroupedQNetwork, QNetworkConfig, QSample};
     pub use crate::hierarchical::{AllocatorKind, PolicyPair, PowerKind};
     pub use crate::predictor::{
-        EwmaPredictor, IatPredictor, LastValuePredictor, LstmIatPredictor,
-        MovingAveragePredictor, PredictorConfig,
+        EwmaPredictor, IatPredictor, LastValuePredictor, LstmIatPredictor, MovingAveragePredictor,
+        PredictorConfig,
     };
     pub use crate::reward::{reward_rate_between, RewardWeights};
     pub use crate::runner::{
-        pretrain_drl, pretrain_pair, run_experiment, run_policies, ExperimentResult, FleetStats,
+        pretrain_drl, pretrain_pair, run_experiment, run_policies, Experiment, ExperimentResult,
+        FleetStats,
     };
     pub use crate::state::{GlobalState, StateEncoder, StateEncoderConfig};
 }

@@ -76,9 +76,8 @@ fn fleet_stats(cluster: &Cluster) -> FleetStats {
     let n = cluster.servers().len() as f64;
     for s in cluster.servers() {
         let st = s.stats();
-        let total =
-            (st.busy_seconds + st.idle_seconds + st.sleep_seconds + st.transition_seconds)
-                .max(1e-9);
+        let total = (st.busy_seconds + st.idle_seconds + st.sleep_seconds + st.transition_seconds)
+            .max(1e-9);
         f.busy_fraction += st.busy_seconds / total / n;
         f.idle_fraction += st.idle_seconds / total / n;
         f.sleep_fraction += st.sleep_seconds / total / n;
@@ -86,6 +85,99 @@ fn fleet_stats(cluster: &Cluster) -> FleetStats {
         f.total_wake_transitions += st.wake_transitions;
     }
     f
+}
+
+/// A single, reusable experiment definition: one cluster configuration and
+/// one workload trace, executable under any control-plane pair.
+///
+/// This is the entry point the experiment-orchestration layer
+/// (`hierdrl-exp`) drives: a suite cell borrows its (possibly cached) trace
+/// and cluster config, builds an `Experiment`, and runs whichever policies
+/// the scenario names. The historical free functions
+/// [`run_experiment`]/[`run_policies`] are thin wrappers around it.
+///
+/// # Examples
+///
+/// ```
+/// use hierdrl_core::prelude::*;
+/// use hierdrl_sim::prelude::*;
+/// use hierdrl_trace::prelude::*;
+///
+/// let cluster = ClusterConfig::paper(4);
+/// let trace = TraceGenerator::new(WorkloadConfig::google_like(1, 95_000.0))?
+///     .generate_n(100);
+///
+/// let experiment = Experiment::new("demo", &cluster, &trace);
+/// let result = experiment.run_pair(&PolicyPair::round_robin_baseline())?;
+/// assert_eq!(result.outcome.totals.jobs_completed, 100);
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Experiment<'a> {
+    /// Display name attached to results.
+    pub name: &'a str,
+    /// Cluster under test.
+    pub cluster: &'a ClusterConfig,
+    /// Workload to replay.
+    pub trace: &'a Trace,
+    /// Bounds on the run.
+    pub limit: RunLimit,
+}
+
+impl<'a> Experiment<'a> {
+    /// An unbounded experiment over the given cluster and trace.
+    pub fn new(name: &'a str, cluster: &'a ClusterConfig, trace: &'a Trace) -> Self {
+        Self {
+            name,
+            cluster,
+            trace,
+            limit: RunLimit::unbounded(),
+        }
+    }
+
+    /// Replaces the run limit.
+    #[must_use]
+    pub fn with_limit(mut self, limit: RunLimit) -> Self {
+        self.limit = limit;
+        self
+    }
+
+    /// Runs pre-built policy objects, leaving them trained afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the cluster configuration or trace is invalid.
+    pub fn run(
+        &self,
+        allocator: &mut dyn Allocator,
+        power: &mut dyn PowerManager,
+    ) -> Result<ExperimentResult, String> {
+        let mut cluster = Cluster::new(self.cluster.clone(), self.trace.jobs().to_vec())?;
+        let outcome = cluster.run(allocator, power, self.limit);
+        Ok(ExperimentResult {
+            name: self.name.to_string(),
+            latency: LatencyStats::from_jobs(cluster.completed_jobs()),
+            fleet: fleet_stats(&cluster),
+            outcome,
+        })
+    }
+
+    /// Builds fresh policy objects from a [`PolicyPair`] and runs them.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the cluster configuration or trace is invalid.
+    pub fn run_pair(&self, pair: &PolicyPair) -> Result<ExperimentResult, String> {
+        let mut allocator = pair
+            .allocator
+            .build(self.cluster.num_servers, self.cluster.resource_dims);
+        let mut power = pair.power.build(self.cluster.num_servers);
+        Experiment {
+            name: &pair.name,
+            ..*self
+        }
+        .run(allocator.as_mut(), power.as_mut())
+    }
 }
 
 /// Runs pre-built policy objects on a trace. Useful when the caller owns a
@@ -102,14 +194,9 @@ pub fn run_policies(
     power: &mut dyn PowerManager,
     limit: RunLimit,
 ) -> Result<ExperimentResult, String> {
-    let mut cluster = Cluster::new(cluster_config.clone(), trace.jobs().to_vec())?;
-    let outcome = cluster.run(allocator, power, limit);
-    Ok(ExperimentResult {
-        name: name.to_string(),
-        latency: LatencyStats::from_jobs(cluster.completed_jobs()),
-        fleet: fleet_stats(&cluster),
-        outcome,
-    })
+    Experiment::new(name, cluster_config, trace)
+        .with_limit(limit)
+        .run(allocator, power)
 }
 
 /// Runs a [`PolicyPair`] on a trace, building fresh policy objects.
@@ -123,18 +210,9 @@ pub fn run_experiment(
     trace: &Trace,
     limit: RunLimit,
 ) -> Result<ExperimentResult, String> {
-    let mut allocator = pair
-        .allocator
-        .build(cluster_config.num_servers, cluster_config.resource_dims);
-    let mut power = pair.power.build(cluster_config.num_servers);
-    run_policies(
-        &pair.name,
-        cluster_config,
-        trace,
-        allocator.as_mut(),
-        power.as_mut(),
-        limit,
-    )
+    Experiment::new(&pair.name, cluster_config, trace)
+        .with_limit(limit)
+        .run_pair(pair)
 }
 
 /// Offline pre-training of a DRL allocator (Section VII-A): epsilon-greedy
@@ -153,7 +231,12 @@ pub fn pretrain_drl(
     cluster_config: &ClusterConfig,
     segments: &[Trace],
 ) -> Result<(), String> {
-    pretrain_pair(allocator, &mut SleepImmediatelyPower, cluster_config, segments)
+    pretrain_pair(
+        allocator,
+        &mut SleepImmediatelyPower,
+        cluster_config,
+        segments,
+    )
 }
 
 /// Offline pre-training of an (allocator, power manager) pair over several
@@ -213,12 +296,15 @@ mod tests {
             allocator: crate::hierarchical::AllocatorKind::FirstFit,
             power: crate::hierarchical::PowerKind::FixedTimeout(60.0),
         };
-        let result =
-            run_experiment(&pair, &ClusterConfig::paper(5), &trace, RunLimit::unbounded())
-                .unwrap();
+        let result = run_experiment(
+            &pair,
+            &ClusterConfig::paper(5),
+            &trace,
+            RunLimit::unbounded(),
+        )
+        .unwrap();
         let f = result.fleet;
-        let sum =
-            f.busy_fraction + f.idle_fraction + f.sleep_fraction + f.transition_fraction;
+        let sum = f.busy_fraction + f.idle_fraction + f.sleep_fraction + f.transition_fraction;
         assert!((sum - 1.0).abs() < 1e-6, "fractions sum to {sum}");
         assert!(f.sleep_fraction > 0.0, "consolidation should sleep servers");
     }
@@ -226,10 +312,12 @@ mod tests {
     #[test]
     fn pretraining_then_evaluation_reuses_learner() {
         let config = ClusterConfig::paper(4);
-        let mut drl_config = DrlAllocatorConfig::default();
-        drl_config.warmup_decisions = 20;
-        drl_config.ae_pretrain_samples = 100;
-        drl_config.ae_epochs = 2;
+        let drl_config = DrlAllocatorConfig {
+            warmup_decisions: 20,
+            ae_pretrain_samples: 100,
+            ae_epochs: 2,
+            ..Default::default()
+        };
         let mut allocator = DrlAllocator::new(4, 3, drl_config);
 
         let segments: Vec<Trace> = (0..2).map(|s| small_trace(10 + s, 150)).collect();

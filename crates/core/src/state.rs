@@ -318,7 +318,7 @@ mod tests {
         assert!((s.groups[0][2] - 0.1).abs() < 1e-6); // disk
         assert!((s.groups[0][3] - 1.0).abs() < 1e-6); // availability: on
         assert_eq!(s.groups[0][4], 0.0); // empty queue
-        // Server 1 idle (slot 1 starts at feature 5).
+                                         // Server 1 idle (slot 1 starts at feature 5).
         assert_eq!(s.groups[0][5], 0.0);
         // Job features of job 1.
         assert!((s.job[0] - 0.3).abs() < 1e-6);

@@ -1,0 +1,117 @@
+//! Shared command-line parsing for the bench binaries.
+//!
+//! Every binary accepts the same flags:
+//!
+//! - `--m <M>` — base cluster size;
+//! - `--jobs <N>` — evaluation job count;
+//! - `--quick` — smoke scale (`M = 10`, 5,000 jobs);
+//! - `--threads <T>` — suite worker threads (default: all cores);
+//! - `--out <PATH>` — where to write the timing artifact (binaries that
+//!   emit one).
+
+use crate::presets::Scale;
+use crate::runner::SuiteRunner;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, Default)]
+pub struct SweepArgs {
+    /// `--m` override.
+    pub m: Option<usize>,
+    /// `--jobs` override.
+    pub jobs: Option<u64>,
+    /// `--quick` smoke scale.
+    pub quick: bool,
+    /// `--threads` override.
+    pub threads: Option<usize>,
+    /// `--out` artifact path.
+    pub out: Option<String>,
+}
+
+impl SweepArgs {
+    /// Parses `std::env::args()`, ignoring unknown flags with a warning.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = SweepArgs::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            let mut take = |what: &str| {
+                iter.next()
+                    .unwrap_or_else(|| panic!("{what} expects a value"))
+            };
+            match arg.as_str() {
+                "--m" => out.m = Some(take("--m").parse().expect("--m expects an integer")),
+                "--jobs" => {
+                    out.jobs = Some(take("--jobs").parse().expect("--jobs expects an integer"));
+                }
+                "--threads" => {
+                    out.threads = Some(
+                        take("--threads")
+                            .parse()
+                            .expect("--threads expects an integer"),
+                    );
+                }
+                "--out" => out.out = Some(take("--out")),
+                "--quick" => out.quick = true,
+                other => eprintln!("ignoring unknown argument {other:?}"),
+            }
+        }
+        out
+    }
+
+    /// Resolves the scale, starting from a preset's default.
+    pub fn scale(&self, default_scale: Scale) -> Scale {
+        let mut scale = default_scale;
+        if let Some(m) = self.m {
+            scale.m = m;
+        }
+        if let Some(jobs) = self.jobs {
+            scale.jobs = jobs;
+        }
+        if self.quick {
+            scale.m = scale.m.min(10);
+            scale.jobs = scale.jobs.min(5_000);
+        }
+        scale
+    }
+
+    /// A runner honouring `--threads`.
+    pub fn runner(&self) -> SuiteRunner {
+        match self.threads {
+            Some(n) => SuiteRunner::new().with_threads(n),
+            None => SuiteRunner::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> SweepArgs {
+        SweepArgs::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn flags_override_defaults() {
+        let args = parse(&["--m", "12", "--jobs", "4000", "--threads", "3"]);
+        let scale = args.scale(Scale::paper(30));
+        assert_eq!((scale.m, scale.jobs), (12, 4000));
+        assert_eq!(args.runner().threads(), 3);
+    }
+
+    #[test]
+    fn quick_caps_scale() {
+        let scale = parse(&["--quick"]).scale(Scale::paper(40));
+        assert_eq!((scale.m, scale.jobs), (10, 5_000));
+    }
+
+    #[test]
+    fn unknown_flags_are_ignored() {
+        let args = parse(&["--frobnicate", "--jobs", "100"]);
+        assert_eq!(args.jobs, Some(100));
+    }
+}

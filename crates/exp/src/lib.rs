@@ -1,0 +1,103 @@
+//! # hierdrl-exp
+//!
+//! Declarative experiment orchestration for the hierarchical DRL framework:
+//! the **Topology → Scenario → Suite → Runner** pipeline that every table
+//! and figure of the paper's evaluation — and every future sweep — is
+//! expressed through.
+//!
+//! - [`scenario::Topology`] names a cluster configuration;
+//! - [`scenario::WorkloadSpec`] is a workload recipe resolved against a
+//!   topology, so per-server load stays comparable across cluster sizes;
+//! - [`scenario::PolicySpec`] names the control planes (static baselines or
+//!   pre-trained learners) and their pre-training budget;
+//! - a [`scenario::Scenario`] is one fully-seeded grid cell;
+//! - a [`suite::Suite`] is a cartesian grid of cells, built with
+//!   [`suite::SuiteBuilder`] or taken from the paper [`presets`];
+//! - the [`runner::SuiteRunner`] executes cells in parallel (rayon) with
+//!   per-cell seed derivation, shared trace materialization
+//!   ([`hierdrl_trace::materialize::TraceCache`]), and memoized
+//!   pre-training, producing a canonical [`report::SuiteReport`] that is
+//!   **byte-identical** between serial and parallel execution.
+//!
+//! # Building a grid
+//!
+//! ```
+//! use hierdrl_exp::prelude::*;
+//!
+//! // Policy × cluster-size grid at a smoke-test workload.
+//! let suite = Suite::builder("demo")
+//!     .topologies([Topology::paper(4), Topology::paper(6)])
+//!     .workloads([WorkloadSpec::paper().with_total_jobs(120)])
+//!     .policies([
+//!         PolicySpec::round_robin(),
+//!         PolicySpec::static_pair(
+//!             "first-fit+sleep",
+//!             AllocatorKind::FirstFit,
+//!             PowerKind::SleepImmediately,
+//!         ),
+//!     ])
+//!     .seeds([1])
+//!     .build();
+//! assert_eq!(suite.len(), 4);
+//!
+//! let run = SuiteRunner::new().run(&suite)?;
+//! for cell in &run.cells {
+//!     assert_eq!(cell.result.outcome.totals.jobs_completed, 120);
+//! }
+//! # Ok::<(), String>(())
+//! ```
+//!
+//! # Determinism
+//!
+//! Every random stream in a cell derives from the scenario's own seed via
+//! a SplitMix64 mix, so cells are independent: rerunning a suite with any
+//! thread count reproduces the same canonical report, and changing one
+//! cell's seed perturbs only that cell.
+//!
+//! ```
+//! use hierdrl_exp::prelude::*;
+//!
+//! let suite = Suite::builder("determinism")
+//!     .topologies([Topology::paper(3)])
+//!     .workloads([WorkloadSpec::paper().with_total_jobs(80)])
+//!     .policies([PolicySpec::round_robin()])
+//!     .seeds([7, 8])
+//!     .build();
+//!
+//! let parallel = SuiteRunner::new().with_threads(4).run(&suite)?;
+//! let serial = SuiteRunner::serial().run(&suite)?;
+//! assert_eq!(parallel.report().to_json(), serial.report().to_json());
+//! # Ok::<(), String>(())
+//! ```
+//!
+//! # Paper presets
+//!
+//! The grids behind the paper's artifacts are exposed as one-liners —
+//! `presets::table1`, `presets::fig8`, `presets::fig9`, `presets::fig10`,
+//! `presets::ablation_dqn`, `presets::calibrate` — each parameterized by a
+//! [`presets::Scale`] so the same grid runs at paper scale or as a smoke
+//! test. The bench binaries are thin wrappers over these.
+//!
+//! ```
+//! use hierdrl_exp::presets::{self, Scale};
+//!
+//! let suite = presets::table1(Scale::quick());
+//! assert_eq!(suite.len(), 6); // 2 cluster sizes x 3 systems
+//! ```
+
+pub mod cli;
+pub mod presets;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+pub mod suite;
+
+/// Convenient glob-import of the orchestration layer's main types.
+pub mod prelude {
+    pub use crate::cli::SweepArgs;
+    pub use crate::report::{BenchReport, CellMetrics, CellReport, CellTiming, SuiteReport};
+    pub use crate::runner::{CellRun, SuiteRun, SuiteRunner};
+    pub use crate::scenario::{JobsBudget, PolicySpec, Pretrain, Scenario, Topology, WorkloadSpec};
+    pub use crate::suite::{Suite, SuiteBuilder};
+    pub use hierdrl_core::hierarchical::{AllocatorKind, PowerKind};
+}

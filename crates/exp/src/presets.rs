@@ -1,0 +1,265 @@
+//! Named suite presets reproducing the paper's evaluation grids
+//! (Table I, Figs. 8–10), the DQN ablation, and the calibration probe.
+//!
+//! Every preset takes a [`Scale`] — the base (cluster size, job count)
+//! operating point — so the same grid runs at paper scale or as a smoke
+//! test (`Scale::quick()`), exactly like the old per-binary `--quick` flag.
+
+use crate::scenario::{PolicySpec, Pretrain, Topology, WorkloadSpec};
+use crate::suite::Suite;
+use hierdrl_core::allocator::DrlAllocatorConfig;
+use hierdrl_core::hierarchical::{AllocatorKind, PowerKind};
+use hierdrl_rl::policy::EpsilonSchedule;
+
+/// The job count at which Table I reports its metrics.
+pub const PAPER_REPORT_JOBS: u64 = 95_000;
+
+/// Base operating point of a preset: cluster size `M` and evaluation job
+/// count, with per-server load held at the paper's level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Number of servers `M`.
+    pub m: usize,
+    /// Jobs to simulate.
+    pub jobs: u64,
+}
+
+impl Scale {
+    /// The paper's setup for a given `M`.
+    pub fn paper(m: usize) -> Self {
+        Self {
+            m,
+            jobs: PAPER_REPORT_JOBS,
+        }
+    }
+
+    /// A smoke-test scale.
+    pub fn quick() -> Self {
+        Self { m: 10, jobs: 5_000 }
+    }
+
+    /// The paper's workload at this scale's absolute job count.
+    fn workload(&self) -> WorkloadSpec {
+        WorkloadSpec::paper().with_total_jobs(self.jobs)
+    }
+
+    /// The paper's workload with jobs scaling per server, anchored so that
+    /// this scale's `m` runs exactly `jobs` (Table I scales the report
+    /// point with `M`).
+    fn workload_per_server(&self) -> WorkloadSpec {
+        WorkloadSpec::paper().with_jobs_per_server(self.jobs as f64 / self.m as f64)
+    }
+}
+
+/// The paper's three systems: round-robin baseline, DRL-only, and the full
+/// hierarchical framework.
+pub fn three_systems() -> [PolicySpec; 3] {
+    [
+        PolicySpec::round_robin(),
+        PolicySpec::drl_only(),
+        PolicySpec::hierarchical(0.5),
+    ]
+}
+
+/// **Fig. 8**: accumulated latency and energy vs. jobs at `M = 30`
+/// (three systems, one seed).
+pub fn fig8(scale: Scale) -> Suite {
+    Suite::builder("fig8")
+        .topologies([Topology::paper(scale.m)])
+        .workloads([scale.workload()])
+        .policies(three_systems())
+        .seeds([42])
+        .build()
+}
+
+/// **Fig. 9**: the same comparison at `M = 40` (arrival volume scales with
+/// `M`, so per-server load matches Fig. 8).
+pub fn fig9(scale: Scale) -> Suite {
+    Suite::builder("fig9")
+        .topologies([Topology::paper(scale.m)])
+        .workloads([scale.workload()])
+        .policies(three_systems())
+        .seeds([43])
+        .build()
+}
+
+/// **Table I**: the three systems at `M` and `4/3 · M` (the paper's 30 and
+/// 40), evaluation length scaling with `M` so per-server work is constant.
+pub fn table1(scale: Scale) -> Suite {
+    let m_small = scale.m;
+    let m_large = (scale.m * 4).div_ceil(3);
+    Suite::builder("table1")
+        .topologies([Topology::paper(m_small), Topology::paper(m_large)])
+        .workloads([scale.workload_per_server()])
+        .policies(three_systems())
+        .seeds([42])
+        .build()
+}
+
+/// **Fig. 10**: the latency/energy trade-off sweep — fixed timeouts of
+/// 30/60/90 s under the same pre-trained global tier, against the
+/// hierarchical framework across the Eqn. 5 weight sweep. All cells share
+/// one seed and pre-train *without* the local tier
+/// (`hierarchical_cold_local`), so the pre-train cache key is identical
+/// across all ten operating points and every cell restores the *same*
+/// pre-trained global tier, as the paper prescribes.
+pub fn fig10(scale: Scale) -> Suite {
+    let mut policies: Vec<PolicySpec> = [30.0, 60.0, 90.0]
+        .into_iter()
+        .map(PolicySpec::drl_timeout)
+        .collect();
+    policies.extend(
+        [0.05, 0.2, 0.35, 0.5, 0.65, 0.8, 0.95]
+            .into_iter()
+            .map(PolicySpec::hierarchical_cold_local),
+    );
+    Suite::builder("fig10")
+        .topologies([Topology::paper(scale.m)])
+        .workloads([scale.workload()])
+        .policies(policies)
+        .seeds([50])
+        .build()
+}
+
+/// Global-tier design ablations (Section V-A): group count `K`, the state
+/// enrichments, encoder fine-tuning, and the first-fit guide.
+pub fn ablation_dqn(scale: Scale) -> Suite {
+    let base = DrlAllocatorConfig::default();
+    let pretrain = Pretrain {
+        segments: 5,
+        fraction: 1.0,
+    };
+    let mut policies = vec![PolicySpec::drl_variant(
+        "full (K=2)",
+        base.clone(),
+        pretrain,
+    )];
+    for k in [3usize, 4] {
+        let mut c = base.clone();
+        c.state.num_groups = k;
+        policies.push(PolicySpec::drl_variant(
+            format!("K={k} groups"),
+            c,
+            pretrain,
+        ));
+    }
+    let mut c = base.clone();
+    c.state.include_power_state = false;
+    policies.push(PolicySpec::drl_variant(
+        "no availability feature",
+        c,
+        pretrain,
+    ));
+    let mut c = base.clone();
+    c.state.include_queue_len = false;
+    policies.push(PolicySpec::drl_variant("no queue feature", c, pretrain));
+    let mut c = base.clone();
+    c.qnet.fine_tune_encoder = true;
+    policies.push(PolicySpec::drl_variant("fine-tuned encoder", c, pretrain));
+    let mut c = base;
+    c.guide = EpsilonSchedule::Constant(0.0);
+    policies.push(PolicySpec::drl_variant("no first-fit guide", c, pretrain));
+
+    Suite::builder("ablation_dqn")
+        .topologies([Topology::paper(scale.m)])
+        .workloads([scale.workload()])
+        .policies(policies)
+        .seeds([60])
+        .build()
+}
+
+/// Calibration probe: the three systems plus the hand-written consolidation
+/// envelope at a reduced scale. Not a paper artifact.
+pub fn calibrate(scale: Scale) -> Suite {
+    Suite::builder("calibrate")
+        .topologies([Topology::paper(scale.m)])
+        .workloads([scale.workload()])
+        .policies([
+            PolicySpec::round_robin(),
+            PolicySpec::static_pair(
+                "first-fit+sleep",
+                AllocatorKind::FirstFit,
+                PowerKind::SleepImmediately,
+            ),
+            PolicySpec::static_pair(
+                "least-loaded+sleep",
+                AllocatorKind::LeastLoaded,
+                PowerKind::SleepImmediately,
+            ),
+            PolicySpec::drl_only(),
+            PolicySpec::hierarchical(0.5),
+        ])
+        .seeds([42])
+        .build()
+}
+
+/// A policy × arrival-rate × cluster-size grid — the shape of sweep the
+/// orchestration layer exists for. `rate_factors` scale the paper's
+/// per-server arrival volume.
+pub fn load_sweep(ms: &[usize], rate_factors: &[f64], jobs_per_server: f64) -> Suite {
+    Suite::builder("load_sweep")
+        .topologies(ms.iter().map(|&m| Topology::paper(m)))
+        .workloads(
+            rate_factors
+                .iter()
+                .map(|&f| WorkloadSpec::paper_scaled(f).with_jobs_per_server(jobs_per_server)),
+        )
+        .policies(three_systems())
+        .seeds([42])
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_covers_both_cluster_sizes() {
+        let suite = table1(Scale::paper(30));
+        assert_eq!(suite.len(), 6);
+        let ms: Vec<usize> = suite
+            .scenarios
+            .iter()
+            .map(|s| s.topology.servers())
+            .collect();
+        assert_eq!(ms, [30, 30, 30, 40, 40, 40]);
+        // Per-server work held constant: 95k jobs at M=30, ~126.7k at M=40.
+        assert_eq!(suite.scenarios[0].workload.jobs_for(30), 95_000);
+        assert_eq!(suite.scenarios[3].workload.jobs_for(40), 126_667);
+    }
+
+    #[test]
+    fn fig10_is_a_ten_point_sweep_sharing_one_seed() {
+        let suite = fig10(Scale::quick());
+        assert_eq!(suite.len(), 10);
+        assert!(suite.scenarios.iter().all(|s| s.seed == 50));
+        // Every cell pre-trains the same global tier: no cell includes a
+        // local-tier config in its pre-training inputs.
+        assert!(suite
+            .scenarios
+            .iter()
+            .all(|s| s.co_pretrain_dpm_config().is_none()));
+    }
+
+    #[test]
+    fn quick_scale_shrinks_every_preset() {
+        for suite in [
+            fig8(Scale::quick()),
+            fig9(Scale::quick()),
+            table1(Scale::quick()),
+            ablation_dqn(Scale::quick()),
+            calibrate(Scale::quick()),
+        ] {
+            for s in &suite.scenarios {
+                assert!(s.workload.jobs_for(s.topology.servers()) <= 7_000);
+                assert!(s.topology.servers() <= 14);
+            }
+        }
+    }
+
+    #[test]
+    fn load_sweep_expands_full_grid() {
+        let suite = load_sweep(&[10, 20], &[0.5, 1.0, 1.5], 300.0);
+        assert_eq!(suite.len(), 2 * 3 * 3);
+    }
+}

@@ -1,0 +1,152 @@
+//! Canonical suite outputs: a deterministic [`SuiteReport`] (safe to
+//! byte-compare across serial and parallel executions) and a separate
+//! [`BenchReport`] carrying wall-clock timing, which is inherently
+//! non-deterministic and therefore kept out of the canonical report.
+
+use hierdrl_core::allocator::DrlStats;
+use hierdrl_core::runner::ExperimentResult;
+use serde::{Deserialize, Serialize};
+
+/// Paper-facing metrics extracted from one cell's run (the Table I columns
+/// plus the Fig. 10 per-job coordinates and fleet power behaviour).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellMetrics {
+    /// Jobs completed.
+    pub jobs_completed: u64,
+    /// Accumulated energy, kWh (Table I column 1).
+    pub energy_kwh: f64,
+    /// Accumulated latency, 1e6 s (Table I column 2).
+    pub latency_mega_s: f64,
+    /// Average power, W (Table I column 3).
+    pub average_power_w: f64,
+    /// Average latency per job, s (Fig. 10 y-axis).
+    pub mean_latency_s: f64,
+    /// Average energy per job, J (Fig. 10 x-axis).
+    pub energy_per_job_j: f64,
+    /// Mean fraction of time servers spent asleep.
+    pub sleep_fraction: f64,
+    /// Total sleep → wake transitions across the fleet.
+    pub wake_transitions: u64,
+    /// Simulated span, hours.
+    pub span_hours: f64,
+}
+
+impl CellMetrics {
+    /// Extracts the metrics from a runner result.
+    pub fn from_result(result: &ExperimentResult) -> Self {
+        Self {
+            jobs_completed: result.outcome.totals.jobs_completed,
+            energy_kwh: result.energy_kwh(),
+            latency_mega_s: result.latency_mega_s(),
+            average_power_w: result.average_power_w(),
+            mean_latency_s: result.mean_latency_s(),
+            energy_per_job_j: result.energy_per_job_j(),
+            sleep_fraction: result.fleet.sleep_fraction,
+            wake_transitions: result.fleet.total_wake_transitions,
+            span_hours: result.outcome.end_time.as_hours(),
+        }
+    }
+}
+
+/// One cell of a [`SuiteReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellReport {
+    /// Scenario id (`topology/workload/policy/s<seed>`).
+    pub id: String,
+    /// Topology name.
+    pub topology: String,
+    /// Cluster size `M`.
+    pub servers: usize,
+    /// Workload name.
+    pub workload: String,
+    /// Policy name.
+    pub policy: String,
+    /// The cell's base seed.
+    pub seed: u64,
+    /// Extracted metrics.
+    pub metrics: CellMetrics,
+    /// Global-tier learner statistics, for learned policies.
+    pub drl: Option<DrlStats>,
+}
+
+/// The canonical, fully-deterministic result of a suite run. Cells appear
+/// in suite (builder) order regardless of execution schedule, and the JSON
+/// rendering is canonical, so serial and parallel runs of the same suite
+/// produce byte-identical reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteReport {
+    /// Suite name.
+    pub suite: String,
+    /// Per-cell results in suite order.
+    pub cells: Vec<CellReport>,
+}
+
+impl SuiteReport {
+    /// Canonical compact JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("suite report serializes")
+    }
+
+    /// Indented JSON for humans.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("suite report serializes")
+    }
+}
+
+/// Wall-clock timing of one cell (kept out of [`SuiteReport`] so the
+/// canonical report stays deterministic).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellTiming {
+    /// Cell wall-clock, seconds.
+    pub wall_s: f64,
+    /// Simulated jobs completed per wall-clock second.
+    pub jobs_per_s: f64,
+}
+
+/// One cell of a [`BenchReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchCell {
+    /// Scenario id.
+    pub id: String,
+    /// Jobs completed.
+    pub jobs: u64,
+    /// Cell wall-clock, seconds.
+    pub wall_s: f64,
+    /// Simulated jobs per wall-clock second.
+    pub jobs_per_s: f64,
+}
+
+/// Machine-readable performance artifact of a suite run, for tracking the
+/// runner's throughput trajectory across changes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Suite name.
+    pub suite: String,
+    /// Worker threads the runner used.
+    pub threads: usize,
+    /// Number of cells.
+    pub cells_total: usize,
+    /// End-to-end suite wall-clock, seconds (includes trace generation and
+    /// pre-training).
+    pub total_wall_s: f64,
+    /// Sum of per-cell wall-clocks, seconds (> `total_wall_s` under
+    /// parallel execution).
+    pub cell_wall_s_sum: f64,
+    /// Total simulated jobs across cells.
+    pub jobs_total: u64,
+    /// Aggregate throughput: total jobs / total wall-clock.
+    pub jobs_per_s: f64,
+    /// Distinct evaluation/pre-training traces materialized.
+    pub traces_materialized: u64,
+    /// Trace-cache hits (cells that reused a shared trace).
+    pub trace_cache_hits: u64,
+    /// Per-cell timing, in suite order.
+    pub cells: Vec<BenchCell>,
+}
+
+impl BenchReport {
+    /// Indented JSON for the checked-in artifact.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("bench report serializes")
+    }
+}

@@ -1,0 +1,405 @@
+//! Parallel, deterministic execution of a [`Suite`].
+//!
+//! Every cell is self-contained: its trace, pre-training rollouts, and
+//! learner RNGs all derive from the scenario's own seed, so cells can run
+//! on any thread in any order and still produce identical results. Shared
+//! state is limited to two caches keyed by *content fingerprints* — the
+//! trace cache (identical workload specs materialize once) and a
+//! pre-training cache (identical (cluster, segments, config) pre-train
+//! once) — and cached values are themselves deterministic functions of
+//! their keys, so caching never changes results, only wall-clock.
+
+use crate::report::{BenchCell, BenchReport, CellMetrics, CellReport, CellTiming, SuiteReport};
+use crate::scenario::{PolicySpec, Scenario};
+use crate::suite::Suite;
+use hierdrl_core::allocator::{DrlAllocator, DrlSnapshot, DrlStats};
+use hierdrl_core::dpm::{DpmSnapshot, RlPowerManager};
+use hierdrl_core::runner::{pretrain_pair, Experiment, ExperimentResult};
+use hierdrl_sim::cluster::PowerManager;
+use hierdrl_sim::policies::{FixedTimeoutPower, SleepImmediatelyPower};
+use hierdrl_trace::materialize::TraceCache;
+use hierdrl_trace::trace::Trace;
+use rayon::prelude::*;
+use serde::Serialize;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A pre-trained pair of tiers, memoized across cells that share cluster,
+/// rollout segments, and learner configuration (e.g. the Fig. 10 sweep,
+/// where every operating point restores the same global tier).
+#[derive(Clone)]
+struct Pretrained {
+    drl: DrlSnapshot,
+    dpm: Option<DpmSnapshot>,
+}
+
+type PretrainSlot = Arc<Mutex<Option<Pretrained>>>;
+
+#[derive(Default)]
+struct PretrainCache {
+    slots: Mutex<HashMap<String, PretrainSlot>>,
+}
+
+impl PretrainCache {
+    fn get_or_train(
+        &self,
+        key: &str,
+        train: impl FnOnce() -> Result<Pretrained, String>,
+    ) -> Result<Pretrained, String> {
+        let slot = {
+            let mut slots = self.slots.lock().expect("pretrain cache map lock");
+            slots
+                .entry(key.to_string())
+                .or_insert_with(|| Arc::new(Mutex::new(None)))
+                .clone()
+        };
+        let mut entry = slot.lock().expect("pretrain cache slot lock");
+        if let Some(pair) = entry.as_ref() {
+            return Ok(pair.clone());
+        }
+        let pair = train()?;
+        *entry = Some(pair.clone());
+        Ok(pair)
+    }
+}
+
+/// Shared per-run context handed to every cell.
+struct RunContext {
+    traces: Arc<TraceCache>,
+    pretrained: PretrainCache,
+}
+
+/// The outcome of one cell: the full runner result plus learner statistics
+/// and timing.
+#[derive(Debug, Clone)]
+pub struct CellRun {
+    /// The scenario that produced this result.
+    pub scenario: Scenario,
+    /// Full experiment result (including sample curves for Figs. 8/9).
+    pub result: ExperimentResult,
+    /// Global-tier statistics, for learned policies.
+    pub drl_stats: Option<DrlStats>,
+    /// Wall-clock timing.
+    pub timing: CellTiming,
+}
+
+/// The outcome of a whole suite: per-cell results in suite order plus
+/// aggregate timing.
+#[derive(Debug, Clone)]
+pub struct SuiteRun {
+    /// Suite name.
+    pub suite: String,
+    /// Per-cell outcomes, in suite (builder) order.
+    pub cells: Vec<CellRun>,
+    /// Worker threads used.
+    pub threads: usize,
+    /// End-to-end wall-clock, seconds.
+    pub total_wall_s: f64,
+    /// Distinct traces materialized (evaluation + pre-training).
+    pub traces_materialized: u64,
+    /// Trace-cache hits.
+    pub trace_cache_hits: u64,
+}
+
+impl SuiteRun {
+    /// The canonical deterministic report (no timing).
+    pub fn report(&self) -> SuiteReport {
+        SuiteReport {
+            suite: self.suite.clone(),
+            cells: self
+                .cells
+                .iter()
+                .map(|c| CellReport {
+                    id: c.scenario.id.clone(),
+                    topology: c.scenario.topology.name.clone(),
+                    servers: c.scenario.topology.servers(),
+                    workload: c.scenario.workload.name.clone(),
+                    policy: c.scenario.policy.name(),
+                    seed: c.scenario.seed,
+                    metrics: CellMetrics::from_result(&c.result),
+                    drl: c.drl_stats,
+                })
+                .collect(),
+        }
+    }
+
+    /// The timing artifact (non-deterministic by nature).
+    pub fn bench_report(&self) -> BenchReport {
+        let jobs_total: u64 = self
+            .cells
+            .iter()
+            .map(|c| c.result.outcome.totals.jobs_completed)
+            .sum();
+        BenchReport {
+            suite: self.suite.clone(),
+            threads: self.threads,
+            cells_total: self.cells.len(),
+            total_wall_s: self.total_wall_s,
+            cell_wall_s_sum: self.cells.iter().map(|c| c.timing.wall_s).sum(),
+            jobs_total,
+            jobs_per_s: jobs_total as f64 / self.total_wall_s.max(1e-9),
+            traces_materialized: self.traces_materialized,
+            trace_cache_hits: self.trace_cache_hits,
+            cells: self
+                .cells
+                .iter()
+                .map(|c| BenchCell {
+                    id: c.scenario.id.clone(),
+                    jobs: c.result.outcome.totals.jobs_completed,
+                    wall_s: c.timing.wall_s,
+                    jobs_per_s: c.timing.jobs_per_s,
+                })
+                .collect(),
+        }
+    }
+
+    /// The cells' experiment results, in suite order.
+    pub fn results(&self) -> Vec<&ExperimentResult> {
+        self.cells.iter().map(|c| &c.result).collect()
+    }
+
+    /// The first cell whose policy name matches, if any.
+    pub fn find_policy(&self, policy: &str) -> Option<&CellRun> {
+        self.cells
+            .iter()
+            .find(|c| c.scenario.policy.name() == policy)
+    }
+}
+
+/// Executes suites, in parallel by default.
+///
+/// # Examples
+///
+/// ```
+/// use hierdrl_exp::prelude::*;
+///
+/// let suite = Suite::builder("doc")
+///     .topologies([Topology::paper(4)])
+///     .workloads([WorkloadSpec::paper().with_total_jobs(150)])
+///     .policies([PolicySpec::round_robin()])
+///     .seeds([1, 2])
+///     .build();
+///
+/// let run = SuiteRunner::new().run(&suite)?;
+/// assert_eq!(run.cells.len(), 2);
+/// // Same grid, serial execution: byte-identical canonical report.
+/// let serial = SuiteRunner::serial().run(&suite)?;
+/// assert_eq!(run.report().to_json(), serial.report().to_json());
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SuiteRunner {
+    threads: Option<usize>,
+    traces: Option<Arc<TraceCache>>,
+}
+
+impl SuiteRunner {
+    /// A runner using every available core.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A single-threaded runner (reference execution for determinism
+    /// checks).
+    pub fn serial() -> Self {
+        Self {
+            threads: Some(1),
+            traces: None,
+        }
+    }
+
+    /// Pins the worker-thread count (`0`/unset = machine default).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = if threads == 0 { None } else { Some(threads) };
+        self
+    }
+
+    /// Shares an external trace cache with the run, so callers can reuse
+    /// the traces it materializes (or pre-seed them) without regenerating.
+    #[must_use]
+    pub fn with_trace_cache(mut self, cache: Arc<TraceCache>) -> Self {
+        self.traces = Some(cache);
+        self
+    }
+
+    /// The worker count this runner will use.
+    pub fn threads(&self) -> usize {
+        match self.threads {
+            Some(n) => n,
+            None => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+
+    /// Runs every cell of `suite`, returning per-cell outcomes in suite
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing cell's error, tagged with its scenario id.
+    pub fn run(&self, suite: &Suite) -> Result<SuiteRun, String> {
+        let started = Instant::now();
+        let ctx = RunContext {
+            traces: self.traces.clone().unwrap_or_default(),
+            pretrained: PretrainCache::default(),
+        };
+        // An external cache may carry earlier activity; report deltas.
+        let (hits_before, misses_before) = (ctx.traces.hits(), ctx.traces.misses());
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(self.threads())
+            .build()
+            .map_err(|e| format!("thread pool: {e}"))?;
+        let outcomes: Vec<Result<CellRun, String>> = pool.install(|| {
+            suite
+                .scenarios
+                .par_iter()
+                .map(|scenario| {
+                    run_cell(scenario, &ctx).map_err(|e| format!("scenario {}: {e}", scenario.id))
+                })
+                .collect()
+        });
+        let cells = outcomes.into_iter().collect::<Result<Vec<_>, _>>()?;
+        Ok(SuiteRun {
+            suite: suite.name.clone(),
+            cells,
+            threads: self.threads(),
+            total_wall_s: started.elapsed().as_secs_f64(),
+            traces_materialized: ctx.traces.misses() - misses_before,
+            trace_cache_hits: ctx.traces.hits() - hits_before,
+        })
+    }
+}
+
+/// Content fingerprint of a pre-training problem: identical inputs must
+/// produce identical learners, so the JSON of all inputs is a sound key.
+fn pretrain_key<D: Serialize, P: Serialize>(
+    scenario: &Scenario,
+    segments: &[hierdrl_trace::materialize::TraceSpec],
+    drl_config: &D,
+    dpm_config: &Option<P>,
+) -> String {
+    let payload = (&scenario.topology.cluster, segments, drl_config, dpm_config);
+    serde_json::to_string(&payload).expect("pretrain key serializes")
+}
+
+fn pretrain(
+    scenario: &Scenario,
+    ctx: &RunContext,
+    pretrain_budget: &crate::scenario::Pretrain,
+) -> Result<Pretrained, String> {
+    let drl_config = scenario
+        .drl_config()
+        .expect("learned policies have a DRL config");
+    let dpm_config = scenario.co_pretrain_dpm_config();
+    let segments = pretrain_budget.segment_specs(
+        &scenario.topology,
+        &scenario.workload,
+        scenario.policy_seed(),
+    );
+    let key = pretrain_key(scenario, &segments, &drl_config, &dpm_config);
+    ctx.pretrained.get_or_train(&key, || {
+        let cluster = &scenario.topology.cluster;
+        let traces: Vec<Trace> = segments
+            .iter()
+            .map(|spec| ctx.traces.get(spec).map(|t| (*t).clone()))
+            .collect::<Result<_, _>>()?;
+        let mut allocator = DrlAllocator::new(
+            cluster.num_servers,
+            cluster.resource_dims,
+            drl_config.clone(),
+        );
+        match &dpm_config {
+            Some(dpm_config) => {
+                let mut dpm = RlPowerManager::new(cluster.num_servers, dpm_config.clone());
+                pretrain_pair(&mut allocator, &mut dpm, cluster, &traces)?;
+                Ok(Pretrained {
+                    drl: allocator.snapshot(),
+                    dpm: Some(dpm.snapshot()),
+                })
+            }
+            None => {
+                // The ad-hoc local behaviour, so learned values reflect
+                // wake penalties (Section VII-A).
+                pretrain_pair(&mut allocator, &mut SleepImmediatelyPower, cluster, &traces)?;
+                Ok(Pretrained {
+                    drl: allocator.snapshot(),
+                    dpm: None,
+                })
+            }
+        }
+    })
+}
+
+fn run_cell(scenario: &Scenario, ctx: &RunContext) -> Result<CellRun, String> {
+    let started = Instant::now();
+    let trace = ctx.traces.get(&scenario.trace_spec())?;
+    let cluster = &scenario.topology.cluster;
+    let name = scenario.policy.name();
+    let experiment = Experiment::new(&name, cluster, &trace).with_limit(scenario.run_limit());
+
+    let (result, drl_stats) = match &scenario.policy {
+        PolicySpec::Static {
+            allocator, power, ..
+        } => {
+            let mut allocator = allocator.build(cluster.num_servers, cluster.resource_dims);
+            let mut power = power.build(cluster.num_servers);
+            (experiment.run(allocator.as_mut(), power.as_mut())?, None)
+        }
+        PolicySpec::DrlOnly { pretrain: budget }
+        | PolicySpec::DrlVariant {
+            pretrain: budget, ..
+        } => {
+            let trained = pretrain(scenario, ctx, budget)?;
+            let mut allocator = DrlAllocator::from_snapshot(trained.drl);
+            let result = experiment.run(&mut allocator, &mut SleepImmediatelyPower)?;
+            (result, Some(*allocator.stats()))
+        }
+        PolicySpec::DrlTimeout {
+            timeout_s,
+            pretrain: budget,
+        } => {
+            let trained = pretrain(scenario, ctx, budget)?;
+            let mut allocator = DrlAllocator::from_snapshot(trained.drl);
+            let mut power = FixedTimeoutPower::new(*timeout_s);
+            let result = experiment.run(&mut allocator, &mut power)?;
+            (result, Some(*allocator.stats()))
+        }
+        PolicySpec::Hierarchical {
+            pretrain: budget,
+            co_pretrain,
+            ..
+        } => {
+            let trained = pretrain(scenario, ctx, budget)?;
+            let mut allocator = DrlAllocator::from_snapshot(trained.drl);
+            let dpm_config = scenario
+                .dpm_config()
+                .expect("hierarchical has a DPM config");
+            // Co-pre-trained cells restore the trained local tier; Fig. 10
+            // cells start it fresh so every operating point shares the one
+            // pre-trained global tier.
+            let mut dpm = match trained.dpm {
+                Some(snapshot) if *co_pretrain => {
+                    RlPowerManager::from_snapshot(cluster.num_servers, snapshot)
+                }
+                _ => RlPowerManager::new(cluster.num_servers, dpm_config),
+            };
+            let result = experiment.run(&mut allocator, &mut dpm as &mut dyn PowerManager)?;
+            (result, Some(*allocator.stats()))
+        }
+    };
+
+    let wall_s = started.elapsed().as_secs_f64();
+    let jobs = result.outcome.totals.jobs_completed;
+    Ok(CellRun {
+        scenario: scenario.clone(),
+        result,
+        drl_stats,
+        timing: CellTiming {
+            wall_s,
+            jobs_per_s: jobs as f64 / wall_s.max(1e-9),
+        },
+    })
+}

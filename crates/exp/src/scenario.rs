@@ -1,0 +1,549 @@
+//! The atomic unit of experiment orchestration: one [`Scenario`] names one
+//! (topology, workload, policy, seed, limit) cell of a sweep grid.
+
+use hierdrl_core::allocator::DrlAllocatorConfig;
+use hierdrl_core::dpm::RlPowerConfig;
+use hierdrl_core::hierarchical::{AllocatorKind, PowerKind};
+use hierdrl_sim::cluster::RunLimit;
+use hierdrl_sim::config::ClusterConfig;
+use hierdrl_trace::generator::WorkloadConfig;
+use hierdrl_trace::materialize::TraceSpec;
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64 finalizer: decorrelates derived seeds so that per-cell seed
+/// streams are independent (changing one scenario's seed perturbs only that
+/// scenario's trace and policy randomness).
+pub(crate) fn mix_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(stream.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A named cluster topology under test.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Display name (used in scenario ids and reports).
+    pub name: String,
+    /// Full cluster configuration.
+    pub cluster: ClusterConfig,
+}
+
+impl Topology {
+    /// The paper's homogeneous cluster at `m` servers.
+    pub fn paper(m: usize) -> Self {
+        Self {
+            name: format!("paper-m{m}"),
+            cluster: ClusterConfig::paper(m),
+        }
+    }
+
+    /// A custom topology.
+    pub fn custom(name: impl Into<String>, cluster: ClusterConfig) -> Self {
+        Self {
+            name: name.into(),
+            cluster,
+        }
+    }
+
+    /// Number of servers `M`.
+    pub fn servers(&self) -> usize {
+        self.cluster.num_servers
+    }
+}
+
+/// How many jobs a scenario evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum JobsBudget {
+    /// Jobs proportional to cluster size (constant per-server work), as in
+    /// Table I where the job count scales with `M`.
+    PerServer(f64),
+    /// A fixed total, as in Figs. 8/9 which both report at job 95,000.
+    Total(u64),
+}
+
+/// A workload recipe, resolved against a topology so that per-server load
+/// stays comparable across cluster sizes (the paper's convention).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Display name (used in scenario ids and reports).
+    pub name: String,
+    /// Weekly task arrivals per server. The paper's setup is 95,000 tasks
+    /// per week for 30 machines.
+    pub weekly_jobs_per_server: f64,
+    /// Evaluation length.
+    pub eval_jobs: JobsBudget,
+}
+
+/// The paper's per-server weekly arrival volume (95,000 jobs / 30 servers).
+pub const PAPER_WEEKLY_JOBS_PER_SERVER: f64 = 95_000.0 / 30.0;
+
+impl WorkloadSpec {
+    /// The paper's workload: per-server load matching the 95k-jobs-per-week
+    /// 30-machine setup, evaluation length scaling with `M`.
+    pub fn paper() -> Self {
+        Self {
+            name: "paper".into(),
+            weekly_jobs_per_server: PAPER_WEEKLY_JOBS_PER_SERVER,
+            eval_jobs: JobsBudget::PerServer(PAPER_WEEKLY_JOBS_PER_SERVER),
+        }
+    }
+
+    /// The paper's workload with the arrival rate scaled by `factor`
+    /// (arrival-rate sweeps; `1.0` is the paper's load).
+    pub fn paper_scaled(factor: f64) -> Self {
+        Self {
+            name: format!("paper-x{factor}"),
+            weekly_jobs_per_server: PAPER_WEEKLY_JOBS_PER_SERVER * factor,
+            eval_jobs: JobsBudget::PerServer(PAPER_WEEKLY_JOBS_PER_SERVER),
+        }
+    }
+
+    /// Replaces the evaluation length with a fixed total.
+    #[must_use]
+    pub fn with_total_jobs(mut self, jobs: u64) -> Self {
+        self.eval_jobs = JobsBudget::Total(jobs);
+        self
+    }
+
+    /// Replaces the evaluation length with a per-server budget.
+    #[must_use]
+    pub fn with_jobs_per_server(mut self, jobs: f64) -> Self {
+        self.eval_jobs = JobsBudget::PerServer(jobs);
+        self
+    }
+
+    /// Weekly arrival volume for a cluster of `m` servers.
+    pub fn jobs_per_week_for(&self, m: usize) -> f64 {
+        self.weekly_jobs_per_server * m as f64
+    }
+
+    /// Evaluation job count for a cluster of `m` servers.
+    pub fn jobs_for(&self, m: usize) -> u64 {
+        match self.eval_jobs {
+            JobsBudget::PerServer(per) => (per * m as f64).round() as u64,
+            JobsBudget::Total(n) => n,
+        }
+    }
+
+    /// The deterministic trace recipe for this workload on `topology`.
+    pub fn trace_spec(&self, topology: &Topology, trace_seed: u64) -> TraceSpec {
+        let m = topology.servers();
+        TraceSpec::new(
+            WorkloadConfig::google_like(trace_seed, self.jobs_per_week_for(m)),
+            self.jobs_for(m) as usize,
+        )
+    }
+}
+
+/// Offline pre-training rollout budget (Section VII-A uses five workload
+/// segments).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pretrain {
+    /// Number of rollout segments.
+    pub segments: usize,
+    /// Each segment's length as a fraction of the evaluation length
+    /// (minimum 200 jobs).
+    pub fraction: f64,
+}
+
+impl Default for Pretrain {
+    fn default() -> Self {
+        Self {
+            segments: 5,
+            fraction: 0.15,
+        }
+    }
+}
+
+impl Pretrain {
+    /// The trace recipes for the rollout segments.
+    pub fn segment_specs(
+        &self,
+        topology: &Topology,
+        workload: &WorkloadSpec,
+        policy_seed: u64,
+    ) -> Vec<TraceSpec> {
+        let m = topology.servers();
+        let eval_jobs = workload.jobs_for(m);
+        let n = ((eval_jobs as f64 * self.fraction) as usize).max(200);
+        (0..self.segments)
+            .map(|i| {
+                let seed = mix_seed(policy_seed, 100 + i as u64);
+                TraceSpec::new(
+                    WorkloadConfig::google_like(seed, workload.jobs_per_week_for(m)),
+                    n,
+                )
+            })
+            .collect()
+    }
+}
+
+/// A named policy recipe: which control planes run the cell and how the
+/// learners are pre-trained.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PolicySpec {
+    /// A fully-specified static pair (no pre-training).
+    Static {
+        /// Display name.
+        name: String,
+        /// Global tier.
+        allocator: AllocatorKind,
+        /// Local tier.
+        power: PowerKind,
+    },
+    /// "DRL-based resource allocation only": pre-trained DRL global tier +
+    /// ad-hoc sleep-immediately local behaviour.
+    DrlOnly {
+        /// Pre-training budget.
+        pretrain: Pretrain,
+    },
+    /// Fig. 10 baseline: pre-trained DRL global tier + fixed local timeout.
+    DrlTimeout {
+        /// Timeout in seconds.
+        timeout_s: f64,
+        /// Pre-training budget.
+        pretrain: Pretrain,
+    },
+    /// The full hierarchical framework; `weight` is Eqn. 5's
+    /// power-vs-latency `w`.
+    Hierarchical {
+        /// Power-vs-latency weight in `[0, 1]`.
+        weight: f64,
+        /// Pre-training budget.
+        pretrain: Pretrain,
+        /// `true`: co-pre-train both tiers (the Table I / Figs. 8–9
+        /// setup). `false`: pre-train only the global tier with ad-hoc
+        /// local behaviour and start the local tier fresh — the Fig. 10
+        /// setup, where every sweep point (and the fixed-timeout
+        /// baselines) must restore the *same* pre-trained global tier.
+        co_pretrain: bool,
+    },
+    /// A DRL global-tier ablation with an explicit configuration
+    /// (+ sleep-immediately local behaviour). The config's RNG seed is
+    /// replaced by the scenario's derived policy seed.
+    DrlVariant {
+        /// Display name.
+        name: String,
+        /// Explicit allocator configuration.
+        config: Box<DrlAllocatorConfig>,
+        /// Pre-training budget.
+        pretrain: Pretrain,
+    },
+}
+
+impl PolicySpec {
+    /// The round-robin + always-on baseline of Figs. 8/9.
+    pub fn round_robin() -> Self {
+        PolicySpec::Static {
+            name: "round-robin".into(),
+            allocator: AllocatorKind::RoundRobin,
+            power: PowerKind::AlwaysOn,
+        }
+    }
+
+    /// A named static pair.
+    pub fn static_pair(
+        name: impl Into<String>,
+        allocator: AllocatorKind,
+        power: PowerKind,
+    ) -> Self {
+        PolicySpec::Static {
+            name: name.into(),
+            allocator,
+            power,
+        }
+    }
+
+    /// DRL-only with the default pre-training budget.
+    pub fn drl_only() -> Self {
+        PolicySpec::DrlOnly {
+            pretrain: Pretrain::default(),
+        }
+    }
+
+    /// DRL + fixed timeout with the default pre-training budget.
+    pub fn drl_timeout(timeout_s: f64) -> Self {
+        PolicySpec::DrlTimeout {
+            timeout_s,
+            pretrain: Pretrain::default(),
+        }
+    }
+
+    /// The hierarchical framework at the given weight, tiers co-pre-trained.
+    pub fn hierarchical(weight: f64) -> Self {
+        PolicySpec::Hierarchical {
+            weight,
+            pretrain: Pretrain::default(),
+            co_pretrain: true,
+        }
+    }
+
+    /// The hierarchical framework with only the global tier pre-trained and
+    /// a fresh local tier (one Fig. 10 operating point).
+    pub fn hierarchical_cold_local(weight: f64) -> Self {
+        PolicySpec::Hierarchical {
+            weight,
+            pretrain: Pretrain::default(),
+            co_pretrain: false,
+        }
+    }
+
+    /// A global-tier ablation variant.
+    pub fn drl_variant(
+        name: impl Into<String>,
+        config: DrlAllocatorConfig,
+        pretrain: Pretrain,
+    ) -> Self {
+        PolicySpec::DrlVariant {
+            name: name.into(),
+            config: Box::new(config),
+            pretrain,
+        }
+    }
+
+    /// Display name (used in scenario ids, reports, and result rows).
+    pub fn name(&self) -> String {
+        match self {
+            PolicySpec::Static { name, .. } | PolicySpec::DrlVariant { name, .. } => name.clone(),
+            PolicySpec::DrlOnly { .. } => "drl-only".into(),
+            PolicySpec::DrlTimeout { timeout_s, .. } => format!("drl+timeout-{timeout_s}s"),
+            PolicySpec::Hierarchical { weight, .. } => {
+                if (*weight - 0.5).abs() < 1e-12 {
+                    "hierarchical".into()
+                } else {
+                    format!("hierarchical w={weight}")
+                }
+            }
+        }
+    }
+
+    /// Whether this policy carries a DRL global tier (and hence pre-trains).
+    pub fn is_learned(&self) -> bool {
+        !matches!(self, PolicySpec::Static { .. })
+    }
+}
+
+/// One cell of an experiment grid: everything needed to reproduce a single
+/// run, including its RNG seeding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Stable identifier: `topology/workload/policy/s<seed>`.
+    pub id: String,
+    /// Cluster under test.
+    pub topology: Topology,
+    /// Workload recipe.
+    pub workload: WorkloadSpec,
+    /// Control planes.
+    pub policy: PolicySpec,
+    /// The cell's base seed; every random stream in the cell derives from
+    /// it, so two scenarios with different seeds are independent.
+    pub seed: u64,
+    /// Stop after this many completed jobs (`None` = run the whole trace).
+    pub max_jobs: Option<u64>,
+}
+
+impl Scenario {
+    /// Builds a scenario with its canonical id.
+    pub fn new(
+        topology: Topology,
+        workload: WorkloadSpec,
+        policy: PolicySpec,
+        seed: u64,
+        max_jobs: Option<u64>,
+    ) -> Self {
+        let id = format!(
+            "{}/{}/{}/s{seed}",
+            topology.name,
+            workload.name,
+            policy.name()
+        );
+        Self {
+            id,
+            topology,
+            workload,
+            policy,
+            seed,
+            max_jobs,
+        }
+    }
+
+    /// Seed of the evaluation trace.
+    pub fn trace_seed(&self) -> u64 {
+        mix_seed(self.seed, 1)
+    }
+
+    /// Seed of the global-tier learner (and pre-training segments).
+    pub fn policy_seed(&self) -> u64 {
+        mix_seed(self.seed, 2)
+    }
+
+    /// Seed of the local-tier learner.
+    pub fn dpm_seed(&self) -> u64 {
+        mix_seed(self.seed, 3)
+    }
+
+    /// The evaluation trace recipe.
+    pub fn trace_spec(&self) -> TraceSpec {
+        self.workload.trace_spec(&self.topology, self.trace_seed())
+    }
+
+    /// The run limit.
+    pub fn run_limit(&self) -> RunLimit {
+        match self.max_jobs {
+            Some(n) => RunLimit::jobs(n),
+            None => RunLimit::unbounded(),
+        }
+    }
+
+    /// The global-tier configuration this cell trains (learned policies).
+    pub fn drl_config(&self) -> Option<DrlAllocatorConfig> {
+        let seeded = |mut config: DrlAllocatorConfig| {
+            config.seed = self.policy_seed();
+            config
+        };
+        match &self.policy {
+            PolicySpec::Static { .. } => None,
+            PolicySpec::DrlVariant { config, .. } => Some(seeded((**config).clone())),
+            _ => Some(seeded(DrlAllocatorConfig::default())),
+        }
+    }
+
+    /// The local-tier configuration this cell runs (hierarchical only).
+    pub fn dpm_config(&self) -> Option<RlPowerConfig> {
+        match &self.policy {
+            PolicySpec::Hierarchical { weight, .. } => Some(RlPowerConfig {
+                weight: *weight,
+                seed: self.dpm_seed(),
+                ..Default::default()
+            }),
+            _ => None,
+        }
+    }
+
+    /// The local-tier configuration *included in pre-training* — `None`
+    /// for `co_pretrain: false` hierarchical cells, which keeps them out
+    /// of the pre-train cache key so every Fig. 10 operating point (and
+    /// the fixed-timeout baselines) shares one pre-trained global tier.
+    pub fn co_pretrain_dpm_config(&self) -> Option<RlPowerConfig> {
+        match &self.policy {
+            PolicySpec::Hierarchical {
+                co_pretrain: true, ..
+            } => self.dpm_config(),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_scales_with_cluster_size() {
+        let w = WorkloadSpec::paper();
+        assert_eq!(w.jobs_for(30), 95_000);
+        assert!((w.jobs_per_week_for(30) - 95_000.0).abs() < 1e-9);
+        assert!((w.jobs_per_week_for(40) - 95_000.0 * 40.0 / 30.0).abs() < 1e-6);
+        let fixed = w.with_total_jobs(1234);
+        assert_eq!(fixed.jobs_for(40), 1234);
+    }
+
+    #[test]
+    fn scenario_ids_are_stable_and_unique_per_coordinate() {
+        let s = Scenario::new(
+            Topology::paper(5),
+            WorkloadSpec::paper(),
+            PolicySpec::round_robin(),
+            7,
+            None,
+        );
+        assert_eq!(s.id, "paper-m5/paper/round-robin/s7");
+        let t = Scenario::new(
+            Topology::paper(5),
+            WorkloadSpec::paper(),
+            PolicySpec::round_robin(),
+            8,
+            None,
+        );
+        assert_ne!(s.id, t.id);
+    }
+
+    #[test]
+    fn derived_seeds_are_decorrelated() {
+        let s = Scenario::new(
+            Topology::paper(5),
+            WorkloadSpec::paper(),
+            PolicySpec::drl_only(),
+            7,
+            None,
+        );
+        assert_ne!(s.trace_seed(), s.policy_seed());
+        assert_ne!(s.policy_seed(), s.dpm_seed());
+        // Neighbouring base seeds produce unrelated trace seeds.
+        let t = Scenario {
+            seed: 8,
+            ..s.clone()
+        };
+        assert_ne!(s.trace_seed(), t.trace_seed());
+    }
+
+    #[test]
+    fn learned_policies_get_cell_derived_rng_seeds() {
+        let s = Scenario::new(
+            Topology::paper(5),
+            WorkloadSpec::paper(),
+            PolicySpec::hierarchical(0.3),
+            7,
+            None,
+        );
+        assert_eq!(s.drl_config().unwrap().seed, s.policy_seed());
+        let dpm = s.dpm_config().unwrap();
+        assert_eq!(dpm.seed, s.dpm_seed());
+        assert!((dpm.weight - 0.3).abs() < 1e-12);
+        assert!(s.policy.is_learned());
+    }
+
+    #[test]
+    fn policy_names_match_paper_conventions() {
+        assert_eq!(PolicySpec::round_robin().name(), "round-robin");
+        assert_eq!(PolicySpec::drl_only().name(), "drl-only");
+        assert_eq!(PolicySpec::drl_timeout(60.0).name(), "drl+timeout-60s");
+        assert_eq!(PolicySpec::hierarchical(0.5).name(), "hierarchical");
+        assert_eq!(PolicySpec::hierarchical(0.2).name(), "hierarchical w=0.2");
+    }
+
+    #[test]
+    fn cold_local_hierarchical_pretrains_without_the_local_tier() {
+        let cold = Scenario::new(
+            Topology::paper(5),
+            WorkloadSpec::paper(),
+            PolicySpec::hierarchical_cold_local(0.2),
+            7,
+            None,
+        );
+        // Fig. 10 cells still *run* a local tier at their weight, but keep
+        // it out of pre-training so the global tier is shared across the
+        // sweep (its pre-train inputs match a DrlTimeout cell's).
+        assert!(cold.co_pretrain_dpm_config().is_none());
+        assert!((cold.dpm_config().unwrap().weight - 0.2).abs() < 1e-12);
+
+        let warm = Scenario {
+            policy: PolicySpec::hierarchical(0.2),
+            ..cold.clone()
+        };
+        assert_eq!(warm.co_pretrain_dpm_config(), warm.dpm_config());
+    }
+
+    #[test]
+    fn pretrain_segments_differ_and_scale() {
+        let topo = Topology::paper(10);
+        let w = WorkloadSpec::paper().with_total_jobs(2000);
+        let specs = Pretrain::default().segment_specs(&topo, &w, 99);
+        assert_eq!(specs.len(), 5);
+        assert_eq!(specs[0].jobs, 300);
+        assert_ne!(specs[0].workload.seed, specs[1].workload.seed);
+    }
+}

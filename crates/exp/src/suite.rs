@@ -1,0 +1,167 @@
+//! Declarative sweep grids: a [`Suite`] is the cartesian product of
+//! topologies × workloads × policies × seeds, built with [`SuiteBuilder`].
+
+use crate::scenario::{PolicySpec, Scenario, Topology, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+
+/// A named collection of scenarios, executed together by the suite runner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Suite {
+    /// Suite name (used in reports and artifacts).
+    pub name: String,
+    /// The grid cells, in deterministic builder order.
+    pub scenarios: Vec<Scenario>,
+}
+
+impl Suite {
+    /// Starts a grid builder.
+    pub fn builder(name: impl Into<String>) -> SuiteBuilder {
+        SuiteBuilder {
+            name: name.into(),
+            topologies: Vec::new(),
+            workloads: Vec::new(),
+            policies: Vec::new(),
+            seeds: Vec::new(),
+            max_jobs: None,
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// Whether the suite has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+}
+
+/// Cartesian grid builder for [`Suite`].
+///
+/// Cells expand in nesting order topology → workload → policy → seed, so a
+/// suite's scenario order (and therefore its report) is independent of how
+/// it is executed.
+#[derive(Debug, Clone)]
+pub struct SuiteBuilder {
+    name: String,
+    topologies: Vec<Topology>,
+    workloads: Vec<WorkloadSpec>,
+    policies: Vec<PolicySpec>,
+    seeds: Vec<u64>,
+    max_jobs: Option<u64>,
+}
+
+impl SuiteBuilder {
+    /// Sets the cluster topologies axis.
+    #[must_use]
+    pub fn topologies(mut self, topologies: impl IntoIterator<Item = Topology>) -> Self {
+        self.topologies = topologies.into_iter().collect();
+        self
+    }
+
+    /// Sets the workloads axis.
+    #[must_use]
+    pub fn workloads(mut self, workloads: impl IntoIterator<Item = WorkloadSpec>) -> Self {
+        self.workloads = workloads.into_iter().collect();
+        self
+    }
+
+    /// Sets the policies axis.
+    #[must_use]
+    pub fn policies(mut self, policies: impl IntoIterator<Item = PolicySpec>) -> Self {
+        self.policies = policies.into_iter().collect();
+        self
+    }
+
+    /// Sets the seeds axis.
+    #[must_use]
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Caps every cell at `n` completed jobs.
+    #[must_use]
+    pub fn limit_jobs(mut self, n: u64) -> Self {
+        self.max_jobs = Some(n);
+        self
+    }
+
+    /// Expands the grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any axis is empty — an empty axis silently producing zero
+    /// cells is always a bug in the caller.
+    pub fn build(self) -> Suite {
+        assert!(!self.topologies.is_empty(), "suite needs >= 1 topology");
+        assert!(!self.workloads.is_empty(), "suite needs >= 1 workload");
+        assert!(!self.policies.is_empty(), "suite needs >= 1 policy");
+        assert!(!self.seeds.is_empty(), "suite needs >= 1 seed");
+        let mut scenarios = Vec::with_capacity(
+            self.topologies.len() * self.workloads.len() * self.policies.len() * self.seeds.len(),
+        );
+        for topology in &self.topologies {
+            for workload in &self.workloads {
+                for policy in &self.policies {
+                    for &seed in &self.seeds {
+                        scenarios.push(Scenario::new(
+                            topology.clone(),
+                            workload.clone(),
+                            policy.clone(),
+                            seed,
+                            self.max_jobs,
+                        ));
+                    }
+                }
+            }
+        }
+        Suite {
+            name: self.name,
+            scenarios,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_expands_in_cartesian_order() {
+        let suite = Suite::builder("t")
+            .topologies([Topology::paper(4), Topology::paper(6)])
+            .workloads([WorkloadSpec::paper()])
+            .policies([PolicySpec::round_robin(), PolicySpec::drl_only()])
+            .seeds([1, 2])
+            .build();
+        assert_eq!(suite.len(), 8);
+        assert_eq!(suite.scenarios[0].id, "paper-m4/paper/round-robin/s1");
+        assert_eq!(suite.scenarios[1].id, "paper-m4/paper/round-robin/s2");
+        assert_eq!(suite.scenarios[2].id, "paper-m4/paper/drl-only/s1");
+        assert_eq!(suite.scenarios[4].id, "paper-m6/paper/round-robin/s1");
+    }
+
+    #[test]
+    fn limit_applies_to_every_cell() {
+        let suite = Suite::builder("t")
+            .topologies([Topology::paper(4)])
+            .workloads([WorkloadSpec::paper()])
+            .policies([PolicySpec::round_robin()])
+            .seeds([1])
+            .limit_jobs(50)
+            .build();
+        assert_eq!(suite.scenarios[0].max_jobs, Some(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "suite needs >= 1 policy")]
+    fn empty_axis_is_rejected() {
+        let _ = Suite::builder("t")
+            .topologies([Topology::paper(4)])
+            .workloads([WorkloadSpec::paper()])
+            .seeds([1])
+            .build();
+    }
+}

@@ -37,7 +37,13 @@ impl Autoencoder {
         Self {
             encoder: Mlp::new(dims, activation, activation, Init::XavierUniform, rng),
             // Linear output layer so reconstructions are unbounded.
-            decoder: Mlp::new(&up, activation, Activation::Linear, Init::XavierUniform, rng),
+            decoder: Mlp::new(
+                &up,
+                activation,
+                Activation::Linear,
+                Init::XavierUniform,
+                rng,
+            ),
         }
     }
 

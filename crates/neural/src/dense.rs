@@ -216,7 +216,10 @@ impl Mlp {
         init: Init,
         rng: &mut impl Rng,
     ) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least input and output widths");
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output widths"
+        );
         let mut layers = Vec::with_capacity(dims.len() - 1);
         for i in 0..dims.len() - 1 {
             let act = if i + 2 == dims.len() {
@@ -351,7 +354,7 @@ mod tests {
         mlp.visit_params(&mut |p, _| param_shapes.push(p.shape()));
         for (tensor_i, &(r, c)) in param_shapes.iter().enumerate() {
             for k in 0..r * c {
-                let mut set = |mlp: &mut Mlp, delta: f32| {
+                let set = |mlp: &mut Mlp, delta: f32| {
                     let mut t = 0;
                     mlp.visit_params(&mut |p, _| {
                         if t == tensor_i {
@@ -416,7 +419,7 @@ mod tests {
         let g = Matrix::row_vector(&[1.0, 1.0]);
         let _ = layer.backward(&g); // consumes x2's cache
         let _ = layer.backward(&g); // consumes x1's cache
-        // grad_w = x1^T g + x2^T g = ones(2,2)
+                                    // grad_w = x1^T g + x2^T g = ones(2,2)
         let mut grads = Vec::new();
         layer.visit_params(&mut |_, gm| grads.push(gm.clone()));
         assert_eq!(grads[0], Matrix::filled(2, 2, 1.0));

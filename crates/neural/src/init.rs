@@ -102,7 +102,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let m = Init::HeNormal.sample(100, 100, &mut rng);
         let mean = m.mean();
-        let var = m.as_slice().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
+        let var = m
+            .as_slice()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
             / (m.len() as f32);
         let expected = 2.0 / 100.0;
         assert!(mean.abs() < 0.01, "mean {mean} too far from 0");

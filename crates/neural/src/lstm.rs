@@ -228,7 +228,10 @@ impl LstmNetwork {
         output_size: usize,
         rng: &mut impl Rng,
     ) -> Self {
-        let weight_init = Init::Normal { mean: 0.0, std: 1.0 };
+        let weight_init = Init::Normal {
+            mean: 0.0,
+            std: 1.0,
+        };
         let bias_init = Init::Constant(0.1);
         Self {
             input_layer: Dense::with_bias(
@@ -297,10 +300,7 @@ impl LstmNetwork {
     pub fn predict_next(&self, window: &[f32]) -> f32 {
         assert_eq!(self.input_size(), 1, "predict_next requires scalar input");
         assert_eq!(self.output_size(), 1, "predict_next requires scalar output");
-        let steps: Vec<Matrix> = window
-            .iter()
-            .map(|&v| Matrix::row_vector(&[v]))
-            .collect();
+        let steps: Vec<Matrix> = window.iter().map(|&v| Matrix::row_vector(&[v])).collect();
         self.infer(&steps).as_slice()[0]
     }
 
@@ -418,7 +418,7 @@ mod tests {
         let mut max_err = 0.0_f32;
         for (tensor_i, &(r, c)) in shapes.iter().enumerate() {
             for k in 0..r * c {
-                let mut nudge = |net: &mut LstmNetwork, delta: f32| {
+                let nudge = |net: &mut LstmNetwork, delta: f32| {
                     let mut t = 0;
                     net.visit_params(&mut |p, _| {
                         if t == tensor_i {

@@ -192,7 +192,8 @@ impl Matrix {
     /// Panics if `self.cols != rhs.rows`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
-            self.cols, rhs.rows,
+            self.cols,
+            rhs.rows,
             "matmul shape mismatch: {:?} x {:?}",
             self.shape(),
             rhs.shape()
@@ -224,7 +225,8 @@ impl Matrix {
     /// Panics if the row counts differ.
     pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
-            self.rows, rhs.rows,
+            self.rows,
+            rhs.rows,
             "matmul_tn shape mismatch: {:?} x {:?}",
             self.shape(),
             rhs.shape()
@@ -255,7 +257,8 @@ impl Matrix {
     /// Panics if the column counts differ.
     pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
-            self.cols, rhs.cols,
+            self.cols,
+            rhs.cols,
             "matmul_nt shape mismatch: {:?} x {:?}",
             self.shape(),
             rhs.shape()
@@ -438,8 +441,7 @@ impl Matrix {
             let mut offset = 0;
             for m in parts {
                 assert_eq!(m.rows, rows, "hcat row count mismatch");
-                out.data[r * cols + offset..r * cols + offset + m.cols]
-                    .copy_from_slice(m.row(r));
+                out.data[r * cols + offset..r * cols + offset + m.cols].copy_from_slice(m.row(r));
                 offset += m.cols;
             }
         }
@@ -509,7 +511,10 @@ impl Index<(usize, usize)> for Matrix {
 
     #[inline]
     fn index(&self, (r, c): (usize, usize)) -> &f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
@@ -517,7 +522,10 @@ impl Index<(usize, usize)> for Matrix {
 impl IndexMut<(usize, usize)> for Matrix {
     #[inline]
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }

@@ -57,10 +57,7 @@ impl Sgd {
     /// Panics if `lr <= 0` or `momentum` is outside `[0, 1)`.
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
-        assert!(
-            (0.0..1.0).contains(&momentum),
-            "momentum must be in [0, 1)"
-        );
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
         Self {
             lr,
             momentum,
@@ -149,7 +146,11 @@ impl Optimizer for Adam {
                 v.push(Matrix::zeros(p.rows(), p.cols()));
             }
             let (mi, vi) = (&mut m[idx], &mut v[idx]);
-            assert_eq!(mi.shape(), p.shape(), "parameter order changed mid-training");
+            assert_eq!(
+                mi.shape(),
+                p.shape(),
+                "parameter order changed mid-training"
+            );
             for ((pk, &gk), (mk, vk)) in p
                 .as_mut_slice()
                 .iter_mut()

@@ -170,9 +170,7 @@ fn weight_sharing_matches_manual_accumulation() {
     // Applying a layer twice and back-propagating both must equal the sum
     // of two independent single applications' gradients.
     let mut rng = StdRng::seed_from_u64(4);
-    let make = |rng: &mut StdRng| {
-        Dense::new(3, 2, Activation::Tanh, Init::XavierUniform, rng)
-    };
+    let make = |rng: &mut StdRng| Dense::new(3, 2, Activation::Tanh, Init::XavierUniform, rng);
     let layer_proto = make(&mut rng);
     let x1 = Matrix::row_vector(&[0.1, 0.4, -0.2]);
     let x2 = Matrix::row_vector(&[-0.6, 0.2, 0.8]);

@@ -35,7 +35,10 @@ impl SmdpParams {
             alpha > 0.0 && alpha <= 1.0,
             "alpha must be in (0, 1], got {alpha}"
         );
-        assert!(beta > 0.0 && beta.is_finite(), "beta must be positive, got {beta}");
+        assert!(
+            beta > 0.0 && beta.is_finite(),
+            "beta must be positive, got {beta}"
+        );
         Self { alpha, beta }
     }
 
@@ -69,9 +72,11 @@ pub fn reward_weight(beta: f64, tau: f64) -> f64 {
 /// `sojourn` the time spent in the state (seconds), and `max_next_q` the
 /// best next-state value estimate.
 pub fn smdp_target(params: &SmdpParams, reward_rate: f64, sojourn: f64, max_next_q: f64) -> f64 {
-    debug_assert!(sojourn >= 0.0, "sojourn must be non-negative, got {sojourn}");
-    reward_weight(params.beta, sojourn) * reward_rate
-        + discount(params.beta, sojourn) * max_next_q
+    debug_assert!(
+        sojourn >= 0.0,
+        "sojourn must be non-negative, got {sojourn}"
+    );
+    reward_weight(params.beta, sojourn) * reward_rate + discount(params.beta, sojourn) * max_next_q
 }
 
 /// One SMDP Q-learning update: returns the new `Q(s, a)` estimate.

@@ -87,8 +87,12 @@ pub enum TimeoutDecision {
 pub trait PowerManager {
     /// Case (1): `server` is on with no queued or running jobs. Returns the
     /// timeout decision.
-    fn on_idle(&mut self, server: ServerId, view: &ClusterView<'_>, now: SimTime)
-        -> TimeoutDecision;
+    fn on_idle(
+        &mut self,
+        server: ServerId,
+        view: &ClusterView<'_>,
+        now: SimTime,
+    ) -> TimeoutDecision;
 
     /// Cases (2)/(3) and bookkeeping: a job is about to be enqueued on
     /// `server`.
@@ -189,9 +193,7 @@ impl Cluster {
                     .server_capacities
                     .as_ref()
                     .map(|caps| caps[i].clone())
-                    .unwrap_or_else(|| {
-                        crate::resources::ResourceVec::ones(config.resource_dims)
-                    });
+                    .unwrap_or_else(|| crate::resources::ResourceVec::ones(config.resource_dims));
                 Server::new(capacity, config.servers_initially_on, config.reliability)
             })
             .collect();
@@ -279,7 +281,11 @@ impl Cluster {
         self.totals()
     }
 
-    fn schedule_started(events: &mut EventQueue, server: ServerId, started: Vec<crate::server::RunningJob>) {
+    fn schedule_started(
+        events: &mut EventQueue,
+        server: ServerId,
+        started: Vec<crate::server::RunningJob>,
+    ) {
         for run in started {
             events.push(
                 run.finishes,
@@ -291,11 +297,7 @@ impl Cluster {
         }
     }
 
-    fn handle_idle_decision(
-        &mut self,
-        sid: ServerId,
-        power: &mut dyn PowerManager,
-    ) {
+    fn handle_idle_decision(&mut self, sid: ServerId, power: &mut dyn PowerManager) {
         let decision = {
             let view = self.view();
             power.on_idle(sid, &view, self.now)
@@ -309,7 +311,8 @@ impl Cluster {
         match decision {
             TimeoutDecision::SleepNow => {
                 let until = server.begin_sleep(self.now, self.config.t_off);
-                self.events.push(until, Event::SleepComplete { server: sid });
+                self.events
+                    .push(until, Event::SleepComplete { server: sid });
             }
             TimeoutDecision::After(seconds) => {
                 assert!(
@@ -317,8 +320,10 @@ impl Cluster {
                     "timeout must be finite and non-negative, got {seconds}"
                 );
                 let token = server.issue_timeout_token();
-                self.events
-                    .push(self.now + seconds, Event::TimeoutFired { server: sid, token });
+                self.events.push(
+                    self.now + seconds,
+                    Event::TimeoutFired { server: sid, token },
+                );
             }
             TimeoutDecision::StayAwake => {}
         }
@@ -390,7 +395,11 @@ impl Cluster {
         let started = server.start_fitting_jobs(self.now);
         Self::schedule_started(&mut self.events, sid, started);
 
-        if self.completed.len() % self.config.sample_every == 0 {
+        if self
+            .completed
+            .len()
+            .is_multiple_of(self.config.sample_every)
+        {
             let totals = self.totals();
             self.samples.push(SamplePoint {
                 jobs_completed: totals.jobs_completed,
@@ -429,7 +438,8 @@ impl Cluster {
         let server = &mut self.servers[sid.0];
         if server.timeout_token_is_current(token) && server.is_idle() {
             let until = server.begin_sleep(self.now, t_off);
-            self.events.push(until, Event::SleepComplete { server: sid });
+            self.events
+                .push(until, Event::SleepComplete { server: sid });
         }
     }
 
@@ -489,7 +499,9 @@ impl Cluster {
 mod tests {
     use super::*;
     use crate::job::JobId;
-    use crate::policies::{AlwaysOnPower, FixedTimeoutPower, RoundRobinAllocator, SleepImmediatelyPower};
+    use crate::policies::{
+        AlwaysOnPower, FixedTimeoutPower, RoundRobinAllocator, SleepImmediatelyPower,
+    };
     use crate::resources::ResourceVec;
 
     fn job(id: u64, t: f64, dur: f64, cpu: f64) -> Job {
@@ -578,8 +590,7 @@ mod tests {
         assert_eq!(s.stats().wake_transitions, 1);
         assert_eq!(s.stats().sleep_transitions, 1);
         // Energy: 30 s wake + 100 s active + 30 s sleep transition.
-        let expected =
-            crate::power::PowerModel::paper().active_power(0.5) * 100.0 + 145.0 * 60.0;
+        let expected = crate::power::PowerModel::paper().active_power(0.5) * 100.0 + 145.0 * 60.0;
         assert!((out.totals.energy_joules - expected).abs() < 1.0);
     }
 
@@ -693,12 +704,7 @@ mod tests {
 
     #[test]
     fn mismatched_job_dims_rejected() {
-        let bad = Job::new(
-            JobId(0),
-            SimTime::ZERO,
-            10.0,
-            ResourceVec::new(&[0.5]),
-        );
+        let bad = Job::new(JobId(0), SimTime::ZERO, 10.0, ResourceVec::new(&[0.5]));
         assert!(Cluster::new(ClusterConfig::paper(2), vec![bad]).is_err());
     }
 

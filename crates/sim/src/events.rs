@@ -114,7 +114,9 @@ mod tests {
     use super::*;
 
     fn wake(s: usize) -> Event {
-        Event::WakeComplete { server: ServerId(s) }
+        Event::WakeComplete {
+            server: ServerId(s),
+        }
     }
 
     #[test]

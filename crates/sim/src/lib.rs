@@ -58,13 +58,17 @@ pub mod time;
 
 /// Convenient glob-import of the crate's main types.
 pub mod prelude {
-    pub use crate::cluster::{Allocator, Cluster, ClusterView, PowerManager, RunLimit, TimeoutDecision};
+    pub use crate::cluster::{
+        Allocator, Cluster, ClusterView, PowerManager, RunLimit, TimeoutDecision,
+    };
     pub use crate::config::ClusterConfig;
     pub use crate::job::{CompletedJob, Job, JobId, ServerId};
-    pub use crate::metrics::{ClusterTotals, LatencyStats, RunOutcome, SamplePoint, JOULES_PER_KWH};
+    pub use crate::metrics::{
+        ClusterTotals, LatencyStats, RunOutcome, SamplePoint, JOULES_PER_KWH,
+    };
     pub use crate::policies::{
-        AlwaysOnPower, FirstFitAllocator, FixedTimeoutPower, LeastLoadedAllocator,
-        RandomAllocator, RoundRobinAllocator, SleepImmediatelyPower,
+        AlwaysOnPower, FirstFitAllocator, FixedTimeoutPower, LeastLoadedAllocator, RandomAllocator,
+        RoundRobinAllocator, SleepImmediatelyPower,
     };
     pub use crate::power::{MachineState, PowerModel};
     pub use crate::resources::{ResourceKind, ResourceVec};

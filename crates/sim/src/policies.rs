@@ -98,7 +98,7 @@ impl Allocator for FirstFitAllocator {
                     return ServerId(i);
                 }
                 let key = (s.jobs_in_system(), i);
-                if fallback.map_or(true, |f| key < f) {
+                if fallback.is_none_or(|f| key < f) {
                     fallback = Some(key);
                 }
             } else if sleeper.is_none() {
@@ -248,7 +248,11 @@ mod tests {
             &mut AlwaysOnPower,
             RunLimit::unbounded(),
         );
-        let loaded: Vec<u64> = c.servers().iter().map(|s| s.stats().jobs_completed).collect();
+        let loaded: Vec<u64> = c
+            .servers()
+            .iter()
+            .map(|s| s.stats().jobs_completed)
+            .collect();
         assert_eq!(loaded, vec![1, 1, 1, 1]);
     }
 
@@ -272,7 +276,11 @@ mod tests {
         config.servers_initially_on = false;
         let jobs = vec![job(0, 0.0, 10.0, 0.5)];
         let mut c = Cluster::new(config, jobs).unwrap();
-        c.run(&mut RoundRobinAllocator::new(), &mut p, RunLimit::unbounded());
+        c.run(
+            &mut RoundRobinAllocator::new(),
+            &mut p,
+            RunLimit::unbounded(),
+        );
         assert_eq!(c.servers()[0].stats().sleep_transitions, 1);
         assert_eq!(c.servers()[0].stats().wake_transitions, 1);
     }

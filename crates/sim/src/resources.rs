@@ -72,7 +72,10 @@ impl ResourceVec {
     ///
     /// Panics if `values` is empty or any component is negative or non-finite.
     pub fn new(values: &[f64]) -> Self {
-        assert!(!values.is_empty(), "resource vector needs at least one dimension");
+        assert!(
+            !values.is_empty(),
+            "resource vector needs at least one dimension"
+        );
         for (i, &v) in values.iter().enumerate() {
             assert!(
                 v.is_finite() && v >= 0.0,
@@ -122,13 +125,7 @@ impl ResourceVec {
     /// Panics on dimension mismatch.
     pub fn add(&self, other: &ResourceVec) -> ResourceVec {
         self.check_dims(other);
-        ResourceVec(
-            self.0
-                .iter()
-                .zip(&other.0)
-                .map(|(a, b)| a + b)
-                .collect(),
-        )
+        ResourceVec(self.0.iter().zip(&other.0).map(|(a, b)| a + b).collect())
     }
 
     /// In-place `self += other`.

@@ -210,8 +210,10 @@ impl Server {
     /// Appends a job to the FCFS queue (does not start it).
     pub fn enqueue(&mut self, job: Job) {
         self.queue.push_back(job);
-        self.stats.max_jobs_in_system =
-            self.stats.max_jobs_in_system.max(self.jobs_in_system() as u64);
+        self.stats.max_jobs_in_system = self
+            .stats
+            .max_jobs_in_system
+            .max(self.jobs_in_system() as u64);
     }
 
     /// Starts queued jobs in strict FCFS order while the head job fits,
@@ -275,11 +277,7 @@ impl Server {
     ///
     /// Panics if the server is not `On`, or still has jobs.
     pub fn begin_sleep(&mut self, now: SimTime, t_off: f64) -> SimTime {
-        assert!(
-            self.state.is_on(),
-            "begin_sleep from {:?}",
-            self.state
-        );
+        assert!(self.state.is_on(), "begin_sleep from {:?}", self.state);
         assert_eq!(
             self.jobs_in_system(),
             0,

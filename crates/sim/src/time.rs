@@ -8,7 +8,7 @@ use std::ops::{Add, AddAssign, Sub};
 ///
 /// `SimTime` is totally ordered; constructing a non-finite time panics, so
 /// event-queue ordering is always well defined.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimTime(f64);
 
 impl SimTime {
@@ -22,7 +22,10 @@ impl SimTime {
     /// Panics if `seconds` is NaN or infinite, or negative.
     pub fn from_secs(seconds: f64) -> Self {
         assert!(seconds.is_finite(), "SimTime must be finite, got {seconds}");
-        assert!(seconds >= 0.0, "SimTime must be non-negative, got {seconds}");
+        assert!(
+            seconds >= 0.0,
+            "SimTime must be non-negative, got {seconds}"
+        );
         SimTime(seconds)
     }
 
@@ -70,6 +73,12 @@ impl SimTime {
 }
 
 impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
 
 impl Ord for SimTime {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {

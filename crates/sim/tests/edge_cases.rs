@@ -155,12 +155,7 @@ fn power_off_transition_blocks_start_until_wake_cycle() {
 
 #[test]
 fn cluster_rejects_dimension_mismatch() {
-    let bad = Job::new(
-        JobId(0),
-        SimTime::ZERO,
-        10.0,
-        ResourceVec::new(&[0.5, 0.5]),
-    );
+    let bad = Job::new(JobId(0), SimTime::ZERO, 10.0, ResourceVec::new(&[0.5, 0.5]));
     assert!(Cluster::new(ClusterConfig::paper(1), vec![bad]).is_err());
 }
 

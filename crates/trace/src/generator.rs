@@ -56,8 +56,7 @@ impl WorkloadConfig {
         // weekly *task* count hits the target.
         let batch_mean = 4.0;
         let shape = ArrivalPattern::google_like(1.0);
-        let base_rate =
-            jobs_per_week / SECS_PER_WEEK / shape.mean_rate_factor() / batch_mean;
+        let base_rate = jobs_per_week / SECS_PER_WEEK / shape.mean_rate_factor() / batch_mean;
         Self {
             seed,
             arrivals: ArrivalPattern::google_like(base_rate),
@@ -261,7 +260,9 @@ mod tests {
 
     #[test]
     fn arrivals_are_sorted_and_ids_sequential() {
-        let trace = TraceGenerator::new(week_config(2)).unwrap().generate(86_400.0);
+        let trace = TraceGenerator::new(week_config(2))
+            .unwrap()
+            .generate(86_400.0);
         let jobs = trace.jobs();
         for (i, w) in jobs.windows(2).enumerate() {
             assert!(w[0].arrival <= w[1].arrival, "out of order at {i}");
@@ -273,7 +274,9 @@ mod tests {
 
     #[test]
     fn durations_respect_paper_bounds() {
-        let trace = TraceGenerator::new(week_config(3)).unwrap().generate(86_400.0);
+        let trace = TraceGenerator::new(week_config(3))
+            .unwrap()
+            .generate(86_400.0);
         for j in trace.jobs() {
             assert!(
                 (60.0..=7200.0).contains(&j.duration),
@@ -297,21 +300,31 @@ mod tests {
 
     #[test]
     fn same_seed_reproduces_trace() {
-        let a = TraceGenerator::new(week_config(7)).unwrap().generate(43_200.0);
-        let b = TraceGenerator::new(week_config(7)).unwrap().generate(43_200.0);
+        let a = TraceGenerator::new(week_config(7))
+            .unwrap()
+            .generate(43_200.0);
+        let b = TraceGenerator::new(week_config(7))
+            .unwrap()
+            .generate(43_200.0);
         assert_eq!(a.jobs(), b.jobs());
     }
 
     #[test]
     fn different_seeds_differ() {
-        let a = TraceGenerator::new(week_config(8)).unwrap().generate(43_200.0);
-        let b = TraceGenerator::new(week_config(9)).unwrap().generate(43_200.0);
+        let a = TraceGenerator::new(week_config(8))
+            .unwrap()
+            .generate(43_200.0);
+        let b = TraceGenerator::new(week_config(9))
+            .unwrap()
+            .generate(43_200.0);
         assert_ne!(a.jobs(), b.jobs());
     }
 
     #[test]
     fn generate_n_returns_exact_count() {
-        let trace = TraceGenerator::new(week_config(10)).unwrap().generate_n(500);
+        let trace = TraceGenerator::new(week_config(10))
+            .unwrap()
+            .generate_n(500);
         assert_eq!(trace.len(), 500);
     }
 
@@ -319,7 +332,9 @@ mod tests {
     fn diurnal_pattern_shows_in_hourly_counts() {
         let mut config = week_config(11);
         config.arrivals.diurnal_amplitude = 0.8;
-        let trace = TraceGenerator::new(config).unwrap().generate(86_400.0 * 5.0);
+        let trace = TraceGenerator::new(config)
+            .unwrap()
+            .generate(86_400.0 * 5.0);
         // Count arrivals near daily peak (15h) vs trough (3h).
         let mut peak = 0usize;
         let mut trough = 0usize;

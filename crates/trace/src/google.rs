@@ -143,9 +143,18 @@ pub fn parse_task_events<R: BufRead>(
         match TaskEventType::from(event_code) {
             TaskEventType::Submit => {
                 record.submit_us.get_or_insert(ts);
-                record.cpu = fields.get(9).and_then(|s| parse_field_f64(s)).or(record.cpu);
-                record.mem = fields.get(10).and_then(|s| parse_field_f64(s)).or(record.mem);
-                record.disk = fields.get(11).and_then(|s| parse_field_f64(s)).or(record.disk);
+                record.cpu = fields
+                    .get(9)
+                    .and_then(|s| parse_field_f64(s))
+                    .or(record.cpu);
+                record.mem = fields
+                    .get(10)
+                    .and_then(|s| parse_field_f64(s))
+                    .or(record.mem);
+                record.disk = fields
+                    .get(11)
+                    .and_then(|s| parse_field_f64(s))
+                    .or(record.disk);
             }
             TaskEventType::Schedule => {
                 record.schedule_us.get_or_insert(ts);
@@ -172,11 +181,8 @@ pub fn parse_task_events<R: BufRead>(
             continue;
         }
         let clamp = |v: Option<f64>| v.unwrap_or(0.0).clamp(0.0, 1.0).max(1e-4);
-        let demand = ResourceVec::cpu_mem_disk(
-            clamp(record.cpu),
-            clamp(record.mem),
-            clamp(record.disk),
-        );
+        let demand =
+            ResourceVec::cpu_mem_disk(clamp(record.cpu), clamp(record.mem), clamp(record.disk));
         let arrival_s = submit as f64 / 1e6;
         jobs.push(Job::new(
             JobId(0), // re-numbered after sorting
@@ -186,7 +192,7 @@ pub fn parse_task_events<R: BufRead>(
         ));
     }
 
-    jobs.sort_by(|a, b| a.arrival.cmp(&b.arrival));
+    jobs.sort_by_key(|a| a.arrival);
     let jobs = jobs
         .into_iter()
         .enumerate()

@@ -30,6 +30,7 @@
 pub mod distributions;
 pub mod generator;
 pub mod google;
+pub mod materialize;
 pub mod pattern;
 pub mod stats;
 pub mod trace;
@@ -39,6 +40,7 @@ pub mod prelude {
     pub use crate::distributions::Dist;
     pub use crate::generator::{TraceGenerator, WorkloadConfig};
     pub use crate::google::{parse_task_events, parse_task_events_paper, ParseError};
+    pub use crate::materialize::{TraceCache, TraceSpec};
     pub use crate::pattern::{ArrivalPattern, SECS_PER_DAY, SECS_PER_WEEK};
     pub use crate::stats::{Histogram, WorkloadProfile};
     pub use crate::trace::{Trace, TraceError, TraceStats};

@@ -84,7 +84,10 @@ impl ArrivalPattern {
     /// Returns a description of the first invalid field.
     pub fn validate(&self) -> Result<(), String> {
         if !(self.base_rate.is_finite() && self.base_rate > 0.0) {
-            return Err(format!("base_rate must be positive, got {}", self.base_rate));
+            return Err(format!(
+                "base_rate must be positive, got {}",
+                self.base_rate
+            ));
         }
         if !(0.0..1.0).contains(&self.diurnal_amplitude) {
             return Err(format!(
@@ -93,7 +96,10 @@ impl ArrivalPattern {
             ));
         }
         if !(0.0..=24.0).contains(&self.peak_hour) {
-            return Err(format!("peak_hour must be in [0, 24], got {}", self.peak_hour));
+            return Err(format!(
+                "peak_hour must be in [0, 24], got {}",
+                self.peak_hour
+            ));
         }
         if !(self.weekend_factor.is_finite() && self.weekend_factor > 0.0) {
             return Err(format!(

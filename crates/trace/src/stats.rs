@@ -191,7 +191,9 @@ mod tests {
     #[test]
     fn workload_profile_matches_generator_shape() {
         let config = WorkloadConfig::google_like(5, 95_000.0);
-        let trace = TraceGenerator::new(config).unwrap().generate(86_400.0 * 3.0);
+        let trace = TraceGenerator::new(config)
+            .unwrap()
+            .generate(86_400.0 * 3.0);
         let profile = WorkloadProfile::of(&trace);
 
         // Durations respect the paper's clamp window.

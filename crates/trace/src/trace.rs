@@ -112,7 +112,7 @@ impl Trace {
     ///
     /// Returns [`TraceError::InvalidJob`] for invalid jobs.
     pub fn from_unsorted(mut jobs: Vec<Job>) -> Result<Self, TraceError> {
-        jobs.sort_by(|a, b| a.arrival.cmp(&b.arrival));
+        jobs.sort_by_key(|a| a.arrival);
         Self::new(jobs)
     }
 
@@ -322,7 +322,9 @@ mod tests {
 
     #[test]
     fn take_rebases_prefix() {
-        let jobs: Vec<Job> = (0..5).map(|i| job(i, 50.0 + i as f64 * 2.0, 10.0)).collect();
+        let jobs: Vec<Job> = (0..5)
+            .map(|i| job(i, 50.0 + i as f64 * 2.0, 10.0))
+            .collect();
         let t = Trace::new(jobs).unwrap();
         let head = t.take(3);
         assert_eq!(head.len(), 3);

@@ -28,12 +28,12 @@ impl Allocator for BestFitAllocator {
             if s.state().is_on() {
                 if s.queue_len() == 0 && s.used().fits_with(&job.demand, s.capacity()) {
                     let after = s.cpu_utilization() + job.demand.cpu();
-                    if best.map_or(true, |(_, b)| after > b) {
+                    if best.is_none_or(|(_, b)| after > b) {
                         best = Some((i, after));
                     }
                 }
                 let key = (s.jobs_in_system(), i);
-                if shortest.map_or(true, |f| key < f) {
+                if shortest.is_none_or(|f| key < f) {
                     shortest = Some(key);
                 }
             } else if sleeper.is_none() {
@@ -86,7 +86,10 @@ fn main() -> Result<(), String> {
     println!("jobs completed : {}", outcome.totals.jobs_completed);
     println!("energy         : {:.2} kWh", outcome.totals.energy_kwh());
     println!("mean latency   : {:.1} s", outcome.totals.mean_latency_s());
-    println!("avg power      : {:.1} W", outcome.totals.average_power_watts());
+    println!(
+        "avg power      : {:.1} W",
+        outcome.totals.average_power_watts()
+    );
     if let Some(stats) = LatencyStats::from_jobs(cluster.completed_jobs()) {
         println!(
             "latency p50/p95: {:.0} s / {:.0} s (max {:.0} s)",

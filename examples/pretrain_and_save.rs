@@ -44,15 +44,13 @@ fn main() -> Result<(), String> {
     );
 
     // --- Restore and evaluate on an unseen trace. ---
-    let drl_snapshot: DrlSnapshot =
-        serde_json::from_str(&drl_json).map_err(|e| e.to_string())?;
-    let dpm_snapshot: DpmSnapshot =
-        serde_json::from_str(&dpm_json).map_err(|e| e.to_string())?;
+    let drl_snapshot: DrlSnapshot = serde_json::from_str(&drl_json).map_err(|e| e.to_string())?;
+    let dpm_snapshot: DpmSnapshot = serde_json::from_str(&dpm_json).map_err(|e| e.to_string())?;
     let mut restored_drl = DrlAllocator::from_snapshot(drl_snapshot);
     let mut restored_dpm = RlPowerManager::from_snapshot(m, dpm_snapshot);
 
-    let eval = TraceGenerator::new(WorkloadConfig::google_like(999, jobs_per_week))?
-        .generate_n(2_000);
+    let eval =
+        TraceGenerator::new(WorkloadConfig::google_like(999, jobs_per_week))?.generate_n(2_000);
     let result = run_policies(
         "restored hierarchical",
         &cluster,

@@ -1,0 +1,276 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the slice of the API the experiment suite uses — `par_iter`
+//! / `into_par_iter`, `map`, `collect`, plus `ThreadPoolBuilder::build` and
+//! `ThreadPool::install` for pinning the worker count — on top of
+//! `std::thread::scope`. Work is distributed by an atomic index counter
+//! (index stealing), results are written back by index, so output order is
+//! always the input order regardless of scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`].
+    static POOL_THREADS: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// The number of worker threads parallel iterators will use on this thread.
+pub fn current_num_threads() -> usize {
+    POOL_THREADS.with(|c| c.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Builder for a fixed-size [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pins the worker count (`0` means the machine default, as in rayon).
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Infallible in the shim; the `Result` mirrors rayon's signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = match self.num_threads {
+            Some(0) | None => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// Error type mirroring rayon's `ThreadPoolBuildError` (never produced).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A logical pool: parallel iterators run inside [`ThreadPool::install`]
+/// use exactly this pool's worker count.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `op` with this pool's worker count installed for any parallel
+    /// iterators it creates.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let previous = POOL_THREADS.with(|c| c.replace(Some(self.num_threads)));
+        let result = op();
+        POOL_THREADS.with(|c| c.set(previous));
+        result
+    }
+}
+
+fn par_map_vec<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let len = items.len();
+    let workers = current_num_threads().min(len);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let results: Vec<Mutex<Option<O>>> = (0..len).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= len {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("input slot lock")
+                    .take()
+                    .expect("each index is claimed once");
+                let out = f(item);
+                *results[i].lock().expect("output slot lock") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("output slot lock")
+                .expect("every index produced a value")
+        })
+        .collect()
+}
+
+/// An eager parallel iterator over owned items.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Maps each item through `f` (executed in parallel at `collect`).
+    pub fn map<O, F>(self, f: F) -> ParMap<I, F>
+    where
+        O: Send,
+        F: Fn(I) -> O + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Collects the items (no-op map).
+    pub fn collect<C: FromIterator<I>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// The result of [`ParIter::map`], executed on `collect`.
+pub struct ParMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I: Send, F> ParMap<I, F> {
+    /// Runs the map in parallel and collects the results in input order.
+    pub fn collect<O, C>(self) -> C
+    where
+        O: Send,
+        F: Fn(I) -> O + Sync,
+        C: FromIterator<O>,
+    {
+        par_map_vec(self.items, self.f).into_iter().collect()
+    }
+}
+
+/// Conversion into a parallel iterator over owned items.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+
+    /// Converts `self`.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for std::ops::Range<T>
+where
+    std::ops::Range<T>: Iterator<Item = T>,
+{
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Conversion into a parallel iterator over borrowed items.
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed element type.
+    type Item: Send;
+
+    /// Iterates `&self` in parallel.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// The rayon prelude: the traits needed for `par_iter().map().collect()`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::ThreadPoolBuilder;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_pins_worker_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let out: Vec<usize> = pool.install(|| {
+            assert_eq!(super::current_num_threads(), 1);
+            (0..10)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(|x| x)
+                .collect()
+        });
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn into_par_iter_owned() {
+        let v = vec![String::from("a"), String::from("b")];
+        let lens: Vec<usize> = v.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens, vec![1, 1]);
+    }
+}

@@ -8,9 +8,12 @@
 //! - [`trace`] — Google-cluster-style workload traces,
 //! - [`rl`] — SMDP Q-learning primitives,
 //! - [`core`] — the hierarchical framework itself (global DRL allocation
-//!   tier + local power-management tier) and all baselines.
+//!   tier + local power-management tier) and all baselines,
+//! - [`exp`] — experiment orchestration: Topology/Scenario/Suite grids and
+//!   the parallel, deterministic sweep runner.
 
 pub use hierdrl_core as core;
+pub use hierdrl_exp as exp;
 pub use hierdrl_neural as neural;
 pub use hierdrl_rl as rl;
 pub use hierdrl_sim as sim;

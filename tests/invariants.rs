@@ -9,37 +9,27 @@ use proptest::prelude::*;
 fn arb_jobs(max_jobs: usize) -> impl Strategy<Value = Vec<Job>> {
     prop::collection::vec(
         (
-            0.0f64..5_000.0,  // arrival
-            1.0f64..2_000.0,  // duration
-            0.01f64..0.9,     // cpu
-            0.01f64..0.9,     // mem
-            0.001f64..0.3,    // disk
+            0.0f64..5_000.0, // arrival
+            1.0f64..2_000.0, // duration
+            0.01f64..0.9,    // cpu
+            0.01f64..0.9,    // mem
+            0.001f64..0.3,   // disk
         ),
         1..max_jobs,
     )
     .prop_map(|raw| {
         let mut jobs: Vec<Job> = raw
             .into_iter()
-            .map(|(t, d, c, m, k)| {
-                (
-                    SimTime::from_secs(t),
-                    d,
-                    ResourceVec::cpu_mem_disk(c, m, k),
-                )
-            })
+            .map(|(t, d, c, m, k)| (SimTime::from_secs(t), d, ResourceVec::cpu_mem_disk(c, m, k)))
             .enumerate()
             .map(|(i, (t, d, dem))| Job::new(JobId(i as u64), t, d, dem))
             .collect();
-        jobs.sort_by(|a, b| a.arrival.cmp(&b.arrival));
+        jobs.sort_by_key(|a| a.arrival);
         jobs
     })
 }
 
-fn run_cluster(
-    jobs: Vec<Job>,
-    servers: usize,
-    timeout: f64,
-) -> (Cluster, RunOutcome) {
+fn run_cluster(jobs: Vec<Job>, servers: usize, timeout: f64) -> (Cluster, RunOutcome) {
     let mut cluster = Cluster::new(ClusterConfig::paper(servers), jobs).expect("valid cluster");
     let outcome = cluster.run(
         &mut RoundRobinAllocator::new(),

@@ -89,11 +89,7 @@ fn dpm_snapshot_round_trips_through_json() {
     let mut dpm = RlPowerManager::new(m, RlPowerConfig::default());
     let trace = small_trace(3, 300, m);
     let mut cluster_sim = Cluster::new(cluster, trace.into_jobs()).unwrap();
-    cluster_sim.run(
-        &mut FirstFitAllocator,
-        &mut dpm,
-        RunLimit::unbounded(),
-    );
+    cluster_sim.run(&mut FirstFitAllocator, &mut dpm, RunLimit::unbounded());
     assert!(dpm.stats().updates > 0);
 
     let json = serde_json::to_string(&dpm.snapshot()).unwrap();
@@ -105,8 +101,10 @@ fn dpm_snapshot_round_trips_through_json() {
 #[test]
 #[should_panic(expected = "expected 5")]
 fn dpm_snapshot_rejects_wrong_table_count() {
-    let mut config = RlPowerConfig::default();
-    config.shared_learning = false;
+    let config = RlPowerConfig {
+        shared_learning: false,
+        ..Default::default()
+    };
     let dpm = RlPowerManager::new(3, config);
     let snapshot = dpm.snapshot();
     // Restoring per-server tables onto a different cluster size must fail.
