@@ -86,7 +86,8 @@ fn main() {
         .trace_spec(&topology, 70)
         .materialize()
         .expect("trace materializes");
-    let mut cluster = Cluster::new(topology.cluster, trace.into_jobs()).expect("cluster");
+    let mut cluster =
+        Cluster::new(topology.clusters()[0].clone(), trace.into_jobs()).expect("cluster");
     let mut recorder = ArrivalRecorder {
         arrivals: vec![Vec::new(); scale.m],
     };

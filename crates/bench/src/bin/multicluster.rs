@@ -1,0 +1,75 @@
+//! Multi-cluster scaling sweep: the paper's fleet sharded across several
+//! independent clusters behind a deterministic front-end router. The grid
+//! holds total servers and per-server load constant while varying the
+//! cluster count and the router policy (round-robin / least-loaded /
+//! capacity-weighted), so the printed table answers "what does splitting
+//! the fleet cost, and which router hides it best?". Per-cluster rows land
+//! in the timing artifact (`BENCH_multicluster.json` by default).
+//!
+//! ```sh
+//! cargo run --release -p hierdrl-bench --bin multicluster               # paper scale
+//! cargo run --release -p hierdrl-bench --bin multicluster -- --quick    # smoke scale
+//! cargo run --release -p hierdrl-bench --bin multicluster -- --clusters 2,4,8
+//! ```
+
+use hierdrl_exp::cli::SweepArgs;
+use hierdrl_exp::presets::{self, Scale};
+
+fn main() {
+    let args = SweepArgs::from_env();
+    let scale = args.scale(Scale::paper(30));
+    let counts = args.cluster_counts(&[2, 4]);
+    let runner = args.runner();
+    eprintln!(
+        "multicluster: fleet M = {}, jobs = {}, cluster counts = {:?}, threads = {}",
+        scale.m,
+        scale.jobs,
+        counts,
+        runner.threads()
+    );
+    let suite = presets::multicluster(scale, &counts);
+    let run = runner.run(&suite).expect("multicluster suite");
+    let report = run.report();
+
+    println!(
+        "{:<44} {:>7} {:>9} {:>9} {:>10} {:>9}",
+        "cell / cluster", "servers", "routed", "done", "energy kWh", "lat s/job"
+    );
+    for cell in &report.cells {
+        println!(
+            "{:<44} {:>7} {:>9} {:>9} {:>10.3} {:>9.2}",
+            cell.id,
+            cell.servers,
+            "-",
+            cell.metrics.jobs_completed,
+            cell.metrics.energy_kwh,
+            cell.metrics.mean_latency_s
+        );
+        for shard in cell.clusters.as_deref().unwrap_or_default() {
+            println!(
+                "{:<44} {:>7} {:>9} {:>9} {:>10.3} {:>9.2}",
+                format!("  └ cluster {}", shard.cluster),
+                shard.servers,
+                shard.jobs_routed,
+                shard.metrics.jobs_completed,
+                shard.metrics.energy_kwh,
+                shard.metrics.mean_latency_s
+            );
+        }
+    }
+
+    let bench = run.bench_report();
+    eprintln!(
+        "\nsuite: {} cells in {:.2}s wall ({:.0} jobs/s aggregate, {} traces materialized, {} cache hits)",
+        bench.cells_total,
+        bench.total_wall_s,
+        bench.jobs_per_s,
+        bench.traces_materialized,
+        bench.trace_cache_hits
+    );
+    // Not `BENCH_suite.json`: that name is the committed table1 baseline,
+    // which a flag-less local run must not clobber.
+    let out = args.out.as_deref().unwrap_or("BENCH_multicluster.json");
+    std::fs::write(out, bench.to_json_pretty() + "\n").expect("write bench artifact");
+    eprintln!("wrote {out}");
+}

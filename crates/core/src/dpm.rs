@@ -348,6 +348,16 @@ impl PowerManager for RlPowerManager {
         }
         agent.last_arrival = Some(now);
     }
+
+    fn on_run_end(&mut self, _view: &ClusterView<'_>) {
+        // A later run (e.g. the next pre-training segment) restarts the
+        // clock at zero: the final pending transition has no successor
+        // epoch, and an inter-arrival gap must never span two runs.
+        for agent in &mut self.agents {
+            agent.pending = None;
+            agent.last_arrival = None;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@ use hierdrl_sim::cluster::{Allocator, Cluster, PowerManager, RunLimit};
 use hierdrl_sim::config::ClusterConfig;
 use hierdrl_sim::metrics::{LatencyStats, RunOutcome, SamplePoint};
 use hierdrl_sim::policies::SleepImmediatelyPower;
+use hierdrl_sim::time::SimTime;
 use hierdrl_trace::trace::Trace;
 use serde::{Deserialize, Serialize};
 
@@ -215,6 +216,151 @@ pub fn run_experiment(
         .run_pair(pair)
 }
 
+/// One cluster's share of a multi-cluster cell: the shard index within the
+/// topology, the cluster's size, how many jobs the front-end router sent
+/// it, and the full result of simulating it in isolation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardResult {
+    /// Shard index (position of the cluster in the topology).
+    pub cluster: usize,
+    /// Servers in this cluster.
+    pub servers: usize,
+    /// Jobs the front-end router assigned to this cluster.
+    pub jobs_routed: u64,
+    /// The shard's own experiment result.
+    pub result: ExperimentResult,
+}
+
+/// Aggregates independent per-cluster shard results into one fleet-level
+/// [`ExperimentResult`], deterministically.
+///
+/// Shards share an absolute time axis (the router preserves arrival
+/// times), so accumulated quantities sum, the fleet span is the longest
+/// shard span, and the sample curves merge by `(time, shard index)` into
+/// one fleet-wide accumulated curve. Fleet fractions are weighted by
+/// server count. Latency *percentiles* cannot be recovered from per-shard
+/// summaries, so the merged [`LatencyStats`] weights each shard's
+/// percentiles by its job count — an approximation; exact per-cluster
+/// distributions remain in the shard results.
+///
+/// The instantaneous `power_watts` sums each shard's final snapshot.
+/// Shards that drain early are frozen in their final machine states (the
+/// event queue is empty, so nothing transitions afterwards), which makes
+/// the sum the fleet's steady-state power at the merged end time; prefer
+/// the energy-derived `average_power_watts()` for reporting.
+///
+/// # Panics
+///
+/// Panics if `shards` is empty — an empty topology is always a caller bug.
+pub fn aggregate_shards(name: &str, shards: &[ShardResult]) -> ExperimentResult {
+    assert!(!shards.is_empty(), "aggregate needs >= 1 shard");
+    let mut totals = hierdrl_sim::metrics::ClusterTotals::default();
+    let mut end_time = SimTime::ZERO;
+    for shard in shards {
+        let t = &shard.result.outcome.totals;
+        totals.time_s = totals.time_s.max(t.time_s);
+        totals.energy_joules += t.energy_joules;
+        totals.vm_time_integral += t.vm_time_integral;
+        totals.queue_time_integral += t.queue_time_integral;
+        totals.overload_integral += t.overload_integral;
+        totals.power_watts += t.power_watts;
+        totals.jobs_arrived += t.jobs_arrived;
+        totals.jobs_completed += t.jobs_completed;
+        totals.total_latency_s += t.total_latency_s;
+        if shard.result.outcome.end_time > end_time {
+            end_time = shard.result.outcome.end_time;
+        }
+    }
+
+    // Fleet-wide accumulated curves: a deterministic (time, shard) merge of
+    // the per-shard curves, re-accumulated across shards at every point.
+    let mut points: Vec<(usize, &SamplePoint)> = shards
+        .iter()
+        .enumerate()
+        .flat_map(|(k, s)| s.result.outcome.samples.iter().map(move |p| (k, p)))
+        .collect();
+    points.sort_by(|(ka, a), (kb, b)| {
+        a.time_s
+            .partial_cmp(&b.time_s)
+            .expect("sample times are finite")
+            .then(ka.cmp(kb))
+    });
+    let mut last: Vec<SamplePoint> = vec![
+        SamplePoint {
+            jobs_completed: 0,
+            time_s: 0.0,
+            total_latency_s: 0.0,
+            energy_joules: 0.0,
+        };
+        shards.len()
+    ];
+    let samples = points
+        .into_iter()
+        .map(|(k, p)| {
+            last[k] = *p;
+            SamplePoint {
+                jobs_completed: last.iter().map(|q| q.jobs_completed).sum(),
+                time_s: p.time_s,
+                total_latency_s: last.iter().map(|q| q.total_latency_s).sum(),
+                energy_joules: last.iter().map(|q| q.energy_joules).sum(),
+            }
+        })
+        .collect();
+
+    let total_servers: usize = shards.iter().map(|s| s.servers).sum();
+    let mut fleet = FleetStats::default();
+    for shard in shards {
+        let w = shard.servers as f64 / total_servers.max(1) as f64;
+        let f = &shard.result.fleet;
+        fleet.busy_fraction += w * f.busy_fraction;
+        fleet.idle_fraction += w * f.idle_fraction;
+        fleet.sleep_fraction += w * f.sleep_fraction;
+        fleet.transition_fraction += w * f.transition_fraction;
+        fleet.total_wake_transitions += f.total_wake_transitions;
+    }
+
+    let with_latency: Vec<(u64, LatencyStats)> = shards
+        .iter()
+        .filter_map(|s| {
+            s.result
+                .latency
+                .map(|l| (s.result.outcome.totals.jobs_completed, l))
+        })
+        .collect();
+    let jobs_with_latency: u64 = with_latency.iter().map(|(n, _)| n).sum();
+    let latency = (jobs_with_latency > 0).then(|| {
+        let mut merged = LatencyStats {
+            count: 0,
+            mean: 0.0,
+            p50: 0.0,
+            p95: 0.0,
+            p99: 0.0,
+            max: 0.0,
+        };
+        for (jobs, l) in &with_latency {
+            let w = *jobs as f64 / jobs_with_latency as f64;
+            merged.count += l.count;
+            merged.mean += w * l.mean;
+            merged.p50 += w * l.p50;
+            merged.p95 += w * l.p95;
+            merged.p99 += w * l.p99;
+            merged.max = merged.max.max(l.max);
+        }
+        merged
+    });
+
+    ExperimentResult {
+        name: name.to_string(),
+        outcome: RunOutcome {
+            totals,
+            end_time,
+            samples,
+        },
+        latency,
+        fleet,
+    }
+}
+
 /// Offline pre-training of a DRL allocator (Section VII-A): epsilon-greedy
 /// rollouts over several workload segments, filling the experience memory,
 /// pre-training the autoencoder, and fitting the DNN. The paper uses
@@ -337,6 +483,86 @@ mod tests {
         .unwrap();
         assert_eq!(result.outcome.totals.jobs_completed, 100);
         assert_eq!(allocator.stats().decisions, trained_decisions + 100);
+    }
+
+    #[test]
+    fn aggregating_one_shard_reproduces_it() {
+        let trace = small_trace(5, 150);
+        let result = run_experiment(
+            &PolicyPair::round_robin_baseline(),
+            &ClusterConfig::paper(4),
+            &trace,
+            RunLimit::unbounded(),
+        )
+        .unwrap();
+        let agg = aggregate_shards(
+            "fleet",
+            &[ShardResult {
+                cluster: 0,
+                servers: 4,
+                jobs_routed: 150,
+                result: result.clone(),
+            }],
+        );
+        assert_eq!(agg.name, "fleet");
+        assert_eq!(agg.outcome.totals, result.outcome.totals);
+        assert_eq!(agg.outcome.end_time, result.outcome.end_time);
+        assert_eq!(agg.outcome.samples, result.outcome.samples);
+        assert_eq!(agg.fleet, result.fleet);
+        let (a, b) = (agg.latency.unwrap(), result.latency.unwrap());
+        assert_eq!(a.count, b.count);
+        assert!((a.mean - b.mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_sums_totals_and_merges_curves() {
+        let shards: Vec<ShardResult> = (0..3)
+            .map(|k| {
+                let mut config = ClusterConfig::paper(3);
+                config.sample_every = 40;
+                let trace = small_trace(20 + k as u64, 120);
+                let result = run_experiment(
+                    &PolicyPair::round_robin_baseline(),
+                    &config,
+                    &trace,
+                    RunLimit::unbounded(),
+                )
+                .unwrap();
+                ShardResult {
+                    cluster: k,
+                    servers: 3,
+                    jobs_routed: 120,
+                    result,
+                }
+            })
+            .collect();
+        let agg = aggregate_shards("fleet", &shards);
+
+        assert_eq!(agg.outcome.totals.jobs_completed, 360);
+        let energy: f64 = shards
+            .iter()
+            .map(|s| s.result.outcome.totals.energy_joules)
+            .sum();
+        assert!((agg.outcome.totals.energy_joules - energy).abs() < 1e-6);
+        let end = shards
+            .iter()
+            .map(|s| s.result.outcome.end_time.as_secs())
+            .fold(0.0, f64::max);
+        assert_eq!(agg.outcome.end_time.as_secs(), end);
+
+        // Merged curves stay monotone and end at the fleet totals.
+        for w in agg.outcome.samples.windows(2) {
+            assert!(w[1].time_s >= w[0].time_s);
+            assert!(w[1].jobs_completed >= w[0].jobs_completed);
+            assert!(w[1].energy_joules >= w[0].energy_joules);
+        }
+        let n_samples: usize = shards.iter().map(|s| s.result.outcome.samples.len()).sum();
+        assert_eq!(agg.outcome.samples.len(), n_samples);
+
+        // Fractions remain a partition of time (equal weights here).
+        let f = agg.fleet;
+        let sum = f.busy_fraction + f.idle_fraction + f.sleep_fraction + f.transition_fraction;
+        assert!((sum - 1.0).abs() < 1e-6);
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! - `--quick` — smoke scale (`M = 10`, 5,000 jobs);
 //! - `--threads <T>` — suite worker threads (default: all cores);
 //! - `--out <PATH>` — where to write the timing artifact (binaries that
-//!   emit one).
+//!   emit one);
+//! - `--clusters <C1,C2,...>` — cluster-counts axis for sharded presets.
 
 use crate::presets::Scale;
 use crate::runner::SuiteRunner;
@@ -25,6 +26,9 @@ pub struct SweepArgs {
     pub threads: Option<usize>,
     /// `--out` artifact path.
     pub out: Option<String>,
+    /// `--clusters` override (comma-separated cluster counts for sharded
+    /// presets).
+    pub clusters: Option<Vec<usize>>,
 }
 
 impl SweepArgs {
@@ -55,6 +59,18 @@ impl SweepArgs {
                     );
                 }
                 "--out" => out.out = Some(take("--out")),
+                "--clusters" => {
+                    out.clusters = Some(
+                        take("--clusters")
+                            .split(',')
+                            .map(|s| {
+                                s.trim()
+                                    .parse()
+                                    .expect("--clusters expects comma-separated integers")
+                            })
+                            .collect(),
+                    );
+                }
                 "--quick" => out.quick = true,
                 other => eprintln!("ignoring unknown argument {other:?}"),
             }
@@ -76,6 +92,13 @@ impl SweepArgs {
             scale.jobs = scale.jobs.min(5_000);
         }
         scale
+    }
+
+    /// The cluster-counts axis, starting from a preset's default.
+    pub fn cluster_counts(&self, default_counts: &[usize]) -> Vec<usize> {
+        self.clusters
+            .clone()
+            .unwrap_or_else(|| default_counts.to_vec())
     }
 
     /// A runner honouring `--threads`.
@@ -113,5 +136,12 @@ mod tests {
     fn unknown_flags_are_ignored() {
         let args = parse(&["--frobnicate", "--jobs", "100"]);
         assert_eq!(args.jobs, Some(100));
+    }
+
+    #[test]
+    fn clusters_parses_comma_list() {
+        let args = parse(&["--clusters", "2, 4,8"]);
+        assert_eq!(args.cluster_counts(&[2]), vec![2, 4, 8]);
+        assert_eq!(parse(&[]).cluster_counts(&[2, 4]), vec![2, 4]);
     }
 }

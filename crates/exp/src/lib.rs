@@ -5,7 +5,11 @@
 //! and figure of the paper's evaluation — and every future sweep — is
 //! expressed through.
 //!
-//! - [`scenario::Topology`] names a cluster configuration;
+//! - [`scenario::Topology`] names a cluster configuration — a single
+//!   cluster, or several independent clusters sharing one arrival stream
+//!   behind a deterministic front-end router
+//!   ([`hierdrl_sim::router::Router`]), in which case the runner simulates
+//!   each cluster on its own worker thread and merges in shard order;
 //! - [`scenario::WorkloadSpec`] is a workload recipe resolved against a
 //!   topology, so per-server load stays comparable across cluster sizes;
 //! - [`scenario::PolicySpec`] names the control planes (static baselines or
@@ -70,6 +74,32 @@
 //! # Ok::<(), String>(())
 //! ```
 //!
+//! # Multi-cluster sharding
+//!
+//! A [`scenario::Topology::MultiCluster`] cell splits its arrival stream
+//! across independent clusters with a deterministic front-end router and
+//! simulates each cluster on its own worker thread; per-shard learner
+//! seeds derive from the cell seed (two-level SplitMix64), so the sharded
+//! run stays byte-identical to serial execution.
+//!
+//! ```
+//! use hierdrl_exp::prelude::*;
+//!
+//! let suite = Suite::builder("sharded")
+//!     .topologies([Topology::sharded_paper(2, 6, RouterPolicy::RoundRobin)])
+//!     .workloads([WorkloadSpec::paper().with_total_jobs(100)])
+//!     .policies([PolicySpec::round_robin()])
+//!     .seeds([1])
+//!     .build();
+//!
+//! let run = SuiteRunner::new().run(&suite)?;
+//! let cell = &run.cells[0];
+//! assert_eq!(cell.shards.len(), 2);
+//! let routed: u64 = cell.shards.iter().map(|s| s.shard.jobs_routed).sum();
+//! assert_eq!(routed, 100);
+//! # Ok::<(), String>(())
+//! ```
+//!
 //! # Paper presets
 //!
 //! The grids behind the paper's artifacts are exposed as one-liners —
@@ -95,9 +125,12 @@ pub mod suite;
 /// Convenient glob-import of the orchestration layer's main types.
 pub mod prelude {
     pub use crate::cli::SweepArgs;
-    pub use crate::report::{BenchReport, CellMetrics, CellReport, CellTiming, SuiteReport};
-    pub use crate::runner::{CellRun, SuiteRun, SuiteRunner};
+    pub use crate::report::{
+        BenchReport, BenchShard, CellMetrics, CellReport, CellTiming, ShardReport, SuiteReport,
+    };
+    pub use crate::runner::{CellRun, ShardRun, SuiteRun, SuiteRunner};
     pub use crate::scenario::{JobsBudget, PolicySpec, Pretrain, Scenario, Topology, WorkloadSpec};
     pub use crate::suite::{Suite, SuiteBuilder};
     pub use hierdrl_core::hierarchical::{AllocatorKind, PowerKind};
+    pub use hierdrl_sim::router::RouterPolicy;
 }

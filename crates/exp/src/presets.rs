@@ -10,6 +10,7 @@ use crate::suite::Suite;
 use hierdrl_core::allocator::DrlAllocatorConfig;
 use hierdrl_core::hierarchical::{AllocatorKind, PowerKind};
 use hierdrl_rl::policy::EpsilonSchedule;
+use hierdrl_sim::router::RouterPolicy;
 
 /// The job count at which Table I reports its metrics.
 pub const PAPER_REPORT_JOBS: u64 = 95_000;
@@ -193,6 +194,34 @@ pub fn calibrate(scale: Scale) -> Suite {
         .build()
 }
 
+/// Multi-cluster scaling grid: the same total fleet (`scale.m` servers,
+/// per-server load at the paper's level) sharded across every cluster
+/// count in `cluster_counts`, behind each front-end router policy. The
+/// round-robin baseline and the DRL global tier (per-cluster learners)
+/// ride every sharding, so the grid answers "what does splitting the fleet
+/// cost, and which router hides it best?".
+pub fn multicluster(scale: Scale, cluster_counts: &[usize]) -> Suite {
+    let topologies = cluster_counts.iter().flat_map(|&c| {
+        RouterPolicy::ALL
+            .into_iter()
+            .map(move |router| Topology::sharded_paper(c, scale.m, router))
+    });
+    Suite::builder("multicluster")
+        .topologies(topologies)
+        .workloads([scale.workload()])
+        .policies([
+            PolicySpec::round_robin(),
+            PolicySpec::static_pair(
+                "first-fit+sleep",
+                AllocatorKind::FirstFit,
+                PowerKind::SleepImmediately,
+            ),
+            PolicySpec::drl_only(),
+        ])
+        .seeds([42])
+        .build()
+}
+
 /// A policy × arrival-rate × cluster-size grid — the shape of sweep the
 /// orchestration layer exists for. `rate_factors` scale the paper's
 /// per-server arrival volume.
@@ -261,5 +290,22 @@ mod tests {
     fn load_sweep_expands_full_grid() {
         let suite = load_sweep(&[10, 20], &[0.5, 1.0, 1.5], 300.0);
         assert_eq!(suite.len(), 2 * 3 * 3);
+    }
+
+    #[test]
+    fn multicluster_grids_counts_by_router_at_constant_fleet_size() {
+        let suite = multicluster(Scale::quick(), &[2, 4]);
+        // 2 counts x 3 routers x 3 policies.
+        assert_eq!(suite.len(), 18);
+        for s in &suite.scenarios {
+            assert!(s.topology.is_multi_cluster());
+            assert_eq!(s.topology.servers(), 10, "fleet size is held constant");
+        }
+        let shard_counts: Vec<usize> = suite
+            .scenarios
+            .iter()
+            .map(|s| s.topology.clusters().len())
+            .collect();
+        assert!(shard_counts.contains(&2) && shard_counts.contains(&4));
     }
 }

@@ -48,6 +48,22 @@ impl CellMetrics {
     }
 }
 
+/// One cluster's row of a multi-cluster cell: its share of the routed
+/// stream and its own metrics, in shard order.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShardReport {
+    /// Shard index (position of the cluster in the topology).
+    pub cluster: usize,
+    /// Servers in this cluster.
+    pub servers: usize,
+    /// Jobs the front-end router assigned to this cluster.
+    pub jobs_routed: u64,
+    /// The cluster's own extracted metrics.
+    pub metrics: CellMetrics,
+    /// The cluster's global-tier learner statistics, for learned policies.
+    pub drl: Option<DrlStats>,
+}
+
 /// One cell of a [`SuiteReport`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CellReport {
@@ -55,7 +71,7 @@ pub struct CellReport {
     pub id: String,
     /// Topology name.
     pub topology: String,
-    /// Cluster size `M`.
+    /// Total cluster size `M` (summed across clusters when sharded).
     pub servers: usize,
     /// Workload name.
     pub workload: String,
@@ -63,10 +79,12 @@ pub struct CellReport {
     pub policy: String,
     /// The cell's base seed.
     pub seed: u64,
-    /// Extracted metrics.
+    /// Extracted metrics (the fleet-level aggregate when sharded).
     pub metrics: CellMetrics,
     /// Global-tier learner statistics, for learned policies.
     pub drl: Option<DrlStats>,
+    /// Per-cluster rows in shard order (`None` for single-cluster cells).
+    pub clusters: Option<Vec<ShardReport>>,
 }
 
 /// The canonical, fully-deterministic result of a suite run. Cells appear
@@ -103,6 +121,19 @@ pub struct CellTiming {
     pub jobs_per_s: f64,
 }
 
+/// One cluster's timing row of a sharded [`BenchCell`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BenchShard {
+    /// Shard index.
+    pub cluster: usize,
+    /// Servers in this cluster.
+    pub servers: usize,
+    /// Jobs the cluster completed.
+    pub jobs: u64,
+    /// Shard wall-clock, seconds.
+    pub wall_s: f64,
+}
+
 /// One cell of a [`BenchReport`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchCell {
@@ -114,6 +145,9 @@ pub struct BenchCell {
     pub wall_s: f64,
     /// Simulated jobs per wall-clock second.
     pub jobs_per_s: f64,
+    /// Per-cluster timing rows in shard order (`None` for single-cluster
+    /// cells).
+    pub clusters: Option<Vec<BenchShard>>,
 }
 
 /// Machine-readable performance artifact of a suite run, for tracking the

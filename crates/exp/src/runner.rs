@@ -8,19 +8,38 @@
 //! pre-training cache (identical (cluster, segments, config) pre-train
 //! once) — and cached values are themselves deterministic functions of
 //! their keys, so caching never changes results, only wall-clock.
+//!
+//! # Multi-cluster cells
+//!
+//! A [`Topology::MultiCluster`](crate::scenario::Topology) cell adds a
+//! second level of parallelism *inside* the cell: the evaluation stream is
+//! split by the deterministic front-end [`Router`], each cluster (shard)
+//! simulates on its own worker thread with learner seeds derived from the
+//! cell seed via per-shard SplitMix64 sub-seeds, and shard results merge
+//! in shard order — so the sharded run is byte-identical to the same cell
+//! executed serially. One semantic difference from single-cluster cells:
+//! `max_jobs` truncates the *arrival stream* before routing (independent
+//! shards cannot coordinate a global completion count deterministically),
+//! whereas a single cluster stops after `max_jobs` completions.
 
-use crate::report::{BenchCell, BenchReport, CellMetrics, CellReport, CellTiming, SuiteReport};
-use crate::scenario::{PolicySpec, Scenario};
+use crate::report::{
+    BenchCell, BenchReport, BenchShard, CellMetrics, CellReport, CellTiming, ShardReport,
+    SuiteReport,
+};
+use crate::scenario::{PolicySpec, Pretrain, Scenario};
 use crate::suite::Suite;
-use hierdrl_core::allocator::{DrlAllocator, DrlSnapshot, DrlStats};
-use hierdrl_core::dpm::{DpmSnapshot, RlPowerManager};
-use hierdrl_core::runner::{pretrain_pair, Experiment, ExperimentResult};
+use hierdrl_core::allocator::{DrlAllocator, DrlAllocatorConfig, DrlSnapshot, DrlStats};
+use hierdrl_core::dpm::{DpmSnapshot, RlPowerConfig, RlPowerManager};
+use hierdrl_core::runner::{
+    aggregate_shards, pretrain_pair, Experiment, ExperimentResult, ShardResult,
+};
 use hierdrl_sim::cluster::PowerManager;
+use hierdrl_sim::config::ClusterConfig;
 use hierdrl_sim::policies::{FixedTimeoutPower, SleepImmediatelyPower};
-use hierdrl_trace::materialize::TraceCache;
+use hierdrl_sim::router::Router;
+use hierdrl_trace::materialize::{TraceCache, TraceSpec};
 use hierdrl_trace::trace::Trace;
 use rayon::prelude::*;
-use serde::Serialize;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -70,6 +89,17 @@ struct RunContext {
     pretrained: PretrainCache,
 }
 
+/// The outcome of one shard (cluster) of a multi-cluster cell.
+#[derive(Debug, Clone)]
+pub struct ShardRun {
+    /// The shard's routed jobs and simulation result.
+    pub shard: ShardResult,
+    /// The shard's global-tier statistics, for learned policies.
+    pub drl_stats: Option<DrlStats>,
+    /// Shard wall-clock, seconds.
+    pub wall_s: f64,
+}
+
 /// The outcome of one cell: the full runner result plus learner statistics
 /// and timing.
 #[derive(Debug, Clone)]
@@ -77,9 +107,14 @@ pub struct CellRun {
     /// The scenario that produced this result.
     pub scenario: Scenario,
     /// Full experiment result (including sample curves for Figs. 8/9).
+    /// For multi-cluster cells this is the fleet-level aggregate.
     pub result: ExperimentResult,
-    /// Global-tier statistics, for learned policies.
+    /// Global-tier statistics, for learned policies. For multi-cluster
+    /// cells, counters sum across shards and losses are decision-weighted.
     pub drl_stats: Option<DrlStats>,
+    /// Per-cluster outcomes in shard order (empty for single-cluster
+    /// cells).
+    pub shards: Vec<ShardRun>,
     /// Wall-clock timing.
     pub timing: CellTiming,
 }
@@ -112,13 +147,25 @@ impl SuiteRun {
                 .iter()
                 .map(|c| CellReport {
                     id: c.scenario.id.clone(),
-                    topology: c.scenario.topology.name.clone(),
+                    topology: c.scenario.topology.name().to_string(),
                     servers: c.scenario.topology.servers(),
                     workload: c.scenario.workload.name.clone(),
                     policy: c.scenario.policy.name(),
                     seed: c.scenario.seed,
                     metrics: CellMetrics::from_result(&c.result),
                     drl: c.drl_stats,
+                    clusters: (!c.shards.is_empty()).then(|| {
+                        c.shards
+                            .iter()
+                            .map(|s| ShardReport {
+                                cluster: s.shard.cluster,
+                                servers: s.shard.servers,
+                                jobs_routed: s.shard.jobs_routed,
+                                metrics: CellMetrics::from_result(&s.shard.result),
+                                drl: s.drl_stats,
+                            })
+                            .collect()
+                    }),
                 })
                 .collect(),
         }
@@ -149,6 +196,17 @@ impl SuiteRun {
                     jobs: c.result.outcome.totals.jobs_completed,
                     wall_s: c.timing.wall_s,
                     jobs_per_s: c.timing.jobs_per_s,
+                    clusters: (!c.shards.is_empty()).then(|| {
+                        c.shards
+                            .iter()
+                            .map(|s| BenchShard {
+                                cluster: s.shard.cluster,
+                                servers: s.shard.servers,
+                                jobs: s.shard.result.outcome.totals.jobs_completed,
+                                wall_s: s.wall_s,
+                            })
+                            .collect()
+                    }),
                 })
                 .collect(),
         }
@@ -273,35 +331,62 @@ impl SuiteRunner {
     }
 }
 
-/// Content fingerprint of a pre-training problem: identical inputs must
-/// produce identical learners, so the JSON of all inputs is a sound key.
-fn pretrain_key<D: Serialize, P: Serialize>(
-    scenario: &Scenario,
-    segments: &[hierdrl_trace::materialize::TraceSpec],
-    drl_config: &D,
-    dpm_config: &Option<P>,
-) -> String {
-    let payload = (&scenario.topology.cluster, segments, drl_config, dpm_config);
-    serde_json::to_string(&payload).expect("pretrain key serializes")
+/// The fully-derived learner inputs of one execution unit — a whole
+/// single-cluster cell, or one shard of a multi-cluster cell. Both levels
+/// run through the same policy executor; only the seed derivation differs.
+struct LearnerSeeds {
+    policy_seed: u64,
+    /// The unit's share of the evaluation stream (sizes pre-training).
+    eval_jobs: u64,
+    drl: Option<DrlAllocatorConfig>,
+    dpm: Option<RlPowerConfig>,
+    /// The local-tier config included in the pre-train cache key (`None`
+    /// keeps Fig.-10-style cells sharing one pre-trained global tier).
+    co_dpm: Option<RlPowerConfig>,
 }
 
+impl LearnerSeeds {
+    /// Cell-level derivation (single-cluster path).
+    fn for_cell(scenario: &Scenario) -> Self {
+        Self {
+            policy_seed: scenario.policy_seed(),
+            eval_jobs: scenario.workload.jobs_for(scenario.topology.servers()),
+            drl: scenario.drl_config(),
+            dpm: scenario.dpm_config(),
+            co_dpm: scenario.co_pretrain_dpm_config(),
+        }
+    }
+
+    /// Shard-level derivation (multi-cluster path): everything re-derives
+    /// from the shard's SplitMix64 sub-seed, and the pre-training budget
+    /// prorates to the shard's share of the fleet.
+    fn for_shard(scenario: &Scenario, shard: usize) -> Self {
+        let shard_m = scenario.topology.clusters()[shard].num_servers;
+        Self {
+            policy_seed: scenario.shard_policy_seed(shard),
+            eval_jobs: scenario
+                .workload
+                .shard_jobs_for(shard_m, scenario.topology.servers()),
+            drl: scenario.shard_drl_config(shard),
+            dpm: scenario.shard_dpm_config(shard),
+            co_dpm: scenario.shard_co_pretrain_dpm_config(shard),
+        }
+    }
+}
+
+/// Memoized pre-training of one (cluster, segments, learner configs)
+/// problem. Identical inputs must produce identical learners, so the JSON
+/// of all inputs is a sound cache key.
 fn pretrain(
-    scenario: &Scenario,
     ctx: &RunContext,
-    pretrain_budget: &crate::scenario::Pretrain,
+    cluster: &ClusterConfig,
+    segments: &[TraceSpec],
+    drl_config: &DrlAllocatorConfig,
+    dpm_config: &Option<RlPowerConfig>,
 ) -> Result<Pretrained, String> {
-    let drl_config = scenario
-        .drl_config()
-        .expect("learned policies have a DRL config");
-    let dpm_config = scenario.co_pretrain_dpm_config();
-    let segments = pretrain_budget.segment_specs(
-        &scenario.topology,
-        &scenario.workload,
-        scenario.policy_seed(),
-    );
-    let key = pretrain_key(scenario, &segments, &drl_config, &dpm_config);
+    let payload = (cluster, segments, drl_config, dpm_config);
+    let key = serde_json::to_string(&payload).expect("pretrain key serializes");
     ctx.pretrained.get_or_train(&key, || {
-        let cluster = &scenario.topology.cluster;
         let traces: Vec<Trace> = segments
             .iter()
             .map(|spec| ctx.traces.get(spec).map(|t| (*t).clone()))
@@ -311,7 +396,7 @@ fn pretrain(
             cluster.resource_dims,
             drl_config.clone(),
         );
-        match &dpm_config {
+        match dpm_config {
             Some(dpm_config) => {
                 let mut dpm = RlPowerManager::new(cluster.num_servers, dpm_config.clone());
                 pretrain_pair(&mut allocator, &mut dpm, cluster, &traces)?;
@@ -333,50 +418,62 @@ fn pretrain(
     })
 }
 
-fn run_cell(scenario: &Scenario, ctx: &RunContext) -> Result<CellRun, String> {
-    let started = Instant::now();
-    let trace = ctx.traces.get(&scenario.trace_spec())?;
-    let cluster = &scenario.topology.cluster;
-    let name = scenario.policy.name();
-    let experiment = Experiment::new(&name, cluster, &trace).with_limit(scenario.run_limit());
-
-    let (result, drl_stats) = match &scenario.policy {
+/// Runs one execution unit's policy pair on `experiment`, pre-training
+/// learned tiers first (memoized). Shared by the single-cluster path and
+/// every shard of a multi-cluster cell.
+fn execute_policy(
+    scenario: &Scenario,
+    ctx: &RunContext,
+    cluster: &ClusterConfig,
+    experiment: &Experiment<'_>,
+    seeds: &LearnerSeeds,
+) -> Result<(ExperimentResult, Option<DrlStats>), String> {
+    let segments = |budget: &Pretrain| {
+        budget.segment_specs(
+            cluster.num_servers,
+            seeds.eval_jobs,
+            &scenario.workload,
+            seeds.policy_seed,
+        )
+    };
+    match &scenario.policy {
         PolicySpec::Static {
             allocator, power, ..
         } => {
             let mut allocator = allocator.build(cluster.num_servers, cluster.resource_dims);
             let mut power = power.build(cluster.num_servers);
-            (experiment.run(allocator.as_mut(), power.as_mut())?, None)
+            Ok((experiment.run(allocator.as_mut(), power.as_mut())?, None))
         }
         PolicySpec::DrlOnly { pretrain: budget }
         | PolicySpec::DrlVariant {
             pretrain: budget, ..
         } => {
-            let trained = pretrain(scenario, ctx, budget)?;
+            let drl = seeds.drl.as_ref().expect("learned policy has DRL config");
+            let trained = pretrain(ctx, cluster, &segments(budget), drl, &None)?;
             let mut allocator = DrlAllocator::from_snapshot(trained.drl);
             let result = experiment.run(&mut allocator, &mut SleepImmediatelyPower)?;
-            (result, Some(*allocator.stats()))
+            Ok((result, Some(*allocator.stats())))
         }
         PolicySpec::DrlTimeout {
             timeout_s,
             pretrain: budget,
         } => {
-            let trained = pretrain(scenario, ctx, budget)?;
+            let drl = seeds.drl.as_ref().expect("learned policy has DRL config");
+            let trained = pretrain(ctx, cluster, &segments(budget), drl, &None)?;
             let mut allocator = DrlAllocator::from_snapshot(trained.drl);
             let mut power = FixedTimeoutPower::new(*timeout_s);
             let result = experiment.run(&mut allocator, &mut power)?;
-            (result, Some(*allocator.stats()))
+            Ok((result, Some(*allocator.stats())))
         }
         PolicySpec::Hierarchical {
             pretrain: budget,
             co_pretrain,
             ..
         } => {
-            let trained = pretrain(scenario, ctx, budget)?;
+            let drl = seeds.drl.as_ref().expect("learned policy has DRL config");
+            let trained = pretrain(ctx, cluster, &segments(budget), drl, &seeds.co_dpm)?;
             let mut allocator = DrlAllocator::from_snapshot(trained.drl);
-            let dpm_config = scenario
-                .dpm_config()
-                .expect("hierarchical has a DPM config");
+            let dpm_config = seeds.dpm.clone().expect("hierarchical has a DPM config");
             // Co-pre-trained cells restore the trained local tier; Fig. 10
             // cells start it fresh so every operating point shares the one
             // pre-trained global tier.
@@ -387,7 +484,100 @@ fn run_cell(scenario: &Scenario, ctx: &RunContext) -> Result<CellRun, String> {
                 _ => RlPowerManager::new(cluster.num_servers, dpm_config),
             };
             let result = experiment.run(&mut allocator, &mut dpm as &mut dyn PowerManager)?;
-            (result, Some(*allocator.stats()))
+            Ok((result, Some(*allocator.stats())))
+        }
+    }
+}
+
+/// Simulates one shard (cluster) of a multi-cluster cell on its routed
+/// sub-stream. Fully self-contained: learner seeds derive from the shard's
+/// own sub-seed, so shards can run on any thread in any order.
+fn run_shard(
+    scenario: &Scenario,
+    ctx: &RunContext,
+    shard: usize,
+    cluster: &ClusterConfig,
+    jobs: Vec<hierdrl_sim::job::Job>,
+    name: &str,
+) -> Result<ShardRun, String> {
+    let started = Instant::now();
+    let jobs_routed = jobs.len() as u64;
+    let trace = Trace::new(jobs).map_err(|e| format!("shard {shard} trace: {e}"))?;
+    // The stream was truncated before routing; each shard drains its share.
+    let experiment = Experiment::new(name, cluster, &trace);
+    let seeds = LearnerSeeds::for_shard(scenario, shard);
+    let (result, drl_stats) = execute_policy(scenario, ctx, cluster, &experiment, &seeds)?;
+    Ok(ShardRun {
+        shard: ShardResult {
+            cluster: shard,
+            servers: cluster.num_servers,
+            jobs_routed,
+            result,
+        },
+        drl_stats,
+        wall_s: started.elapsed().as_secs_f64(),
+    })
+}
+
+/// Fleet-level view of per-shard learner statistics: counters sum, losses
+/// weight by decision count, and the autoencoder flag ANDs across shards.
+fn merge_drl_stats(shards: &[ShardRun]) -> Option<DrlStats> {
+    let stats: Vec<DrlStats> = shards.iter().filter_map(|s| s.drl_stats).collect();
+    if stats.is_empty() {
+        return None;
+    }
+    let decisions: u64 = stats.iter().map(|s| s.decisions).sum();
+    let weight = |s: &DrlStats| s.decisions as f64 / decisions.max(1) as f64;
+    Some(DrlStats {
+        decisions,
+        train_steps: stats.iter().map(|s| s.train_steps).sum(),
+        loss_ema: stats.iter().map(|s| weight(s) * s.loss_ema).sum(),
+        autoencoder_trained: stats.iter().all(|s| s.autoencoder_trained),
+        autoencoder_loss: stats.iter().map(|s| weight(s) * s.autoencoder_loss).sum(),
+    })
+}
+
+fn run_cell(scenario: &Scenario, ctx: &RunContext) -> Result<CellRun, String> {
+    let started = Instant::now();
+    let trace = ctx.traces.get(&scenario.trace_spec())?;
+    let name = scenario.policy.name();
+
+    let (result, drl_stats, shards) = match &scenario.topology {
+        crate::scenario::Topology::Single { cluster, .. } => {
+            let experiment =
+                Experiment::new(&name, cluster, &trace).with_limit(scenario.run_limit());
+            let seeds = LearnerSeeds::for_cell(scenario);
+            let (result, drl_stats) = execute_policy(scenario, ctx, cluster, &experiment, &seeds)?;
+            (result, drl_stats, Vec::new())
+        }
+        crate::scenario::Topology::MultiCluster {
+            clusters, router, ..
+        } => {
+            // `max_jobs` truncates the arrival stream before routing (see
+            // module docs), then the router splits it deterministically.
+            let jobs = trace.jobs();
+            let stream = match scenario.max_jobs {
+                Some(n) => &jobs[..jobs.len().min(n as usize)],
+                None => jobs,
+            };
+            let sizes: Vec<usize> = clusters.iter().map(|c| c.num_servers).collect();
+            let routed = Router::split(*router, &sizes, stream);
+
+            // Intra-cell shard parallelism: each cluster simulates on its
+            // own worker thread; the rayon shim returns results in input
+            // (shard) order, so the merge below is schedule-independent.
+            let work: Vec<(usize, Vec<hierdrl_sim::job::Job>)> =
+                routed.into_iter().enumerate().collect();
+            let outcomes: Vec<Result<ShardRun, String>> = work
+                .into_par_iter()
+                .map(|(k, jobs)| run_shard(scenario, ctx, k, &clusters[k], jobs, &name))
+                .collect();
+            let shards = outcomes.into_iter().collect::<Result<Vec<_>, _>>()?;
+
+            let shard_results: Vec<ShardResult> = shards.iter().map(|s| s.shard.clone()).collect();
+            let result = aggregate_shards(&name, &shard_results);
+            let drl_stats = merge_drl_stats(&shards);
+            (result, drl_stats, shards)
         }
     };
 
@@ -397,6 +587,7 @@ fn run_cell(scenario: &Scenario, ctx: &RunContext) -> Result<CellRun, String> {
         scenario: scenario.clone(),
         result,
         drl_stats,
+        shards,
         timing: CellTiming {
             wall_s,
             jobs_per_s: jobs as f64 / wall_s.max(1e-9),

@@ -6,6 +6,7 @@ use hierdrl_core::dpm::RlPowerConfig;
 use hierdrl_core::hierarchical::{AllocatorKind, PowerKind};
 use hierdrl_sim::cluster::RunLimit;
 use hierdrl_sim::config::ClusterConfig;
+use hierdrl_sim::router::RouterPolicy;
 use hierdrl_trace::generator::WorkloadConfig;
 use hierdrl_trace::materialize::TraceSpec;
 use serde::{Deserialize, Serialize};
@@ -22,35 +23,126 @@ pub(crate) fn mix_seed(seed: u64, stream: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// A named cluster topology under test.
+/// A named cluster topology under test: either the paper's single cluster,
+/// or a fleet of independent clusters behind a deterministic front-end
+/// router (the multi-cluster scaling axis).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Topology {
-    /// Display name (used in scenario ids and reports).
-    pub name: String,
-    /// Full cluster configuration.
-    pub cluster: ClusterConfig,
+pub enum Topology {
+    /// One cluster fed directly by the arrival stream.
+    Single {
+        /// Display name (used in scenario ids and reports).
+        name: String,
+        /// Full cluster configuration.
+        cluster: ClusterConfig,
+    },
+    /// Several independent clusters sharing one arrival stream through a
+    /// front-end [`Router`](hierdrl_sim::router::Router). Each cluster
+    /// runs its own control planes; the suite runner simulates every
+    /// cluster on its own worker thread and merges results in shard order.
+    MultiCluster {
+        /// Display name (used in scenario ids and reports).
+        name: String,
+        /// The member clusters, in shard order.
+        clusters: Vec<ClusterConfig>,
+        /// The front-end routing policy.
+        router: RouterPolicy,
+    },
 }
 
 impl Topology {
     /// The paper's homogeneous cluster at `m` servers.
     pub fn paper(m: usize) -> Self {
-        Self {
+        Topology::Single {
             name: format!("paper-m{m}"),
             cluster: ClusterConfig::paper(m),
         }
     }
 
-    /// A custom topology.
+    /// A custom single-cluster topology.
     pub fn custom(name: impl Into<String>, cluster: ClusterConfig) -> Self {
-        Self {
+        Topology::Single {
             name: name.into(),
             cluster,
         }
     }
 
-    /// Number of servers `M`.
+    /// A multi-cluster topology behind the given router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` is empty or the members disagree on resource
+    /// dimensionality — one arrival stream must be routable to any member.
+    pub fn multi(
+        name: impl Into<String>,
+        clusters: Vec<ClusterConfig>,
+        router: RouterPolicy,
+    ) -> Self {
+        assert!(!clusters.is_empty(), "multi-cluster needs >= 1 cluster");
+        let dims = clusters[0].resource_dims;
+        assert!(
+            clusters.iter().all(|c| c.resource_dims == dims),
+            "clusters must agree on resource dims"
+        );
+        Topology::MultiCluster {
+            name: name.into(),
+            clusters,
+            router,
+        }
+    }
+
+    /// `total_servers` paper-style servers split as evenly as possible
+    /// across `num_clusters` independent clusters behind `router` (the
+    /// first `total_servers % num_clusters` clusters get one extra).
+    pub fn sharded_paper(num_clusters: usize, total_servers: usize, router: RouterPolicy) -> Self {
+        assert!(num_clusters > 0, "multi-cluster needs >= 1 cluster");
+        assert!(
+            total_servers >= num_clusters,
+            "need >= 1 server per cluster ({total_servers} servers, {num_clusters} clusters)"
+        );
+        let base = total_servers / num_clusters;
+        let extra = total_servers % num_clusters;
+        let clusters = (0..num_clusters)
+            .map(|k| ClusterConfig::paper(base + usize::from(k < extra)))
+            .collect();
+        Self::multi(
+            format!("paper-c{num_clusters}m{total_servers}-{}", router.name()),
+            clusters,
+            router,
+        )
+    }
+
+    /// Display name (used in scenario ids and reports).
+    pub fn name(&self) -> &str {
+        match self {
+            Topology::Single { name, .. } | Topology::MultiCluster { name, .. } => name,
+        }
+    }
+
+    /// Total number of servers `M` across all clusters.
     pub fn servers(&self) -> usize {
-        self.cluster.num_servers
+        self.clusters().iter().map(|c| c.num_servers).sum()
+    }
+
+    /// The member clusters, in shard order (one entry for a single
+    /// cluster).
+    pub fn clusters(&self) -> &[ClusterConfig] {
+        match self {
+            Topology::Single { cluster, .. } => std::slice::from_ref(cluster),
+            Topology::MultiCluster { clusters, .. } => clusters,
+        }
+    }
+
+    /// The front-end routing policy, for multi-cluster topologies.
+    pub fn router(&self) -> Option<RouterPolicy> {
+        match self {
+            Topology::Single { .. } => None,
+            Topology::MultiCluster { router, .. } => Some(*router),
+        }
+    }
+
+    /// Whether this topology shards the arrival stream across clusters.
+    pub fn is_multi_cluster(&self) -> bool {
+        matches!(self, Topology::MultiCluster { .. })
     }
 }
 
@@ -128,6 +220,19 @@ impl WorkloadSpec {
         }
     }
 
+    /// One cluster's share of the evaluation stream inside a fleet:
+    /// `shard_m` of `total_m` servers. A fixed [`JobsBudget::Total`]
+    /// prorates by server share (the slice a capacity-weighted router
+    /// would send the cluster); a per-server budget already scales.
+    pub fn shard_jobs_for(&self, shard_m: usize, total_m: usize) -> u64 {
+        match self.eval_jobs {
+            JobsBudget::PerServer(_) => self.jobs_for(shard_m),
+            JobsBudget::Total(n) => {
+                (n as f64 * shard_m as f64 / total_m.max(1) as f64).round() as u64
+            }
+        }
+    }
+
     /// The deterministic trace recipe for this workload on `topology`.
     pub fn trace_spec(&self, topology: &Topology, trace_seed: u64) -> TraceSpec {
         let m = topology.servers();
@@ -159,15 +264,17 @@ impl Default for Pretrain {
 }
 
 impl Pretrain {
-    /// The trace recipes for the rollout segments.
+    /// The trace recipes for the rollout segments, scaled to a cluster of
+    /// `m` servers evaluating `eval_jobs` jobs (for multi-cluster cells,
+    /// each shard pre-trains at its own cluster's size and its own —
+    /// prorated — share of the evaluation stream).
     pub fn segment_specs(
         &self,
-        topology: &Topology,
+        m: usize,
+        eval_jobs: u64,
         workload: &WorkloadSpec,
         policy_seed: u64,
     ) -> Vec<TraceSpec> {
-        let m = topology.servers();
-        let eval_jobs = workload.jobs_for(m);
         let n = ((eval_jobs as f64 * self.fraction) as usize).max(200);
         (0..self.segments)
             .map(|i| {
@@ -356,7 +463,7 @@ impl Scenario {
     ) -> Self {
         let id = format!(
             "{}/{}/{}/s{seed}",
-            topology.name,
+            topology.name(),
             workload.name,
             policy.name()
         );
@@ -385,6 +492,27 @@ impl Scenario {
         mix_seed(self.seed, 3)
     }
 
+    /// Base seed of shard `k` of a multi-cluster cell — the second level of
+    /// the two-level derivation scheme: the cell seed spawns one SplitMix64
+    /// sub-seed per shard (streams `0x100 + k`, disjoint from the cell's
+    /// own 1–3), and each shard then derives its learner seeds from its
+    /// sub-seed exactly like a single-cluster cell does from the cell seed.
+    /// Shards are therefore mutually independent *and* independent of the
+    /// cell-level streams.
+    pub fn shard_seed(&self, shard: usize) -> u64 {
+        mix_seed(self.seed, 0x100 + shard as u64)
+    }
+
+    /// Seed of shard `k`'s global-tier learner (and pre-training segments).
+    pub fn shard_policy_seed(&self, shard: usize) -> u64 {
+        mix_seed(self.shard_seed(shard), 2)
+    }
+
+    /// Seed of shard `k`'s local-tier learner.
+    pub fn shard_dpm_seed(&self, shard: usize) -> u64 {
+        mix_seed(self.shard_seed(shard), 3)
+    }
+
     /// The evaluation trace recipe.
     pub fn trace_spec(&self) -> TraceSpec {
         self.workload.trace_spec(&self.topology, self.trace_seed())
@@ -398,10 +526,9 @@ impl Scenario {
         }
     }
 
-    /// The global-tier configuration this cell trains (learned policies).
-    pub fn drl_config(&self) -> Option<DrlAllocatorConfig> {
+    fn drl_config_with_seed(&self, policy_seed: u64) -> Option<DrlAllocatorConfig> {
         let seeded = |mut config: DrlAllocatorConfig| {
-            config.seed = self.policy_seed();
+            config.seed = policy_seed;
             config
         };
         match &self.policy {
@@ -411,16 +538,37 @@ impl Scenario {
         }
     }
 
-    /// The local-tier configuration this cell runs (hierarchical only).
-    pub fn dpm_config(&self) -> Option<RlPowerConfig> {
+    fn dpm_config_with_seed(&self, dpm_seed: u64) -> Option<RlPowerConfig> {
         match &self.policy {
             PolicySpec::Hierarchical { weight, .. } => Some(RlPowerConfig {
                 weight: *weight,
-                seed: self.dpm_seed(),
+                seed: dpm_seed,
                 ..Default::default()
             }),
             _ => None,
         }
+    }
+
+    /// The global-tier configuration this cell trains (learned policies).
+    pub fn drl_config(&self) -> Option<DrlAllocatorConfig> {
+        self.drl_config_with_seed(self.policy_seed())
+    }
+
+    /// Shard `k`'s global-tier configuration (multi-cluster cells; every
+    /// shard trains its own learner from its own derived seed).
+    pub fn shard_drl_config(&self, shard: usize) -> Option<DrlAllocatorConfig> {
+        self.drl_config_with_seed(self.shard_policy_seed(shard))
+    }
+
+    /// The local-tier configuration this cell runs (hierarchical only).
+    pub fn dpm_config(&self) -> Option<RlPowerConfig> {
+        self.dpm_config_with_seed(self.dpm_seed())
+    }
+
+    /// Shard `k`'s local-tier configuration (multi-cluster hierarchical
+    /// cells).
+    pub fn shard_dpm_config(&self, shard: usize) -> Option<RlPowerConfig> {
+        self.dpm_config_with_seed(self.shard_dpm_seed(shard))
     }
 
     /// The local-tier configuration *included in pre-training* — `None`
@@ -432,6 +580,17 @@ impl Scenario {
             PolicySpec::Hierarchical {
                 co_pretrain: true, ..
             } => self.dpm_config(),
+            _ => None,
+        }
+    }
+
+    /// Shard `k`'s pre-training local-tier configuration (the shard-level
+    /// analogue of [`Scenario::co_pretrain_dpm_config`]).
+    pub fn shard_co_pretrain_dpm_config(&self, shard: usize) -> Option<RlPowerConfig> {
+        match &self.policy {
+            PolicySpec::Hierarchical {
+                co_pretrain: true, ..
+            } => self.shard_dpm_config(shard),
             _ => None,
         }
     }
@@ -449,6 +608,18 @@ mod tests {
         assert!((w.jobs_per_week_for(40) - 95_000.0 * 40.0 / 30.0).abs() < 1e-6);
         let fixed = w.with_total_jobs(1234);
         assert_eq!(fixed.jobs_for(40), 1234);
+    }
+
+    #[test]
+    fn shard_share_prorates_fixed_totals() {
+        // A fixed total prorates by server share; a 3-of-10 shard of a
+        // 1000-job cell gets 300 jobs, not the full 1000.
+        let fixed = WorkloadSpec::paper().with_total_jobs(1000);
+        assert_eq!(fixed.shard_jobs_for(3, 10), 300);
+        assert_eq!(fixed.shard_jobs_for(10, 10), 1000);
+        // Per-server budgets already scale with the shard's size.
+        let per = WorkloadSpec::paper().with_jobs_per_server(100.0);
+        assert_eq!(per.shard_jobs_for(3, 10), per.jobs_for(3));
     }
 
     #[test]
@@ -539,11 +710,69 @@ mod tests {
 
     #[test]
     fn pretrain_segments_differ_and_scale() {
-        let topo = Topology::paper(10);
         let w = WorkloadSpec::paper().with_total_jobs(2000);
-        let specs = Pretrain::default().segment_specs(&topo, &w, 99);
+        let specs = Pretrain::default().segment_specs(10, w.jobs_for(10), &w, 99);
         assert_eq!(specs.len(), 5);
         assert_eq!(specs[0].jobs, 300);
         assert_ne!(specs[0].workload.seed, specs[1].workload.seed);
+    }
+
+    #[test]
+    fn sharded_topology_splits_servers_evenly() {
+        let topo = Topology::sharded_paper(4, 10, RouterPolicy::RoundRobin);
+        assert_eq!(topo.name(), "paper-c4m10-rr");
+        assert_eq!(topo.servers(), 10);
+        let sizes: Vec<usize> = topo.clusters().iter().map(|c| c.num_servers).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+        assert_eq!(topo.router(), Some(RouterPolicy::RoundRobin));
+        assert!(topo.is_multi_cluster());
+
+        let single = Topology::paper(5);
+        assert_eq!(single.clusters().len(), 1);
+        assert_eq!(single.router(), None);
+        assert!(!single.is_multi_cluster());
+    }
+
+    #[test]
+    #[should_panic(expected = "clusters must agree on resource dims")]
+    fn mixed_dims_multi_cluster_rejected() {
+        let mut odd = ClusterConfig::paper(2);
+        odd.resource_dims = 2;
+        let _ = Topology::multi(
+            "bad",
+            vec![ClusterConfig::paper(2), odd],
+            RouterPolicy::RoundRobin,
+        );
+    }
+
+    #[test]
+    fn shard_seeds_are_decorrelated_from_cell_streams() {
+        let s = Scenario::new(
+            Topology::sharded_paper(3, 9, RouterPolicy::LeastLoaded),
+            WorkloadSpec::paper(),
+            PolicySpec::hierarchical(0.5),
+            7,
+            None,
+        );
+        // Shard sub-seeds differ from each other and from the cell streams.
+        let mut seen = vec![s.trace_seed(), s.policy_seed(), s.dpm_seed()];
+        for k in 0..3 {
+            seen.push(s.shard_seed(k));
+            seen.push(s.shard_policy_seed(k));
+            seen.push(s.shard_dpm_seed(k));
+        }
+        let mut dedup = seen.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seen.len(), "derived seeds must not collide");
+
+        // Shard configs carry the shard-derived seeds.
+        assert_eq!(s.shard_drl_config(1).unwrap().seed, s.shard_policy_seed(1));
+        assert_eq!(s.shard_dpm_config(2).unwrap().seed, s.shard_dpm_seed(2));
+        assert_eq!(
+            s.shard_co_pretrain_dpm_config(0),
+            s.shard_dpm_config(0),
+            "co-pre-trained hierarchical shards restore their local tier"
+        );
     }
 }

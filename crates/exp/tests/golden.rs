@@ -1,0 +1,117 @@
+//! Golden-file test of the canonical [`SuiteReport`] JSON: downstream
+//! tooling (plot scripts, the perf-trajectory tracker) parses this schema,
+//! so renaming, reordering, or retyping a field must fail loudly here
+//! instead of drifting silently.
+//!
+//! The report is built from fixed values (no simulation), so the golden
+//! file only pins the *schema*, never simulator behaviour. To regenerate
+//! after an intentional schema change:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p hierdrl-exp --test golden
+//! ```
+
+use hierdrl_core::allocator::DrlStats;
+use hierdrl_exp::report::{CellMetrics, CellReport, ShardReport, SuiteReport};
+use std::path::PathBuf;
+
+fn metrics(scale: f64) -> CellMetrics {
+    CellMetrics {
+        jobs_completed: (100.0 * scale) as u64,
+        energy_kwh: 1.25 * scale,
+        latency_mega_s: 0.005 * scale,
+        average_power_w: 450.0 * scale,
+        mean_latency_s: 50.0,
+        energy_per_job_j: 45_000.0,
+        sleep_fraction: 0.25,
+        wake_transitions: (12.0 * scale) as u64,
+        span_hours: 10.0,
+    }
+}
+
+/// A fixed report exercising every schema branch: a single-cluster cell
+/// with learner statistics, and a sharded cell with per-cluster rows.
+fn canonical_report() -> SuiteReport {
+    SuiteReport {
+        suite: "golden".to_string(),
+        cells: vec![
+            CellReport {
+                id: "paper-m5/paper/drl-only/s7".to_string(),
+                topology: "paper-m5".to_string(),
+                servers: 5,
+                workload: "paper".to_string(),
+                policy: "drl-only".to_string(),
+                seed: 7,
+                metrics: metrics(1.0),
+                drl: Some(DrlStats {
+                    decisions: 1500,
+                    train_steps: 550,
+                    loss_ema: 0.125,
+                    autoencoder_trained: true,
+                    autoencoder_loss: 0.03125,
+                }),
+                clusters: None,
+            },
+            CellReport {
+                id: "paper-c2m6-rr/paper/round-robin/s7".to_string(),
+                topology: "paper-c2m6-rr".to_string(),
+                servers: 6,
+                workload: "paper".to_string(),
+                policy: "round-robin".to_string(),
+                seed: 7,
+                metrics: metrics(2.0),
+                drl: None,
+                clusters: Some(vec![
+                    ShardReport {
+                        cluster: 0,
+                        servers: 3,
+                        jobs_routed: 100,
+                        metrics: metrics(1.0),
+                        drl: None,
+                    },
+                    ShardReport {
+                        cluster: 1,
+                        servers: 3,
+                        jobs_routed: 100,
+                        metrics: metrics(1.0),
+                        drl: None,
+                    },
+                ]),
+            },
+        ],
+    }
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("suite_report.json")
+}
+
+#[test]
+fn suite_report_schema_matches_golden_file() {
+    let rendered = canonical_report().to_json_pretty() + "\n";
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &rendered).expect("write golden file");
+        return;
+    }
+    let committed =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    assert_eq!(
+        rendered,
+        committed,
+        "SuiteReport JSON schema drifted from {}; if the change is \
+         intentional, regenerate with UPDATE_GOLDEN=1 and review the diff",
+        path.display()
+    );
+}
+
+#[test]
+fn golden_report_round_trips_through_json() {
+    let report = canonical_report();
+    let back: SuiteReport =
+        serde_json::from_str(&report.to_json()).expect("canonical JSON deserializes");
+    assert_eq!(back, report);
+}

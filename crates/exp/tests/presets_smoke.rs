@@ -1,0 +1,26 @@
+//! Smoke-level execution of presets that have no binary consumer yet, so
+//! they cannot bit-rot: `load_sweep` runs a 1-seed micro grid end to end
+//! (a full `load_sweep` bin with the CSV cube stays a ROADMAP item).
+
+use hierdrl_exp::prelude::*;
+use hierdrl_exp::presets;
+
+#[test]
+fn load_sweep_micro_grid_runs_end_to_end() {
+    // One cluster size x one rate factor x the three systems, 120 jobs.
+    let suite = presets::load_sweep(&[3], &[1.0], 40.0);
+    assert_eq!(suite.len(), 3);
+    let run = SuiteRunner::new()
+        .run(&suite)
+        .expect("load_sweep micro grid");
+
+    let report = run.report();
+    assert_eq!(report.suite, "load_sweep");
+    for cell in &report.cells {
+        assert_eq!(cell.metrics.jobs_completed, 120);
+        assert!(cell.metrics.energy_kwh > 0.0);
+    }
+    // The learned systems actually learned (their stats made it through).
+    assert!(run.find_policy("drl-only").unwrap().drl_stats.is_some());
+    assert!(run.find_policy("hierarchical").unwrap().drl_stats.is_some());
+}

@@ -18,7 +18,9 @@
 //! (the local tier: timeout decisions at the paper's three decision-epoch
 //! cases). Reference policies — round-robin, random, least-loaded,
 //! first-fit, always-on, sleep-immediately, fixed-timeout — live in
-//! [`policies`].
+//! [`policies`]. A deterministic front-end [`router::Router`] splits one
+//! arrival stream across several independent clusters, the multi-cluster
+//! scaling axis the experiment layer grids over.
 //!
 //! # Examples
 //!
@@ -53,6 +55,7 @@ pub mod metrics;
 pub mod policies;
 pub mod power;
 pub mod resources;
+pub mod router;
 pub mod server;
 pub mod time;
 
@@ -72,6 +75,7 @@ pub mod prelude {
     };
     pub use crate::power::{MachineState, PowerModel};
     pub use crate::resources::{ResourceKind, ResourceVec};
+    pub use crate::router::{Router, RouterPolicy};
     pub use crate::server::{RunningJob, Server, ServerStats};
     pub use crate::time::SimTime;
 }

@@ -1,0 +1,298 @@
+//! Front-end routing of one arrival stream across several independent
+//! clusters.
+//!
+//! The paper's global tier assigns every arriving job to a server of *one*
+//! cluster. Scaling that out means a fleet of independent clusters behind a
+//! front-end [`Router`]: the router sees each job once, in arrival order,
+//! and picks the cluster that will own it; the chosen cluster's own global
+//! tier then dispatches the job to a server as before.
+//!
+//! Routing is deliberately *feed-forward*: decisions depend only on the
+//! arrival stream and the router's own bookkeeping, never on live cluster
+//! state. That keeps the per-cluster sub-streams a pure function of
+//! (stream, policy, cluster sizes), so each cluster can be simulated on its
+//! own worker thread and the merged result is deterministic regardless of
+//! scheduling.
+
+use crate::job::Job;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How the front-end router picks a cluster for each arriving job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouterPolicy {
+    /// Cyclic dispatch, ignoring cluster size and load.
+    RoundRobin,
+    /// Estimated-backlog routing: each job goes to the cluster with the
+    /// least outstanding routed work per server. The router tracks the
+    /// service time it has sent to each cluster and drains it at cluster
+    /// capacity, so bursts spill to the emptier clusters.
+    LeastLoaded,
+    /// Largest-remainder dispatch proportional to cluster capacity: after
+    /// `n` jobs, every cluster has received `n * servers_k / servers_total`
+    /// jobs, within one.
+    WeightedByCapacity,
+}
+
+impl RouterPolicy {
+    /// Every routing policy, in canonical order (grid axes iterate this).
+    pub const ALL: [RouterPolicy; 3] = [
+        RouterPolicy::RoundRobin,
+        RouterPolicy::LeastLoaded,
+        RouterPolicy::WeightedByCapacity,
+    ];
+
+    /// Short display name (used in topology names and reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RouterPolicy::RoundRobin => "rr",
+            RouterPolicy::LeastLoaded => "least-loaded",
+            RouterPolicy::WeightedByCapacity => "weighted",
+        }
+    }
+}
+
+impl fmt::Display for RouterPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A deterministic front-end router over `N` clusters.
+///
+/// Feed each job exactly once, in arrival order, through
+/// [`Router::route`]; or split a whole stream at once with
+/// [`Router::split`].
+///
+/// # Examples
+///
+/// ```
+/// use hierdrl_sim::prelude::*;
+///
+/// let jobs: Vec<Job> = (0..6)
+///     .map(|i| Job::new(
+///         JobId(i),
+///         SimTime::from_secs(i as f64),
+///         120.0,
+///         ResourceVec::cpu_mem_disk(0.25, 0.1, 0.02),
+///     ))
+///     .collect();
+/// // Two clusters of 4 and 2 servers: capacity-weighted routing sends
+/// // two of every three jobs to the larger cluster.
+/// let shards = Router::split(RouterPolicy::WeightedByCapacity, &[4, 2], &jobs);
+/// assert_eq!(shards[0].len(), 4);
+/// assert_eq!(shards[1].len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Router {
+    policy: RouterPolicy,
+    servers: Vec<usize>,
+    /// Round-robin cursor.
+    next: usize,
+    /// Jobs routed per cluster (weighted-by-capacity bookkeeping).
+    assigned: Vec<u64>,
+    /// Total jobs routed.
+    total_assigned: u64,
+    /// Outstanding routed service time per cluster, seconds (least-loaded
+    /// bookkeeping).
+    backlog_s: Vec<f64>,
+    /// Arrival time of the previously routed job, seconds.
+    last_arrival_s: f64,
+}
+
+impl Router {
+    /// A router over clusters of the given server counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster_sizes` is empty or contains a zero-server
+    /// cluster — both are always bugs in the caller.
+    pub fn new(policy: RouterPolicy, cluster_sizes: &[usize]) -> Self {
+        assert!(!cluster_sizes.is_empty(), "router needs >= 1 cluster");
+        assert!(
+            cluster_sizes.iter().all(|&m| m > 0),
+            "every cluster needs >= 1 server, got {cluster_sizes:?}"
+        );
+        Self {
+            policy,
+            servers: cluster_sizes.to_vec(),
+            next: 0,
+            assigned: vec![0; cluster_sizes.len()],
+            total_assigned: 0,
+            backlog_s: vec![0.0; cluster_sizes.len()],
+            last_arrival_s: 0.0,
+        }
+    }
+
+    /// The routing policy.
+    pub fn policy(&self) -> RouterPolicy {
+        self.policy
+    }
+
+    /// Number of clusters behind the router.
+    pub fn num_clusters(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Jobs routed to each cluster so far.
+    pub fn assigned(&self) -> &[u64] {
+        &self.assigned
+    }
+
+    /// Picks the cluster that owns `job`. Jobs must be fed in arrival
+    /// order (the least-loaded backlog estimate drains with arrival time).
+    pub fn route(&mut self, job: &Job) -> usize {
+        let k = match self.policy {
+            RouterPolicy::RoundRobin => {
+                let k = self.next;
+                self.next = (self.next + 1) % self.servers.len();
+                k
+            }
+            RouterPolicy::LeastLoaded => {
+                let now = job.arrival.as_secs();
+                let dt = (now - self.last_arrival_s).max(0.0);
+                self.last_arrival_s = now;
+                let mut best = 0;
+                let mut best_load = f64::INFINITY;
+                for (i, b) in self.backlog_s.iter_mut().enumerate() {
+                    // Each cluster drains its routed work at capacity.
+                    *b = (*b - dt * self.servers[i] as f64).max(0.0);
+                    let load = *b / self.servers[i] as f64;
+                    if load < best_load {
+                        best_load = load;
+                        best = i;
+                    }
+                }
+                self.backlog_s[best] += job.duration;
+                best
+            }
+            RouterPolicy::WeightedByCapacity => {
+                let total: usize = self.servers.iter().sum();
+                let n = (self.total_assigned + 1) as f64;
+                let mut best = 0;
+                let mut best_deficit = f64::NEG_INFINITY;
+                for (i, &m) in self.servers.iter().enumerate() {
+                    // Largest remainder: quota owed minus jobs received.
+                    let deficit = n * m as f64 / total as f64 - self.assigned[i] as f64;
+                    if deficit > best_deficit {
+                        best_deficit = deficit;
+                        best = i;
+                    }
+                }
+                best
+            }
+        };
+        self.assigned[k] += 1;
+        self.total_assigned += 1;
+        k
+    }
+
+    /// Splits a whole arrival stream into per-cluster sub-streams, in
+    /// arrival order. Every input job lands in exactly one sub-stream.
+    pub fn split(policy: RouterPolicy, cluster_sizes: &[usize], jobs: &[Job]) -> Vec<Vec<Job>> {
+        let mut router = Router::new(policy, cluster_sizes);
+        let mut shards: Vec<Vec<Job>> = vec![Vec::new(); cluster_sizes.len()];
+        for job in jobs {
+            shards[router.route(job)].push(job.clone());
+        }
+        shards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobId;
+    use crate::resources::ResourceVec;
+    use crate::time::SimTime;
+
+    fn job(id: u64, t: f64, dur: f64) -> Job {
+        Job::new(
+            JobId(id),
+            SimTime::from_secs(t),
+            dur,
+            ResourceVec::cpu_mem_disk(0.3, 0.1, 0.05),
+        )
+    }
+
+    fn stream(n: u64) -> Vec<Job> {
+        (0..n).map(|i| job(i, i as f64 * 10.0, 300.0)).collect()
+    }
+
+    #[test]
+    fn round_robin_cycles_regardless_of_size() {
+        let shards = Router::split(RouterPolicy::RoundRobin, &[8, 1, 1], &stream(9));
+        assert_eq!(
+            shards.iter().map(Vec::len).collect::<Vec<_>>(),
+            vec![3, 3, 3]
+        );
+        assert_eq!(shards[0][0].id, JobId(0));
+        assert_eq!(shards[1][0].id, JobId(1));
+        assert_eq!(shards[2][0].id, JobId(2));
+    }
+
+    #[test]
+    fn weighted_tracks_capacity_within_one_job() {
+        let sizes = [4usize, 2, 2];
+        let jobs = stream(80);
+        let shards = Router::split(RouterPolicy::WeightedByCapacity, &sizes, &jobs);
+        let total: usize = sizes.iter().sum();
+        for (k, shard) in shards.iter().enumerate() {
+            for n in 1..=jobs.len() {
+                let routed = shard.iter().filter(|j| j.id.0 < n as u64).count() as f64;
+                let quota = n as f64 * sizes[k] as f64 / total as f64;
+                assert!(
+                    (routed - quota).abs() <= 1.0,
+                    "cluster {k} has {routed} of quota {quota} after {n} jobs"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn least_loaded_spills_long_jobs_to_empty_cluster() {
+        // One huge job saturates cluster 0's estimate; the next jobs avoid it.
+        let jobs = vec![
+            job(0, 0.0, 100_000.0),
+            job(1, 1.0, 100.0),
+            job(2, 2.0, 100.0),
+        ];
+        let shards = Router::split(RouterPolicy::LeastLoaded, &[1, 1], &jobs);
+        assert_eq!(shards[0].len(), 1);
+        assert_eq!(shards[1].len(), 2);
+    }
+
+    #[test]
+    fn least_loaded_backlog_drains_with_time() {
+        // After a long quiet period the first cluster's backlog has drained,
+        // so ties break back to it.
+        let jobs = vec![job(0, 0.0, 50.0), job(1, 1_000.0, 50.0)];
+        let shards = Router::split(RouterPolicy::LeastLoaded, &[1, 1], &jobs);
+        assert_eq!(shards[0].len(), 2);
+        assert!(shards[1].is_empty());
+    }
+
+    #[test]
+    fn sub_streams_stay_sorted_by_arrival() {
+        for policy in RouterPolicy::ALL {
+            let shards = Router::split(policy, &[3, 2, 1], &stream(50));
+            for shard in shards {
+                for w in shard.windows(2) {
+                    assert!(w[0].arrival <= w[1].arrival);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "every cluster needs >= 1 server")]
+    fn zero_server_cluster_rejected() {
+        let _ = Router::new(RouterPolicy::RoundRobin, &[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "router needs >= 1 cluster")]
+    fn empty_cluster_list_rejected() {
+        let _ = Router::new(RouterPolicy::RoundRobin, &[]);
+    }
+}

@@ -101,27 +101,37 @@ where
     F: Fn(I) -> O + Sync,
 {
     let len = items.len();
-    let workers = current_num_threads().min(len);
+    let budget = current_num_threads();
+    let workers = budget.min(len);
     if workers <= 1 {
         return items.into_iter().map(f).collect();
     }
+    // Each worker inherits its *share* of the caller's thread budget, so
+    // parallel iterators nested inside `f` (e.g. per-shard parallelism
+    // within one suite cell) cannot oversubscribe: total live threads stay
+    // bounded by the installed pool size through every nesting level, and
+    // a 1-thread pool stays fully serial all the way down.
+    let nested = Some((budget / workers).max(1));
     let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
     let results: Vec<Mutex<Option<O>>> = (0..len).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= len {
-                    break;
+            scope.spawn(|| {
+                POOL_THREADS.with(|c| c.set(nested));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= len {
+                        break;
+                    }
+                    let item = slots[i]
+                        .lock()
+                        .expect("input slot lock")
+                        .take()
+                        .expect("each index is claimed once");
+                    let out = f(item);
+                    *results[i].lock().expect("output slot lock") = Some(out);
                 }
-                let item = slots[i]
-                    .lock()
-                    .expect("input slot lock")
-                    .take()
-                    .expect("each index is claimed once");
-                let out = f(item);
-                *results[i].lock().expect("output slot lock") = Some(out);
             });
         }
     });
