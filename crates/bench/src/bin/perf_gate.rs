@@ -1,0 +1,142 @@
+//! CI performance-regression gate over `BENCH_suite.json`.
+//!
+//! Diffs a freshly generated bench artifact against the committed baseline,
+//! cell by cell (matched on scenario id), prints a per-cell comparison
+//! table, and exits non-zero if any matched cell's `jobs_per_s` regressed
+//! by more than the allowed percentage:
+//!
+//! ```sh
+//! cargo run --release -p hierdrl-bench --bin perf_gate -- \
+//!     --baseline BENCH_suite.json --fresh /tmp/BENCH_suite.json \
+//!     --max-regression-pct 40
+//! ```
+//!
+//! Cells present in only one artifact are reported but never fail the gate
+//! (grid changes are reviewed through the baseline diff itself). To refresh
+//! the committed baseline after an intentional change, re-run the `table1`
+//! bin with the baseline's flags and commit the new file (see
+//! `crates/exp/README.md`, "Performance & CI gate").
+
+use hierdrl_exp::report::BenchReport;
+use std::process::ExitCode;
+
+struct GateArgs {
+    baseline: String,
+    fresh: String,
+    max_regression_pct: f64,
+}
+
+impl GateArgs {
+    fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = GateArgs {
+            baseline: "BENCH_suite.json".to_string(),
+            fresh: "/tmp/BENCH_suite.json".to_string(),
+            max_regression_pct: 40.0,
+        };
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            let mut take = |what: &str| {
+                iter.next()
+                    .unwrap_or_else(|| panic!("{what} expects a value"))
+            };
+            match arg.as_str() {
+                "--baseline" => out.baseline = take("--baseline"),
+                "--fresh" => out.fresh = take("--fresh"),
+                "--max-regression-pct" => {
+                    out.max_regression_pct = take("--max-regression-pct")
+                        .parse()
+                        .expect("--max-regression-pct expects a number");
+                }
+                other => eprintln!("ignoring unknown argument {other:?}"),
+            }
+        }
+        assert!(
+            out.max_regression_pct > 0.0 && out.max_regression_pct < 100.0,
+            "--max-regression-pct must be in (0, 100)"
+        );
+        out
+    }
+}
+
+fn load(path: &str) -> BenchReport {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("perf_gate: cannot read {path}: {e}"));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("perf_gate: cannot parse {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args = GateArgs::parse(std::env::args().skip(1));
+    let baseline = load(&args.baseline);
+    let fresh = load(&args.fresh);
+    let floor = 1.0 - args.max_regression_pct / 100.0;
+
+    println!(
+        "perf gate: fresh {} vs baseline {} (fail below {:.0}% of baseline jobs/s)",
+        args.fresh,
+        args.baseline,
+        floor * 100.0
+    );
+    println!(
+        "| {:<42} | {:>16} | {:>16} | {:>8} | {:<8} |",
+        "cell", "baseline jobs/s", "fresh jobs/s", "ratio", "verdict"
+    );
+    println!(
+        "|{:-<44}|{:-<18}|{:-<18}|{:-<10}|{:-<10}|",
+        "", "", "", "", ""
+    );
+
+    let mut failures = 0usize;
+    let mut matched = 0usize;
+    for base_cell in &baseline.cells {
+        let Some(fresh_cell) = fresh.cells.iter().find(|c| c.id == base_cell.id) else {
+            println!(
+                "| {:<42} | {:>16.0} | {:>16} | {:>8} | {:<8} |",
+                base_cell.id, base_cell.jobs_per_s, "-", "-", "missing"
+            );
+            continue;
+        };
+        matched += 1;
+        let ratio = if base_cell.jobs_per_s > 0.0 {
+            fresh_cell.jobs_per_s / base_cell.jobs_per_s
+        } else {
+            1.0
+        };
+        let verdict = if ratio < floor {
+            failures += 1;
+            "FAIL"
+        } else if ratio >= 1.0 {
+            "faster"
+        } else {
+            "ok"
+        };
+        println!(
+            "| {:<42} | {:>16.0} | {:>16.0} | {:>7.2}x | {:<8} |",
+            base_cell.id, base_cell.jobs_per_s, fresh_cell.jobs_per_s, ratio, verdict
+        );
+    }
+    for fresh_cell in &fresh.cells {
+        if !baseline.cells.iter().any(|c| c.id == fresh_cell.id) {
+            println!(
+                "| {:<42} | {:>16} | {:>16.0} | {:>8} | {:<8} |",
+                fresh_cell.id, "-", fresh_cell.jobs_per_s, "-", "new"
+            );
+        }
+    }
+
+    assert!(
+        matched > 0,
+        "perf_gate: no cell ids in common between {} and {} — wrong artifacts?",
+        args.baseline,
+        args.fresh
+    );
+    if failures > 0 {
+        println!(
+            "\nperf gate FAILED: {failures}/{matched} matched cells regressed more than {:.0}%",
+            args.max_regression_pct
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("\nperf gate passed: {matched} matched cells within budget");
+        ExitCode::SUCCESS
+    }
+}

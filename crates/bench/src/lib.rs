@@ -14,11 +14,15 @@
 //! | `ablation_dqn` | autoencoder/weight-sharing & group-count ablations | `presets::ablation_dqn` |
 //! | `calibrate` | calibration probe (not a paper artifact) | `presets::calibrate` |
 //! | `lstm_accuracy` | LSTM predictor vs. simpler baselines | (bespoke) |
+//! | `qbench` | batched vs. unbatched DQN hot-path microbench | (bespoke) |
+//! | `perf_gate` | CI regression gate over `BENCH_suite.json` | (bespoke) |
 //!
-//! All binaries accept `--jobs N`, `--m M`, `--quick` (smoke scale), and
-//! `--threads T`; `table1` additionally writes its machine-readable timing
-//! artifact to `--out PATH` (default `BENCH_suite.json`). Criterion
-//! micro-benches (decision latency, LSTM step, simulator throughput) live
-//! in `benches/`.
+//! All suite binaries accept `--jobs N`, `--m M`, `--quick` (smoke scale),
+//! and `--threads T`; `table1` additionally writes its machine-readable
+//! timing artifact to `--out PATH` (default `BENCH_suite.json`), which
+//! doubles as the committed baseline the `perf_gate` bin diffs fresh runs
+//! against in CI (see "Performance & CI gate" in `crates/exp/README.md`).
+//! Criterion micro-benches (decision latency, LSTM step, simulator
+//! throughput) live in `benches/`.
 
 pub mod harness;

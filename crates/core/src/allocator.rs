@@ -390,25 +390,36 @@ impl DrlAllocator {
         {
             return;
         }
-        let transitions: Vec<Transition> = self
-            .replay
-            .sample(self.config.minibatch, &mut self.rng)
-            .into_iter()
-            .cloned()
-            .collect();
+        // Sample by reference — only each transition's `state` needs an
+        // owned copy (for its QSample); cloning whole transitions would
+        // deep-copy every next-state for nothing.
+        let transitions: Vec<&Transition> =
+            self.replay.sample(self.config.minibatch, &mut self.rng);
         // Fresh SMDP targets from the frozen target network (Eqn. 2 with
         // the target net as the previous estimate), clamped to the feasible
         // range: rewards are non-positive, so true Q values are too — the
         // upper clamp removes the max-operator overestimation spiral.
+        // One batched sweep per role: all next-states in one GEMM pair (the
+        // max needs every action), all previous states in another that only
+        // evaluates the taken action's Sub-Q row. Each state is encoded
+        // exactly once, and every value is bitwise identical to a
+        // per-transition `q_values`/`max_q` sweep.
+        let next_states: Vec<&GlobalState> = transitions.iter().map(|t| &t.next_state).collect();
+        let next_q = self.target_net.q_values_batch(&next_states);
+        let prev_items: Vec<(&GlobalState, usize)> =
+            transitions.iter().map(|t| (&t.state, t.action)).collect();
+        let prev_q = self.target_net.q_action_batch(&prev_items);
         let batch: Vec<QSample> = transitions
             .into_iter()
-            .map(|t| {
-                let max_next = f64::from(self.target_net.max_q(&t.next_state, self.num_servers));
+            .zip(next_q)
+            .zip(prev_q)
+            .map(|((t, nq), prev)| {
+                let max_next = f64::from(GroupedQNetwork::max_q_of(&nq, self.num_servers));
                 let raw = smdp_target(&self.config.smdp, t.reward_rate, t.sojourn, max_next);
-                let prev = f64::from(self.target_net.q_values(&t.state)[t.action]);
+                let prev = f64::from(prev);
                 let blended = prev + self.config.smdp.alpha * (raw - prev);
                 QSample {
-                    state: t.state,
+                    state: t.state.clone(),
                     action: t.action,
                     target: blended.clamp(-self.config.q_clamp, 0.0) as f32,
                 }

@@ -19,6 +19,7 @@ use hierdrl_neural::matrix::Matrix;
 use hierdrl_neural::optim::{clip_grad_norm, Adam, Optimizer, Trainable};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 
 /// Hyper-parameters of the grouped Q-network.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -62,6 +63,20 @@ pub struct QSample {
     pub target: f32,
 }
 
+/// Reusable per-step buffers for the batched inference/training hot path:
+/// the stacked group rows fed to the shared encoder, the resulting codes,
+/// the assembled Sub-Q input rows, and the ping-pong activation scratch.
+/// Purely a memory-reuse device — every value is fully overwritten before
+/// use, so results never depend on the buffers' previous contents.
+#[derive(Debug, Clone, Default)]
+struct QWorkspace {
+    group_rows: Matrix,
+    codes: Matrix,
+    inputs: Matrix,
+    q: Matrix,
+    scratch: Matrix,
+}
+
 /// The weight-shared, autoencoder-compressed Q-network.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GroupedQNetwork {
@@ -73,6 +88,8 @@ pub struct GroupedQNetwork {
     group_size: usize,
     group_width: usize,
     job_width: usize,
+    #[serde(skip)]
+    workspace: RefCell<QWorkspace>,
 }
 
 impl GroupedQNetwork {
@@ -103,6 +120,7 @@ impl GroupedQNetwork {
             group_size: layout.group_size(),
             group_width,
             job_width,
+            workspace: RefCell::new(QWorkspace::default()),
         }
     }
 
@@ -155,9 +173,128 @@ impl GroupedQNetwork {
         Matrix::hcat(&parts)
     }
 
+    /// Stacks every group row of `states` (state-major, group-minor) into
+    /// `group_rows` and runs one shared-encoder sweep into `codes`.
+    fn encode_all_groups(&self, states: &[&GlobalState], ws: &mut QWorkspace) {
+        let k = self.num_groups;
+        ws.group_rows.resize_to(states.len() * k, self.group_width);
+        for (i, s) in states.iter().enumerate() {
+            for g in 0..k {
+                ws.group_rows
+                    .row_mut(i * k + g)
+                    .copy_from_slice(&s.groups[g]);
+            }
+        }
+        self.autoencoder
+            .encode_into(&ws.group_rows, &mut ws.codes, &mut ws.scratch);
+    }
+
+    /// Writes group `g`'s Sub-Q input row `[g_g | s_j | ḡ_{g'≠g}]` for the
+    /// state whose codes occupy rows `code_base..code_base + K` of `codes`.
+    fn fill_sub_q_row(
+        &self,
+        row: &mut [f32],
+        s: &GlobalState,
+        g: usize,
+        codes: &Matrix,
+        code_base: usize,
+    ) {
+        let code_w = self.config.code_size;
+        row[..self.group_width].copy_from_slice(&s.groups[g]);
+        let mut ofs = self.group_width;
+        row[ofs..ofs + self.job_width].copy_from_slice(&s.job);
+        ofs += self.job_width;
+        for g2 in 0..self.num_groups {
+            if g2 != g {
+                row[ofs..ofs + code_w].copy_from_slice(codes.row(code_base + g2));
+                ofs += code_w;
+            }
+        }
+    }
+
     /// Q estimates for all `K * group_size` actions (padding slots
     /// included; callers mask indices `>= M`).
     pub fn q_values(&self, s: &GlobalState) -> Vec<f32> {
+        self.q_values_batch(&[s])
+            .pop()
+            .expect("one state in, one Q vector out")
+    }
+
+    /// Q estimates for every state in `states`, batched: one shared-encoder
+    /// GEMM over all `B * K` group rows and one Sub-Q GEMM over all `B * K`
+    /// input rows, instead of `B * 2K` single-row passes. Per-state results
+    /// are bitwise identical to [`GroupedQNetwork::q_values_reference`]
+    /// because every kernel in the neural substrate is row-independent with
+    /// in-order accumulation (see the batched-equivalence test suite).
+    pub fn q_values_batch(&self, states: &[&GlobalState]) -> Vec<Vec<f32>> {
+        if states.is_empty() {
+            return Vec::new();
+        }
+        let k = self.num_groups;
+        let ws = &mut *self.workspace.borrow_mut();
+        self.encode_all_groups(states, ws);
+        ws.inputs.resize_to(states.len() * k, self.input_width());
+        for (i, s) in states.iter().enumerate() {
+            for g in 0..k {
+                let (inputs, codes) = (&mut ws.inputs, &ws.codes);
+                self.fill_sub_q_row(inputs.row_mut(i * k + g), s, g, codes, i * k);
+            }
+        }
+        // Rows are (state, group)-major, so each state's K output rows
+        // concatenate into exactly the per-group q_values layout.
+        self.sub_q
+            .infer_into(&ws.inputs, &mut ws.q, &mut ws.scratch);
+        (0..states.len())
+            .map(|i| {
+                let mut out = Vec::with_capacity(self.num_actions());
+                for g in 0..k {
+                    out.extend_from_slice(ws.q.row(i * k + g));
+                }
+                out
+            })
+            .collect()
+    }
+
+    /// `Q(s, a)` for a batch of state/action pairs: like
+    /// [`GroupedQNetwork::q_values_batch`] but evaluating only the **one**
+    /// Sub-Q row containing each pair's action — the allocator's target
+    /// sweep needs just the taken action's value for the previous state,
+    /// so the other `K-1` rows would be wasted GEMM work. Each returned
+    /// value is bitwise identical to `q_values(s)[a]` (row independence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an action index is out of range.
+    pub fn q_action_batch(&self, items: &[(&GlobalState, usize)]) -> Vec<f32> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let k = self.num_groups;
+        let ws = &mut *self.workspace.borrow_mut();
+        let states: Vec<&GlobalState> = items.iter().map(|(s, _)| *s).collect();
+        self.encode_all_groups(&states, ws);
+        ws.inputs.resize_to(items.len(), self.input_width());
+        for (i, (s, action)) in items.iter().enumerate() {
+            assert!(*action < self.num_actions(), "action {action} out of range");
+            let g = action / self.group_size;
+            let (inputs, codes) = (&mut ws.inputs, &ws.codes);
+            self.fill_sub_q_row(inputs.row_mut(i), s, g, codes, i * k);
+        }
+        self.sub_q
+            .infer_into(&ws.inputs, &mut ws.q, &mut ws.scratch);
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, (_, action))| ws.q[(i, action % self.group_size)])
+            .collect()
+    }
+
+    /// The retained **unbatched** reference for [`GroupedQNetwork::q_values`]:
+    /// `K` single-row encoder passes and `K` single-row Sub-Q passes. Kept
+    /// (test-only) so the equivalence suite can assert the batched hot path
+    /// is bitwise identical; production code never calls it.
+    #[doc(hidden)]
+    pub fn q_values_reference(&self, s: &GlobalState) -> Vec<f32> {
         let codes = self.codes(s);
         let mut out = Vec::with_capacity(self.num_actions());
         for k in 0..self.num_groups {
@@ -168,6 +305,24 @@ impl GroupedQNetwork {
         out
     }
 
+    /// `max_a Q(s, a)` over the first `valid_actions` entries of a Q vector
+    /// (the shared-evaluation path: callers that already hold `q_values`
+    /// output avoid re-running the encoder sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `valid_actions` is zero or exceeds the vector length.
+    pub fn max_q_of(q: &[f32], valid_actions: usize) -> f32 {
+        assert!(
+            valid_actions > 0 && valid_actions <= q.len(),
+            "valid_actions {valid_actions} out of range"
+        );
+        q[..valid_actions]
+            .iter()
+            .cloned()
+            .fold(f32::NEG_INFINITY, f32::max)
+    }
+
     /// `max_a Q(s, a)` over the first `valid_actions` actions.
     ///
     /// # Panics
@@ -175,13 +330,10 @@ impl GroupedQNetwork {
     /// Panics if `valid_actions` is zero or exceeds the action count.
     pub fn max_q(&self, s: &GlobalState, valid_actions: usize) -> f32 {
         assert!(
-            valid_actions > 0 && valid_actions <= self.num_actions(),
+            valid_actions <= self.num_actions(),
             "valid_actions {valid_actions} out of range"
         );
-        self.q_values(s)[..valid_actions]
-            .iter()
-            .cloned()
-            .fold(f32::NEG_INFINITY, f32::max)
+        Self::max_q_of(&self.q_values(s), valid_actions)
     }
 
     /// Pre-trains the shared autoencoder on observed group states
@@ -213,19 +365,16 @@ impl GroupedQNetwork {
     /// actions' outputs onto the stored targets with MSE, clips the global
     /// gradient norm, and applies Adam. Returns the mean squared error.
     ///
+    /// With the (default) frozen encoder the whole minibatch runs as one
+    /// shared-encoder GEMM plus one Sub-Q forward/backward, with the
+    /// per-sample error scattered into the batched output gradient —
+    /// bitwise identical to [`GroupedQNetwork::train_batch_reference`].
+    ///
     /// # Panics
     ///
     /// Panics if the batch is empty or an action index is out of range.
     pub fn train_batch(&mut self, samples: &[QSample]) -> f32 {
-        assert!(!samples.is_empty(), "training batch is empty");
-        for s in samples {
-            assert!(
-                s.action < self.num_actions(),
-                "action {} out of range ({})",
-                s.action,
-                self.num_actions()
-            );
-        }
+        self.check_batch(samples);
         self.sub_q.zero_grad();
         self.autoencoder.zero_grad();
         let n = samples.len() as f32;
@@ -243,34 +392,30 @@ impl GroupedQNetwork {
             clip_grad_norm(&mut joint, self.config.grad_clip);
             self.adam.step(&mut joint);
         } else {
-            // Frozen encoder: batch all samples of each group together.
-            for k in 0..self.num_groups {
-                let group_samples: Vec<&QSample> = samples
-                    .iter()
-                    .filter(|s| s.action / self.group_size == k)
-                    .collect();
-                if group_samples.is_empty() {
-                    continue;
+            // Frozen encoder: one batched forward/backward over the whole
+            // minibatch, rows in sample order.
+            let y = {
+                let ws = &mut *self.workspace.borrow_mut();
+                let states: Vec<&GlobalState> = samples.iter().map(|s| &s.state).collect();
+                self.encode_all_groups(&states, ws);
+                ws.inputs.resize_to(samples.len(), self.input_width());
+                let k = self.num_groups;
+                for (i, s) in samples.iter().enumerate() {
+                    let g = s.action / self.group_size;
+                    let (inputs, codes) = (&mut ws.inputs, &ws.codes);
+                    self.fill_sub_q_row(inputs.row_mut(i), &s.state, g, codes, i * k);
                 }
-                let rows: Vec<Matrix> = group_samples
-                    .iter()
-                    .map(|s| {
-                        let codes = self.codes(&s.state);
-                        self.sub_q_input(&s.state, k, &codes)
-                    })
-                    .collect();
-                let refs: Vec<&Matrix> = rows.iter().collect();
-                let x = Matrix::vcat(&refs);
-                let y = self.sub_q.forward(&x);
-                let mut dy = Matrix::zeros(y.rows(), y.cols());
-                for (i, s) in group_samples.iter().enumerate() {
-                    let slot = s.action % self.group_size;
-                    let err = y[(i, slot)] - s.target;
-                    loss += err * err;
-                    dy[(i, slot)] = 2.0 * err / n;
-                }
-                self.sub_q.backward(&dy);
+                self.sub_q.forward(&ws.inputs)
+            };
+            let mut dy = Matrix::zeros(y.rows(), y.cols());
+            for (i, s) in samples.iter().enumerate() {
+                let slot = s.action % self.group_size;
+                let err = y[(i, slot)] - s.target;
+                loss += err * err;
+                dy[(i, slot)] = 2.0 * err / n;
             }
+            // Frozen encoder: nothing consumes the input gradient.
+            self.sub_q.backward_params_only(&dy);
             let mut joint = JointParams {
                 sub_q: &mut self.sub_q,
                 encoder: None,
@@ -279,6 +424,61 @@ impl GroupedQNetwork {
             self.adam.step(&mut joint);
         }
         loss / n
+    }
+
+    /// The retained **unbatched** reference for [`GroupedQNetwork::train_batch`]
+    /// (frozen-encoder path): per-sample single-row encoder sweeps and
+    /// Sub-Q forward/backward passes, in sample order. Kept (test-only) so
+    /// the equivalence suite can assert the batched step leaves bitwise
+    /// identical weights, optimizer state, and loss; production code never
+    /// calls it. Delegates to [`GroupedQNetwork::train_batch`] when the
+    /// encoder is fine-tuned (that path is per-sample already).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty or an action index is out of range.
+    #[doc(hidden)]
+    pub fn train_batch_reference(&mut self, samples: &[QSample]) -> f32 {
+        if self.config.fine_tune_encoder {
+            return self.train_batch(samples);
+        }
+        self.check_batch(samples);
+        self.sub_q.zero_grad();
+        self.autoencoder.zero_grad();
+        let n = samples.len() as f32;
+        let mut loss = 0.0f32;
+        for s in samples {
+            let k = s.action / self.group_size;
+            let slot = s.action % self.group_size;
+            let codes = self.codes(&s.state);
+            let x = self.sub_q_input(&s.state, k, &codes);
+            let y = self.sub_q.forward(&x);
+            let err = y[(0, slot)] - s.target;
+            loss += err * err;
+            let mut dy = Matrix::zeros(1, y.cols());
+            dy[(0, slot)] = 2.0 * err / n;
+            self.sub_q.backward_params_only(&dy);
+        }
+        let mut joint = JointParams {
+            sub_q: &mut self.sub_q,
+            encoder: None,
+        };
+        clip_grad_norm(&mut joint, self.config.grad_clip);
+        self.adam.step(&mut joint);
+        loss / n
+    }
+
+    /// Validates a training minibatch.
+    fn check_batch(&self, samples: &[QSample]) {
+        assert!(!samples.is_empty(), "training batch is empty");
+        for s in samples {
+            assert!(
+                s.action < self.num_actions(),
+                "action {} out of range ({})",
+                s.action,
+                self.num_actions()
+            );
+        }
     }
 
     /// Forward/backward for one sample with encoder fine-tuning.

@@ -69,6 +69,11 @@ pub struct LstmIatPredictor {
     training_steps: u64,
     sq_err_sum: f64,
     err_count: u64,
+    /// Memoized [`IatPredictor::predict`] output: the prediction is a pure
+    /// function of the window and weights, both of which only change in
+    /// `observe`, so repeated reads between observations (every power
+    /// decision epoch asks) skip the 35-step LSTM sweep.
+    cached_prediction: std::cell::Cell<Option<f64>>,
 }
 
 impl LstmIatPredictor {
@@ -93,6 +98,7 @@ impl LstmIatPredictor {
             training_steps: 0,
             sq_err_sum: 0.0,
             err_count: 0,
+            cached_prediction: std::cell::Cell::new(None),
             config,
         }
     }
@@ -135,11 +141,9 @@ impl LstmIatPredictor {
         (c.min_iat.ln() + z * (c.max_iat.ln() - c.min_iat.ln())).exp()
     }
 
-    fn window_steps(&self) -> Vec<Matrix> {
-        self.window
-            .iter()
-            .map(|&z| Matrix::row_vector(&[z]))
-            .collect()
+    /// The look-back window as one `T x 1` sequence matrix (rows = steps).
+    fn window_seq(&self) -> Matrix {
+        Matrix::from_vec(self.window.len(), 1, self.window.iter().copied().collect())
     }
 }
 
@@ -149,15 +153,15 @@ impl IatPredictor for LstmIatPredictor {
         let z = self.normalize(iat);
         // The current window predicts this observation: train on it.
         if self.window.len() == self.config.lookback && self.config.online_training {
-            let steps = self.window_steps();
+            let seq = self.window_seq();
             let target = Matrix::row_vector(&[z]);
             self.lstm.zero_grad();
-            let pred = self.lstm.forward(&steps);
+            let pred = self.lstm.forward_seq(&seq);
             let err = f64::from(pred.as_slice()[0] - z);
             self.sq_err_sum += err * err;
             self.err_count += 1;
             let dy = Loss::Mse.gradient(&pred, &target);
-            self.lstm.backward(&dy);
+            self.lstm.backward_seq(&dy);
             self.adam.step(&mut self.lstm);
             self.training_steps += 1;
         }
@@ -165,15 +169,20 @@ impl IatPredictor for LstmIatPredictor {
         if self.window.len() > self.config.lookback {
             self.window.pop_front();
         }
+        self.cached_prediction.set(None);
     }
 
     fn predict(&self) -> Option<f64> {
         if self.window.len() < self.config.lookback {
             return None;
         }
-        let steps = self.window_steps();
-        let z = self.lstm.infer(&steps).as_slice()[0];
-        Some(self.denormalize(z))
+        if let Some(cached) = self.cached_prediction.get() {
+            return Some(cached);
+        }
+        let z = self.lstm.infer_seq(&self.window_seq()).as_slice()[0];
+        let prediction = self.denormalize(z);
+        self.cached_prediction.set(Some(prediction));
+        Some(prediction)
     }
 }
 

@@ -1,0 +1,161 @@
+//! Bitwise equivalence of the batched DQN hot path against the retained
+//! unbatched reference implementations.
+//!
+//! The batched `q_values`/`train_batch` rewrite claims *exact* numerical
+//! equivalence, not approximate: every kernel in `hierdrl-neural` is
+//! row-independent with in-order accumulation, so stacking the Sub-Q rows
+//! into one GEMM cannot change a single bit. This suite holds that claim
+//! against random states across cluster sizes (including the padded
+//! `M = 10, K = 3` and `M = 14, K = 4` layouts) and across repeated
+//! optimizer steps.
+
+use hierdrl_core::dqn::{GroupedQNetwork, QNetworkConfig, QSample};
+use hierdrl_core::state::{GlobalState, StateEncoder, StateEncoderConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn layout(m: usize, k: usize) -> StateEncoder {
+    StateEncoder::new(
+        m,
+        3,
+        StateEncoderConfig {
+            num_groups: k,
+            ..Default::default()
+        },
+    )
+}
+
+fn random_state(layout: &StateEncoder, rng: &mut StdRng) -> GlobalState {
+    GlobalState {
+        groups: (0..layout.num_groups())
+            .map(|_| {
+                (0..layout.group_width())
+                    .map(|_| rng.gen::<f32>())
+                    .collect()
+            })
+            .collect(),
+        job: (0..layout.job_width()).map(|_| rng.gen::<f32>()).collect(),
+    }
+}
+
+/// The `(M, K)` grid under test: the qbench/CI smoke sizes (10, 14) plus a
+/// larger cluster, with both even and padded group layouts.
+const GRID: &[(usize, usize)] = &[(10, 2), (10, 3), (14, 2), (14, 4), (32, 2), (32, 3)];
+
+#[test]
+fn batched_q_values_are_bitwise_identical_to_reference() {
+    for &(m, k) in GRID {
+        let mut rng = StdRng::seed_from_u64(m as u64 * 100 + k as u64);
+        let lay = layout(m, k);
+        let net = GroupedQNetwork::new(&lay, QNetworkConfig::default(), &mut rng);
+        for trial in 0..16 {
+            let s = random_state(&lay, &mut rng);
+            assert_eq!(
+                net.q_values(&s),
+                net.q_values_reference(&s),
+                "M={m} K={k} trial {trial}: batched q_values diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn q_values_batch_matches_per_state_calls() {
+    for &(m, k) in GRID {
+        let mut rng = StdRng::seed_from_u64(m as u64 * 101 + k as u64);
+        let lay = layout(m, k);
+        let net = GroupedQNetwork::new(&lay, QNetworkConfig::default(), &mut rng);
+        let states: Vec<GlobalState> = (0..7).map(|_| random_state(&lay, &mut rng)).collect();
+        let refs: Vec<&GlobalState> = states.iter().collect();
+        let batched = net.q_values_batch(&refs);
+        assert_eq!(batched.len(), states.len());
+        for (i, s) in states.iter().enumerate() {
+            assert_eq!(
+                batched[i],
+                net.q_values_reference(s),
+                "M={m} K={k} state {i}: multi-state batch diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn q_action_batch_matches_reference_q_values() {
+    for &(m, k) in GRID {
+        let mut rng = StdRng::seed_from_u64(m as u64 * 104 + k as u64);
+        let lay = layout(m, k);
+        let net = GroupedQNetwork::new(&lay, QNetworkConfig::default(), &mut rng);
+        let states: Vec<GlobalState> = (0..9).map(|_| random_state(&lay, &mut rng)).collect();
+        let items: Vec<(&GlobalState, usize)> = states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s, (i * 3) % m))
+            .collect();
+        let got = net.q_action_batch(&items);
+        for (i, (s, a)) in items.iter().enumerate() {
+            assert_eq!(
+                got[i].to_bits(),
+                net.q_values_reference(s)[*a].to_bits(),
+                "M={m} K={k} item {i}: q_action_batch diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn max_q_agrees_with_reference_q_values() {
+    for &(m, k) in GRID {
+        let mut rng = StdRng::seed_from_u64(m as u64 * 102 + k as u64);
+        let lay = layout(m, k);
+        let net = GroupedQNetwork::new(&lay, QNetworkConfig::default(), &mut rng);
+        for _ in 0..8 {
+            let s = random_state(&lay, &mut rng);
+            let q = net.q_values_reference(&s);
+            // Mask the padding actions exactly as the allocator does.
+            let expected = q[..m].iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            assert_eq!(net.max_q(&s, m), expected, "M={m} K={k}: max_q diverged");
+            assert_eq!(GroupedQNetwork::max_q_of(&q, m), expected);
+        }
+    }
+}
+
+/// Serializes everything that training mutates (weights, gradients are
+/// zeroed anyway, Adam moments and step counter) into a comparable string.
+fn full_state(net: &GroupedQNetwork) -> String {
+    serde_json::to_string(net).expect("network serializes")
+}
+
+#[test]
+fn batched_training_is_bitwise_identical_to_reference() {
+    for &(m, k) in GRID {
+        let mut rng = StdRng::seed_from_u64(m as u64 * 103 + k as u64);
+        let lay = layout(m, k);
+        let batched = GroupedQNetwork::new(&lay, QNetworkConfig::default(), &mut rng);
+        let mut reference = batched.clone();
+        let mut batched = batched;
+        for step in 0..12 {
+            let samples: Vec<QSample> = (0..9)
+                .map(|_| QSample {
+                    state: random_state(&lay, &mut rng),
+                    action: rng.gen_range(0..m),
+                    target: rng.gen_range(-5.0..0.0),
+                })
+                .collect();
+            let loss_b = batched.train_batch(&samples);
+            let loss_r = reference.train_batch_reference(&samples);
+            assert_eq!(
+                loss_b.to_bits(),
+                loss_r.to_bits(),
+                "M={m} K={k} step {step}: losses diverged ({loss_b} vs {loss_r})"
+            );
+            assert_eq!(
+                full_state(&batched),
+                full_state(&reference),
+                "M={m} K={k} step {step}: weights/optimizer state diverged"
+            );
+        }
+        // And the trained networks still agree at inference time.
+        let s = random_state(&lay, &mut rng);
+        assert_eq!(batched.q_values(&s), reference.q_values_reference(&s));
+    }
+}

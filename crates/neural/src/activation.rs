@@ -44,11 +44,32 @@ impl Activation {
                 if x >= 0.0 {
                     x
                 } else {
-                    alpha * (x.exp() - 1.0)
+                    alpha * (crate::fastmath::exp(x) - 1.0)
                 }
             }
-            Activation::Tanh => x.tanh(),
-            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Tanh => crate::fastmath::tanh(x),
+            Activation::Sigmoid => crate::fastmath::sigmoid(x),
+        }
+    }
+
+    /// Applies the activation to every element of a slice in place.
+    ///
+    /// Semantically identical to mapping [`Activation::apply`], but the
+    /// exp-based activations dispatch to eight-lane SIMD kernels where the
+    /// CPU supports them (bitwise identical to the scalar kernels — see
+    /// `crate::simd`). All activation sweeps in the crate route through
+    /// here so every code path applies the exact same function.
+    pub fn apply_slice(self, xs: &mut [f32]) {
+        match self {
+            Activation::Linear => {}
+            Activation::Elu(alpha) => crate::simd::elu_inplace(xs, alpha),
+            Activation::Tanh => crate::simd::tanh_inplace(xs),
+            Activation::Sigmoid => crate::simd::sigmoid_inplace(xs),
+            Activation::Relu | Activation::LeakyRelu(_) => {
+                for x in xs {
+                    *x = self.apply(*x);
+                }
+            }
         }
     }
 

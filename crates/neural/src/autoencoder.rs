@@ -68,6 +68,12 @@ impl Autoencoder {
         self.encoder.infer(x)
     }
 
+    /// Encodes a batch into `out` using caller-provided buffers (see
+    /// [`Mlp::infer_into`]); bitwise identical to [`Autoencoder::encode`].
+    pub fn encode_into(&self, x: &Matrix, out: &mut Matrix, scratch: &mut Matrix) {
+        self.encoder.infer_into(x, out, scratch);
+    }
+
     /// The encoder half (read-only).
     pub fn encoder(&self) -> &Mlp {
         &self.encoder

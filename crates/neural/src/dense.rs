@@ -104,8 +104,21 @@ impl Dense {
     pub fn infer(&self, x: &Matrix) -> Matrix {
         let mut z = x.matmul(&self.w);
         z.add_row_broadcast(&self.b);
-        z.map_inplace(|v| self.activation.apply(v));
+        self.activation.apply_slice(z.as_mut_slice());
         z
+    }
+
+    /// Inference pass into a caller-provided buffer (resized in place), so
+    /// hot loops can reuse one allocation per layer output. Bitwise
+    /// identical to [`Dense::infer`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != input_size()`.
+    pub fn infer_into(&self, x: &Matrix, out: &mut Matrix) {
+        x.matmul_into(&self.w, out);
+        out.add_row_broadcast(&self.b);
+        self.activation.apply_slice(out.as_mut_slice());
     }
 
     /// Training-mode forward pass; caches intermediates for [`Dense::backward`].
@@ -115,7 +128,8 @@ impl Dense {
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
         let mut pre = x.matmul(&self.w);
         pre.add_row_broadcast(&self.b);
-        let post = pre.map(|v| self.activation.apply(v));
+        let mut post = pre.clone();
+        self.activation.apply_slice(post.as_mut_slice());
         self.cache.push(DenseCache {
             input: x.clone(),
             pre: pre.clone(),
@@ -132,6 +146,24 @@ impl Dense {
     ///
     /// Panics if there is no cached forward call, or on shape mismatch.
     pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let dz = self.backward_accumulate(grad_out);
+        dz.matmul_nt(&self.w)
+    }
+
+    /// Like [`Dense::backward`], but skips the input-gradient GEMM
+    /// (`dz * W^T`) — for bottom layers whose upstream gradient nobody
+    /// consumes. Parameter gradients are accumulated identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no cached forward call, or on shape mismatch.
+    pub fn backward_params_only(&mut self, grad_out: &Matrix) {
+        let _ = self.backward_accumulate(grad_out);
+    }
+
+    /// Pops the most recent forward cache, accumulates the parameter
+    /// gradients, and returns `dz` (the pre-activation gradient).
+    fn backward_accumulate(&mut self, grad_out: &Matrix) -> Matrix {
         let cache = self
             .cache
             .pop()
@@ -155,7 +187,7 @@ impl Dense {
         }
         self.grad_w.axpy(1.0, &cache.input.matmul_tn(&dz));
         self.grad_b.axpy(1.0, &dz.sum_rows());
-        dz.matmul_nt(&self.w)
+        dz
     }
 
     /// Number of pending (cached, not yet back-propagated) forward calls.
@@ -273,6 +305,28 @@ impl Mlp {
         h
     }
 
+    /// Inference pass that ping-pongs between two caller-provided buffers,
+    /// leaving the result in `out`; per-step workspaces use this to run the
+    /// whole stack without allocating. Bitwise identical to [`Mlp::infer`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != input_size()`.
+    pub fn infer_into(&self, x: &Matrix, out: &mut Matrix, scratch: &mut Matrix) {
+        let n = self.layers.len();
+        for (i, layer) in self.layers.iter().enumerate() {
+            // The last layer must land in `out`; alternate backwards from it.
+            let to_out = (n - 1 - i).is_multiple_of(2);
+            let (src, dst): (&Matrix, &mut Matrix) = match (i, to_out) {
+                (0, true) => (x, &mut *out),
+                (0, false) => (x, &mut *scratch),
+                (_, true) => (&*scratch, &mut *out),
+                (_, false) => (&*out, &mut *scratch),
+            };
+            layer.infer_into(src, dst);
+        }
+    }
+
     /// Training-mode forward pass (caches intermediates; may be called
     /// repeatedly before backward for weight-shared application).
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
@@ -295,6 +349,24 @@ impl Mlp {
             g = layer.backward(&g);
         }
         g
+    }
+
+    /// Back-propagates like [`Mlp::backward`] but never computes the
+    /// gradient w.r.t. the network *input* (the bottom layer's `dz * W^T`
+    /// GEMM — the largest one), for callers that do not chain into an
+    /// upstream network. Parameter gradients are bitwise identical to
+    /// [`Mlp::backward`]'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no forward call is pending.
+    pub fn backward_params_only(&mut self, grad_out: &Matrix) {
+        let mut g = grad_out.clone();
+        let (bottom, upper) = self.layers.split_first_mut().expect("MLP has layers");
+        for layer in upper.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        bottom.backward_params_only(&g);
     }
 
     /// Total number of learnable scalars.
@@ -448,6 +520,25 @@ mod tests {
         let a = mlp.infer(&x);
         let b = mlp.forward(&x);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn infer_into_matches_infer_for_odd_and_even_depths() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = Matrix::from_rows(&[&[0.5, -1.0, 0.25], &[0.1, 0.2, 0.3]]);
+        for dims in [vec![3, 4, 2], vec![3, 5, 4, 2], vec![3, 2]] {
+            let mlp = Mlp::new(
+                &dims,
+                Activation::ELU,
+                Activation::Linear,
+                Init::HeNormal,
+                &mut rng,
+            );
+            let mut out = Matrix::filled(1, 1, 3.0);
+            let mut scratch = Matrix::filled(9, 9, 3.0);
+            mlp.infer_into(&x, &mut out, &mut scratch);
+            assert_eq!(out, mlp.infer(&x), "depth {}", dims.len());
+        }
     }
 
     #[test]

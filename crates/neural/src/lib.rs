@@ -44,11 +44,13 @@
 pub mod activation;
 pub mod autoencoder;
 pub mod dense;
+pub mod fastmath;
 pub mod init;
 pub mod loss;
 pub mod lstm;
 pub mod matrix;
 pub mod optim;
+mod simd;
 
 /// Convenient glob-import of the crate's main types.
 pub mod prelude {

@@ -15,13 +15,15 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Cached values for one time step of one forward pass.
+///
+/// The four post-activation gates stay packed in one `n x 4*hidden` matrix
+/// (`[i | f | o | g]` blocks) instead of four separate matrices — the
+/// backward pass reads them sliced in place, halving the per-step
+/// allocation count on the online-predictor hot path.
 #[derive(Debug, Clone)]
 struct StepCache {
     z: Matrix,      // [n x (input + hidden)]  concatenated input
-    i: Matrix,      // input gate (post-sigmoid)
-    f: Matrix,      // forget gate
-    o: Matrix,      // output gate
-    g: Matrix,      // candidate (post-tanh)
+    gates: Matrix,  // [n x 4*hidden]  post-activation [i | f | o | g]
     c_prev: Matrix, // previous cell state
     tanh_c: Matrix, // tanh of new cell state
 }
@@ -93,19 +95,62 @@ impl LstmCell {
         self.hidden_size
     }
 
-    fn gates(&self, z: &Matrix) -> (Matrix, Matrix, Matrix, Matrix) {
+    /// Activates one packed gate row in place: sigmoid on the `[i | f | o]`
+    /// blocks, tanh on `g`. The single definition shared by every forward
+    /// path (training, inference, fused sequence).
+    #[inline]
+    fn activate_gate_row(row: &mut [f32], hw: usize) {
+        Activation::Sigmoid.apply_slice(&mut row[..3 * hw]);
+        Activation::Tanh.apply_slice(&mut row[3 * hw..]);
+    }
+
+    /// The cell update for one row, in place: on entry `c` holds `c_prev`,
+    /// on exit `c[j] = f∘c_prev + i∘g` (each element is read before it is
+    /// written). Shared by every forward path.
+    #[inline]
+    fn cell_update_row(gr: &[f32], hw: usize, c: &mut [f32]) {
+        for (j, cj) in c.iter_mut().enumerate() {
+            *cj = gr[hw + j] * *cj + gr[j] * gr[3 * hw + j];
+        }
+    }
+
+    /// The hidden-state output for one row: `h[j] = o∘tanh_c`. Shared by
+    /// every forward path.
+    #[inline]
+    fn hidden_row(gr: &[f32], hw: usize, tanh_c: &[f32], h: &mut [f32]) {
+        for (j, hj) in h.iter_mut().enumerate() {
+            *hj = gr[2 * hw + j] * tanh_c[j];
+        }
+    }
+
+    /// All four gate pre-activations in one GEMM, activated in place.
+    fn gates(&self, z: &Matrix) -> Matrix {
         let mut a = z.matmul(&self.w);
         a.add_row_broadcast(&self.b);
         let h = self.hidden_size;
-        let mut i = a.slice_cols(0, h);
-        let mut f = a.slice_cols(h, h);
-        let mut o = a.slice_cols(2 * h, h);
-        let mut g = a.slice_cols(3 * h, h);
-        i.map_inplace(|x| Activation::Sigmoid.apply(x));
-        f.map_inplace(|x| Activation::Sigmoid.apply(x));
-        o.map_inplace(|x| Activation::Sigmoid.apply(x));
-        g.map_inplace(|x| Activation::Tanh.apply(x));
-        (i, f, o, g)
+        for r in 0..a.rows() {
+            Self::activate_gate_row(a.row_mut(r), h);
+        }
+        a
+    }
+
+    /// The elementwise tail of one step: `c = f∘c_prev + i∘g`,
+    /// `tanh_c = tanh(c)`, `h = o∘tanh_c` — fused into one pass with the
+    /// exact per-element expressions of the former hadamard/add chain.
+    fn step_outputs(&self, gates: &Matrix, c_prev: &Matrix) -> (Matrix, Matrix, Matrix) {
+        let hw = self.hidden_size;
+        let n = gates.rows();
+        let mut c = c_prev.clone();
+        let mut h = Matrix::zeros(n, hw);
+        for r in 0..n {
+            Self::cell_update_row(gates.row(r), hw, c.row_mut(r));
+        }
+        let mut tanh_c = c.clone();
+        Activation::Tanh.apply_slice(tanh_c.as_mut_slice());
+        for r in 0..n {
+            Self::hidden_row(gates.row(r), hw, tanh_c.row(r), h.row_mut(r));
+        }
+        (c, tanh_c, h)
     }
 
     /// One forward time step without caching (inference).
@@ -115,28 +160,53 @@ impl LstmCell {
     /// Panics if `x` is not `n x input_size` or `state` does not match.
     pub fn infer_step(&self, x: &Matrix, state: &LstmState) -> LstmState {
         let z = Matrix::hcat(&[x, &state.h]);
-        let (i, f, o, g) = self.gates(&z);
-        let c = f.hadamard(&state.c).add(&i.hadamard(&g));
-        let tanh_c = c.map(|v| v.tanh());
-        LstmState {
-            h: o.hadamard(&tanh_c),
-            c,
+        let gates = self.gates(&z);
+        let (c, _tanh_c, h) = self.step_outputs(&gates, &state.c);
+        LstmState { h, c }
+    }
+
+    /// Runs a whole batch-1 sequence (rows of `proj` = time steps) through
+    /// the cell without caching, reusing one set of step buffers across
+    /// the loop — zero allocations per step. Produces exactly the state
+    /// [`LstmCell::infer_step`] iteration would (same kernels, same
+    /// elementwise expressions; the in-place `c` update reads each element
+    /// before writing it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proj` is empty or its width is not the cell input size.
+    pub fn infer_sequence(&self, proj: &Matrix) -> LstmState {
+        assert!(proj.rows() > 0, "LSTM needs at least one time step");
+        assert_eq!(proj.cols(), self.input_size, "sequence width mismatch");
+        let hw = self.hidden_size;
+        let iw = self.input_size;
+        let mut z = Matrix::zeros(1, iw + hw);
+        let mut a = Matrix::zeros(1, 4 * hw);
+        let mut state = LstmState::zeros(1, hw);
+        let mut tanh_c = Matrix::zeros(1, hw);
+        for t in 0..proj.rows() {
+            let zr = z.row_mut(0);
+            zr[..iw].copy_from_slice(proj.row(t));
+            zr[iw..].copy_from_slice(state.h.row(0));
+            z.matmul_into(&self.w, &mut a);
+            a.add_row_broadcast(&self.b);
+            Self::activate_gate_row(a.row_mut(0), hw);
+            Self::cell_update_row(a.row(0), hw, state.c.row_mut(0));
+            tanh_c.row_mut(0).copy_from_slice(state.c.row(0));
+            Activation::Tanh.apply_slice(tanh_c.row_mut(0));
+            Self::hidden_row(a.row(0), hw, tanh_c.row(0), state.h.row_mut(0));
         }
+        state
     }
 
     /// One forward time step with caching for BPTT.
     pub fn forward_step(&mut self, x: &Matrix, state: &LstmState) -> LstmState {
         let z = Matrix::hcat(&[x, &state.h]);
-        let (i, f, o, g) = self.gates(&z);
-        let c = f.hadamard(&state.c).add(&i.hadamard(&g));
-        let tanh_c = c.map(|v| v.tanh());
-        let h = o.hadamard(&tanh_c);
+        let gates = self.gates(&z);
+        let (c, tanh_c, h) = self.step_outputs(&gates, &state.c);
         self.cache.push(StepCache {
             z,
-            i: i.clone(),
-            f: f.clone(),
-            o: o.clone(),
-            g: g.clone(),
+            gates,
             c_prev: state.c.clone(),
             tanh_c,
         });
@@ -152,32 +222,64 @@ impl LstmCell {
     ///
     /// Panics if no cached step is pending.
     pub fn backward_step(&mut self, dh: &Matrix, dc: &Matrix) -> (Matrix, Matrix, Matrix) {
+        let w_t = self.w.transpose();
+        self.backward_step_with(dh, dc, &w_t)
+    }
+
+    /// [`LstmCell::backward_step`] with a caller-provided transpose of the
+    /// gate weights, so one BPTT sweep transposes `W` once instead of once
+    /// per time step (the weights do not change mid-sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cached step is pending or `w_t` is not the transpose
+    /// shape of the gate weights.
+    pub fn backward_step_with(
+        &mut self,
+        dh: &Matrix,
+        dc: &Matrix,
+        w_t: &Matrix,
+    ) -> (Matrix, Matrix, Matrix) {
         let s = self
             .cache
             .pop()
             .expect("LstmCell::backward_step without a matching forward_step");
-        // dc_total = dh * o * (1 - tanh(c)^2) + dc
-        let mut dc_total = dh.hadamard(&s.o);
-        dc_total = dc_total.zip_with(&s.tanh_c, |v, tc| v * (1.0 - tc * tc));
-        dc_total.axpy(1.0, dc);
+        assert_eq!(
+            w_t.shape(),
+            (self.w.cols(), self.w.rows()),
+            "w_t is not the gate-weight transpose"
+        );
+        let hw = self.hidden_size;
+        let n = dh.rows();
+        // One fused pass builds the packed pre-activation gate gradients
+        // `da = [da_i | da_f | da_o | da_g]` and `dc_prev`, with the exact
+        // per-element expressions of the former hadamard/zip chain:
+        //   dc_total = dh∘o∘(1 - tanh_c²) + dc
+        //   da_σ = ((dc_total∘·)∘σ)∘(1-σ),  da_g = (dc_total∘i)∘(1-g²)
+        let mut da = Matrix::zeros(n, 4 * hw);
+        let mut dc_prev = Matrix::zeros(n, hw);
+        for r in 0..n {
+            let gr = s.gates.row(r);
+            let (dhr, dcr) = (dh.row(r), dc.row(r));
+            let (tcr, cpr) = (s.tanh_c.row(r), s.c_prev.row(r));
+            let dar = da.row_mut(r);
+            let dcp = dc_prev.row_mut(r);
+            for j in 0..hw {
+                let (i, f, o, g) = (gr[j], gr[hw + j], gr[2 * hw + j], gr[3 * hw + j]);
+                let tc = tcr[j];
+                let dc_total = dhr[j] * o * (1.0 - tc * tc) + 1.0 * dcr[j];
+                dar[j] = dc_total * g * i * (1.0 - i);
+                dar[hw + j] = dc_total * cpr[j] * f * (1.0 - f);
+                dar[2 * hw + j] = dhr[j] * tc * o * (1.0 - o);
+                dar[3 * hw + j] = dc_total * i * (1.0 - g * g);
+                dcp[j] = dc_total * f;
+            }
+        }
 
-        let d_o = dh.hadamard(&s.tanh_c);
-        let d_i = dc_total.hadamard(&s.g);
-        let d_g = dc_total.hadamard(&s.i);
-        let d_f = dc_total.hadamard(&s.c_prev);
-        let dc_prev = dc_total.hadamard(&s.f);
-
-        // Pre-activation gate gradients.
-        let da_i = d_i.zip_with(&s.i, |d, y| d * y * (1.0 - y));
-        let da_f = d_f.zip_with(&s.f, |d, y| d * y * (1.0 - y));
-        let da_o = d_o.zip_with(&s.o, |d, y| d * y * (1.0 - y));
-        let da_g = d_g.zip_with(&s.g, |d, y| d * (1.0 - y * y));
-        let da = Matrix::hcat(&[&da_i, &da_f, &da_o, &da_g]);
-
-        self.grad_w.axpy(1.0, &s.z.matmul_tn(&da));
+        self.grad_w.add_matmul_tn(&s.z, &da);
         self.grad_b.axpy(1.0, &da.sum_rows());
 
-        let dz = da.matmul_nt(&self.w);
+        let dz = da.matmul(w_t);
         let dx = dz.slice_cols(0, self.input_size);
         let dh_prev = dz.slice_cols(self.input_size, self.hidden_size);
         (dx, dh_prev, dc_prev)
@@ -300,8 +402,67 @@ impl LstmNetwork {
     pub fn predict_next(&self, window: &[f32]) -> f32 {
         assert_eq!(self.input_size(), 1, "predict_next requires scalar input");
         assert_eq!(self.output_size(), 1, "predict_next requires scalar output");
-        let steps: Vec<Matrix> = window.iter().map(|&v| Matrix::row_vector(&[v])).collect();
-        self.infer(&steps).as_slice()[0]
+        let seq = Matrix::from_vec(window.len(), 1, window.to_vec());
+        self.infer_seq(&seq).as_slice()[0]
+    }
+
+    /// Inference over a single (batch-1) sequence whose time steps are the
+    /// rows of `seq`. The non-recurrent input projection runs as **one**
+    /// GEMM over all steps (it is applied independently per step, and the
+    /// kernels are row-independent, so results match the step-by-step
+    /// path bitwise); only the recurrent cell iterates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` has no rows.
+    pub fn infer_seq(&self, seq: &Matrix) -> Matrix {
+        assert!(seq.rows() > 0, "LSTM needs at least one time step");
+        let proj = self.input_layer.infer(seq);
+        let state = self.cell.infer_sequence(&proj);
+        self.output_layer.infer(&state.h)
+    }
+
+    /// Training forward pass over a single (batch-1) sequence, the
+    /// sequence-batched counterpart of [`LstmNetwork::forward`]: the input
+    /// projection is one forward call (one cache entry) over all rows.
+    /// Must be paired with [`LstmNetwork::backward_seq`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` has no rows.
+    pub fn forward_seq(&mut self, seq: &Matrix) -> Matrix {
+        assert!(seq.rows() > 0, "LSTM needs at least one time step");
+        let proj = self.input_layer.forward(seq);
+        let mut state = LstmState::zeros(1, self.cell.hidden_size());
+        for t in 0..proj.rows() {
+            state = self.cell.forward_step(&proj.row_matrix(t), &state);
+        }
+        self.output_layer.forward(&state.h)
+    }
+
+    /// BPTT for the most recent [`LstmNetwork::forward_seq`] call. The
+    /// per-step input-projection gradients are stacked (in forward time
+    /// order, matching the batched forward's row order) and back-propagated
+    /// through the input layer in one call; nothing upstream consumes the
+    /// input gradient, so it is never materialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no forward pass is pending.
+    pub fn backward_seq(&mut self, grad_out: &Matrix) {
+        let mut dh = self.output_layer.backward(grad_out);
+        let steps = self.cell.pending_steps();
+        assert!(steps > 0, "LstmNetwork::backward without a forward pass");
+        let mut dc = Matrix::zeros(1, self.cell.hidden_size());
+        let w_t = self.cell.w.transpose();
+        let mut dproj = Matrix::zeros(steps, self.cell.input_size());
+        for t in (0..steps).rev() {
+            let (dx, dh_prev, dc_prev) = self.cell.backward_step_with(&dh, &dc, &w_t);
+            dproj.row_mut(t).copy_from_slice(dx.row(0));
+            dh = dh_prev;
+            dc = dc_prev;
+        }
+        self.input_layer.backward_params_only(&dproj);
     }
 
     /// Training forward pass; caches every step for [`LstmNetwork::backward`].
@@ -328,10 +489,13 @@ impl LstmNetwork {
         assert!(steps > 0, "LstmNetwork::backward without a forward pass");
         let n = dh.rows();
         let mut dc = Matrix::zeros(n, self.cell.hidden_size());
+        // The gate weights are constant across the sweep: transpose once.
+        let w_t = self.cell.w.transpose();
         for _ in 0..steps {
-            let (dx, dh_prev, dc_prev) = self.cell.backward_step(&dh, &dc);
-            // Gradient w.r.t. the shared input layer at this time step.
-            let _ = self.input_layer.backward(&dx);
+            let (dx, dh_prev, dc_prev) = self.cell.backward_step_with(&dh, &dc, &w_t);
+            // Gradient w.r.t. the shared input layer at this time step;
+            // nothing upstream consumes the input gradient.
+            self.input_layer.backward_params_only(&dx);
             dh = dh_prev;
             dc = dc_prev;
         }
@@ -385,6 +549,26 @@ mod tests {
         let b = net.forward(&steps);
         assert!((a.as_slice()[0] - b.as_slice()[0]).abs() < 1e-6);
         net.clear_cache();
+    }
+
+    #[test]
+    fn seq_paths_match_step_by_step_paths() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut net = LstmNetwork::new(1, 1, 8, 1, &mut rng);
+        let values: Vec<f32> = (0..20)
+            .map(|i| ((i * 7) % 13) as f32 / 13.0 - 0.4)
+            .collect();
+        let steps = scalar_steps(&values);
+        let seq = Matrix::from_vec(values.len(), 1, values.clone());
+        // Inference: the fused zero-allocation sequence path must equal the
+        // per-step path bitwise.
+        assert_eq!(net.infer(&steps), net.infer_seq(&seq));
+        // Training forward: batched input projection equals per-step.
+        let a = net.forward(&steps);
+        net.clear_cache();
+        let b = net.forward_seq(&seq);
+        net.clear_cache();
+        assert_eq!(a, b);
     }
 
     #[test]

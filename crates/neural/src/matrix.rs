@@ -185,12 +185,42 @@ impl Matrix {
         out
     }
 
+    /// Reshapes to `rows x cols` in place, reusing the existing allocation
+    /// when it is large enough. All elements are reset to zero; any previous
+    /// contents are discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols` overflows `usize`.
+    pub fn resize_to(&mut self, rows: usize, cols: usize) {
+        let len = rows
+            .checked_mul(cols)
+            .expect("matrix dimensions overflow usize");
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(len, 0.0);
+    }
+
     /// Matrix product `self * rhs`.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols != rhs.rows`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// Matrix product `self * rhs`, written into `out` (resized and zeroed
+    /// first, reusing its allocation). Produces bitwise-identical results to
+    /// [`Matrix::matmul`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.rows`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols,
             rhs.rows,
@@ -198,22 +228,37 @@ impl Matrix {
             self.shape(),
             rhs.shape()
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        // i-k-j loop order: streams through `rhs` and `out` rows sequentially.
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for (k, &aik) in a_row.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
-                let b_row = rhs.row(k);
-                let o_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += aik * b;
+        out.resize_to(self.rows, rhs.cols);
+        // Narrow outputs (fewer columns than one SIMD lane-group) would run
+        // almost entirely in the scalar tail; computing the transposed
+        // product instead makes the wide `self.rows` dimension the
+        // vectorized one. Every output element still accumulates its
+        // products in ascending-`k` order, so the result is bitwise
+        // identical (a zero operand skips a `±0.0` addition either way,
+        // which cannot change a finite accumulation).
+        if rhs.cols < 8 && self.rows >= 8 && self.cols >= 8 {
+            let at = self.transpose();
+            let mut out_t = Matrix::zeros(rhs.cols, self.rows);
+            for j in 0..rhs.cols {
+                let o_row = &mut out_t.data[j * self.rows..(j + 1) * self.rows];
+                crate::simd::gemm_row(&rhs.data[j..], rhs.cols, rhs.rows, &at.data, at.cols, o_row);
+            }
+            for i in 0..self.rows {
+                for j in 0..rhs.cols {
+                    out.data[i * rhs.cols + j] = out_t.data[j * self.rows + i];
                 }
             }
+            return;
         }
-        out
+        // Register-blocked GEMM rows: each output element accumulates its
+        // products in ascending-`k` order (zero coefficients skipped), so
+        // the vectorized kernel is bitwise identical to the naive i-k-j
+        // loop this replaces.
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let o_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            crate::simd::gemm_row(a_row, 1, self.cols, &rhs.data, rhs.cols, o_row);
+        }
     }
 
     /// Computes `self^T * rhs` without materializing the transpose.
@@ -231,26 +276,42 @@ impl Matrix {
             self.shape(),
             rhs.shape()
         );
+        // Narrow outputs: same transposed-formulation trick as `matmul`
+        // (e.g. the output layer's weight gradient, `out` columns = action
+        // slots), bitwise identical per the in-order accumulation argument.
+        if rhs.cols < 8 && self.cols >= 8 && self.rows >= 8 {
+            let t = rhs.transpose().matmul(self);
+            return t.transpose();
+        }
         let mut out = Matrix::zeros(self.cols, rhs.cols);
-        for n in 0..self.rows {
-            let a_row = self.row(n);
-            let b_row = rhs.row(n);
-            for (i, &ai) in a_row.iter().enumerate() {
-                if ai == 0.0 {
-                    continue;
-                }
-                let o_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += ai * b;
-                }
-            }
+        // Output row `i` accumulates column `i` of `self` against the rows
+        // of `rhs`, in ascending row order — the same per-element order as
+        // the naive n-outer loop, but with registers held across the
+        // reduction (see `simd::gemm_row`).
+        for i in 0..self.cols {
+            let o_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            crate::simd::gemm_row(
+                &self.data[i..],
+                self.cols,
+                self.rows,
+                &rhs.data,
+                rhs.cols,
+                o_row,
+            );
         }
         out
     }
 
-    /// Computes `self * rhs^T` without materializing the transpose.
+    /// Computes `self * rhs^T`.
     ///
     /// Shapes: `self` is `n x a`, `rhs` is `m x a`, result is `n x m`.
+    ///
+    /// Internally materializes `rhs^T` and runs the streaming `matmul`
+    /// kernel: row-of-`rhs^T` axpys vectorize across output columns, where
+    /// the direct row-dot formulation is latency-bound on the sequential
+    /// FP-add chain (~2.5x slower at the DQN back-prop shapes). Each output
+    /// element still accumulates its products in ascending shared-dimension
+    /// order, so results are bitwise identical to the direct form.
     ///
     /// # Panics
     ///
@@ -263,19 +324,37 @@ impl Matrix {
             self.shape(),
             rhs.shape()
         );
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..rhs.rows {
-                let b_row = rhs.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
+        self.matmul(&rhs.transpose())
+    }
+
+    /// Accumulates `a^T * b` into `self` without materializing the product
+    /// (`self[i][j] += Σ_n a[n][i]·b[n][j]`, terms added in ascending `n`
+    /// per element). For one-row `a`/`b` — the LSTM's per-step weight
+    /// gradient — each element receives a single product, so this is
+    /// bitwise identical to `axpy(1.0, &a.matmul_tn(b))` with no temporary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts of `a` and `b` differ or `self` is not
+    /// `a.cols x b.cols`.
+    pub fn add_matmul_tn(&mut self, a: &Matrix, b: &Matrix) {
+        assert_eq!(a.rows, b.rows, "add_matmul_tn row count mismatch");
+        assert_eq!(
+            self.shape(),
+            (a.cols, b.cols),
+            "add_matmul_tn output shape mismatch"
+        );
+        for n in 0..a.rows {
+            let a_row = a.row(n);
+            let b_row = b.row(n);
+            for (i, &ai) in a_row.iter().enumerate() {
+                if ai == 0.0 {
+                    continue;
                 }
-                out[(i, j)] = acc;
+                let o_row = &mut self.data[i * b.cols..(i + 1) * b.cols];
+                crate::simd::add_scaled(o_row, b_row, ai);
             }
         }
-        out
     }
 
     /// Element-wise sum `self + rhs`.
@@ -359,9 +438,7 @@ impl Matrix {
             self.shape(),
             rhs.shape()
         );
-        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
-            *a += alpha * b;
-        }
+        crate::simd::add_scaled(&mut self.data, &rhs.data, alpha);
     }
 
     /// Multiplies every element by `alpha` in place.
@@ -506,6 +583,14 @@ impl Matrix {
     }
 }
 
+impl Default for Matrix {
+    /// An empty `0 x 0` matrix (useful as the initial state of reusable
+    /// workspace buffers).
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
+    }
+}
+
 impl Index<(usize, usize)> for Matrix {
     type Output = f32;
 
@@ -576,6 +661,17 @@ mod tests {
         let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
         let c = a.matmul(&b);
         assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn add_matmul_tn_accumulates_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0, 7.0], &[8.0, 9.0, 10.0]]);
+        let mut acc = Matrix::filled(2, 3, 1.0);
+        acc.add_matmul_tn(&a, &b);
+        let mut expected = Matrix::filled(2, 3, 1.0);
+        expected.axpy(1.0, &a.matmul_tn(&b));
+        assert_eq!(acc, expected);
     }
 
     #[test]
@@ -672,6 +768,26 @@ mod tests {
     fn row_out_of_bounds_panics() {
         let a = Matrix::zeros(2, 2);
         let _ = a.row(5);
+    }
+
+    #[test]
+    fn resize_to_reuses_allocation_and_zeroes() {
+        let mut m = Matrix::filled(4, 4, 7.0);
+        m.resize_to(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+        m.resize_to(5, 5);
+        assert_eq!(m.shape(), (5, 5));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let mut out = Matrix::filled(7, 1, 9.0); // stale shape and contents
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
     }
 
     #[test]

@@ -151,18 +151,18 @@ impl Optimizer for Adam {
                 p.shape(),
                 "parameter order changed mid-training"
             );
-            for ((pk, &gk), (mk, vk)) in p
-                .as_mut_slice()
-                .iter_mut()
-                .zip(g.as_slice())
-                .zip(mi.as_mut_slice().iter_mut().zip(vi.as_mut_slice()))
-            {
-                *mk = b1 * *mk + (1.0 - b1) * gk;
-                *vk = b2 * *vk + (1.0 - b2) * gk * gk;
-                let m_hat = *mk / bias1;
-                let v_hat = *vk / bias2;
-                *pk -= lr * m_hat / (v_hat.sqrt() + eps);
-            }
+            crate::simd::adam_update(
+                p.as_mut_slice(),
+                g.as_slice(),
+                mi.as_mut_slice(),
+                vi.as_mut_slice(),
+                lr,
+                b1,
+                b2,
+                eps,
+                bias1,
+                bias2,
+            );
             idx += 1;
         });
     }

@@ -112,6 +112,41 @@ proptest! {
         prop_assert!(after <= before + 1e-4);
     }
 
+    /// Row independence of inference: running a batch through an MLP in one
+    /// call is bitwise identical to running each row alone. The batched DQN
+    /// hot path (one GEMM over all Sub-Q rows) rests on this property.
+    #[test]
+    fn batched_inference_is_bitwise_row_independent(
+        seed in 0u64..500,
+        x in arb_matrix(5, 4),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mlp = Mlp::new(&[4, 6, 3], Activation::ELU, Activation::Linear,
+                           Init::HeNormal, &mut rng);
+        let batched = mlp.infer(&x);
+        for r in 0..x.rows() {
+            let single = mlp.infer(&x.row_matrix(r));
+            prop_assert_eq!(single.row(0), batched.row(r), "row {} diverged", r);
+        }
+    }
+
+    /// The workspace-buffer inference path is bitwise identical to the
+    /// allocating one, whatever stale state the buffers start with.
+    #[test]
+    fn infer_into_is_bitwise_identical_to_infer(
+        seed in 0u64..500,
+        x in arb_matrix(3, 4),
+        stale in -2.0f32..2.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mlp = Mlp::new(&[4, 6, 3], Activation::ELU, Activation::Linear,
+                           Init::HeNormal, &mut rng);
+        let mut out = Matrix::filled(2, 7, stale);
+        let mut scratch = Matrix::filled(1, 3, stale);
+        mlp.infer_into(&x, &mut out, &mut scratch);
+        prop_assert_eq!(out, mlp.infer(&x));
+    }
+
     /// MSE is non-negative and zero iff prediction equals target.
     #[test]
     fn mse_is_positive_definite(p in arb_matrix(2, 3)) {
