@@ -1,0 +1,82 @@
+//! Heterogeneity sweep: {homogeneous, big/little, extreme-skew} fleets ×
+//! {round-robin, DRL-only, hierarchical}, at constant server count and
+//! per-server load. The paper assumes homogeneous machines "without loss
+//! of generality"; this grid measures what that assumption hides — the
+//! capacity-aware DRL tiers (per-slot capacity features, capacity-scaled
+//! power model, per-class shared Q-tables) against the capacity-blind
+//! round-robin baseline on asymmetric fleets. Per-cell timing lands in
+//! `BENCH_heterogeneous.json` by default.
+//!
+//! ```sh
+//! cargo run --release -p hierdrl-bench --bin heterogeneous            # paper scale
+//! cargo run --release -p hierdrl-bench --bin heterogeneous -- --quick # smoke scale
+//! ```
+
+use hierdrl_exp::cli::SweepArgs;
+use hierdrl_exp::presets::{self, Scale};
+
+fn main() {
+    let args = SweepArgs::from_env();
+    let scale = args.scale(Scale::paper(30));
+    let runner = args.runner();
+    eprintln!(
+        "heterogeneous: M = {}, jobs = {}, threads = {}",
+        scale.m,
+        scale.jobs,
+        runner.threads()
+    );
+    let suite = presets::heterogeneous(scale);
+    let run = runner.run(&suite).expect("heterogeneous suite");
+    let report = run.report();
+
+    println!(
+        "{:<52} {:>8} {:>6} {:>10} {:>9} {:>9} {:>7}",
+        "cell", "capacity", "skew", "energy kWh", "lat s/job", "J/job", "sleep%"
+    );
+    for cell in &report.cells {
+        println!(
+            "{:<52} {:>8.1} {:>6.1} {:>10.3} {:>9.2} {:>9.0} {:>6.1}%",
+            cell.id,
+            cell.capacity_total,
+            cell.capacity_skew,
+            cell.metrics.energy_kwh,
+            cell.metrics.mean_latency_s,
+            cell.metrics.energy_per_job_j,
+            100.0 * cell.metrics.sleep_fraction
+        );
+    }
+
+    // The headline the grid exists for: on each skewed fleet, does the
+    // capacity-aware DRL stack beat round-robin on power x latency?
+    for topo in report
+        .cells
+        .iter()
+        .map(|c| c.topology.clone())
+        .collect::<std::collections::BTreeSet<_>>()
+    {
+        let find = |policy: &str| {
+            report
+                .cells
+                .iter()
+                .find(|c| c.topology == topo && c.policy == policy)
+        };
+        if let (Some(rr), Some(drl)) = (find("round-robin"), find("drl-only")) {
+            let rr_pl = rr.metrics.energy_per_job_j * rr.metrics.mean_latency_s;
+            let drl_pl = drl.metrics.energy_per_job_j * drl.metrics.mean_latency_s;
+            eprintln!(
+                "{topo}: power x latency (J·s/job²) round-robin {rr_pl:.0} vs drl-only {drl_pl:.0} ({})",
+                if drl_pl < rr_pl { "DRL wins" } else { "round-robin wins" }
+            );
+        }
+    }
+
+    let bench = run.bench_report();
+    eprintln!(
+        "\nsuite: {} cells in {:.2}s wall ({:.0} jobs/s aggregate)",
+        bench.cells_total, bench.total_wall_s, bench.jobs_per_s
+    );
+    // Not `BENCH_suite.json`: that name is the committed table1 baseline.
+    let out = args.out.as_deref().unwrap_or("BENCH_heterogeneous.json");
+    std::fs::write(out, bench.to_json_pretty() + "\n").expect("write bench artifact");
+    eprintln!("wrote {out}");
+}

@@ -1,0 +1,68 @@
+//! Arrival-rate sweep artifact: the policy × arrival-rate × cluster-size
+//! cube behind `presets::load_sweep`, emitted as CSV for plotting the
+//! load/latency/energy surfaces (the sweep shape the orchestration layer
+//! exists for).
+//!
+//! ```sh
+//! cargo run --release -p hierdrl-bench --bin load_sweep                 # default cube
+//! cargo run --release -p hierdrl-bench --bin load_sweep -- --quick      # smoke scale
+//! cargo run --release -p hierdrl-bench --bin load_sweep -- \
+//!     --ms 10,20,30 --rates 0.6,1.0,1.4 --out load_sweep.csv
+//! ```
+
+use hierdrl_exp::cli::SweepArgs;
+use hierdrl_exp::presets::{self, Scale};
+use hierdrl_exp::scenario::PAPER_WEEKLY_JOBS_PER_SERVER;
+use std::fmt::Write as _;
+
+fn main() {
+    let args = SweepArgs::from_env();
+    let scale = args.scale(Scale::quick());
+    let ms = args.cluster_sizes(&[scale.m, scale.m * 2]);
+    let rates = args.rate_factors(&[0.6, 1.0, 1.4]);
+    let jobs_per_server = (scale.jobs as f64 / scale.m as f64).max(1.0);
+    let runner = args.runner();
+    eprintln!(
+        "load_sweep: ms = {:?}, rates = {:?}, jobs/server = {:.0}, threads = {}",
+        ms,
+        rates,
+        jobs_per_server,
+        runner.threads()
+    );
+    let suite = presets::load_sweep(&ms, &rates, jobs_per_server);
+    let run = runner.run(&suite).expect("load_sweep suite");
+    let report = run.report();
+
+    let mut csv = String::from(
+        "policy,m,rate_factor,jobs_completed,energy_kwh,latency_mega_s,\
+         average_power_w,mean_latency_s,energy_per_job_j,sleep_fraction,span_hours\n",
+    );
+    for (cell_run, cell) in run.cells.iter().zip(&report.cells) {
+        let rate = cell_run.scenario.workload.weekly_jobs_per_server / PAPER_WEEKLY_JOBS_PER_SERVER;
+        writeln!(
+            csv,
+            "{},{},{:.3},{},{:.6},{:.6},{:.3},{:.3},{:.1},{:.4},{:.3}",
+            cell.policy,
+            cell.servers,
+            rate,
+            cell.metrics.jobs_completed,
+            cell.metrics.energy_kwh,
+            cell.metrics.latency_mega_s,
+            cell.metrics.average_power_w,
+            cell.metrics.mean_latency_s,
+            cell.metrics.energy_per_job_j,
+            cell.metrics.sleep_fraction,
+            cell.metrics.span_hours
+        )
+        .expect("write csv row");
+    }
+    print!("{csv}");
+
+    let out = args.out.as_deref().unwrap_or("load_sweep.csv");
+    std::fs::write(out, &csv).expect("write CSV artifact");
+    eprintln!(
+        "\nsweep: {} cells in {:.2}s wall; wrote {out}",
+        run.cells.len(),
+        run.total_wall_s
+    );
+}

@@ -335,13 +335,15 @@ impl DrlAllocator {
             return;
         };
         let tau = (view.totals().time_s - p.time_s).max(0.0);
+        // Aggregate fleet peak: capacity-scaled on heterogeneous fleets,
+        // exactly `M * peak_watts` on homogeneous ones.
         let reward_rate = self.config.reward_scale
             * reward_rate_between(
                 &p.totals,
                 view.totals(),
                 &self.config.reward,
                 self.num_servers,
-                view.config().power.peak_watts,
+                view.fleet_peak_watts(),
             );
         self.replay.push(Transition {
             state: p.state,

@@ -46,11 +46,17 @@ pub struct RlPowerConfig {
     pub iat_range: (f64, f64),
     /// Per-server LSTM predictor configuration.
     pub predictor: PredictorConfig,
-    /// Share one Q-table across all (homogeneous) servers instead of
-    /// learning per-server tables. Decisions remain local and distributed;
-    /// only the learned values are pooled — the same weight-sharing
-    /// rationale the paper applies to its Sub-Q networks, and it multiplies
-    /// the effective data per state-action pair by `M`.
+    /// Share one Q-table across all servers *of the same capacity class*
+    /// instead of learning per-server tables. Decisions remain local and
+    /// distributed; only the learned values are pooled — the same
+    /// weight-sharing rationale the paper applies to its Sub-Q networks,
+    /// and it multiplies the effective data per state-action pair by the
+    /// class size. Servers with unequal capacity vectors have different
+    /// idle economics (a 2x machine pays 2x the idle power for the same
+    /// wake-up latency saving), so pooling them would blend incompatible
+    /// sleep policies; [`RlPowerManager::for_cluster`] therefore gives
+    /// each capacity class its own table. On a homogeneous cluster this
+    /// collapses to the paper's single shared table.
     pub shared_learning: bool,
     /// Base RNG seed (each server derives its own).
     pub seed: u64,
@@ -117,8 +123,16 @@ impl RlPowerConfig {
 pub struct DpmSnapshot {
     /// Full power-manager configuration.
     pub config: RlPowerConfig,
-    /// Learned Q-tables (one when `shared_learning`, else one per server).
+    /// Learned Q-tables (one per capacity class when `shared_learning` —
+    /// a single table on homogeneous fleets — else one per server).
     pub tables: Vec<QTable<u16>>,
+    /// Representative capacity vector of each class, in class
+    /// (first-appearance) order — what each shared table was trained *on*.
+    /// Empty for managers built with [`RlPowerManager::new`], whose
+    /// capacity structure is unknown; cluster-aware restores validate
+    /// against it so a class-permuted cluster cannot silently receive a
+    /// big-server table on its little servers.
+    pub class_capacities: Vec<Vec<f64>>,
     /// Statistics at snapshot time.
     pub stats: DpmStats,
 }
@@ -147,7 +161,8 @@ struct PendingDpm {
 #[derive(Debug)]
 struct ServerAgent {
     predictor: LstmIatPredictor,
-    /// Index into the manager's table pool (0 when learning is shared).
+    /// Index into the manager's table pool (the server's capacity class
+    /// when learning is shared; the server index otherwise).
     table: usize,
     policy: EpsilonGreedy,
     rng: StdRng,
@@ -155,30 +170,95 @@ struct ServerAgent {
     last_arrival: Option<SimTime>,
 }
 
+/// Bitwise equality of two capacity vectors — the class-identity relation
+/// both the class grouping and the snapshot-restore safety check use.
+fn capacity_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Groups servers into capacity classes: servers with bit-identical
+/// capacity vectors share a class, in first-appearance order. Returns the
+/// per-server class index and each class's representative capacity vector
+/// (`(vec![0; M], [unit])` for a homogeneous cluster).
+fn capacity_classes(cluster: &hierdrl_sim::config::ClusterConfig) -> (Vec<usize>, Vec<Vec<f64>>) {
+    let mut reps: Vec<Vec<f64>> = Vec::new();
+    let classes = (0..cluster.num_servers)
+        .map(|i| {
+            let key = cluster.server_capacity(i).as_slice().to_vec();
+            match reps.iter().position(|k| capacity_eq(k, &key)) {
+                Some(c) => c,
+                None => {
+                    reps.push(key);
+                    reps.len() - 1
+                }
+            }
+        })
+        .collect();
+    (classes, reps)
+}
+
 /// The distributed RL power manager (implements [`PowerManager`]).
 ///
 /// Holds one agent per server — the paper's "distributed manner": every
 /// decision uses only that server's local state and predictor. With
-/// [`RlPowerConfig::shared_learning`] (the default) the homogeneous
-/// servers pool their learned Q-values, exactly as the paper's Sub-Q
-/// networks share weights; set it to `false` for fully isolated tables.
+/// [`RlPowerConfig::shared_learning`] (the default) servers of the same
+/// capacity class pool their learned Q-values, exactly as the paper's
+/// Sub-Q networks share weights; set it to `false` for fully isolated
+/// tables. Build heterogeneous fleets with
+/// [`RlPowerManager::for_cluster`] so big and little servers learn in
+/// separate pools.
 #[derive(Debug)]
 pub struct RlPowerManager {
     config: RlPowerConfig,
     discretizer: Discretizer,
     agents: Vec<ServerAgent>,
     tables: Vec<QTable<u16>>,
+    /// Representative capacity per class, in class order (empty when the
+    /// capacity structure is unknown, i.e. built via [`RlPowerManager::new`]).
+    class_capacities: Vec<Vec<f64>>,
     stats: DpmStats,
 }
 
 impl RlPowerManager {
-    /// Builds a manager for `num_servers` servers.
+    /// Builds a manager for `num_servers` *unit-capacity* servers (one
+    /// capacity class). Use [`RlPowerManager::for_cluster`] when the
+    /// cluster may be heterogeneous.
     ///
     /// # Panics
     ///
     /// Panics if the configuration is invalid or `num_servers == 0`.
     pub fn new(num_servers: usize, config: RlPowerConfig) -> Self {
         assert!(num_servers > 0, "need at least one server");
+        Self::with_classes(num_servers, vec![0; num_servers], Vec::new(), config)
+    }
+
+    /// Builds a manager for `cluster`, keying shared learning by capacity
+    /// class: servers with equal capacity vectors pool one Q-table; unequal
+    /// servers learn separately (their idle economics differ). Collapses to
+    /// [`RlPowerManager::new`] on homogeneous clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the cluster has no
+    /// servers.
+    pub fn for_cluster(
+        cluster: &hierdrl_sim::config::ClusterConfig,
+        config: RlPowerConfig,
+    ) -> Self {
+        assert!(cluster.num_servers > 0, "need at least one server");
+        let (classes, class_capacities) = capacity_classes(cluster);
+        Self::with_classes(cluster.num_servers, classes, class_capacities, config)
+    }
+
+    /// `class_capacities` is empty when the capacity structure is unknown
+    /// ([`RlPowerManager::new`]); then there is exactly one class.
+    fn with_classes(
+        num_servers: usize,
+        classes: Vec<usize>,
+        class_capacities: Vec<Vec<f64>>,
+        config: RlPowerConfig,
+    ) -> Self {
+        let num_classes = class_capacities.len().max(1);
         config.validate().expect("invalid RL power config");
         let discretizer =
             Discretizer::log_spaced(config.iat_range.0, config.iat_range.1, config.iat_bins);
@@ -187,7 +267,11 @@ impl RlPowerManager {
                 let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(i as u64 * 7919));
                 ServerAgent {
                     predictor: LstmIatPredictor::new(config.predictor, &mut rng),
-                    table: if config.shared_learning { 0 } else { i },
+                    table: if config.shared_learning {
+                        classes[i]
+                    } else {
+                        i
+                    },
                     policy: EpsilonGreedy::new(config.epsilon),
                     rng,
                     pending: None,
@@ -196,7 +280,7 @@ impl RlPowerManager {
             })
             .collect();
         let table_count = if config.shared_learning {
-            1
+            num_classes
         } else {
             num_servers
         };
@@ -208,8 +292,15 @@ impl RlPowerManager {
             discretizer,
             agents,
             tables,
+            class_capacities,
             stats: DpmStats::default(),
         }
+    }
+
+    /// Number of Q-tables in the pool (capacity classes under shared
+    /// learning, servers otherwise).
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
     }
 
     /// The configuration.
@@ -227,11 +318,14 @@ impl RlPowerManager {
         DpmSnapshot {
             config: self.config.clone(),
             tables: self.tables.clone(),
+            class_capacities: self.class_capacities.clone(),
             stats: self.stats,
         }
     }
 
-    /// Reconstructs a manager for `num_servers` servers from a snapshot.
+    /// Reconstructs a manager for `num_servers` *unit-capacity* servers
+    /// from a snapshot. Use [`RlPowerManager::from_snapshot_for_cluster`]
+    /// for heterogeneous clusters.
     ///
     /// # Panics
     ///
@@ -250,6 +344,60 @@ impl RlPowerManager {
             snapshot.tables.len()
         );
         let mut mgr = Self::new(num_servers, snapshot.config);
+        mgr.tables = snapshot.tables;
+        mgr.stats = snapshot.stats;
+        mgr
+    }
+
+    /// Reconstructs a manager for `cluster` from a snapshot taken on a
+    /// cluster with the same capacity-class structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's table count is incompatible with the
+    /// cluster's capacity classes under its own `shared_learning` setting.
+    /// Panics also if the snapshot records class capacities (taken via
+    /// [`RlPowerManager::for_cluster`]) that differ from the cluster's —
+    /// including the same classes in a different order, which would
+    /// silently hand a big-server table to little servers.
+    pub fn from_snapshot_for_cluster(
+        cluster: &hierdrl_sim::config::ClusterConfig,
+        snapshot: DpmSnapshot,
+    ) -> Self {
+        let (classes, class_capacities) = capacity_classes(cluster);
+        let expected = if snapshot.config.shared_learning {
+            class_capacities.len()
+        } else {
+            cluster.num_servers
+        };
+        assert_eq!(
+            snapshot.tables.len(),
+            expected,
+            "snapshot has {} tables, expected {expected} for this cluster's \
+             capacity classes",
+            snapshot.tables.len()
+        );
+        if !snapshot.class_capacities.is_empty() {
+            assert!(
+                snapshot.class_capacities.len() == class_capacities.len()
+                    && snapshot
+                        .class_capacities
+                        .iter()
+                        .zip(&class_capacities)
+                        .all(|(a, b)| capacity_eq(a, b)),
+                "snapshot capacity classes {:?} do not match this cluster's {:?} \
+                 (same class in a different order still mismatches: tables are \
+                 keyed by class index)",
+                snapshot.class_capacities,
+                class_capacities
+            );
+        }
+        let mut mgr = Self::with_classes(
+            cluster.num_servers,
+            classes,
+            class_capacities,
+            snapshot.config,
+        );
         mgr.tables = snapshot.tables;
         mgr.stats = snapshot.stats;
         mgr
@@ -303,7 +451,9 @@ impl PowerManager for RlPowerManager {
             let st = view.server(server).stats();
             (st.energy_joules, st.jobs_in_system_integral)
         };
-        let peak = view.config().power.peak_watts;
+        // Normalize by *this server's* peak (capacity-scaled), so big and
+        // little machines see rewards in the same relative units.
+        let peak = view.config().power.peak_watts * view.server(server).peak_scale();
         let weight = self.config.weight;
         let smdp = self.config.smdp;
 
@@ -496,6 +646,94 @@ mod tests {
         assert!(mgr.agents[0].predictor.observations() > 0);
         assert_eq!(mgr.agents[1].predictor.observations(), 0);
         assert_eq!(mgr.agents[2].predictor.observations(), 0);
+    }
+
+    #[test]
+    fn shared_learning_pools_by_capacity_class() {
+        // 2 big + 2 little servers: shared learning must give each class
+        // its own table (2 tables), map equal-capacity servers to the same
+        // one, and snapshots must round-trip through the cluster-aware
+        // constructor.
+        let mut cluster = ClusterConfig::paper(4);
+        cluster.server_capacities = Some(vec![
+            ResourceVec::new(&[2.0, 2.0, 2.0]),
+            ResourceVec::ones(3),
+            ResourceVec::new(&[2.0, 2.0, 2.0]),
+            ResourceVec::ones(3),
+        ]);
+        let mgr = RlPowerManager::for_cluster(&cluster, fast_config());
+        assert_eq!(mgr.num_tables(), 2);
+        assert_eq!(mgr.agents[0].table, mgr.agents[2].table, "big pool");
+        assert_eq!(mgr.agents[1].table, mgr.agents[3].table, "little pool");
+        assert_ne!(
+            mgr.agents[0].table, mgr.agents[1].table,
+            "big and little servers must not share a table"
+        );
+
+        let snapshot = mgr.snapshot();
+        assert_eq!(snapshot.tables.len(), 2);
+        let restored = RlPowerManager::from_snapshot_for_cluster(&cluster, snapshot);
+        assert_eq!(restored.num_tables(), 2);
+
+        // Homogeneous clusters keep the paper's single shared table, and
+        // per-server isolation still wins over class pooling when asked.
+        assert_eq!(
+            RlPowerManager::for_cluster(&ClusterConfig::paper(4), fast_config()).num_tables(),
+            1
+        );
+        let mut isolated = fast_config();
+        isolated.shared_learning = false;
+        assert_eq!(
+            RlPowerManager::for_cluster(&cluster, isolated).num_tables(),
+            4
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "do not match this cluster's")]
+    fn snapshot_rejects_permuted_capacity_classes() {
+        // Snapshot taken on [big, little] restored onto [little, big]:
+        // table counts match, but class 0 would silently become the
+        // little class — the restore must refuse.
+        let mut cluster = ClusterConfig::paper(2);
+        cluster.server_capacities = Some(vec![
+            ResourceVec::new(&[2.0, 2.0, 2.0]),
+            ResourceVec::ones(3),
+        ]);
+        let snapshot = RlPowerManager::for_cluster(&cluster, fast_config()).snapshot();
+        let mut permuted = ClusterConfig::paper(2);
+        permuted.server_capacities = Some(vec![
+            ResourceVec::ones(3),
+            ResourceVec::new(&[2.0, 2.0, 2.0]),
+        ]);
+        let _ = RlPowerManager::from_snapshot_for_cluster(&permuted, snapshot);
+    }
+
+    #[test]
+    fn class_tables_learn_independently() {
+        // All jobs land on big server 0; the little class's table must
+        // stay untouched.
+        let mut cluster = ClusterConfig::paper(2);
+        cluster.server_capacities = Some(vec![
+            ResourceVec::new(&[2.0, 2.0, 2.0]),
+            ResourceVec::ones(3),
+        ]);
+        let mut mgr = RlPowerManager::for_cluster(&cluster, fast_config());
+        struct ToZero;
+        impl hierdrl_sim::cluster::Allocator for ToZero {
+            fn select(&mut self, _job: &Job, _view: &ClusterView<'_>) -> ServerId {
+                ServerId(0)
+            }
+        }
+        let mut sim = Cluster::new(cluster, bursty_jobs(120)).unwrap();
+        sim.run(&mut ToZero, &mut mgr, RunLimit::unbounded());
+        assert!(mgr.stats().updates > 0);
+        let little = mgr.agents[1].table;
+        assert_eq!(
+            mgr.tables[little].num_states(),
+            0,
+            "the little class's table must not absorb big-server updates"
+        );
     }
 
     #[test]

@@ -577,12 +577,14 @@ mod tests {
 
     #[test]
     fn dimensions_match_paper_setup() {
-        // M = 30, K = 2, D = 3 + availability + queue: group width 75.
+        // M = 30, K = 2, D = 3 + availability + queue + capacity:
+        // group width 90 (the paper's raw state is the 45-wide
+        // utilizations-only layout; the enrichments widen it).
         let mut rng = StdRng::seed_from_u64(0);
         let lay = layout(30, 2);
         let net = GroupedQNetwork::new(&lay, QNetworkConfig::default(), &mut rng);
         assert_eq!(net.num_actions(), 30);
-        assert_eq!(net.input_width(), 75 + 4 + 15);
+        assert_eq!(net.input_width(), 90 + 4 + 15);
         let s = random_state(&lay, &mut rng);
         assert_eq!(net.q_values(&s).len(), 30);
     }

@@ -77,13 +77,14 @@ pub enum PowerKind {
 }
 
 impl PowerKind {
-    /// Instantiates the power manager for `num_servers` servers.
-    pub fn build(&self, num_servers: usize) -> Box<dyn PowerManager> {
+    /// Instantiates the power manager for `cluster` (the RL local tier
+    /// keys its shared Q-tables by the cluster's capacity classes).
+    pub fn build(&self, cluster: &hierdrl_sim::config::ClusterConfig) -> Box<dyn PowerManager> {
         match self {
             PowerKind::AlwaysOn => Box::new(AlwaysOnPower),
             PowerKind::SleepImmediately => Box::new(SleepImmediatelyPower),
             PowerKind::FixedTimeout(t) => Box::new(FixedTimeoutPower::new(*t)),
-            PowerKind::Rl(config) => Box::new(RlPowerManager::new(num_servers, config.clone())),
+            PowerKind::Rl(config) => Box::new(RlPowerManager::for_cluster(cluster, config.clone())),
         }
     }
 
@@ -164,12 +165,13 @@ mod tests {
         ] {
             let _ = kind.build(4, 3);
         }
+        let cluster = hierdrl_sim::config::ClusterConfig::paper(4);
         for kind in [
             PowerKind::AlwaysOn,
             PowerKind::SleepImmediately,
             PowerKind::FixedTimeout(30.0),
         ] {
-            let _ = kind.build(4);
+            let _ = kind.build(&cluster);
         }
     }
 

@@ -73,26 +73,30 @@ impl Default for RewardWeights {
 /// Computes the time-average reward rate over the interval between two
 /// totals snapshots. Returns `0.0` for an empty interval.
 ///
-/// `num_servers` and `peak_watts` normalize the power and VM terms.
+/// `num_servers` normalizes the VM term; `fleet_peak_watts` — the
+/// *aggregate* peak power of the fleet, i.e. `M * peak_watts` for a
+/// homogeneous cluster and the capacity-scaled sum
+/// ([`ClusterConfig::total_peak_scale`](hierdrl_sim::config::ClusterConfig::total_peak_scale)
+/// `* peak_watts`) for a heterogeneous one — normalizes the power term.
 ///
 /// # Panics
 ///
-/// Panics if `num_servers == 0` or `peak_watts <= 0`.
+/// Panics if `num_servers == 0` or `fleet_peak_watts <= 0`.
 pub fn reward_rate_between(
     prev: &ClusterTotals,
     cur: &ClusterTotals,
     weights: &RewardWeights,
     num_servers: usize,
-    peak_watts: f64,
+    fleet_peak_watts: f64,
 ) -> f64 {
     assert!(num_servers > 0, "num_servers must be positive");
-    assert!(peak_watts > 0.0, "peak_watts must be positive");
+    assert!(fleet_peak_watts > 0.0, "fleet_peak_watts must be positive");
     let tau = cur.time_s - prev.time_s;
     if tau <= 0.0 {
         return 0.0;
     }
     let m = num_servers as f64;
-    let power_norm = (cur.energy_joules - prev.energy_joules) / tau / (m * peak_watts);
+    let power_norm = (cur.energy_joules - prev.energy_joules) / tau / fleet_peak_watts;
     let vms_norm = (cur.queue_time_integral - prev.queue_time_integral) / tau / m;
     let reli = (cur.overload_integral - prev.overload_integral) / tau;
     -(weights.power * power_norm + weights.vms * vms_norm + weights.reliability * reli)
@@ -116,7 +120,7 @@ mod tests {
     #[test]
     fn reward_is_zero_for_empty_interval() {
         let a = totals(10.0, 100.0, 5.0, 0.0);
-        let r = reward_rate_between(&a, &a, &RewardWeights::balanced(), 10, 145.0);
+        let r = reward_rate_between(&a, &a, &RewardWeights::balanced(), 10, 1_450.0);
         assert_eq!(r, 0.0);
     }
 
@@ -124,7 +128,7 @@ mod tests {
     fn reward_is_negative_under_load() {
         let a = totals(0.0, 0.0, 0.0, 0.0);
         let b = totals(10.0, 14_500.0, 50.0, 0.1);
-        let r = reward_rate_between(&a, &b, &RewardWeights::balanced(), 10, 145.0);
+        let r = reward_rate_between(&a, &b, &RewardWeights::balanced(), 10, 1_450.0);
         assert!(r < 0.0);
     }
 
@@ -135,20 +139,20 @@ mod tests {
         let high = totals(10.0, 5_000.0, 10.0, 0.0);
         let w = RewardWeights::balanced();
         assert!(
-            reward_rate_between(&a, &low, &w, 10, 145.0)
-                > reward_rate_between(&a, &high, &w, 10, 145.0)
+            reward_rate_between(&a, &low, &w, 10, 1_450.0)
+                > reward_rate_between(&a, &high, &w, 10, 1_450.0)
         );
     }
 
     #[test]
     fn normalization_scales_out_cluster_size() {
-        // Doubling both servers and power leaves the rate unchanged.
+        // Doubling servers, fleet peak, and power leaves the rate unchanged.
         let a = totals(0.0, 0.0, 0.0, 0.0);
         let b10 = totals(10.0, 10_000.0, 40.0, 0.0);
         let b20 = totals(10.0, 20_000.0, 80.0, 0.0);
         let w = RewardWeights::balanced();
-        let r10 = reward_rate_between(&a, &b10, &w, 10, 145.0);
-        let r20 = reward_rate_between(&a, &b20, &w, 20, 145.0);
+        let r10 = reward_rate_between(&a, &b10, &w, 10, 1_450.0);
+        let r20 = reward_rate_between(&a, &b20, &w, 20, 2_900.0);
         assert!((r10 - r20).abs() < 1e-12);
     }
 
@@ -169,8 +173,8 @@ mod tests {
         let hot = totals(10.0, 1_000.0, 10.0, 2.0);
         let w = RewardWeights::balanced();
         assert!(
-            reward_rate_between(&a, &calm, &w, 10, 145.0)
-                > reward_rate_between(&a, &hot, &w, 10, 145.0)
+            reward_rate_between(&a, &calm, &w, 10, 1_450.0)
+                > reward_rate_between(&a, &hot, &w, 10, 1_450.0)
         );
     }
 }

@@ -172,7 +172,7 @@ impl<'a> Experiment<'a> {
         let mut allocator = pair
             .allocator
             .build(self.cluster.num_servers, self.cluster.resource_dims);
-        let mut power = pair.power.build(self.cluster.num_servers);
+        let mut power = pair.power.build(self.cluster);
         Experiment {
             name: &pair.name,
             ..*self

@@ -27,7 +27,19 @@ pub struct StateEncoderConfig {
     /// server with a deep backlog; log scaling keeps the feature sensitive
     /// at both shallow and deep queues. Also ablated in `ablation_dqn`.
     pub include_queue_len: bool,
-    /// Queue depth at which the feature saturates.
+    /// Append a per-server normalized-capacity feature: the server's mean
+    /// per-dimension capacity divided by the largest server's, so the
+    /// feature is `1.0` for the biggest machine, fractional for littler
+    /// ones, and `0.0` only on padding slots. Utilizations are *relative*
+    /// (a full little server and a full big server both read 1.0), so
+    /// without this feature heterogeneous fleets are indistinguishable
+    /// from homogeneous ones. On homogeneous clusters every real slot
+    /// encodes `1.0`. Ablated in `ablation_dqn` like the other
+    /// enrichments.
+    pub include_capacity: bool,
+    /// Queue depth at which the feature saturates. Must be positive: a
+    /// zero or negative scale would make the queue feature `NaN`/`inf`,
+    /// which the `[0, 1]` clamp silently swallows.
     pub queue_scale: f64,
     /// Duration normalization constant, seconds (the paper's jobs are
     /// clipped at 2 h = 7200 s).
@@ -40,6 +52,7 @@ impl Default for StateEncoderConfig {
             num_groups: 2,
             include_power_state: true,
             include_queue_len: true,
+            include_capacity: true,
             queue_scale: 50.0,
             duration_scale: 7200.0,
         }
@@ -103,6 +116,11 @@ impl StateEncoder {
             config.duration_scale > 0.0,
             "duration_scale must be positive"
         );
+        assert!(
+            config.queue_scale.is_finite() && config.queue_scale > 0.0,
+            "queue_scale must be positive (a non-positive scale makes the \
+             queue feature NaN, which the [0, 1] clamp silently hides)"
+        );
         let group_size = num_servers.div_ceil(config.num_groups);
         Self {
             num_servers,
@@ -127,12 +145,13 @@ impl StateEncoder {
         self.group_size
     }
 
-    /// Features per server: D resources, plus the optional availability
-    /// and queue-depth features.
+    /// Features per server: D resources, plus the optional availability,
+    /// queue-depth, and normalized-capacity features.
     pub fn features_per_server(&self) -> usize {
         self.resource_dims
             + usize::from(self.config.include_power_state)
             + usize::from(self.config.include_queue_len)
+            + usize::from(self.config.include_capacity)
     }
 
     /// Width of one group's feature vector.
@@ -172,6 +191,36 @@ impl StateEncoder {
         }
     }
 
+    /// Per-server capacity features, normalized by the fleet's largest
+    /// server so the biggest machine reads `1.0` (all servers on a
+    /// homogeneous cluster). The feature is the mean over resource
+    /// dimensions of `capacity_d / max_capacity_d`. Returns `None` on
+    /// homogeneous clusters — every real slot is `1.0` — so the per-epoch
+    /// hot path (encode runs once per dispatch decision) skips the fleet
+    /// scan and its allocations unless capacities actually vary.
+    fn capacity_features(view: &ClusterView<'_>) -> Option<Vec<f32>> {
+        view.config().server_capacities.as_ref()?;
+        let dims = view.servers()[0].capacity().dims();
+        let mut max_cap = vec![0.0f64; dims];
+        for s in view.servers() {
+            for (d, m) in max_cap.iter_mut().enumerate() {
+                *m = m.max(s.capacity().get(d));
+            }
+        }
+        Some(
+            view.servers()
+                .iter()
+                .map(|s| {
+                    let mean: f64 = (0..dims)
+                        .map(|d| s.capacity().get(d) / max_cap[d])
+                        .sum::<f64>()
+                        / dims as f64;
+                    mean as f32
+                })
+                .collect(),
+        )
+    }
+
     /// Encodes the cluster + job state at a decision epoch.
     ///
     /// # Panics
@@ -194,6 +243,11 @@ impl StateEncoder {
             self.resource_dims
         );
         let f = self.features_per_server();
+        let capacities = if self.config.include_capacity {
+            Self::capacity_features(view)
+        } else {
+            None
+        };
         let mut groups = Vec::with_capacity(self.config.num_groups);
         for k in 0..self.config.num_groups {
             let mut g = vec![0.0f32; self.group_width()];
@@ -214,6 +268,11 @@ impl StateEncoder {
                         let q = (1.0 + server.queue_len() as f64).ln()
                             / (1.0 + self.config.queue_scale).ln();
                         g[base + extra] = q.min(1.0) as f32;
+                        extra += 1;
+                    }
+                    if self.config.include_capacity {
+                        // `None` = homogeneous fleet: every real slot is 1.
+                        g[base + extra] = capacities.as_ref().map_or(1.0, |c| c[m]);
                     }
                 }
             }
@@ -256,13 +315,24 @@ mod tests {
     fn layout_for_divisible_cluster() {
         let e = encoder(30, 2);
         assert_eq!(e.group_size(), 15);
-        assert_eq!(e.features_per_server(), 5);
-        assert_eq!(e.group_width(), 75);
+        assert_eq!(e.features_per_server(), 6);
+        assert_eq!(e.group_width(), 90);
         assert_eq!(e.job_width(), 4);
         assert_eq!(e.group_of(14), 0);
         assert_eq!(e.group_of(15), 1);
         assert_eq!(e.slot_of(17), 2);
         assert_eq!(e.server_at(1, 2), Some(17));
+    }
+
+    #[test]
+    fn capacity_feature_widens_the_layout() {
+        let config = StateEncoderConfig {
+            include_capacity: false,
+            ..Default::default()
+        };
+        let without = StateEncoder::new(30, 3, config);
+        assert_eq!(without.features_per_server(), 5);
+        assert_eq!(without.group_width(), 75);
     }
 
     #[test]
@@ -318,11 +388,106 @@ mod tests {
         assert!((s.groups[0][2] - 0.1).abs() < 1e-6); // disk
         assert!((s.groups[0][3] - 1.0).abs() < 1e-6); // availability: on
         assert_eq!(s.groups[0][4], 0.0); // empty queue
-                                         // Server 1 idle (slot 1 starts at feature 5).
-        assert_eq!(s.groups[0][5], 0.0);
+        assert_eq!(s.groups[0][5], 1.0); // capacity (homogeneous)
+                                         // Server 1 idle (slot 1 starts at feature 6).
+        assert_eq!(s.groups[0][6], 0.0);
         // Job features of job 1.
         assert!((s.job[0] - 0.3).abs() < 1e-6);
         assert!((s.job[3] - 0.5).abs() < 1e-6); // 3600 / 7200
+    }
+
+    /// Encodes the state observed at the first arrival of an otherwise
+    /// idle cluster (utilizations zero, queues empty, everything on).
+    fn idle_probe_state(config: ClusterConfig, encoder: StateEncoder) -> GlobalState {
+        let jobs = vec![Job::new(
+            JobId(0),
+            SimTime::from_secs(1.0),
+            60.0,
+            ResourceVec::cpu_mem_disk(0.2, 0.1, 0.05),
+        )];
+        let mut cluster = Cluster::new(config, jobs).unwrap();
+        let mut probe = Probe {
+            encoder,
+            state: None,
+        };
+        cluster.run(&mut probe, &mut AlwaysOnPower, RunLimit::unbounded());
+        probe.state.expect("probe saw the arrival")
+    }
+
+    #[test]
+    fn capacity_slots_encode_normalized_capacities_with_padding() {
+        // M = 5, K = 2: group size 3, one padded slot in group 1. Server 0
+        // is a 2x machine, so it normalizes to 1.0 and the little servers
+        // to 0.5; the padding slot stays all-zero.
+        let mut config = ClusterConfig::paper(5);
+        config.server_capacities = Some(vec![
+            ResourceVec::new(&[2.0, 2.0, 2.0]),
+            ResourceVec::ones(3),
+            ResourceVec::ones(3),
+            ResourceVec::ones(3),
+            ResourceVec::ones(3),
+        ]);
+        let e = encoder(5, 2);
+        let f = e.features_per_server();
+        let cap_feature = f - 1; // resources, availability, queue, capacity
+        let s = idle_probe_state(config, e.clone());
+        for m in 0..5 {
+            let got = s.groups[e.group_of(m)][e.slot_of(m) * f + cap_feature];
+            let want = if m == 0 { 1.0 } else { 0.5 };
+            assert_eq!(got, want, "server {m} capacity slot");
+        }
+        let padded = &s.groups[1][2 * f..3 * f];
+        assert!(
+            padded.iter().all(|&x| x == 0.0),
+            "padding slot must stay zero, got {padded:?}"
+        );
+    }
+
+    #[test]
+    fn big_little_encoding_differs_from_homogeneous_only_at_capacity_slots() {
+        // Same idle fleet, homogeneous vs. big/little: every feature
+        // matches except the capacity slots of real servers.
+        let e = encoder(4, 2);
+        let f = e.features_per_server();
+        let cap_feature = f - 1;
+        let homo = idle_probe_state(ClusterConfig::paper(4), e.clone());
+        let mut hetero_config = ClusterConfig::paper(4);
+        hetero_config.server_capacities = Some(vec![
+            ResourceVec::new(&[2.0, 2.0, 2.0]),
+            ResourceVec::ones(3),
+            ResourceVec::ones(3),
+            ResourceVec::ones(3),
+        ]);
+        let hetero = idle_probe_state(hetero_config, e.clone());
+
+        assert_eq!(homo.job, hetero.job);
+        for g in 0..e.num_groups() {
+            for slot in 0..e.group_size() {
+                for feat in 0..f {
+                    let a = homo.groups[g][slot * f + feat];
+                    let b = hetero.groups[g][slot * f + feat];
+                    if feat == cap_feature {
+                        if let Some(m) = e.server_at(g, slot) {
+                            assert_eq!(a, 1.0, "homogeneous capacity slot {m}");
+                            let want = if m == 0 { 1.0 } else { 0.5 };
+                            assert_eq!(b, want, "big/little capacity slot {m}");
+                        }
+                    } else {
+                        assert_eq!(a, b, "group {g} slot {slot} feature {feat} must match");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "queue_scale must be positive")]
+    fn non_positive_queue_scale_rejected() {
+        let config = StateEncoderConfig {
+            queue_scale: 0.0,
+            ..Default::default()
+        };
+        let _ = StateEncoder::new(4, 3, config);
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! - `--threads <T>` — suite worker threads (default: all cores);
 //! - `--out <PATH>` — where to write the timing artifact (binaries that
 //!   emit one);
-//! - `--clusters <C1,C2,...>` — cluster-counts axis for sharded presets.
+//! - `--clusters <C1,C2,...>` — cluster-counts axis for sharded presets;
+//! - `--ms <M1,M2,...>` — cluster-size axis for sweep presets;
+//! - `--rates <F1,F2,...>` — arrival-rate factor axis for sweep presets.
 
 use crate::presets::Scale;
 use crate::runner::SuiteRunner;
@@ -29,6 +31,11 @@ pub struct SweepArgs {
     /// `--clusters` override (comma-separated cluster counts for sharded
     /// presets).
     pub clusters: Option<Vec<usize>>,
+    /// `--ms` override (comma-separated cluster sizes for sweep presets).
+    pub ms: Option<Vec<usize>>,
+    /// `--rates` override (comma-separated arrival-rate factors for sweep
+    /// presets).
+    pub rates: Option<Vec<f64>>,
 }
 
 impl SweepArgs {
@@ -71,6 +78,30 @@ impl SweepArgs {
                             .collect(),
                     );
                 }
+                "--ms" => {
+                    out.ms = Some(
+                        take("--ms")
+                            .split(',')
+                            .map(|s| {
+                                s.trim()
+                                    .parse()
+                                    .expect("--ms expects comma-separated integers")
+                            })
+                            .collect(),
+                    );
+                }
+                "--rates" => {
+                    out.rates = Some(
+                        take("--rates")
+                            .split(',')
+                            .map(|s| {
+                                s.trim()
+                                    .parse()
+                                    .expect("--rates expects comma-separated numbers")
+                            })
+                            .collect(),
+                    );
+                }
                 "--quick" => out.quick = true,
                 other => eprintln!("ignoring unknown argument {other:?}"),
             }
@@ -99,6 +130,16 @@ impl SweepArgs {
         self.clusters
             .clone()
             .unwrap_or_else(|| default_counts.to_vec())
+    }
+
+    /// The cluster-size axis, starting from a preset's default.
+    pub fn cluster_sizes(&self, default_ms: &[usize]) -> Vec<usize> {
+        self.ms.clone().unwrap_or_else(|| default_ms.to_vec())
+    }
+
+    /// The arrival-rate factor axis, starting from a preset's default.
+    pub fn rate_factors(&self, default_rates: &[f64]) -> Vec<f64> {
+        self.rates.clone().unwrap_or_else(|| default_rates.to_vec())
     }
 
     /// A runner honouring `--threads`.
@@ -143,5 +184,14 @@ mod tests {
         let args = parse(&["--clusters", "2, 4,8"]);
         assert_eq!(args.cluster_counts(&[2]), vec![2, 4, 8]);
         assert_eq!(parse(&[]).cluster_counts(&[2, 4]), vec![2, 4]);
+    }
+
+    #[test]
+    fn sweep_axes_parse_comma_lists() {
+        let args = parse(&["--ms", "10,20", "--rates", "0.5, 1.0,1.5"]);
+        assert_eq!(args.cluster_sizes(&[30]), vec![10, 20]);
+        assert_eq!(args.rate_factors(&[1.0]), vec![0.5, 1.0, 1.5]);
+        assert_eq!(parse(&[]).cluster_sizes(&[30]), vec![30]);
+        assert_eq!(parse(&[]).rate_factors(&[1.0]), vec![1.0]);
     }
 }

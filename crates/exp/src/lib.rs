@@ -112,7 +112,7 @@
 //! use hierdrl_exp::presets::{self, Scale};
 //!
 //! let suite = presets::table1(Scale::quick());
-//! assert_eq!(suite.len(), 6); // 2 cluster sizes x 3 systems
+//! assert_eq!(suite.len(), 9); // (2 cluster sizes + big/little) x 3 systems
 //! ```
 
 pub mod cli;

@@ -62,6 +62,36 @@ pub fn three_systems() -> [PolicySpec; 3] {
     ]
 }
 
+/// The canonical big/little operating point: a quarter of the fleet at
+/// twice the capacity (H2O-Cloud-style 2-tier fleet).
+pub const BIG_LITTLE_FRACTION: f64 = 0.25;
+/// Capacity multiplier of the big tier in the canonical big/little fleet.
+pub const BIG_LITTLE_SCALE: f64 = 2.0;
+/// The extreme-skew operating point: one-tenth of the fleet at 4x capacity.
+pub const EXTREME_SKEW_FRACTION: f64 = 0.1;
+/// Capacity multiplier of the big tier in the extreme-skew fleet.
+pub const EXTREME_SKEW_SCALE: f64 = 4.0;
+
+/// Heterogeneity grid: {homogeneous, big/little, extreme-skew} fleets ×
+/// {round-robin, DRL-only, hierarchical}, all at the same server count and
+/// per-server arrival load. The paper assumes homogeneous machines
+/// "without loss of generality"; this grid measures exactly what that
+/// assumption hides — whether the capacity-aware DRL tiers exploit big
+/// machines (consolidate onto them, sleep the little tier) where
+/// capacity-blind round-robin cannot.
+pub fn heterogeneous(scale: Scale) -> Suite {
+    Suite::builder("heterogeneous")
+        .topologies([
+            Topology::paper(scale.m),
+            Topology::big_little(scale.m, BIG_LITTLE_FRACTION, BIG_LITTLE_SCALE),
+            Topology::big_little(scale.m, EXTREME_SKEW_FRACTION, EXTREME_SKEW_SCALE),
+        ])
+        .workloads([scale.workload()])
+        .policies(three_systems())
+        .seeds([42])
+        .build()
+}
+
 /// **Fig. 8**: accumulated latency and energy vs. jobs at `M = 30`
 /// (three systems, one seed).
 pub fn fig8(scale: Scale) -> Suite {
@@ -84,13 +114,21 @@ pub fn fig9(scale: Scale) -> Suite {
         .build()
 }
 
-/// **Table I**: the three systems at `M` and `4/3 · M` (the paper's 30 and
-/// 40), evaluation length scaling with `M` so per-server work is constant.
+/// **Table I**, extended with a heterogeneity row: the three systems at
+/// `M` and `4/3 · M` (the paper's 30 and 40), evaluation length scaling
+/// with `M` so per-server work is constant — plus the canonical big/little
+/// fleet at `M` (a quarter of the servers at 2x capacity), so the
+/// committed `BENCH_suite.json` baseline carries heterogeneous cells and
+/// the perf gate tracks them alongside the paper's.
 pub fn table1(scale: Scale) -> Suite {
     let m_small = scale.m;
     let m_large = (scale.m * 4).div_ceil(3);
     Suite::builder("table1")
-        .topologies([Topology::paper(m_small), Topology::paper(m_large)])
+        .topologies([
+            Topology::paper(m_small),
+            Topology::paper(m_large),
+            Topology::big_little(m_small, BIG_LITTLE_FRACTION, BIG_LITTLE_SCALE),
+        ])
         .workloads([scale.workload_per_server()])
         .policies(three_systems())
         .seeds([42])
@@ -123,7 +161,8 @@ pub fn fig10(scale: Scale) -> Suite {
 }
 
 /// Global-tier design ablations (Section V-A): group count `K`, the state
-/// enrichments, encoder fine-tuning, and the first-fit guide.
+/// enrichments (availability, queue depth, normalized capacity), encoder
+/// fine-tuning, and the first-fit guide.
 pub fn ablation_dqn(scale: Scale) -> Suite {
     let base = DrlAllocatorConfig::default();
     let pretrain = Pretrain {
@@ -154,6 +193,9 @@ pub fn ablation_dqn(scale: Scale) -> Suite {
     let mut c = base.clone();
     c.state.include_queue_len = false;
     policies.push(PolicySpec::drl_variant("no queue feature", c, pretrain));
+    let mut c = base.clone();
+    c.state.include_capacity = false;
+    policies.push(PolicySpec::drl_variant("no capacity feature", c, pretrain));
     let mut c = base.clone();
     c.qnet.fine_tune_encoder = true;
     policies.push(PolicySpec::drl_variant("fine-tuned encoder", c, pretrain));
@@ -243,18 +285,40 @@ mod tests {
     use super::*;
 
     #[test]
-    fn table1_covers_both_cluster_sizes() {
+    fn table1_covers_both_cluster_sizes_and_a_big_little_row() {
         let suite = table1(Scale::paper(30));
-        assert_eq!(suite.len(), 6);
+        assert_eq!(suite.len(), 9);
         let ms: Vec<usize> = suite
             .scenarios
             .iter()
             .map(|s| s.topology.servers())
             .collect();
-        assert_eq!(ms, [30, 30, 30, 40, 40, 40]);
+        assert_eq!(ms, [30, 30, 30, 40, 40, 40, 30, 30, 30]);
         // Per-server work held constant: 95k jobs at M=30, ~126.7k at M=40.
         assert_eq!(suite.scenarios[0].workload.jobs_for(30), 95_000);
         assert_eq!(suite.scenarios[3].workload.jobs_for(40), 126_667);
+        // The heterogeneity row: a quarter of the fleet at 2x capacity.
+        let hetero = &suite.scenarios[6];
+        assert!((hetero.topology.capacity_skew() - 2.0).abs() < 1e-12);
+        // round(30 * 0.25) = 8 big servers at 2x: 8*2 + 22 little.
+        assert!((hetero.topology.total_capacity() - 38.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heterogeneous_grids_skew_by_policy() {
+        let suite = heterogeneous(Scale::quick());
+        // 3 fleets x 3 systems.
+        assert_eq!(suite.len(), 9);
+        let skews: Vec<f64> = suite
+            .scenarios
+            .iter()
+            .map(|s| s.topology.capacity_skew())
+            .collect();
+        assert_eq!(&skews[..3], &[1.0, 1.0, 1.0]);
+        assert_eq!(&skews[3..6], &[2.0, 2.0, 2.0]);
+        assert_eq!(&skews[6..], &[4.0, 4.0, 4.0]);
+        // Server count is held constant across the skew axis.
+        assert!(suite.scenarios.iter().all(|s| s.topology.servers() == 10));
     }
 
     #[test]

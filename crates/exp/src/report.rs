@@ -73,6 +73,12 @@ pub struct CellReport {
     pub topology: String,
     /// Total cluster size `M` (summed across clusters when sharded).
     pub servers: usize,
+    /// Aggregate fleet CPU capacity in unit-server equivalents (equals
+    /// `servers` for homogeneous fleets).
+    pub capacity_total: f64,
+    /// Per-server capacity skew: max/min CPU capacity across the fleet
+    /// (`1.0` = homogeneous, `2.0` = a 2x big/little tier).
+    pub capacity_skew: f64,
     /// Workload name.
     pub workload: String,
     /// Policy name.
@@ -141,6 +147,8 @@ pub struct BenchCell {
     pub id: String,
     /// Jobs completed.
     pub jobs: u64,
+    /// Per-server capacity skew of the cell's fleet (`1.0` = homogeneous).
+    pub capacity_skew: f64,
     /// Cell wall-clock, seconds.
     pub wall_s: f64,
     /// Simulated jobs per wall-clock second.

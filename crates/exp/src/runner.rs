@@ -149,6 +149,8 @@ impl SuiteRun {
                     id: c.scenario.id.clone(),
                     topology: c.scenario.topology.name().to_string(),
                     servers: c.scenario.topology.servers(),
+                    capacity_total: c.scenario.topology.total_capacity(),
+                    capacity_skew: c.scenario.topology.capacity_skew(),
                     workload: c.scenario.workload.name.clone(),
                     policy: c.scenario.policy.name(),
                     seed: c.scenario.seed,
@@ -194,6 +196,7 @@ impl SuiteRun {
                 .map(|c| BenchCell {
                     id: c.scenario.id.clone(),
                     jobs: c.result.outcome.totals.jobs_completed,
+                    capacity_skew: c.scenario.topology.capacity_skew(),
                     wall_s: c.timing.wall_s,
                     jobs_per_s: c.timing.jobs_per_s,
                     clusters: (!c.shards.is_empty()).then(|| {
@@ -398,7 +401,7 @@ fn pretrain(
         );
         match dpm_config {
             Some(dpm_config) => {
-                let mut dpm = RlPowerManager::new(cluster.num_servers, dpm_config.clone());
+                let mut dpm = RlPowerManager::for_cluster(cluster, dpm_config.clone());
                 pretrain_pair(&mut allocator, &mut dpm, cluster, &traces)?;
                 Ok(Pretrained {
                     drl: allocator.snapshot(),
@@ -441,7 +444,7 @@ fn execute_policy(
             allocator, power, ..
         } => {
             let mut allocator = allocator.build(cluster.num_servers, cluster.resource_dims);
-            let mut power = power.build(cluster.num_servers);
+            let mut power = power.build(cluster);
             Ok((experiment.run(allocator.as_mut(), power.as_mut())?, None))
         }
         PolicySpec::DrlOnly { pretrain: budget }
@@ -479,9 +482,9 @@ fn execute_policy(
             // pre-trained global tier.
             let mut dpm = match trained.dpm {
                 Some(snapshot) if *co_pretrain => {
-                    RlPowerManager::from_snapshot(cluster.num_servers, snapshot)
+                    RlPowerManager::from_snapshot_for_cluster(cluster, snapshot)
                 }
-                _ => RlPowerManager::new(cluster.num_servers, dpm_config),
+                _ => RlPowerManager::for_cluster(cluster, dpm_config),
             };
             let result = experiment.run(&mut allocator, &mut dpm as &mut dyn PowerManager)?;
             Ok((result, Some(*allocator.stats())))
@@ -560,8 +563,11 @@ fn run_cell(scenario: &Scenario, ctx: &RunContext) -> Result<CellRun, String> {
                 Some(n) => &jobs[..jobs.len().min(n as usize)],
                 None => jobs,
             };
-            let sizes: Vec<usize> = clusters.iter().map(|c| c.num_servers).collect();
-            let routed = Router::split(*router, &sizes, stream);
+            // Weigh clusters by aggregate capacity (server count for
+            // unit-capacity fleets), so a cluster of two 2x servers
+            // outweighs one of three little machines.
+            let weights: Vec<f64> = clusters.iter().map(ClusterConfig::routing_weight).collect();
+            let routed = Router::split(*router, &weights, stream);
 
             // Intra-cell shard parallelism: each cluster simulates on its
             // own worker thread; the rayon shim returns results in input

@@ -49,6 +49,54 @@ pub enum Topology {
     },
 }
 
+/// The big-tier size of a big/little fleet: `round(m * big_fraction)`,
+/// clamped to at least one big server.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `big_fraction` is outside `(0, 1]`.
+pub fn num_big_servers(m: usize, big_fraction: f64) -> usize {
+    assert!(m > 0, "need at least one server");
+    assert!(
+        big_fraction > 0.0 && big_fraction <= 1.0,
+        "big_fraction must be in (0, 1], got {big_fraction}"
+    );
+    ((m as f64 * big_fraction).round() as usize).clamp(1, m)
+}
+
+/// A paper-style cluster config whose first [`num_big_servers`] servers
+/// are `big_scale`x machines — capacity scaled in every resource
+/// dimension — and the rest unit "little" machines. The big servers take
+/// the low indices, so consolidation-style policies pack them first.
+///
+/// # Panics
+///
+/// Panics if `m == 0`, `big_fraction` is outside `(0, 1]`, or
+/// `big_scale <= 0`.
+pub fn big_little_config(m: usize, big_fraction: f64, big_scale: f64) -> ClusterConfig {
+    assert!(
+        big_scale.is_finite() && big_scale > 0.0,
+        "big_scale must be positive, got {big_scale}"
+    );
+    let mut cluster = ClusterConfig::paper(m);
+    let num_big = num_big_servers(m, big_fraction);
+    let dims = cluster.resource_dims;
+    let big = hierdrl_sim::resources::ResourceVec::new(&vec![big_scale; dims]);
+    let little = hierdrl_sim::resources::ResourceVec::ones(dims);
+    cluster.server_capacities = Some(
+        (0..m)
+            .map(|i| {
+                if i < num_big {
+                    big.clone()
+                } else {
+                    little.clone()
+                }
+            })
+            .collect(),
+    );
+    cluster
+}
+
 impl Topology {
     /// The paper's homogeneous cluster at `m` servers.
     pub fn paper(m: usize) -> Self {
@@ -56,6 +104,62 @@ impl Topology {
             name: format!("paper-m{m}"),
             cluster: ClusterConfig::paper(m),
         }
+    }
+
+    /// A heterogeneous big/little fleet: `round(m * big_fraction)` servers
+    /// (at least one) at `big_scale`x capacity, the rest little
+    /// (unit-capacity) machines — the 2-tier topology warehouse fleets
+    /// actually run. `big_little(m, 0.25, 2.0)` is the canonical preset:
+    /// a quarter of the fleet at twice the capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`, `big_fraction` is outside `(0, 1]`, or
+    /// `big_scale <= 0`.
+    pub fn big_little(m: usize, big_fraction: f64, big_scale: f64) -> Self {
+        let cluster = big_little_config(m, big_fraction, big_scale);
+        let num_big = num_big_servers(m, big_fraction);
+        Topology::Single {
+            name: format!("big-little-m{m}-b{num_big}x{big_scale}"),
+            cluster,
+        }
+    }
+
+    /// A big/little fleet sharded across `num_clusters` independent
+    /// clusters behind `router`: servers split as evenly as possible (as
+    /// in [`Topology::sharded_paper`]), with each cluster getting its own
+    /// big tier of `round(size * big_fraction)` servers.
+    pub fn sharded_big_little(
+        num_clusters: usize,
+        total_servers: usize,
+        big_fraction: f64,
+        big_scale: f64,
+        router: RouterPolicy,
+    ) -> Self {
+        assert!(num_clusters > 0, "multi-cluster needs >= 1 cluster");
+        assert!(
+            total_servers >= num_clusters,
+            "need >= 1 server per cluster ({total_servers} servers, {num_clusters} clusters)"
+        );
+        let base = total_servers / num_clusters;
+        let extra = total_servers % num_clusters;
+        let clusters: Vec<ClusterConfig> = (0..num_clusters)
+            .map(|k| big_little_config(base + usize::from(k < extra), big_fraction, big_scale))
+            .collect();
+        // Name the big tier explicitly (summed across clusters) so two
+        // shardings that differ only in big_fraction get distinct
+        // topology names — and therefore distinct cell ids.
+        let total_big: usize = (0..num_clusters)
+            .map(|k| num_big_servers(base + usize::from(k < extra), big_fraction))
+            .sum();
+        Self::multi(
+            format!(
+                "big-little-c{num_clusters}m{total_servers}-b{total_big}x{big_scale}-{}",
+                router.name()
+            ),
+            clusters,
+            router,
+        )
     }
 
     /// A custom single-cluster topology.
@@ -121,6 +225,28 @@ impl Topology {
     /// Total number of servers `M` across all clusters.
     pub fn servers(&self) -> usize {
         self.clusters().iter().map(|c| c.num_servers).sum()
+    }
+
+    /// Aggregate fleet CPU capacity in unit-server equivalents (equals
+    /// [`Topology::servers`] for homogeneous fleets).
+    pub fn total_capacity(&self) -> f64 {
+        self.clusters()
+            .iter()
+            .map(ClusterConfig::routing_weight)
+            .sum()
+    }
+
+    /// Fleet-wide per-server capacity skew: the ratio of the largest to
+    /// the smallest CPU capacity across every server of every cluster
+    /// (`1.0` for homogeneous fleets, `2.0` for a 2x big/little tier).
+    pub fn capacity_skew(&self) -> f64 {
+        let (mut lo, mut hi) = (f64::INFINITY, 0.0f64);
+        for cluster in self.clusters() {
+            let (c_lo, c_hi) = cluster.capacity_cpu_range();
+            lo = lo.min(c_lo);
+            hi = hi.max(c_hi);
+        }
+        hi / lo
     }
 
     /// The member clusters, in shard order (one entry for a single
@@ -731,6 +857,45 @@ mod tests {
         assert_eq!(single.clusters().len(), 1);
         assert_eq!(single.router(), None);
         assert!(!single.is_multi_cluster());
+    }
+
+    #[test]
+    fn big_little_topology_builds_two_tiers() {
+        let topo = Topology::big_little(10, 0.25, 2.0);
+        assert_eq!(topo.name(), "big-little-m10-b3x2");
+        assert_eq!(topo.servers(), 10);
+        // 3 big at 2x + 7 little: 13 unit-server equivalents, skew 2.
+        assert_eq!(topo.total_capacity(), 13.0);
+        assert_eq!(topo.capacity_skew(), 2.0);
+        let cluster = &topo.clusters()[0];
+        assert!(cluster.validate().is_ok());
+        let caps = cluster.server_capacities.as_ref().unwrap();
+        assert!(caps[..3].iter().all(|c| c.cpu() == 2.0));
+        assert!(caps[3..].iter().all(|c| c.cpu() == 1.0));
+
+        // Homogeneous fleets stay skew-free with capacity == servers.
+        assert_eq!(Topology::paper(5).capacity_skew(), 1.0);
+        assert_eq!(Topology::paper(5).total_capacity(), 5.0);
+    }
+
+    #[test]
+    fn sharded_big_little_keeps_tiers_per_cluster() {
+        let topo = Topology::sharded_big_little(2, 6, 0.34, 4.0, RouterPolicy::WeightedByCapacity);
+        assert_eq!(topo.servers(), 6);
+        assert!(topo.is_multi_cluster());
+        // Each cluster of 3 has one 4x machine: weight 6 per cluster.
+        assert_eq!(topo.total_capacity(), 12.0);
+        assert_eq!(topo.capacity_skew(), 4.0);
+        for c in topo.clusters() {
+            assert!(c.validate().is_ok());
+            assert_eq!(c.routing_weight(), 6.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "big_fraction must be in (0, 1]")]
+    fn big_little_rejects_bad_fraction() {
+        let _ = Topology::big_little(10, 0.0, 2.0);
     }
 
     #[test]

@@ -39,6 +39,8 @@ fn canonical_report() -> SuiteReport {
                 id: "paper-m5/paper/drl-only/s7".to_string(),
                 topology: "paper-m5".to_string(),
                 servers: 5,
+                capacity_total: 5.0,
+                capacity_skew: 1.0,
                 workload: "paper".to_string(),
                 policy: "drl-only".to_string(),
                 seed: 7,
@@ -56,6 +58,8 @@ fn canonical_report() -> SuiteReport {
                 id: "paper-c2m6-rr/paper/round-robin/s7".to_string(),
                 topology: "paper-c2m6-rr".to_string(),
                 servers: 6,
+                capacity_total: 9.0,
+                capacity_skew: 2.0,
                 workload: "paper".to_string(),
                 policy: "round-robin".to_string(),
                 seed: 7,

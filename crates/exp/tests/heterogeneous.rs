@@ -1,0 +1,95 @@
+//! Heterogeneous big/little fleets end-to-end: the capacity-aware DRL
+//! stack must actually *win* on asymmetric fleets (not just run), and the
+//! heterogeneity columns must land in the canonical report.
+
+use hierdrl_core::allocator::DrlAllocatorConfig;
+use hierdrl_exp::prelude::*;
+use hierdrl_exp::runner::CellRun;
+use hierdrl_exp::scenario::Pretrain;
+
+/// A cheap DRL variant so learned-policy cells stay fast in debug builds.
+fn quick_drl() -> PolicySpec {
+    PolicySpec::drl_variant(
+        "drl-quick",
+        DrlAllocatorConfig {
+            warmup_decisions: 20,
+            ae_pretrain_samples: 50,
+            ae_epochs: 2,
+            minibatch: 8,
+            train_interval: 8,
+            ..Default::default()
+        },
+        Pretrain {
+            segments: 1,
+            fraction: 0.5,
+        },
+    )
+}
+
+/// Power × latency operating point (J·s per job²): the Fig.-10-style
+/// scalarization both axes of the trade-off feed into.
+fn power_latency(cell: &CellRun) -> f64 {
+    cell.result.energy_per_job_j() * cell.result.mean_latency_s()
+}
+
+#[test]
+fn capacity_aware_drl_beats_round_robin_on_big_little() {
+    // The acceptance criterion of the heterogeneity PR: on the canonical
+    // big/little fleet (a quarter of servers at 2x capacity), the
+    // capacity-aware DRL allocator must beat capacity-blind round-robin
+    // on power x latency.
+    let suite = Suite::builder("hetero-acceptance")
+        .topologies([Topology::big_little(6, 0.25, 2.0)])
+        .workloads([WorkloadSpec::paper().with_total_jobs(600)])
+        .policies([PolicySpec::round_robin(), quick_drl()])
+        .seeds([9])
+        .build();
+    let run = SuiteRunner::new().run(&suite).expect("run");
+    let rr = run.find_policy("round-robin").expect("round-robin cell");
+    let drl = run.find_policy("drl-quick").expect("drl cell");
+
+    let (rr_pl, drl_pl) = (power_latency(rr), power_latency(drl));
+    assert!(
+        drl_pl < rr_pl,
+        "capacity-aware DRL must beat round-robin on power x latency: \
+         drl {drl_pl:.0} vs rr {rr_pl:.0} J·s/job²"
+    );
+
+    // And the win comes from using the fleet's asymmetry: the DRL cell
+    // sleeps part of the fleet, which always-on round-robin never does.
+    assert_eq!(rr.result.fleet.sleep_fraction, 0.0);
+    assert!(drl.result.fleet.sleep_fraction > 0.0);
+}
+
+#[test]
+fn report_carries_capacity_columns_for_every_preset_fleet() {
+    // A one-policy slice of the heterogeneous preset's three fleets: the
+    // capacity axes must land in the canonical report, and homogeneous
+    // cells must stay skew-free.
+    let suite = Suite::builder("hetero-columns")
+        .topologies([
+            Topology::paper(5),
+            Topology::big_little(5, 0.25, 2.0),
+            Topology::big_little(5, 0.2, 4.0),
+        ])
+        .workloads([WorkloadSpec::paper().with_total_jobs(80)])
+        .policies([PolicySpec::round_robin()])
+        .seeds([3])
+        .build();
+    let report = SuiteRunner::new().run(&suite).expect("run").report();
+    let by_topology: Vec<(f64, f64)> = report
+        .cells
+        .iter()
+        .map(|c| (c.capacity_total, c.capacity_skew))
+        .collect();
+    // paper-m5; 1 big of 5 at 2x; 1 big of 5 at 4x.
+    assert_eq!(by_topology, vec![(5.0, 1.0), (6.0, 2.0), (8.0, 4.0)]);
+
+    // Energy on the skewed fleets reflects the capacity-scaled power
+    // model: a bigger fleet at the same always-on load burns more energy.
+    let energies: Vec<f64> = report.cells.iter().map(|c| c.metrics.energy_kwh).collect();
+    assert!(
+        energies[0] < energies[1] && energies[1] < energies[2],
+        "capacity-scaled power must order always-on energy by fleet capacity: {energies:?}"
+    );
+}

@@ -148,6 +148,76 @@ fn shard_learners_are_independent_per_shard() {
 }
 
 #[test]
+fn heterogeneous_sharded_report_is_byte_identical_to_single_thread() {
+    // Big/little member clusters, learned and static policies: sharded
+    // heterogeneous suites must stay byte-identical to serial execution,
+    // exactly like their homogeneous counterparts.
+    let suite = Suite::builder("hetero-sharded")
+        .topologies([
+            Topology::sharded_big_little(2, 6, 0.34, 2.0, RouterPolicy::WeightedByCapacity),
+            Topology::sharded_big_little(3, 6, 0.34, 2.0, RouterPolicy::LeastLoaded),
+        ])
+        .workloads([WorkloadSpec::paper().with_total_jobs(STREAM_JOBS)])
+        .policies([PolicySpec::round_robin(), quick_drl()])
+        .seeds([11])
+        .build();
+    let serial = SuiteRunner::serial().run(&suite).expect("serial run");
+    let sharded = SuiteRunner::new()
+        .with_threads(8)
+        .run(&suite)
+        .expect("sharded run");
+    assert_eq!(
+        serial.report().to_json(),
+        sharded.report().to_json(),
+        "heterogeneous sharded reports must be byte-identical to serial"
+    );
+    let again = SuiteRunner::new()
+        .with_threads(8)
+        .run(&suite)
+        .expect("sharded rerun");
+    assert_eq!(sharded.report().to_json(), again.report().to_json());
+
+    // The capacity columns land in every cell: 2x skew, and one 2x server
+    // per member cluster (capacity 8 for two clusters of three, 9 for
+    // three clusters of two).
+    for cell in &serial.report().cells {
+        assert_eq!(cell.capacity_skew, 2.0);
+        assert_eq!(cell.servers, 6);
+        let expected = if cell.topology.starts_with("big-little-c2") {
+            8.0
+        } else {
+            9.0
+        };
+        assert_eq!(cell.capacity_total, expected, "cell {}", cell.id);
+    }
+}
+
+#[test]
+fn capacity_weighted_router_weighs_capacity_not_server_counts() {
+    // Cluster 0: two 2x servers (weight 4); cluster 1: two unit servers
+    // (weight 2). Capacity-weighted routing must send a 2:1 split even
+    // though the server counts are equal — the satellite bug this PR
+    // fixes (`Router` used to weight by server count).
+    use hierdrl_exp::scenario::big_little_config;
+    use hierdrl_sim::config::ClusterConfig;
+    let topo = Topology::multi(
+        "big-vs-little",
+        vec![big_little_config(2, 1.0, 2.0), ClusterConfig::paper(2)],
+        RouterPolicy::WeightedByCapacity,
+    );
+    let suite = Suite::builder("capacity-weights")
+        .topologies([topo])
+        .workloads([WorkloadSpec::paper().with_total_jobs(90)])
+        .policies([PolicySpec::round_robin()])
+        .seeds([4])
+        .build();
+    let run = SuiteRunner::new().run(&suite).expect("run");
+    let cell = &run.cells[0];
+    assert_eq!(cell.shards[0].shard.jobs_routed, 60);
+    assert_eq!(cell.shards[1].shard.jobs_routed, 30);
+}
+
+#[test]
 fn max_jobs_truncates_the_stream_before_routing() {
     let suite = Suite::builder("truncate")
         .topologies([Topology::sharded_paper(2, 4, RouterPolicy::RoundRobin)])

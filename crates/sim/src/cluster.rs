@@ -49,6 +49,24 @@ impl<'a> ClusterView<'a> {
     pub fn config(&self) -> &ClusterConfig {
         self.config
     }
+
+    /// Aggregate cluster capacity: component-wise sum of every server's
+    /// capacity vector (`M` per dimension for homogeneous clusters).
+    pub fn total_capacity(&self) -> crate::resources::ResourceVec {
+        let mut total = crate::resources::ResourceVec::zeros(self.config.resource_dims);
+        for s in self.servers {
+            total.add_assign(s.capacity());
+        }
+        total
+    }
+
+    /// Fleet peak power in watts: the per-unit-server peak scaled by every
+    /// server's [`Server::peak_scale`]. `M * peak_watts` for homogeneous
+    /// clusters.
+    pub fn fleet_peak_watts(&self) -> f64 {
+        let scale: f64 = self.servers.iter().map(Server::peak_scale).sum();
+        self.config.power.peak_watts * scale
+    }
 }
 
 /// The global-tier control interface: dispatches each arriving job (VM
@@ -189,12 +207,11 @@ impl Cluster {
         }
         let servers = (0..config.num_servers)
             .map(|i| {
-                let capacity = config
-                    .server_capacities
-                    .as_ref()
-                    .map(|caps| caps[i].clone())
-                    .unwrap_or_else(|| crate::resources::ResourceVec::ones(config.resource_dims));
-                Server::new(capacity, config.servers_initially_on, config.reliability)
+                Server::new(
+                    config.server_capacity(i),
+                    config.servers_initially_on,
+                    config.reliability,
+                )
             })
             .collect();
         let mut events = EventQueue::new();
@@ -700,6 +717,32 @@ mod tests {
         );
         let sum: f64 = c.servers().iter().map(|s| s.stats().energy_joules).sum();
         assert!((out.totals.energy_joules - sum).abs() < 1e-6);
+    }
+
+    #[test]
+    fn heterogeneous_cluster_integrates_capacity_scaled_energy() {
+        // One 2x server and one unit server, both on and idle for 100 s:
+        // the fleet burns 3x a unit server's idle energy, and the view
+        // reports the aggregate capacity and fleet peak.
+        let mut config = ClusterConfig::paper(2);
+        config.server_capacities = Some(vec![
+            ResourceVec::new(&[2.0, 2.0, 2.0]),
+            ResourceVec::ones(3),
+        ]);
+        let mut c = Cluster::new(config, vec![job(0, 0.0, 100.0, 0.0)]).unwrap();
+        let out = c.run(
+            &mut RoundRobinAllocator::new(),
+            &mut AlwaysOnPower,
+            RunLimit::unbounded(),
+        );
+        assert!((out.totals.energy_joules - 3.0 * 87.0 * 100.0).abs() < 1.0);
+        let view_capacity = {
+            c.account_all(SimTime::from_secs(100.0));
+            let view = c.view();
+            assert!((view.fleet_peak_watts() - 3.0 * 145.0).abs() < 1e-9);
+            view.total_capacity()
+        };
+        assert_eq!(view_capacity, ResourceVec::new(&[3.0, 3.0, 3.0]));
     }
 
     #[test]

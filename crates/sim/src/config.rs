@@ -82,6 +82,16 @@ pub struct ClusterConfig {
     /// generality"). `None` gives every server unit capacity. When set,
     /// the length must equal `num_servers` and each vector must have
     /// `resource_dims` components.
+    ///
+    /// Heterogeneity is first-class across the stack: the power model
+    /// scales with each server's CPU capacity
+    /// ([`Server::peak_scale`](crate::server::Server::peak_scale)), the
+    /// front-end [`Router`](crate::router::Router) weights clusters by
+    /// aggregate capacity, the DRL state encoder exposes per-slot
+    /// capacities (`include_capacity` in `hierdrl-core`), and the
+    /// experiment layer ships big/little presets
+    /// (`hierdrl_exp::scenario::Topology::big_little` and the
+    /// `heterogeneous` suite preset).
     pub server_capacities: Option<Vec<crate::resources::ResourceVec>>,
     /// Record a time-series sample every this many job completions.
     pub sample_every: usize,
@@ -102,6 +112,78 @@ impl ClusterConfig {
             server_capacities: None,
             sample_every: 1000,
         }
+    }
+
+    /// The capacity vector of server `i` (unit capacity when the cluster
+    /// is homogeneous).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_servers` on a heterogeneous cluster.
+    pub fn server_capacity(&self, i: usize) -> crate::resources::ResourceVec {
+        match &self.server_capacities {
+            Some(caps) => caps[i].clone(),
+            None => crate::resources::ResourceVec::ones(self.resource_dims),
+        }
+    }
+
+    /// Aggregate cluster capacity: the component-wise sum of every
+    /// server's capacity vector (`num_servers` per dimension for a
+    /// homogeneous cluster).
+    pub fn total_capacity(&self) -> crate::resources::ResourceVec {
+        let mut total = crate::resources::ResourceVec::zeros(self.resource_dims);
+        match &self.server_capacities {
+            Some(caps) => {
+                for c in caps {
+                    total.add_assign(c);
+                }
+            }
+            None => {
+                for _ in 0..self.num_servers {
+                    total.add_assign(&crate::resources::ResourceVec::ones(self.resource_dims));
+                }
+            }
+        }
+        total
+    }
+
+    /// The cluster's routing weight for capacity-aware front-end routing:
+    /// aggregate CPU capacity in unit-server equivalents. Exactly
+    /// `num_servers as f64` for a homogeneous cluster, so server count
+    /// remains the fallback weight on unit-capacity fleets.
+    pub fn routing_weight(&self) -> f64 {
+        self.total_capacity().cpu()
+    }
+
+    /// Sum of per-server power-model multipliers (CPU capacities): the
+    /// fleet's peak power is `power.peak_watts * total_peak_scale()`. The
+    /// same quantity as [`ClusterConfig::routing_weight`] (aggregate CPU
+    /// capacity), named for its power-model role.
+    pub fn total_peak_scale(&self) -> f64 {
+        self.routing_weight()
+    }
+
+    /// The smallest and largest per-server CPU capacity in the cluster
+    /// (`(1.0, 1.0)` when homogeneous).
+    pub fn capacity_cpu_range(&self) -> (f64, f64) {
+        match &self.server_capacities {
+            Some(caps) => {
+                let (mut lo, mut hi) = (f64::INFINITY, 0.0f64);
+                for c in caps {
+                    lo = lo.min(c.cpu());
+                    hi = hi.max(c.cpu());
+                }
+                (lo, hi)
+            }
+            None => (1.0, 1.0),
+        }
+    }
+
+    /// Per-server capacity skew: the ratio of the largest to the smallest
+    /// CPU capacity across the cluster (`1.0` when homogeneous).
+    pub fn capacity_skew(&self) -> f64 {
+        let (lo, hi) = self.capacity_cpu_range();
+        hi / lo
     }
 
     /// Validates the configuration.
@@ -178,6 +260,30 @@ mod tests {
         let mut c = ClusterConfig::paper(10);
         c.reliability.hot_utilization = 1.5;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn capacity_aggregates_for_homogeneous_and_big_little() {
+        use crate::resources::ResourceVec;
+        let homo = ClusterConfig::paper(4);
+        assert_eq!(homo.total_capacity(), ResourceVec::new(&[4.0, 4.0, 4.0]));
+        assert_eq!(homo.routing_weight(), 4.0);
+        assert_eq!(homo.total_peak_scale(), 4.0);
+        assert_eq!(homo.capacity_skew(), 1.0);
+        assert_eq!(homo.server_capacity(2), ResourceVec::ones(3));
+
+        let mut hetero = ClusterConfig::paper(4);
+        hetero.server_capacities = Some(vec![
+            ResourceVec::new(&[2.0, 2.0, 2.0]),
+            ResourceVec::ones(3),
+            ResourceVec::ones(3),
+            ResourceVec::ones(3),
+        ]);
+        assert!(hetero.validate().is_ok());
+        assert_eq!(hetero.total_capacity(), ResourceVec::new(&[5.0, 5.0, 5.0]));
+        assert_eq!(hetero.routing_weight(), 5.0);
+        assert_eq!(hetero.capacity_skew(), 2.0);
+        assert_eq!(hetero.server_capacity(0).cpu(), 2.0);
     }
 
     #[test]

@@ -4,6 +4,15 @@
 //! adopts in Eqn. 3): `P(x) = P_idle + (P_peak - P_idle) * (2x - x^1.4)`
 //! where `x` is CPU utilization. Sleep power is zero and wake/sleep
 //! transitions draw more than idle power.
+//!
+//! [`PowerModel`] describes one *unit-capacity* server. On heterogeneous
+//! fleets each [`Server`](crate::server::Server) scales the whole curve —
+//! idle, active, and transition draw alike — by its
+//! [`peak_scale`](crate::server::Server::peak_scale) (its CPU capacity), so
+//! a 2x-capacity machine draws 2x at the same *relative* utilization and
+//! energy totals stay meaningful on asymmetric fleets. Homogeneous
+//! clusters have `peak_scale == 1.0` everywhere and reproduce the paper's
+//! numbers bit-for-bit.
 
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};

@@ -10,9 +10,11 @@
 //! Routing is deliberately *feed-forward*: decisions depend only on the
 //! arrival stream and the router's own bookkeeping, never on live cluster
 //! state. That keeps the per-cluster sub-streams a pure function of
-//! (stream, policy, cluster sizes), so each cluster can be simulated on its
-//! own worker thread and the merged result is deterministic regardless of
-//! scheduling.
+//! (stream, policy, cluster capacities), so each cluster can be simulated
+//! on its own worker thread and the merged result is deterministic
+//! regardless of scheduling. Clusters are weighed by *aggregate capacity*
+//! (unit-server equivalents), not server count, so a cluster of two 2x
+//! servers outweighs one of three little servers.
 
 use crate::job::Job;
 use serde::{Deserialize, Serialize};
@@ -21,16 +23,17 @@ use std::fmt;
 /// How the front-end router picks a cluster for each arriving job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RouterPolicy {
-    /// Cyclic dispatch, ignoring cluster size and load.
+    /// Cyclic dispatch, ignoring cluster capacity and load.
     RoundRobin,
     /// Estimated-backlog routing: each job goes to the cluster with the
-    /// least outstanding routed work per server. The router tracks the
-    /// service time it has sent to each cluster and drains it at cluster
-    /// capacity, so bursts spill to the emptier clusters.
+    /// least outstanding routed work per unit of capacity. The router
+    /// tracks the service time it has sent to each cluster and drains it
+    /// at the cluster's aggregate capacity, so bursts spill to the
+    /// emptier clusters.
     LeastLoaded,
     /// Largest-remainder dispatch proportional to cluster capacity: after
-    /// `n` jobs, every cluster has received `n * servers_k / servers_total`
-    /// jobs, within one.
+    /// `n` jobs, every cluster has received
+    /// `n * capacity_k / capacity_total` jobs, within one.
     WeightedByCapacity,
 }
 
@@ -77,16 +80,20 @@ impl fmt::Display for RouterPolicy {
 ///         ResourceVec::cpu_mem_disk(0.25, 0.1, 0.02),
 ///     ))
 ///     .collect();
-/// // Two clusters of 4 and 2 servers: capacity-weighted routing sends
-/// // two of every three jobs to the larger cluster.
-/// let shards = Router::split(RouterPolicy::WeightedByCapacity, &[4, 2], &jobs);
+/// // Two clusters with aggregate capacities 4.0 and 2.0 (e.g. four unit
+/// // servers vs. one 2x server): capacity-weighted routing sends two of
+/// // every three jobs to the bigger cluster. For unit-capacity fleets the
+/// // weights are simply the server counts
+/// // ([`ClusterConfig::routing_weight`](crate::config::ClusterConfig::routing_weight)).
+/// let shards = Router::split(RouterPolicy::WeightedByCapacity, &[4.0, 2.0], &jobs);
 /// assert_eq!(shards[0].len(), 4);
 /// assert_eq!(shards[1].len(), 2);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Router {
     policy: RouterPolicy,
-    servers: Vec<usize>,
+    /// Per-cluster aggregate capacity in unit-server equivalents.
+    weights: Vec<f64>,
     /// Round-robin cursor.
     next: usize,
     /// Jobs routed per cluster (weighted-by-capacity bookkeeping).
@@ -101,27 +108,44 @@ pub struct Router {
 }
 
 impl Router {
-    /// A router over clusters of the given server counts.
+    /// A router over clusters of the given aggregate capacities (in
+    /// unit-server equivalents — for a unit-capacity fleet the weight of a
+    /// cluster is simply its server count; a cluster of four little
+    /// servers and a cluster of two 2x servers both weigh `4.0`). Derive
+    /// the weights from
+    /// [`ClusterConfig::routing_weight`](crate::config::ClusterConfig::routing_weight).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacities` is empty or contains a non-positive or
+    /// non-finite weight — both are always bugs in the caller.
+    pub fn new(policy: RouterPolicy, capacities: &[f64]) -> Self {
+        assert!(!capacities.is_empty(), "router needs >= 1 cluster");
+        assert!(
+            capacities.iter().all(|&w| w.is_finite() && w > 0.0),
+            "every cluster needs positive capacity, got {capacities:?}"
+        );
+        Self {
+            policy,
+            weights: capacities.to_vec(),
+            next: 0,
+            assigned: vec![0; capacities.len()],
+            total_assigned: 0,
+            backlog_s: vec![0.0; capacities.len()],
+            last_arrival_s: 0.0,
+        }
+    }
+
+    /// A router over homogeneous clusters of the given server counts (the
+    /// unit-capacity fallback: each cluster's weight is its server count).
     ///
     /// # Panics
     ///
     /// Panics if `cluster_sizes` is empty or contains a zero-server
-    /// cluster — both are always bugs in the caller.
-    pub fn new(policy: RouterPolicy, cluster_sizes: &[usize]) -> Self {
-        assert!(!cluster_sizes.is_empty(), "router needs >= 1 cluster");
-        assert!(
-            cluster_sizes.iter().all(|&m| m > 0),
-            "every cluster needs >= 1 server, got {cluster_sizes:?}"
-        );
-        Self {
-            policy,
-            servers: cluster_sizes.to_vec(),
-            next: 0,
-            assigned: vec![0; cluster_sizes.len()],
-            total_assigned: 0,
-            backlog_s: vec![0.0; cluster_sizes.len()],
-            last_arrival_s: 0.0,
-        }
+    /// cluster.
+    pub fn from_server_counts(policy: RouterPolicy, cluster_sizes: &[usize]) -> Self {
+        let weights: Vec<f64> = cluster_sizes.iter().map(|&m| m as f64).collect();
+        Self::new(policy, &weights)
     }
 
     /// The routing policy.
@@ -131,7 +155,12 @@ impl Router {
 
     /// Number of clusters behind the router.
     pub fn num_clusters(&self) -> usize {
-        self.servers.len()
+        self.weights.len()
+    }
+
+    /// Per-cluster capacity weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
     }
 
     /// Jobs routed to each cluster so far.
@@ -145,7 +174,7 @@ impl Router {
         let k = match self.policy {
             RouterPolicy::RoundRobin => {
                 let k = self.next;
-                self.next = (self.next + 1) % self.servers.len();
+                self.next = (self.next + 1) % self.weights.len();
                 k
             }
             RouterPolicy::LeastLoaded => {
@@ -155,9 +184,10 @@ impl Router {
                 let mut best = 0;
                 let mut best_load = f64::INFINITY;
                 for (i, b) in self.backlog_s.iter_mut().enumerate() {
-                    // Each cluster drains its routed work at capacity.
-                    *b = (*b - dt * self.servers[i] as f64).max(0.0);
-                    let load = *b / self.servers[i] as f64;
+                    // Each cluster drains its routed work at its aggregate
+                    // capacity.
+                    *b = (*b - dt * self.weights[i]).max(0.0);
+                    let load = *b / self.weights[i];
                     if load < best_load {
                         best_load = load;
                         best = i;
@@ -167,13 +197,13 @@ impl Router {
                 best
             }
             RouterPolicy::WeightedByCapacity => {
-                let total: usize = self.servers.iter().sum();
+                let total: f64 = self.weights.iter().sum();
                 let n = (self.total_assigned + 1) as f64;
                 let mut best = 0;
                 let mut best_deficit = f64::NEG_INFINITY;
-                for (i, &m) in self.servers.iter().enumerate() {
+                for (i, &w) in self.weights.iter().enumerate() {
                     // Largest remainder: quota owed minus jobs received.
-                    let deficit = n * m as f64 / total as f64 - self.assigned[i] as f64;
+                    let deficit = n * w / total - self.assigned[i] as f64;
                     if deficit > best_deficit {
                         best_deficit = deficit;
                         best = i;
@@ -189,9 +219,11 @@ impl Router {
 
     /// Splits a whole arrival stream into per-cluster sub-streams, in
     /// arrival order. Every input job lands in exactly one sub-stream.
-    pub fn split(policy: RouterPolicy, cluster_sizes: &[usize], jobs: &[Job]) -> Vec<Vec<Job>> {
-        let mut router = Router::new(policy, cluster_sizes);
-        let mut shards: Vec<Vec<Job>> = vec![Vec::new(); cluster_sizes.len()];
+    /// `capacities` are per-cluster aggregate capacities, as for
+    /// [`Router::new`].
+    pub fn split(policy: RouterPolicy, capacities: &[f64], jobs: &[Job]) -> Vec<Vec<Job>> {
+        let mut router = Router::new(policy, capacities);
+        let mut shards: Vec<Vec<Job>> = vec![Vec::new(); capacities.len()];
         for job in jobs {
             shards[router.route(job)].push(job.clone());
         }
@@ -221,7 +253,7 @@ mod tests {
 
     #[test]
     fn round_robin_cycles_regardless_of_size() {
-        let shards = Router::split(RouterPolicy::RoundRobin, &[8, 1, 1], &stream(9));
+        let shards = Router::split(RouterPolicy::RoundRobin, &[8.0, 1.0, 1.0], &stream(9));
         assert_eq!(
             shards.iter().map(Vec::len).collect::<Vec<_>>(),
             vec![3, 3, 3]
@@ -233,20 +265,45 @@ mod tests {
 
     #[test]
     fn weighted_tracks_capacity_within_one_job() {
-        let sizes = [4usize, 2, 2];
+        let weights = [4.0f64, 2.0, 2.0];
         let jobs = stream(80);
-        let shards = Router::split(RouterPolicy::WeightedByCapacity, &sizes, &jobs);
-        let total: usize = sizes.iter().sum();
+        let shards = Router::split(RouterPolicy::WeightedByCapacity, &weights, &jobs);
+        let total: f64 = weights.iter().sum();
         for (k, shard) in shards.iter().enumerate() {
             for n in 1..=jobs.len() {
                 let routed = shard.iter().filter(|j| j.id.0 < n as u64).count() as f64;
-                let quota = n as f64 * sizes[k] as f64 / total as f64;
+                let quota = n as f64 * weights[k] / total;
                 assert!(
                     (routed - quota).abs() <= 1.0,
                     "cluster {k} has {routed} of quota {quota} after {n} jobs"
                 );
             }
         }
+    }
+
+    #[test]
+    fn weighted_weighs_big_servers_not_server_counts() {
+        // A cluster of two 2x servers (weight 4.0) must receive twice the
+        // jobs of a two-unit-server cluster (weight 2.0), even though the
+        // big cluster has the same server count: the weight is capacity.
+        let shards = Router::split(RouterPolicy::WeightedByCapacity, &[4.0, 2.0], &stream(60));
+        assert_eq!(shards[0].len(), 40);
+        assert_eq!(shards[1].len(), 20);
+    }
+
+    #[test]
+    fn least_loaded_drains_big_clusters_faster() {
+        // Same server count, different capacity: both clusters get one
+        // long job; the 3x cluster drains its backlog three times as fast,
+        // so the next job (after a gap) goes back to it.
+        let jobs = vec![
+            job(0, 0.0, 300.0), // -> cluster 0 (tie, lowest index)
+            job(1, 0.0, 300.0), // -> cluster 1 (cluster 0 now loaded)
+            job(2, 50.0, 10.0), // 0 drained 150s of 300, load 50; 1 drained 50, load 250
+        ];
+        let shards = Router::split(RouterPolicy::LeastLoaded, &[3.0, 1.0], &jobs);
+        assert_eq!(shards[0].len(), 2, "big cluster absorbs the follow-up");
+        assert_eq!(shards[1].len(), 1);
     }
 
     #[test]
@@ -257,7 +314,7 @@ mod tests {
             job(1, 1.0, 100.0),
             job(2, 2.0, 100.0),
         ];
-        let shards = Router::split(RouterPolicy::LeastLoaded, &[1, 1], &jobs);
+        let shards = Router::split(RouterPolicy::LeastLoaded, &[1.0, 1.0], &jobs);
         assert_eq!(shards[0].len(), 1);
         assert_eq!(shards[1].len(), 2);
     }
@@ -267,7 +324,7 @@ mod tests {
         // After a long quiet period the first cluster's backlog has drained,
         // so ties break back to it.
         let jobs = vec![job(0, 0.0, 50.0), job(1, 1_000.0, 50.0)];
-        let shards = Router::split(RouterPolicy::LeastLoaded, &[1, 1], &jobs);
+        let shards = Router::split(RouterPolicy::LeastLoaded, &[1.0, 1.0], &jobs);
         assert_eq!(shards[0].len(), 2);
         assert!(shards[1].is_empty());
     }
@@ -275,7 +332,7 @@ mod tests {
     #[test]
     fn sub_streams_stay_sorted_by_arrival() {
         for policy in RouterPolicy::ALL {
-            let shards = Router::split(policy, &[3, 2, 1], &stream(50));
+            let shards = Router::split(policy, &[3.0, 2.0, 1.0], &stream(50));
             for shard in shards {
                 for w in shard.windows(2) {
                     assert!(w[0].arrival <= w[1].arrival);
@@ -285,9 +342,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "every cluster needs >= 1 server")]
+    fn server_counts_are_the_unit_capacity_fallback() {
+        let from_counts = Router::from_server_counts(RouterPolicy::WeightedByCapacity, &[3, 2]);
+        assert_eq!(from_counts.weights(), &[3.0, 2.0]);
+        let mut a = from_counts;
+        let mut b = Router::new(RouterPolicy::WeightedByCapacity, &[3.0, 2.0]);
+        for j in stream(20) {
+            assert_eq!(a.route(&j), b.route(&j));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "every cluster needs positive capacity")]
+    fn zero_capacity_cluster_rejected() {
+        let _ = Router::new(RouterPolicy::RoundRobin, &[2.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "every cluster needs positive capacity")]
     fn zero_server_cluster_rejected() {
-        let _ = Router::new(RouterPolicy::RoundRobin, &[2, 0]);
+        let _ = Router::from_server_counts(RouterPolicy::RoundRobin, &[2, 0]);
     }
 
     #[test]

@@ -65,6 +65,12 @@ pub struct ServerStats {
 #[derive(Debug, Clone)]
 pub struct Server {
     capacity: ResourceVec,
+    /// Multiplier applied to the (per-unit-server) power model: a server
+    /// with twice the CPU capacity draws twice the Fan-et-al curve at the
+    /// same relative utilization. Derived from the CPU capacity component,
+    /// so unit-capacity (homogeneous) fleets keep the paper's numbers
+    /// exactly.
+    peak_scale: f64,
     used: ResourceVec,
     state: MachineState,
     /// Set when a job arrives while the server is descending into sleep;
@@ -94,8 +100,10 @@ impl Server {
         );
         reliability.validate().expect("invalid reliability config");
         let dims = capacity.dims();
+        let peak_scale = capacity.cpu();
         Self {
             capacity,
+            peak_scale,
             used: ResourceVec::zeros(dims),
             state: if initially_on {
                 MachineState::On
@@ -163,9 +171,19 @@ impl Server {
         &self.stats
     }
 
-    /// Instantaneous power draw in watts.
+    /// Power-model multiplier of this server (its CPU capacity): the power
+    /// curve — idle, peak, and transition draw alike — scales with machine
+    /// size, so a 2x-capacity server consumes 2x at the same relative
+    /// utilization. Exactly `1.0` for unit-capacity (homogeneous) servers.
+    pub fn peak_scale(&self) -> f64 {
+        self.peak_scale
+    }
+
+    /// Instantaneous power draw in watts: the (unit-server) model evaluated
+    /// at this server's relative CPU utilization, scaled by
+    /// [`Server::peak_scale`].
     pub fn power_watts(&self, model: &PowerModel) -> f64 {
-        self.state.power_watts(model, self.cpu_utilization())
+        self.peak_scale * self.state.power_watts(model, self.cpu_utilization())
     }
 
     /// Reliability hot-spot measure: the amount by which the busiest
@@ -427,6 +445,30 @@ mod tests {
         s.account(SimTime::from_secs(100.0), &model);
         assert!((s.stats().energy_joules - 8700.0).abs() < 1e-6);
         assert_eq!(s.stats().idle_seconds, 100.0);
+    }
+
+    #[test]
+    fn big_server_scales_the_whole_power_curve() {
+        // A 2x-capacity server draws 2x idle power, 2x transition power,
+        // and integrates 2x the energy of a unit server at the same
+        // relative utilization.
+        let model = PowerModel::paper();
+        let mut big = Server::new(
+            ResourceVec::new(&[2.0, 2.0, 2.0]),
+            true,
+            ReliabilityConfig::paper(),
+        );
+        assert_eq!(big.peak_scale(), 2.0);
+        assert!((big.power_watts(&model) - 2.0 * 87.0).abs() < 1e-9);
+        big.account(SimTime::from_secs(100.0), &model);
+        assert!((big.stats().energy_joules - 2.0 * 8700.0).abs() < 1e-6);
+
+        // Half a big server's CPU is the same *relative* utilization as
+        // half a little server's, so the curve shape is shared.
+        big.enqueue(job(1, 100.0, 50.0, 1.0)); // 1.0 of capacity 2.0 = 50%
+        let _ = big.start_fitting_jobs(SimTime::from_secs(100.0));
+        assert!((big.cpu_utilization() - 0.5).abs() < 1e-9);
+        assert!((big.power_watts(&model) - 2.0 * model.active_power(0.5)).abs() < 1e-9);
     }
 
     #[test]

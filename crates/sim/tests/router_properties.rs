@@ -1,6 +1,8 @@
 //! Property-based tests of the front-end router: for *any* arrival stream,
-//! *any* routing policy, and *any* cluster-size vector, routing is a
-//! lossless, duplication-free, deterministic partition of the stream.
+//! *any* routing policy, and *any* cluster-capacity vector — uniform
+//! (server counts) or heterogeneous (fractional capacity weights) —
+//! routing is a lossless, duplication-free, deterministic partition of the
+//! stream.
 
 use hierdrl_sim::job::{Job, JobId};
 use hierdrl_sim::resources::ResourceVec;
@@ -33,17 +35,18 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// The multiset of jobs across all per-cluster sub-streams equals the
-    /// input stream: nothing lost, nothing duplicated, nothing mutated.
+    /// input stream: nothing lost, nothing duplicated, nothing mutated —
+    /// under arbitrary heterogeneous capacity weights.
     #[test]
     fn routing_partitions_the_stream(
         raw in prop::collection::vec((0.0f64..30.0, 60.0f64..7200.0, 0.05f64..1.0), 0usize..200),
-        sizes in prop::collection::vec(1usize..9, 1usize..6),
+        weights in prop::collection::vec(0.25f64..9.0, 1usize..6),
         policy_index in 0usize..3,
     ) {
         let jobs = stream_from(raw);
         let policy = policy_from(policy_index);
-        let shards = Router::split(policy, &sizes, &jobs);
-        prop_assert_eq!(shards.len(), sizes.len());
+        let shards = Router::split(policy, &weights, &jobs);
+        prop_assert_eq!(shards.len(), weights.len());
 
         let mut recovered: Vec<Job> = shards.iter().flatten().cloned().collect();
         recovered.sort_by_key(|j| j.id);
@@ -55,11 +58,11 @@ proptest! {
     #[test]
     fn sub_streams_preserve_arrival_order(
         raw in prop::collection::vec((0.0f64..10.0, 60.0f64..3600.0, 0.05f64..0.9), 1usize..150),
-        sizes in prop::collection::vec(1usize..6, 1usize..5),
+        weights in prop::collection::vec(0.25f64..6.0, 1usize..5),
         policy_index in 0usize..3,
     ) {
         let jobs = stream_from(raw);
-        let shards = Router::split(policy_from(policy_index), &sizes, &jobs);
+        let shards = Router::split(policy_from(policy_index), &weights, &jobs);
         for shard in &shards {
             for w in shard.windows(2) {
                 prop_assert!(w[0].arrival <= w[1].arrival);
@@ -68,25 +71,25 @@ proptest! {
         }
     }
 
-    /// Routing is a pure function of (stream, policy, sizes): re-splitting
-    /// the same stream reproduces identical sub-streams, and incremental
-    /// routing agrees with the batch split.
+    /// Routing is a pure function of (stream, policy, capacities):
+    /// re-splitting the same stream reproduces identical sub-streams, and
+    /// incremental routing agrees with the batch split.
     #[test]
     fn routing_is_deterministic(
         raw in prop::collection::vec((0.0f64..20.0, 60.0f64..7200.0, 0.05f64..1.0), 1usize..120),
-        sizes in prop::collection::vec(1usize..8, 2usize..5),
+        weights in prop::collection::vec(0.25f64..8.0, 2usize..5),
         policy_index in 0usize..3,
     ) {
         let jobs = stream_from(raw);
         let policy = policy_from(policy_index);
-        let a = Router::split(policy, &sizes, &jobs);
-        let b = Router::split(policy, &sizes, &jobs);
+        let a = Router::split(policy, &weights, &jobs);
+        let b = Router::split(policy, &weights, &jobs);
         prop_assert_eq!(&a, &b);
 
-        let mut router = Router::new(policy, &sizes);
+        let mut router = Router::new(policy, &weights);
         for job in &jobs {
             let k = router.route(job);
-            prop_assert!(k < sizes.len());
+            prop_assert!(k < weights.len());
         }
         let routed: u64 = router.assigned().iter().sum();
         prop_assert_eq!(routed, jobs.len() as u64);
@@ -95,20 +98,40 @@ proptest! {
         prop_assert_eq!(lens, assigned);
     }
 
-    /// Capacity-weighted routing never lets any cluster drift more than one
-    /// job from its capacity quota.
+    /// Integer server counts route exactly like the equivalent capacity
+    /// weights: counts are the unit-capacity special case, not a separate
+    /// code path.
     #[test]
-    fn weighted_quota_error_is_bounded(
-        raw in prop::collection::vec((0.0f64..15.0, 60.0f64..3600.0, 0.05f64..0.9), 1usize..200),
-        sizes in prop::collection::vec(1usize..9, 2usize..6),
+    fn server_counts_equal_unit_capacity_weights(
+        raw in prop::collection::vec((0.0f64..15.0, 60.0f64..3600.0, 0.05f64..0.9), 1usize..120),
+        sizes in prop::collection::vec(1usize..9, 1usize..6),
+        policy_index in 0usize..3,
     ) {
         let jobs = stream_from(raw);
-        let total: usize = sizes.iter().sum();
-        let mut router = Router::new(RouterPolicy::WeightedByCapacity, &sizes);
+        let policy = policy_from(policy_index);
+        let weights: Vec<f64> = sizes.iter().map(|&m| m as f64).collect();
+        let mut by_counts = Router::from_server_counts(policy, &sizes);
+        let mut by_weights = Router::new(policy, &weights);
+        for job in &jobs {
+            prop_assert_eq!(by_counts.route(job), by_weights.route(job));
+        }
+    }
+
+    /// Capacity-weighted routing never lets any cluster drift more than one
+    /// job from its capacity quota — including fractional, non-uniform
+    /// capacity weights (big/little fleets).
+    #[test]
+    fn weighted_quota_tracks_capacity_weights(
+        raw in prop::collection::vec((0.0f64..15.0, 60.0f64..3600.0, 0.05f64..0.9), 1usize..200),
+        weights in prop::collection::vec(0.25f64..9.0, 2usize..6),
+    ) {
+        let jobs = stream_from(raw);
+        let total: f64 = weights.iter().sum();
+        let mut router = Router::new(RouterPolicy::WeightedByCapacity, &weights);
         for (n, job) in jobs.iter().enumerate() {
             router.route(job);
             for (k, &routed) in router.assigned().iter().enumerate() {
-                let quota = (n + 1) as f64 * sizes[k] as f64 / total as f64;
+                let quota = (n + 1) as f64 * weights[k] / total;
                 prop_assert!(
                     (routed as f64 - quota).abs() <= 1.0,
                     "cluster {} has {} of quota {:.2} after {} jobs",
