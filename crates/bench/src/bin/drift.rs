@@ -1,0 +1,104 @@
+//! Online-learning / concept-drift sweep: {stationary, rate-step,
+//! rate-ramp, pattern-flip} workloads × {round-robin, DRL-only,
+//! hierarchical}, with evaluation and continued training interleaved
+//! across each cell's workload segments under carried learners. Prints a
+//! per-segment table (the post-drift columns are the headline: does online
+//! learning track the shifted distribution?) and writes per-cell timing —
+//! including per-segment rows — to `BENCH_drift.json` by default.
+//!
+//! ```sh
+//! cargo run --release -p hierdrl-bench --bin drift            # paper scale
+//! cargo run --release -p hierdrl-bench --bin drift -- --quick # smoke scale
+//! cargo run --release -p hierdrl-bench --bin drift -- --drifts rate-step,pattern-flip
+//! ```
+
+use hierdrl_exp::cli::SweepArgs;
+use hierdrl_exp::presets::{self, Scale, DRIFT_NAMES};
+
+fn main() {
+    let args = SweepArgs::from_env();
+    let scale = args.scale(Scale::paper(30));
+    let names = args.drift_names(&DRIFT_NAMES);
+    let runner = args.runner();
+    eprintln!(
+        "drift: M = {}, jobs = {}, drifts = {}, threads = {}",
+        scale.m,
+        scale.jobs,
+        names.join(","),
+        runner.threads()
+    );
+    let suite = presets::drift(scale, &names);
+    let run = runner.run(&suite).expect("drift suite");
+    let report = run.report();
+
+    println!(
+        "{:<56} {:>3} {:<24} {:>6} {:>9} {:>9} {:>7} {:>7}",
+        "cell", "seg", "shift", "jobs", "lat s/job", "J/job", "sleep%", "steps"
+    );
+    for cell in &report.cells {
+        let segments = cell
+            .segments
+            .as_ref()
+            .expect("every drift cell reports per-segment rows");
+        for seg in segments {
+            println!(
+                "{:<56} {:>3} {:<24} {:>6} {:>9.2} {:>9.0} {:>6.1}% {:>7}",
+                if seg.segment == 0 { &cell.id } else { "" },
+                seg.segment,
+                seg.shift,
+                seg.metrics.jobs_completed,
+                seg.metrics.mean_latency_s,
+                seg.metrics.energy_per_job_j,
+                100.0 * seg.metrics.sleep_fraction,
+                seg.drl.map_or(0, |d| d.train_steps),
+            );
+        }
+    }
+
+    // The headline: on each drift shape, the post-drift (last) segment is
+    // where continued online training has to pay off. Group by the
+    // `workload@drift` component of the cell id — the `workload` column
+    // alone is identical across every drift shape of the preset.
+    let drift_axis = |id: &str| id.split('/').nth(1).unwrap_or("").to_string();
+    for axis in report
+        .cells
+        .iter()
+        .map(|c| drift_axis(&c.id))
+        .collect::<std::collections::BTreeSet<_>>()
+    {
+        let find = |policy: &str| {
+            report
+                .cells
+                .iter()
+                .find(|c| drift_axis(&c.id) == axis && c.policy == policy)
+        };
+        if let (Some(rr), Some(drl)) = (find("round-robin"), find("drl-only")) {
+            let last = |c: &hierdrl_exp::report::CellReport| {
+                c.segments.as_ref().and_then(|s| s.last().cloned())
+            };
+            if let (Some(rr_last), Some(drl_last)) = (last(rr), last(drl)) {
+                let rr_pl = rr_last.metrics.energy_per_job_j * rr_last.metrics.mean_latency_s;
+                let drl_pl = drl_last.metrics.energy_per_job_j * drl_last.metrics.mean_latency_s;
+                eprintln!(
+                    "{axis}: post-drift power x latency (J·s/job²) round-robin \
+                     {rr_pl:.0} vs drl-only {drl_pl:.0} ({})",
+                    if drl_pl < rr_pl {
+                        "DRL tracks the drift"
+                    } else {
+                        "round-robin wins"
+                    }
+                );
+            }
+        }
+    }
+
+    let bench = run.bench_report();
+    eprintln!(
+        "\nsuite: {} cells in {:.2}s wall ({:.0} jobs/s aggregate)",
+        bench.cells_total, bench.total_wall_s, bench.jobs_per_s
+    );
+    // Not `BENCH_suite.json`: that name is the committed table1 baseline.
+    let out = args.out.as_deref().unwrap_or("BENCH_drift.json");
+    std::fs::write(out, bench.to_json_pretty() + "\n").expect("write bench artifact");
+    eprintln!("wrote {out}");
+}

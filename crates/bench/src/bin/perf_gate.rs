@@ -2,8 +2,15 @@
 //!
 //! Diffs a freshly generated bench artifact against the committed baseline,
 //! cell by cell (matched on scenario id), prints a per-cell comparison
-//! table, and exits non-zero if any matched cell's `jobs_per_s` regressed
-//! by more than the allowed percentage:
+//! table, and exits non-zero if:
+//!
+//! - any matched cell's `jobs_per_s` regressed by more than the allowed
+//!   percentage;
+//! - any baseline cell is **missing** from the fresh artifact (a silently
+//!   shrunken grid would otherwise pass the gate while measuring less);
+//! - any cell in either artifact carries a **non-finite** metric (NaN
+//!   compares false against every threshold, so an unguarded NaN would
+//!   sail through the regression check).
 //!
 //! ```sh
 //! cargo run --release -p hierdrl-bench --bin perf_gate -- \
@@ -11,11 +18,11 @@
 //!     --max-regression-pct 40
 //! ```
 //!
-//! Cells present in only one artifact are reported but never fail the gate
-//! (grid changes are reviewed through the baseline diff itself). To refresh
-//! the committed baseline after an intentional change, re-run the `table1`
-//! bin with the baseline's flags and commit the new file (see
-//! `crates/exp/README.md`, "Performance & CI gate").
+//! Cells present only in the *fresh* artifact are reported as `new` and
+//! never fail the gate (additions are reviewed through the baseline diff
+//! itself). To refresh the committed baseline after an intentional change,
+//! re-run the `table1` bin with the baseline's flags and commit the new
+//! file (see `crates/exp/README.md`, "Performance & CI gate").
 
 use hierdrl_exp::report::BenchReport;
 use std::process::ExitCode;
@@ -87,15 +94,33 @@ fn main() -> ExitCode {
 
     let mut failures = 0usize;
     let mut matched = 0usize;
+    let mut missing = 0usize;
+    let mut non_finite = 0usize;
     for base_cell in &baseline.cells {
         let Some(fresh_cell) = fresh.cells.iter().find(|c| c.id == base_cell.id) else {
+            missing += 1;
             println!(
                 "| {:<42} | {:>16.0} | {:>16} | {:>8} | {:<8} |",
-                base_cell.id, base_cell.jobs_per_s, "-", "-", "missing"
+                base_cell.id, base_cell.jobs_per_s, "-", "-", "MISSING"
             );
             continue;
         };
         matched += 1;
+        // Non-finite throughput in either artifact is a broken
+        // measurement, not a regression: any comparison against it is
+        // vacuous (NaN < floor is false), so fail it explicitly.
+        if !(base_cell.jobs_per_s.is_finite()
+            && fresh_cell.jobs_per_s.is_finite()
+            && base_cell.wall_s.is_finite()
+            && fresh_cell.wall_s.is_finite())
+        {
+            non_finite += 1;
+            println!(
+                "| {:<42} | {:>16} | {:>16} | {:>8} | {:<8} |",
+                base_cell.id, base_cell.jobs_per_s, fresh_cell.jobs_per_s, "-", "NON-FIN"
+            );
+            continue;
+        }
         let ratio = if base_cell.jobs_per_s > 0.0 {
             fresh_cell.jobs_per_s / base_cell.jobs_per_s
         } else {
@@ -116,6 +141,14 @@ fn main() -> ExitCode {
     }
     for fresh_cell in &fresh.cells {
         if !baseline.cells.iter().any(|c| c.id == fresh_cell.id) {
+            if !(fresh_cell.jobs_per_s.is_finite() && fresh_cell.wall_s.is_finite()) {
+                non_finite += 1;
+                println!(
+                    "| {:<42} | {:>16} | {:>16} | {:>8} | {:<8} |",
+                    fresh_cell.id, "-", fresh_cell.jobs_per_s, "-", "NON-FIN"
+                );
+                continue;
+            }
             println!(
                 "| {:<42} | {:>16} | {:>16.0} | {:>8} | {:<8} |",
                 fresh_cell.id, "-", fresh_cell.jobs_per_s, "-", "new"
@@ -129,14 +162,26 @@ fn main() -> ExitCode {
         args.baseline,
         args.fresh
     );
+    let mut verdicts: Vec<String> = Vec::new();
     if failures > 0 {
-        println!(
-            "\nperf gate FAILED: {failures}/{matched} matched cells regressed more than {:.0}%",
+        verdicts.push(format!(
+            "{failures}/{matched} matched cells regressed more than {:.0}%",
             args.max_regression_pct
-        );
-        ExitCode::FAILURE
-    } else {
+        ));
+    }
+    if missing > 0 {
+        verdicts.push(format!(
+            "{missing} baseline cell(s) missing from the fresh artifact"
+        ));
+    }
+    if non_finite > 0 {
+        verdicts.push(format!("{non_finite} cell(s) with non-finite metrics"));
+    }
+    if verdicts.is_empty() {
         println!("\nperf gate passed: {matched} matched cells within budget");
         ExitCode::SUCCESS
+    } else {
+        println!("\nperf gate FAILED: {}", verdicts.join("; "));
+        ExitCode::FAILURE
     }
 }

@@ -487,6 +487,14 @@ impl Allocator for DrlAllocator {
         ServerId(action)
     }
 
+    fn on_run_begin(&mut self) {
+        // Each run restarts the clock at zero; a pending transition
+        // anchored to the previous run's clock would close against a
+        // nonsensical sojourn. Normally already dropped by `on_run_end`,
+        // but the start hook holds even across aborted runs.
+        self.pending = None;
+    }
+
     fn on_run_end(&mut self, _view: &ClusterView<'_>) {
         // The final transition has no successor epoch; drop it.
         self.pending = None;

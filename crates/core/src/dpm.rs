@@ -216,6 +216,10 @@ pub struct RlPowerManager {
     /// Representative capacity per class, in class order (empty when the
     /// capacity structure is unknown, i.e. built via [`RlPowerManager::new`]).
     class_capacities: Vec<Vec<f64>>,
+    /// `false` freezes every learnable part (Q-tables, predictors,
+    /// exploration) — the no-continued-training ablation of online
+    /// concept-drift sweeps.
+    learning: bool,
     stats: DpmStats,
 }
 
@@ -293,6 +297,7 @@ impl RlPowerManager {
             agents,
             tables,
             class_capacities,
+            learning: true,
             stats: DpmStats::default(),
         }
     }
@@ -403,6 +408,41 @@ impl RlPowerManager {
         mgr
     }
 
+    /// Enables or disables learning. While off, the Q-tables stop
+    /// updating, action selection is pure greedy argmax (exploration
+    /// would be pointless without updates to profit from it), and the
+    /// per-server LSTM predictors freeze their weights — though their
+    /// look-back windows keep tracking arrivals so the RL state stays
+    /// current. This is the "no continued training" ablation that online
+    /// concept-drift sweeps compare against.
+    pub fn set_learning(&mut self, on: bool) {
+        self.learning = on;
+        let predictor_training = on && self.config.predictor.online_training;
+        for agent in &mut self.agents {
+            agent.predictor.set_online_training(predictor_training);
+            if !on {
+                agent.pending = None;
+            }
+        }
+    }
+
+    /// Total observations the per-server predictors rejected as carrying
+    /// no inter-arrival information (NaN/non-positive). Non-zero means a
+    /// driver fabricated an interval — e.g. a last-arrival mark surviving
+    /// a segment boundary.
+    pub fn rejected_observations(&self) -> u64 {
+        self.agents
+            .iter()
+            .map(|a| a.predictor.rejected_observations())
+            .sum()
+    }
+
+    /// Total (accepted) observations consumed by the per-server
+    /// predictors.
+    pub fn predictor_observations(&self) -> u64 {
+        self.agents.iter().map(|a| a.predictor.observations()).sum()
+    }
+
     /// Mean one-step prediction MSE (normalized space) across servers whose
     /// predictors have scored at least one prediction.
     pub fn mean_predictor_mse(&self) -> Option<f64> {
@@ -458,8 +498,24 @@ impl PowerManager for RlPowerManager {
         let smdp = self.config.smdp;
 
         let state = self.state_for(&self.agents[server.0]);
-        // Close the previous case-(1) decision with the observed sojourn.
         let table = self.agents[server.0].table;
+        if !self.learning {
+            // Frozen (the no-continued-training ablation): pure greedy
+            // exploitation of the learned values, no bookkeeping.
+            let row = self.tables[table].q_row(&state);
+            let action = row
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("Q values are finite"))
+                .map_or(0, |(i, _)| i);
+            let timeout = self.config.timeouts[action];
+            return if timeout == 0.0 {
+                TimeoutDecision::SleepNow
+            } else {
+                TimeoutDecision::After(timeout)
+            };
+        }
+        // Close the previous case-(1) decision with the observed sojourn.
         let agent = &mut self.agents[server.0];
         if let Some(p) = agent.pending.take() {
             if let Some((r, tau)) =
@@ -497,6 +553,23 @@ impl PowerManager for RlPowerManager {
             agent.predictor.observe(now.since(last));
         }
         agent.last_arrival = Some(now);
+    }
+
+    fn on_run_begin(&mut self) {
+        // Every run — a pre-training rollout or one drift segment —
+        // restarts the clock at zero, so timestamp-anchored state must not
+        // survive into it: a stale `last_arrival` would fabricate an
+        // inter-arrival gap into the LSTM predictor feed (negative, since
+        // the new clock starts below the old one's end — exactly the class
+        // of leak this codebase hit before at pre-training boundaries),
+        // and a stale pending transition would integrate a reward over a
+        // nonsensical sojourn. `on_run_end` clears the same state, but the
+        // *start* hook is the guarantee: it holds even if the previous run
+        // was driven by a harness that never finished it.
+        for agent in &mut self.agents {
+            agent.pending = None;
+            agent.last_arrival = None;
+        }
     }
 
     fn on_run_end(&mut self, _view: &ClusterView<'_>) {
@@ -733,6 +806,109 @@ mod tests {
             mgr.tables[little].num_states(),
             0,
             "the little class's table must not absorb big-server updates"
+        );
+    }
+
+    #[test]
+    fn run_begin_clears_timestamp_anchored_state() {
+        let mut mgr = RlPowerManager::new(2, fast_config());
+        let mut cluster = Cluster::new(ClusterConfig::paper(2), bursty_jobs(60)).unwrap();
+        cluster.run(
+            &mut RoundRobinAllocator::new(),
+            &mut mgr,
+            RunLimit::unbounded(),
+        );
+        // Fake an aborted run: poison the state a finished run would have
+        // cleared, as a harness that drops a cluster mid-run would leave it.
+        for agent in &mut mgr.agents {
+            agent.last_arrival = Some(SimTime::from_secs(1e6));
+            agent.pending = Some(PendingDpm {
+                state: 0,
+                action: 0,
+                time_s: 1e6,
+                energy_j: 0.0,
+                queue_integral: 0.0,
+            });
+        }
+        mgr.on_run_begin();
+        for agent in &mgr.agents {
+            assert!(agent.last_arrival.is_none(), "last_arrival must reset");
+            assert!(agent.pending.is_none(), "pending must reset");
+        }
+    }
+
+    #[test]
+    fn carrying_across_segments_fabricates_no_inter_arrival_gap() {
+        // Segment A ends late (~45,000 s); segment B's first arrivals land
+        // within seconds of its own time zero. A leaked last-arrival mark
+        // would feed the predictor a negative gap at the boundary — which
+        // the predictor now rejects and counts. The regression contract is
+        // exact: zero rejections, and per-segment observation counts that
+        // match independent runs (one unobservable gap per server per
+        // segment, never one fewer).
+        let mut mgr = RlPowerManager::new(1, fast_config());
+        let seg_a = bursty_jobs(90);
+        let seg_b = bursty_jobs(60);
+        let mut cluster = Cluster::new(ClusterConfig::paper(1), seg_a).unwrap();
+        cluster.run(
+            &mut RoundRobinAllocator::new(),
+            &mut mgr,
+            RunLimit::unbounded(),
+        );
+        assert_eq!(mgr.predictor_observations(), 89);
+        let mut cluster = Cluster::new(ClusterConfig::paper(1), seg_b).unwrap();
+        cluster.run(
+            &mut RoundRobinAllocator::new(),
+            &mut mgr,
+            RunLimit::unbounded(),
+        );
+        assert_eq!(
+            mgr.predictor_observations(),
+            89 + 59,
+            "the cross-segment boundary must contribute no observation"
+        );
+        assert_eq!(
+            mgr.rejected_observations(),
+            0,
+            "no fabricated (non-positive) gap may reach the predictor"
+        );
+    }
+
+    #[test]
+    fn frozen_manager_stops_learning_but_keeps_deciding() {
+        let mut mgr = RlPowerManager::new(2, fast_config());
+        let jobs = bursty_jobs(120);
+        let mut cluster = Cluster::new(ClusterConfig::paper(2), jobs.clone()).unwrap();
+        cluster.run(
+            &mut RoundRobinAllocator::new(),
+            &mut mgr,
+            RunLimit::unbounded(),
+        );
+        let (updates, decisions) = (mgr.stats().updates, mgr.stats().decisions);
+        assert!(updates > 0);
+        let trained_steps: u64 = mgr
+            .agents
+            .iter()
+            .map(|a| a.predictor.training_steps())
+            .sum();
+
+        mgr.set_learning(false);
+        let mut cluster = Cluster::new(ClusterConfig::paper(2), jobs).unwrap();
+        let out = cluster.run(
+            &mut RoundRobinAllocator::new(),
+            &mut mgr,
+            RunLimit::unbounded(),
+        );
+        assert_eq!(out.totals.jobs_completed, 120, "frozen manager still runs");
+        assert_eq!(mgr.stats().updates, updates, "no Q updates while frozen");
+        assert!(mgr.stats().decisions > decisions, "decisions keep flowing");
+        assert_eq!(
+            mgr.agents
+                .iter()
+                .map(|a| a.predictor.training_steps())
+                .sum::<u64>(),
+            trained_steps,
+            "predictor weights frozen too"
         );
     }
 

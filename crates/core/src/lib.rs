@@ -63,8 +63,8 @@ pub mod prelude {
     };
     pub use crate::reward::{reward_rate_between, RewardWeights};
     pub use crate::runner::{
-        pretrain_drl, pretrain_pair, run_experiment, run_policies, Experiment, ExperimentResult,
-        FleetStats,
+        aggregate_shards, concat_segments, pretrain_drl, pretrain_pair, run_experiment,
+        run_policies, Experiment, ExperimentResult, FleetStats, SegmentedExperiment, ShardResult,
     };
     pub use crate::state::{GlobalState, StateEncoder, StateEncoderConfig};
 }

@@ -17,7 +17,10 @@ use std::collections::VecDeque;
 
 /// A predictor of job inter-arrival times fed one observation at a time.
 pub trait IatPredictor {
-    /// Records an observed inter-arrival time (seconds).
+    /// Records an observed inter-arrival time (seconds). Implementations
+    /// that learn from observations must reject values that carry no
+    /// inter-arrival information (NaN, infinities, non-positive gaps)
+    /// instead of folding them into their state.
     fn observe(&mut self, iat: f64);
 
     /// Predicts the next inter-arrival time, or `None` before enough
@@ -66,6 +69,7 @@ pub struct LstmIatPredictor {
     adam: Adam,
     window: VecDeque<f32>,
     observations: u64,
+    rejected: u64,
     training_steps: u64,
     sq_err_sum: f64,
     err_count: u64,
@@ -95,6 +99,7 @@ impl LstmIatPredictor {
             lstm,
             window: VecDeque::with_capacity(config.lookback + 1),
             observations: 0,
+            rejected: 0,
             training_steps: 0,
             sq_err_sum: 0.0,
             err_count: 0,
@@ -118,9 +123,24 @@ impl LstmIatPredictor {
         self.observations
     }
 
+    /// Observations rejected as carrying no inter-arrival information
+    /// (NaN, infinite, or non-positive). A non-zero count under a correct
+    /// simulator driver indicates a time-bookkeeping bug upstream — e.g.
+    /// a last-arrival mark leaking across a segment boundary.
+    pub fn rejected_observations(&self) -> u64 {
+        self.rejected
+    }
+
     /// Online training steps performed.
     pub fn training_steps(&self) -> u64 {
         self.training_steps
+    }
+
+    /// Enables or disables online training (weights freeze while off; the
+    /// look-back window keeps tracking observations so predictions stay
+    /// current).
+    pub fn set_online_training(&mut self, on: bool) {
+        self.config.online_training = on;
     }
 
     /// Running mean squared one-step prediction error in *normalized*
@@ -149,6 +169,17 @@ impl LstmIatPredictor {
 
 impl IatPredictor for LstmIatPredictor {
     fn observe(&mut self, iat: f64) {
+        // A NaN here would sail through `clamp` (which returns NaN for NaN
+        // input) into the window and then the weights, silently poisoning
+        // every later prediction; a non-positive gap is physically
+        // meaningless for an inter-*arrival* process (two events at one
+        // instant, or a clock that went backwards). Reject both instead of
+        // normalizing them — the mirror of the state encoder's
+        // `queue_scale > 0` guard.
+        if !(iat.is_finite() && iat > 0.0) {
+            self.rejected += 1;
+            return;
+        }
         self.observations += 1;
         let z = self.normalize(iat);
         // The current window predicts this observation: train on it.
@@ -393,6 +424,51 @@ mod tests {
             p.observe(10.0);
         }
         assert!((p.predict().unwrap() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn non_finite_and_non_positive_observations_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut p = LstmIatPredictor::new(small_config(), &mut rng);
+        for _ in 0..20 {
+            p.observe(120.0);
+        }
+        let weights_before = format!("{:?}", p.lstm);
+        let (obs, steps) = (p.observations(), p.training_steps());
+
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -42.0] {
+            p.observe(bad);
+        }
+        assert_eq!(p.rejected_observations(), 5);
+        assert_eq!(p.observations(), obs, "rejected values must not count");
+        assert_eq!(p.training_steps(), steps, "rejected values must not train");
+        assert_eq!(
+            format!("{:?}", p.lstm),
+            weights_before,
+            "rejected values must not touch the weights"
+        );
+        // The prediction is still finite and in range afterwards.
+        let pred = p.predict().unwrap();
+        assert!(pred.is_finite() && pred >= 1.0);
+    }
+
+    #[test]
+    fn training_can_be_frozen_and_resumed() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut p = LstmIatPredictor::new(small_config(), &mut rng);
+        for _ in 0..20 {
+            p.observe(100.0);
+        }
+        let steps = p.training_steps();
+        p.set_online_training(false);
+        for _ in 0..20 {
+            p.observe(100.0);
+        }
+        assert_eq!(p.training_steps(), steps, "frozen predictor must not train");
+        assert_eq!(p.observations(), 40, "window keeps tracking while frozen");
+        p.set_online_training(true);
+        p.observe(100.0);
+        assert_eq!(p.training_steps(), steps + 1);
     }
 
     #[test]

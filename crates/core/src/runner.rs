@@ -181,6 +181,217 @@ impl<'a> Experiment<'a> {
     }
 }
 
+/// An ordered sequence of workload segments run under *one* set of policy
+/// objects — the online-learning / concept-drift entry point. Learners are
+/// carried across segment boundaries (continuing online training on a
+/// drifting stream), while the *cluster* restarts fresh each segment with
+/// its clock at zero, exactly like the paper's week-scale trace segments.
+///
+/// The segment boundary is a bug-prone seam: any policy state anchored to
+/// the previous segment's clock (pending transitions, last-arrival marks
+/// feeding inter-arrival predictors) must be dropped at segment start, or
+/// the learner fabricates a cross-segment interval. The simulator enforces
+/// this through the `on_run_begin`/`on_run_end` hooks on both control
+/// traits.
+///
+/// # Examples
+///
+/// ```
+/// use hierdrl_core::prelude::*;
+/// use hierdrl_sim::prelude::*;
+/// use hierdrl_trace::prelude::*;
+///
+/// let cluster = ClusterConfig::paper(3);
+/// let segments: Vec<Trace> = (0..2)
+///     .map(|s| {
+///         TraceGenerator::new(WorkloadConfig::google_like(s, 60_000.0))
+///             .unwrap()
+///             .generate_n(80)
+///     })
+///     .collect();
+/// let refs: Vec<&Trace> = segments.iter().collect();
+///
+/// let mut allocator = hierdrl_sim::policies::RoundRobinAllocator::new();
+/// let mut power = hierdrl_sim::policies::SleepImmediatelyPower;
+/// let results = SegmentedExperiment::new("demo", &cluster, &refs)
+///     .run(&mut allocator, &mut power)?;
+/// assert_eq!(results.len(), 2);
+/// assert_eq!(results[0].outcome.totals.jobs_completed, 80);
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentedExperiment<'a> {
+    /// Display name attached to every segment's result.
+    pub name: &'a str,
+    /// Cluster under test (rebuilt fresh for each segment).
+    pub cluster: &'a ClusterConfig,
+    /// The workload segments, in drift order.
+    pub segments: &'a [&'a Trace],
+    /// Bounds applied to *each* segment's run.
+    pub limit: RunLimit,
+}
+
+impl<'a> SegmentedExperiment<'a> {
+    /// An unbounded segmented experiment.
+    pub fn new(name: &'a str, cluster: &'a ClusterConfig, segments: &'a [&'a Trace]) -> Self {
+        Self {
+            name,
+            cluster,
+            segments,
+            limit: RunLimit::unbounded(),
+        }
+    }
+
+    /// Replaces the per-segment run limit.
+    #[must_use]
+    pub fn with_limit(mut self, limit: RunLimit) -> Self {
+        self.limit = limit;
+        self
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether there are no segments.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Runs segment `index` on the carried policy objects, leaving them
+    /// trained (and ready for the next segment) afterwards. Drivers that
+    /// need to interleave bookkeeping between segments (per-segment stats
+    /// snapshots, timing) call this in a loop; everyone else uses
+    /// [`SegmentedExperiment::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the cluster configuration or segment trace is
+    /// invalid.
+    pub fn run_segment(
+        &self,
+        index: usize,
+        allocator: &mut dyn Allocator,
+        power: &mut dyn PowerManager,
+    ) -> Result<ExperimentResult, String> {
+        Experiment::new(self.name, self.cluster, self.segments[index])
+            .with_limit(self.limit)
+            .run(allocator, power)
+            .map_err(|e| format!("segment {index}: {e}"))
+    }
+
+    /// Runs every segment in order on the carried policy objects,
+    /// continuing online training across boundaries, and returns the
+    /// per-segment results.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing segment's error.
+    pub fn run(
+        &self,
+        allocator: &mut dyn Allocator,
+        power: &mut dyn PowerManager,
+    ) -> Result<Vec<ExperimentResult>, String> {
+        (0..self.segments.len())
+            .map(|i| self.run_segment(i, allocator, power))
+            .collect()
+    }
+}
+
+/// Concatenates per-segment results into one whole-run
+/// [`ExperimentResult`], sequentially in time: each segment restarts its
+/// clock at zero, so spans and accumulated quantities *sum* (unlike
+/// [`aggregate_shards`], whose shards share one clock and take the max
+/// span). Sample curves are re-offset by the cumulative time and totals of
+/// preceding segments, producing one continuous accumulated curve across
+/// the whole drift. Latency percentiles merge job-count-weighted (the same
+/// approximation as shard aggregation); fleet fractions weight by segment
+/// span.
+///
+/// # Panics
+///
+/// Panics if `segments` is empty.
+pub fn concat_segments(name: &str, segments: &[&ExperimentResult]) -> ExperimentResult {
+    assert!(!segments.is_empty(), "concat needs >= 1 segment");
+    let mut totals = hierdrl_sim::metrics::ClusterTotals::default();
+    let mut samples: Vec<SamplePoint> = Vec::new();
+    let mut fleet = FleetStats::default();
+    let mut end_s = 0.0;
+    let total_span: f64 = segments
+        .iter()
+        .map(|s| s.outcome.totals.time_s)
+        .sum::<f64>()
+        .max(1e-9);
+    for seg in segments {
+        let t = &seg.outcome.totals;
+        // Offsets *before* accumulating this segment: its samples continue
+        // the curve from where the previous segment left off.
+        for p in &seg.outcome.samples {
+            samples.push(SamplePoint {
+                jobs_completed: totals.jobs_completed + p.jobs_completed,
+                time_s: end_s + p.time_s,
+                total_latency_s: totals.total_latency_s + p.total_latency_s,
+                energy_joules: totals.energy_joules + p.energy_joules,
+            });
+        }
+        totals.time_s += t.time_s;
+        totals.energy_joules += t.energy_joules;
+        totals.vm_time_integral += t.vm_time_integral;
+        totals.queue_time_integral += t.queue_time_integral;
+        totals.overload_integral += t.overload_integral;
+        totals.power_watts = t.power_watts; // instantaneous: last segment's
+        totals.jobs_arrived += t.jobs_arrived;
+        totals.jobs_completed += t.jobs_completed;
+        totals.total_latency_s += t.total_latency_s;
+        end_s += seg.outcome.end_time.as_secs();
+
+        let w = t.time_s / total_span;
+        fleet.busy_fraction += w * seg.fleet.busy_fraction;
+        fleet.idle_fraction += w * seg.fleet.idle_fraction;
+        fleet.sleep_fraction += w * seg.fleet.sleep_fraction;
+        fleet.transition_fraction += w * seg.fleet.transition_fraction;
+        fleet.total_wake_transitions += seg.fleet.total_wake_transitions;
+    }
+
+    let with_latency: Vec<(u64, LatencyStats)> = segments
+        .iter()
+        .filter_map(|s| s.latency.map(|l| (s.outcome.totals.jobs_completed, l)))
+        .collect();
+    let jobs_with_latency: u64 = with_latency.iter().map(|(n, _)| n).sum();
+    let latency = (jobs_with_latency > 0).then(|| {
+        let mut merged = LatencyStats {
+            count: 0,
+            mean: 0.0,
+            p50: 0.0,
+            p95: 0.0,
+            p99: 0.0,
+            max: 0.0,
+        };
+        for (jobs, l) in &with_latency {
+            let w = *jobs as f64 / jobs_with_latency as f64;
+            merged.count += l.count;
+            merged.mean += w * l.mean;
+            merged.p50 += w * l.p50;
+            merged.p95 += w * l.p95;
+            merged.p99 += w * l.p99;
+            merged.max = merged.max.max(l.max);
+        }
+        merged
+    });
+
+    ExperimentResult {
+        name: name.to_string(),
+        outcome: RunOutcome {
+            totals,
+            end_time: SimTime::from_secs(end_s),
+            samples,
+        },
+        latency,
+        fleet,
+    }
+}
+
 /// Runs pre-built policy objects on a trace. Useful when the caller owns a
 /// pre-trained learner and wants to keep it afterwards.
 ///
@@ -563,6 +774,78 @@ mod tests {
         let f = agg.fleet;
         let sum = f.busy_fraction + f.idle_fraction + f.sleep_fraction + f.transition_fraction;
         assert!((sum - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn segmented_run_carries_the_learner_and_reports_per_segment() {
+        let config = ClusterConfig::paper(4);
+        let drl_config = DrlAllocatorConfig {
+            warmup_decisions: 20,
+            ae_pretrain_samples: 100,
+            ae_epochs: 2,
+            ..Default::default()
+        };
+        let mut allocator = DrlAllocator::new(4, 3, drl_config);
+        let segments: Vec<Trace> = (0..3).map(|s| small_trace(30 + s, 120)).collect();
+        let refs: Vec<&Trace> = segments.iter().collect();
+        let results = SegmentedExperiment::new("drift", &config, &refs)
+            .run(&mut allocator, &mut SleepImmediatelyPower)
+            .unwrap();
+        assert_eq!(results.len(), 3);
+        for r in &results {
+            assert_eq!(r.outcome.totals.jobs_completed, 120);
+        }
+        // Online training continued across every boundary: one decision
+        // per job, accumulated over all segments.
+        assert_eq!(allocator.stats().decisions, 360);
+        assert!(allocator.stats().train_steps > 0);
+    }
+
+    #[test]
+    fn concat_sums_time_sequentially_and_offsets_curves() {
+        let mut config = ClusterConfig::paper(3);
+        config.sample_every = 40;
+        let results: Vec<ExperimentResult> = (0..2)
+            .map(|k| {
+                run_experiment(
+                    &PolicyPair::round_robin_baseline(),
+                    &config,
+                    &small_trace(40 + k, 100),
+                    RunLimit::unbounded(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let refs: Vec<&ExperimentResult> = results.iter().collect();
+        let whole = concat_segments("drift", &refs);
+
+        assert_eq!(whole.outcome.totals.jobs_completed, 200);
+        let span: f64 = results.iter().map(|r| r.outcome.totals.time_s).sum();
+        assert!((whole.outcome.totals.time_s - span).abs() < 1e-9);
+        let ends: f64 = results.iter().map(|r| r.outcome.end_time.as_secs()).sum();
+        assert!((whole.outcome.end_time.as_secs() - ends).abs() < 1e-9);
+        let energy: f64 = results.iter().map(|r| r.outcome.totals.energy_joules).sum();
+        assert!((whole.outcome.totals.energy_joules - energy).abs() < 1e-6);
+
+        // The merged curve is one continuous accumulation: monotone in
+        // time, jobs, and energy, with all points present.
+        for w in whole.outcome.samples.windows(2) {
+            assert!(w[1].time_s >= w[0].time_s);
+            assert!(w[1].jobs_completed >= w[0].jobs_completed);
+            assert!(w[1].energy_joules >= w[0].energy_joules);
+        }
+        let n: usize = results.iter().map(|r| r.outcome.samples.len()).sum();
+        assert_eq!(whole.outcome.samples.len(), n);
+
+        // Fractions stay a partition of time.
+        let f = whole.fleet;
+        let sum = f.busy_fraction + f.idle_fraction + f.sleep_fraction + f.transition_fraction;
+        assert!((sum - 1.0).abs() < 1e-6);
+
+        // Concatenating one segment reproduces it.
+        let one = concat_segments("one", &refs[..1]);
+        assert_eq!(one.outcome.totals, results[0].outcome.totals);
+        assert_eq!(one.outcome.samples, results[0].outcome.samples);
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //!   emit one);
 //! - `--clusters <C1,C2,...>` — cluster-counts axis for sharded presets;
 //! - `--ms <M1,M2,...>` — cluster-size axis for sweep presets;
-//! - `--rates <F1,F2,...>` — arrival-rate factor axis for sweep presets.
+//! - `--rates <F1,F2,...>` — arrival-rate factor axis for sweep presets;
+//! - `--drifts <D1,D2,...>` — drift-shape axis for the drift preset
+//!   (names from `presets::DRIFT_NAMES`).
 
 use crate::presets::Scale;
 use crate::runner::SuiteRunner;
@@ -36,6 +38,9 @@ pub struct SweepArgs {
     /// `--rates` override (comma-separated arrival-rate factors for sweep
     /// presets).
     pub rates: Option<Vec<f64>>,
+    /// `--drifts` override (comma-separated drift-shape names for the
+    /// drift preset).
+    pub drifts: Option<Vec<String>>,
 }
 
 impl SweepArgs {
@@ -102,6 +107,14 @@ impl SweepArgs {
                             .collect(),
                     );
                 }
+                "--drifts" => {
+                    out.drifts = Some(
+                        take("--drifts")
+                            .split(',')
+                            .map(|s| s.trim().to_string())
+                            .collect(),
+                    );
+                }
                 "--quick" => out.quick = true,
                 other => eprintln!("ignoring unknown argument {other:?}"),
             }
@@ -140,6 +153,13 @@ impl SweepArgs {
     /// The arrival-rate factor axis, starting from a preset's default.
     pub fn rate_factors(&self, default_rates: &[f64]) -> Vec<f64> {
         self.rates.clone().unwrap_or_else(|| default_rates.to_vec())
+    }
+
+    /// The drift-shape axis, starting from a preset's default.
+    pub fn drift_names(&self, default_names: &[&str]) -> Vec<String> {
+        self.drifts
+            .clone()
+            .unwrap_or_else(|| default_names.iter().map(|s| s.to_string()).collect())
     }
 
     /// A runner honouring `--threads`.
@@ -193,5 +213,18 @@ mod tests {
         assert_eq!(args.rate_factors(&[1.0]), vec![0.5, 1.0, 1.5]);
         assert_eq!(parse(&[]).cluster_sizes(&[30]), vec![30]);
         assert_eq!(parse(&[]).rate_factors(&[1.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn drifts_parse_comma_list() {
+        let args = parse(&["--drifts", "rate-step, pattern-flip"]);
+        assert_eq!(
+            args.drift_names(&["stationary"]),
+            vec!["rate-step".to_string(), "pattern-flip".to_string()]
+        );
+        assert_eq!(
+            parse(&[]).drift_names(&["stationary", "rate-step"]),
+            vec!["stationary".to_string(), "rate-step".to_string()]
+        );
     }
 }

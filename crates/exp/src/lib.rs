@@ -100,6 +100,38 @@
 //! # Ok::<(), String>(())
 //! ```
 //!
+//! # Online learning under concept drift
+//!
+//! A [`scenario::DriftSpec`] adds the concept-drift axis: the cell's
+//! workload becomes an ordered list of segments (arrival-rate steps and
+//! ramps, pattern regime changes, burstiness shifts — see
+//! [`hierdrl_trace::drift::SegmentShift`]), and the runner carries one set
+//! of learners across all of them, interleaving evaluation with continued
+//! online training. Per-segment rows land in the report next to the
+//! whole-run aggregate; `DriftSpec::with_frozen_learners` produces the
+//! no-continued-training ablation twin of any drift.
+//!
+//! ```
+//! use hierdrl_exp::prelude::*;
+//!
+//! let suite = Suite::builder("drifting")
+//!     .topologies([Topology::paper(3)])
+//!     .workloads([WorkloadSpec::paper().with_total_jobs(120)])
+//!     .drifts([DriftSpec::rate_step(2.0)])
+//!     .policies([PolicySpec::round_robin()])
+//!     .seeds([1])
+//!     .build();
+//!
+//! let run = SuiteRunner::new().run(&suite)?;
+//! let report = run.report();
+//! let segments = report.cells[0].segments.as_ref().unwrap();
+//! assert_eq!(segments.len(), 2);
+//! assert_eq!(segments[1].shift, "rate-x2");
+//! let total: u64 = segments.iter().map(|s| s.metrics.jobs_completed).sum();
+//! assert_eq!(total, 120);
+//! # Ok::<(), String>(())
+//! ```
+//!
 //! # Paper presets
 //!
 //! The grids behind the paper's artifacts are exposed as one-liners —
@@ -112,7 +144,8 @@
 //! use hierdrl_exp::presets::{self, Scale};
 //!
 //! let suite = presets::table1(Scale::quick());
-//! assert_eq!(suite.len(), 9); // (2 cluster sizes + big/little) x 3 systems
+//! // (2 cluster sizes + big/little + rate-step drift) x 3 systems
+//! assert_eq!(suite.len(), 12);
 //! ```
 
 pub mod cli;
@@ -126,11 +159,15 @@ pub mod suite;
 pub mod prelude {
     pub use crate::cli::SweepArgs;
     pub use crate::report::{
-        BenchReport, BenchShard, CellMetrics, CellReport, CellTiming, ShardReport, SuiteReport,
+        BenchReport, BenchSegment, BenchShard, CellMetrics, CellReport, CellTiming, SegmentReport,
+        ShardReport, SuiteReport,
     };
-    pub use crate::runner::{CellRun, ShardRun, SuiteRun, SuiteRunner};
-    pub use crate::scenario::{JobsBudget, PolicySpec, Pretrain, Scenario, Topology, WorkloadSpec};
+    pub use crate::runner::{CellRun, SegmentRun, ShardRun, SuiteRun, SuiteRunner};
+    pub use crate::scenario::{
+        DriftSpec, JobsBudget, PolicySpec, Pretrain, Scenario, Topology, WorkloadSpec,
+    };
     pub use crate::suite::{Suite, SuiteBuilder};
     pub use hierdrl_core::hierarchical::{AllocatorKind, PowerKind};
     pub use hierdrl_sim::router::RouterPolicy;
+    pub use hierdrl_trace::drift::SegmentShift;
 }

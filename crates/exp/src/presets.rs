@@ -5,7 +5,7 @@
 //! operating point — so the same grid runs at paper scale or as a smoke
 //! test (`Scale::quick()`), exactly like the old per-binary `--quick` flag.
 
-use crate::scenario::{PolicySpec, Pretrain, Topology, WorkloadSpec};
+use crate::scenario::{DriftSpec, PolicySpec, Pretrain, Topology, WorkloadSpec};
 use crate::suite::Suite;
 use hierdrl_core::allocator::DrlAllocatorConfig;
 use hierdrl_core::hierarchical::{AllocatorKind, PowerKind};
@@ -92,6 +92,46 @@ pub fn heterogeneous(scale: Scale) -> Suite {
         .build()
 }
 
+/// The arrival-rate multiplier of the canonical rate-step drift (a tenant
+/// launch doubling the load mid-evaluation).
+pub const DRIFT_RATE_STEP: f64 = 2.0;
+/// The rate-ramp drift's per-segment factors (organic growth).
+pub const DRIFT_RAMP_FACTORS: [f64; 3] = [1.0, 1.5, 2.0];
+
+/// The named drift shapes of the `drift` preset, by CLI name.
+pub fn drift_spec(name: &str) -> DriftSpec {
+    match name {
+        "stationary" => DriftSpec::stationary(2),
+        "rate-step" => DriftSpec::rate_step(DRIFT_RATE_STEP),
+        "rate-ramp" => DriftSpec::rate_ramp(&DRIFT_RAMP_FACTORS),
+        "pattern-flip" => DriftSpec::pattern_flip(),
+        other => panic!(
+            "unknown drift {other:?}; expected one of stationary, rate-step, rate-ramp, \
+             pattern-flip"
+        ),
+    }
+}
+
+/// The default drift axis of the `drift` preset.
+pub const DRIFT_NAMES: [&str; 4] = ["stationary", "rate-step", "rate-ramp", "pattern-flip"];
+
+/// Online-learning / concept-drift grid: {stationary, rate-step,
+/// rate-ramp, pattern-flip} × {round-robin, DRL-only, hierarchical}, each
+/// cell interleaving evaluation and continued training across its workload
+/// segments under carried learners, with per-segment rows in the report.
+/// The stationary drift is the control: same segmentation machinery, no
+/// distribution change — any gap between it and the single-trace cells of
+/// other presets would indicate a segment-boundary artifact.
+pub fn drift(scale: Scale, names: &[String]) -> Suite {
+    Suite::builder("drift")
+        .topologies([Topology::paper(scale.m)])
+        .workloads([scale.workload()])
+        .drifts(names.iter().map(|n| drift_spec(n)))
+        .policies(three_systems())
+        .seeds([42])
+        .build()
+}
+
 /// **Fig. 8**: accumulated latency and energy vs. jobs at `M = 30`
 /// (three systems, one seed).
 pub fn fig8(scale: Scale) -> Suite {
@@ -114,16 +154,18 @@ pub fn fig9(scale: Scale) -> Suite {
         .build()
 }
 
-/// **Table I**, extended with a heterogeneity row: the three systems at
-/// `M` and `4/3 · M` (the paper's 30 and 40), evaluation length scaling
-/// with `M` so per-server work is constant — plus the canonical big/little
-/// fleet at `M` (a quarter of the servers at 2x capacity), so the
-/// committed `BENCH_suite.json` baseline carries heterogeneous cells and
-/// the perf gate tracks them alongside the paper's.
+/// **Table I**, extended with a heterogeneity row and a drift row: the
+/// three systems at `M` and `4/3 · M` (the paper's 30 and 40), evaluation
+/// length scaling with `M` so per-server work is constant — plus the
+/// canonical big/little fleet at `M` (a quarter of the servers at 2x
+/// capacity) and a rate-step concept-drift row at `M`, so the committed
+/// `BENCH_suite.json` baseline carries heterogeneous *and* drift cells
+/// (with per-segment rows) and the perf gate tracks them alongside the
+/// paper's.
 pub fn table1(scale: Scale) -> Suite {
     let m_small = scale.m;
     let m_large = (scale.m * 4).div_ceil(3);
-    Suite::builder("table1")
+    let mut suite = Suite::builder("table1")
         .topologies([
             Topology::paper(m_small),
             Topology::paper(m_large),
@@ -132,7 +174,16 @@ pub fn table1(scale: Scale) -> Suite {
         .workloads([scale.workload_per_server()])
         .policies(three_systems())
         .seeds([42])
-        .build()
+        .build();
+    let drift_row = Suite::builder("table1")
+        .topologies([Topology::paper(m_small)])
+        .workloads([scale.workload_per_server()])
+        .drifts([DriftSpec::rate_step(DRIFT_RATE_STEP)])
+        .policies(three_systems())
+        .seeds([42])
+        .build();
+    suite.scenarios.extend(drift_row.scenarios);
+    suite
 }
 
 /// **Fig. 10**: the latency/energy trade-off sweep — fixed timeouts of
@@ -285,15 +336,15 @@ mod tests {
     use super::*;
 
     #[test]
-    fn table1_covers_both_cluster_sizes_and_a_big_little_row() {
+    fn table1_covers_both_cluster_sizes_a_big_little_and_a_drift_row() {
         let suite = table1(Scale::paper(30));
-        assert_eq!(suite.len(), 9);
+        assert_eq!(suite.len(), 12);
         let ms: Vec<usize> = suite
             .scenarios
             .iter()
             .map(|s| s.topology.servers())
             .collect();
-        assert_eq!(ms, [30, 30, 30, 40, 40, 40, 30, 30, 30]);
+        assert_eq!(ms, [30, 30, 30, 40, 40, 40, 30, 30, 30, 30, 30, 30]);
         // Per-server work held constant: 95k jobs at M=30, ~126.7k at M=40.
         assert_eq!(suite.scenarios[0].workload.jobs_for(30), 95_000);
         assert_eq!(suite.scenarios[3].workload.jobs_for(40), 126_667);
@@ -302,6 +353,44 @@ mod tests {
         assert!((hetero.topology.capacity_skew() - 2.0).abs() < 1e-12);
         // round(30 * 0.25) = 8 big servers at 2x: 8*2 + 22 little.
         assert!((hetero.topology.total_capacity() - 38.0).abs() < 1e-12);
+        // The drift row: the last three cells run the rate-step segments
+        // online, splitting the same total budget across segments.
+        for s in &suite.scenarios[9..] {
+            assert_eq!(s.num_segments(), 2);
+            assert!(s.online_learning());
+            assert!(s.id.contains("@rate-step-x2"));
+            let total: usize = s.segment_trace_specs().iter().map(|t| t.jobs).sum();
+            assert_eq!(total, 95_000);
+        }
+        // Non-drift cells keep their historical ids (perf-gate stability).
+        assert_eq!(suite.scenarios[0].id, "paper-m30/paper/round-robin/s42");
+    }
+
+    #[test]
+    fn drift_preset_grids_shapes_by_system() {
+        let names: Vec<String> = DRIFT_NAMES.iter().map(|s| s.to_string()).collect();
+        let suite = drift(Scale::quick(), &names);
+        // 4 drift shapes x 3 systems.
+        assert_eq!(suite.len(), 12);
+        assert!(suite.scenarios.iter().all(|s| s.num_segments() >= 2));
+        assert!(suite.scenarios.iter().all(|s| s.online_learning()));
+        let segment_counts: Vec<usize> = suite
+            .scenarios
+            .iter()
+            .step_by(3)
+            .map(|s| s.num_segments())
+            .collect();
+        assert_eq!(segment_counts, [2, 2, 3, 2]);
+        // Subsetting the axis by name works (the CLI path).
+        let one = drift(Scale::quick(), &["rate-ramp".to_string()]);
+        assert_eq!(one.len(), 3);
+        assert_eq!(one.scenarios[0].num_segments(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown drift")]
+    fn unknown_drift_name_rejected() {
+        let _ = drift_spec("sideways");
     }
 
     #[test]

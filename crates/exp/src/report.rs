@@ -48,6 +48,24 @@ impl CellMetrics {
     }
 }
 
+/// One segment's row of a concept-drift cell: which shift the segment ran
+/// and the metrics of carrying the learners through it, in drift order.
+/// `drl` snapshots the global tier's *cumulative* statistics at segment
+/// end, so consecutive rows show online training continuing (or, in the
+/// frozen ablation, stopping) across segment boundaries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmentReport {
+    /// Segment index in drift order.
+    pub segment: usize,
+    /// The segment's workload shift label (e.g. `rate-x2`).
+    pub shift: String,
+    /// The segment's own extracted metrics.
+    pub metrics: CellMetrics,
+    /// Cumulative global-tier learner statistics at segment end, for
+    /// learned policies.
+    pub drl: Option<DrlStats>,
+}
+
 /// One cluster's row of a multi-cluster cell: its share of the routed
 /// stream and its own metrics, in shard order.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -89,6 +107,8 @@ pub struct CellReport {
     pub metrics: CellMetrics,
     /// Global-tier learner statistics, for learned policies.
     pub drl: Option<DrlStats>,
+    /// Per-segment rows in drift order (`None` for non-drift cells).
+    pub segments: Option<Vec<SegmentReport>>,
     /// Per-cluster rows in shard order (`None` for single-cluster cells).
     pub clusters: Option<Vec<ShardReport>>,
 }
@@ -140,6 +160,19 @@ pub struct BenchShard {
     pub wall_s: f64,
 }
 
+/// One segment's timing row of a drift [`BenchCell`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchSegment {
+    /// Segment index in drift order.
+    pub segment: usize,
+    /// The segment's workload shift label.
+    pub shift: String,
+    /// Jobs the segment completed.
+    pub jobs: u64,
+    /// Segment wall-clock, seconds.
+    pub wall_s: f64,
+}
+
 /// One cell of a [`BenchReport`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchCell {
@@ -153,6 +186,9 @@ pub struct BenchCell {
     pub wall_s: f64,
     /// Simulated jobs per wall-clock second.
     pub jobs_per_s: f64,
+    /// Per-segment timing rows in drift order (`None` for non-drift
+    /// cells).
+    pub segments: Option<Vec<BenchSegment>>,
     /// Per-cluster timing rows in shard order (`None` for single-cluster
     /// cells).
     pub clusters: Option<Vec<BenchShard>>,

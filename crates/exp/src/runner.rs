@@ -23,17 +23,18 @@
 //! whereas a single cluster stops after `max_jobs` completions.
 
 use crate::report::{
-    BenchCell, BenchReport, BenchShard, CellMetrics, CellReport, CellTiming, ShardReport,
-    SuiteReport,
+    BenchCell, BenchReport, BenchSegment, BenchShard, CellMetrics, CellReport, CellTiming,
+    SegmentReport, ShardReport, SuiteReport,
 };
 use crate::scenario::{PolicySpec, Pretrain, Scenario};
 use crate::suite::Suite;
 use hierdrl_core::allocator::{DrlAllocator, DrlAllocatorConfig, DrlSnapshot, DrlStats};
 use hierdrl_core::dpm::{DpmSnapshot, RlPowerConfig, RlPowerManager};
 use hierdrl_core::runner::{
-    aggregate_shards, pretrain_pair, Experiment, ExperimentResult, ShardResult,
+    aggregate_shards, concat_segments, pretrain_pair, ExperimentResult, SegmentedExperiment,
+    ShardResult,
 };
-use hierdrl_sim::cluster::PowerManager;
+use hierdrl_sim::cluster::{Allocator, PowerManager};
 use hierdrl_sim::config::ClusterConfig;
 use hierdrl_sim::policies::{FixedTimeoutPower, SleepImmediatelyPower};
 use hierdrl_sim::router::Router;
@@ -89,13 +90,38 @@ struct RunContext {
     pretrained: PretrainCache,
 }
 
+/// The outcome of one segment of a concept-drift cell (or of one shard of
+/// such a cell): the learners were carried into it from the previous
+/// segment and, unless the cell is a frozen ablation, kept training online
+/// through it.
+#[derive(Debug, Clone)]
+pub struct SegmentRun {
+    /// Segment index in drift order.
+    pub segment: usize,
+    /// The segment's workload shift label.
+    pub shift: String,
+    /// Jobs this execution unit received for the segment.
+    pub jobs_routed: u64,
+    /// The segment's own experiment result.
+    pub result: ExperimentResult,
+    /// Cumulative global-tier statistics at segment end, for learned
+    /// policies.
+    pub drl_stats: Option<DrlStats>,
+    /// Segment wall-clock, seconds (max across shards at fleet level).
+    pub wall_s: f64,
+}
+
 /// The outcome of one shard (cluster) of a multi-cluster cell.
 #[derive(Debug, Clone)]
 pub struct ShardRun {
-    /// The shard's routed jobs and simulation result.
+    /// The shard's routed jobs and simulation result (the concatenation
+    /// across segments for drift cells).
     pub shard: ShardResult,
     /// The shard's global-tier statistics, for learned policies.
     pub drl_stats: Option<DrlStats>,
+    /// The shard's per-segment outcomes in drift order (empty for
+    /// non-drift cells).
+    pub segments: Vec<SegmentRun>,
     /// Shard wall-clock, seconds.
     pub wall_s: f64,
 }
@@ -107,11 +133,15 @@ pub struct CellRun {
     /// The scenario that produced this result.
     pub scenario: Scenario,
     /// Full experiment result (including sample curves for Figs. 8/9).
-    /// For multi-cluster cells this is the fleet-level aggregate.
+    /// For multi-cluster cells this is the fleet-level aggregate; for
+    /// drift cells, the time-sequential concatenation of the segments.
     pub result: ExperimentResult,
     /// Global-tier statistics, for learned policies. For multi-cluster
     /// cells, counters sum across shards and losses are decision-weighted.
     pub drl_stats: Option<DrlStats>,
+    /// Per-segment outcomes in drift order (empty for non-drift cells;
+    /// the fleet-level aggregate per segment when sharded).
+    pub segments: Vec<SegmentRun>,
     /// Per-cluster outcomes in shard order (empty for single-cluster
     /// cells).
     pub shards: Vec<ShardRun>,
@@ -156,6 +186,17 @@ impl SuiteRun {
                     seed: c.scenario.seed,
                     metrics: CellMetrics::from_result(&c.result),
                     drl: c.drl_stats,
+                    segments: (!c.segments.is_empty()).then(|| {
+                        c.segments
+                            .iter()
+                            .map(|s| SegmentReport {
+                                segment: s.segment,
+                                shift: s.shift.clone(),
+                                metrics: CellMetrics::from_result(&s.result),
+                                drl: s.drl_stats,
+                            })
+                            .collect()
+                    }),
                     clusters: (!c.shards.is_empty()).then(|| {
                         c.shards
                             .iter()
@@ -199,6 +240,17 @@ impl SuiteRun {
                     capacity_skew: c.scenario.topology.capacity_skew(),
                     wall_s: c.timing.wall_s,
                     jobs_per_s: c.timing.jobs_per_s,
+                    segments: (!c.segments.is_empty()).then(|| {
+                        c.segments
+                            .iter()
+                            .map(|s| BenchSegment {
+                                segment: s.segment,
+                                shift: s.shift.clone(),
+                                jobs: s.result.outcome.totals.jobs_completed,
+                                wall_s: s.wall_s,
+                            })
+                            .collect()
+                    }),
                     clusters: (!c.shards.is_empty()).then(|| {
                         c.shards
                             .iter()
@@ -421,16 +473,66 @@ fn pretrain(
     })
 }
 
-/// Runs one execution unit's policy pair on `experiment`, pre-training
-/// learned tiers first (memoized). Shared by the single-cluster path and
-/// every shard of a multi-cluster cell.
-fn execute_policy(
+/// A built global tier: static policies stay behind the trait object,
+/// while learned ones keep their concrete type so statistics capture and
+/// freezing (the no-continued-training drift ablation) stay reachable.
+enum BuiltAllocator {
+    Static(Box<dyn Allocator>),
+    Learned(Box<DrlAllocator>),
+}
+
+impl BuiltAllocator {
+    fn as_dyn(&mut self) -> &mut dyn Allocator {
+        match self {
+            BuiltAllocator::Static(a) => a.as_mut(),
+            BuiltAllocator::Learned(a) => a.as_mut(),
+        }
+    }
+
+    fn stats(&self) -> Option<DrlStats> {
+        match self {
+            BuiltAllocator::Static(_) => None,
+            BuiltAllocator::Learned(a) => Some(*a.stats()),
+        }
+    }
+
+    fn set_learning(&mut self, on: bool) {
+        if let BuiltAllocator::Learned(a) = self {
+            a.set_learning(on);
+        }
+    }
+}
+
+/// A built local tier, mirroring [`BuiltAllocator`].
+enum BuiltPower {
+    Static(Box<dyn PowerManager>),
+    Learned(Box<RlPowerManager>),
+}
+
+impl BuiltPower {
+    fn as_dyn(&mut self) -> &mut dyn PowerManager {
+        match self {
+            BuiltPower::Static(p) => p.as_mut(),
+            BuiltPower::Learned(p) => p.as_mut(),
+        }
+    }
+
+    fn set_learning(&mut self, on: bool) {
+        if let BuiltPower::Learned(p) = self {
+            p.set_learning(on);
+        }
+    }
+}
+
+/// Builds one execution unit's control planes, pre-training learned tiers
+/// first (memoized). Shared by the single-cluster path and every shard of
+/// a multi-cluster cell.
+fn build_policy(
     scenario: &Scenario,
     ctx: &RunContext,
     cluster: &ClusterConfig,
-    experiment: &Experiment<'_>,
     seeds: &LearnerSeeds,
-) -> Result<(ExperimentResult, Option<DrlStats>), String> {
+) -> Result<(BuiltAllocator, BuiltPower), String> {
     let segments = |budget: &Pretrain| {
         budget.segment_specs(
             cluster.num_servers,
@@ -442,20 +544,20 @@ fn execute_policy(
     match &scenario.policy {
         PolicySpec::Static {
             allocator, power, ..
-        } => {
-            let mut allocator = allocator.build(cluster.num_servers, cluster.resource_dims);
-            let mut power = power.build(cluster);
-            Ok((experiment.run(allocator.as_mut(), power.as_mut())?, None))
-        }
+        } => Ok((
+            BuiltAllocator::Static(allocator.build(cluster.num_servers, cluster.resource_dims)),
+            BuiltPower::Static(power.build(cluster)),
+        )),
         PolicySpec::DrlOnly { pretrain: budget }
         | PolicySpec::DrlVariant {
             pretrain: budget, ..
         } => {
             let drl = seeds.drl.as_ref().expect("learned policy has DRL config");
             let trained = pretrain(ctx, cluster, &segments(budget), drl, &None)?;
-            let mut allocator = DrlAllocator::from_snapshot(trained.drl);
-            let result = experiment.run(&mut allocator, &mut SleepImmediatelyPower)?;
-            Ok((result, Some(*allocator.stats())))
+            Ok((
+                BuiltAllocator::Learned(Box::new(DrlAllocator::from_snapshot(trained.drl))),
+                BuiltPower::Static(Box::new(SleepImmediatelyPower)),
+            ))
         }
         PolicySpec::DrlTimeout {
             timeout_s,
@@ -463,10 +565,10 @@ fn execute_policy(
         } => {
             let drl = seeds.drl.as_ref().expect("learned policy has DRL config");
             let trained = pretrain(ctx, cluster, &segments(budget), drl, &None)?;
-            let mut allocator = DrlAllocator::from_snapshot(trained.drl);
-            let mut power = FixedTimeoutPower::new(*timeout_s);
-            let result = experiment.run(&mut allocator, &mut power)?;
-            Ok((result, Some(*allocator.stats())))
+            Ok((
+                BuiltAllocator::Learned(Box::new(DrlAllocator::from_snapshot(trained.drl))),
+                BuiltPower::Static(Box::new(FixedTimeoutPower::new(*timeout_s))),
+            ))
         }
         PolicySpec::Hierarchical {
             pretrain: budget,
@@ -475,41 +577,100 @@ fn execute_policy(
         } => {
             let drl = seeds.drl.as_ref().expect("learned policy has DRL config");
             let trained = pretrain(ctx, cluster, &segments(budget), drl, &seeds.co_dpm)?;
-            let mut allocator = DrlAllocator::from_snapshot(trained.drl);
             let dpm_config = seeds.dpm.clone().expect("hierarchical has a DPM config");
             // Co-pre-trained cells restore the trained local tier; Fig. 10
             // cells start it fresh so every operating point shares the one
             // pre-trained global tier.
-            let mut dpm = match trained.dpm {
+            let dpm = match trained.dpm {
                 Some(snapshot) if *co_pretrain => {
                     RlPowerManager::from_snapshot_for_cluster(cluster, snapshot)
                 }
                 _ => RlPowerManager::for_cluster(cluster, dpm_config),
             };
-            let result = experiment.run(&mut allocator, &mut dpm as &mut dyn PowerManager)?;
-            Ok((result, Some(*allocator.stats())))
+            Ok((
+                BuiltAllocator::Learned(Box::new(DrlAllocator::from_snapshot(trained.drl))),
+                BuiltPower::Learned(Box::new(dpm)),
+            ))
         }
     }
 }
 
+/// Runs one execution unit's policy pair over its evaluation segments (one
+/// segment for non-drift cells), carrying the learners across segment
+/// boundaries with online training continuing — or frozen after
+/// pre-training for ablation cells. Returns the whole-run result (the
+/// time-sequential concatenation for drift cells), the final learner
+/// statistics, and the per-segment outcomes (empty for non-drift cells).
+fn execute_policy(
+    scenario: &Scenario,
+    ctx: &RunContext,
+    cluster: &ClusterConfig,
+    name: &str,
+    seeds: &LearnerSeeds,
+    segment_traces: &[&Trace],
+) -> Result<(ExperimentResult, Option<DrlStats>, Vec<SegmentRun>), String> {
+    let (mut allocator, mut power) = build_policy(scenario, ctx, cluster, seeds)?;
+    if !scenario.online_learning() {
+        allocator.set_learning(false);
+        power.set_learning(false);
+    }
+    let experiment =
+        SegmentedExperiment::new(name, cluster, segment_traces).with_limit(scenario.run_limit());
+    let mut segments: Vec<SegmentRun> = Vec::with_capacity(segment_traces.len());
+    for (i, trace) in segment_traces.iter().enumerate() {
+        let started = Instant::now();
+        let result = experiment.run_segment(i, allocator.as_dyn(), power.as_dyn())?;
+        segments.push(SegmentRun {
+            segment: i,
+            shift: scenario.segment_label(i),
+            jobs_routed: trace.len() as u64,
+            drl_stats: allocator.stats(),
+            wall_s: started.elapsed().as_secs_f64(),
+            result,
+        });
+    }
+    let drl_stats = allocator.stats();
+    // Gate on the drift axis, not the segment count: a (degenerate but
+    // valid) single-segment drift cell must still report its segment row,
+    // while non-drift cells stay on the historical single-result shape.
+    if scenario.drift.is_none() {
+        let result = segments.remove(0).result;
+        Ok((result, drl_stats, Vec::new()))
+    } else {
+        let refs: Vec<&ExperimentResult> = segments.iter().map(|s| &s.result).collect();
+        let overall = concat_segments(name, &refs);
+        Ok((overall, drl_stats, segments))
+    }
+}
+
 /// Simulates one shard (cluster) of a multi-cluster cell on its routed
-/// sub-stream. Fully self-contained: learner seeds derive from the shard's
-/// own sub-seed, so shards can run on any thread in any order.
+/// per-segment sub-streams. Fully self-contained: learner seeds derive
+/// from the shard's own sub-seed, so shards can run on any thread in any
+/// order; within the shard, segments run sequentially under the carried
+/// learners.
 fn run_shard(
     scenario: &Scenario,
     ctx: &RunContext,
     shard: usize,
     cluster: &ClusterConfig,
-    jobs: Vec<hierdrl_sim::job::Job>,
+    segment_jobs: Vec<Vec<hierdrl_sim::job::Job>>,
     name: &str,
 ) -> Result<ShardRun, String> {
     let started = Instant::now();
-    let jobs_routed = jobs.len() as u64;
-    let trace = Trace::new(jobs).map_err(|e| format!("shard {shard} trace: {e}"))?;
-    // The stream was truncated before routing; each shard drains its share.
-    let experiment = Experiment::new(name, cluster, &trace);
+    let jobs_routed: u64 = segment_jobs.iter().map(|j| j.len() as u64).sum();
+    // The streams were truncated before routing; each shard drains its
+    // share of each segment.
+    let traces: Vec<Trace> = segment_jobs
+        .into_iter()
+        .enumerate()
+        .map(|(i, jobs)| {
+            Trace::new(jobs).map_err(|e| format!("shard {shard} segment {i} trace: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    let refs: Vec<&Trace> = traces.iter().collect();
     let seeds = LearnerSeeds::for_shard(scenario, shard);
-    let (result, drl_stats) = execute_policy(scenario, ctx, cluster, &experiment, &seeds)?;
+    let (result, drl_stats, segments) =
+        execute_policy(scenario, ctx, cluster, name, &seeds, &refs)?;
     Ok(ShardRun {
         shard: ShardResult {
             cluster: shard,
@@ -518,14 +679,15 @@ fn run_shard(
             result,
         },
         drl_stats,
+        segments,
         wall_s: started.elapsed().as_secs_f64(),
     })
 }
 
 /// Fleet-level view of per-shard learner statistics: counters sum, losses
 /// weight by decision count, and the autoencoder flag ANDs across shards.
-fn merge_drl_stats(shards: &[ShardRun]) -> Option<DrlStats> {
-    let stats: Vec<DrlStats> = shards.iter().filter_map(|s| s.drl_stats).collect();
+fn merge_drl_stats(per_shard: impl IntoIterator<Item = Option<DrlStats>>) -> Option<DrlStats> {
+    let stats: Vec<DrlStats> = per_shard.into_iter().flatten().collect();
     if stats.is_empty() {
         return None;
     }
@@ -542,48 +704,101 @@ fn merge_drl_stats(shards: &[ShardRun]) -> Option<DrlStats> {
 
 fn run_cell(scenario: &Scenario, ctx: &RunContext) -> Result<CellRun, String> {
     let started = Instant::now();
-    let trace = ctx.traces.get(&scenario.trace_spec())?;
+    let traces: Vec<Arc<Trace>> = scenario
+        .segment_trace_specs()
+        .iter()
+        .map(|spec| ctx.traces.get(spec))
+        .collect::<Result<_, _>>()?;
     let name = scenario.policy.name();
 
-    let (result, drl_stats, shards) = match &scenario.topology {
+    let (result, drl_stats, segments, shards) = match &scenario.topology {
         crate::scenario::Topology::Single { cluster, .. } => {
-            let experiment =
-                Experiment::new(&name, cluster, &trace).with_limit(scenario.run_limit());
+            let refs: Vec<&Trace> = traces.iter().map(Arc::as_ref).collect();
             let seeds = LearnerSeeds::for_cell(scenario);
-            let (result, drl_stats) = execute_policy(scenario, ctx, cluster, &experiment, &seeds)?;
-            (result, drl_stats, Vec::new())
+            let (result, drl_stats, segments) =
+                execute_policy(scenario, ctx, cluster, &name, &seeds, &refs)?;
+            (result, drl_stats, segments, Vec::new())
         }
         crate::scenario::Topology::MultiCluster {
             clusters, router, ..
         } => {
-            // `max_jobs` truncates the arrival stream before routing (see
-            // module docs), then the router splits it deterministically.
-            let jobs = trace.jobs();
-            let stream = match scenario.max_jobs {
-                Some(n) => &jobs[..jobs.len().min(n as usize)],
-                None => jobs,
-            };
             // Weigh clusters by aggregate capacity (server count for
             // unit-capacity fleets), so a cluster of two 2x servers
             // outweighs one of three little machines.
             let weights: Vec<f64> = clusters.iter().map(ClusterConfig::routing_weight).collect();
-            let routed = Router::split(*router, &weights, stream);
+            // `max_jobs` truncates each segment's arrival stream before
+            // routing (see module docs), then the router splits every
+            // segment independently and deterministically.
+            let mut per_shard: Vec<Vec<Vec<hierdrl_sim::job::Job>>> =
+                (0..clusters.len()).map(|_| Vec::new()).collect();
+            for trace in &traces {
+                let jobs = trace.jobs();
+                let stream = match scenario.max_jobs {
+                    Some(n) => &jobs[..jobs.len().min(n as usize)],
+                    None => jobs,
+                };
+                for (k, routed) in Router::split(*router, &weights, stream)
+                    .into_iter()
+                    .enumerate()
+                {
+                    per_shard[k].push(routed);
+                }
+            }
 
             // Intra-cell shard parallelism: each cluster simulates on its
-            // own worker thread; the rayon shim returns results in input
+            // own worker thread (running its segments sequentially under
+            // carried learners); the rayon shim returns results in input
             // (shard) order, so the merge below is schedule-independent.
-            let work: Vec<(usize, Vec<hierdrl_sim::job::Job>)> =
-                routed.into_iter().enumerate().collect();
+            let work: Vec<(usize, Vec<Vec<hierdrl_sim::job::Job>>)> =
+                per_shard.into_iter().enumerate().collect();
             let outcomes: Vec<Result<ShardRun, String>> = work
                 .into_par_iter()
-                .map(|(k, jobs)| run_shard(scenario, ctx, k, &clusters[k], jobs, &name))
+                .map(|(k, segs)| run_shard(scenario, ctx, k, &clusters[k], segs, &name))
                 .collect();
             let shards = outcomes.into_iter().collect::<Result<Vec<_>, _>>()?;
 
-            let shard_results: Vec<ShardResult> = shards.iter().map(|s| s.shard.clone()).collect();
-            let result = aggregate_shards(&name, &shard_results);
-            let drl_stats = merge_drl_stats(&shards);
-            (result, drl_stats, shards)
+            // Gate on the drift axis (as in `execute_policy`): even a
+            // single-segment drift cell reports its segment row.
+            let (result, segments) = if scenario.drift.is_some() {
+                // Fleet-level per-segment rows: shards share a clock
+                // *within* a segment (aggregate), segments run back to
+                // back (concatenate).
+                let fleet_segments: Vec<SegmentRun> = (0..traces.len())
+                    .map(|i| {
+                        let shard_results: Vec<ShardResult> = shards
+                            .iter()
+                            .map(|s| ShardResult {
+                                cluster: s.shard.cluster,
+                                servers: s.shard.servers,
+                                jobs_routed: s.segments[i].jobs_routed,
+                                result: s.segments[i].result.clone(),
+                            })
+                            .collect();
+                        SegmentRun {
+                            segment: i,
+                            shift: scenario.segment_label(i),
+                            jobs_routed: shard_results.iter().map(|s| s.jobs_routed).sum(),
+                            drl_stats: merge_drl_stats(
+                                shards.iter().map(|s| s.segments[i].drl_stats),
+                            ),
+                            wall_s: shards
+                                .iter()
+                                .map(|s| s.segments[i].wall_s)
+                                .fold(0.0, f64::max),
+                            result: aggregate_shards(&name, &shard_results),
+                        }
+                    })
+                    .collect();
+                let refs: Vec<&ExperimentResult> =
+                    fleet_segments.iter().map(|s| &s.result).collect();
+                (concat_segments(&name, &refs), fleet_segments)
+            } else {
+                let shard_results: Vec<ShardResult> =
+                    shards.iter().map(|s| s.shard.clone()).collect();
+                (aggregate_shards(&name, &shard_results), Vec::new())
+            };
+            let drl_stats = merge_drl_stats(shards.iter().map(|s| s.drl_stats));
+            (result, drl_stats, segments, shards)
         }
     };
 
@@ -593,6 +808,7 @@ fn run_cell(scenario: &Scenario, ctx: &RunContext) -> Result<CellRun, String> {
         scenario: scenario.clone(),
         result,
         drl_stats,
+        segments,
         shards,
         timing: CellTiming {
             wall_s,

@@ -7,21 +7,17 @@ use hierdrl_core::hierarchical::{AllocatorKind, PowerKind};
 use hierdrl_sim::cluster::RunLimit;
 use hierdrl_sim::config::ClusterConfig;
 use hierdrl_sim::router::RouterPolicy;
+use hierdrl_trace::drift::{SegmentShift, SegmentedTraceSpec};
 use hierdrl_trace::generator::WorkloadConfig;
 use hierdrl_trace::materialize::TraceSpec;
 use serde::{Deserialize, Serialize};
 
 /// SplitMix64 finalizer: decorrelates derived seeds so that per-cell seed
 /// streams are independent (changing one scenario's seed perturbs only that
-/// scenario's trace and policy randomness).
-pub(crate) fn mix_seed(seed: u64, stream: u64) -> u64 {
-    let mut z = seed
-        .wrapping_add(stream.wrapping_mul(0x9e37_79b9_7f4a_7c15))
-        .wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
+/// scenario's trace and policy randomness). This is the one mixing
+/// function used at every derivation level — cells, shards, pre-training
+/// rollouts, and drift segments ([`hierdrl_trace::drift::mix_seed`]).
+pub use hierdrl_trace::drift::mix_seed;
 
 /// A named cluster topology under test: either the paper's single cluster,
 /// or a fleet of independent clusters behind a deterministic front-end
@@ -414,6 +410,109 @@ impl Pretrain {
     }
 }
 
+/// The concept-drift axis of a scenario: an ordered list of workload
+/// segments (each a [`SegmentShift`] of the cell's base workload), run
+/// under *one* set of carried learners that continue training online
+/// across segment boundaries — unless `online` is off, the
+/// no-continued-training ablation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftSpec {
+    /// Display name (joined into the scenario id as `workload@drift`).
+    pub name: String,
+    /// Per-segment departures from the base workload, in drift order.
+    pub shifts: Vec<SegmentShift>,
+    /// `true` (the default mode): learners keep training online across
+    /// segments. `false`: learners are frozen after pre-training — the
+    /// ablation that measures what continued training buys under drift.
+    pub online: bool,
+}
+
+impl DriftSpec {
+    /// A named drift from explicit shifts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shifts` is empty or any shift is invalid.
+    pub fn new(name: impl Into<String>, shifts: Vec<SegmentShift>) -> Self {
+        assert!(!shifts.is_empty(), "drift needs >= 1 segment");
+        for (i, shift) in shifts.iter().enumerate() {
+            shift
+                .validate()
+                .unwrap_or_else(|e| panic!("drift segment {i}: {e}"));
+        }
+        Self {
+            name: name.into(),
+            shifts,
+            online: true,
+        }
+    }
+
+    /// `k` segments of the *same* law under fresh per-segment seeds — the
+    /// drift-free control row of a drift grid.
+    pub fn stationary(k: usize) -> Self {
+        Self::new(format!("stationary-{k}"), vec![SegmentShift::Stationary; k])
+    }
+
+    /// One stationary segment, then the arrival rate stepped to `factor`
+    /// (a tenant launch).
+    pub fn rate_step(factor: f64) -> Self {
+        Self::new(
+            format!("rate-step-x{factor}"),
+            vec![SegmentShift::Stationary, SegmentShift::RateScale(factor)],
+        )
+    }
+
+    /// The arrival rate ramping through the given factors, one segment
+    /// each (organic growth).
+    pub fn rate_ramp(factors: &[f64]) -> Self {
+        Self::new(
+            format!(
+                "rate-ramp-{}",
+                factors
+                    .iter()
+                    .map(f64::to_string)
+                    .collect::<Vec<_>>()
+                    .join("-")
+            ),
+            factors
+                .iter()
+                .map(|&f| SegmentShift::RateScale(f))
+                .collect(),
+        )
+    }
+
+    /// One stationary segment, then a regime change: the diurnal peak
+    /// jumps twelve hours, the swing deepens, and weekends get *busier* —
+    /// the same mean volume with an inverted shape.
+    pub fn pattern_flip() -> Self {
+        Self::new(
+            "pattern-flip",
+            vec![
+                SegmentShift::Stationary,
+                SegmentShift::Pattern {
+                    diurnal_amplitude: 0.8,
+                    peak_hour: 3.0,
+                    weekend_factor: 1.25,
+                },
+            ],
+        )
+    }
+
+    /// The no-continued-training ablation of this drift: same segments,
+    /// learners frozen after pre-training.
+    #[must_use]
+    pub fn with_frozen_learners(mut self) -> Self {
+        self.online = false;
+        self.name.push_str("-frozen");
+        self
+    }
+
+    /// Number of segments.
+    pub fn num_segments(&self) -> usize {
+        self.shifts.len()
+    }
+}
+
 /// A named policy recipe: which control planes run the cell and how the
 /// learners are pre-trained.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -563,18 +662,22 @@ impl PolicySpec {
 /// run, including its RNG seeding.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
-    /// Stable identifier: `topology/workload/policy/s<seed>`.
+    /// Stable identifier: `topology/workload[@drift]/policy/s<seed>`.
     pub id: String,
     /// Cluster under test.
     pub topology: Topology,
     /// Workload recipe.
     pub workload: WorkloadSpec,
+    /// Concept-drift axis: segmented evaluation with carried learners
+    /// (`None` = the classic single-trace cell).
+    pub drift: Option<DriftSpec>,
     /// Control planes.
     pub policy: PolicySpec,
     /// The cell's base seed; every random stream in the cell derives from
     /// it, so two scenarios with different seeds are independent.
     pub seed: u64,
-    /// Stop after this many completed jobs (`None` = run the whole trace).
+    /// Stop after this many completed jobs — per segment for drift cells
+    /// (`None` = run the whole trace).
     pub max_jobs: Option<u64>,
 }
 
@@ -597,10 +700,27 @@ impl Scenario {
             id,
             topology,
             workload,
+            drift: None,
             policy,
             seed,
             max_jobs,
         }
+    }
+
+    /// Attaches a drift axis, rebuilding the id as
+    /// `topology/workload@drift/policy/s<seed>`.
+    #[must_use]
+    pub fn with_drift(mut self, drift: DriftSpec) -> Self {
+        self.id = format!(
+            "{}/{}@{}/{}/s{}",
+            self.topology.name(),
+            self.workload.name,
+            drift.name,
+            self.policy.name(),
+            self.seed
+        );
+        self.drift = Some(drift);
+        self
     }
 
     /// Seed of the evaluation trace.
@@ -639,9 +759,57 @@ impl Scenario {
         mix_seed(self.shard_seed(shard), 3)
     }
 
-    /// The evaluation trace recipe.
+    /// The evaluation trace recipe (the whole stream for non-drift cells;
+    /// drift cells materialize through
+    /// [`Scenario::segment_trace_specs`] instead).
     pub fn trace_spec(&self) -> TraceSpec {
         self.workload.trace_spec(&self.topology, self.trace_seed())
+    }
+
+    /// The evaluation stream as ordered segment recipes: one entry (the
+    /// plain [`Scenario::trace_spec`]) for non-drift cells; for drift
+    /// cells, one per [`SegmentShift`], with per-segment seeds derived
+    /// from the cell's trace seed (`mix(trace_seed, i)`) and the cell's
+    /// total job budget split evenly across segments — so a drift cell
+    /// evaluates the same volume as its stationary counterpart.
+    pub fn segment_trace_specs(&self) -> Vec<TraceSpec> {
+        match &self.drift {
+            None => vec![self.trace_spec()],
+            Some(drift) => {
+                let m = self.topology.servers();
+                let base = WorkloadConfig::google_like(
+                    self.trace_seed(),
+                    self.workload.jobs_per_week_for(m),
+                );
+                SegmentedTraceSpec::from_shifts(
+                    &base,
+                    &drift.shifts,
+                    self.workload.jobs_for(m) as usize,
+                    self.trace_seed(),
+                )
+                .segments
+            }
+        }
+    }
+
+    /// Number of evaluation segments (1 for non-drift cells).
+    pub fn num_segments(&self) -> usize {
+        self.drift.as_ref().map_or(1, DriftSpec::num_segments)
+    }
+
+    /// Whether learners keep training online during evaluation (`false`
+    /// only for frozen-ablation drift cells).
+    pub fn online_learning(&self) -> bool {
+        self.drift.as_ref().is_none_or(|d| d.online)
+    }
+
+    /// Display label of segment `i`'s shift (used in per-segment report
+    /// rows).
+    pub fn segment_label(&self, i: usize) -> String {
+        match &self.drift {
+            None => "full".into(),
+            Some(drift) => drift.shifts[i].label(),
+        }
     }
 
     /// The run limit.
@@ -907,6 +1075,74 @@ mod tests {
             "bad",
             vec![ClusterConfig::paper(2), odd],
             RouterPolicy::RoundRobin,
+        );
+    }
+
+    #[test]
+    fn drift_cells_split_the_budget_and_rename_the_id() {
+        let s = Scenario::new(
+            Topology::paper(5),
+            WorkloadSpec::paper().with_total_jobs(1000),
+            PolicySpec::drl_only(),
+            7,
+            None,
+        )
+        .with_drift(DriftSpec::rate_step(2.0));
+        assert_eq!(s.id, "paper-m5/paper@rate-step-x2/drl-only/s7");
+        assert_eq!(s.num_segments(), 2);
+        assert!(s.online_learning());
+        assert_eq!(s.segment_label(0), "stationary");
+        assert_eq!(s.segment_label(1), "rate-x2");
+
+        let specs = s.segment_trace_specs();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs.iter().map(|t| t.jobs).sum::<usize>(), 1000);
+        // Per-segment seeds derive from the trace seed; the shifted
+        // segment runs at twice the base rate.
+        assert_eq!(specs[0].workload.seed, mix_seed(s.trace_seed(), 0));
+        assert_ne!(specs[0].workload.seed, specs[1].workload.seed);
+        assert!(
+            (specs[1].workload.arrivals.base_rate - 2.0 * specs[0].workload.arrivals.base_rate)
+                .abs()
+                < 1e-12
+        );
+
+        // Non-drift cells keep the single-spec path and the old id.
+        let plain = Scenario::new(
+            Topology::paper(5),
+            WorkloadSpec::paper().with_total_jobs(1000),
+            PolicySpec::drl_only(),
+            7,
+            None,
+        );
+        assert_eq!(plain.num_segments(), 1);
+        assert_eq!(plain.segment_trace_specs(), vec![plain.trace_spec()]);
+    }
+
+    #[test]
+    fn frozen_ablation_flips_online_and_suffixes_the_name() {
+        let online = DriftSpec::pattern_flip();
+        let frozen = online.clone().with_frozen_learners();
+        assert!(online.online);
+        assert!(!frozen.online);
+        assert_eq!(frozen.name, "pattern-flip-frozen");
+        assert_eq!(frozen.shifts, online.shifts, "same segments either way");
+
+        let s = Scenario::new(
+            Topology::paper(4),
+            WorkloadSpec::paper().with_total_jobs(400),
+            PolicySpec::hierarchical(0.5),
+            3,
+            None,
+        );
+        let a = s.clone().with_drift(online);
+        let b = s.with_drift(frozen);
+        assert!(!b.online_learning());
+        assert_ne!(a.id, b.id, "ablation cells need distinct ids");
+        assert_eq!(
+            a.segment_trace_specs(),
+            b.segment_trace_specs(),
+            "ablation pairs must evaluate identical segment traces"
         );
     }
 

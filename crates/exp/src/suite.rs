@@ -1,7 +1,7 @@
 //! Declarative sweep grids: a [`Suite`] is the cartesian product of
 //! topologies × workloads × policies × seeds, built with [`SuiteBuilder`].
 
-use crate::scenario::{PolicySpec, Scenario, Topology, WorkloadSpec};
+use crate::scenario::{DriftSpec, PolicySpec, Scenario, Topology, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
 /// A named collection of scenarios, executed together by the suite runner.
@@ -20,6 +20,7 @@ impl Suite {
             name: name.into(),
             topologies: Vec::new(),
             workloads: Vec::new(),
+            drifts: vec![None],
             policies: Vec::new(),
             seeds: Vec::new(),
             max_jobs: None,
@@ -39,14 +40,17 @@ impl Suite {
 
 /// Cartesian grid builder for [`Suite`].
 ///
-/// Cells expand in nesting order topology → workload → policy → seed, so a
-/// suite's scenario order (and therefore its report) is independent of how
-/// it is executed.
+/// Cells expand in nesting order topology → workload → drift → policy →
+/// seed, so a suite's scenario order (and therefore its report) is
+/// independent of how it is executed. The drift axis defaults to one
+/// drift-free entry, leaving non-drift grids (and their cell ids) exactly
+/// as before.
 #[derive(Debug, Clone)]
 pub struct SuiteBuilder {
     name: String,
     topologies: Vec<Topology>,
     workloads: Vec<WorkloadSpec>,
+    drifts: Vec<Option<DriftSpec>>,
     policies: Vec<PolicySpec>,
     seeds: Vec<u64>,
     max_jobs: Option<u64>,
@@ -64,6 +68,25 @@ impl SuiteBuilder {
     #[must_use]
     pub fn workloads(mut self, workloads: impl IntoIterator<Item = WorkloadSpec>) -> Self {
         self.workloads = workloads.into_iter().collect();
+        self
+    }
+
+    /// Sets the concept-drift axis: every cell runs each drift's segments
+    /// under carried learners. Replaces the default drift-free entry; use
+    /// [`SuiteBuilder::drifts_with_baseline`] to keep it alongside.
+    #[must_use]
+    pub fn drifts(mut self, drifts: impl IntoIterator<Item = DriftSpec>) -> Self {
+        self.drifts = drifts.into_iter().map(Some).collect();
+        self
+    }
+
+    /// Like [`SuiteBuilder::drifts`], but keeps the drift-free single
+    /// -trace cell as the first entry of the axis.
+    #[must_use]
+    pub fn drifts_with_baseline(mut self, drifts: impl IntoIterator<Item = DriftSpec>) -> Self {
+        self.drifts = std::iter::once(None)
+            .chain(drifts.into_iter().map(Some))
+            .collect();
         self
     }
 
@@ -97,22 +120,33 @@ impl SuiteBuilder {
     pub fn build(self) -> Suite {
         assert!(!self.topologies.is_empty(), "suite needs >= 1 topology");
         assert!(!self.workloads.is_empty(), "suite needs >= 1 workload");
+        assert!(!self.drifts.is_empty(), "suite needs >= 1 drift entry");
         assert!(!self.policies.is_empty(), "suite needs >= 1 policy");
         assert!(!self.seeds.is_empty(), "suite needs >= 1 seed");
         let mut scenarios = Vec::with_capacity(
-            self.topologies.len() * self.workloads.len() * self.policies.len() * self.seeds.len(),
+            self.topologies.len()
+                * self.workloads.len()
+                * self.drifts.len()
+                * self.policies.len()
+                * self.seeds.len(),
         );
         for topology in &self.topologies {
             for workload in &self.workloads {
-                for policy in &self.policies {
-                    for &seed in &self.seeds {
-                        scenarios.push(Scenario::new(
-                            topology.clone(),
-                            workload.clone(),
-                            policy.clone(),
-                            seed,
-                            self.max_jobs,
-                        ));
+                for drift in &self.drifts {
+                    for policy in &self.policies {
+                        for &seed in &self.seeds {
+                            let scenario = Scenario::new(
+                                topology.clone(),
+                                workload.clone(),
+                                policy.clone(),
+                                seed,
+                                self.max_jobs,
+                            );
+                            scenarios.push(match drift {
+                                Some(d) => scenario.with_drift(d.clone()),
+                                None => scenario,
+                            });
+                        }
                     }
                 }
             }
@@ -141,6 +175,40 @@ mod tests {
         assert_eq!(suite.scenarios[1].id, "paper-m4/paper/round-robin/s2");
         assert_eq!(suite.scenarios[2].id, "paper-m4/paper/drl-only/s1");
         assert_eq!(suite.scenarios[4].id, "paper-m6/paper/round-robin/s1");
+    }
+
+    #[test]
+    fn drift_axis_expands_between_workload_and_policy() {
+        let suite = Suite::builder("t")
+            .topologies([Topology::paper(4)])
+            .workloads([WorkloadSpec::paper()])
+            .drifts_with_baseline([DriftSpec::rate_step(2.0)])
+            .policies([PolicySpec::round_robin(), PolicySpec::drl_only()])
+            .seeds([1])
+            .build();
+        assert_eq!(suite.len(), 4);
+        assert_eq!(suite.scenarios[0].id, "paper-m4/paper/round-robin/s1");
+        assert_eq!(suite.scenarios[1].id, "paper-m4/paper/drl-only/s1");
+        assert_eq!(
+            suite.scenarios[2].id,
+            "paper-m4/paper@rate-step-x2/round-robin/s1"
+        );
+        assert_eq!(
+            suite.scenarios[3].id,
+            "paper-m4/paper@rate-step-x2/drl-only/s1"
+        );
+        assert_eq!(suite.scenarios[2].num_segments(), 2);
+
+        // `.drifts` without the baseline replaces the drift-free entry.
+        let pure = Suite::builder("t")
+            .topologies([Topology::paper(4)])
+            .workloads([WorkloadSpec::paper()])
+            .drifts([DriftSpec::stationary(3)])
+            .policies([PolicySpec::round_robin()])
+            .seeds([1])
+            .build();
+        assert_eq!(pure.len(), 1);
+        assert_eq!(pure.scenarios[0].num_segments(), 3);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! ```
 
 use hierdrl_core::allocator::DrlStats;
-use hierdrl_exp::report::{CellMetrics, CellReport, ShardReport, SuiteReport};
+use hierdrl_exp::report::{CellMetrics, CellReport, SegmentReport, ShardReport, SuiteReport};
 use std::path::PathBuf;
 
 fn metrics(scale: f64) -> CellMetrics {
@@ -29,8 +29,19 @@ fn metrics(scale: f64) -> CellMetrics {
     }
 }
 
+fn drl_stats(train_steps: u64) -> DrlStats {
+    DrlStats {
+        decisions: 1500,
+        train_steps,
+        loss_ema: 0.125,
+        autoencoder_trained: true,
+        autoencoder_loss: 0.03125,
+    }
+}
+
 /// A fixed report exercising every schema branch: a single-cluster cell
-/// with learner statistics, and a sharded cell with per-cluster rows.
+/// with learner statistics, a sharded cell with per-cluster rows, and a
+/// concept-drift cell with per-segment rows.
 fn canonical_report() -> SuiteReport {
     SuiteReport {
         suite: "golden".to_string(),
@@ -45,13 +56,8 @@ fn canonical_report() -> SuiteReport {
                 policy: "drl-only".to_string(),
                 seed: 7,
                 metrics: metrics(1.0),
-                drl: Some(DrlStats {
-                    decisions: 1500,
-                    train_steps: 550,
-                    loss_ema: 0.125,
-                    autoencoder_trained: true,
-                    autoencoder_loss: 0.03125,
-                }),
+                drl: Some(drl_stats(550)),
+                segments: None,
                 clusters: None,
             },
             CellReport {
@@ -65,6 +71,7 @@ fn canonical_report() -> SuiteReport {
                 seed: 7,
                 metrics: metrics(2.0),
                 drl: None,
+                segments: None,
                 clusters: Some(vec![
                     ShardReport {
                         cluster: 0,
@@ -81,6 +88,33 @@ fn canonical_report() -> SuiteReport {
                         drl: None,
                     },
                 ]),
+            },
+            CellReport {
+                id: "paper-m5/paper@rate-step-x2/drl-only/s7".to_string(),
+                topology: "paper-m5".to_string(),
+                servers: 5,
+                capacity_total: 5.0,
+                capacity_skew: 1.0,
+                workload: "paper".to_string(),
+                policy: "drl-only".to_string(),
+                seed: 7,
+                metrics: metrics(2.0),
+                drl: Some(drl_stats(700)),
+                segments: Some(vec![
+                    SegmentReport {
+                        segment: 0,
+                        shift: "stationary".to_string(),
+                        metrics: metrics(1.0),
+                        drl: Some(drl_stats(620)),
+                    },
+                    SegmentReport {
+                        segment: 1,
+                        shift: "rate-x2".to_string(),
+                        metrics: metrics(1.0),
+                        drl: Some(drl_stats(700)),
+                    },
+                ]),
+                clusters: None,
             },
         ],
     }

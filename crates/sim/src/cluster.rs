@@ -76,6 +76,12 @@ pub trait Allocator {
     /// Chooses the target server for `job`.
     fn select(&mut self, job: &Job, view: &ClusterView<'_>) -> ServerId;
 
+    /// Called once before the first event of a run. Carried learners must
+    /// drop any state anchored to the *previous* run's clock here (pending
+    /// transitions, last-arrival timestamps): each run restarts time at
+    /// zero, so such state would otherwise fabricate cross-run intervals.
+    fn on_run_begin(&mut self) {}
+
     /// Called once when the run ends, for learners that flush final updates.
     fn on_run_end(&mut self, view: &ClusterView<'_>) {
         let _ = view;
@@ -117,6 +123,13 @@ pub trait PowerManager {
     fn on_job_arrival(&mut self, server: ServerId, view: &ClusterView<'_>, now: SimTime) {
         let (_, _, _) = (server, view, now);
     }
+
+    /// Called once before the first event of a run (see
+    /// [`Allocator::on_run_begin`]): time restarts at zero, so any
+    /// timestamp-anchored state — notably per-server last-arrival marks
+    /// feeding inter-arrival predictors — must be dropped here, or a
+    /// carried manager fabricates a cross-run inter-arrival gap.
+    fn on_run_begin(&mut self) {}
 
     /// Called once when the run ends.
     fn on_run_end(&mut self, view: &ClusterView<'_>) {
@@ -468,6 +481,11 @@ impl Cluster {
         power: &mut dyn PowerManager,
         limit: RunLimit,
     ) -> RunOutcome {
+        // The clock restarts at zero: carried learners drop timestamp-
+        // anchored state *before* the first decision epoch below (which
+        // already consults the power manager for initially-idle servers).
+        allocator.on_run_begin();
+        power.on_run_begin();
         // Initially-on idle servers get their case-(1) decision epoch at
         // t = 0; otherwise a server that never receives a job would idle
         // forever without the power manager ever being consulted.

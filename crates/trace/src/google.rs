@@ -18,6 +18,7 @@
 use hierdrl_sim::job::{Job, JobId};
 use hierdrl_sim::resources::ResourceVec;
 use hierdrl_sim::time::SimTime;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use std::io::BufRead;
@@ -70,6 +71,33 @@ pub const PAPER_MIN_DURATION_S: f64 = 60.0;
 /// Upper bound of the paper's duration filter.
 pub const PAPER_MAX_DURATION_S: f64 = 7200.0;
 
+/// What the parser did to the rows it read: how many tasks survived, how
+/// many were dropped at each filter, and — crucially — how many kept jobs
+/// had *missing* resource columns silently defaulted. Callers deciding
+/// whether a trace file is usable should look at
+/// [`ParseStats::demand_defaulted`] before trusting demand-sensitive
+/// results: a file with no resource columns parses "successfully" into
+/// uniform near-zero demands.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ParseStats {
+    /// Non-empty CSV rows consumed.
+    pub rows: usize,
+    /// Distinct `(job, task)` keys seen.
+    pub tasks_seen: usize,
+    /// Tasks dropped for an incomplete lifecycle (missing SUBMIT,
+    /// SCHEDULE, or FINISH).
+    pub incomplete_dropped: usize,
+    /// Tasks dropped because FINISH was not after SCHEDULE.
+    pub nonpositive_duration_dropped: usize,
+    /// Tasks dropped by the duration window filter.
+    pub duration_filtered: usize,
+    /// Kept jobs whose SUBMIT row was missing at least one resource
+    /// column, so that component was defaulted to the floor demand.
+    pub demand_defaulted: usize,
+    /// Jobs that made it into the returned trace.
+    pub jobs_kept: usize,
+}
+
 #[derive(Debug, Default, Clone)]
 struct TaskRecord {
     submit_us: Option<u64>,
@@ -93,18 +121,24 @@ fn parse_field_f64(s: &str) -> Option<f64> {
 /// resource request, and keeping only tasks whose duration falls within
 /// `[min_duration_s, max_duration_s]`.
 ///
-/// Malformed rows produce an error rather than being skipped silently.
+/// Malformed rows produce an error rather than being skipped silently;
+/// rows that parse but carry incomplete *data* (missing lifecycle events,
+/// missing resource columns) are counted in the returned [`ParseStats`]
+/// rather than vanishing — a SUBMIT row without resource columns defaults
+/// those components to the floor demand, which is only acceptable if the
+/// caller knows how often it happened.
 ///
 /// # Errors
 ///
 /// Returns [`ParseError`] for rows with too few columns or unparsable
 /// numeric fields.
-pub fn parse_task_events<R: BufRead>(
+pub fn parse_task_events_with_stats<R: BufRead>(
     reader: R,
     min_duration_s: f64,
     max_duration_s: f64,
-) -> Result<Trace, ParseError> {
+) -> Result<(Trace, ParseStats), ParseError> {
     let mut tasks: HashMap<(u64, u64), TaskRecord> = HashMap::new();
+    let mut stats = ParseStats::default();
 
     for (idx, line) in reader.lines().enumerate() {
         let line_no = idx + 1;
@@ -115,6 +149,7 @@ pub fn parse_task_events<R: BufRead>(
         if line.trim().is_empty() {
             continue;
         }
+        stats.rows += 1;
         let fields: Vec<&str> = line.split(',').collect();
         if fields.len() < 6 {
             return Err(ParseError {
@@ -166,19 +201,26 @@ pub fn parse_task_events<R: BufRead>(
         }
     }
 
+    stats.tasks_seen = tasks.len();
     let mut jobs: Vec<Job> = Vec::new();
     for record in tasks.values() {
         let (Some(submit), Some(schedule), Some(finish)) =
             (record.submit_us, record.schedule_us, record.finish_us)
         else {
+            stats.incomplete_dropped += 1;
             continue; // incomplete lifecycle: not a usable job
         };
         if finish <= schedule {
+            stats.nonpositive_duration_dropped += 1;
             continue;
         }
         let duration_s = (finish - schedule) as f64 / 1e6;
         if !(min_duration_s..=max_duration_s).contains(&duration_s) {
+            stats.duration_filtered += 1;
             continue;
+        }
+        if record.cpu.is_none() || record.mem.is_none() || record.disk.is_none() {
+            stats.demand_defaulted += 1;
         }
         let clamp = |v: Option<f64>| v.unwrap_or(0.0).clamp(0.0, 1.0).max(1e-4);
         let demand =
@@ -191,6 +233,7 @@ pub fn parse_task_events<R: BufRead>(
             demand,
         ));
     }
+    stats.jobs_kept = jobs.len();
 
     jobs.sort_by_key(|a| a.arrival);
     let jobs = jobs
@@ -198,7 +241,21 @@ pub fn parse_task_events<R: BufRead>(
         .enumerate()
         .map(|(i, j)| Job::new(JobId(i as u64), j.arrival, j.duration, j.demand))
         .collect();
-    Ok(Trace::new(jobs).expect("sorted, validated jobs"))
+    Ok((Trace::new(jobs).expect("sorted, validated jobs"), stats))
+}
+
+/// [`parse_task_events_with_stats`] without the bookkeeping — kept for
+/// callers that only need the trace.
+///
+/// # Errors
+///
+/// See [`parse_task_events_with_stats`].
+pub fn parse_task_events<R: BufRead>(
+    reader: R,
+    min_duration_s: f64,
+    max_duration_s: f64,
+) -> Result<Trace, ParseError> {
+    parse_task_events_with_stats(reader, min_duration_s, max_duration_s).map(|(trace, _)| trace)
 }
 
 /// Parses with the paper's duration filter of [1 minute, 2 hours].
@@ -310,6 +367,80 @@ mod tests {
         );
         let trace = parse_task_events_paper(Cursor::new(csv)).unwrap();
         assert_eq!(trace.len(), 1);
+    }
+
+    #[test]
+    fn missing_resource_columns_are_counted_not_silently_defaulted() {
+        // Task 1: SUBMIT row truncated before the resource columns (only 6
+        // fields) — every component missing. Task 2: empty CPU field on a
+        // full-width row. Task 3: all columns present.
+        let csv = [
+            "0,,1,0,42,0".to_string(), // submit, no resource columns at all
+            row(1_000_000, 1, 0, 1, "", "", ""),
+            row(301_000_000, 1, 0, 4, "", "", ""),
+            row(0, 2, 0, 0, "", "0.2", "0.2"), // cpu column empty
+            row(1_000_000, 2, 0, 1, "", "", ""),
+            row(301_000_000, 2, 0, 4, "", "", ""),
+            row(0, 3, 0, 0, "0.3", "0.3", "0.3"),
+            row(1_000_000, 3, 0, 1, "", "", ""),
+            row(301_000_000, 3, 0, 4, "", "", ""),
+        ]
+        .join("\n");
+        let (trace, stats) = parse_task_events_with_stats(
+            Cursor::new(csv),
+            PAPER_MIN_DURATION_S,
+            PAPER_MAX_DURATION_S,
+        )
+        .unwrap();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(stats.jobs_kept, 3);
+        assert_eq!(stats.tasks_seen, 3);
+        assert_eq!(stats.rows, 9);
+        assert_eq!(
+            stats.demand_defaulted, 2,
+            "both the truncated row and the empty-CPU row must be counted"
+        );
+        // Defaulted components sit at the floor demand.
+        let all_missing = trace
+            .jobs()
+            .iter()
+            .find(|j| j.demand.get(1) < 1e-3)
+            .unwrap();
+        assert!((all_missing.demand.get(0) - 1e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drop_reasons_are_counted() {
+        let csv = [
+            // Incomplete lifecycle (submit only).
+            row(0, 1, 0, 0, "0.1", "0.1", "0.1"),
+            // Finish before schedule.
+            row(0, 2, 0, 0, "0.1", "0.1", "0.1"),
+            row(5_000_000, 2, 0, 1, "", "", ""),
+            row(4_000_000, 2, 0, 4, "", "", ""),
+            // Too short for the paper window.
+            row(0, 3, 0, 0, "0.1", "0.1", "0.1"),
+            row(1_000_000, 3, 0, 1, "", "", ""),
+            row(31_000_000, 3, 0, 4, "", "", ""),
+            // Kept.
+            row(0, 4, 0, 0, "0.1", "0.1", "0.1"),
+            row(1_000_000, 4, 0, 1, "", "", ""),
+            row(301_000_000, 4, 0, 4, "", "", ""),
+        ]
+        .join("\n");
+        let (trace, stats) = parse_task_events_with_stats(
+            Cursor::new(csv),
+            PAPER_MIN_DURATION_S,
+            PAPER_MAX_DURATION_S,
+        )
+        .unwrap();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(stats.tasks_seen, 4);
+        assert_eq!(stats.incomplete_dropped, 1);
+        assert_eq!(stats.nonpositive_duration_dropped, 1);
+        assert_eq!(stats.duration_filtered, 1);
+        assert_eq!(stats.demand_defaulted, 0);
+        assert_eq!(stats.jobs_kept, 1);
     }
 
     #[test]

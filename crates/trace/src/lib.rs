@@ -28,6 +28,7 @@
 //! ```
 
 pub mod distributions;
+pub mod drift;
 pub mod generator;
 pub mod google;
 pub mod materialize;
@@ -38,8 +39,12 @@ pub mod trace;
 /// Convenient glob-import of the crate's main types.
 pub mod prelude {
     pub use crate::distributions::Dist;
+    pub use crate::drift::{mix_seed, SegmentShift, SegmentedTraceSpec};
     pub use crate::generator::{TraceGenerator, WorkloadConfig};
-    pub use crate::google::{parse_task_events, parse_task_events_paper, ParseError};
+    pub use crate::google::{
+        parse_task_events, parse_task_events_paper, parse_task_events_with_stats, ParseError,
+        ParseStats,
+    };
     pub use crate::materialize::{TraceCache, TraceSpec};
     pub use crate::pattern::{ArrivalPattern, SECS_PER_DAY, SECS_PER_WEEK};
     pub use crate::stats::{Histogram, WorkloadProfile};

@@ -77,6 +77,42 @@ proptest! {
         prop_assert!(p.rate_at(t) >= 0.0);
     }
 
+    /// Per-segment derived seeds are pairwise independent: perturbing one
+    /// segment's shift (its config) leaves every *other* segment's
+    /// materialized trace byte-identical, and distinct segments never
+    /// share a seed.
+    #[test]
+    fn perturbing_one_segment_leaves_others_byte_identical(
+        seed in 0u64..500, k in 2usize..6, target in 0usize..6, factor in 1.1f64..4.0,
+    ) {
+        let target = target % k;
+        let base = WorkloadConfig::google_like(9, 40_000.0);
+        let shifts = vec![SegmentShift::Stationary; k];
+        let mut perturbed = shifts.clone();
+        perturbed[target] = SegmentShift::RateScale(factor);
+
+        let a = SegmentedTraceSpec::from_shifts(&base, &shifts, 60 * k, seed);
+        let b = SegmentedTraceSpec::from_shifts(&base, &perturbed, 60 * k, seed);
+
+        let mut seeds: Vec<u64> = a.segments.iter().map(|s| s.workload.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        prop_assert_eq!(seeds.len(), k, "segment seeds must be pairwise distinct");
+
+        for i in 0..k {
+            let ta = a.segments[i].materialize().unwrap();
+            let tb = b.segments[i].materialize().unwrap();
+            if i == target {
+                prop_assert_ne!(ta.jobs(), tb.jobs(), "the perturbed segment must change");
+            } else {
+                prop_assert_eq!(
+                    ta.jobs(), tb.jobs(),
+                    "untouched segment {} must stay byte-identical", i
+                );
+            }
+        }
+    }
+
     /// Distribution samples are finite and respect support constraints.
     #[test]
     fn distribution_samples_are_sane(seed in 0u64..100) {
