@@ -10,7 +10,12 @@
 //!   shrunken grid would otherwise pass the gate while measuring less);
 //! - any cell in either artifact carries a **non-finite** metric (NaN
 //!   compares false against every threshold, so an unguarded NaN would
-//!   sail through the regression check).
+//!   sail through the regression check);
+//! - any matched cell whose baseline carries a `peak_rss_bytes` reading
+//!   (the sequential raw-scale cells of the `scale` bin) grew its peak RSS
+//!   by more than the allowed percentage — or lost the reading entirely
+//!   (a fresh run that stopped measuring memory must not pass the memory
+//!   gate).
 //!
 //! ```sh
 //! cargo run --release -p hierdrl-bench --bin perf_gate -- \
@@ -156,6 +161,70 @@ fn main() -> ExitCode {
         }
     }
 
+    // Memory gate: baseline cells carrying a peak-RSS reading (the
+    // sequential raw-scale cells) must keep reporting one, within budget.
+    // The ceiling mirrors the throughput floor: at 40% allowed regression,
+    // fresh RSS may grow to at most 1.4x the baseline.
+    let mut rss_failures = 0usize;
+    let mut rss_matched = 0usize;
+    let ceiling = 1.0 + args.max_regression_pct / 100.0;
+    let rss_pairs: Vec<(&str, u64, Option<u64>)> = baseline
+        .cells
+        .iter()
+        .filter_map(|b| {
+            let base_rss = b.peak_rss_bytes?;
+            let fresh_cell = fresh.cells.iter().find(|c| c.id == b.id)?;
+            Some((b.id.as_str(), base_rss, fresh_cell.peak_rss_bytes))
+        })
+        .collect();
+    if !rss_pairs.is_empty() {
+        println!(
+            "\nmemory gate (fail above {:.0}% of baseline peak RSS):",
+            ceiling * 100.0
+        );
+        println!(
+            "| {:<42} | {:>14} | {:>14} | {:>8} | {:<8} |",
+            "cell", "baseline MiB", "fresh MiB", "ratio", "verdict"
+        );
+        println!(
+            "|{:-<44}|{:-<16}|{:-<16}|{:-<10}|{:-<10}|",
+            "", "", "", "", ""
+        );
+        let mib = |bytes: u64| bytes as f64 / (1024.0 * 1024.0);
+        for (id, base_rss, fresh_rss) in rss_pairs {
+            rss_matched += 1;
+            let Some(fresh_rss) = fresh_rss else {
+                rss_failures += 1;
+                println!(
+                    "| {:<42} | {:>14.0} | {:>14} | {:>8} | {:<8} |",
+                    id,
+                    mib(base_rss),
+                    "-",
+                    "-",
+                    "NO-RSS"
+                );
+                continue;
+            };
+            let ratio = fresh_rss as f64 / base_rss.max(1) as f64;
+            let verdict = if ratio > ceiling {
+                rss_failures += 1;
+                "FAIL"
+            } else if ratio <= 1.0 {
+                "leaner"
+            } else {
+                "ok"
+            };
+            println!(
+                "| {:<42} | {:>14.0} | {:>14.0} | {:>7.2}x | {:<8} |",
+                id,
+                mib(base_rss),
+                mib(fresh_rss),
+                ratio,
+                verdict
+            );
+        }
+    }
+
     assert!(
         matched > 0,
         "perf_gate: no cell ids in common between {} and {} — wrong artifacts?",
@@ -176,6 +245,12 @@ fn main() -> ExitCode {
     }
     if non_finite > 0 {
         verdicts.push(format!("{non_finite} cell(s) with non-finite metrics"));
+    }
+    if rss_failures > 0 {
+        verdicts.push(format!(
+            "{rss_failures}/{rss_matched} memory-gated cell(s) regressed peak RSS more than {:.0}% (or lost the reading)",
+            args.max_regression_pct
+        ));
     }
     if verdicts.is_empty() {
         println!("\nperf gate passed: {matched} matched cells within budget");

@@ -15,7 +15,8 @@
 //! | `calibrate` | calibration probe (not a paper artifact) | `presets::calibrate` |
 //! | `lstm_accuracy` | LSTM predictor vs. simpler baselines | (bespoke) |
 //! | `qbench` | batched vs. unbatched DQN hot-path microbench | (bespoke) |
-//! | `perf_gate` | CI regression gate over `BENCH_suite.json` | (bespoke) |
+//! | `scale` | raw-scale regime: 10⁵ servers / 10⁶ streamed jobs, jobs/s + peak RSS | `hierdrl_exp::scale` |
+//! | `perf_gate` | CI regression gate (jobs/s + peak RSS) over `BENCH_suite.json` | (bespoke) |
 //!
 //! All suite binaries accept `--jobs N`, `--m M`, `--quick` (smoke scale),
 //! and `--threads T`; `table1` additionally writes its machine-readable

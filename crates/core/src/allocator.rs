@@ -20,6 +20,7 @@ use hierdrl_sim::metrics::ClusterTotals;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
 
 /// Full configuration of the DRL allocator.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -188,6 +189,32 @@ struct Transition {
     reward_rate: f64,
     sojourn: f64,
     next_state: GlobalState,
+    /// Target-network evaluations memoized per target-net era (see
+    /// [`TargetCache`]). Interior mutability because the replay memory
+    /// hands out shared references at sampling time.
+    cache: Cell<Option<TargetCache>>,
+}
+
+/// Memoized target-network evaluations for one transition.
+///
+/// Between two target-network syncs the target net is frozen, so
+/// `max_a Q_target(s', a)` and `Q_target(s, a)` are pure functions of the
+/// transition — and every kernel in the neural substrate is deterministic
+/// and row-independent, so recomputing them in a *different* minibatch
+/// yields bitwise-identical `f32`s. Sampling the same transition twice in
+/// one era (the common case: the replay memory is resampled ~16x per
+/// target-sync window) can therefore reuse the stored values instead of
+/// re-running the two target-net GEMM sweeps, changing nothing about the
+/// learning trajectory. Entries are invalidated wholesale by bumping the
+/// era counter at each sync.
+#[derive(Debug, Clone, Copy)]
+struct TargetCache {
+    /// Target-net era (sync count) the values were computed under.
+    era: u64,
+    /// `max_a Q_target(next_state, a)` over the real (non-padding) actions.
+    max_next: f32,
+    /// `Q_target(state, action)` for the taken action.
+    prev: f32,
 }
 
 /// The DRL-based global-tier allocator (implements [`Allocator`]).
@@ -211,6 +238,12 @@ pub struct DrlAllocator {
     learning: bool,
     ae_buffer: Vec<Vec<f32>>,
     stats: DrlStats,
+    /// Target-net era: bumped at every target sync, invalidating all
+    /// [`TargetCache`] entries at once.
+    target_era: u64,
+    /// Escape hatch for the equivalence test: `false` recomputes every
+    /// target through the network sweeps, the retained reference behaviour.
+    use_target_cache: bool,
 }
 
 impl DrlAllocator {
@@ -244,6 +277,8 @@ impl DrlAllocator {
             ae_buffer: Vec::new(),
             config,
             stats: DrlStats::default(),
+            target_era: 0,
+            use_target_cache: true,
         }
     }
 
@@ -266,6 +301,15 @@ impl DrlAllocator {
     /// with learning off the network and replay memory are frozen).
     pub fn set_learning(&mut self, on: bool) {
         self.learning = on;
+    }
+
+    /// Test-only switch to the retained reference behaviour: recompute
+    /// every SMDP target through the target-net sweeps instead of reusing
+    /// per-era memoized values (which must be — and is tested to be —
+    /// bitwise indistinguishable).
+    #[cfg(test)]
+    fn set_target_cache(&mut self, on: bool) {
+        self.use_target_cache = on;
     }
 
     /// Captures a serializable snapshot of the trained policy.
@@ -298,6 +342,8 @@ impl DrlAllocator {
             num_servers: snapshot.num_servers,
             stats: snapshot.stats,
             config: snapshot.config,
+            target_era: 0,
+            use_target_cache: true,
         }
     }
 
@@ -351,6 +397,7 @@ impl DrlAllocator {
             reward_rate,
             sojourn: tau,
             next_state: next_state.clone(),
+            cache: Cell::new(None),
         });
     }
 
@@ -401,24 +448,50 @@ impl DrlAllocator {
         // the target net as the previous estimate), clamped to the feasible
         // range: rewards are non-positive, so true Q values are too — the
         // upper clamp removes the max-operator overestimation spiral.
-        // One batched sweep per role: all next-states in one GEMM pair (the
-        // max needs every action), all previous states in another that only
-        // evaluates the taken action's Sub-Q row. Each state is encoded
-        // exactly once, and every value is bitwise identical to a
-        // per-transition `q_values`/`max_q` sweep.
-        let next_states: Vec<&GlobalState> = transitions.iter().map(|t| &t.next_state).collect();
+        // Transitions already evaluated under the *current* target net (the
+        // net is frozen between syncs) reuse their memoized values; only
+        // cache misses go through the network. One batched sweep per role
+        // over the misses: all next-states in one GEMM pair (the max needs
+        // every action), all previous states in another that only evaluates
+        // the taken action's Sub-Q row. Each miss is encoded exactly once,
+        // and every value — cached or fresh — is bitwise identical to a
+        // per-transition `q_values`/`max_q` sweep (row independence).
+        let era = self.target_era;
+        let misses: Vec<usize> = transitions
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                !self.use_target_cache || !matches!(t.cache.get(), Some(c) if c.era == era)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let next_states: Vec<&GlobalState> =
+            misses.iter().map(|&i| &transitions[i].next_state).collect();
         let next_q = self.target_net.q_values_batch(&next_states);
-        let prev_items: Vec<(&GlobalState, usize)> =
-            transitions.iter().map(|t| (&t.state, t.action)).collect();
+        let prev_items: Vec<(&GlobalState, usize)> = misses
+            .iter()
+            .map(|&i| (&transitions[i].state, transitions[i].action))
+            .collect();
         let prev_q = self.target_net.q_action_batch(&prev_items);
+        for ((&i, nq), prev) in misses.iter().zip(&next_q).zip(prev_q) {
+            transitions[i].cache.set(Some(TargetCache {
+                era,
+                max_next: GroupedQNetwork::max_q_of(nq, self.num_servers),
+                prev,
+            }));
+        }
         let batch: Vec<QSample> = transitions
             .into_iter()
-            .zip(next_q)
-            .zip(prev_q)
-            .map(|((t, nq), prev)| {
-                let max_next = f64::from(GroupedQNetwork::max_q_of(&nq, self.num_servers));
-                let raw = smdp_target(&self.config.smdp, t.reward_rate, t.sojourn, max_next);
-                let prev = f64::from(prev);
+            .map(|t| {
+                let cached = t.cache.get().expect("miss pass filled every cache entry");
+                debug_assert_eq!(cached.era, era, "stale target cache survived the miss pass");
+                let raw = smdp_target(
+                    &self.config.smdp,
+                    t.reward_rate,
+                    t.sojourn,
+                    f64::from(cached.max_next),
+                );
+                let prev = f64::from(cached.prev);
                 let blended = prev + self.config.smdp.alpha * (raw - prev);
                 QSample {
                     state: t.state.clone(),
@@ -435,6 +508,7 @@ impl DrlAllocator {
             .is_multiple_of(self.config.target_sync)
         {
             self.target_net = self.qnet.clone();
+            self.target_era += 1;
         }
         self.stats.loss_ema = if self.stats.train_steps == 1 {
             loss
@@ -601,5 +675,72 @@ mod tests {
         let mut config = small_config();
         config.minibatch = 0;
         let _ = DrlAllocator::new(4, 3, config);
+    }
+
+    #[test]
+    fn target_cache_is_bitwise_invisible_to_learning() {
+        // Same seed, same jobs, with and without the per-era target cache:
+        // the learning trajectory (network weights, optimizer state,
+        // statistics, cluster outcome) must be bitwise identical — the
+        // cache only skips recomputing values the frozen target net would
+        // reproduce exactly. target_sync is small so several eras (and
+        // therefore both invalidation and reuse) occur within the run.
+        let mut config = small_config();
+        config.target_sync = 20;
+        let run = |cached: bool| {
+            let mut alloc = DrlAllocator::new(5, 3, config.clone());
+            alloc.set_target_cache(cached);
+            let mut cluster = Cluster::new(ClusterConfig::paper(5), jobs(400, 9.0)).unwrap();
+            let out = cluster.run(
+                &mut alloc,
+                &mut SleepImmediatelyPower,
+                RunLimit::unbounded(),
+            );
+            (out, alloc)
+        };
+        let (out_cached, alloc_cached) = run(true);
+        let (out_ref, alloc_ref) = run(false);
+        assert!(
+            alloc_cached.stats().train_steps > 2 * config.target_sync,
+            "run too short to cross target-net eras"
+        );
+        assert_eq!(out_cached.totals, out_ref.totals);
+        assert_eq!(alloc_cached.stats(), alloc_ref.stats());
+        let snap = |a: &DrlAllocator| serde_json::to_string(&a.snapshot()).unwrap();
+        assert_eq!(
+            snap(&alloc_cached),
+            snap(&alloc_ref),
+            "cached-target training diverged from the reference sweeps"
+        );
+    }
+
+    #[test]
+    fn cached_targets_match_fresh_recomputation() {
+        // The cache invariant: every entry stamped with the current era
+        // equals a fresh evaluation through the current target net.
+        let mut config = small_config();
+        config.target_sync = 25;
+        let mut alloc = DrlAllocator::new(5, 3, config);
+        let mut cluster = Cluster::new(ClusterConfig::paper(5), jobs(300, 10.0)).unwrap();
+        cluster.run(
+            &mut alloc,
+            &mut SleepImmediatelyPower,
+            RunLimit::unbounded(),
+        );
+        let era = alloc.target_era;
+        let mut checked = 0usize;
+        for t in alloc.replay.iter() {
+            let Some(c) = t.cache.get() else { continue };
+            assert!(c.era <= era, "cache stamped with a future era");
+            if c.era != era {
+                continue;
+            }
+            let q = alloc.target_net.q_values(&t.next_state);
+            assert_eq!(c.max_next, GroupedQNetwork::max_q_of(&q, 5));
+            let prev = alloc.target_net.q_action_batch(&[(&t.state, t.action)])[0];
+            assert_eq!(c.prev, prev);
+            checked += 1;
+        }
+        assert!(checked > 0, "no current-era cache entries to verify");
     }
 }

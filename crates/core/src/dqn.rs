@@ -75,6 +75,9 @@ struct QWorkspace {
     inputs: Matrix,
     q: Matrix,
     scratch: Matrix,
+    /// Batched output gradient for the training step (scattered per-sample
+    /// errors), recycled across minibatches.
+    dy: Matrix,
 }
 
 /// The weight-shared, autoencoder-compressed Q-network.
@@ -393,29 +396,29 @@ impl GroupedQNetwork {
             self.adam.step(&mut joint);
         } else {
             // Frozen encoder: one batched forward/backward over the whole
-            // minibatch, rows in sample order.
-            let y = {
-                let ws = &mut *self.workspace.borrow_mut();
-                let states: Vec<&GlobalState> = samples.iter().map(|s| &s.state).collect();
-                self.encode_all_groups(&states, ws);
-                ws.inputs.resize_to(samples.len(), self.input_width());
-                let k = self.num_groups;
-                for (i, s) in samples.iter().enumerate() {
-                    let g = s.action / self.group_size;
-                    let (inputs, codes) = (&mut ws.inputs, &ws.codes);
-                    self.fill_sub_q_row(inputs.row_mut(i), &s.state, g, codes, i * k);
-                }
-                self.sub_q.forward(&ws.inputs)
-            };
-            let mut dy = Matrix::zeros(y.rows(), y.cols());
+            // minibatch, rows in sample order, entirely through recycled
+            // workspace buffers (encoder codes, Sub-Q inputs and caches,
+            // the scattered output gradient).
+            let ws = &mut *self.workspace.borrow_mut();
+            let states: Vec<&GlobalState> = samples.iter().map(|s| &s.state).collect();
+            self.encode_all_groups(&states, ws);
+            ws.inputs.resize_to(samples.len(), self.input_width());
+            let k = self.num_groups;
+            for (i, s) in samples.iter().enumerate() {
+                let g = s.action / self.group_size;
+                let (inputs, codes) = (&mut ws.inputs, &ws.codes);
+                self.fill_sub_q_row(inputs.row_mut(i), &s.state, g, codes, i * k);
+            }
+            let y = self.sub_q.forward_ws(&ws.inputs);
+            ws.dy.resize_to(y.rows(), y.cols());
             for (i, s) in samples.iter().enumerate() {
                 let slot = s.action % self.group_size;
                 let err = y[(i, slot)] - s.target;
                 loss += err * err;
-                dy[(i, slot)] = 2.0 * err / n;
+                ws.dy[(i, slot)] = 2.0 * err / n;
             }
             // Frozen encoder: nothing consumes the input gradient.
-            self.sub_q.backward_params_only(&dy);
+            self.sub_q.backward_params_only_ws(&ws.dy);
             let mut joint = JointParams {
                 sub_q: &mut self.sub_q,
                 encoder: None,

@@ -4,7 +4,7 @@
 
 use crate::allocator::DrlAllocator;
 use crate::hierarchical::PolicyPair;
-use hierdrl_sim::cluster::{Allocator, Cluster, PowerManager, RunLimit};
+use hierdrl_sim::cluster::{Allocator, ArrivalSource, Cluster, PowerManager, RunLimit};
 use hierdrl_sim::config::ClusterConfig;
 use hierdrl_sim::metrics::{LatencyStats, RunOutcome, SamplePoint};
 use hierdrl_sim::policies::SleepImmediatelyPower;
@@ -411,6 +411,39 @@ pub fn run_policies(
         .run(allocator, power)
 }
 
+/// Runs a policy pair over a *streamed* arrival source — the raw-scale
+/// twin of [`run_policies`]. The cluster pulls jobs lazily from `arrivals`
+/// (e.g. a `GeneratorStream` wrapped in
+/// [`ArrivalSource::from_stream`](hierdrl_sim::cluster::ArrivalSource)),
+/// so no materialized `Vec<Job>` ever exists; combined with
+/// `lazy_accounting` and `retain_completed_jobs = false` on the cluster
+/// config, peak memory is bounded by the fleet size, not the trace length.
+///
+/// With retention off the result's `latency` percentiles are `None`
+/// (per-job records were never kept); aggregate totals, the latency *sum*,
+/// and the sample curves are unaffected.
+///
+/// # Errors
+///
+/// Returns an error if the cluster configuration is invalid.
+pub fn run_streamed(
+    name: &str,
+    cluster_config: &ClusterConfig,
+    arrivals: ArrivalSource,
+    allocator: &mut dyn Allocator,
+    power: &mut dyn PowerManager,
+    limit: RunLimit,
+) -> Result<ExperimentResult, String> {
+    let mut cluster = Cluster::from_source(cluster_config.clone(), arrivals)?;
+    let outcome = cluster.run(allocator, power, limit);
+    Ok(ExperimentResult {
+        name: name.to_string(),
+        latency: LatencyStats::from_jobs(cluster.completed_jobs()),
+        fleet: fleet_stats(&cluster),
+        outcome,
+    })
+}
+
 /// Runs a [`PolicyPair`] on a trace, building fresh policy objects.
 ///
 /// # Errors
@@ -643,6 +676,87 @@ mod tests {
         assert!(result.latency.is_some());
         // Always-on: no sleeping at all.
         assert_eq!(result.fleet.sleep_fraction, 0.0);
+    }
+
+    #[test]
+    fn streamed_run_matches_materialized_run_bitwise() {
+        use hierdrl_sim::policies::{FixedTimeoutPower, RoundRobinAllocator};
+
+        let trace = small_trace(3, 400);
+        let config = ClusterConfig::paper(5);
+        let reference = run_policies(
+            "rr",
+            &config,
+            &trace,
+            &mut RoundRobinAllocator::new(),
+            &mut FixedTimeoutPower::new(60.0),
+            RunLimit::unbounded(),
+        )
+        .unwrap();
+
+        let stream = hierdrl_trace::stream::TraceStream::new(std::sync::Arc::new(trace));
+        let streamed = run_streamed(
+            "rr",
+            &config,
+            ArrivalSource::from_stream(stream),
+            &mut RoundRobinAllocator::new(),
+            &mut FixedTimeoutPower::new(60.0),
+            RunLimit::unbounded(),
+        )
+        .unwrap();
+
+        assert_eq!(reference.outcome.totals, streamed.outcome.totals);
+        assert_eq!(reference.outcome.end_time, streamed.outcome.end_time);
+        assert_eq!(reference.outcome.samples, streamed.outcome.samples);
+        assert_eq!(reference.latency, streamed.latency);
+        assert_eq!(reference.fleet, streamed.fleet);
+    }
+
+    #[test]
+    fn streamed_run_without_retention_keeps_aggregates() {
+        use hierdrl_sim::policies::{AlwaysOnPower, RoundRobinAllocator};
+
+        let trace = small_trace(4, 300);
+        let config = ClusterConfig::paper(4);
+        let reference = run_policies(
+            "rr",
+            &config,
+            &trace,
+            &mut RoundRobinAllocator::new(),
+            &mut AlwaysOnPower,
+            RunLimit::unbounded(),
+        )
+        .unwrap();
+
+        let mut raw = config.clone();
+        raw.lazy_accounting = true;
+        raw.retain_completed_jobs = false;
+        let stream = hierdrl_trace::stream::TraceStream::new(std::sync::Arc::new(trace));
+        let streamed = run_streamed(
+            "rr",
+            &raw,
+            ArrivalSource::from_stream(stream),
+            &mut RoundRobinAllocator::new(),
+            &mut AlwaysOnPower,
+            RunLimit::unbounded(),
+        )
+        .unwrap();
+
+        // Counts are exact in the raw-scale configuration; percentiles are
+        // unavailable because no per-job records were retained.
+        assert_eq!(
+            reference.outcome.totals.jobs_completed,
+            streamed.outcome.totals.jobs_completed
+        );
+        assert_eq!(
+            reference.outcome.totals.total_latency_s,
+            streamed.outcome.totals.total_latency_s
+        );
+        assert!(streamed.latency.is_none());
+        let rel = (reference.outcome.totals.energy_joules - streamed.outcome.totals.energy_joules)
+            .abs()
+            / reference.outcome.totals.energy_joules;
+        assert!(rel < 1e-9, "lazy energy drifted by {rel}");
     }
 
     #[test]

@@ -159,3 +159,46 @@ fn batched_training_is_bitwise_identical_to_reference() {
         assert_eq!(batched.q_values(&s), reference.q_values_reference(&s));
     }
 }
+
+/// The training workspace recycles cache entries and gradient buffers
+/// across steps; varying the minibatch size between steps forces every one
+/// of those buffers through resize paths on dirty contents. Results must
+/// still be bitwise identical to the per-sample reference, and interleaved
+/// inference (which shares the workspace) must not perturb training.
+#[test]
+fn workspace_training_is_identical_across_varying_batch_sizes() {
+    for &(m, k) in &[(10, 3), (14, 4), (32, 2)] {
+        let mut rng = StdRng::seed_from_u64(m as u64 * 105 + k as u64);
+        let lay = layout(m, k);
+        let mut batched = GroupedQNetwork::new(&lay, QNetworkConfig::default(), &mut rng);
+        let mut reference = batched.clone();
+        for (step, &batch) in [1usize, 9, 4, 16, 2, 16, 1].iter().enumerate() {
+            let samples: Vec<QSample> = (0..batch)
+                .map(|_| QSample {
+                    state: random_state(&lay, &mut rng),
+                    action: rng.gen_range(0..m),
+                    target: rng.gen_range(-5.0..0.0),
+                })
+                .collect();
+            let loss_b = batched.train_batch(&samples);
+            let loss_r = reference.train_batch_reference(&samples);
+            assert_eq!(
+                loss_b.to_bits(),
+                loss_r.to_bits(),
+                "M={m} K={k} step {step} (batch {batch}): losses diverged"
+            );
+            // Interleave inference through the shared workspace.
+            let probe = random_state(&lay, &mut rng);
+            assert_eq!(
+                batched.q_values(&probe),
+                reference.q_values_reference(&probe),
+                "M={m} K={k} step {step}: post-step inference diverged"
+            );
+            assert_eq!(
+                full_state(&batched),
+                full_state(&reference),
+                "M={m} K={k} step {step} (batch {batch}): state diverged"
+            );
+        }
+    }
+}

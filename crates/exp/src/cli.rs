@@ -8,6 +8,8 @@
 //! - `--threads <T>` — suite worker threads (default: all cores);
 //! - `--out <PATH>` — where to write the timing artifact (binaries that
 //!   emit one);
+//! - `--merge <PATH>` — an existing bench artifact to merge rows into
+//!   instead of writing a standalone one (the `scale` bin);
 //! - `--clusters <C1,C2,...>` — cluster-counts axis for sharded presets;
 //! - `--ms <M1,M2,...>` — cluster-size axis for sweep presets;
 //! - `--rates <F1,F2,...>` — arrival-rate factor axis for sweep presets;
@@ -30,6 +32,9 @@ pub struct SweepArgs {
     pub threads: Option<usize>,
     /// `--out` artifact path.
     pub out: Option<String>,
+    /// `--merge` path of an existing bench artifact to merge rows into
+    /// (the `scale` bin folds its cells into the suite artifact in place).
+    pub merge: Option<String>,
     /// `--clusters` override (comma-separated cluster counts for sharded
     /// presets).
     pub clusters: Option<Vec<usize>>,
@@ -71,6 +76,7 @@ impl SweepArgs {
                     );
                 }
                 "--out" => out.out = Some(take("--out")),
+                "--merge" => out.merge = Some(take("--merge")),
                 "--clusters" => {
                     out.clusters = Some(
                         take("--clusters")
@@ -197,6 +203,13 @@ mod tests {
     fn unknown_flags_are_ignored() {
         let args = parse(&["--frobnicate", "--jobs", "100"]);
         assert_eq!(args.jobs, Some(100));
+    }
+
+    #[test]
+    fn merge_takes_a_path() {
+        let args = parse(&["--merge", "/tmp/BENCH_suite.json"]);
+        assert_eq!(args.merge.as_deref(), Some("/tmp/BENCH_suite.json"));
+        assert_eq!(parse(&[]).merge, None);
     }
 
     #[test]

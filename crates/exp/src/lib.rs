@@ -147,11 +147,22 @@
 //! // (2 cluster sizes + big/little + rate-step drift) x 3 systems
 //! assert_eq!(suite.len(), 12);
 //! ```
+//!
+//! # Raw scale
+//!
+//! The [`scale`] module is the regime the suite layer deliberately does
+//! not cover: single cells at the paper's pitched warehouse scale
+//! (10⁵ servers, 10⁶ streamed jobs) with memory bounded by the fleet, not
+//! the trace — streamed arrivals, lazy `O(1)` fleet accounting, no
+//! per-job retention, and a per-cell peak-RSS reading
+//! ([`report::peak_rss_bytes`]) that the CI perf gate guards alongside
+//! throughput.
 
 pub mod cli;
 pub mod presets;
 pub mod report;
 pub mod runner;
+pub mod scale;
 pub mod scenario;
 pub mod suite;
 
@@ -163,6 +174,7 @@ pub mod prelude {
         ShardReport, SuiteReport,
     };
     pub use crate::runner::{CellRun, SegmentRun, ShardRun, SuiteRun, SuiteRunner};
+    pub use crate::scale::{ScaleCellRun, ScaleSpec};
     pub use crate::scenario::{
         DriftSpec, JobsBudget, PolicySpec, Pretrain, Scenario, Topology, WorkloadSpec,
     };

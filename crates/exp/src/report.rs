@@ -192,6 +192,14 @@ pub struct BenchCell {
     /// Per-cluster timing rows in shard order (`None` for single-cluster
     /// cells).
     pub clusters: Option<Vec<BenchShard>>,
+    /// Process peak-RSS snapshot (bytes) taken right after the cell
+    /// finished, for cells run *sequentially* by a memory-gated harness
+    /// (the `scale` bin). `VmHWM` is a process-wide monotone high-water
+    /// mark, so within one process each cell's snapshot includes every
+    /// earlier cell's footprint; `None` for cells of parallel suite runs,
+    /// where a per-cell figure would be meaningless.
+    #[serde(default)]
+    pub peak_rss_bytes: Option<u64>,
 }
 
 /// Machine-readable performance artifact of a suite run, for tracking the
@@ -218,6 +226,10 @@ pub struct BenchReport {
     pub traces_materialized: u64,
     /// Trace-cache hits (cells that reused a shared trace).
     pub trace_cache_hits: u64,
+    /// Process-wide peak RSS (bytes, from `VmHWM`) at the end of the run;
+    /// `None` where the kernel interface is unavailable (non-Linux).
+    #[serde(default)]
+    pub peak_rss_bytes: Option<u64>,
     /// Per-cell timing, in suite order.
     pub cells: Vec<BenchCell>,
 }
@@ -226,5 +238,66 @@ impl BenchReport {
     /// Indented JSON for the checked-in artifact.
     pub fn to_json_pretty(&self) -> String {
         serde_json::to_string_pretty(self).expect("bench report serializes")
+    }
+}
+
+/// The process's peak resident-set size in bytes, read from the `VmHWM`
+/// line of `/proc/self/status` — the kernel's high-water mark of physical
+/// memory use since process start (or the last peak reset). Monotone
+/// non-decreasing over the process lifetime, which is exactly what a
+/// memory *gate* wants: a raw-scale cell whose working set spiked cannot
+/// hide the spike by freeing afterwards.
+///
+/// Returns `None` when the interface is unavailable (non-Linux platforms)
+/// or unparsable, so callers degrade to "no memory data" rather than
+/// failing.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    // Format: `VmHWM:    123456 kB`.
+    let kb: u64 = line
+        .strip_prefix("VmHWM:")?
+        .trim()
+        .strip_suffix("kB")?
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kb * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_rss_reads_a_plausible_value_on_linux() {
+        // This suite only runs on Linux in CI; tolerate None elsewhere.
+        if let Some(bytes) = peak_rss_bytes() {
+            // Any running test binary has touched at least 100 KiB and
+            // (sanity bound) less than 1 TiB.
+            assert!(bytes > 100 * 1024, "implausibly small peak RSS {bytes}");
+            assert!(bytes < 1 << 40, "implausibly large peak RSS {bytes}");
+        }
+    }
+
+    #[test]
+    fn bench_report_round_trips_without_rss_fields() {
+        // Committed baselines predate the peak-RSS column; they must keep
+        // deserializing (serde default = None).
+        let legacy = r#"{
+            "suite": "table1", "threads": 1, "cells_total": 1,
+            "total_wall_s": 1.0, "cell_wall_s_sum": 1.0, "jobs_total": 10,
+            "jobs_per_s": 10.0, "traces_materialized": 1, "trace_cache_hits": 0,
+            "cells": [{
+                "id": "a/b/c/s1", "jobs": 10, "capacity_skew": 1.0,
+                "wall_s": 1.0, "jobs_per_s": 10.0,
+                "segments": null, "clusters": null
+            }]
+        }"#;
+        let report: BenchReport = serde_json::from_str(legacy).expect("legacy artifact parses");
+        assert_eq!(report.peak_rss_bytes, None);
+        assert_eq!(report.cells[0].peak_rss_bytes, None);
+        let back: BenchReport = serde_json::from_str(&report.to_json_pretty()).expect("round trip");
+        assert_eq!(report, back);
     }
 }

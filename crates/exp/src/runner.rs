@@ -231,6 +231,7 @@ impl SuiteRun {
             jobs_per_s: jobs_total as f64 / self.total_wall_s.max(1e-9),
             traces_materialized: self.traces_materialized,
             trace_cache_hits: self.trace_cache_hits,
+            peak_rss_bytes: crate::report::peak_rss_bytes(),
             cells: self
                 .cells
                 .iter()
@@ -262,6 +263,9 @@ impl SuiteRun {
                             })
                             .collect()
                     }),
+                    // Suite cells run in parallel; a per-cell snapshot of
+                    // the process-wide high-water mark would be noise.
+                    peak_rss_bytes: None,
                 })
                 .collect(),
         }

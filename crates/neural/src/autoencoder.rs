@@ -119,8 +119,35 @@ impl Autoencoder {
         loss
     }
 
+    /// One optimizer step on reconstruction MSE through the workspace
+    /// forward/backward paths, with the loss gradient staged in the
+    /// caller's reusable `dy` buffer: no per-batch tensor allocations.
+    /// Bitwise identical to [`Autoencoder::train_batch`] in weights,
+    /// optimizer state, and returned loss (the encoder's parameter
+    /// gradients don't need the input gradient, so its sweep is
+    /// params-only).
+    fn train_batch_ws(
+        &mut self,
+        x: &Matrix,
+        optimizer: &mut dyn Optimizer,
+        dy: &mut Matrix,
+    ) -> f32 {
+        self.zero_grad();
+        let code = self.encoder.forward_ws(x);
+        let recon = self.decoder.forward_ws(code);
+        let loss = Loss::Mse.value(recon, x);
+        Loss::Mse.gradient_into(recon, x, dy);
+        let dcode = self.decoder.backward_ws(dy);
+        self.encoder.backward_params_only_ws(dcode);
+        optimizer.step(self);
+        loss
+    }
+
     /// Trains for `epochs` passes over `data` in minibatches of
-    /// `batch_size`, returning the final epoch's mean loss.
+    /// `batch_size`, returning the final epoch's mean loss. Runs through
+    /// the workspace training step (bitwise identical to a
+    /// [`Autoencoder::train_batch`] loop), staging each contiguous batch
+    /// slice in one recycled buffer.
     ///
     /// # Panics
     ///
@@ -135,18 +162,20 @@ impl Autoencoder {
         assert!(data.rows() > 0, "training data is empty");
         assert!(batch_size > 0, "batch_size must be positive");
         let mut last = 0.0;
+        let mut batch = Matrix::default();
+        let mut dy = Matrix::default();
+        let cols = data.cols();
         for _ in 0..epochs {
             let mut total = 0.0;
             let mut batches = 0;
             let mut start = 0;
             while start < data.rows() {
                 let end = (start + batch_size).min(data.rows());
-                let mut rows: Vec<&[f32]> = Vec::with_capacity(end - start);
-                for r in start..end {
-                    rows.push(data.row(r));
-                }
-                let batch = Matrix::from_rows(&rows);
-                total += self.train_batch(&batch, optimizer);
+                batch.resize_to(end - start, cols);
+                batch
+                    .as_mut_slice()
+                    .copy_from_slice(&data.as_slice()[start * cols..end * cols]);
+                total += self.train_batch_ws(&batch, optimizer, &mut dy);
                 batches += 1;
                 start = end;
             }
@@ -223,6 +252,38 @@ mod tests {
         let mut ae = Autoencoder::new(&[4, 2], Activation::ELU, &mut rng);
         let mut adam = Adam::new(1e-3);
         let _ = ae.fit(&Matrix::zeros(0, 4), 1, 8, &mut adam);
+    }
+
+    #[test]
+    fn workspace_training_matches_reference_bitwise() {
+        // The workspace step `fit` uses must leave exactly the state the
+        // allocating reference step leaves: identical losses, weights, and
+        // optimizer moments after several minibatches.
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut data = Matrix::zeros(48, 9);
+        for v in data.as_mut_slice() {
+            *v = rng.gen_range(-1.0..1.0);
+        }
+        let ae0 = Autoencoder::new(&[9, 6, 3], Activation::ELU, &mut rng);
+        let mut ae_ref = ae0.clone();
+        let mut ae_ws = ae0;
+        let mut adam_ref = Adam::new(2e-3);
+        let mut adam_ws = Adam::new(2e-3);
+        let mut dy = Matrix::default();
+        for start in (0..48).step_by(16) {
+            let rows: Vec<&[f32]> = (start..start + 16).map(|r| data.row(r)).collect();
+            let batch = Matrix::from_rows(&rows);
+            let l_ref = ae_ref.train_batch(&batch, &mut adam_ref);
+            let l_ws = ae_ws.train_batch_ws(&batch, &mut adam_ws, &mut dy);
+            assert_eq!(l_ref, l_ws, "losses diverged at batch {start}");
+        }
+        assert_eq!(
+            serde_json::to_string(&ae_ref).unwrap(),
+            serde_json::to_string(&ae_ws).unwrap(),
+            "workspace training step diverged from the reference step"
+        );
+        let x = Matrix::zeros(2, 9);
+        assert_eq!(ae_ref.encode(&x), ae_ws.encode(&x));
     }
 
     #[test]

@@ -8,11 +8,27 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Per-call cache used by back-propagation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 struct DenseCache {
     input: Matrix,
     pre: Matrix,
     post: Matrix,
+}
+
+/// Scratch buffers for the workspace training path
+/// ([`Dense::forward_ws`] / [`Dense::backward_ws`]): every per-call
+/// temporary the plain path allocates lives here instead and is resized in
+/// place, so steady-state training does not allocate.
+#[derive(Debug, Clone, Default)]
+struct DenseWorkspace {
+    /// Pre-activation gradient (`dy * act'`).
+    dz: Matrix,
+    /// Bias-gradient staging buffer (`dz` summed over rows).
+    rowsum: Matrix,
+    /// Transposed weights for the input-gradient GEMM.
+    w_t: Matrix,
+    /// Input gradient (`dz * W^T`), returned by reference.
+    dx: Matrix,
 }
 
 /// A fully-connected layer `y = act(x W + b)`.
@@ -34,6 +50,10 @@ pub struct Dense {
     grad_b: Matrix,
     #[serde(skip)]
     cache: Vec<DenseCache>,
+    #[serde(skip)]
+    spare: Vec<DenseCache>,
+    #[serde(skip)]
+    ws: DenseWorkspace,
 }
 
 impl Dense {
@@ -53,6 +73,8 @@ impl Dense {
             grad_w: Matrix::zeros(input, output),
             grad_b: Matrix::zeros(1, output),
             cache: Vec::new(),
+            spare: Vec::new(),
+            ws: DenseWorkspace::default(),
         }
     }
 
@@ -138,6 +160,43 @@ impl Dense {
         post
     }
 
+    /// Training-mode forward pass that recycles cache tensors instead of
+    /// cloning them: the cache entry comes from an internal spare pool
+    /// (returned to it by the matching workspace backward call) and its
+    /// buffers are overwritten in place. Bitwise identical to
+    /// [`Dense::forward`], which stays as the allocating reference path.
+    ///
+    /// The returned reference is the cached activation output; it stays
+    /// valid until the matching backward (or [`Dense::clear_cache`]) pops
+    /// the entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != input_size()`.
+    pub fn forward_ws(&mut self, x: &Matrix) -> &Matrix {
+        let mut cache = self.spare.pop().unwrap_or_default();
+        cache.input.copy_from(x);
+        x.matmul_into(&self.w, &mut cache.pre);
+        cache.pre.add_row_broadcast(&self.b);
+        cache.post.copy_from(&cache.pre);
+        self.activation.apply_slice(cache.post.as_mut_slice());
+        self.cache.push(cache);
+        self.last_output()
+    }
+
+    /// Output of the most recent un-consumed forward call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no forward call is pending.
+    pub fn last_output(&self) -> &Matrix {
+        &self
+            .cache
+            .last()
+            .expect("Dense::last_output called with no pending forward")
+            .post
+    }
+
     /// Back-propagates `grad_out` (gradient of the loss w.r.t. this layer's
     /// output) through the most recent un-consumed forward call, accumulates
     /// parameter gradients, and returns the gradient w.r.t. the input.
@@ -150,6 +209,34 @@ impl Dense {
         dz.matmul_nt(&self.w)
     }
 
+    /// Workspace counterpart of [`Dense::backward`]: accumulates the same
+    /// parameter gradients and returns the input gradient, but every
+    /// temporary (`dz`, the transposed weights, the input gradient
+    /// itself) lives in recycled buffers.
+    /// Bitwise identical to [`Dense::backward`].
+    ///
+    /// The returned reference aliases an internal buffer overwritten by the
+    /// *next* workspace backward call on this layer; read or copy it before
+    /// then (see [`Dense::grad_input`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no cached forward call, or on shape mismatch.
+    pub fn backward_ws(&mut self, grad_out: &Matrix) -> &Matrix {
+        self.backward_accumulate_ws(grad_out);
+        // dx = dz * W^T: `matmul_nt` materializes the transpose and runs
+        // the plain kernel, so staging W^T through a recycled buffer and
+        // calling the same kernel is bitwise identical.
+        self.w.transpose_into(&mut self.ws.w_t);
+        self.ws.dz.matmul_into(&self.ws.w_t, &mut self.ws.dx);
+        &self.ws.dx
+    }
+
+    /// Input gradient left by the most recent [`Dense::backward_ws`] call.
+    pub fn grad_input(&self) -> &Matrix {
+        &self.ws.dx
+    }
+
     /// Like [`Dense::backward`], but skips the input-gradient GEMM
     /// (`dz * W^T`) — for bottom layers whose upstream gradient nobody
     /// consumes. Parameter gradients are accumulated identically.
@@ -159,6 +246,17 @@ impl Dense {
     /// Panics if there is no cached forward call, or on shape mismatch.
     pub fn backward_params_only(&mut self, grad_out: &Matrix) {
         let _ = self.backward_accumulate(grad_out);
+    }
+
+    /// Workspace counterpart of [`Dense::backward_params_only`]: identical
+    /// gradient accumulation through recycled buffers, no input-gradient
+    /// GEMM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no cached forward call, or on shape mismatch.
+    pub fn backward_params_only_ws(&mut self, grad_out: &Matrix) {
+        self.backward_accumulate_ws(grad_out);
     }
 
     /// Pops the most recent forward cache, accumulates the parameter
@@ -185,9 +283,44 @@ impl Dense {
                 *g *= self.activation.derivative(p, q);
             }
         }
-        self.grad_w.axpy(1.0, &cache.input.matmul_tn(&dz));
+        // The accumulating GEMM continues each gradient element's fused
+        // product chain across calls, so N single-row accumulations and one
+        // N-row accumulation land on identical bits (see `simd` module doc).
+        self.grad_w.add_matmul_tn(&cache.input, &dz);
         self.grad_b.axpy(1.0, &dz.sum_rows());
         dz
+    }
+
+    /// Workspace twin of [`Dense::backward_accumulate`]: same operations in
+    /// the same order, but `dz` and the bias-gradient staging row live in
+    /// recycled buffers and the consumed cache entry returns to the spare
+    /// pool. Leaves `dz` in the workspace for [`Dense::backward_ws`].
+    fn backward_accumulate_ws(&mut self, grad_out: &Matrix) {
+        let cache = self
+            .cache
+            .pop()
+            .expect("Dense::backward called without a matching forward");
+        assert_eq!(
+            grad_out.shape(),
+            cache.post.shape(),
+            "gradient shape {:?} does not match output shape {:?}",
+            grad_out.shape(),
+            cache.post.shape()
+        );
+        // dz = dy * act'(pre, post)
+        self.ws.dz.copy_from(grad_out);
+        for i in 0..self.ws.dz.rows() {
+            let pre = cache.pre.row(i);
+            let post = cache.post.row(i);
+            let row = self.ws.dz.row_mut(i);
+            for ((g, &p), &q) in row.iter_mut().zip(pre).zip(post) {
+                *g *= self.activation.derivative(p, q);
+            }
+        }
+        self.grad_w.add_matmul_tn(&cache.input, &self.ws.dz);
+        self.ws.dz.sum_rows_into(&mut self.ws.rowsum);
+        self.grad_b.axpy(1.0, &self.ws.rowsum);
+        self.spare.push(cache);
     }
 
     /// Number of pending (cached, not yet back-propagated) forward calls.
@@ -195,9 +328,10 @@ impl Dense {
         self.cache.len()
     }
 
-    /// Drops any cached forward state without touching gradients.
+    /// Drops any cached forward state without touching gradients. Buffers
+    /// from workspace forward calls return to the spare pool.
     pub fn clear_cache(&mut self) {
-        self.cache.clear();
+        self.spare.append(&mut self.cache);
     }
 }
 
@@ -337,6 +471,24 @@ impl Mlp {
         h
     }
 
+    /// Training-mode forward pass through the workspace path: each layer
+    /// reads its input straight out of the previous layer's cache entry, so
+    /// no inter-layer copies or per-call clones happen at all. Bitwise
+    /// identical to [`Mlp::forward`], which stays as the allocating
+    /// reference path. The returned reference is the top layer's cached
+    /// output, valid until the matching backward call.
+    pub fn forward_ws(&mut self, x: &Matrix) -> &Matrix {
+        for i in 0..self.layers.len() {
+            let (prev, rest) = self.layers.split_at_mut(i);
+            if i == 0 {
+                rest[0].forward_ws(x);
+            } else {
+                rest[0].forward_ws(prev[i - 1].last_output());
+            }
+        }
+        self.layers.last().expect("MLP has layers").last_output()
+    }
+
     /// Back-propagates through the most recent un-consumed forward call and
     /// returns the gradient w.r.t. the input.
     ///
@@ -367,6 +519,58 @@ impl Mlp {
             g = layer.backward(&g);
         }
         bottom.backward_params_only(&g);
+    }
+
+    /// Workspace counterpart of [`Mlp::backward`]: full back-propagation
+    /// with each layer reading the upstream gradient straight from the
+    /// layer above's recycled input-gradient buffer, returning the
+    /// gradient w.r.t. the network input (borrowed from the bottom
+    /// layer's buffer, valid until its next backward call). Gradients are
+    /// bitwise identical to [`Mlp::backward`]'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no forward call is pending.
+    pub fn backward_ws(&mut self, grad_out: &Matrix) -> &Matrix {
+        let n = self.layers.len();
+        for i in (0..n).rev() {
+            let (_, rest) = self.layers.split_at_mut(i);
+            let (cur, upper) = rest.split_first_mut().expect("MLP has layers");
+            let g: &Matrix = if i == n - 1 {
+                grad_out
+            } else {
+                upper[0].grad_input()
+            };
+            cur.backward_ws(g);
+        }
+        self.layers[0].grad_input()
+    }
+
+    /// Workspace counterpart of [`Mlp::backward_params_only`]: identical
+    /// gradient accumulation, but each layer reads the upstream gradient
+    /// directly from the layer above's recycled input-gradient buffer —
+    /// nothing is cloned anywhere in the sweep. Bitwise identical to
+    /// [`Mlp::backward_params_only`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no forward call is pending.
+    pub fn backward_params_only_ws(&mut self, grad_out: &Matrix) {
+        let n = self.layers.len();
+        for i in (0..n).rev() {
+            let (_, rest) = self.layers.split_at_mut(i);
+            let (cur, upper) = rest.split_first_mut().expect("MLP has layers");
+            let g: &Matrix = if i == n - 1 {
+                grad_out
+            } else {
+                upper[0].grad_input()
+            };
+            if i == 0 {
+                cur.backward_params_only_ws(g);
+            } else {
+                cur.backward_ws(g);
+            }
+        }
     }
 
     /// Total number of learnable scalars.
@@ -539,6 +743,119 @@ mod tests {
             mlp.infer_into(&x, &mut out, &mut scratch);
             assert_eq!(out, mlp.infer(&x), "depth {}", dims.len());
         }
+    }
+
+    #[test]
+    fn workspace_training_path_is_bitwise_identical() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let x = Matrix::from_rows(&[&[0.5, -1.0, 0.25], &[0.1, 0.2, 0.3]]);
+        let dy = Matrix::from_rows(&[&[0.3, -0.9], &[-0.2, 0.7]]);
+        for dims in [vec![3, 4, 2], vec![3, 5, 4, 2], vec![3, 2]] {
+            let mut plain = Mlp::new(
+                &dims,
+                Activation::ELU,
+                Activation::Linear,
+                Init::HeNormal,
+                &mut rng,
+            );
+            let mut ws = plain.clone();
+            // Several rounds so the second and later ones exercise recycled
+            // (dirty) cache entries and workspace buffers.
+            for round in 0..3 {
+                let a = plain.forward(&x);
+                let b = ws.forward_ws(&x).clone();
+                assert_eq!(a, b, "depth {} round {round}: outputs", dims.len());
+                plain.backward_params_only(&dy);
+                ws.backward_params_only_ws(&dy);
+                let mut ga = Vec::new();
+                plain.visit_params(&mut |_, g| ga.push(g.clone()));
+                let mut gb = Vec::new();
+                ws.visit_params(&mut |_, g| gb.push(g.clone()));
+                assert_eq!(ga, gb, "depth {} round {round}: grads", dims.len());
+            }
+        }
+    }
+
+    #[test]
+    fn backward_ws_input_gradient_matches_backward() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut plain = Dense::new(5, 3, Activation::Tanh, Init::XavierUniform, &mut rng);
+        let mut ws = plain.clone();
+        let x = Matrix::from_rows(&[&[0.1, -0.5, 0.9, 0.0, 0.4], &[1.0, 0.2, -0.3, 0.6, -0.8]]);
+        let dy = Matrix::from_rows(&[&[0.5, -0.1, 0.2], &[-0.4, 0.8, 0.3]]);
+        for round in 0..3 {
+            let _ = plain.forward(&x);
+            let _ = ws.forward_ws(&x);
+            let dx_plain = plain.backward(&dy);
+            let dx_ws = ws.backward_ws(&dy);
+            assert_eq!(&dx_plain, dx_ws, "round {round}: input grads diverged");
+        }
+        let mut ga = Vec::new();
+        plain.visit_params(&mut |_, g| ga.push(g.clone()));
+        let mut gb = Vec::new();
+        ws.visit_params(&mut |_, g| gb.push(g.clone()));
+        assert_eq!(ga, gb);
+    }
+
+    #[test]
+    fn mlp_backward_ws_matches_backward() {
+        // The full workspace backward (input gradient included) must chain
+        // layer-to-layer exactly like the allocating reference, at every
+        // depth and across recycled rounds.
+        let mut rng = StdRng::seed_from_u64(24);
+        for dims in [vec![6, 4], vec![6, 5, 3], vec![6, 8, 5, 2]] {
+            let mut plain = Mlp::new(
+                &dims,
+                Activation::ELU,
+                Activation::Linear,
+                Init::XavierUniform,
+                &mut rng,
+            );
+            let mut ws = plain.clone();
+            let x = Matrix::from_rows(&[
+                &[0.3, -0.7, 0.1, 0.9, -0.2, 0.5],
+                &[-0.4, 0.6, -0.9, 0.2, 0.8, -0.1],
+            ]);
+            let mut dy = Matrix::zeros(2, *dims.last().unwrap());
+            for (i, v) in dy.as_mut_slice().iter_mut().enumerate() {
+                *v = (i as f32 * 0.37).sin();
+            }
+            for round in 0..3 {
+                let _ = plain.forward(&x);
+                let _ = ws.forward_ws(&x);
+                let dx_plain = plain.backward(&dy);
+                let dx_ws = ws.backward_ws(&dy);
+                assert_eq!(
+                    &dx_plain,
+                    dx_ws,
+                    "depth {} round {round}: input grads",
+                    dims.len()
+                );
+                let mut ga = Vec::new();
+                plain.visit_params(&mut |_, g| ga.push(g.clone()));
+                let mut gb = Vec::new();
+                ws.visit_params(&mut |_, g| gb.push(g.clone()));
+                assert_eq!(ga, gb, "depth {} round {round}: grads", dims.len());
+            }
+        }
+    }
+
+    #[test]
+    fn clear_cache_recycles_workspace_entries() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut layer = Dense::new(2, 2, Activation::Linear, Init::XavierUniform, &mut rng);
+        let x = Matrix::row_vector(&[1.0, -1.0]);
+        let _ = layer.forward_ws(&x);
+        let _ = layer.forward_ws(&x);
+        assert_eq!(layer.pending_backwards(), 2);
+        layer.clear_cache();
+        assert_eq!(layer.pending_backwards(), 0);
+        // The recycled entries are reused and the path still agrees with
+        // the plain one.
+        let mut plain = layer.clone();
+        let a = plain.forward(&x);
+        let b = layer.forward_ws(&x);
+        assert_eq!(&a, b);
     }
 
     #[test]

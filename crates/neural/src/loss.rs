@@ -58,6 +58,48 @@ impl Loss {
         }
     }
 
+    /// Gradient of [`Loss::value`] written into `out` (resized in place,
+    /// reusing its allocation). Bitwise identical to [`Loss::gradient`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn gradient_into(&self, pred: &Matrix, target: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            pred.shape(),
+            target.shape(),
+            "loss shape mismatch: {:?} vs {:?}",
+            pred.shape(),
+            target.shape()
+        );
+        let n = pred.len().max(1) as f32;
+        out.resize_to(pred.rows(), pred.cols());
+        let dst = out.as_mut_slice();
+        match *self {
+            Loss::Mse => {
+                for (d, (&p, &t)) in dst
+                    .iter_mut()
+                    .zip(pred.as_slice().iter().zip(target.as_slice()))
+                {
+                    *d = 2.0 * (p - t) / n;
+                }
+            }
+            Loss::Huber(delta) => {
+                for (d, (&p, &t)) in dst
+                    .iter_mut()
+                    .zip(pred.as_slice().iter().zip(target.as_slice()))
+                {
+                    let e = p - t;
+                    *d = if e.abs() <= delta {
+                        e / n
+                    } else {
+                        delta * e.signum() / n
+                    };
+                }
+            }
+        }
+    }
+
     /// Gradient of [`Loss::value`] with respect to `pred`.
     ///
     /// # Panics

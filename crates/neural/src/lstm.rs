@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// (`[i | f | o | g]` blocks) instead of four separate matrices — the
 /// backward pass reads them sliced in place, halving the per-step
 /// allocation count on the online-predictor hot path.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 struct StepCache {
     z: Matrix,      // [n x (input + hidden)]  concatenated input
     gates: Matrix,  // [n x 4*hidden]  post-activation [i | f | o | g]
@@ -28,8 +28,38 @@ struct StepCache {
     tanh_c: Matrix, // tanh of new cell state
 }
 
+/// Scratch buffers for the fused sequence training path
+/// ([`LstmCell::forward_sequence`] / [`LstmCell::backward_sequence`]):
+/// every per-step temporary the step-by-step path allocates lives here
+/// instead, resized in place across steps and sweeps.
+#[derive(Debug, Clone, Default)]
+struct CellWorkspace {
+    /// Running hidden/cell state during a fused forward sweep.
+    state: LstmState,
+    /// Hidden-state gradient flowing backward through time.
+    dh: Matrix,
+    /// Cell-state gradient flowing backward through time.
+    dc: Matrix,
+    /// Next (earlier-step) cell-state gradient; swapped with `dc`.
+    dc_next: Matrix,
+    /// Packed pre-activation gate gradients `[da_i | da_f | da_o | da_g]`.
+    da: Matrix,
+    /// Concatenated-input gradient (`da * W^T`).
+    dz: Matrix,
+    /// Transposed gate weights, refreshed once per sweep.
+    w_t: Matrix,
+    /// Bias-gradient staging buffer.
+    rowsum: Matrix,
+    /// Concatenated inputs of every step, stacked in backward processing
+    /// order for the deferred weight-gradient GEMM.
+    z_stack: Matrix,
+    /// Pre-activation gate gradients of every step, stacked alongside
+    /// `z_stack`.
+    da_stack: Matrix,
+}
+
 /// Hidden and cell state of an LSTM, batch-major.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct LstmState {
     /// Hidden state `h`, shape `n x hidden`.
     pub h: Matrix,
@@ -63,6 +93,10 @@ pub struct LstmCell {
     grad_b: Matrix,
     #[serde(skip)]
     cache: Vec<StepCache>,
+    #[serde(skip)]
+    spare: Vec<StepCache>,
+    #[serde(skip)]
+    ws: CellWorkspace,
 }
 
 impl LstmCell {
@@ -82,6 +116,8 @@ impl LstmCell {
             w,
             b,
             cache: Vec::new(),
+            spare: Vec::new(),
+            ws: CellWorkspace::default(),
         }
     }
 
@@ -199,6 +235,133 @@ impl LstmCell {
         state
     }
 
+    /// Runs a whole batch-1 sequence (rows of `proj` = time steps) through
+    /// the cell *with* caching for BPTT — the training twin of
+    /// [`LstmCell::infer_sequence`]. Per-step cache entries come from an
+    /// internal spare pool (returned by [`LstmCell::backward_sequence`] or
+    /// [`LstmCell::clear_cache`]) and are overwritten in place, so
+    /// steady-state training allocates nothing per step. Bitwise identical
+    /// to iterating [`LstmCell::forward_step`] from a zero state, which
+    /// stays as the allocating reference path.
+    ///
+    /// The returned state reference is valid until the next forward call on
+    /// this cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proj` is empty or its width is not the cell input size.
+    pub fn forward_sequence(&mut self, proj: &Matrix) -> &LstmState {
+        assert!(proj.rows() > 0, "LSTM needs at least one time step");
+        assert_eq!(proj.cols(), self.input_size, "sequence width mismatch");
+        let hw = self.hidden_size;
+        let iw = self.input_size;
+        self.ws.state.h.resize_to(1, hw);
+        self.ws.state.c.resize_to(1, hw);
+        for t in 0..proj.rows() {
+            let mut s = self.spare.pop().unwrap_or_default();
+            s.z.resize_to(1, iw + hw);
+            {
+                let zr = s.z.row_mut(0);
+                zr[..iw].copy_from_slice(proj.row(t));
+                zr[iw..].copy_from_slice(self.ws.state.h.row(0));
+            }
+            s.z.matmul_into(&self.w, &mut s.gates);
+            s.gates.add_row_broadcast(&self.b);
+            Self::activate_gate_row(s.gates.row_mut(0), hw);
+            s.c_prev.copy_from(&self.ws.state.c);
+            Self::cell_update_row(s.gates.row(0), hw, self.ws.state.c.row_mut(0));
+            s.tanh_c.copy_from(&self.ws.state.c);
+            Activation::Tanh.apply_slice(s.tanh_c.as_mut_slice());
+            Self::hidden_row(
+                s.gates.row(0),
+                hw,
+                s.tanh_c.row(0),
+                self.ws.state.h.row_mut(0),
+            );
+            self.cache.push(s);
+        }
+        &self.ws.state
+    }
+
+    /// BPTT over every step cached by [`LstmCell::forward_sequence`],
+    /// consuming the whole cache in one sweep: `dh_last` is the gradient
+    /// w.r.t. the final hidden state, and the per-step input gradients are
+    /// stacked into `dproj` (row `t` = step `t`, resized in place). All
+    /// temporaries live in recycled workspace buffers and consumed cache
+    /// entries return to the spare pool. Parameter gradients and `dproj`
+    /// are bitwise identical to the [`LstmCell::backward_step_with`] loop
+    /// this replaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cached steps are pending.
+    pub fn backward_sequence(&mut self, dh_last: &Matrix, dproj: &mut Matrix) {
+        let steps = self.cache.len();
+        assert!(
+            steps > 0,
+            "LstmCell::backward_sequence without a matching forward_sequence"
+        );
+        let hw = self.hidden_size;
+        let iw = self.input_size;
+        let n = dh_last.rows();
+        dproj.resize_to(steps, iw);
+        // The gate weights are constant across the sweep: transpose once.
+        self.w.transpose_into(&mut self.ws.w_t);
+        self.ws.dh.copy_from(dh_last);
+        self.ws.dc.resize_to(n, hw);
+        self.ws.z_stack.resize_to(steps * n, iw + hw);
+        self.ws.da_stack.resize_to(steps * n, 4 * hw);
+        for t in (0..steps).rev() {
+            let s = self.cache.pop().expect("steps counted above");
+            // Same fused per-element expressions as `backward_step_with`.
+            self.ws.da.resize_to(n, 4 * hw);
+            self.ws.dc_next.resize_to(n, hw);
+            for r in 0..n {
+                let gr = s.gates.row(r);
+                let (dhr, dcr) = (self.ws.dh.row(r), self.ws.dc.row(r));
+                let (tcr, cpr) = (s.tanh_c.row(r), s.c_prev.row(r));
+                let dar = self.ws.da.row_mut(r);
+                let dcp = self.ws.dc_next.row_mut(r);
+                for j in 0..hw {
+                    let (i, f, o, g) = (gr[j], gr[hw + j], gr[2 * hw + j], gr[3 * hw + j]);
+                    let tc = tcr[j];
+                    let dc_total = dhr[j] * o * (1.0 - tc * tc) + 1.0 * dcr[j];
+                    dar[j] = dc_total * g * i * (1.0 - i);
+                    dar[hw + j] = dc_total * cpr[j] * f * (1.0 - f);
+                    dar[2 * hw + j] = dhr[j] * tc * o * (1.0 - o);
+                    dar[3 * hw + j] = dc_total * i * (1.0 - g * g);
+                    dcp[j] = dc_total * f;
+                }
+            }
+
+            // Weight-gradient contributions are deferred: stacking every
+            // step's `z`/`da` rows in processing order (latest step first)
+            // and running ONE `a^T b` accumulation after the loop adds
+            // exactly the same terms per element in exactly the same order
+            // as a per-step rank-1 update here — but as a real GEMM with a
+            // `steps`-deep reduction instead of `steps` memory-bound
+            // rank-1 sweeps over the 4·hidden-wide gradient block.
+            let idx = (steps - 1 - t) * n;
+            self.ws.z_stack.as_mut_slice()[idx * (iw + hw)..(idx + n) * (iw + hw)]
+                .copy_from_slice(s.z.as_slice());
+            self.ws.da_stack.as_mut_slice()[idx * 4 * hw..(idx + n) * 4 * hw]
+                .copy_from_slice(self.ws.da.as_slice());
+            self.ws.da.sum_rows_into(&mut self.ws.rowsum);
+            self.grad_b.axpy(1.0, &self.ws.rowsum);
+
+            self.ws.da.matmul_into(&self.ws.w_t, &mut self.ws.dz);
+            dproj.row_mut(t).copy_from_slice(&self.ws.dz.row(0)[..iw]);
+            for r in 0..n {
+                let src = &self.ws.dz.row(r)[iw..];
+                self.ws.dh.row_mut(r).copy_from_slice(src);
+            }
+            std::mem::swap(&mut self.ws.dc, &mut self.ws.dc_next);
+            self.spare.push(s);
+        }
+        self.grad_w
+            .add_matmul_tn(&self.ws.z_stack, &self.ws.da_stack);
+    }
+
     /// One forward time step with caching for BPTT.
     pub fn forward_step(&mut self, x: &Matrix, state: &LstmState) -> LstmState {
         let z = Matrix::hcat(&[x, &state.h]);
@@ -290,9 +453,10 @@ impl LstmCell {
         self.cache.len()
     }
 
-    /// Drops cached forward state.
+    /// Drops cached forward state. Buffers from fused-sequence forward
+    /// calls return to the spare pool.
     pub fn clear_cache(&mut self) {
-        self.cache.clear();
+        self.spare.append(&mut self.cache);
     }
 }
 
@@ -318,6 +482,10 @@ pub struct LstmNetwork {
     input_layer: Dense,
     cell: LstmCell,
     output_layer: Dense,
+    /// Stacked per-step input-projection gradients, recycled across
+    /// [`LstmNetwork::backward_seq`] sweeps.
+    #[serde(skip)]
+    dproj: Matrix,
 }
 
 impl LstmNetwork {
@@ -353,6 +521,7 @@ impl LstmNetwork {
                 bias_init,
                 rng,
             ),
+            dproj: Matrix::default(),
         }
     }
 
@@ -424,13 +593,26 @@ impl LstmNetwork {
 
     /// Training forward pass over a single (batch-1) sequence, the
     /// sequence-batched counterpart of [`LstmNetwork::forward`]: the input
-    /// projection is one forward call (one cache entry) over all rows.
-    /// Must be paired with [`LstmNetwork::backward_seq`].
+    /// projection is one forward call (one cache entry) over all rows, the
+    /// cell runs the fused [`LstmCell::forward_sequence`] sweep, and every
+    /// per-step temporary lives in recycled workspace buffers. Bitwise
+    /// identical to [`LstmNetwork::forward_seq_reference`], the retained
+    /// allocating path. Must be paired with [`LstmNetwork::backward_seq`].
     ///
     /// # Panics
     ///
     /// Panics if `seq` has no rows.
     pub fn forward_seq(&mut self, seq: &Matrix) -> Matrix {
+        assert!(seq.rows() > 0, "LSTM needs at least one time step");
+        let proj = self.input_layer.forward_ws(seq);
+        let state = self.cell.forward_sequence(proj);
+        self.output_layer.forward_ws(&state.h).clone()
+    }
+
+    /// The original allocating `forward_seq` body, retained as the
+    /// reference implementation the workspace path is tested against.
+    #[doc(hidden)]
+    pub fn forward_seq_reference(&mut self, seq: &Matrix) -> Matrix {
         assert!(seq.rows() > 0, "LSTM needs at least one time step");
         let proj = self.input_layer.forward(seq);
         let mut state = LstmState::zeros(1, self.cell.hidden_size());
@@ -444,12 +626,27 @@ impl LstmNetwork {
     /// per-step input-projection gradients are stacked (in forward time
     /// order, matching the batched forward's row order) and back-propagated
     /// through the input layer in one call; nothing upstream consumes the
-    /// input gradient, so it is never materialized.
+    /// input gradient, so it is never materialized. The whole sweep runs in
+    /// recycled workspace buffers; gradients are bitwise identical to
+    /// [`LstmNetwork::backward_seq_reference`], the retained allocating
+    /// path.
     ///
     /// # Panics
     ///
     /// Panics if no forward pass is pending.
     pub fn backward_seq(&mut self, grad_out: &Matrix) {
+        let steps = self.cell.pending_steps();
+        assert!(steps > 0, "LstmNetwork::backward without a forward pass");
+        let dh = self.output_layer.backward_ws(grad_out);
+        self.cell.backward_sequence(dh, &mut self.dproj);
+        self.input_layer.backward_params_only_ws(&self.dproj);
+    }
+
+    /// The original allocating `backward_seq` body, retained as the
+    /// reference implementation the workspace path is tested against.
+    /// Pair with [`LstmNetwork::forward_seq_reference`].
+    #[doc(hidden)]
+    pub fn backward_seq_reference(&mut self, grad_out: &Matrix) {
         let mut dh = self.output_layer.backward(grad_out);
         let steps = self.cell.pending_steps();
         assert!(steps > 0, "LstmNetwork::backward without a forward pass");
@@ -569,6 +766,48 @@ mod tests {
         let b = net.forward_seq(&seq);
         net.clear_cache();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn workspace_seq_training_is_bitwise_identical_to_reference() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut reference = LstmNetwork::new(1, 2, 8, 1, &mut rng);
+        let mut ws = reference.clone();
+        let mut adam_r = Adam::new(1e-2);
+        let mut adam_w = Adam::new(1e-2);
+        // Several optimizer steps so later rounds run on recycled (dirty)
+        // cache entries and workspace buffers, and weight updates compound.
+        for step in 0..8 {
+            let values: Vec<f32> = (0..12)
+                .map(|i| ((i * 5 + step * 3) % 11) as f32 / 11.0 - 0.3)
+                .collect();
+            let seq = Matrix::from_vec(values.len(), 1, values);
+            let target = Matrix::row_vector(&[0.25]);
+
+            reference.zero_grad();
+            let pred_r = reference.forward_seq_reference(&seq);
+            ws.zero_grad();
+            let pred_w = ws.forward_seq(&seq);
+            assert_eq!(pred_r, pred_w, "step {step}: seq forward diverged");
+
+            let dy = Loss::Mse.gradient(&pred_r, &target);
+            reference.backward_seq_reference(&dy);
+            ws.backward_seq(&dy);
+
+            let mut gr = Vec::new();
+            reference.visit_params(&mut |_, g| gr.push(g.clone()));
+            let mut gw = Vec::new();
+            ws.visit_params(&mut |_, g| gw.push(g.clone()));
+            assert_eq!(gr, gw, "step {step}: BPTT gradients diverged");
+
+            adam_r.step(&mut reference);
+            adam_w.step(&mut ws);
+            let mut pr = Vec::new();
+            reference.visit_params(&mut |p, _| pr.push(p.clone()));
+            let mut pw = Vec::new();
+            ws.visit_params(&mut |p, _| pw.push(p.clone()));
+            assert_eq!(pr, pw, "step {step}: updated weights diverged");
+        }
     }
 
     #[test]

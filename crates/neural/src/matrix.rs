@@ -177,12 +177,29 @@ impl Matrix {
     /// Returns the transpose.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// Writes the transpose into `out` (resized in place, reusing its
+    /// allocation). Bitwise identical to [`Matrix::transpose`].
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        out.resize_to(self.cols, self.rows);
         for i in 0..self.rows {
             for j in 0..self.cols {
-                out[(j, i)] = self[(i, j)];
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
             }
         }
-        out
+    }
+
+    /// Becomes an element-wise copy of `src`, adopting its shape while
+    /// reusing the existing allocation — unlike [`Matrix::resize_to`] the
+    /// previous contents are simply replaced, with no zeroing pass.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
     }
 
     /// Reshapes to `rows x cols` in place, reusing the existing allocation
@@ -239,7 +256,20 @@ impl Matrix {
         if rhs.cols < 8 && self.rows >= 8 && self.cols >= 8 {
             let at = self.transpose();
             let mut out_t = Matrix::zeros(rhs.cols, self.rows);
-            for j in 0..rhs.cols {
+            let mut j = 0;
+            while j + 4 <= rhs.cols {
+                crate::simd::gemm_row4(
+                    &rhs.data[j..],
+                    1,
+                    rhs.cols,
+                    rhs.rows,
+                    &at.data,
+                    at.cols,
+                    &mut out_t.data[j * self.rows..(j + 4) * self.rows],
+                );
+                j += 4;
+            }
+            for j in j..rhs.cols {
                 let o_row = &mut out_t.data[j * self.rows..(j + 1) * self.rows];
                 crate::simd::gemm_row(&rhs.data[j..], rhs.cols, rhs.rows, &at.data, at.cols, o_row);
             }
@@ -253,8 +283,23 @@ impl Matrix {
         // Register-blocked GEMM rows: each output element accumulates its
         // products in ascending-`k` order (zero coefficients skipped), so
         // the vectorized kernel is bitwise identical to the naive i-k-j
-        // loop this replaces.
-        for i in 0..self.rows {
+        // loop this replaces. Rows go four at a time so narrow outputs
+        // still keep several independent add chains in flight (see
+        // `simd::gemm_row4`).
+        let mut i = 0;
+        while i + 4 <= self.rows {
+            crate::simd::gemm_row4(
+                &self.data[i * self.cols..(i + 4) * self.cols],
+                self.cols,
+                1,
+                self.cols,
+                &rhs.data,
+                rhs.cols,
+                &mut out.data[i * rhs.cols..(i + 4) * rhs.cols],
+            );
+            i += 4;
+        }
+        for i in i..self.rows {
             let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
             let o_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
             crate::simd::gemm_row(a_row, 1, self.cols, &rhs.data, rhs.cols, o_row);
@@ -269,6 +314,18 @@ impl Matrix {
     ///
     /// Panics if the row counts differ.
     pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.matmul_tn_into(rhs, &mut out);
+        out
+    }
+
+    /// Computes `self^T * rhs` into `out` (resized in place, reusing its
+    /// allocation). Bitwise identical to [`Matrix::matmul_tn`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != rhs.rows`.
+    pub fn matmul_tn_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows,
             rhs.rows,
@@ -281,14 +338,29 @@ impl Matrix {
         // slots), bitwise identical per the in-order accumulation argument.
         if rhs.cols < 8 && self.cols >= 8 && self.rows >= 8 {
             let t = rhs.transpose().matmul(self);
-            return t.transpose();
+            t.transpose_into(out);
+            return;
         }
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        out.resize_to(self.cols, rhs.cols);
         // Output row `i` accumulates column `i` of `self` against the rows
         // of `rhs`, in ascending row order — the same per-element order as
         // the naive n-outer loop, but with registers held across the
-        // reduction (see `simd::gemm_row`).
-        for i in 0..self.cols {
+        // reduction (see `simd::gemm_row`), four columns per sweep (see
+        // `simd::gemm_row4`).
+        let mut i = 0;
+        while i + 4 <= self.cols {
+            crate::simd::gemm_row4(
+                &self.data[i..],
+                1,
+                self.cols,
+                self.rows,
+                &rhs.data,
+                rhs.cols,
+                &mut out.data[i * rhs.cols..(i + 4) * rhs.cols],
+            );
+            i += 4;
+        }
+        for i in i..self.cols {
             let o_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
             crate::simd::gemm_row(
                 &self.data[i..],
@@ -299,7 +371,6 @@ impl Matrix {
                 o_row,
             );
         }
-        out
     }
 
     /// Computes `self * rhs^T`.
@@ -344,16 +415,34 @@ impl Matrix {
             (a.cols, b.cols),
             "add_matmul_tn output shape mismatch"
         );
-        for n in 0..a.rows {
-            let a_row = a.row(n);
-            let b_row = b.row(n);
-            for (i, &ai) in a_row.iter().enumerate() {
-                if ai == 0.0 {
-                    continue;
-                }
-                let o_row = &mut self.data[i * b.cols..(i + 1) * b.cols];
-                crate::simd::add_scaled(o_row, b_row, ai);
-            }
+        // The gemm kernels accumulate into the output row, so they serve
+        // the += contract directly: output row `i` is column `i` of `a`
+        // against the rows of `b`, terms in ascending `n` with zero
+        // coefficients skipped — the same per-element order and skip rule
+        // as the rank-1 axpy sweep this replaces, but with `b`'s rows
+        // loaded once per four output rows instead of once per output row.
+        let mut i = 0;
+        while i + 4 <= a.cols {
+            crate::simd::gemm_row4(
+                &a.data[i..],
+                1,
+                a.cols,
+                a.rows,
+                &b.data,
+                b.cols,
+                &mut self.data[i * b.cols..(i + 4) * b.cols],
+            );
+            i += 4;
+        }
+        for i in i..a.cols {
+            crate::simd::gemm_row(
+                &a.data[i..],
+                a.cols,
+                a.rows,
+                &b.data,
+                b.cols,
+                &mut self.data[i * b.cols..(i + 1) * b.cols],
+            );
         }
     }
 
@@ -471,13 +560,21 @@ impl Matrix {
 
     /// Sums the rows into a `1 x cols` row vector.
     pub fn sum_rows(&self) -> Matrix {
-        let mut out = Matrix::zeros(1, self.cols);
+        let mut out = Matrix::default();
+        self.sum_rows_into(&mut out);
+        out
+    }
+
+    /// Sums the rows into `out` as a `1 x cols` row vector (resized in
+    /// place, reusing its allocation). Bitwise identical to
+    /// [`Matrix::sum_rows`].
+    pub fn sum_rows_into(&self, out: &mut Matrix) {
+        out.resize_to(1, self.cols);
         for r in 0..self.rows {
             for (o, &x) in out.data.iter_mut().zip(self.row(r)) {
                 *o += x;
             }
         }
-        out
     }
 
     /// Sum of all elements.

@@ -3,9 +3,9 @@
 
 use crate::config::ClusterConfig;
 use crate::events::{Event, EventQueue};
-use crate::job::{CompletedJob, Job, ServerId};
+use crate::job::{CompletedJob, Job, JobId, ServerId};
 use crate::metrics::{ClusterTotals, RunOutcome, SamplePoint};
-use crate::power::MachineState;
+use crate::power::{MachineState, PowerModel};
 use crate::server::Server;
 use crate::time::SimTime;
 
@@ -161,6 +161,102 @@ impl RunLimit {
     }
 }
 
+/// A lazily-consumed source of arrival events: any job iterator in
+/// non-decreasing arrival order (e.g. a
+/// `hierdrl_trace::stream::GeneratorStream`, or a materialized trace's
+/// jobs). The cluster holds at most one not-yet-processed job from the
+/// source, so a streamed raw-scale run never materializes its trace.
+pub struct ArrivalSource {
+    iter: Box<dyn Iterator<Item = Job> + Send>,
+}
+
+impl ArrivalSource {
+    /// Wraps an arbitrary job iterator. Jobs must come in non-decreasing
+    /// arrival order with the cluster's resource dimensionality — both are
+    /// asserted as the simulation consumes the stream.
+    pub fn from_stream(iter: impl Iterator<Item = Job> + Send + 'static) -> Self {
+        Self {
+            iter: Box::new(iter),
+        }
+    }
+
+    /// Wraps an already-sorted job vector.
+    pub fn from_jobs(jobs: Vec<Job>) -> Self {
+        Self::from_stream(jobs.into_iter())
+    }
+
+    fn next_job(&mut self) -> Option<Job> {
+        self.iter.next()
+    }
+}
+
+impl std::fmt::Debug for ArrivalSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArrivalSource").finish_non_exhaustive()
+    }
+}
+
+/// Incremental cluster-wide accounting for the `lazy_accounting` mode:
+/// accumulated fleet integrals plus the instantaneous fleet rates that
+/// advance them, updated in O(1) when a single server changes instead of
+/// re-summing all `M` servers per event. Job counts are kept as integers,
+/// so only the power and overload rates carry floating-point drift (bounded
+/// by one rounding per server touch).
+#[derive(Debug)]
+struct LazyAgg {
+    last: SimTime,
+    energy_joules: f64,
+    vm_time_integral: f64,
+    queue_time_integral: f64,
+    overload_integral: f64,
+    power_watts: f64,
+    overload: f64,
+    jobs_in_system: i64,
+    queued: i64,
+}
+
+impl LazyAgg {
+    fn new() -> Self {
+        Self {
+            last: SimTime::ZERO,
+            energy_joules: 0.0,
+            vm_time_integral: 0.0,
+            queue_time_integral: 0.0,
+            overload_integral: 0.0,
+            power_watts: 0.0,
+            overload: 0.0,
+            jobs_in_system: 0,
+            queued: 0,
+        }
+    }
+
+    /// Advances the fleet integrals to `now` at the current rates.
+    fn advance(&mut self, now: SimTime) {
+        let dt = now.since(self.last);
+        if dt > 0.0 {
+            self.energy_joules += self.power_watts * dt;
+            self.vm_time_integral += self.jobs_in_system as f64 * dt;
+            self.queue_time_integral += self.queued as f64 * dt;
+            self.overload_integral += self.overload * dt;
+        }
+        self.last = now;
+    }
+
+    fn add_server(&mut self, s: &Server, model: &PowerModel) {
+        self.power_watts += s.power_watts(model);
+        self.overload += s.overload();
+        self.jobs_in_system += s.jobs_in_system() as i64;
+        self.queued += s.queue_len() as i64;
+    }
+
+    fn remove_server(&mut self, s: &Server, model: &PowerModel) {
+        self.power_watts -= s.power_watts(model);
+        self.overload -= s.overload();
+        self.jobs_in_system -= s.jobs_in_system() as i64;
+        self.queued -= s.queue_len() as i64;
+    }
+}
+
 /// The continuous-time, event-driven cluster simulator.
 ///
 /// Create one with a [`ClusterConfig`] and a workload (jobs sorted by
@@ -192,11 +288,22 @@ pub struct Cluster {
     config: ClusterConfig,
     servers: Vec<Server>,
     events: EventQueue,
+    arrivals: ArrivalSource,
+    /// The earliest not-yet-processed arrival; refilled from `arrivals`.
+    pending_arrival: Option<Job>,
+    /// Latest arrival seen, for the monotone-stream assertion.
+    last_arrival: SimTime,
     now: SimTime,
     jobs_arrived: u64,
+    /// Completions counted independently of the (possibly unretained)
+    /// `completed` record vector.
+    jobs_done: u64,
     completed: Vec<CompletedJob>,
     total_latency: f64,
     samples: Vec<SamplePoint>,
+    agg: LazyAgg,
+    /// Reusable `(job, finishes)` buffer for scheduling starts.
+    started_buf: Vec<(JobId, SimTime)>,
 }
 
 impl Cluster {
@@ -206,8 +313,7 @@ impl Cluster {
     ///
     /// Returns an error if the configuration is invalid or a job's resource
     /// dimensionality does not match the cluster's.
-    pub fn new(config: ClusterConfig, jobs: Vec<Job>) -> Result<Self, String> {
-        config.validate()?;
+    pub fn new(config: ClusterConfig, mut jobs: Vec<Job>) -> Result<Self, String> {
         for job in &jobs {
             if job.demand.dims() != config.resource_dims {
                 return Err(format!(
@@ -218,7 +324,30 @@ impl Cluster {
                 ));
             }
         }
-        let servers = (0..config.num_servers)
+        // Stable sort by arrival: exactly the order the event heap used to
+        // pop up-front-seeded arrivals — time order, insertion order on ties.
+        jobs.sort_by_key(|j| j.arrival);
+        Self::from_source(config, ArrivalSource::from_jobs(jobs))
+    }
+
+    /// Builds a cluster fed by a lazy arrival source — the raw-scale entry
+    /// point, which never holds more than one pending job in memory.
+    ///
+    /// Event ordering is identical to [`Cluster::new`]: at equal timestamps
+    /// an arrival is processed before any dynamic event, matching the
+    /// original semantics where all arrivals were seeded into the queue
+    /// ahead of every dynamically-scheduled event.
+    ///
+    /// The source must yield jobs in non-decreasing arrival order with the
+    /// cluster's resource dimensionality; violations panic mid-run (a
+    /// streamed source cannot be validated up front).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid.
+    pub fn from_source(config: ClusterConfig, arrivals: ArrivalSource) -> Result<Self, String> {
+        config.validate()?;
+        let servers: Vec<Server> = (0..config.num_servers)
             .map(|i| {
                 Server::new(
                     config.server_capacity(i),
@@ -227,20 +356,53 @@ impl Cluster {
                 )
             })
             .collect();
-        let mut events = EventQueue::new();
-        for job in jobs {
-            events.push(job.arrival, Event::JobArrival(job));
+        let mut agg = LazyAgg::new();
+        for s in &servers {
+            agg.add_server(s, &config.power);
         }
-        Ok(Self {
+        let mut cluster = Self {
             config,
             servers,
-            events,
+            events: EventQueue::new(),
+            arrivals,
+            pending_arrival: None,
+            last_arrival: SimTime::ZERO,
             now: SimTime::ZERO,
             jobs_arrived: 0,
+            jobs_done: 0,
             completed: Vec::new(),
             total_latency: 0.0,
             samples: Vec::new(),
-        })
+            agg,
+            started_buf: Vec::new(),
+        };
+        cluster.refill_arrival();
+        Ok(cluster)
+    }
+
+    /// Pulls the next job from the arrival source into `pending_arrival`,
+    /// asserting stream monotonicity and dimensionality.
+    fn refill_arrival(&mut self) {
+        debug_assert!(self.pending_arrival.is_none());
+        if let Some(job) = self.arrivals.next_job() {
+            assert_eq!(
+                job.demand.dims(),
+                self.config.resource_dims,
+                "{} has {} resource dims, cluster has {}",
+                job.id,
+                job.demand.dims(),
+                self.config.resource_dims
+            );
+            assert!(
+                job.arrival >= self.last_arrival,
+                "arrival stream must be non-decreasing: {} at {:?} after {:?}",
+                job.id,
+                job.arrival,
+                self.last_arrival
+            );
+            self.last_arrival = job.arrival;
+            self.pending_arrival = Some(job);
+        }
     }
 
     /// Current simulation time.
@@ -258,7 +420,10 @@ impl Cluster {
         &self.servers
     }
 
-    /// Completed-job records, in completion order.
+    /// Completed-job records, in completion order. Empty when
+    /// `retain_completed_jobs` is off (see
+    /// [`ClusterConfig::retain_completed_jobs`]); use
+    /// [`ClusterTotals::jobs_completed`] for the count either way.
     pub fn completed_jobs(&self) -> &[CompletedJob] {
         &self.completed
     }
@@ -274,14 +439,49 @@ impl Cluster {
         }
     }
 
+    /// Brackets a single-server mutation in lazy mode: advance the fleet
+    /// integrals to `now`, bring the server's own integrals up to date, and
+    /// subtract its (pre-mutation) rates from the fleet rates. A no-op in
+    /// eager mode, where `account_all` already ran this event.
+    fn touch_begin(&mut self, sid: ServerId) {
+        if !self.config.lazy_accounting {
+            return;
+        }
+        self.agg.advance(self.now);
+        let server = &mut self.servers[sid.0];
+        server.account(self.now, &self.config.power);
+        self.agg.remove_server(server, &self.config.power);
+    }
+
+    /// Closes a [`Cluster::touch_begin`] bracket: adds the server's
+    /// post-mutation rates back into the fleet rates.
+    fn touch_end(&mut self, sid: ServerId) {
+        if !self.config.lazy_accounting {
+            return;
+        }
+        self.agg
+            .add_server(&self.servers[sid.0], &self.config.power);
+    }
+
     fn totals(&self) -> ClusterTotals {
         let mut t = ClusterTotals {
             time_s: self.now.as_secs(),
             jobs_arrived: self.jobs_arrived,
-            jobs_completed: self.completed.len() as u64,
+            jobs_completed: self.jobs_done,
             total_latency_s: self.total_latency,
             ..Default::default()
         };
+        if self.config.lazy_accounting {
+            // O(1): the running integrals, extrapolated from the last fleet
+            // advance to `now` at the current (constant) rates.
+            let dt = self.now.since(self.agg.last);
+            t.energy_joules = self.agg.energy_joules + self.agg.power_watts * dt;
+            t.vm_time_integral = self.agg.vm_time_integral + self.agg.jobs_in_system as f64 * dt;
+            t.queue_time_integral = self.agg.queue_time_integral + self.agg.queued as f64 * dt;
+            t.overload_integral = self.agg.overload_integral + self.agg.overload * dt;
+            t.power_watts = self.agg.power_watts;
+            return t;
+        }
         for s in &self.servers {
             let st = s.stats();
             t.energy_joules += st.energy_joules;
@@ -307,23 +507,21 @@ impl Cluster {
     /// Public snapshot of current cluster totals.
     pub fn current_totals(&mut self) -> ClusterTotals {
         let now = self.now;
+        if self.config.lazy_accounting {
+            self.agg.advance(now);
+        }
         self.account_all(now);
         self.totals()
     }
 
-    fn schedule_started(
-        events: &mut EventQueue,
-        server: ServerId,
-        started: Vec<crate::server::RunningJob>,
-    ) {
-        for run in started {
-            events.push(
-                run.finishes,
-                Event::JobFinish {
-                    server,
-                    job: run.id,
-                },
-            );
+    /// Starts whatever fits on `sid` and schedules the finish events,
+    /// through the reusable `started_buf` (no per-event allocation).
+    fn start_and_schedule(&mut self, sid: ServerId) {
+        self.started_buf.clear();
+        self.servers[sid.0].start_fitting_jobs_into(self.now, &mut self.started_buf);
+        for &(job, finishes) in &self.started_buf {
+            self.events
+                .push(finishes, Event::JobFinish { server: sid, job });
         }
     }
 
@@ -332,24 +530,26 @@ impl Cluster {
             let view = self.view();
             power.on_idle(sid, &view, self.now)
         };
-        let server = &mut self.servers[sid.0];
-        if !server.is_idle() {
+        if !self.servers[sid.0].is_idle() {
             // The power manager cannot change server state, so this only
             // guards against future refactors.
             return;
         }
         match decision {
             TimeoutDecision::SleepNow => {
-                let until = server.begin_sleep(self.now, self.config.t_off);
+                self.touch_begin(sid);
+                let until = self.servers[sid.0].begin_sleep(self.now, self.config.t_off);
                 self.events
                     .push(until, Event::SleepComplete { server: sid });
+                self.touch_end(sid);
             }
             TimeoutDecision::After(seconds) => {
                 assert!(
                     seconds.is_finite() && seconds >= 0.0,
                     "timeout must be finite and non-negative, got {seconds}"
                 );
-                let token = server.issue_timeout_token();
+                // A token changes no power/job rates: no touch needed.
+                let token = self.servers[sid.0].issue_timeout_token();
                 self.events.push(
                     self.now + seconds,
                     Event::TimeoutFired { server: sid, token },
@@ -379,14 +579,14 @@ impl Cluster {
             sid
         };
         let t_on = self.config.t_on;
+        self.touch_begin(sid);
         let server = &mut self.servers[sid.0];
         server.enqueue(job);
         match server.state() {
             MachineState::On => {
                 // A pending idle timeout no longer applies.
                 server.cancel_timeout();
-                let started = server.start_fitting_jobs(self.now);
-                Self::schedule_started(&mut self.events, sid, started);
+                self.start_and_schedule(sid);
             }
             MachineState::Sleeping => {
                 let until = server.begin_wake(self.now, t_on);
@@ -400,6 +600,7 @@ impl Cluster {
                 server.request_wake_after_sleep();
             }
         }
+        self.touch_end(sid);
     }
 
     fn handle_finish(
@@ -408,8 +609,10 @@ impl Cluster {
         job: crate::job::JobId,
         power: &mut dyn PowerManager,
     ) {
+        self.touch_begin(sid);
         let server = &mut self.servers[sid.0];
         let Some(run) = server.complete_job(job) else {
+            self.touch_end(sid);
             return; // stale event
         };
         let record = CompletedJob {
@@ -420,16 +623,15 @@ impl Cluster {
             finished: self.now,
         };
         self.total_latency += record.latency();
-        self.completed.push(record);
+        self.jobs_done += 1;
+        if self.config.retain_completed_jobs {
+            self.completed.push(record);
+        }
 
-        let started = server.start_fitting_jobs(self.now);
-        Self::schedule_started(&mut self.events, sid, started);
+        self.start_and_schedule(sid);
+        self.touch_end(sid);
 
-        if self
-            .completed
-            .len()
-            .is_multiple_of(self.config.sample_every)
-        {
+        if (self.jobs_done as usize).is_multiple_of(self.config.sample_every) {
             let totals = self.totals();
             self.samples.push(SamplePoint {
                 jobs_completed: totals.jobs_completed,
@@ -445,10 +647,10 @@ impl Cluster {
     }
 
     fn handle_wake_complete(&mut self, sid: ServerId, power: &mut dyn PowerManager) {
-        let server = &mut self.servers[sid.0];
-        server.finish_wake();
-        let started = server.start_fitting_jobs(self.now);
-        Self::schedule_started(&mut self.events, sid, started);
+        self.touch_begin(sid);
+        self.servers[sid.0].finish_wake();
+        self.start_and_schedule(sid);
+        self.touch_end(sid);
         if self.servers[sid.0].is_idle() {
             self.handle_idle_decision(sid, power);
         }
@@ -456,20 +658,23 @@ impl Cluster {
 
     fn handle_sleep_complete(&mut self, sid: ServerId) {
         let t_on = self.config.t_on;
+        self.touch_begin(sid);
         let server = &mut self.servers[sid.0];
         if server.finish_sleep() {
             let until = server.begin_wake(self.now, t_on);
             self.events.push(until, Event::WakeComplete { server: sid });
         }
+        self.touch_end(sid);
     }
 
     fn handle_timeout(&mut self, sid: ServerId, token: u64) {
         let t_off = self.config.t_off;
-        let server = &mut self.servers[sid.0];
-        if server.timeout_token_is_current(token) && server.is_idle() {
-            let until = server.begin_sleep(self.now, t_off);
+        if self.servers[sid.0].timeout_token_is_current(token) && self.servers[sid.0].is_idle() {
+            self.touch_begin(sid);
+            let until = self.servers[sid.0].begin_sleep(self.now, t_off);
             self.events
                 .push(until, Event::SleepComplete { server: sid });
+            self.touch_end(sid);
         }
     }
 
@@ -494,18 +699,39 @@ impl Cluster {
                 self.handle_idle_decision(ServerId(i), power);
             }
         }
-        while let Some((time, event)) = self.events.pop() {
+        loop {
+            // An arrival at time t is processed before any dynamic event at
+            // t: originally every arrival was seeded into the queue ahead of
+            // all dynamically-scheduled events, so ties broke its way.
+            let take_arrival = match (self.pending_arrival.as_ref(), self.events.peek_time()) {
+                (Some(job), Some(t)) => job.arrival <= t,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let (time, event) = if take_arrival {
+                let job = self.pending_arrival.take().expect("checked above");
+                self.refill_arrival();
+                (job.arrival, Event::JobArrival(job))
+            } else {
+                self.events.pop().expect("peeked above")
+            };
             if let Some(max_t) = limit.max_time {
                 if time > max_t {
                     // Account up to the boundary and stop.
                     self.now = max_t;
+                    if self.config.lazy_accounting {
+                        self.agg.advance(max_t);
+                    }
                     self.account_all(max_t);
                     break;
                 }
             }
             debug_assert!(time >= self.now, "event time went backwards");
             self.now = time;
-            self.account_all(time);
+            if !self.config.lazy_accounting {
+                self.account_all(time);
+            }
             match event {
                 Event::JobArrival(job) => self.handle_arrival(job, allocator, power),
                 Event::JobFinish { server, job } => self.handle_finish(server, job, power),
@@ -514,10 +740,17 @@ impl Cluster {
                 Event::TimeoutFired { server, token } => self.handle_timeout(server, token),
             }
             if let Some(max_jobs) = limit.max_completed {
-                if self.completed.len() as u64 >= max_jobs {
+                if self.jobs_done >= max_jobs {
                     break;
                 }
             }
+        }
+        if self.config.lazy_accounting {
+            // Bring fleet integrals and every server's own statistics up to
+            // the end of the run, so per-server stats are exact for
+            // downstream consumers.
+            self.agg.advance(self.now);
+            self.account_all(self.now);
         }
         let view = self.view();
         allocator.on_run_end(&view);
@@ -767,6 +1000,195 @@ mod tests {
     fn mismatched_job_dims_rejected() {
         let bad = Job::new(JobId(0), SimTime::ZERO, 10.0, ResourceVec::new(&[0.5]));
         assert!(Cluster::new(ClusterConfig::paper(2), vec![bad]).is_err());
+    }
+
+    /// Deterministic pseudo-random workload with arrival ties and
+    /// sleep/wake churn, to exercise event-ordering edge cases.
+    fn churn_jobs(n: u64) -> Vec<Job> {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        (0..n)
+            .map(|i| {
+                // Integral arrival times (with repeats) and durations that
+                // collide exactly with 30 s timeout/transition boundaries.
+                let t = (i / 2) as f64 * 10.0;
+                let dur = 10.0 + (next() * 4.0).floor() * 10.0;
+                job(i, t, dur, 0.2 + next() * 0.5)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streamed_source_is_bitwise_identical_to_vec_input() {
+        let jobs = churn_jobs(60);
+        let config = ClusterConfig::paper(3);
+
+        let mut vec_cluster = Cluster::new(config.clone(), jobs.clone()).unwrap();
+        let vec_out = vec_cluster.run(
+            &mut RoundRobinAllocator::new(),
+            &mut FixedTimeoutPower::new(30.0),
+            RunLimit::unbounded(),
+        );
+
+        let source = ArrivalSource::from_stream(jobs.into_iter());
+        let mut stream_cluster = Cluster::from_source(config, source).unwrap();
+        let stream_out = stream_cluster.run(
+            &mut RoundRobinAllocator::new(),
+            &mut FixedTimeoutPower::new(30.0),
+            RunLimit::unbounded(),
+        );
+
+        assert_eq!(vec_out.totals, stream_out.totals);
+        assert_eq!(vec_out.end_time, stream_out.end_time);
+        assert_eq!(vec_out.samples, stream_out.samples);
+        assert_eq!(
+            vec_cluster.completed_jobs(),
+            stream_cluster.completed_jobs()
+        );
+        for (a, b) in vec_cluster.servers().iter().zip(stream_cluster.servers()) {
+            assert_eq!(a.stats(), b.stats());
+        }
+    }
+
+    #[test]
+    fn unsorted_vec_input_matches_sorted_input() {
+        // Distinct arrival times: the event heap used to restore time order
+        // regardless of input order, and the stable sort must do the same.
+        let sorted: Vec<Job> = (0..40).map(|i| job(i, i as f64 * 7.0, 25.0, 0.4)).collect();
+        let mut shuffled = sorted.clone();
+        shuffled.reverse();
+        let mut a = Cluster::new(ClusterConfig::paper(3), sorted).unwrap();
+        let mut b = Cluster::new(ClusterConfig::paper(3), shuffled).unwrap();
+        let out_a = a.run(
+            &mut RoundRobinAllocator::new(),
+            &mut FixedTimeoutPower::new(30.0),
+            RunLimit::unbounded(),
+        );
+        let out_b = b.run(
+            &mut RoundRobinAllocator::new(),
+            &mut FixedTimeoutPower::new(30.0),
+            RunLimit::unbounded(),
+        );
+        assert_eq!(out_a.totals, out_b.totals);
+        assert_eq!(a.completed_jobs(), b.completed_jobs());
+    }
+
+    #[test]
+    fn lazy_accounting_matches_eager_within_float_tolerance() {
+        let jobs = churn_jobs(80);
+        let mut eager_cfg = ClusterConfig::paper(4);
+        eager_cfg.sample_every = 13;
+        let mut lazy_cfg = eager_cfg.clone();
+        lazy_cfg.lazy_accounting = true;
+
+        let run = |config: ClusterConfig, jobs: Vec<Job>| {
+            let mut c = Cluster::new(config, jobs).unwrap();
+            let out = c.run(
+                &mut RoundRobinAllocator::new(),
+                &mut FixedTimeoutPower::new(30.0),
+                RunLimit::unbounded(),
+            );
+            (out, c)
+        };
+        let (eager_out, eager_c) = run(eager_cfg, jobs.clone());
+        let (lazy_out, lazy_c) = run(lazy_cfg, jobs);
+
+        let close = |a: f64, b: f64, what: &str| {
+            let scale = a.abs().max(b.abs()).max(1.0);
+            assert!(
+                (a - b).abs() <= 1e-9 * scale,
+                "{what}: eager {a} vs lazy {b}"
+            );
+        };
+        let (e, l) = (&eager_out.totals, &lazy_out.totals);
+        assert_eq!(e.jobs_arrived, l.jobs_arrived);
+        assert_eq!(e.jobs_completed, l.jobs_completed);
+        assert_eq!(e.time_s, l.time_s);
+        assert_eq!(e.total_latency_s, l.total_latency_s, "latency is exact");
+        close(e.energy_joules, l.energy_joules, "energy");
+        close(e.vm_time_integral, l.vm_time_integral, "vm time");
+        close(e.queue_time_integral, l.queue_time_integral, "queue time");
+        close(e.overload_integral, l.overload_integral, "overload");
+        close(e.power_watts, l.power_watts, "power");
+        // The completion stream itself (which jobs ran where, when) is
+        // identical: accounting never influences dynamics.
+        assert_eq!(eager_c.completed_jobs(), lazy_c.completed_jobs());
+        assert_eq!(eager_out.samples.len(), lazy_out.samples.len());
+        for (a, b) in eager_out.samples.iter().zip(&lazy_out.samples) {
+            assert_eq!(a.jobs_completed, b.jobs_completed);
+            close(a.energy_joules, b.energy_joules, "sample energy");
+        }
+        // After the run, lazy per-server integrals are fully accounted too.
+        for (a, b) in eager_c.servers().iter().zip(lazy_c.servers()) {
+            close(
+                a.stats().energy_joules,
+                b.stats().energy_joules,
+                "server energy",
+            );
+            assert_eq!(a.stats().jobs_completed, b.stats().jobs_completed);
+        }
+    }
+
+    #[test]
+    fn retention_off_drops_records_but_keeps_every_aggregate() {
+        let jobs = churn_jobs(50);
+        let mut retain_cfg = ClusterConfig::paper(2);
+        retain_cfg.sample_every = 7;
+        let mut drop_cfg = retain_cfg.clone();
+        drop_cfg.retain_completed_jobs = false;
+
+        let mut retained = Cluster::new(retain_cfg, jobs.clone()).unwrap();
+        let out_retained = retained.run(
+            &mut RoundRobinAllocator::new(),
+            &mut FixedTimeoutPower::new(30.0),
+            RunLimit::unbounded(),
+        );
+        let mut dropped = Cluster::new(drop_cfg, jobs).unwrap();
+        let out_dropped = dropped.run(
+            &mut RoundRobinAllocator::new(),
+            &mut FixedTimeoutPower::new(30.0),
+            RunLimit::unbounded(),
+        );
+
+        assert!(dropped.completed_jobs().is_empty());
+        assert_eq!(retained.completed_jobs().len(), 50);
+        // Aggregates — including the latency sum and sample cadence — are
+        // bitwise unaffected by retention.
+        assert_eq!(out_retained.totals, out_dropped.totals);
+        assert_eq!(out_retained.samples, out_dropped.samples);
+    }
+
+    #[test]
+    fn max_completed_limit_works_without_retention() {
+        let jobs: Vec<Job> = (0..10).map(|i| job(i, i as f64, 5.0, 0.3)).collect();
+        let mut config = ClusterConfig::paper(2);
+        config.retain_completed_jobs = false;
+        let mut c = Cluster::new(config, jobs).unwrap();
+        let out = c.run(
+            &mut RoundRobinAllocator::new(),
+            &mut AlwaysOnPower,
+            RunLimit::jobs(3),
+        );
+        assert_eq!(out.totals.jobs_completed, 3);
+        assert!(c.completed_jobs().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn non_monotone_stream_panics() {
+        let jobs = vec![job(0, 10.0, 5.0, 0.3), job(1, 5.0, 5.0, 0.3)];
+        let source = ArrivalSource::from_stream(jobs.into_iter());
+        let mut c = Cluster::from_source(ClusterConfig::paper(1), source).unwrap();
+        c.run(
+            &mut RoundRobinAllocator::new(),
+            &mut AlwaysOnPower,
+            RunLimit::unbounded(),
+        );
     }
 
     #[test]

@@ -95,6 +95,27 @@ pub struct ClusterConfig {
     pub server_capacities: Option<Vec<crate::resources::ResourceVec>>,
     /// Record a time-series sample every this many job completions.
     pub sample_every: usize,
+    /// Use O(1) incremental fleet accounting instead of the eager
+    /// `O(num_servers)` per-event sweep. Cluster-wide totals are then
+    /// maintained as running integrals updated only when a server is
+    /// touched, so they differ from the eager path only in floating-point
+    /// association (summation order), never in the underlying quantities.
+    /// Per-server statistics stay exact either way; they are simply not
+    /// advanced to the current instant between touches until the run ends.
+    /// Off by default — the eager path remains bitwise stable.
+    #[serde(default)]
+    pub lazy_accounting: bool,
+    /// Keep a [`CompletedJob`](crate::job::CompletedJob) record per
+    /// completion (the default). Raw-scale runs (millions of jobs) turn
+    /// this off to bound memory: aggregate totals, latency sums, and
+    /// sample curves are unaffected, but per-job records (and therefore
+    /// latency percentiles) are unavailable.
+    #[serde(default = "default_true")]
+    pub retain_completed_jobs: bool,
+}
+
+fn default_true() -> bool {
+    true
 }
 
 impl ClusterConfig {
@@ -111,6 +132,8 @@ impl ClusterConfig {
             servers_initially_on: true,
             server_capacities: None,
             sample_every: 1000,
+            lazy_accounting: false,
+            retain_completed_jobs: true,
         }
     }
 

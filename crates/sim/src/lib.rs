@@ -62,7 +62,7 @@ pub mod time;
 /// Convenient glob-import of the crate's main types.
 pub mod prelude {
     pub use crate::cluster::{
-        Allocator, Cluster, ClusterView, PowerManager, RunLimit, TimeoutDecision,
+        Allocator, ArrivalSource, Cluster, ClusterView, PowerManager, RunLimit, TimeoutDecision,
     };
     pub use crate::config::ClusterConfig;
     pub use crate::job::{CompletedJob, Job, JobId, ServerId};

@@ -238,9 +238,19 @@ impl Server {
     /// returning the newly started jobs (the caller schedules their finish
     /// events). Does nothing unless the server is `On`.
     pub fn start_fitting_jobs(&mut self, now: SimTime) -> Vec<RunningJob> {
-        let mut started = Vec::new();
+        let first = self.running.len();
+        let mut pairs = Vec::new();
+        self.start_fitting_jobs_into(now, &mut pairs);
+        self.running[first..].to_vec()
+    }
+
+    /// Allocation-free twin of [`Server::start_fitting_jobs`] for the
+    /// simulator hot loop: appends `(job id, finish time)` pairs — all a
+    /// caller needs to schedule finish events — to a reusable buffer
+    /// instead of cloning full [`RunningJob`] records into a fresh `Vec`.
+    pub fn start_fitting_jobs_into(&mut self, now: SimTime, out: &mut Vec<(JobId, SimTime)>) {
         if !self.state.is_on() {
-            return started;
+            return;
         }
         while let Some(head) = self.queue.front() {
             if !self.used.fits_with(&head.demand, &self.capacity) {
@@ -249,17 +259,16 @@ impl Server {
             }
             let job = self.queue.pop_front().expect("front was Some");
             self.used.add_assign(&job.demand);
-            let run = RunningJob {
+            let finishes = now + job.duration;
+            out.push((job.id, finishes));
+            self.running.push(RunningJob {
                 id: job.id,
                 demand: job.demand,
                 arrival: job.arrival,
                 started: now,
-                finishes: now + job.duration,
-            };
-            started.push(run.clone());
-            self.running.push(run);
+                finishes,
+            });
         }
-        started
     }
 
     /// Completes a running job, releasing its resources. Returns the record

@@ -157,9 +157,17 @@ impl TraceGenerator {
         ResourceVec::cpu_mem_disk(cpu, mem, disk)
     }
 
+    /// The thinning process's current time frontier (seconds): every future
+    /// submission event — and hence every future task — arrives at or after
+    /// this instant. `crate::stream::GeneratorStream` uses it to decide
+    /// which pending tasks are safe to emit.
+    pub(crate) fn frontier(&self) -> f64 {
+        self.now
+    }
+
     /// Advances the thinning process to the next submission event, or
     /// `None` once `horizon` (seconds) is passed.
-    fn next_event(&mut self, horizon: f64) -> Option<f64> {
+    pub(crate) fn next_event(&mut self, horizon: f64) -> Option<f64> {
         let max_rate = self.config.arrivals.max_rate();
         loop {
             let u: f64 = 1.0 - self.rng.gen::<f64>();
@@ -177,7 +185,7 @@ impl TraceGenerator {
     /// Expands one submission event into its task batch. Tasks share the
     /// submission's resource request and near-identical durations, arriving
     /// a small jitter apart — the structure of real Google jobs.
-    fn expand_batch(&mut self, event_time: f64, out: &mut Vec<(f64, f64, ResourceVec)>) {
+    pub(crate) fn expand_batch(&mut self, event_time: f64, out: &mut Vec<(f64, f64, ResourceVec)>) {
         // Geometric task count with the configured mean.
         let continue_p = 1.0 - 1.0 / self.config.batch_mean.max(1.0);
         let mut count = 1usize;

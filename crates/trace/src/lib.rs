@@ -34,6 +34,7 @@ pub mod google;
 pub mod materialize;
 pub mod pattern;
 pub mod stats;
+pub mod stream;
 pub mod trace;
 
 /// Convenient glob-import of the crate's main types.
@@ -48,5 +49,6 @@ pub mod prelude {
     pub use crate::materialize::{TraceCache, TraceSpec};
     pub use crate::pattern::{ArrivalPattern, SECS_PER_DAY, SECS_PER_WEEK};
     pub use crate::stats::{Histogram, WorkloadProfile};
+    pub use crate::stream::{GeneratorStream, JobStream, TraceStream};
     pub use crate::trace::{Trace, TraceError, TraceStats};
 }

@@ -128,6 +128,38 @@ impl TraceCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Number of traces currently resident in memory (slots that hold a
+    /// materialized trace). Unlike [`TraceCache::len`], evicted and
+    /// never-materialized slots do not count.
+    pub fn resident(&self) -> usize {
+        let slots = self.slots.lock().expect("trace cache map lock");
+        slots
+            .values()
+            .filter(|slot| slot.lock().expect("trace cache slot lock").is_some())
+            .count()
+    }
+
+    /// Drops the cached trace for `spec`, returning whether one was
+    /// resident. Single-use cells (e.g. raw-scale presets, where each spec
+    /// is requested exactly once) call this after their run so a large
+    /// sweep's memory footprint is one trace, not the whole grid's.
+    ///
+    /// Outstanding `Arc<Trace>` handles keep their trace alive; eviction
+    /// only releases the cache's reference. A later `get` of the same spec
+    /// re-materializes (deterministically, so byte-identical).
+    pub fn evict(&self, spec: &TraceSpec) -> bool {
+        let mut slots = self.slots.lock().expect("trace cache map lock");
+        match slots.remove(&spec.fingerprint()) {
+            Some(slot) => slot.lock().expect("trace cache slot lock").take().is_some(),
+            None => false,
+        }
+    }
+
+    /// Drops every cached trace (hit/miss counters are preserved).
+    pub fn clear(&self) {
+        self.slots.lock().expect("trace cache map lock").clear();
+    }
 }
 
 #[cfg(test)]
@@ -175,6 +207,40 @@ mod tests {
         assert!(cache.get(&bad).is_err());
         // The slot exists but holds no trace; a valid retry would regenerate.
         assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn evict_releases_occupancy_and_regenerates_identically() {
+        let cache = TraceCache::new();
+        let s1 = spec(1, 100);
+        let s2 = spec(2, 100);
+        let first = cache.get(&s1).unwrap();
+        let _second = cache.get(&s2).unwrap();
+        assert_eq!(cache.resident(), 2);
+
+        assert!(cache.evict(&s1), "resident trace reports eviction");
+        assert_eq!(cache.resident(), 1);
+        assert!(!cache.evict(&s1), "double eviction is a no-op");
+        // Outstanding handles survive eviction.
+        assert_eq!(first.len(), 100);
+
+        // Re-requesting re-materializes byte-identically (a fresh miss).
+        let again = cache.get(&s1).unwrap();
+        assert!(!Arc::ptr_eq(&first, &again));
+        assert_eq!(*first, *again);
+        assert_eq!(cache.misses(), 3);
+    }
+
+    #[test]
+    fn clear_empties_the_cache_but_keeps_counters() {
+        let cache = TraceCache::new();
+        let _ = cache.get(&spec(1, 50)).unwrap();
+        let _ = cache.get(&spec(2, 50)).unwrap();
+        assert_eq!(cache.resident(), 2);
+        cache.clear();
+        assert_eq!(cache.resident(), 0);
+        assert!(cache.is_empty());
+        assert_eq!(cache.misses(), 2, "counters survive clear");
     }
 
     #[test]

@@ -141,6 +141,21 @@ pub fn field<T: Deserialize>(
     }
 }
 
+/// Like [`field`], but a missing entry yields `default()` instead of an
+/// error — the runtime half of the derive shim's `#[serde(default)]` /
+/// `#[serde(default = "path")]` support, so artifacts written before a
+/// field existed keep deserializing.
+pub fn field_or<T: Deserialize>(
+    entries: &[(String, Value)],
+    name: &str,
+    default: impl FnOnce() -> T,
+) -> Result<T, Error> {
+    match entries.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v),
+        None => Ok(default()),
+    }
+}
+
 macro_rules! impl_unsigned {
     ($($t:ty),*) => {$(
         impl Serialize for $t {

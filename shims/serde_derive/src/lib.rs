@@ -9,7 +9,11 @@
 //! - generic parameters with inline bounds and `where` clauses (each type
 //!   parameter additionally gets a `Serialize`/`Deserialize` bound);
 //! - the `#[serde(skip)]` field attribute (field omitted on serialize,
-//!   `Default::default()` on deserialize).
+//!   `Default::default()` on deserialize);
+//! - the `#[serde(default)]` and `#[serde(default = "path")]` field
+//!   attributes (a missing entry deserializes to `Default::default()` or
+//!   `path()` instead of erroring, so older artifacts without the field
+//!   keep parsing).
 //!
 //! Serialized form matches serde's externally-tagged defaults: named
 //! structs become maps, newtype structs unwrap to their inner value, tuple
@@ -21,6 +25,11 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     skip: bool,
+    /// Expression yielding the field's value when the serialized map has
+    /// no entry for it (`#[serde(default)]` / `#[serde(default = "path")]`);
+    /// `None` makes a missing entry an error, like serde without the
+    /// attribute.
+    default: Option<String>,
 }
 
 enum Shape {
@@ -161,23 +170,46 @@ fn parse_input(input: TokenStream) -> Input {
     }
 }
 
-/// Consumes attributes at `*i`, returning whether `#[serde(skip)]` was seen.
-fn eat_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
-    let mut skip = false;
+/// The field-level `#[serde(...)]` attributes this shim understands.
+#[derive(Default)]
+struct FieldAttrs {
+    skip: bool,
+    /// See [`Field::default`].
+    default: Option<String>,
+}
+
+/// Consumes attributes at `*i`, returning the recognized `#[serde(...)]`
+/// field attributes.
+fn eat_attrs(tokens: &[TokenTree], i: &mut usize) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
     while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
         if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
             let inner: Vec<TokenTree> = g.stream().into_iter().collect();
             if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
                 if let Some(TokenTree::Group(args)) = inner.get(1) {
-                    if args.stream().to_string().contains("skip") {
-                        skip = true;
+                    for piece in args.stream().to_string().split(',') {
+                        let piece = piece.trim();
+                        if piece == "skip" {
+                            attrs.skip = true;
+                        } else if piece == "default" {
+                            attrs.default = Some("::std::default::Default::default()".to_string());
+                        } else if let Some(rest) = piece.strip_prefix("default") {
+                            // `default = "path"`: the quoted token is a
+                            // function path, called with no arguments.
+                            let path = rest.trim_start_matches(['=', ' ']).trim_matches('"').trim();
+                            assert!(
+                                !path.is_empty(),
+                                "derive: malformed serde default attribute `{piece}`"
+                            );
+                            attrs.default = Some(format!("{path}()"));
+                        }
                     }
                 }
             }
         }
         *i += 2;
     }
-    skip
+    attrs
 }
 
 fn eat_visibility(tokens: &[TokenTree], i: &mut usize) {
@@ -213,7 +245,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        let skip = eat_attrs(&tokens, &mut i);
+        let attrs = eat_attrs(&tokens, &mut i);
         eat_visibility(&tokens, &mut i);
         let name = match &tokens[i] {
             TokenTree::Ident(id) => id.to_string(),
@@ -222,7 +254,11 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         i += 1; // name
         i += 1; // ':'
         skip_past_comma(&tokens, &mut i);
-        fields.push(Field { name, skip });
+        fields.push(Field {
+            name,
+            skip: attrs.skip,
+            default: attrs.default,
+        });
     }
     fields
 }
@@ -388,6 +424,11 @@ fn gen_deserialize(input: &Input) -> String {
             if f.skip {
                 inits.push_str(&format!(
                     "{n}: ::std::default::Default::default(),\n",
+                    n = f.name
+                ));
+            } else if let Some(default) = &f.default {
+                inits.push_str(&format!(
+                    "{n}: serde::field_or({map_expr}, \"{n}\", || {default})?,\n",
                     n = f.name
                 ));
             } else {
