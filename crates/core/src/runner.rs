@@ -6,6 +6,7 @@ use crate::allocator::DrlAllocator;
 use crate::hierarchical::PolicyPair;
 use hierdrl_sim::cluster::{Allocator, ArrivalSource, Cluster, PowerManager, RunLimit};
 use hierdrl_sim::config::ClusterConfig;
+use hierdrl_sim::events::FleetOp;
 use hierdrl_sim::metrics::{LatencyStats, RunOutcome, SamplePoint};
 use hierdrl_sim::policies::SleepImmediatelyPower;
 use hierdrl_sim::time::SimTime;
@@ -123,6 +124,9 @@ pub struct Experiment<'a> {
     pub trace: &'a Trace,
     /// Bounds on the run.
     pub limit: RunLimit,
+    /// Deterministic fault schedule: `(time_s, op)` fleet events injected
+    /// into the cluster before the run starts, fired between arrivals.
+    pub fleet_events: &'a [(f64, FleetOp)],
 }
 
 impl<'a> Experiment<'a> {
@@ -133,6 +137,7 @@ impl<'a> Experiment<'a> {
             cluster,
             trace,
             limit: RunLimit::unbounded(),
+            fleet_events: &[],
         }
     }
 
@@ -140,6 +145,15 @@ impl<'a> Experiment<'a> {
     #[must_use]
     pub fn with_limit(mut self, limit: RunLimit) -> Self {
         self.limit = limit;
+        self
+    }
+
+    /// Attaches a pre-computed fleet-event (fault) schedule. Events are
+    /// pushed into the cluster's queue before the run and fire at their
+    /// scheduled times, interleaved deterministically with arrivals.
+    #[must_use]
+    pub fn with_fleet_events(mut self, events: &'a [(f64, FleetOp)]) -> Self {
+        self.fleet_events = events;
         self
     }
 
@@ -154,6 +168,9 @@ impl<'a> Experiment<'a> {
         power: &mut dyn PowerManager,
     ) -> Result<ExperimentResult, String> {
         let mut cluster = Cluster::new(self.cluster.clone(), self.trace.jobs().to_vec())?;
+        for &(time_s, op) in self.fleet_events {
+            cluster.schedule_fleet_op(SimTime::from_secs(time_s), op);
+        }
         let outcome = cluster.run(allocator, power, self.limit);
         Ok(ExperimentResult {
             name: self.name.to_string(),
@@ -229,6 +246,10 @@ pub struct SegmentedExperiment<'a> {
     pub segments: &'a [&'a Trace],
     /// Bounds applied to *each* segment's run.
     pub limit: RunLimit,
+    /// Per-segment fault schedules (each on its own segment clock, which
+    /// restarts at zero). Segments past the end of this list run fault-free,
+    /// so `&[]` means no faults anywhere.
+    pub fleet_events: &'a [Vec<(f64, FleetOp)>],
 }
 
 impl<'a> SegmentedExperiment<'a> {
@@ -239,6 +260,7 @@ impl<'a> SegmentedExperiment<'a> {
             cluster,
             segments,
             limit: RunLimit::unbounded(),
+            fleet_events: &[],
         }
     }
 
@@ -246,6 +268,14 @@ impl<'a> SegmentedExperiment<'a> {
     #[must_use]
     pub fn with_limit(mut self, limit: RunLimit) -> Self {
         self.limit = limit;
+        self
+    }
+
+    /// Attaches per-segment fault schedules; entry `i` fires during segment
+    /// `i` on that segment's own clock.
+    #[must_use]
+    pub fn with_fleet_events(mut self, events: &'a [Vec<(f64, FleetOp)>]) -> Self {
+        self.fleet_events = events;
         self
     }
 
@@ -277,6 +307,7 @@ impl<'a> SegmentedExperiment<'a> {
     ) -> Result<ExperimentResult, String> {
         Experiment::new(self.name, self.cluster, self.segments[index])
             .with_limit(self.limit)
+            .with_fleet_events(self.fleet_events.get(index).map_or(&[], Vec::as_slice))
             .run(allocator, power)
             .map_err(|e| format!("segment {index}: {e}"))
     }
@@ -344,6 +375,7 @@ pub fn concat_segments(name: &str, segments: &[&ExperimentResult]) -> Experiment
         totals.jobs_arrived += t.jobs_arrived;
         totals.jobs_completed += t.jobs_completed;
         totals.total_latency_s += t.total_latency_s;
+        totals.jobs_requeued += t.jobs_requeued;
         end_s += seg.outcome.end_time.as_secs();
 
         let w = t.time_s / total_span;
@@ -511,6 +543,7 @@ pub fn aggregate_shards(name: &str, shards: &[ShardResult]) -> ExperimentResult 
         totals.jobs_arrived += t.jobs_arrived;
         totals.jobs_completed += t.jobs_completed;
         totals.total_latency_s += t.total_latency_s;
+        totals.jobs_requeued += t.jobs_requeued;
         if shard.result.outcome.end_time > end_time {
             end_time = shard.result.outcome.end_time;
         }

@@ -14,7 +14,9 @@
 //! - `--ms <M1,M2,...>` — cluster-size axis for sweep presets;
 //! - `--rates <F1,F2,...>` — arrival-rate factor axis for sweep presets;
 //! - `--drifts <D1,D2,...>` — drift-shape axis for the drift preset
-//!   (names from `presets::DRIFT_NAMES`).
+//!   (names from `presets::DRIFT_NAMES`);
+//! - `--faults <F1,F2,...>` — fault-schedule axis for the chaos preset
+//!   (names from `presets::FAULT_NAMES`).
 
 use crate::presets::Scale;
 use crate::runner::SuiteRunner;
@@ -46,6 +48,9 @@ pub struct SweepArgs {
     /// `--drifts` override (comma-separated drift-shape names for the
     /// drift preset).
     pub drifts: Option<Vec<String>>,
+    /// `--faults` override (comma-separated fault-schedule names for the
+    /// chaos preset).
+    pub faults: Option<Vec<String>>,
 }
 
 impl SweepArgs {
@@ -121,6 +126,14 @@ impl SweepArgs {
                             .collect(),
                     );
                 }
+                "--faults" => {
+                    out.faults = Some(
+                        take("--faults")
+                            .split(',')
+                            .map(|s| s.trim().to_string())
+                            .collect(),
+                    );
+                }
                 "--quick" => out.quick = true,
                 other => eprintln!("ignoring unknown argument {other:?}"),
             }
@@ -164,6 +177,13 @@ impl SweepArgs {
     /// The drift-shape axis, starting from a preset's default.
     pub fn drift_names(&self, default_names: &[&str]) -> Vec<String> {
         self.drifts
+            .clone()
+            .unwrap_or_else(|| default_names.iter().map(|s| s.to_string()).collect())
+    }
+
+    /// The fault-schedule axis, starting from a preset's default.
+    pub fn fault_names(&self, default_names: &[&str]) -> Vec<String> {
+        self.faults
             .clone()
             .unwrap_or_else(|| default_names.iter().map(|s| s.to_string()).collect())
     }
@@ -238,6 +258,19 @@ mod tests {
         assert_eq!(
             parse(&[]).drift_names(&["stationary", "rate-step"]),
             vec!["stationary".to_string(), "rate-step".to_string()]
+        );
+    }
+
+    #[test]
+    fn faults_parse_comma_list() {
+        let args = parse(&["--faults", "crash-storm, cap-window"]);
+        assert_eq!(
+            args.fault_names(&["no-fault"]),
+            vec!["crash-storm".to_string(), "cap-window".to_string()]
+        );
+        assert_eq!(
+            parse(&[]).fault_names(&["no-fault", "crash-storm"]),
+            vec!["no-fault".to_string(), "crash-storm".to_string()]
         );
     }
 }

@@ -132,6 +132,43 @@
 //! # Ok::<(), String>(())
 //! ```
 //!
+//! # Chaos axis and expectations
+//!
+//! A [`scenario::FaultSpec`] adds the chaos axis: a named, deterministic,
+//! seed-derived fault schedule — server crashes with recovery, transient
+//! stragglers, fleet-wide power-cap windows, arrival spikes — lowered to
+//! event-level fleet changes the simulator applies between arrivals. Jobs
+//! on a crashed server are requeued through the allocator exactly once,
+//! and the degraded fleet is what routing, state encoding, and the
+//! Eqn.-4/5 rewards see. Declarative [`suite::Expectation`]s (metric
+//! bounds, conservation invariants, determinism pins, and the
+//! graceful-degradation headline) attach to the suite and land as
+//! pass/fail rows in the report.
+//!
+//! ```
+//! use hierdrl_exp::prelude::*;
+//!
+//! let suite = Suite::builder("chaotic")
+//!     .topologies([Topology::paper(4)])
+//!     .workloads([WorkloadSpec::paper().with_total_jobs(150)])
+//!     .faults_with_baseline([FaultSpec::crash_storm()])
+//!     .policies([PolicySpec::round_robin()])
+//!     .seeds([1])
+//!     .expect(Expectation::JobConservation {
+//!         name: "conserved".into(),
+//!     })
+//!     .build();
+//!
+//! let run = SuiteRunner::new().run(&suite)?;
+//! let report = run.report();
+//! // The fault cell rode next to its fault-free twin...
+//! assert_eq!(report.cells[1].fault.as_deref(), Some("crash-storm"));
+//! assert!(report.cells[1].jobs_requeued > 0);
+//! // ...and every arrived job still completed exactly once.
+//! assert!(report.expectations[0].passed, "{}", report.expectations[0].detail);
+//! # Ok::<(), String>(())
+//! ```
+//!
 //! # Paper presets
 //!
 //! The grids behind the paper's artifacts are exposed as one-liners —
@@ -170,15 +207,16 @@ pub mod suite;
 pub mod prelude {
     pub use crate::cli::SweepArgs;
     pub use crate::report::{
-        BenchReport, BenchSegment, BenchShard, CellMetrics, CellReport, CellTiming, SegmentReport,
-        ShardReport, SuiteReport,
+        BenchReport, BenchSegment, BenchShard, CellMetrics, CellReport, CellTiming, ExpectationRow,
+        SegmentReport, ShardReport, SuiteReport,
     };
     pub use crate::runner::{CellRun, SegmentRun, ShardRun, SuiteRun, SuiteRunner};
     pub use crate::scale::{ScaleCellRun, ScaleSpec};
     pub use crate::scenario::{
-        DriftSpec, JobsBudget, PolicySpec, Pretrain, Scenario, Topology, WorkloadSpec,
+        DriftSpec, FaultShape, FaultSpec, JobsBudget, PolicySpec, Pretrain, Scenario, Topology,
+        WorkloadSpec,
     };
-    pub use crate::suite::{Suite, SuiteBuilder};
+    pub use crate::suite::{Expectation, Suite, SuiteBuilder};
     pub use hierdrl_core::hierarchical::{AllocatorKind, PowerKind};
     pub use hierdrl_sim::router::RouterPolicy;
     pub use hierdrl_trace::drift::SegmentShift;

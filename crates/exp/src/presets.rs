@@ -5,8 +5,8 @@
 //! operating point — so the same grid runs at paper scale or as a smoke
 //! test (`Scale::quick()`), exactly like the old per-binary `--quick` flag.
 
-use crate::scenario::{DriftSpec, PolicySpec, Pretrain, Topology, WorkloadSpec};
-use crate::suite::Suite;
+use crate::scenario::{DriftSpec, FaultSpec, PolicySpec, Pretrain, Topology, WorkloadSpec};
+use crate::suite::{Expectation, Suite};
 use hierdrl_core::allocator::DrlAllocatorConfig;
 use hierdrl_core::hierarchical::{AllocatorKind, PowerKind};
 use hierdrl_rl::policy::EpsilonSchedule;
@@ -130,6 +130,73 @@ pub fn drift(scale: Scale, names: &[String]) -> Suite {
         .policies(three_systems())
         .seeds([42])
         .build()
+}
+
+/// The named fault schedules of the `chaos` preset, by CLI name.
+/// `"no-fault"` is not a [`FaultSpec`] — it selects the fault-free
+/// baseline entry of the axis and is handled by [`chaos`] directly.
+pub fn fault_spec(name: &str) -> FaultSpec {
+    match name {
+        "crash-storm" => FaultSpec::crash_storm(),
+        "straggler-wave" => FaultSpec::straggler_wave(),
+        "cap-window" => FaultSpec::cap_window(),
+        other => panic!(
+            "unknown fault {other:?}; expected one of no-fault, crash-storm, straggler-wave, \
+             cap-window"
+        ),
+    }
+}
+
+/// The default chaos axis of the `chaos` preset.
+pub const FAULT_NAMES: [&str; 4] = ["no-fault", "crash-storm", "straggler-wave", "cap-window"];
+
+/// Chaos grid: {no-fault, crash-storm, straggler-wave, cap-window} ×
+/// {round-robin, DRL-only, hierarchical}, every fault cell paired with its
+/// fault-free twin, plus the committed expectations: conservation through
+/// crash-requeue churn, a determinism pin on a chaos cell, and the
+/// headline graceful-degradation checks — does the hierarchical framework
+/// lose less of its Eqn.-4 objective under faults than round-robin?
+///
+/// # Panics
+///
+/// Panics on an unknown fault name (see [`fault_spec`]).
+pub fn chaos(scale: Scale, names: &[String]) -> Suite {
+    let faults: Vec<FaultSpec> = names
+        .iter()
+        .filter(|n| n.as_str() != "no-fault")
+        .map(|n| fault_spec(n))
+        .collect();
+    let baseline = names.len() != faults.len() || faults.is_empty();
+    let mut builder = Suite::builder("chaos")
+        .topologies([Topology::paper(scale.m)])
+        .workloads([scale.workload()])
+        .policies(three_systems())
+        .seeds([42])
+        .expect(Expectation::JobConservation {
+            name: "jobs-conserved".into(),
+        });
+    builder = if baseline {
+        builder.faults_with_baseline(faults)
+    } else {
+        builder.faults(faults)
+    };
+    for fault in names.iter().filter(|n| n.as_str() != "no-fault") {
+        builder = builder.expect(Expectation::DeterminismPin {
+            name: format!("determinism-{fault}"),
+            cell_contains: format!("%{fault}/round-robin"),
+        });
+        // The headline comparison needs the no-fault twins on the grid.
+        if baseline {
+            builder = builder.expect(Expectation::GracefulDegradation {
+                name: format!("graceful-{fault}"),
+                fault: fault.clone(),
+                policy: "hierarchical".into(),
+                baseline: "round-robin".into(),
+                tolerance: 1.0,
+            });
+        }
+    }
+    builder.build()
 }
 
 /// **Fig. 8**: accumulated latency and energy vs. jobs at `M = 30`
@@ -394,6 +461,47 @@ mod tests {
     }
 
     #[test]
+    fn chaos_preset_pairs_fault_cells_with_their_twins() {
+        let names: Vec<String> = FAULT_NAMES.iter().map(|s| s.to_string()).collect();
+        let suite = chaos(Scale::quick(), &names);
+        // {no-fault + 3 faults} x 3 systems.
+        assert_eq!(suite.len(), 12);
+        // The fault-free twins come first and keep their historical ids.
+        assert_eq!(suite.scenarios[0].id, "paper-m10/paper/round-robin/s42");
+        assert_eq!(
+            suite.scenarios[3].id,
+            "paper-m10/paper%crash-storm/round-robin/s42"
+        );
+        assert_eq!(
+            suite.scenarios[11].id,
+            "paper-m10/paper%cap-window/hierarchical/s42"
+        );
+        // Committed expectations: conservation + per-fault determinism pin
+        // and graceful-degradation headline.
+        assert_eq!(suite.expectations.len(), 1 + 3 * 2);
+        assert_eq!(suite.expectations[0].name(), "jobs-conserved");
+        assert!(suite
+            .expectations
+            .iter()
+            .any(|e| e.name() == "graceful-crash-storm"));
+        // Subsetting the axis by name works (the CLI path); without the
+        // no-fault entry there are no twins, so no degradation checks.
+        let one = chaos(Scale::quick(), &["straggler-wave".to_string()]);
+        assert_eq!(one.len(), 3);
+        assert!(one.scenarios.iter().all(|s| s.fault.is_some()));
+        assert!(!one
+            .expectations
+            .iter()
+            .any(|e| matches!(e, Expectation::GracefulDegradation { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown fault")]
+    fn unknown_fault_name_rejected() {
+        let _ = fault_spec("meteor-strike");
+    }
+
+    #[test]
     fn heterogeneous_grids_skew_by_policy() {
         let suite = heterogeneous(Scale::quick());
         // 3 fleets x 3 systems.
@@ -425,12 +533,14 @@ mod tests {
 
     #[test]
     fn quick_scale_shrinks_every_preset() {
+        let fault_names: Vec<String> = FAULT_NAMES.iter().map(|s| s.to_string()).collect();
         for suite in [
             fig8(Scale::quick()),
             fig9(Scale::quick()),
             table1(Scale::quick()),
             ablation_dqn(Scale::quick()),
             calibrate(Scale::quick()),
+            chaos(Scale::quick(), &fault_names),
         ] {
             for s in &suite.scenarios {
                 assert!(s.workload.jobs_for(s.topology.servers()) <= 7_000);

@@ -85,7 +85,7 @@ pub struct ShardReport {
 /// One cell of a [`SuiteReport`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CellReport {
-    /// Scenario id (`topology/workload/policy/s<seed>`).
+    /// Scenario id (`topology/workload[@drift][%fault]/policy/s<seed>`).
     pub id: String,
     /// Topology name.
     pub topology: String,
@@ -99,18 +99,39 @@ pub struct CellReport {
     pub capacity_skew: f64,
     /// Workload name.
     pub workload: String,
+    /// Fault-schedule name (`None` for fault-free cells).
+    #[serde(default)]
+    pub fault: Option<String>,
     /// Policy name.
     pub policy: String,
     /// The cell's base seed.
     pub seed: u64,
     /// Extracted metrics (the fleet-level aggregate when sharded).
     pub metrics: CellMetrics,
+    /// Jobs requeued by server crashes (each surviving job exactly once
+    /// per crash it lived through; `0` for fault-free cells).
+    #[serde(default)]
+    pub jobs_requeued: u64,
     /// Global-tier learner statistics, for learned policies.
     pub drl: Option<DrlStats>,
     /// Per-segment rows in drift order (`None` for non-drift cells).
     pub segments: Option<Vec<SegmentReport>>,
     /// Per-cluster rows in shard order (`None` for single-cluster cells).
     pub clusters: Option<Vec<ShardReport>>,
+}
+
+/// One evaluated [`Expectation`](crate::suite::Expectation): the pass/fail
+/// row the runner appends to both the canonical report and the bench
+/// artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExpectationRow {
+    /// The expectation's label.
+    pub name: String,
+    /// Whether the check held.
+    pub passed: bool,
+    /// Human-readable evidence: the numbers behind the verdict, or what
+    /// failed to match.
+    pub detail: String,
 }
 
 /// The canonical, fully-deterministic result of a suite run. Cells appear
@@ -123,6 +144,10 @@ pub struct SuiteReport {
     pub suite: String,
     /// Per-cell results in suite order.
     pub cells: Vec<CellReport>,
+    /// Evaluated expectations, in suite declaration order (empty for
+    /// suites without expectations).
+    #[serde(default)]
+    pub expectations: Vec<ExpectationRow>,
 }
 
 impl SuiteReport {
@@ -230,6 +255,11 @@ pub struct BenchReport {
     /// `None` where the kernel interface is unavailable (non-Linux).
     #[serde(default)]
     pub peak_rss_bytes: Option<u64>,
+    /// Evaluated suite expectations (duplicated from the canonical report
+    /// so CI can gate on the committed bench artifact alone; empty for
+    /// suites without expectations).
+    #[serde(default)]
+    pub expectations: Vec<ExpectationRow>,
     /// Per-cell timing, in suite order.
     pub cells: Vec<BenchCell>,
 }
@@ -297,7 +327,36 @@ mod tests {
         let report: BenchReport = serde_json::from_str(legacy).expect("legacy artifact parses");
         assert_eq!(report.peak_rss_bytes, None);
         assert_eq!(report.cells[0].peak_rss_bytes, None);
+        assert!(report.expectations.is_empty());
         let back: BenchReport = serde_json::from_str(&report.to_json_pretty()).expect("round trip");
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn cell_report_round_trips_without_chaos_fields() {
+        // Pre-chaos reports carry neither the fault column nor the requeue
+        // counter nor suite expectations; they must keep deserializing.
+        let legacy = r#"{
+            "suite": "demo",
+            "cells": [{
+                "id": "a/b/c/s1", "topology": "a", "servers": 2,
+                "capacity_total": 2.0, "capacity_skew": 1.0,
+                "workload": "b", "policy": "c", "seed": 1,
+                "metrics": {
+                    "jobs_completed": 10, "energy_kwh": 1.0,
+                    "latency_mega_s": 0.1, "average_power_w": 100.0,
+                    "mean_latency_s": 3.0, "energy_per_job_j": 5.0,
+                    "sleep_fraction": 0.2, "wake_transitions": 4,
+                    "span_hours": 2.0
+                },
+                "drl": null, "segments": null, "clusters": null
+            }]
+        }"#;
+        let report: SuiteReport = serde_json::from_str(legacy).expect("legacy report parses");
+        assert_eq!(report.cells[0].fault, None);
+        assert_eq!(report.cells[0].jobs_requeued, 0);
+        assert!(report.expectations.is_empty());
+        let back: SuiteReport = serde_json::from_str(&report.to_json()).expect("round trip");
         assert_eq!(report, back);
     }
 }

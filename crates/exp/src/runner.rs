@@ -24,10 +24,10 @@
 
 use crate::report::{
     BenchCell, BenchReport, BenchSegment, BenchShard, CellMetrics, CellReport, CellTiming,
-    SegmentReport, ShardReport, SuiteReport,
+    ExpectationRow, SegmentReport, ShardReport, SuiteReport,
 };
-use crate::scenario::{PolicySpec, Pretrain, Scenario};
-use crate::suite::Suite;
+use crate::scenario::{mix_seed, PolicySpec, Pretrain, Scenario};
+use crate::suite::{Expectation, Suite};
 use hierdrl_core::allocator::{DrlAllocator, DrlAllocatorConfig, DrlSnapshot, DrlStats};
 use hierdrl_core::dpm::{DpmSnapshot, RlPowerConfig, RlPowerManager};
 use hierdrl_core::runner::{
@@ -36,6 +36,7 @@ use hierdrl_core::runner::{
 };
 use hierdrl_sim::cluster::{Allocator, PowerManager};
 use hierdrl_sim::config::ClusterConfig;
+use hierdrl_sim::events::FleetOp;
 use hierdrl_sim::policies::{FixedTimeoutPower, SleepImmediatelyPower};
 use hierdrl_sim::router::Router;
 use hierdrl_trace::materialize::{TraceCache, TraceSpec};
@@ -165,6 +166,54 @@ pub struct SuiteRun {
     pub traces_materialized: u64,
     /// Trace-cache hits.
     pub trace_cache_hits: u64,
+    /// The suite's evaluated [`Expectation`]s, in declaration order
+    /// (empty for suites without expectations). Every row is a pure
+    /// function of the deterministic cell results, so it is safe to
+    /// include in the canonical report.
+    pub expectations: Vec<ExpectationRow>,
+}
+
+/// Maps one cell outcome to its canonical report row — shared by
+/// [`SuiteRun::report`] and the determinism-pin expectation (which
+/// byte-compares this row against a serial re-run's).
+fn cell_report(c: &CellRun) -> CellReport {
+    CellReport {
+        id: c.scenario.id.clone(),
+        topology: c.scenario.topology.name().to_string(),
+        servers: c.scenario.topology.servers(),
+        capacity_total: c.scenario.topology.total_capacity(),
+        capacity_skew: c.scenario.topology.capacity_skew(),
+        workload: c.scenario.workload.name.clone(),
+        fault: c.scenario.fault.as_ref().map(|f| f.name.clone()),
+        policy: c.scenario.policy.name(),
+        seed: c.scenario.seed,
+        metrics: CellMetrics::from_result(&c.result),
+        jobs_requeued: c.result.outcome.totals.jobs_requeued,
+        drl: c.drl_stats,
+        segments: (!c.segments.is_empty()).then(|| {
+            c.segments
+                .iter()
+                .map(|s| SegmentReport {
+                    segment: s.segment,
+                    shift: s.shift.clone(),
+                    metrics: CellMetrics::from_result(&s.result),
+                    drl: s.drl_stats,
+                })
+                .collect()
+        }),
+        clusters: (!c.shards.is_empty()).then(|| {
+            c.shards
+                .iter()
+                .map(|s| ShardReport {
+                    cluster: s.shard.cluster,
+                    servers: s.shard.servers,
+                    jobs_routed: s.shard.jobs_routed,
+                    metrics: CellMetrics::from_result(&s.shard.result),
+                    drl: s.drl_stats,
+                })
+                .collect()
+        }),
+    }
 }
 
 impl SuiteRun {
@@ -172,45 +221,8 @@ impl SuiteRun {
     pub fn report(&self) -> SuiteReport {
         SuiteReport {
             suite: self.suite.clone(),
-            cells: self
-                .cells
-                .iter()
-                .map(|c| CellReport {
-                    id: c.scenario.id.clone(),
-                    topology: c.scenario.topology.name().to_string(),
-                    servers: c.scenario.topology.servers(),
-                    capacity_total: c.scenario.topology.total_capacity(),
-                    capacity_skew: c.scenario.topology.capacity_skew(),
-                    workload: c.scenario.workload.name.clone(),
-                    policy: c.scenario.policy.name(),
-                    seed: c.scenario.seed,
-                    metrics: CellMetrics::from_result(&c.result),
-                    drl: c.drl_stats,
-                    segments: (!c.segments.is_empty()).then(|| {
-                        c.segments
-                            .iter()
-                            .map(|s| SegmentReport {
-                                segment: s.segment,
-                                shift: s.shift.clone(),
-                                metrics: CellMetrics::from_result(&s.result),
-                                drl: s.drl_stats,
-                            })
-                            .collect()
-                    }),
-                    clusters: (!c.shards.is_empty()).then(|| {
-                        c.shards
-                            .iter()
-                            .map(|s| ShardReport {
-                                cluster: s.shard.cluster,
-                                servers: s.shard.servers,
-                                jobs_routed: s.shard.jobs_routed,
-                                metrics: CellMetrics::from_result(&s.shard.result),
-                                drl: s.drl_stats,
-                            })
-                            .collect()
-                    }),
-                })
-                .collect(),
+            cells: self.cells.iter().map(cell_report).collect(),
+            expectations: self.expectations.clone(),
         }
     }
 
@@ -232,6 +244,7 @@ impl SuiteRun {
             traces_materialized: self.traces_materialized,
             trace_cache_hits: self.trace_cache_hits,
             peak_rss_bytes: crate::report::peak_rss_bytes(),
+            expectations: self.expectations.clone(),
             cells: self
                 .cells
                 .iter()
@@ -379,15 +392,252 @@ impl SuiteRunner {
                 .collect()
         });
         let cells = outcomes.into_iter().collect::<Result<Vec<_>, _>>()?;
-        Ok(SuiteRun {
+        let mut run = SuiteRun {
             suite: suite.name.clone(),
             cells,
             threads: self.threads(),
-            total_wall_s: started.elapsed().as_secs_f64(),
+            total_wall_s: 0.0,
             traces_materialized: ctx.traces.misses() - misses_before,
             trace_cache_hits: ctx.traces.hits() - hits_before,
-        })
+            expectations: Vec::new(),
+        };
+        run.expectations = evaluate_expectations(&suite.expectations, &run);
+        run.total_wall_s = started.elapsed().as_secs_f64();
+        Ok(run)
     }
+}
+
+/// Evaluates a suite's declarative [`Expectation`]s against the finished
+/// grid, in declaration order. Every check is a pure function of the
+/// deterministic cell results — including the determinism pin, whose
+/// nested serial re-run is itself deterministic — so the rows are safe to
+/// embed in the canonical byte-comparable report.
+fn evaluate_expectations(expectations: &[Expectation], run: &SuiteRun) -> Vec<ExpectationRow> {
+    expectations
+        .iter()
+        .map(|e| {
+            let (passed, detail) = match e {
+                Expectation::MetricBound {
+                    cell_contains,
+                    metric,
+                    min,
+                    max,
+                    ..
+                } => check_metric_bound(run, cell_contains, metric, *min, *max),
+                Expectation::JobConservation { .. } => check_job_conservation(run),
+                Expectation::DeterminismPin { cell_contains, .. } => {
+                    check_determinism_pin(run, cell_contains)
+                }
+                Expectation::GracefulDegradation {
+                    fault,
+                    policy,
+                    baseline,
+                    tolerance,
+                    ..
+                } => check_graceful_degradation(run, fault, policy, baseline, *tolerance),
+            };
+            ExpectationRow {
+                name: e.name().to_string(),
+                passed,
+                detail,
+            }
+        })
+        .collect()
+}
+
+/// Looks up one of the documented metric keys on a cell.
+fn metric_value(cell: &CellRun, key: &str) -> Option<f64> {
+    let m = CellMetrics::from_result(&cell.result);
+    Some(match key {
+        "jobs_completed" => m.jobs_completed as f64,
+        "energy_kwh" => m.energy_kwh,
+        "mean_latency_s" => m.mean_latency_s,
+        "average_power_w" => m.average_power_w,
+        "span_hours" => m.span_hours,
+        "jobs_requeued" => cell.result.outcome.totals.jobs_requeued as f64,
+        _ => return None,
+    })
+}
+
+fn check_metric_bound(
+    run: &SuiteRun,
+    cell_contains: &str,
+    metric: &str,
+    min: f64,
+    max: f64,
+) -> (bool, String) {
+    let matched: Vec<&CellRun> = run
+        .cells
+        .iter()
+        .filter(|c| c.scenario.id.contains(cell_contains))
+        .collect();
+    if matched.is_empty() {
+        // An expectation that silently matches nothing would rot unnoticed.
+        return (false, format!("no cell id contains {cell_contains:?}"));
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for cell in &matched {
+        let Some(v) = metric_value(cell, metric) else {
+            return (false, format!("unknown metric {metric:?}"));
+        };
+        if !(v.is_finite() && v >= min && v <= max) {
+            return (
+                false,
+                format!(
+                    "{}: {metric} = {v} outside [{min}, {max}]",
+                    cell.scenario.id
+                ),
+            );
+        }
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    (
+        true,
+        format!(
+            "{} cells: {metric} in [{lo:.4}, {hi:.4}] within [{min}, {max}]",
+            matched.len()
+        ),
+    )
+}
+
+fn check_job_conservation(run: &SuiteRun) -> (bool, String) {
+    let (mut jobs, mut requeued) = (0u64, 0u64);
+    for cell in &run.cells {
+        let t = &cell.result.outcome.totals;
+        // `max_jobs` cells stop mid-stream by design; conservation is only
+        // checkable where the whole stream drains.
+        if cell.scenario.max_jobs.is_none() && t.jobs_completed != t.jobs_arrived {
+            return (
+                false,
+                format!(
+                    "{}: {} arrived vs {} completed",
+                    cell.scenario.id, t.jobs_arrived, t.jobs_completed
+                ),
+            );
+        }
+        jobs += t.jobs_completed;
+        requeued += t.jobs_requeued;
+    }
+    (
+        true,
+        format!(
+            "{jobs} jobs completed exactly once across {} cells ({requeued} crash requeues)",
+            run.cells.len()
+        ),
+    )
+}
+
+fn check_determinism_pin(run: &SuiteRun, cell_contains: &str) -> (bool, String) {
+    let matched: Vec<&CellRun> = run
+        .cells
+        .iter()
+        .filter(|c| c.scenario.id.contains(cell_contains))
+        .collect();
+    if matched.is_empty() {
+        return (false, format!("no cell id contains {cell_contains:?}"));
+    }
+    for cell in &matched {
+        // A fresh one-cell suite, re-run serially from the scenario alone.
+        // It carries no expectations, so the nested run cannot recurse.
+        let pin = Suite {
+            name: "determinism-pin".into(),
+            scenarios: vec![cell.scenario.clone()],
+            expectations: Vec::new(),
+        };
+        let rerun = match SuiteRunner::serial().run(&pin) {
+            Ok(rerun) => rerun,
+            Err(e) => return (false, format!("{}: re-run failed: {e}", cell.scenario.id)),
+        };
+        let original = serde_json::to_string(&cell_report(cell)).expect("cell report serializes");
+        let repeated =
+            serde_json::to_string(&cell_report(&rerun.cells[0])).expect("cell report serializes");
+        if original != repeated {
+            return (
+                false,
+                format!(
+                    "{}: serial re-run diverged from suite run",
+                    cell.scenario.id
+                ),
+            );
+        }
+    }
+    (
+        true,
+        format!("{} cells byte-identical under serial re-run", matched.len()),
+    )
+}
+
+/// The cell's Eqn.-4 objective: time-averaged normalized fleet power +
+/// per-server queueing + overload, under the paper's balanced weights. The
+/// scale-free cost both sides of a graceful-degradation comparison share;
+/// normalization uses the *nominal* fleet (crashed capacity does not
+/// shrink the denominator, so losing servers cannot flatter a policy).
+fn eqn4_objective(cell: &CellRun) -> f64 {
+    let m = cell.scenario.topology.servers() as f64;
+    let peak: f64 = cell
+        .scenario
+        .topology
+        .clusters()
+        .iter()
+        .map(|c| c.num_servers as f64 * c.power.peak_watts)
+        .sum();
+    let w = hierdrl_core::reward::RewardWeights::balanced();
+    let t = &cell.result.outcome.totals;
+    let span = t.time_s.max(1e-9);
+    w.power * (t.energy_joules / span / peak.max(1e-9))
+        + w.vms * (t.queue_time_integral / span / m)
+        + w.reliability * (t.overload_integral / span)
+}
+
+/// Mean (across seeds) of `eqn4(faulted) / eqn4(no-fault twin)` for one
+/// policy under one fault schedule. The twin is the cell whose id differs
+/// only by the `%fault` component.
+fn degradation_ratio(run: &SuiteRun, policy: &str, fault: &str) -> Result<f64, String> {
+    let faulted: Vec<&CellRun> = run
+        .cells
+        .iter()
+        .filter(|c| {
+            c.scenario.policy.name() == policy
+                && c.scenario.fault.as_ref().is_some_and(|f| f.name == fault)
+        })
+        .collect();
+    if faulted.is_empty() {
+        return Err(format!("no {policy} cell under %{fault}"));
+    }
+    let mut ratios = Vec::with_capacity(faulted.len());
+    for cell in faulted {
+        let twin_id = cell.scenario.id.replace(&format!("%{fault}"), "");
+        let twin = run
+            .cells
+            .iter()
+            .find(|c| c.scenario.id == twin_id)
+            .ok_or_else(|| format!("no fault-free twin {twin_id}"))?;
+        ratios.push(eqn4_objective(cell) / eqn4_objective(twin).max(1e-12));
+    }
+    Ok(ratios.iter().sum::<f64>() / ratios.len() as f64)
+}
+
+fn check_graceful_degradation(
+    run: &SuiteRun,
+    fault: &str,
+    policy: &str,
+    baseline: &str,
+    tolerance: f64,
+) -> (bool, String) {
+    let (p, b) = match (
+        degradation_ratio(run, policy, fault),
+        degradation_ratio(run, baseline, fault),
+    ) {
+        (Ok(p), Ok(b)) => (p, b),
+        (Err(e), _) | (_, Err(e)) => return (false, e),
+    };
+    (
+        p <= b * tolerance,
+        format!(
+            "{policy} degrades {p:.3}x vs {baseline} {b:.3}x under %{fault} (tolerance {tolerance})"
+        ),
+    )
 }
 
 /// The fully-derived learner inputs of one execution unit — a whole
@@ -395,6 +645,9 @@ impl SuiteRunner {
 /// run through the same policy executor; only the seed derivation differs.
 struct LearnerSeeds {
     policy_seed: u64,
+    /// Seed of the unit's fault schedule (cell- or shard-derived, so
+    /// sharded chaos cells stay byte-identical to serial execution).
+    fault_seed: u64,
     /// The unit's share of the evaluation stream (sizes pre-training).
     eval_jobs: u64,
     drl: Option<DrlAllocatorConfig>,
@@ -409,6 +662,7 @@ impl LearnerSeeds {
     fn for_cell(scenario: &Scenario) -> Self {
         Self {
             policy_seed: scenario.policy_seed(),
+            fault_seed: scenario.fault_seed(),
             eval_jobs: scenario.workload.jobs_for(scenario.topology.servers()),
             drl: scenario.drl_config(),
             dpm: scenario.dpm_config(),
@@ -423,6 +677,7 @@ impl LearnerSeeds {
         let shard_m = scenario.topology.clusters()[shard].num_servers;
         Self {
             policy_seed: scenario.shard_policy_seed(shard),
+            fault_seed: scenario.shard_fault_seed(shard),
             eval_jobs: scenario
                 .workload
                 .shard_jobs_for(shard_m, scenario.topology.servers()),
@@ -618,8 +873,30 @@ fn execute_policy(
         allocator.set_learning(false);
         power.set_learning(false);
     }
-    let experiment =
-        SegmentedExperiment::new(name, cluster, segment_traces).with_limit(scenario.run_limit());
+    // Lower the chaos axis (if any) to per-segment fleet events against
+    // *this unit's* cluster size and segment spans, from the unit's own
+    // fault seed. Pre-training above stays fault-free — the paper's
+    // learners train on healthy fleets and meet faults only at evaluation
+    // (and pre-train cache keys stay stable across the fault axis).
+    let fault_events: Vec<Vec<(f64, FleetOp)>> = match &scenario.fault {
+        None => Vec::new(),
+        Some(fault) => segment_traces
+            .iter()
+            .map(|trace| match trace.jobs().last() {
+                // An empty segment (possible for a small shard's share)
+                // has no span to schedule against — run it fault-free.
+                None => Vec::new(),
+                Some(last) => fault.lower(
+                    seeds.fault_seed,
+                    cluster.num_servers,
+                    last.arrival.as_secs(),
+                ),
+            })
+            .collect(),
+    };
+    let experiment = SegmentedExperiment::new(name, cluster, segment_traces)
+        .with_limit(scenario.run_limit())
+        .with_fleet_events(&fault_events);
     let mut segments: Vec<SegmentRun> = Vec::with_capacity(segment_traces.len());
     for (i, trace) in segment_traces.iter().enumerate() {
         let started = Instant::now();
@@ -708,11 +985,35 @@ fn merge_drl_stats(per_shard: impl IntoIterator<Item = Option<DrlStats>>) -> Opt
 
 fn run_cell(scenario: &Scenario, ctx: &RunContext) -> Result<CellRun, String> {
     let started = Instant::now();
-    let traces: Vec<Arc<Trace>> = scenario
+    let mut traces: Vec<Arc<Trace>> = scenario
         .segment_trace_specs()
         .iter()
         .map(|spec| ctx.traces.get(spec))
         .collect::<Result<_, _>>()?;
+    // Arrival-spike fault shapes extend the evaluation stream itself, so
+    // they inject here — before the single/multi-cluster split and before
+    // routing — from the *cell-level* fault seed. Both execution paths see
+    // the same merged stream, preserving sharded-vs-serial byte-identity.
+    if let Some(fault) = scenario.fault.as_ref().filter(|f| f.has_spikes()) {
+        let fault_seed = scenario.fault_seed();
+        traces = traces
+            .iter()
+            .enumerate()
+            .map(|(i, trace)| {
+                let template = trace.jobs();
+                let span = template.last().map_or(0.0, |j| j.arrival.as_secs());
+                // Per-segment spike sub-stream, disjoint from the shape
+                // streams `lower` draws from (0x200 + i vs 0..shapes).
+                let spikes =
+                    fault.spike_jobs(mix_seed(fault_seed, 0x200 + i as u64), template, span);
+                let mut jobs = template.to_vec();
+                jobs.extend(spikes);
+                Trace::from_unsorted(jobs)
+                    .map(Arc::new)
+                    .map_err(|e| format!("segment {i} spike merge: {e}"))
+            })
+            .collect::<Result<_, _>>()?;
+    }
     let name = scenario.policy.name();
 
     let (result, drl_stats, segments, shards) = match &scenario.topology {

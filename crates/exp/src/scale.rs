@@ -222,6 +222,7 @@ pub fn scale_bench_report(runs: &[ScaleCellRun]) -> BenchReport {
         traces_materialized: 0,
         trace_cache_hits: 0,
         peak_rss_bytes: peak_rss_bytes(),
+        expectations: Vec::new(),
         cells: runs.iter().map(ScaleCellRun::bench_cell).collect(),
     }
 }

@@ -6,7 +6,10 @@ use hierdrl_core::dpm::RlPowerConfig;
 use hierdrl_core::hierarchical::{AllocatorKind, PowerKind};
 use hierdrl_sim::cluster::RunLimit;
 use hierdrl_sim::config::ClusterConfig;
+use hierdrl_sim::events::FleetOp;
+use hierdrl_sim::job::{Job, JobId, ServerId};
 use hierdrl_sim::router::RouterPolicy;
+use hierdrl_sim::time::SimTime;
 use hierdrl_trace::drift::{SegmentShift, SegmentedTraceSpec};
 use hierdrl_trace::generator::WorkloadConfig;
 use hierdrl_trace::materialize::TraceSpec;
@@ -513,6 +516,415 @@ impl DriftSpec {
     }
 }
 
+/// One injected fault shape. Every time, duration, and spread is a
+/// *fraction of the evaluation span* (the segment's last arrival time), so
+/// one spec scales unchanged from smoke runs to paper-length traces; the
+/// schedule is lowered to absolute event times per segment by
+/// [`FaultSpec::lower`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultShape {
+    /// Crash one explicit server at `at`, recovering after `outage`.
+    Crash {
+        /// Server index within the (shard's) cluster.
+        server: usize,
+        /// Crash time as a fraction of the span.
+        at: f64,
+        /// Outage length as a fraction of the span.
+        outage: f64,
+    },
+    /// Crash `fraction` of the fleet — seed-drawn distinct servers — one
+    /// every `stagger`, starting at `start`, each out for `outage`.
+    CrashStorm {
+        /// Fraction of the fleet to crash, in `(0, 1)`.
+        fraction: f64,
+        /// First crash time as a fraction of the span.
+        start: f64,
+        /// Gap between consecutive crashes as a fraction of the span.
+        stagger: f64,
+        /// Per-server outage length as a fraction of the span.
+        outage: f64,
+    },
+    /// Degrade `fraction` of the fleet (seed-drawn distinct servers) to
+    /// `scale`x capacity over `[start, start + duration)` — transient
+    /// stragglers, not crashes: degraded servers keep running.
+    StragglerWave {
+        /// Fraction of the fleet to degrade, in `(0, 1]`.
+        fraction: f64,
+        /// Degraded capacity multiplier, in `(0, 1)`.
+        scale: f64,
+        /// Window start as a fraction of the span.
+        start: f64,
+        /// Window length as a fraction of the span.
+        duration: f64,
+    },
+    /// Power-cap the *whole* fleet to `scale`x capacity over a window.
+    CapWindow {
+        /// Capped capacity multiplier, in `(0, 1)`.
+        scale: f64,
+        /// Window start as a fraction of the span.
+        start: f64,
+        /// Window length as a fraction of the span.
+        duration: f64,
+    },
+    /// Inject `fraction` (of the stream length) extra arrivals around
+    /// `at`, spread over `spread` of the span — a flash crowd. Lowered at
+    /// the trace level ([`FaultSpec::spike_jobs`]), before routing.
+    ArrivalSpike {
+        /// Spike start as a fraction of the span.
+        at: f64,
+        /// Extra arrivals as a fraction of the stream length, in `(0, 1]`.
+        fraction: f64,
+        /// Spike width as a fraction of the span.
+        spread: f64,
+    },
+}
+
+impl FaultShape {
+    /// Validates one shape's parameters (server ids are range-checked at
+    /// lowering time, when the fleet size is known).
+    fn validate(&self) -> Result<(), String> {
+        let time_ok = |t: f64| t.is_finite() && (0.0..=1.0).contains(&t);
+        let check_time = |label: &str, t: f64| {
+            if time_ok(t) {
+                Ok(())
+            } else {
+                Err(format!("{label} fault time must be in [0, 1], got {t}"))
+            }
+        };
+        let check_len = |label: &str, d: f64| {
+            if d.is_finite() && d > 0.0 {
+                Ok(())
+            } else {
+                Err(format!("{label} must be positive and finite, got {d}"))
+            }
+        };
+        let check_fraction = |f: f64| {
+            if f.is_finite() && f > 0.0 && f <= 1.0 {
+                Ok(())
+            } else {
+                Err(format!("fault fraction must be in (0, 1], got {f}"))
+            }
+        };
+        let check_scale = |s: f64| {
+            if s.is_finite() && s > 0.0 && s < 1.0 {
+                Ok(())
+            } else {
+                Err(format!("degraded scale must be in (0, 1), got {s}"))
+            }
+        };
+        match *self {
+            FaultShape::Crash { at, outage, .. } => {
+                check_time("crash", at)?;
+                check_len("crash outage", outage)
+            }
+            FaultShape::CrashStorm {
+                fraction,
+                start,
+                stagger,
+                outage,
+            } => {
+                check_fraction(fraction)?;
+                if fraction >= 1.0 {
+                    return Err(format!(
+                        "crash-storm fraction must leave a healthy remainder, got {fraction}"
+                    ));
+                }
+                check_time("crash-storm start", start)?;
+                if !(stagger.is_finite() && stagger >= 0.0) {
+                    return Err(format!(
+                        "crash-storm stagger must be non-negative, got {stagger}"
+                    ));
+                }
+                check_len("crash-storm outage", outage)
+            }
+            FaultShape::StragglerWave {
+                fraction,
+                scale,
+                start,
+                duration,
+            } => {
+                check_fraction(fraction)?;
+                check_scale(scale)?;
+                check_time("straggler-wave start", start)?;
+                check_len("straggler-wave duration", duration)
+            }
+            FaultShape::CapWindow {
+                scale,
+                start,
+                duration,
+            } => {
+                check_scale(scale)?;
+                check_time("cap-window start", start)?;
+                check_len("cap-window duration", duration)
+            }
+            FaultShape::ArrivalSpike {
+                at,
+                fraction,
+                spread,
+            } => {
+                check_time("arrival-spike", at)?;
+                check_fraction(fraction)?;
+                check_len("arrival-spike spread", spread)
+            }
+        }
+    }
+}
+
+/// Draws `count` distinct server indices from `0..n` with a SplitMix64
+/// partial Fisher–Yates shuffle — the one deterministic selection every
+/// seed-drawn fault shape uses.
+fn draw_distinct_servers(seed: u64, count: usize, n: usize) -> Vec<usize> {
+    let mut pool: Vec<usize> = (0..n).collect();
+    let mut picked = Vec::with_capacity(count);
+    for i in 0..count.min(n) {
+        let draw = mix_seed(seed, 1 + i as u64);
+        picked.push(pool.swap_remove(draw as usize % pool.len()));
+    }
+    picked
+}
+
+/// The chaos axis of a scenario: a named, deterministic, seed-derived
+/// schedule of injected faults, lowered to event-level
+/// [`FleetOp`]s per evaluation segment. Everything about the schedule —
+/// which servers crash, when, for how long — derives from the cell's
+/// fault seed (`mix(seed, 4)`), so fault cells are exactly as reproducible
+/// and mutually independent as every other axis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Display name (joined into the scenario id as `workload%fault`).
+    pub name: String,
+    /// The fault shapes, all active on every evaluation segment.
+    pub shapes: Vec<FaultShape>,
+}
+
+impl FaultSpec {
+    /// A named fault schedule from explicit shapes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shapes` is empty, any shape's parameters are out of
+    /// range (negative or >1 fractional times, non-positive durations,
+    /// fractions outside `(0, 1]`, scales outside `(0, 1)`), or two
+    /// [`FaultShape::CapWindow`]s overlap in time.
+    pub fn new(name: impl Into<String>, shapes: Vec<FaultShape>) -> Self {
+        assert!(!shapes.is_empty(), "fault spec needs >= 1 shape");
+        for (i, shape) in shapes.iter().enumerate() {
+            shape
+                .validate()
+                .unwrap_or_else(|e| panic!("fault shape {i}: {e}"));
+        }
+        let windows: Vec<(usize, f64, f64)> = shapes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match *s {
+                FaultShape::CapWindow {
+                    start, duration, ..
+                } => Some((i, start, start + duration)),
+                _ => None,
+            })
+            .collect();
+        for (a, &(i, ai, af)) in windows.iter().enumerate() {
+            for &(j, bi, bf) in &windows[a + 1..] {
+                assert!(
+                    af <= bi || bf <= ai,
+                    "cap windows {i} and {j} overlap ([{ai}, {af}) vs [{bi}, {bf}))"
+                );
+            }
+        }
+        Self {
+            name: name.into(),
+            shapes,
+        }
+    }
+
+    /// The canonical crash storm: just over a third of the fleet crashes,
+    /// staggered, each server out for almost half the evaluation span.
+    pub fn crash_storm() -> Self {
+        Self::new(
+            "crash-storm",
+            vec![FaultShape::CrashStorm {
+                fraction: 0.35,
+                start: 0.15,
+                stagger: 0.04,
+                outage: 0.45,
+            }],
+        )
+    }
+
+    /// The canonical straggler wave: 40% of the fleet at 0.35x capacity
+    /// for half the span.
+    pub fn straggler_wave() -> Self {
+        Self::new(
+            "straggler-wave",
+            vec![FaultShape::StragglerWave {
+                fraction: 0.4,
+                scale: 0.35,
+                start: 0.2,
+                duration: 0.5,
+            }],
+        )
+    }
+
+    /// The canonical power-cap window: the whole fleet at 0.6x capacity
+    /// for a third of the span.
+    pub fn cap_window() -> Self {
+        Self::new(
+            "cap-window",
+            vec![FaultShape::CapWindow {
+                scale: 0.6,
+                start: 0.3,
+                duration: 0.3,
+            }],
+        )
+    }
+
+    /// The canonical arrival spike: a quarter extra arrivals concentrated
+    /// over a tenth of the span.
+    pub fn arrival_spike() -> Self {
+        Self::new(
+            "arrival-spike",
+            vec![FaultShape::ArrivalSpike {
+                at: 0.4,
+                fraction: 0.25,
+                spread: 0.1,
+            }],
+        )
+    }
+
+    /// Whether any shape injects extra arrivals (handled at the trace
+    /// level, before routing, unlike the event-lowered shapes).
+    pub fn has_spikes(&self) -> bool {
+        self.shapes
+            .iter()
+            .any(|s| matches!(s, FaultShape::ArrivalSpike { .. }))
+    }
+
+    /// Lowers the schedule to absolute-time [`FleetOp`] events for one
+    /// evaluation segment of `num_servers` servers spanning `span_s`
+    /// seconds of arrivals, sorted by time (ties keep shape order). Every
+    /// seed-drawn choice derives from `fault_seed` via per-shape SplitMix64
+    /// sub-streams. [`FaultShape::ArrivalSpike`]s lower to no events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an explicit [`FaultShape::Crash`] names a server outside
+    /// `0..num_servers`, or a crash storm targets a fleet too small to
+    /// leave a healthy remainder.
+    pub fn lower(&self, fault_seed: u64, num_servers: usize, span_s: f64) -> Vec<(f64, FleetOp)> {
+        assert!(num_servers > 0, "fault lowering needs >= 1 server");
+        let mut events: Vec<(f64, FleetOp)> = Vec::new();
+        for (i, shape) in self.shapes.iter().enumerate() {
+            let shape_seed = mix_seed(fault_seed, i as u64);
+            match *shape {
+                FaultShape::Crash { server, at, outage } => {
+                    assert!(
+                        server < num_servers,
+                        "fault shape {i} crashes server {server} out of {num_servers} servers"
+                    );
+                    events.push((at * span_s, FleetOp::Crash(ServerId(server))));
+                    events.push(((at + outage) * span_s, FleetOp::Recover(ServerId(server))));
+                }
+                FaultShape::CrashStorm {
+                    fraction,
+                    start,
+                    stagger,
+                    outage,
+                } => {
+                    assert!(
+                        num_servers > 1,
+                        "fault shape {i}: a crash storm needs >= 2 servers to leave one healthy"
+                    );
+                    let count = ((fraction * num_servers as f64).round() as usize)
+                        .clamp(1, num_servers - 1);
+                    for (k, sid) in draw_distinct_servers(shape_seed, count, num_servers)
+                        .into_iter()
+                        .enumerate()
+                    {
+                        let t = (start + k as f64 * stagger) * span_s;
+                        events.push((t, FleetOp::Crash(ServerId(sid))));
+                        events.push((t + outage * span_s, FleetOp::Recover(ServerId(sid))));
+                    }
+                }
+                FaultShape::StragglerWave {
+                    fraction,
+                    scale,
+                    start,
+                    duration,
+                } => {
+                    let count =
+                        ((fraction * num_servers as f64).round() as usize).clamp(1, num_servers);
+                    for sid in draw_distinct_servers(shape_seed, count, num_servers) {
+                        let server = ServerId(sid);
+                        events.push((start * span_s, FleetOp::SetScale { server, scale }));
+                        events.push((
+                            (start + duration) * span_s,
+                            FleetOp::SetScale { server, scale: 1.0 },
+                        ));
+                    }
+                }
+                FaultShape::CapWindow {
+                    scale,
+                    start,
+                    duration,
+                } => {
+                    for sid in 0..num_servers {
+                        let server = ServerId(sid);
+                        events.push((start * span_s, FleetOp::SetScale { server, scale }));
+                        events.push((
+                            (start + duration) * span_s,
+                            FleetOp::SetScale { server, scale: 1.0 },
+                        ));
+                    }
+                }
+                FaultShape::ArrivalSpike { .. } => {}
+            }
+        }
+        events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("fault times are finite"));
+        events
+    }
+
+    /// The extra arrivals [`FaultShape::ArrivalSpike`]s inject into one
+    /// segment's stream: deterministic clones of seed-picked template jobs
+    /// with fresh ids past the template's largest, arrival times drawn in
+    /// the spike window. Returned sorted by arrival; the caller merges
+    /// them into the stream before routing.
+    pub fn spike_jobs(&self, fault_seed: u64, template: &[Job], span_s: f64) -> Vec<Job> {
+        let mut extra: Vec<Job> = Vec::new();
+        if template.is_empty() {
+            return extra;
+        }
+        let mut next_id = template.iter().map(|j| j.id.0).max().unwrap_or(0) + 1;
+        for (i, shape) in self.shapes.iter().enumerate() {
+            let FaultShape::ArrivalSpike {
+                at,
+                fraction,
+                spread,
+            } = *shape
+            else {
+                continue;
+            };
+            let shape_seed = mix_seed(fault_seed, i as u64);
+            let count = ((fraction * template.len() as f64).round() as usize).max(1);
+            for k in 0..count {
+                let draw = mix_seed(shape_seed, 1 + k as u64);
+                let source = &template[draw as usize % template.len()];
+                // A uniform draw in [0, 1) from the high 53 bits.
+                let u = (mix_seed(draw, 1) >> 11) as f64 / (1u64 << 53) as f64;
+                let arrival = (at + u * spread).min(1.0) * span_s;
+                extra.push(Job::new(
+                    JobId(next_id),
+                    SimTime::from_secs(arrival),
+                    source.duration,
+                    source.demand.clone(),
+                ));
+                next_id += 1;
+            }
+        }
+        extra.sort_by_key(|j| (j.arrival, j.id));
+        extra
+    }
+}
+
 /// A named policy recipe: which control planes run the cell and how the
 /// learners are pre-trained.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -552,6 +964,12 @@ pub enum PolicySpec {
         /// setup, where every sweep point (and the fixed-timeout
         /// baselines) must restore the *same* pre-trained global tier.
         co_pretrain: bool,
+        /// Optional explicit global-tier configuration (ablations and
+        /// quick test builds); `None` runs the paper's default. The
+        /// config's RNG seed is replaced by the scenario's derived
+        /// policy seed either way.
+        #[serde(default)]
+        config: Option<Box<DrlAllocatorConfig>>,
     },
     /// A DRL global-tier ablation with an explicit configuration
     /// (+ sleep-immediately local behaviour). The config's RNG seed is
@@ -610,6 +1028,7 @@ impl PolicySpec {
             weight,
             pretrain: Pretrain::default(),
             co_pretrain: true,
+            config: None,
         }
     }
 
@@ -620,6 +1039,24 @@ impl PolicySpec {
             weight,
             pretrain: Pretrain::default(),
             co_pretrain: false,
+            config: None,
+        }
+    }
+
+    /// The hierarchical framework with an explicit global-tier
+    /// configuration and pre-training budget (quick test builds and
+    /// ablations), tiers co-pre-trained. Keeps the `hierarchical` display
+    /// name at `weight = 0.5`, like [`PolicySpec::hierarchical`].
+    pub fn hierarchical_variant(
+        weight: f64,
+        config: DrlAllocatorConfig,
+        pretrain: Pretrain,
+    ) -> Self {
+        PolicySpec::Hierarchical {
+            weight,
+            pretrain,
+            co_pretrain: true,
+            config: Some(Box::new(config)),
         }
     }
 
@@ -662,7 +1099,7 @@ impl PolicySpec {
 /// run, including its RNG seeding.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
-    /// Stable identifier: `topology/workload[@drift]/policy/s<seed>`.
+    /// Stable identifier: `topology/workload[@drift][%fault]/policy/s<seed>`.
     pub id: String,
     /// Cluster under test.
     pub topology: Topology,
@@ -671,6 +1108,10 @@ pub struct Scenario {
     /// Concept-drift axis: segmented evaluation with carried learners
     /// (`None` = the classic single-trace cell).
     pub drift: Option<DriftSpec>,
+    /// Chaos axis: a deterministic fault schedule applied to every
+    /// evaluation segment (`None` = the classic fault-free cell).
+    #[serde(default)]
+    pub fault: Option<FaultSpec>,
     /// Control planes.
     pub policy: PolicySpec,
     /// The cell's base seed; every random stream in the cell derives from
@@ -690,36 +1131,55 @@ impl Scenario {
         seed: u64,
         max_jobs: Option<u64>,
     ) -> Self {
-        let id = format!(
-            "{}/{}/{}/s{seed}",
-            topology.name(),
-            workload.name,
-            policy.name()
-        );
-        Self {
-            id,
+        let mut scenario = Self {
+            id: String::new(),
             topology,
             workload,
             drift: None,
+            fault: None,
             policy,
             seed,
             max_jobs,
+        };
+        scenario.id = scenario.compute_id();
+        scenario
+    }
+
+    /// The canonical id: `topology/workload[@drift][%fault]/policy/s<seed>`
+    /// — byte-identical to the historical format when neither axis is set,
+    /// so perf-gate baselines keyed on ids stay stable.
+    fn compute_id(&self) -> String {
+        let mut workload = self.workload.name.clone();
+        if let Some(drift) = &self.drift {
+            workload = format!("{workload}@{}", drift.name);
         }
+        if let Some(fault) = &self.fault {
+            workload = format!("{workload}%{}", fault.name);
+        }
+        format!(
+            "{}/{}/{}/s{}",
+            self.topology.name(),
+            workload,
+            self.policy.name(),
+            self.seed
+        )
     }
 
     /// Attaches a drift axis, rebuilding the id as
-    /// `topology/workload@drift/policy/s<seed>`.
+    /// `topology/workload@drift[%fault]/policy/s<seed>`.
     #[must_use]
     pub fn with_drift(mut self, drift: DriftSpec) -> Self {
-        self.id = format!(
-            "{}/{}@{}/{}/s{}",
-            self.topology.name(),
-            self.workload.name,
-            drift.name,
-            self.policy.name(),
-            self.seed
-        );
         self.drift = Some(drift);
+        self.id = self.compute_id();
+        self
+    }
+
+    /// Attaches a chaos axis, rebuilding the id as
+    /// `topology/workload[@drift]%fault/policy/s<seed>`.
+    #[must_use]
+    pub fn with_fault(mut self, fault: FaultSpec) -> Self {
+        self.fault = Some(fault);
+        self.id = self.compute_id();
         self
     }
 
@@ -736,6 +1196,13 @@ impl Scenario {
     /// Seed of the local-tier learner.
     pub fn dpm_seed(&self) -> u64 {
         mix_seed(self.seed, 3)
+    }
+
+    /// Seed of the fault schedule (which servers crash/straggle and when
+    /// the seed-drawn shapes fire) — stream 4, disjoint from trace (1),
+    /// policy (2), and local-tier (3) streams.
+    pub fn fault_seed(&self) -> u64 {
+        mix_seed(self.seed, 4)
     }
 
     /// Base seed of shard `k` of a multi-cluster cell — the second level of
@@ -757,6 +1224,13 @@ impl Scenario {
     /// Seed of shard `k`'s local-tier learner.
     pub fn shard_dpm_seed(&self, shard: usize) -> u64 {
         mix_seed(self.shard_seed(shard), 3)
+    }
+
+    /// Seed of shard `k`'s fault schedule: each shard lowers the cell's
+    /// [`FaultSpec`] independently against its own cluster size, so
+    /// sharded execution stays byte-identical to serial.
+    pub fn shard_fault_seed(&self, shard: usize) -> u64 {
+        mix_seed(self.shard_seed(shard), 4)
     }
 
     /// The evaluation trace recipe (the whole stream for non-drift cells;
@@ -827,7 +1301,11 @@ impl Scenario {
         };
         match &self.policy {
             PolicySpec::Static { .. } => None,
-            PolicySpec::DrlVariant { config, .. } => Some(seeded((**config).clone())),
+            PolicySpec::DrlVariant { config, .. }
+            | PolicySpec::Hierarchical {
+                config: Some(config),
+                ..
+            } => Some(seeded((**config).clone())),
             _ => Some(seeded(DrlAllocatorConfig::default())),
         }
     }
@@ -1175,5 +1653,191 @@ mod tests {
             s.shard_dpm_config(0),
             "co-pre-trained hierarchical shards restore their local tier"
         );
+    }
+
+    #[test]
+    fn fault_cells_rename_the_id_and_derive_a_disjoint_seed() {
+        let base = Scenario::new(
+            Topology::paper(5),
+            WorkloadSpec::paper(),
+            PolicySpec::round_robin(),
+            7,
+            None,
+        );
+        let faulted = base.clone().with_fault(FaultSpec::crash_storm());
+        assert_eq!(faulted.id, "paper-m5/paper%crash-storm/round-robin/s7");
+        // The fault seed is its own stream, disjoint from every other.
+        let seeds = [
+            faulted.trace_seed(),
+            faulted.policy_seed(),
+            faulted.dpm_seed(),
+            faulted.fault_seed(),
+            faulted.shard_fault_seed(0),
+        ];
+        let mut dedup = seeds.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len());
+        // The fault axis changes nothing about the evaluation stream.
+        assert_eq!(faulted.segment_trace_specs(), base.segment_trace_specs());
+
+        // Drift and fault compose: `workload@drift%fault`.
+        let both = base
+            .with_drift(DriftSpec::rate_step(2.0))
+            .with_fault(FaultSpec::straggler_wave());
+        assert_eq!(
+            both.id,
+            "paper-m5/paper@rate-step-x2%straggler-wave/round-robin/s7"
+        );
+    }
+
+    #[test]
+    fn fault_lowering_is_deterministic_and_span_scaled() {
+        let spec = FaultSpec::crash_storm();
+        let a = spec.lower(99, 10, 1000.0);
+        let b = spec.lower(99, 10, 1000.0);
+        assert_eq!(a, b, "lowering is a pure function of its inputs");
+        assert_ne!(
+            a,
+            spec.lower(100, 10, 1000.0),
+            "a different fault seed draws different servers"
+        );
+        // round(0.35 * 10) crashes, each paired with exactly one recover.
+        let crashes: Vec<ServerId> = a
+            .iter()
+            .filter_map(|(_, op)| match op {
+                FleetOp::Crash(sid) => Some(*sid),
+                _ => None,
+            })
+            .collect();
+        let recovers: Vec<ServerId> = a
+            .iter()
+            .filter_map(|(_, op)| match op {
+                FleetOp::Recover(sid) => Some(*sid),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(crashes.len(), 4);
+        let mut unique = crashes.clone();
+        unique.sort_unstable_by_key(|s| s.0);
+        unique.dedup();
+        assert_eq!(unique.len(), 4, "storm servers are distinct");
+        let mut rec = recovers;
+        rec.sort_unstable_by_key(|s| s.0);
+        assert_eq!(rec, unique, "every crash pairs with one recover");
+        // Events are time-sorted and scale with the span.
+        assert!(a.windows(2).all(|w| w[0].0 <= w[1].0));
+        let doubled = spec.lower(99, 10, 2000.0);
+        assert!((doubled[0].0 - 2.0 * a[0].0).abs() < 1e-9);
+
+        // A cap window scales every server and restores every server.
+        let cap = FaultSpec::cap_window().lower(1, 3, 100.0);
+        assert_eq!(cap.len(), 6);
+        assert!(cap[..3]
+            .iter()
+            .all(|(t, op)| *t == 30.0
+                && matches!(op, FleetOp::SetScale { scale, .. } if *scale == 0.6)));
+        assert!(cap[3..]
+            .iter()
+            .all(|(t, op)| *t == 60.0
+                && matches!(op, FleetOp::SetScale { scale, .. } if *scale == 1.0)));
+    }
+
+    #[test]
+    fn spike_jobs_extend_the_stream_without_colliding_ids() {
+        let template: Vec<Job> = (0..40)
+            .map(|i| {
+                Job::new(
+                    JobId(i),
+                    SimTime::from_secs(i as f64 * 10.0),
+                    60.0,
+                    hierdrl_sim::resources::ResourceVec::cpu_mem_disk(0.2, 0.1, 0.05),
+                )
+            })
+            .collect();
+        let spec = FaultSpec::arrival_spike();
+        let extra = spec.spike_jobs(5, &template, 390.0);
+        assert_eq!(extra.len(), 10, "a quarter of 40 template jobs");
+        assert_eq!(extra, spec.spike_jobs(5, &template, 390.0));
+        let window = (0.4 * 390.0, (0.4 + 0.1) * 390.0);
+        for (i, job) in extra.iter().enumerate() {
+            assert!(job.id.0 >= 40, "spike ids continue past the template's");
+            assert!(job.arrival.as_secs() >= window.0 && job.arrival.as_secs() <= window.1);
+            if i > 0 {
+                assert!(extra[i - 1].arrival <= job.arrival, "sorted by arrival");
+            }
+        }
+        // Non-spike shapes inject nothing.
+        assert!(FaultSpec::crash_storm()
+            .spike_jobs(5, &template, 390.0)
+            .is_empty());
+        assert!(!FaultSpec::crash_storm().has_spikes());
+        assert!(spec.has_spikes());
+    }
+
+    #[test]
+    #[should_panic(expected = "fault time must be in [0, 1], got -0.1")]
+    fn negative_fault_time_rejected() {
+        let _ = FaultSpec::new(
+            "bad",
+            vec![FaultShape::Crash {
+                server: 0,
+                at: -0.1,
+                outage: 0.2,
+            }],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "crashes server 9 out of 4 servers")]
+    fn out_of_range_crash_server_rejected_at_lowering() {
+        let spec = FaultSpec::new(
+            "bad",
+            vec![FaultShape::Crash {
+                server: 9,
+                at: 0.5,
+                outage: 0.2,
+            }],
+        );
+        let _ = spec.lower(1, 4, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cap windows 0 and 1 overlap")]
+    fn overlapping_cap_windows_rejected() {
+        let _ = FaultSpec::new(
+            "bad",
+            vec![
+                FaultShape::CapWindow {
+                    scale: 0.5,
+                    start: 0.2,
+                    duration: 0.3,
+                },
+                FaultShape::CapWindow {
+                    scale: 0.7,
+                    start: 0.4,
+                    duration: 0.2,
+                },
+            ],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive and finite")]
+    fn non_positive_outage_rejected() {
+        let _ = FaultSpec::new(
+            "bad",
+            vec![FaultShape::Crash {
+                server: 0,
+                at: 0.5,
+                outage: 0.0,
+            }],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fault spec needs >= 1 shape")]
+    fn empty_fault_spec_rejected() {
+        let _ = FaultSpec::new("bad", Vec::new());
     }
 }

@@ -1,0 +1,256 @@
+//! Chaos-axis suites: fault-schedule independence between cells (the
+//! property the seed tree promises), the serial/parallel byte-identity
+//! guarantee extended to fault cells — including sharded ones — and the
+//! acceptance bar of the chaos PR: the hierarchical framework must lose
+//! less of its Eqn.-4 objective under injected faults than round-robin,
+//! enforced through the declarative expectation layer.
+
+use std::sync::OnceLock;
+
+use hierdrl_core::allocator::DrlAllocatorConfig;
+use hierdrl_exp::prelude::*;
+use hierdrl_exp::scenario::Pretrain;
+use proptest::prelude::*;
+
+/// A cheap DRL variant so learned-policy cells stay fast in debug builds.
+fn quick_config() -> DrlAllocatorConfig {
+    DrlAllocatorConfig {
+        warmup_decisions: 20,
+        ae_pretrain_samples: 50,
+        ae_epochs: 2,
+        minibatch: 8,
+        train_interval: 8,
+        ..Default::default()
+    }
+}
+
+fn quick_pretrain() -> Pretrain {
+    Pretrain {
+        segments: 1,
+        fraction: 0.5,
+    }
+}
+
+fn quick_drl() -> PolicySpec {
+    PolicySpec::drl_variant("drl-quick", quick_config(), quick_pretrain())
+}
+
+/// The full hierarchical stack (DRL global tier + RL local tier) with a
+/// training budget that converges at debug-build job counts; names itself
+/// `hierarchical` like the paper preset.
+fn quick_hierarchical() -> PolicySpec {
+    PolicySpec::hierarchical_variant(0.5, quick_config(), quick_pretrain())
+}
+
+const STREAM_JOBS: u64 = 150;
+
+/// The grid the independence property runs on: every fault cell next to
+/// its fault-free twin, one static and one learned policy.
+fn independence_grid() -> Suite {
+    Suite::builder("fault-independence")
+        .topologies([Topology::paper(4)])
+        .workloads([WorkloadSpec::paper().with_total_jobs(STREAM_JOBS)])
+        .faults_with_baseline([FaultSpec::crash_storm()])
+        .policies([PolicySpec::round_robin(), quick_drl()])
+        .seeds([11])
+        .build()
+}
+
+/// Per-cell canonical JSON of a suite run.
+fn cell_json(run: &SuiteRun) -> Vec<String> {
+    run.report()
+        .cells
+        .iter()
+        .map(|c| serde_json::to_string(c).expect("cell json"))
+        .collect()
+}
+
+/// The unperturbed grid's per-cell reports, computed once for all
+/// property cases.
+fn baseline_cells() -> &'static [String] {
+    static BASE: OnceLock<Vec<String>> = OnceLock::new();
+    BASE.get_or_init(|| {
+        let run = SuiteRunner::new()
+            .run(&independence_grid())
+            .expect("baseline run");
+        cell_json(&run)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Perturbing one cell's `FaultSpec` — any crash-storm or
+    /// straggler-wave parameters, either the static or the learned fault
+    /// cell — leaves every *other* cell's report byte-identical, and
+    /// changes the perturbed cell itself.
+    #[test]
+    fn perturbing_one_cells_fault_leaves_every_other_cell_byte_identical(
+        which in 0usize..2,
+        kind in 0usize..2,
+        fraction in 0.1f64..0.7,
+        start in 0.0f64..0.5,
+        stagger in 0.0f64..0.1,
+        length in 0.05f64..0.5,
+        scale in 0.2f64..0.8,
+    ) {
+        let mut suite = independence_grid();
+        let fault_cells: Vec<usize> = suite
+            .scenarios
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.fault.is_some())
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(fault_cells.len(), 2);
+        let target = fault_cells[which];
+
+        let shape = if kind == 0 {
+            FaultShape::CrashStorm {
+                fraction,
+                start,
+                stagger,
+                outage: length,
+            }
+        } else {
+            FaultShape::StragglerWave {
+                fraction,
+                scale,
+                start,
+                duration: length,
+            }
+        };
+        // Same schedule *name* (ids — and hence twin lookups — stay
+        // stable); entirely different fault behaviour.
+        suite.scenarios[target].fault = Some(FaultSpec::new("crash-storm", vec![shape]));
+
+        let perturbed = SuiteRunner::new().run(&suite).expect("perturbed run");
+        let cells = cell_json(&perturbed);
+        prop_assert_eq!(cells.len(), baseline_cells().len());
+        for (i, (base, cell)) in baseline_cells().iter().zip(&cells).enumerate() {
+            if i == target {
+                prop_assert_ne!(base, cell, "perturbed cell {} must change", i);
+            } else {
+                prop_assert_eq!(base, cell, "untouched cell {} must not change", i);
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_chaos_report_is_byte_identical_to_serial() {
+    // The byte-identity guarantee, one level down: fault schedules on
+    // multi-cluster cells derive per shard (`mix(shard_seed(k), 4)`), so
+    // thread count must not leak into any fault cell's report.
+    let suite = Suite::builder("chaos-sharded")
+        .topologies([
+            Topology::sharded_paper(2, 6, RouterPolicy::RoundRobin),
+            Topology::paper(5),
+        ])
+        .workloads([WorkloadSpec::paper().with_total_jobs(STREAM_JOBS)])
+        .faults_with_baseline([FaultSpec::crash_storm(), FaultSpec::straggler_wave()])
+        .policies([PolicySpec::round_robin(), quick_drl()])
+        .seeds([21])
+        .build();
+    assert_eq!(suite.len(), 12);
+
+    let serial = SuiteRunner::serial().run(&suite).expect("serial run");
+    let sharded = SuiteRunner::new()
+        .with_threads(8)
+        .run(&suite)
+        .expect("sharded run");
+    assert_eq!(
+        serial.report().to_json(),
+        sharded.report().to_json(),
+        "chaos suites must stay byte-identical between serial and parallel execution"
+    );
+    let again = SuiteRunner::new()
+        .with_threads(8)
+        .run(&suite)
+        .expect("sharded rerun");
+    assert_eq!(sharded.report().to_json(), again.report().to_json());
+
+    // And the chaos actually happened: the sharded crash-storm cell
+    // requeued jobs on both shards' fleets without losing any.
+    let report = serial.report();
+    let crash = report
+        .cells
+        .iter()
+        .find(|c| c.id.contains("%crash-storm/round-robin") && c.id.contains("c2-m3"))
+        .or_else(|| {
+            report
+                .cells
+                .iter()
+                .find(|c| c.fault.as_deref() == Some("crash-storm"))
+        })
+        .expect("a sharded crash-storm cell");
+    assert!(crash.jobs_requeued > 0, "crash storm must requeue jobs");
+    assert_eq!(crash.metrics.jobs_completed, STREAM_JOBS);
+}
+
+#[test]
+fn graceful_degradation_acceptance_via_expectation_layer() {
+    // The committed acceptance bar of the chaos PR, enforced through the
+    // declarative layer itself: under both a crash storm and a straggler
+    // wave, the full hierarchical framework's Eqn.-4 objective must
+    // degrade (relative to its own fault-free twin) by no more than
+    // round-robin's does — alongside conservation-through-requeue, a
+    // requeue-count bound, and a determinism pin on a fault cell.
+    let suite = Suite::builder("chaos-acceptance")
+        .topologies([Topology::paper(6)])
+        .workloads([WorkloadSpec::paper_scaled(2.2).with_total_jobs(400)])
+        .faults_with_baseline([FaultSpec::crash_storm(), FaultSpec::straggler_wave()])
+        .policies([PolicySpec::round_robin(), quick_hierarchical()])
+        .seeds([42])
+        .expect(Expectation::JobConservation {
+            name: "jobs-conserved".into(),
+        })
+        .expect(Expectation::MetricBound {
+            name: "crash-storm-requeues".into(),
+            cell_contains: "%crash-storm/round-robin".into(),
+            metric: "jobs_requeued".into(),
+            min: 1.0,
+            max: 1e18,
+        })
+        .expect(Expectation::DeterminismPin {
+            name: "pin-straggler-wave".into(),
+            cell_contains: "%straggler-wave/round-robin".into(),
+        })
+        .expect(Expectation::GracefulDegradation {
+            name: "graceful-under-crash-storm".into(),
+            fault: "crash-storm".into(),
+            policy: "hierarchical".into(),
+            baseline: "round-robin".into(),
+            tolerance: 1.0,
+        })
+        .expect(Expectation::GracefulDegradation {
+            name: "graceful-under-straggler-wave".into(),
+            fault: "straggler-wave".into(),
+            policy: "hierarchical".into(),
+            baseline: "round-robin".into(),
+            tolerance: 1.0,
+        })
+        .build();
+    assert_eq!(suite.len(), 6);
+
+    let run = SuiteRunner::new().run(&suite).expect("acceptance run");
+    assert_eq!(run.expectations.len(), 5);
+    for row in &run.expectations {
+        eprintln!(
+            "[{}] {}: {}",
+            if row.passed { "PASS" } else { "FAIL" },
+            row.name,
+            row.detail
+        );
+        assert!(
+            row.passed,
+            "expectation {} failed: {}",
+            row.name, row.detail
+        );
+    }
+
+    // The verdicts ride the canonical report and the bench artifact.
+    let report = run.report();
+    assert_eq!(report.expectations, run.expectations);
+    assert_eq!(run.bench_report().expectations, run.expectations);
+}

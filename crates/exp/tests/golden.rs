@@ -12,7 +12,9 @@
 //! ```
 
 use hierdrl_core::allocator::DrlStats;
-use hierdrl_exp::report::{CellMetrics, CellReport, SegmentReport, ShardReport, SuiteReport};
+use hierdrl_exp::report::{
+    CellMetrics, CellReport, ExpectationRow, SegmentReport, ShardReport, SuiteReport,
+};
 use std::path::PathBuf;
 
 fn metrics(scale: f64) -> CellMetrics {
@@ -40,8 +42,9 @@ fn drl_stats(train_steps: u64) -> DrlStats {
 }
 
 /// A fixed report exercising every schema branch: a single-cluster cell
-/// with learner statistics, a sharded cell with per-cluster rows, and a
-/// concept-drift cell with per-segment rows.
+/// with learner statistics, a sharded cell with per-cluster rows, a
+/// concept-drift cell with per-segment rows, a chaos cell with its fault
+/// column and requeue counter, and evaluated expectation rows.
 fn canonical_report() -> SuiteReport {
     SuiteReport {
         suite: "golden".to_string(),
@@ -53,9 +56,11 @@ fn canonical_report() -> SuiteReport {
                 capacity_total: 5.0,
                 capacity_skew: 1.0,
                 workload: "paper".to_string(),
+                fault: None,
                 policy: "drl-only".to_string(),
                 seed: 7,
                 metrics: metrics(1.0),
+                jobs_requeued: 0,
                 drl: Some(drl_stats(550)),
                 segments: None,
                 clusters: None,
@@ -67,9 +72,11 @@ fn canonical_report() -> SuiteReport {
                 capacity_total: 9.0,
                 capacity_skew: 2.0,
                 workload: "paper".to_string(),
+                fault: None,
                 policy: "round-robin".to_string(),
                 seed: 7,
                 metrics: metrics(2.0),
+                jobs_requeued: 0,
                 drl: None,
                 segments: None,
                 clusters: Some(vec![
@@ -96,9 +103,11 @@ fn canonical_report() -> SuiteReport {
                 capacity_total: 5.0,
                 capacity_skew: 1.0,
                 workload: "paper".to_string(),
+                fault: None,
                 policy: "drl-only".to_string(),
                 seed: 7,
                 metrics: metrics(2.0),
+                jobs_requeued: 0,
                 drl: Some(drl_stats(700)),
                 segments: Some(vec![
                     SegmentReport {
@@ -115,6 +124,37 @@ fn canonical_report() -> SuiteReport {
                     },
                 ]),
                 clusters: None,
+            },
+            CellReport {
+                id: "paper-m5/paper%crash-storm/hierarchical/s7".to_string(),
+                topology: "paper-m5".to_string(),
+                servers: 5,
+                capacity_total: 5.0,
+                capacity_skew: 1.0,
+                workload: "paper".to_string(),
+                fault: Some("crash-storm".to_string()),
+                policy: "hierarchical".to_string(),
+                seed: 7,
+                metrics: metrics(1.0),
+                jobs_requeued: 17,
+                drl: Some(drl_stats(550)),
+                segments: None,
+                clusters: None,
+            },
+        ],
+        expectations: vec![
+            ExpectationRow {
+                name: "jobs-conserved".to_string(),
+                passed: true,
+                detail: "400 jobs completed exactly once across 4 cells (17 crash requeues)"
+                    .to_string(),
+            },
+            ExpectationRow {
+                name: "graceful-under-crash-storm".to_string(),
+                passed: true,
+                detail: "hierarchical degrades 1.150x vs round-robin 1.400x under \
+                         %crash-storm (tolerance 1)"
+                    .to_string(),
             },
         ],
     }

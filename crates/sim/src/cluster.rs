@@ -2,7 +2,7 @@
 //! hierarchical framework's tiers plug into.
 
 use crate::config::ClusterConfig;
-use crate::events::{Event, EventQueue};
+use crate::events::{Event, EventQueue, FleetOp};
 use crate::job::{CompletedJob, Job, JobId, ServerId};
 use crate::metrics::{ClusterTotals, RunOutcome, SamplePoint};
 use crate::power::{MachineState, PowerModel};
@@ -61,11 +61,34 @@ impl<'a> ClusterView<'a> {
     }
 
     /// Fleet peak power in watts: the per-unit-server peak scaled by every
-    /// server's [`Server::peak_scale`]. `M * peak_watts` for homogeneous
-    /// clusters.
+    /// *healthy* server's [`Server::peak_scale`]. `M * peak_watts` for
+    /// homogeneous clusters with no crashes; drops while servers are
+    /// crashed or power-capped, so normalized rewards see the degraded
+    /// fleet.
     pub fn fleet_peak_watts(&self) -> f64 {
-        let scale: f64 = self.servers.iter().map(Server::peak_scale).sum();
+        let scale: f64 = self
+            .servers
+            .iter()
+            .filter(|s| s.is_healthy())
+            .map(|s| s.peak_scale())
+            .sum();
         self.config.power.peak_watts * scale
+    }
+
+    /// Number of servers currently in the healthy pool (equals
+    /// [`ClusterView::num_servers`] unless the chaos axis crashed some).
+    pub fn num_healthy(&self) -> usize {
+        self.servers.iter().filter(|s| s.is_healthy()).count()
+    }
+
+    /// Aggregate capacity of the healthy pool only — what routing and
+    /// placement can actually use while servers are crashed or degraded.
+    pub fn healthy_capacity(&self) -> crate::resources::ResourceVec {
+        let mut total = crate::resources::ResourceVec::zeros(self.config.resource_dims);
+        for s in self.servers.iter().filter(|s| s.is_healthy()) {
+            total.add_assign(s.capacity());
+        }
+        total
     }
 }
 
@@ -84,6 +107,14 @@ pub trait Allocator {
 
     /// Called once when the run ends, for learners that flush final updates.
     fn on_run_end(&mut self, view: &ClusterView<'_>) {
+        let _ = view;
+    }
+
+    /// Called right after a [`FleetOp`] is applied (crash, recover, scale
+    /// change), with the post-change view — the chaos-axis analogue of the
+    /// run-boundary hooks, so learners can resynchronize any cached fleet
+    /// shape before the next decision epoch.
+    fn on_fleet_change(&mut self, view: &ClusterView<'_>) {
         let _ = view;
     }
 }
@@ -133,6 +164,12 @@ pub trait PowerManager {
 
     /// Called once when the run ends.
     fn on_run_end(&mut self, view: &ClusterView<'_>) {
+        let _ = view;
+    }
+
+    /// Called right after a [`FleetOp`] is applied, with the post-change
+    /// view (see [`Allocator::on_fleet_change`]).
+    fn on_fleet_change(&mut self, view: &ClusterView<'_>) {
         let _ = view;
     }
 }
@@ -295,6 +332,8 @@ pub struct Cluster {
     last_arrival: SimTime,
     now: SimTime,
     jobs_arrived: u64,
+    /// Jobs re-placed through the allocator after a server crash.
+    jobs_requeued: u64,
     /// Completions counted independently of the (possibly unretained)
     /// `completed` record vector.
     jobs_done: u64,
@@ -369,6 +408,7 @@ impl Cluster {
             last_arrival: SimTime::ZERO,
             now: SimTime::ZERO,
             jobs_arrived: 0,
+            jobs_requeued: 0,
             jobs_done: 0,
             completed: Vec::new(),
             total_latency: 0.0,
@@ -433,6 +473,13 @@ impl Cluster {
         &self.samples
     }
 
+    /// Schedules a deterministic fleet mutation (the chaos axis) at `time`.
+    /// Call before [`Cluster::run`]; at equal timestamps arrivals are
+    /// processed first, so fleet changes fire *between* arrivals.
+    pub fn schedule_fleet_op(&mut self, time: SimTime, op: FleetOp) {
+        self.events.push(time, Event::FleetChange { op });
+    }
+
     fn account_all(&mut self, now: SimTime) {
         for s in &mut self.servers {
             s.account(now, &self.config.power);
@@ -467,6 +514,7 @@ impl Cluster {
         let mut t = ClusterTotals {
             time_s: self.now.as_secs(),
             jobs_arrived: self.jobs_arrived,
+            jobs_requeued: self.jobs_requeued,
             jobs_completed: self.jobs_done,
             total_latency_s: self.total_latency,
             ..Default::default()
@@ -559,13 +607,49 @@ impl Cluster {
         }
     }
 
+    /// Cyclically scans from `start` for a healthy server. The identity map
+    /// while no server is crashed, so fault-free runs are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every server is crashed (the fleet-op layer rejects the
+    /// crash that would get here, so this is a backstop).
+    fn next_healthy_from(&self, start: ServerId) -> ServerId {
+        let n = self.servers.len();
+        for off in 0..n {
+            let i = (start.0 + off) % n;
+            if self.servers[i].is_healthy() {
+                return ServerId(i);
+            }
+        }
+        panic!("no healthy servers left in the cluster");
+    }
+
     fn handle_arrival(
         &mut self,
         job: Job,
         allocator: &mut dyn Allocator,
         power: &mut dyn PowerManager,
     ) {
-        self.jobs_arrived += 1;
+        self.place_job(job, allocator, power, true);
+    }
+
+    /// Places one job through the allocator: the body of every arrival and
+    /// of every post-crash re-placement. `fresh_arrival` distinguishes the
+    /// two for conservation accounting — a requeued job was already counted
+    /// as arrived, and is counted in `jobs_requeued` instead.
+    fn place_job(
+        &mut self,
+        job: Job,
+        allocator: &mut dyn Allocator,
+        power: &mut dyn PowerManager,
+        fresh_arrival: bool,
+    ) {
+        if fresh_arrival {
+            self.jobs_arrived += 1;
+        } else {
+            self.jobs_requeued += 1;
+        }
         let sid = {
             let view = self.view();
             let sid = allocator.select(&job, &view);
@@ -574,6 +658,9 @@ impl Cluster {
                 "allocator chose {sid} out of {} servers",
                 self.servers.len()
             );
+            // A policy unaware of the chaos axis may still point at a
+            // crashed machine; remap to the next healthy one.
+            let sid = self.next_healthy_from(sid);
             // Power manager observes the arrival before the job lands.
             power.on_job_arrival(sid, &view, self.now);
             sid
@@ -611,7 +698,10 @@ impl Cluster {
     ) {
         self.touch_begin(sid);
         let server = &mut self.servers[sid.0];
-        let Some(run) = server.complete_job(job) else {
+        // Finish-time-checked: a job requeued by a crash may be running
+        // again under the same id with a later finish, which makes the
+        // original finish event stale even though the id is present.
+        let Some(run) = server.complete_job_at(job, self.now) else {
             self.touch_end(sid);
             return; // stale event
         };
@@ -647,6 +737,13 @@ impl Cluster {
     }
 
     fn handle_wake_complete(&mut self, sid: ServerId, power: &mut dyn PowerManager) {
+        // A crash abandons in-flight transitions, so a transition-complete
+        // event is only live if the server is still mid-transition *due at
+        // exactly this time*; anything else is a stale pre-crash event.
+        if !matches!(self.servers[sid.0].state(), MachineState::WakingUp { until } if until == self.now)
+        {
+            return;
+        }
         self.touch_begin(sid);
         self.servers[sid.0].finish_wake();
         self.start_and_schedule(sid);
@@ -657,6 +754,10 @@ impl Cluster {
     }
 
     fn handle_sleep_complete(&mut self, sid: ServerId) {
+        if !matches!(self.servers[sid.0].state(), MachineState::GoingToSleep { until } if until == self.now)
+        {
+            return; // stale pre-crash event
+        }
         let t_on = self.config.t_on;
         self.touch_begin(sid);
         let server = &mut self.servers[sid.0];
@@ -665,6 +766,76 @@ impl Cluster {
             self.events.push(until, Event::WakeComplete { server: sid });
         }
         self.touch_end(sid);
+    }
+
+    /// Applies a scheduled fleet mutation. A crash drains the victim's
+    /// queued and running jobs and re-places each exactly once through the
+    /// allocator (counted in `jobs_requeued`, not `jobs_arrived`); running
+    /// jobs restart from scratch, keeping their original arrival so the
+    /// lost work shows up as latency. Both control tiers are notified via
+    /// their `on_fleet_change` hooks after the mutation (and after any
+    /// re-placements) so they see the settled fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a crash of the last healthy server (the simulation would
+    /// otherwise hang with unplaceable jobs) and on out-of-range ids.
+    fn apply_fleet_op(
+        &mut self,
+        op: FleetOp,
+        allocator: &mut dyn Allocator,
+        power: &mut dyn PowerManager,
+    ) {
+        match op {
+            FleetOp::Crash(sid) => {
+                assert!(
+                    sid.0 < self.servers.len(),
+                    "fleet op crashes {sid} out of {} servers",
+                    self.servers.len()
+                );
+                let others_healthy = self
+                    .servers
+                    .iter()
+                    .enumerate()
+                    .any(|(i, s)| i != sid.0 && s.is_healthy());
+                assert!(
+                    others_healthy,
+                    "cannot crash {sid}: it is the last healthy server in the cluster"
+                );
+                self.touch_begin(sid);
+                let orphans = self.servers[sid.0].crash(self.now);
+                self.touch_end(sid);
+                for job in orphans {
+                    self.place_job(job, allocator, power, false);
+                }
+            }
+            FleetOp::Recover(sid) => {
+                assert!(
+                    sid.0 < self.servers.len(),
+                    "fleet op recovers {sid} out of {} servers",
+                    self.servers.len()
+                );
+                // Healthy-pool membership changes no power/job rates, so no
+                // accounting bracket is needed.
+                self.servers[sid.0].recover();
+            }
+            FleetOp::SetScale { server: sid, scale } => {
+                assert!(
+                    sid.0 < self.servers.len(),
+                    "fleet op rescales {sid} out of {} servers",
+                    self.servers.len()
+                );
+                self.touch_begin(sid);
+                self.servers[sid.0].set_degraded_scale(scale);
+                // Restoring capacity can unblock the FCFS head; a shrink
+                // starts nothing (fits are only re-checked, never revoked).
+                self.start_and_schedule(sid);
+                self.touch_end(sid);
+            }
+        }
+        let view = self.view();
+        allocator.on_fleet_change(&view);
+        power.on_fleet_change(&view);
     }
 
     fn handle_timeout(&mut self, sid: ServerId, token: u64) {
@@ -734,6 +905,7 @@ impl Cluster {
             }
             match event {
                 Event::JobArrival(job) => self.handle_arrival(job, allocator, power),
+                Event::FleetChange { op } => self.apply_fleet_op(op, allocator, power),
                 Event::JobFinish { server, job } => self.handle_finish(server, job, power),
                 Event::WakeComplete { server } => self.handle_wake_complete(server, power),
                 Event::SleepComplete { server } => self.handle_sleep_complete(server),

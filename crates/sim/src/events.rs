@@ -5,11 +5,38 @@ use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+/// A deterministic fleet mutation applied between arrivals: the event-level
+/// lowering of the chaos axis (crashes, stragglers, power-cap windows).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FleetOp {
+    /// The server fails: its queued and running jobs are requeued through
+    /// the allocator exactly once, and it stops accepting work (and drawing
+    /// power) until a matching [`FleetOp::Recover`].
+    Crash(ServerId),
+    /// The server returns to the healthy pool (asleep; the next arrival
+    /// routed to it wakes it through the normal transition).
+    Recover(ServerId),
+    /// Scales the server's capacity (and its power curve) to `scale` times
+    /// nominal — a straggler (`scale < 1` transiently) or a power-cap
+    /// window. `scale = 1.0` restores nominal.
+    SetScale {
+        /// The affected server.
+        server: ServerId,
+        /// Multiplier of nominal capacity, in `(0, 1]`.
+        scale: f64,
+    },
+}
+
 /// A simulation event.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
     /// A job arrives at the broker (a global-tier decision epoch).
     JobArrival(Job),
+    /// A scheduled fleet mutation (chaos axis) fires.
+    FleetChange {
+        /// The mutation to apply.
+        op: FleetOp,
+    },
     /// A running job finishes on a server.
     JobFinish {
         /// The executing server.

@@ -28,6 +28,13 @@ pub struct ClusterTotals {
     pub jobs_completed: u64,
     /// Sum of completed-job latencies, seconds.
     pub total_latency_s: f64,
+    /// Jobs re-placed through the allocator after a server crash. Each
+    /// crashed job is requeued exactly once per crash it survives; the
+    /// counter exists so conservation checks can separate re-placements
+    /// from fresh arrivals (absent from pre-chaos artifacts, hence the
+    /// serde default).
+    #[serde(default)]
+    pub jobs_requeued: u64,
 }
 
 impl ClusterTotals {

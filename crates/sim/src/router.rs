@@ -115,15 +115,23 @@ impl Router {
     /// the weights from
     /// [`ClusterConfig::routing_weight`](crate::config::ClusterConfig::routing_weight).
     ///
+    /// A cluster may have weight `0.0` — its healthy capacity vanished
+    /// after crashes — and then receives no jobs under any policy until
+    /// re-weighted; at least one cluster must stay positive.
+    ///
     /// # Panics
     ///
-    /// Panics if `capacities` is empty or contains a non-positive or
-    /// non-finite weight — both are always bugs in the caller.
+    /// Panics if `capacities` is empty, contains a negative or non-finite
+    /// weight, or sums to zero — all bugs in the caller.
     pub fn new(policy: RouterPolicy, capacities: &[f64]) -> Self {
         assert!(!capacities.is_empty(), "router needs >= 1 cluster");
         assert!(
-            capacities.iter().all(|&w| w.is_finite() && w > 0.0),
-            "every cluster needs positive capacity, got {capacities:?}"
+            capacities.iter().all(|&w| w.is_finite() && w >= 0.0),
+            "every cluster needs non-negative finite capacity, got {capacities:?}"
+        );
+        assert!(
+            capacities.iter().any(|&w| w > 0.0),
+            "at least one cluster needs positive capacity, got {capacities:?}"
         );
         Self {
             policy,
@@ -173,17 +181,27 @@ impl Router {
     pub fn route(&mut self, job: &Job) -> usize {
         let k = match self.policy {
             RouterPolicy::RoundRobin => {
-                let k = self.next;
-                self.next = (self.next + 1) % self.weights.len();
+                // Cycle over the positive-weight clusters only: a cluster
+                // whose healthy capacity collapsed to zero takes no turns.
+                let mut k = self.next;
+                while self.weights[k] == 0.0 {
+                    k = (k + 1) % self.weights.len();
+                }
+                self.next = (k + 1) % self.weights.len();
                 k
             }
             RouterPolicy::LeastLoaded => {
                 let now = job.arrival.as_secs();
                 let dt = (now - self.last_arrival_s).max(0.0);
                 self.last_arrival_s = now;
-                let mut best = 0;
+                let mut best = usize::MAX;
                 let mut best_load = f64::INFINITY;
                 for (i, b) in self.backlog_s.iter_mut().enumerate() {
+                    // A zero-capacity cluster drains nothing and must never
+                    // win (its per-capacity load would divide by zero).
+                    if self.weights[i] == 0.0 {
+                        continue;
+                    }
                     // Each cluster drains its routed work at its aggregate
                     // capacity.
                     *b = (*b - dt * self.weights[i]).max(0.0);
@@ -199,9 +217,15 @@ impl Router {
             RouterPolicy::WeightedByCapacity => {
                 let total: f64 = self.weights.iter().sum();
                 let n = (self.total_assigned + 1) as f64;
-                let mut best = 0;
+                let mut best = usize::MAX;
                 let mut best_deficit = f64::NEG_INFINITY;
                 for (i, &w) in self.weights.iter().enumerate() {
+                    // A zero-weight cluster's deficit is exactly 0, which
+                    // would beat every over-quota (negative-deficit)
+                    // cluster; it owns no quota, so skip it outright.
+                    if w == 0.0 {
+                        continue;
+                    }
                     // Largest remainder: quota owed minus jobs received.
                     let deficit = n * w / total - self.assigned[i] as f64;
                     if deficit > best_deficit {
@@ -353,15 +377,36 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "every cluster needs positive capacity")]
-    fn zero_capacity_cluster_rejected() {
-        let _ = Router::new(RouterPolicy::RoundRobin, &[2.0, 0.0]);
+    fn zero_capacity_cluster_gets_no_jobs_under_any_policy() {
+        // A cluster whose healthy capacity collapsed to zero (all servers
+        // crashed) stays addressable but receives nothing.
+        for policy in RouterPolicy::ALL {
+            let shards = Router::split(policy, &[2.0, 0.0, 1.0], &stream(30));
+            assert_eq!(shards[1].len(), 0, "{policy} routed to a dead cluster");
+            assert_eq!(shards[0].len() + shards[2].len(), 30, "{policy} lost jobs");
+        }
     }
 
     #[test]
-    #[should_panic(expected = "every cluster needs positive capacity")]
-    fn zero_server_cluster_rejected() {
-        let _ = Router::from_server_counts(RouterPolicy::RoundRobin, &[2, 0]);
+    fn weighted_skips_zero_weight_even_when_others_are_over_quota() {
+        // Regression: a zero-weight cluster's deficit (exactly 0) used to
+        // beat over-quota clusters' negative deficits.
+        let mut r = Router::new(RouterPolicy::WeightedByCapacity, &[1.0, 0.0]);
+        for j in stream(10) {
+            assert_eq!(r.route(&j), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "negative finite capacity")]
+    fn negative_capacity_cluster_rejected() {
+        let _ = Router::new(RouterPolicy::RoundRobin, &[2.0, -1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster needs positive capacity")]
+    fn all_zero_capacity_rejected() {
+        let _ = Router::new(RouterPolicy::RoundRobin, &[0.0, 0.0]);
     }
 
     #[test]

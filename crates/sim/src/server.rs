@@ -65,12 +65,18 @@ pub struct ServerStats {
 #[derive(Debug, Clone)]
 pub struct Server {
     capacity: ResourceVec,
+    /// Nameplate capacity: what `capacity` returns to when a degradation
+    /// window ([`Server::set_degraded_scale`]) ends.
+    nominal_capacity: ResourceVec,
     /// Multiplier applied to the (per-unit-server) power model: a server
     /// with twice the CPU capacity draws twice the Fan-et-al curve at the
     /// same relative utilization. Derived from the CPU capacity component,
     /// so unit-capacity (homogeneous) fleets keep the paper's numbers
     /// exactly.
     peak_scale: f64,
+    /// Whether the server is in the healthy pool. A crashed server reports
+    /// unhealthy until recovered and must not be offered jobs.
+    healthy: bool,
     used: ResourceVec,
     state: MachineState,
     /// Set when a job arrives while the server is descending into sleep;
@@ -102,8 +108,10 @@ impl Server {
         let dims = capacity.dims();
         let peak_scale = capacity.cpu();
         Self {
-            capacity,
+            capacity: capacity.clone(),
+            nominal_capacity: capacity,
             peak_scale,
+            healthy: true,
             used: ResourceVec::zeros(dims),
             state: if initially_on {
                 MachineState::On
@@ -279,6 +287,96 @@ impl Server {
         self.used.sub_assign(&run.demand);
         self.stats.jobs_completed += 1;
         Some(run)
+    }
+
+    /// Like [`Server::complete_job`], but only completes the job if its
+    /// scheduled finish time is exactly `now`. A job requeued by a crash
+    /// can be running *again* under the same id with a later finish time;
+    /// the original finish event must then be recognized as stale.
+    pub fn complete_job_at(&mut self, id: JobId, now: SimTime) -> Option<RunningJob> {
+        let idx = self
+            .running
+            .iter()
+            .position(|r| r.id == id && r.finishes == now)?;
+        let run = self.running.swap_remove(idx);
+        self.used.sub_assign(&run.demand);
+        self.stats.jobs_completed += 1;
+        Some(run)
+    }
+
+    /// Whether the server is in the healthy pool (not crashed).
+    pub fn is_healthy(&self) -> bool {
+        self.healthy
+    }
+
+    /// Fails the server: every queued and running job is drained (queue in
+    /// FCFS order, then running jobs in start order) for the cluster to
+    /// re-place, resources are released, any in-flight power transition is
+    /// abandoned, and the machine drops to the sleeping (0 W) state until
+    /// [`Server::recover`]. Running jobs restart from scratch: the drained
+    /// job keeps its original arrival (lost work shows up as latency) and
+    /// its full duration.
+    ///
+    /// The caller must [`Server::account`] to `now` first, as with every
+    /// state change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server is already crashed.
+    pub fn crash(&mut self, _now: SimTime) -> Vec<Job> {
+        assert!(self.healthy, "crash of already-crashed server");
+        self.healthy = false;
+        let mut drained: Vec<Job> = self.queue.drain(..).collect();
+        for run in self.running.drain(..) {
+            drained.push(Job::new(
+                run.id,
+                run.arrival,
+                run.finishes.since(run.started),
+                run.demand,
+            ));
+        }
+        self.used = ResourceVec::zeros(self.capacity.dims());
+        self.state = MachineState::Sleeping;
+        self.wake_after_sleep = false;
+        self.cancel_timeout();
+        drained
+    }
+
+    /// Returns a crashed server to the healthy pool. The machine stays
+    /// asleep; the next arrival routed to it wakes it through the normal
+    /// transition (one wake transition charged, as for any sleeping
+    /// server).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server is not crashed.
+    pub fn recover(&mut self) {
+        assert!(!self.healthy, "recover of a healthy server");
+        self.healthy = true;
+    }
+
+    /// Scales capacity (and the power curve) to `scale` times nominal — a
+    /// straggler or power-cap window; `1.0` restores nominal. Already-held
+    /// resources are untouched, so `used` may exceed the shrunk capacity:
+    /// utilization rises above 1, the overload integral sees the hot spot,
+    /// and no new job starts until the backlog drains below the cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scale` is in `(0, 1]`.
+    pub fn set_degraded_scale(&mut self, scale: f64) {
+        assert!(
+            scale.is_finite() && scale > 0.0 && scale <= 1.0,
+            "degraded scale must be in (0, 1], got {scale}"
+        );
+        let scaled: Vec<f64> = self
+            .nominal_capacity
+            .as_slice()
+            .iter()
+            .map(|&c| c * scale)
+            .collect();
+        self.capacity = ResourceVec::new(&scaled);
+        self.peak_scale = self.nominal_capacity.cpu() * scale;
     }
 
     /// Begins a sleep -> active transition; returns the completion time.

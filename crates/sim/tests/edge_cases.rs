@@ -218,6 +218,156 @@ fn heterogeneous_capacities_change_packing() {
     }
 }
 
+/// Pins every job to server 0 — combined with the healthy-pool remap, a
+/// crash of server 0 exercises the requeue-through-allocator path.
+struct PinToZero;
+impl Allocator for PinToZero {
+    fn select(&mut self, _job: &Job, _view: &ClusterView<'_>) -> ServerId {
+        ServerId(0)
+    }
+}
+
+#[test]
+fn crash_requeues_running_and_queued_jobs_exactly_once() {
+    // Four 0.8-CPU jobs pinned to server 0: one runs, three queue. The
+    // crash at t = 50 drains all four; each must be re-placed exactly once
+    // (no loss, no duplication) and restart from scratch on server 1.
+    let jobs: Vec<Job> = (0..4).map(|i| job(i, 0.0, 100.0, 0.8)).collect();
+    let mut cluster = Cluster::new(ClusterConfig::paper(2), jobs).unwrap();
+    cluster.schedule_fleet_op(SimTime::from_secs(50.0), FleetOp::Crash(ServerId(0)));
+    let out = cluster.run(&mut PinToZero, &mut AlwaysOnPower, RunLimit::unbounded());
+
+    assert_eq!(
+        out.totals.jobs_arrived, 4,
+        "requeues must not inflate arrivals"
+    );
+    assert_eq!(out.totals.jobs_requeued, 4);
+    assert_eq!(out.totals.jobs_completed, 4);
+    let recs = cluster.completed_jobs();
+    let mut ids: Vec<u64> = recs.iter().map(|r| r.id.0).collect();
+    ids.sort_unstable();
+    assert_eq!(ids, vec![0, 1, 2, 3], "each job completes exactly once");
+    for rec in recs {
+        assert_eq!(
+            rec.server,
+            ServerId(1),
+            "crashed server ran nothing to completion"
+        );
+    }
+    // The running job lost 50 s of work: it restarts at 50 and serializes
+    // with the other three on server 1 (0.8 CPU each), finishing at 150,
+    // 250, 350, 450.
+    let mut finishes: Vec<f64> = recs.iter().map(|r| r.finished.as_secs()).collect();
+    finishes.sort_by(f64::total_cmp);
+    assert_eq!(finishes, vec![150.0, 250.0, 350.0, 450.0]);
+    assert_eq!(cluster.servers()[0].stats().jobs_completed, 0);
+    assert_eq!(cluster.servers()[1].stats().jobs_completed, 4);
+}
+
+#[test]
+fn crash_mid_wake_then_recover_does_not_double_count_transition_energy() {
+    // Server 0 begins waking at t = 0 for the pinned job, crashes at t = 10
+    // (mid-transition), and recovers at t = 20. The abandoned transition
+    // must charge exactly the 10 s actually spent in it, and the stale
+    // WakeComplete at t = 30 must not flip the (asleep, recovered) server
+    // on or add transition energy.
+    let mut config = ClusterConfig::paper(2);
+    config.servers_initially_on = false;
+    let jobs = vec![job(0, 0.0, 40.0, 0.5)];
+    let mut cluster = Cluster::new(config, jobs).unwrap();
+    cluster.schedule_fleet_op(SimTime::from_secs(10.0), FleetOp::Crash(ServerId(0)));
+    cluster.schedule_fleet_op(SimTime::from_secs(20.0), FleetOp::Recover(ServerId(0)));
+    let out = cluster.run(&mut PinToZero, &mut AlwaysOnPower, RunLimit::unbounded());
+
+    // The job re-placed onto server 1 at t = 10: wake 10..40, run 40..80.
+    assert_eq!(out.totals.jobs_completed, 1);
+    assert_eq!(cluster.completed_jobs()[0].server, ServerId(1));
+    assert_eq!(cluster.completed_jobs()[0].finished.as_secs(), 80.0);
+
+    let s0 = cluster.servers()[0].stats();
+    assert_eq!(s0.wake_transitions, 1, "the abandoned wake counts once");
+    assert_eq!(
+        s0.transition_seconds, 10.0,
+        "only the 10 s actually in transition"
+    );
+    assert!(
+        (s0.energy_joules - 145.0 * 10.0).abs() < 1e-6,
+        "10 s of transition power, nothing more, got {}",
+        s0.energy_joules
+    );
+    assert!(matches!(
+        cluster.servers()[0].state(),
+        MachineState::Sleeping
+    ));
+    assert!(cluster.servers()[0].is_healthy());
+    // Fleet energy still equals the sum of per-server energies.
+    let sum: f64 = cluster
+        .servers()
+        .iter()
+        .map(|s| s.stats().energy_joules)
+        .sum();
+    assert!((out.totals.energy_joules - sum).abs() < 1e-6);
+}
+
+#[test]
+#[should_panic(expected = "last healthy server")]
+fn crash_of_last_healthy_server_is_rejected() {
+    let jobs = vec![job(0, 0.0, 200.0, 0.2)];
+    let mut cluster = Cluster::new(ClusterConfig::paper(2), jobs).unwrap();
+    cluster.schedule_fleet_op(SimTime::from_secs(10.0), FleetOp::Crash(ServerId(0)));
+    cluster.schedule_fleet_op(SimTime::from_secs(20.0), FleetOp::Crash(ServerId(1)));
+    cluster.run(
+        &mut RoundRobinAllocator::new(),
+        &mut AlwaysOnPower,
+        RunLimit::unbounded(),
+    );
+}
+
+#[test]
+fn degraded_capacity_gates_new_starts_and_registers_overload() {
+    // A 0.6-CPU job is running when the cap window shrinks the server to
+    // 50%: the running job is not killed (utilization rises past 1, the
+    // overload integral sees the hot spot), but the queued 0.6-CPU job
+    // cannot start until the cap lifts.
+    let jobs = vec![job(0, 0.0, 100.0, 0.6), job(1, 10.0, 100.0, 0.6)];
+    let mut cluster = Cluster::new(ClusterConfig::paper(1), jobs).unwrap();
+    cluster.schedule_fleet_op(
+        SimTime::from_secs(5.0),
+        FleetOp::SetScale {
+            server: ServerId(0),
+            scale: 0.5,
+        },
+    );
+    cluster.schedule_fleet_op(
+        SimTime::from_secs(150.0),
+        FleetOp::SetScale {
+            server: ServerId(0),
+            scale: 1.0,
+        },
+    );
+    let out = cluster.run(
+        &mut RoundRobinAllocator::new(),
+        &mut AlwaysOnPower,
+        RunLimit::unbounded(),
+    );
+    assert_eq!(out.totals.jobs_completed, 2);
+    let recs = cluster.completed_jobs();
+    assert_eq!(
+        recs[0].finished.as_secs(),
+        100.0,
+        "running job survives the cap"
+    );
+    // Job 1 queued from t = 10; at t = 100 the head would fit nominally,
+    // but capacity is still 0.5 < 0.6 — it starts only when the cap lifts
+    // at t = 150.
+    assert_eq!(recs[1].started.as_secs(), 150.0);
+    assert_eq!(recs[1].finished.as_secs(), 250.0);
+    assert!(
+        out.totals.overload_integral > 0.0,
+        "running past the shrunk capacity must register as overload"
+    );
+}
+
 #[test]
 fn heterogeneous_capacity_validation() {
     // Wrong count.

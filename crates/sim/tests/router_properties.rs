@@ -117,6 +117,36 @@ proptest! {
         }
     }
 
+    /// Zeroing out any one cluster's weight — its healthy capacity vanished
+    /// after crashes — starves exactly that cluster: it receives no jobs
+    /// under any policy, while routing remains a lossless, order-preserving
+    /// partition of the stream across the surviving clusters.
+    #[test]
+    fn zero_capacity_cluster_is_starved_not_divided_by(
+        raw in prop::collection::vec((0.0f64..20.0, 60.0f64..7200.0, 0.05f64..1.0), 0usize..150),
+        weights in prop::collection::vec(0.25f64..9.0, 2usize..6),
+        dead in 0usize..6,
+        policy_index in 0usize..3,
+    ) {
+        let jobs = stream_from(raw);
+        let policy = policy_from(policy_index);
+        let dead = dead % weights.len();
+        let mut weights = weights;
+        weights[dead] = 0.0;
+
+        let shards = Router::split(policy, &weights, &jobs);
+        prop_assert!(shards[dead].is_empty(), "{policy} routed to the dead cluster");
+
+        let mut recovered: Vec<Job> = shards.iter().flatten().cloned().collect();
+        recovered.sort_by_key(|j| j.id);
+        prop_assert_eq!(recovered, jobs);
+        for shard in &shards {
+            for w in shard.windows(2) {
+                prop_assert!(w[0].arrival <= w[1].arrival);
+            }
+        }
+    }
+
     /// Capacity-weighted routing never lets any cluster drift more than one
     /// job from its capacity quota — including fractional, non-uniform
     /// capacity weights (big/little fleets).
