@@ -38,7 +38,8 @@ fn main() {
          average_power_w,mean_latency_s,energy_per_job_j,sleep_fraction,span_hours\n",
     );
     for (cell_run, cell) in run.cells.iter().zip(&report.cells) {
-        let rate = cell_run.scenario.workload.weekly_jobs_per_server / PAPER_WEEKLY_JOBS_PER_SERVER;
+        let rate =
+            cell_run.scenario.workload.weekly_jobs_per_server() / PAPER_WEEKLY_JOBS_PER_SERVER;
         writeln!(
             csv,
             "{},{},{:.3},{},{:.6},{:.6},{:.3},{:.3},{:.1},{:.4},{:.3}",

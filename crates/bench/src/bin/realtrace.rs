@@ -1,0 +1,145 @@
+//! Real-trace replay: each on-disk trace × {full trace, wall-clock-weekly
+//! segments, weekly segments with frozen learners} × {round-robin,
+//! DRL-only, hierarchical}. Prints the per-cell trace provenance (rows
+//! kept/dropped/defaulted, with a warning when the demand gate fell back
+//! to synthetic demands) and a per-segment table — one row per week of the
+//! trace for segmented cells — then writes timing to
+//! `BENCH_realtrace.json` by default.
+//!
+//! With no `--trace`, replays both committed fixtures (tiny, offline-safe;
+//! see `crates/trace/tests/fixtures/`).
+//!
+//! ```sh
+//! cargo run --release -p hierdrl-bench --bin realtrace                 # both fixtures
+//! cargo run --release -p hierdrl-bench --bin realtrace -- --quick
+//! cargo run --release -p hierdrl-bench --bin realtrace -- \
+//!     --trace /data/batch_task.csv --format alibaba --m 30
+//! ```
+
+use hierdrl_exp::cli::SweepArgs;
+use hierdrl_exp::presets::{self, REALTRACE_FIXTURES};
+use hierdrl_exp::scenario::WorkloadSpec;
+use hierdrl_trace::source::TraceFormat;
+
+/// Resolves a repo-relative fixture path against the current directory
+/// first, then against the source tree (so the bin works from any cwd).
+fn resolve_fixture(path: &str) -> String {
+    if std::path::Path::new(path).exists() {
+        return path.to_string();
+    }
+    format!("{}/../../{path}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn main() {
+    let args = SweepArgs::from_env();
+    let m = if args.quick { 6 } else { args.m.unwrap_or(10) };
+    let workloads: Vec<WorkloadSpec> = match &args.trace {
+        Some(path) => {
+            let format = args.format.unwrap_or(TraceFormat::GoogleTaskEvents);
+            vec![WorkloadSpec::real_trace(
+                format!("real-{format}"),
+                path.clone(),
+                format,
+            )]
+        }
+        None => REALTRACE_FIXTURES
+            .iter()
+            .map(|(name, path, format)| {
+                WorkloadSpec::real_trace(*name, resolve_fixture(path), *format)
+            })
+            .collect(),
+    };
+    let runner = args.runner();
+    eprintln!(
+        "realtrace: M = {m}, workloads = {}, threads = {}",
+        workloads
+            .iter()
+            .map(WorkloadSpec::name)
+            .collect::<Vec<_>>()
+            .join(","),
+        runner.threads()
+    );
+    let suite = presets::realtrace(m, workloads);
+    let run = runner.run(&suite).expect("realtrace suite");
+    let report = run.report();
+
+    // Provenance first: what each file contributed, one line per distinct
+    // source (every cell of a workload shares the parse).
+    let mut seen = std::collections::BTreeSet::new();
+    for cell in &report.cells {
+        if let Some(trace) = &cell.trace {
+            if seen.insert(trace.source.clone()) {
+                eprintln!(
+                    "source {}: {} rows -> {} jobs kept, {} dropped, {} demand-defaulted{}",
+                    trace.source,
+                    trace.rows,
+                    trace.jobs_kept,
+                    trace.jobs_dropped,
+                    trace.demand_defaulted,
+                    if trace.synthetic_demand {
+                        " [WARN: demand gate tripped; demands re-drawn synthetically]"
+                    } else {
+                        ""
+                    }
+                );
+            }
+        }
+    }
+
+    println!(
+        "{:<64} {:>5} {:<8} {:>6} {:>9} {:>9} {:>7} {:>7}",
+        "cell", "seg", "window", "jobs", "lat s/job", "J/job", "sleep%", "steps"
+    );
+    for cell in &report.cells {
+        match &cell.segments {
+            Some(segments) => {
+                for seg in segments {
+                    println!(
+                        "{:<64} {:>5} {:<8} {:>6} {:>9.2} {:>9.0} {:>6.1}% {:>7}",
+                        if seg.segment == 0 { &cell.id } else { "" },
+                        seg.segment,
+                        seg.shift,
+                        seg.metrics.jobs_completed,
+                        seg.metrics.mean_latency_s,
+                        seg.metrics.energy_per_job_j,
+                        100.0 * seg.metrics.sleep_fraction,
+                        seg.drl.map_or(0, |d| d.train_steps),
+                    );
+                }
+            }
+            None => println!(
+                "{:<64} {:>5} {:<8} {:>6} {:>9.2} {:>9.0} {:>6.1}% {:>7}",
+                cell.id,
+                "-",
+                "full",
+                cell.metrics.jobs_completed,
+                cell.metrics.mean_latency_s,
+                cell.metrics.energy_per_job_j,
+                100.0 * cell.metrics.sleep_fraction,
+                cell.drl.map_or(0, |d| d.train_steps),
+            ),
+        }
+    }
+
+    for row in &report.expectations {
+        eprintln!(
+            "expectation {}: {} ({})",
+            row.name,
+            if row.passed { "pass" } else { "FAIL" },
+            row.detail
+        );
+    }
+
+    let bench = run.bench_report();
+    eprintln!(
+        "\nsuite: {} cells in {:.2}s wall ({:.0} jobs/s aggregate)",
+        bench.cells_total, bench.total_wall_s, bench.jobs_per_s
+    );
+    let out = args.out.as_deref().unwrap_or("BENCH_realtrace.json");
+    std::fs::write(out, bench.to_json_pretty() + "\n").expect("write bench artifact");
+    eprintln!("wrote {out}");
+    assert!(
+        report.expectations.iter().all(|e| e.passed),
+        "realtrace expectations failed"
+    );
+}

@@ -16,10 +16,15 @@
 //! - `--drifts <D1,D2,...>` — drift-shape axis for the drift preset
 //!   (names from `presets::DRIFT_NAMES`);
 //! - `--faults <F1,F2,...>` — fault-schedule axis for the chaos preset
-//!   (names from `presets::FAULT_NAMES`).
+//!   (names from `presets::FAULT_NAMES`);
+//! - `--trace <PATH>` — an on-disk trace file for the realtrace preset
+//!   (default: both committed fixtures);
+//! - `--format <google|alibaba>` — the `--trace` file's format (names
+//!   from `TraceFormat::from_name`; default `google`).
 
 use crate::presets::Scale;
 use crate::runner::SuiteRunner;
+use hierdrl_trace::source::TraceFormat;
 
 /// Parsed command-line arguments.
 #[derive(Debug, Clone, Default)]
@@ -51,6 +56,11 @@ pub struct SweepArgs {
     /// `--faults` override (comma-separated fault-schedule names for the
     /// chaos preset).
     pub faults: Option<Vec<String>>,
+    /// `--trace` override (path of an on-disk trace for the realtrace
+    /// preset).
+    pub trace: Option<String>,
+    /// `--format` override (the `--trace` file's [`TraceFormat`]).
+    pub format: Option<TraceFormat>,
 }
 
 impl SweepArgs {
@@ -133,6 +143,13 @@ impl SweepArgs {
                             .map(|s| s.trim().to_string())
                             .collect(),
                     );
+                }
+                "--trace" => out.trace = Some(take("--trace")),
+                "--format" => {
+                    let name = take("--format");
+                    out.format = Some(TraceFormat::from_name(name.trim()).unwrap_or_else(|| {
+                        panic!("--format expects google or alibaba, got {name:?}")
+                    }));
                 }
                 "--quick" => out.quick = true,
                 other => eprintln!("ignoring unknown argument {other:?}"),
@@ -259,6 +276,14 @@ mod tests {
             parse(&[]).drift_names(&["stationary", "rate-step"]),
             vec!["stationary".to_string(), "rate-step".to_string()]
         );
+    }
+
+    #[test]
+    fn trace_and_format_parse() {
+        let args = parse(&["--trace", "a/b.csv", "--format", "alibaba"]);
+        assert_eq!(args.trace.as_deref(), Some("a/b.csv"));
+        assert_eq!(args.format, Some(TraceFormat::AlibabaBatchTask));
+        assert_eq!(parse(&[]).format, None);
     }
 
     #[test]

@@ -169,6 +169,48 @@
 //! # Ok::<(), String>(())
 //! ```
 //!
+//! # Real-trace replay
+//!
+//! [`scenario::WorkloadSpec::RealTrace`] swaps a cell's synthetic
+//! generator for an on-disk trace — Google `task_events` or Alibaba
+//! `batch_task`, behind [`hierdrl_trace::source::TraceSource`]. The runner
+//! parses the file once per run, trusts its demand columns only while the
+//! parser's `demand_defaulted` fraction stays under the cell's gate
+//! (falling back to seeded synthetic demands over the file's arrival
+//! process otherwise), and reports a [`report::TraceProvenance`] block on
+//! every real cell. On the drift axis
+//! ([`scenario::DriftSpec::real_segments`]), the trace splits at
+//! wall-clock weeks so the online-vs-frozen ablation runs against the
+//! trace's own regime changes. [`presets::realtrace`] grids all of it over
+//! the committed fixtures; see the "real-trace backends" section of
+//! `crates/exp/README.md`.
+//!
+//! ```
+//! use hierdrl_exp::prelude::*;
+//!
+//! let fixture = concat!(
+//!     env!("CARGO_MANIFEST_DIR"),
+//!     "/../trace/tests/fixtures/google_task_events.csv"
+//! );
+//! let suite = Suite::builder("replay")
+//!     .topologies([Topology::paper(4)])
+//!     .workloads([WorkloadSpec::real_trace(
+//!         "real-google",
+//!         fixture,
+//!         TraceFormat::GoogleTaskEvents,
+//!     )])
+//!     .policies([PolicySpec::round_robin()])
+//!     .seeds([1])
+//!     .build();
+//!
+//! let run = SuiteRunner::new().run(&suite)?;
+//! let report = run.report();
+//! let trace = report.cells[0].trace.as_ref().unwrap();
+//! assert_eq!((trace.rows, trace.jobs_kept), (381, 120));
+//! assert!(!trace.synthetic_demand, "fixture demands stay under the gate");
+//! # Ok::<(), String>(())
+//! ```
+//!
 //! # Paper presets
 //!
 //! The grids behind the paper's artifacts are exposed as one-liners —
@@ -206,9 +248,10 @@ pub mod suite;
 /// Convenient glob-import of the orchestration layer's main types.
 pub mod prelude {
     pub use crate::cli::SweepArgs;
+    pub use crate::presets;
     pub use crate::report::{
         BenchReport, BenchSegment, BenchShard, CellMetrics, CellReport, CellTiming, ExpectationRow,
-        SegmentReport, ShardReport, SuiteReport,
+        SegmentReport, ShardReport, SuiteReport, TraceProvenance,
     };
     pub use crate::runner::{CellRun, SegmentRun, ShardRun, SuiteRun, SuiteRunner};
     pub use crate::scale::{ScaleCellRun, ScaleSpec};
@@ -220,4 +263,5 @@ pub mod prelude {
     pub use hierdrl_core::hierarchical::{AllocatorKind, PowerKind};
     pub use hierdrl_sim::router::RouterPolicy;
     pub use hierdrl_trace::drift::SegmentShift;
+    pub use hierdrl_trace::source::TraceFormat;
 }

@@ -11,6 +11,7 @@ use hierdrl_core::allocator::DrlAllocatorConfig;
 use hierdrl_core::hierarchical::{AllocatorKind, PowerKind};
 use hierdrl_rl::policy::EpsilonSchedule;
 use hierdrl_sim::router::RouterPolicy;
+use hierdrl_trace::source::TraceFormat;
 
 /// The job count at which Table I reports its metrics.
 pub const PAPER_REPORT_JOBS: u64 = 95_000;
@@ -197,6 +198,55 @@ pub fn chaos(scale: Scale, names: &[String]) -> Suite {
         }
     }
     builder.build()
+}
+
+/// The committed trace fixtures the `realtrace` preset replays by default:
+/// `(workload name, repo-relative path, format)`. Tiny deterministic files
+/// (see `crates/trace/tests/fixtures/regen.py`), so the preset runs
+/// offline in CI; point `--trace`/`--format` at a real download for the
+/// full-size replay.
+pub const REALTRACE_FIXTURES: [(&str, &str, TraceFormat); 2] = [
+    (
+        "real-google",
+        "crates/trace/tests/fixtures/google_task_events.csv",
+        TraceFormat::GoogleTaskEvents,
+    ),
+    (
+        "real-alibaba",
+        "crates/trace/tests/fixtures/alibaba_batch_task.csv",
+        TraceFormat::AlibabaBatchTask,
+    ),
+];
+
+/// Real-trace replay grid: each on-disk workload × {full trace,
+/// wall-clock-weekly segments, weekly segments with frozen learners} ×
+/// {round-robin, DRL-only, hierarchical}. The weekly cells replay the
+/// trace's *own* regime changes through carried learners — the
+/// online-vs-frozen ablation of the drift preset, on real arrivals instead
+/// of scheduled generator shifts — and report one segment row per week.
+/// Expectations: job conservation across the grid and a determinism pin on
+/// a segmented replay cell.
+///
+/// Synthetic generators stay the default everywhere else; this preset (and
+/// the workloads handed to it) is the only place the runner reads files.
+pub fn realtrace(m: usize, workloads: impl IntoIterator<Item = WorkloadSpec>) -> Suite {
+    Suite::builder("realtrace")
+        .topologies([Topology::paper(m)])
+        .workloads(workloads)
+        .drifts_with_baseline([
+            DriftSpec::real_segments(),
+            DriftSpec::real_segments().with_frozen_learners(),
+        ])
+        .policies(three_systems())
+        .seeds([42])
+        .expect(Expectation::JobConservation {
+            name: "jobs-conserved".into(),
+        })
+        .expect(Expectation::DeterminismPin {
+            name: "determinism-real-weeks".into(),
+            cell_contains: "@real-weeks/round-robin".into(),
+        })
+        .build()
 }
 
 /// **Fig. 8**: accumulated latency and energy vs. jobs at `M = 30`

@@ -82,6 +82,33 @@ pub struct ShardReport {
     pub drl: Option<DrlStats>,
 }
 
+/// Provenance of a real-trace cell's evaluation stream: where the jobs
+/// came from and what the parser kept, dropped, and defaulted on the way
+/// (`None` on synthetic cells). Every counter is a deterministic function
+/// of the trace file, so the block is safe to embed in the canonical
+/// byte-comparable report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceProvenance {
+    /// Source label (`<format>:<path>`).
+    pub source: String,
+    /// Trace format name (`google` or `alibaba`).
+    pub format: String,
+    /// Raw rows read from the file.
+    pub rows: u64,
+    /// Jobs that survived parsing and filtering.
+    pub jobs_kept: u64,
+    /// Tasks dropped: incomplete lifecycles, non-positive durations, and
+    /// jobs outside the duration window, combined.
+    pub jobs_dropped: u64,
+    /// Kept jobs whose demand columns were missing/unparsable and fell
+    /// back to the parser's floor value.
+    pub demand_defaulted: u64,
+    /// Whether the defaulted fraction tripped the cell's demand gate, so
+    /// the run replaced *all* file demands with seeded synthetic demands
+    /// (keeping the file's arrival process).
+    pub synthetic_demand: bool,
+}
+
 /// One cell of a [`SuiteReport`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CellReport {
@@ -118,6 +145,10 @@ pub struct CellReport {
     pub segments: Option<Vec<SegmentReport>>,
     /// Per-cluster rows in shard order (`None` for single-cluster cells).
     pub clusters: Option<Vec<ShardReport>>,
+    /// Real-trace provenance (`None` for synthetic cells and for reports
+    /// written before the real-trace backends existed).
+    #[serde(default)]
+    pub trace: Option<TraceProvenance>,
 }
 
 /// One evaluated [`Expectation`](crate::suite::Expectation): the pass/fail
@@ -225,6 +256,10 @@ pub struct BenchCell {
     /// where a per-cell figure would be meaningless.
     #[serde(default)]
     pub peak_rss_bytes: Option<u64>,
+    /// Real-trace provenance (`None` for synthetic cells and for artifacts
+    /// written before the real-trace backends existed).
+    #[serde(default)]
+    pub trace: Option<TraceProvenance>,
 }
 
 /// Machine-readable performance artifact of a suite run, for tracking the
@@ -327,6 +362,7 @@ mod tests {
         let report: BenchReport = serde_json::from_str(legacy).expect("legacy artifact parses");
         assert_eq!(report.peak_rss_bytes, None);
         assert_eq!(report.cells[0].peak_rss_bytes, None);
+        assert_eq!(report.cells[0].trace, None);
         assert!(report.expectations.is_empty());
         let back: BenchReport = serde_json::from_str(&report.to_json_pretty()).expect("round trip");
         assert_eq!(report, back);
@@ -355,6 +391,7 @@ mod tests {
         let report: SuiteReport = serde_json::from_str(legacy).expect("legacy report parses");
         assert_eq!(report.cells[0].fault, None);
         assert_eq!(report.cells[0].jobs_requeued, 0);
+        assert_eq!(report.cells[0].trace, None);
         assert!(report.expectations.is_empty());
         let back: SuiteReport = serde_json::from_str(&report.to_json()).expect("round trip");
         assert_eq!(report, back);

@@ -24,7 +24,7 @@
 
 use crate::report::{
     BenchCell, BenchReport, BenchSegment, BenchShard, CellMetrics, CellReport, CellTiming,
-    ExpectationRow, SegmentReport, ShardReport, SuiteReport,
+    ExpectationRow, SegmentReport, ShardReport, SuiteReport, TraceProvenance,
 };
 use crate::scenario::{mix_seed, PolicySpec, Pretrain, Scenario};
 use crate::suite::{Expectation, Suite};
@@ -39,7 +39,9 @@ use hierdrl_sim::config::ClusterConfig;
 use hierdrl_sim::events::FleetOp;
 use hierdrl_sim::policies::{FixedTimeoutPower, SleepImmediatelyPower};
 use hierdrl_sim::router::Router;
+use hierdrl_trace::google::ParseStats;
 use hierdrl_trace::materialize::{TraceCache, TraceSpec};
+use hierdrl_trace::source::{with_synthetic_demands, TraceSource};
 use hierdrl_trace::trace::Trace;
 use rayon::prelude::*;
 use std::collections::HashMap;
@@ -89,6 +91,35 @@ impl PretrainCache {
 struct RunContext {
     traces: Arc<TraceCache>,
     pretrained: PretrainCache,
+    /// Parsed on-disk traces, memoized by source label (`format:path`) so
+    /// every cell replaying the same file parses it once. Parsing is a
+    /// pure function of the file, so the cache never changes results.
+    real_traces: Mutex<HashMap<String, Arc<(Trace, ParseStats)>>>,
+}
+
+impl RunContext {
+    /// Loads (or returns the memoized) parse of a real-trace source.
+    fn load_real(&self, source: &dyn TraceSource) -> Result<Arc<(Trace, ParseStats)>, String> {
+        let label = source.label();
+        if let Some(hit) = self
+            .real_traces
+            .lock()
+            .expect("real-trace cache lock")
+            .get(&label)
+        {
+            return Ok(hit.clone());
+        }
+        // Parse outside the lock; racing cells parse the same bytes and
+        // the first insert wins, so results stay deterministic either way.
+        let parsed = Arc::new(source.load()?);
+        Ok(self
+            .real_traces
+            .lock()
+            .expect("real-trace cache lock")
+            .entry(label)
+            .or_insert(parsed)
+            .clone())
+    }
 }
 
 /// The outcome of one segment of a concept-drift cell (or of one shard of
@@ -146,6 +177,8 @@ pub struct CellRun {
     /// Per-cluster outcomes in shard order (empty for single-cluster
     /// cells).
     pub shards: Vec<ShardRun>,
+    /// Real-trace provenance (`None` for synthetic cells).
+    pub provenance: Option<TraceProvenance>,
     /// Wall-clock timing.
     pub timing: CellTiming,
 }
@@ -183,7 +216,7 @@ fn cell_report(c: &CellRun) -> CellReport {
         servers: c.scenario.topology.servers(),
         capacity_total: c.scenario.topology.total_capacity(),
         capacity_skew: c.scenario.topology.capacity_skew(),
-        workload: c.scenario.workload.name.clone(),
+        workload: c.scenario.workload.name().to_string(),
         fault: c.scenario.fault.as_ref().map(|f| f.name.clone()),
         policy: c.scenario.policy.name(),
         seed: c.scenario.seed,
@@ -213,6 +246,7 @@ fn cell_report(c: &CellRun) -> CellReport {
                 })
                 .collect()
         }),
+        trace: c.provenance.clone(),
     }
 }
 
@@ -279,6 +313,7 @@ impl SuiteRun {
                     // Suite cells run in parallel; a per-cell snapshot of
                     // the process-wide high-water mark would be noise.
                     peak_rss_bytes: None,
+                    trace: c.provenance.clone(),
                 })
                 .collect(),
         }
@@ -375,6 +410,7 @@ impl SuiteRunner {
         let ctx = RunContext {
             traces: self.traces.clone().unwrap_or_default(),
             pretrained: PretrainCache::default(),
+            real_traces: Mutex::new(HashMap::new()),
         };
         // An external cache may carry earlier activity; report deltas.
         let (hits_before, misses_before) = (ctx.traces.hits(), ctx.traces.misses());
@@ -983,13 +1019,77 @@ fn merge_drl_stats(per_shard: impl IntoIterator<Item = Option<DrlStats>>) -> Opt
     })
 }
 
+/// Resolves a cell's evaluation segments. Synthetic workloads materialize
+/// their deterministic generator recipes through the shared [`TraceCache`];
+/// real-trace workloads parse their file (memoized per source), apply the
+/// configured job cap, pass the [`ParseStats`] demand gate — falling back
+/// to seeded synthetic demands over the file's arrival process when too
+/// many demand columns were defaulted — and, on the drift axis, split into
+/// wall-clock windows so segment boundaries follow the *trace's* regime
+/// changes rather than a generator schedule.
+fn resolve_cell_traces(
+    scenario: &Scenario,
+    ctx: &RunContext,
+) -> Result<(Vec<Arc<Trace>>, Option<TraceProvenance>), String> {
+    let Some(source) = scenario.workload.real_source() else {
+        let traces = scenario
+            .segment_trace_specs()
+            .iter()
+            .map(|spec| ctx.traces.get(spec))
+            .collect::<Result<_, _>>()?;
+        return Ok((traces, None));
+    };
+    let parsed = ctx.load_real(&source)?;
+    let (full, stats) = (&parsed.0, parsed.1);
+    // The workload's job cap truncates the arrival stream itself — before
+    // gating and segmentation — so capped cells agree between the
+    // single-cluster and sharded execution paths.
+    let cap = scenario.workload.jobs_for(scenario.topology.servers()) as usize;
+    let mut trace = if cap > 0 && cap < full.len() {
+        Trace::new(full.jobs()[..cap].to_vec())
+            .map_err(|e| format!("{}: capped to {cap} jobs: {e}", source.label()))?
+    } else {
+        (*full).clone()
+    };
+    // Demand gate: the file's demand columns are only trusted when the
+    // defaulted fraction stays under the cell's threshold. Past it, keep
+    // the arrival process but re-draw every demand vector from the cell's
+    // trace seed (reported in the provenance block, and as a warning row
+    // by the real-trace bin).
+    let gate = scenario
+        .workload
+        .demand_gate()
+        .expect("real workload has a demand gate");
+    let synthetic_demand = stats.demand_defaulted as f64 / stats.jobs_kept.max(1) as f64 > gate;
+    if synthetic_demand {
+        trace = with_synthetic_demands(&trace, scenario.trace_seed());
+    }
+    let provenance = TraceProvenance {
+        source: source.label(),
+        format: source.format.name().to_string(),
+        rows: stats.rows as u64,
+        jobs_kept: stats.jobs_kept as u64,
+        jobs_dropped: (stats.incomplete_dropped
+            + stats.nonpositive_duration_dropped
+            + stats.duration_filtered) as u64,
+        demand_defaulted: stats.demand_defaulted as u64,
+        synthetic_demand,
+    };
+    let traces = if scenario.drift.is_some() {
+        trace
+            .segments_by_wall_clock(scenario.workload.segment_window_s())
+            .into_iter()
+            .map(Arc::new)
+            .collect()
+    } else {
+        vec![Arc::new(trace)]
+    };
+    Ok((traces, Some(provenance)))
+}
+
 fn run_cell(scenario: &Scenario, ctx: &RunContext) -> Result<CellRun, String> {
     let started = Instant::now();
-    let mut traces: Vec<Arc<Trace>> = scenario
-        .segment_trace_specs()
-        .iter()
-        .map(|spec| ctx.traces.get(spec))
-        .collect::<Result<_, _>>()?;
+    let (mut traces, provenance) = resolve_cell_traces(scenario, ctx)?;
     // Arrival-spike fault shapes extend the evaluation stream itself, so
     // they inject here — before the single/multi-cluster split and before
     // routing — from the *cell-level* fault seed. Both execution paths see
@@ -1115,6 +1215,7 @@ fn run_cell(scenario: &Scenario, ctx: &RunContext) -> Result<CellRun, String> {
         drl_stats,
         segments,
         shards,
+        provenance,
         timing: CellTiming {
             wall_s,
             jobs_per_s: jobs as f64 / wall_s.max(1e-9),

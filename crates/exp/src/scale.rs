@@ -139,6 +139,7 @@ impl ScaleCellRun {
             segments: None,
             clusters: None,
             peak_rss_bytes: self.peak_rss_bytes,
+            trace: None,
         }
     }
 }

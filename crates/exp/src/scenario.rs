@@ -13,6 +13,8 @@ use hierdrl_sim::time::SimTime;
 use hierdrl_trace::drift::{SegmentShift, SegmentedTraceSpec};
 use hierdrl_trace::generator::WorkloadConfig;
 use hierdrl_trace::materialize::TraceSpec;
+use hierdrl_trace::pattern::SECS_PER_WEEK;
+use hierdrl_trace::source::{RealTraceSource, TraceFormat};
 use serde::{Deserialize, Serialize};
 
 /// SplitMix64 finalizer: decorrelates derived seeds so that per-cell seed
@@ -281,27 +283,66 @@ pub enum JobsBudget {
     Total(u64),
 }
 
-/// A workload recipe, resolved against a topology so that per-server load
-/// stays comparable across cluster sizes (the paper's convention).
+/// A workload recipe: either a synthetic generator law resolved against a
+/// topology so that per-server load stays comparable across cluster sizes
+/// (the paper's convention, and the default), or an on-disk real trace
+/// replayed through [`hierdrl_trace::source::RealTraceSource`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct WorkloadSpec {
-    /// Display name (used in scenario ids and reports).
-    pub name: String,
-    /// Weekly task arrivals per server. The paper's setup is 95,000 tasks
-    /// per week for 30 machines.
-    pub weekly_jobs_per_server: f64,
-    /// Evaluation length.
-    pub eval_jobs: JobsBudget,
+pub enum WorkloadSpec {
+    /// A synthetic generator recipe ([`WorkloadConfig::google_like`] at a
+    /// per-server rate), seeded per cell.
+    Synthetic {
+        /// Display name (used in scenario ids and reports).
+        name: String,
+        /// Weekly task arrivals per server. The paper's setup is 95,000
+        /// tasks per week for 30 machines.
+        weekly_jobs_per_server: f64,
+        /// Evaluation length.
+        eval_jobs: JobsBudget,
+    },
+    /// An on-disk real trace (Google `task_events` or Alibaba v2017
+    /// `batch_task`), parsed with the paper's duration window. Arrival
+    /// times, durations, and demands come from the file; the drift axis
+    /// replays the trace's own wall-clock segments instead of synthetic
+    /// shifts, and the runner gates the demand columns on the parser's
+    /// [`hierdrl_trace::google::ParseStats`] provenance.
+    RealTrace {
+        /// Display name (used in scenario ids and reports).
+        name: String,
+        /// Path to the trace file.
+        path: String,
+        /// Which parser reads the file.
+        format: TraceFormat,
+        /// Wall-clock window (seconds) the drift axis splits the trace at;
+        /// `None` uses [`SECS_PER_WEEK`] (the paper's week-long segments).
+        segment_wall_clock_s: Option<f64>,
+        /// Demand columns are trusted only while
+        /// `demand_defaulted / jobs_kept` stays at or below this fraction;
+        /// above it the runner swaps in deterministic synthetic demands
+        /// ([`hierdrl_trace::source::with_synthetic_demands`]) and flags
+        /// the cell's provenance row.
+        demand_gate: f64,
+        /// Optional cap: replay only the first `n` jobs of the trace.
+        max_jobs: Option<u64>,
+        /// Per-server weekly rate of the *synthetic* pre-training rollouts
+        /// (learned policies still pre-train on generated workload — the
+        /// trace is held out for evaluation).
+        pretrain_weekly_jobs_per_server: f64,
+    },
 }
 
 /// The paper's per-server weekly arrival volume (95,000 jobs / 30 servers).
 pub const PAPER_WEEKLY_JOBS_PER_SERVER: f64 = 95_000.0 / 30.0;
 
+/// Default [`WorkloadSpec::RealTrace`] demand gate: demand columns are
+/// trusted while at most a quarter of kept jobs had defaulted demands.
+pub const DEFAULT_DEMAND_GATE: f64 = 0.25;
+
 impl WorkloadSpec {
     /// The paper's workload: per-server load matching the 95k-jobs-per-week
     /// 30-machine setup, evaluation length scaling with `M`.
     pub fn paper() -> Self {
-        Self {
+        Self::Synthetic {
             name: "paper".into(),
             weekly_jobs_per_server: PAPER_WEEKLY_JOBS_PER_SERVER,
             eval_jobs: JobsBudget::PerServer(PAPER_WEEKLY_JOBS_PER_SERVER),
@@ -311,37 +352,141 @@ impl WorkloadSpec {
     /// The paper's workload with the arrival rate scaled by `factor`
     /// (arrival-rate sweeps; `1.0` is the paper's load).
     pub fn paper_scaled(factor: f64) -> Self {
-        Self {
+        Self::Synthetic {
             name: format!("paper-x{factor}"),
             weekly_jobs_per_server: PAPER_WEEKLY_JOBS_PER_SERVER * factor,
             eval_jobs: JobsBudget::PerServer(PAPER_WEEKLY_JOBS_PER_SERVER),
         }
     }
 
-    /// Replaces the evaluation length with a fixed total.
+    /// A real-trace workload replaying `path` with the paper's duration
+    /// window, weekly drift segments, the default demand gate, and
+    /// paper-rate synthetic pre-training.
+    pub fn real_trace(
+        name: impl Into<String>,
+        path: impl Into<String>,
+        format: TraceFormat,
+    ) -> Self {
+        Self::RealTrace {
+            name: name.into(),
+            path: path.into(),
+            format,
+            segment_wall_clock_s: None,
+            demand_gate: DEFAULT_DEMAND_GATE,
+            max_jobs: None,
+            pretrain_weekly_jobs_per_server: PAPER_WEEKLY_JOBS_PER_SERVER,
+        }
+    }
+
+    /// Caps the evaluation length: for synthetic workloads, a fixed total
+    /// job budget; for real traces, replay only the first `jobs` jobs.
     #[must_use]
     pub fn with_total_jobs(mut self, jobs: u64) -> Self {
-        self.eval_jobs = JobsBudget::Total(jobs);
+        match &mut self {
+            Self::Synthetic { eval_jobs, .. } => *eval_jobs = JobsBudget::Total(jobs),
+            Self::RealTrace { max_jobs, .. } => *max_jobs = Some(jobs),
+        }
         self
     }
 
     /// Replaces the evaluation length with a per-server budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics for real-trace workloads, whose length is the trace itself.
     #[must_use]
     pub fn with_jobs_per_server(mut self, jobs: f64) -> Self {
-        self.eval_jobs = JobsBudget::PerServer(jobs);
+        match &mut self {
+            Self::Synthetic { eval_jobs, .. } => *eval_jobs = JobsBudget::PerServer(jobs),
+            Self::RealTrace { name, .. } => {
+                panic!("workload {name:?} is a real trace: its length is the trace itself")
+            }
+        }
         self
     }
 
-    /// Weekly arrival volume for a cluster of `m` servers.
-    pub fn jobs_per_week_for(&self, m: usize) -> f64 {
-        self.weekly_jobs_per_server * m as f64
+    /// Replaces the real-trace demand gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics for synthetic workloads (generated demands are never gated).
+    #[must_use]
+    pub fn with_demand_gate(mut self, gate: f64) -> Self {
+        match &mut self {
+            Self::RealTrace { demand_gate, .. } => *demand_gate = gate,
+            Self::Synthetic { name, .. } => {
+                panic!("workload {name:?} is synthetic: demand gating does not apply")
+            }
+        }
+        self
     }
 
-    /// Evaluation job count for a cluster of `m` servers.
+    /// Replaces the real-trace wall-clock segmentation window (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics for synthetic workloads (their segments come from
+    /// [`SegmentShift`]s, not wall-clock splitting).
+    #[must_use]
+    pub fn with_segment_window(mut self, window_s: f64) -> Self {
+        match &mut self {
+            Self::RealTrace {
+                segment_wall_clock_s,
+                ..
+            } => *segment_wall_clock_s = Some(window_s),
+            Self::Synthetic { name, .. } => {
+                panic!("workload {name:?} is synthetic: wall-clock segmentation does not apply")
+            }
+        }
+        self
+    }
+
+    /// Display name (used in scenario ids and reports).
+    pub fn name(&self) -> &str {
+        match self {
+            Self::Synthetic { name, .. } | Self::RealTrace { name, .. } => name,
+        }
+    }
+
+    /// Whether this workload replays an on-disk real trace.
+    pub fn is_real(&self) -> bool {
+        matches!(self, Self::RealTrace { .. })
+    }
+
+    /// Per-server weekly arrival rate: the generator law for synthetic
+    /// workloads, the synthetic *pre-training* rate for real traces (whose
+    /// evaluation arrivals come from the file).
+    pub fn weekly_jobs_per_server(&self) -> f64 {
+        match self {
+            Self::Synthetic {
+                weekly_jobs_per_server,
+                ..
+            } => *weekly_jobs_per_server,
+            Self::RealTrace {
+                pretrain_weekly_jobs_per_server,
+                ..
+            } => *pretrain_weekly_jobs_per_server,
+        }
+    }
+
+    /// Weekly arrival volume for a cluster of `m` servers (see
+    /// [`WorkloadSpec::weekly_jobs_per_server`] for the real-trace
+    /// meaning).
+    pub fn jobs_per_week_for(&self, m: usize) -> f64 {
+        self.weekly_jobs_per_server() * m as f64
+    }
+
+    /// Evaluation job count for a cluster of `m` servers. For real traces
+    /// the evaluation length is the trace itself, so this returns the
+    /// configured cap (or 0 when uncapped) — pre-training budgets derived
+    /// from it then fall back to their fixed floor.
     pub fn jobs_for(&self, m: usize) -> u64 {
-        match self.eval_jobs {
-            JobsBudget::PerServer(per) => (per * m as f64).round() as u64,
-            JobsBudget::Total(n) => n,
+        match self {
+            Self::Synthetic { eval_jobs, .. } => match eval_jobs {
+                JobsBudget::PerServer(per) => (per * m as f64).round() as u64,
+                JobsBudget::Total(n) => *n,
+            },
+            Self::RealTrace { max_jobs, .. } => max_jobs.unwrap_or(0),
         }
     }
 
@@ -350,16 +495,59 @@ impl WorkloadSpec {
     /// prorates by server share (the slice a capacity-weighted router
     /// would send the cluster); a per-server budget already scales.
     pub fn shard_jobs_for(&self, shard_m: usize, total_m: usize) -> u64 {
-        match self.eval_jobs {
-            JobsBudget::PerServer(_) => self.jobs_for(shard_m),
-            JobsBudget::Total(n) => {
+        match self {
+            Self::Synthetic {
+                eval_jobs: JobsBudget::PerServer(_),
+                ..
+            } => self.jobs_for(shard_m),
+            _ => {
+                let n = self.jobs_for(total_m);
                 (n as f64 * shard_m as f64 / total_m.max(1) as f64).round() as u64
             }
         }
     }
 
+    /// The real-trace source behind this workload, if any.
+    pub fn real_source(&self) -> Option<RealTraceSource> {
+        match self {
+            Self::Synthetic { .. } => None,
+            Self::RealTrace { path, format, .. } => Some(RealTraceSource::from_path(path, *format)),
+        }
+    }
+
+    /// The real-trace demand gate ([`DEFAULT_DEMAND_GATE`] unless
+    /// overridden); `None` for synthetic workloads.
+    pub fn demand_gate(&self) -> Option<f64> {
+        match self {
+            Self::Synthetic { .. } => None,
+            Self::RealTrace { demand_gate, .. } => Some(*demand_gate),
+        }
+    }
+
+    /// The wall-clock window (seconds) real-trace drift cells split at
+    /// ([`SECS_PER_WEEK`] unless overridden).
+    pub fn segment_window_s(&self) -> f64 {
+        match self {
+            Self::Synthetic { .. } => SECS_PER_WEEK,
+            Self::RealTrace {
+                segment_wall_clock_s,
+                ..
+            } => segment_wall_clock_s.unwrap_or(SECS_PER_WEEK),
+        }
+    }
+
     /// The deterministic trace recipe for this workload on `topology`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for real-trace workloads, which have no generator recipe —
+    /// they resolve through [`WorkloadSpec::real_source`] instead.
     pub fn trace_spec(&self, topology: &Topology, trace_seed: u64) -> TraceSpec {
+        assert!(
+            !self.is_real(),
+            "workload {:?} is a real trace: resolve it through real_source()",
+            self.name()
+        );
         let m = topology.servers();
         TraceSpec::new(
             WorkloadConfig::google_like(trace_seed, self.jobs_per_week_for(m)),
@@ -499,6 +687,15 @@ impl DriftSpec {
                 },
             ],
         )
+    }
+
+    /// The drift axis for a [`WorkloadSpec::RealTrace`] cell: segments are
+    /// the trace's own wall-clock windows (weeks by default), replayed
+    /// under carried learners — the online-vs-frozen ablation on *real*
+    /// regime changes. The single [`SegmentShift::Stationary`] entry is a
+    /// placeholder; the actual segment count comes from the data.
+    pub fn real_segments() -> Self {
+        Self::new("real-weeks", vec![SegmentShift::Stationary])
     }
 
     /// The no-continued-training ablation of this drift: same segments,
@@ -1149,7 +1346,7 @@ impl Scenario {
     /// — byte-identical to the historical format when neither axis is set,
     /// so perf-gate baselines keyed on ids stay stable.
     fn compute_id(&self) -> String {
-        let mut workload = self.workload.name.clone();
+        let mut workload = self.workload.name().to_string();
         if let Some(drift) = &self.drift {
             workload = format!("{workload}@{}", drift.name);
         }
@@ -1167,8 +1364,26 @@ impl Scenario {
 
     /// Attaches a drift axis, rebuilding the id as
     /// `topology/workload@drift[%fault]/policy/s<seed>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a synthetic-shift drift is attached to a real-trace
+    /// workload: real traces drift on their own wall-clock segments
+    /// ([`DriftSpec::real_segments`]), not on generator shifts.
     #[must_use]
     pub fn with_drift(mut self, drift: DriftSpec) -> Self {
+        if self.workload.is_real() {
+            assert!(
+                drift
+                    .shifts
+                    .iter()
+                    .all(|s| matches!(s, SegmentShift::Stationary)),
+                "drift {:?} applies generator shifts, but workload {:?} is a real trace \
+                 (use DriftSpec::real_segments to replay its wall-clock segments)",
+                drift.name,
+                self.workload.name()
+            );
+        }
         self.drift = Some(drift);
         self.id = self.compute_id();
         self
@@ -1236,6 +1451,11 @@ impl Scenario {
     /// The evaluation trace recipe (the whole stream for non-drift cells;
     /// drift cells materialize through
     /// [`Scenario::segment_trace_specs`] instead).
+    ///
+    /// # Panics
+    ///
+    /// Panics for real-trace cells, which resolve through
+    /// [`WorkloadSpec::real_source`] in the runner instead.
     pub fn trace_spec(&self) -> TraceSpec {
         self.workload.trace_spec(&self.topology, self.trace_seed())
     }
@@ -1246,7 +1466,17 @@ impl Scenario {
     /// from the cell's trace seed (`mix(trace_seed, i)`) and the cell's
     /// total job budget split evenly across segments — so a drift cell
     /// evaluates the same volume as its stationary counterpart.
+    ///
+    /// # Panics
+    ///
+    /// Panics for real-trace cells: their segments come from wall-clock
+    /// splitting of the on-disk trace (see the runner), not from recipes.
     pub fn segment_trace_specs(&self) -> Vec<TraceSpec> {
+        assert!(
+            !self.workload.is_real(),
+            "cell {:?} replays a real trace: segments come from wall-clock splitting",
+            self.id
+        );
         match &self.drift {
             None => vec![self.trace_spec()],
             Some(drift) => {
@@ -1277,11 +1507,20 @@ impl Scenario {
         self.drift.as_ref().is_none_or(|d| d.online)
     }
 
-    /// Display label of segment `i`'s shift (used in per-segment report
-    /// rows).
+    /// Display label of segment `i` (used in per-segment report rows):
+    /// the shift's label for synthetic drift cells, a wall-clock window
+    /// label (`week0`, `week1`, … — or `seg<i>` for non-week windows) for
+    /// real-trace drift cells whose segment count is data-driven.
     pub fn segment_label(&self, i: usize) -> String {
         match &self.drift {
             None => "full".into(),
+            Some(_) if self.workload.is_real() => {
+                if (self.workload.segment_window_s() - SECS_PER_WEEK).abs() < 1e-9 {
+                    format!("week{i}")
+                } else {
+                    format!("seg{i}")
+                }
+            }
             Some(drift) => drift.shifts[i].label(),
         }
     }
@@ -1371,6 +1610,7 @@ impl Scenario {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hierdrl_trace::source::TraceSource;
 
     #[test]
     fn workload_scales_with_cluster_size() {
@@ -1839,5 +2079,83 @@ mod tests {
     #[should_panic(expected = "fault spec needs >= 1 shape")]
     fn empty_fault_spec_rejected() {
         let _ = FaultSpec::new("bad", Vec::new());
+    }
+
+    fn real_workload() -> WorkloadSpec {
+        WorkloadSpec::real_trace("real-g", "some/trace.csv", TraceFormat::GoogleTaskEvents)
+    }
+
+    #[test]
+    fn real_workload_defaults_and_overrides() {
+        let w = real_workload();
+        assert!(w.is_real());
+        assert_eq!(w.name(), "real-g");
+        assert_eq!(w.demand_gate(), Some(DEFAULT_DEMAND_GATE));
+        assert_eq!(w.segment_window_s(), SECS_PER_WEEK);
+        assert_eq!(w.jobs_for(10), 0, "uncapped replay runs the whole file");
+        assert_eq!(
+            w.weekly_jobs_per_server(),
+            PAPER_WEEKLY_JOBS_PER_SERVER,
+            "pre-training stays at the paper's synthetic rate"
+        );
+        let w = w
+            .with_total_jobs(500)
+            .with_demand_gate(0.1)
+            .with_segment_window(2.0 * SECS_PER_WEEK);
+        assert_eq!(w.jobs_for(10), 500);
+        assert_eq!(w.shard_jobs_for(5, 10), 250, "caps prorate by server share");
+        assert_eq!(w.demand_gate(), Some(0.1));
+        assert_eq!(w.segment_window_s(), 2.0 * SECS_PER_WEEK);
+        let source = w.real_source().expect("real workload has a source");
+        assert_eq!(source.label(), "google:some/trace.csv");
+    }
+
+    #[test]
+    #[should_panic(expected = "resolve it through real_source()")]
+    fn real_workload_has_no_generator_recipe() {
+        let _ = real_workload().trace_spec(&Topology::paper(4), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "demand gating does not apply")]
+    fn synthetic_workload_rejects_demand_gate() {
+        let _ = WorkloadSpec::paper().with_demand_gate(0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "DriftSpec::real_segments")]
+    fn real_workload_rejects_generator_drift() {
+        let scenario = Scenario::new(
+            Topology::paper(4),
+            real_workload(),
+            PolicySpec::round_robin(),
+            1,
+            None,
+        );
+        let _ = scenario.with_drift(DriftSpec::rate_step(2.0));
+    }
+
+    #[test]
+    fn real_segment_labels_follow_the_window() {
+        let weekly = Scenario::new(
+            Topology::paper(4),
+            real_workload(),
+            PolicySpec::round_robin(),
+            1,
+            None,
+        )
+        .with_drift(DriftSpec::real_segments());
+        assert_eq!(weekly.segment_label(0), "week0");
+        assert_eq!(weekly.segment_label(3), "week3");
+        let daily = Scenario::new(
+            Topology::paper(4),
+            real_workload().with_segment_window(86_400.0),
+            PolicySpec::round_robin(),
+            1,
+            None,
+        )
+        .with_drift(DriftSpec::real_segments());
+        assert_eq!(daily.segment_label(2), "seg2");
+        assert!(weekly.id.contains("@real-weeks/"));
     }
 }

@@ -64,6 +64,7 @@ fn canonical_report() -> SuiteReport {
                 drl: Some(drl_stats(550)),
                 segments: None,
                 clusters: None,
+                trace: None,
             },
             CellReport {
                 id: "paper-c2m6-rr/paper/round-robin/s7".to_string(),
@@ -79,6 +80,7 @@ fn canonical_report() -> SuiteReport {
                 jobs_requeued: 0,
                 drl: None,
                 segments: None,
+                trace: None,
                 clusters: Some(vec![
                     ShardReport {
                         cluster: 0,
@@ -124,6 +126,7 @@ fn canonical_report() -> SuiteReport {
                     },
                 ]),
                 clusters: None,
+                trace: None,
             },
             CellReport {
                 id: "paper-m5/paper%crash-storm/hierarchical/s7".to_string(),
@@ -140,6 +143,7 @@ fn canonical_report() -> SuiteReport {
                 drl: Some(drl_stats(550)),
                 segments: None,
                 clusters: None,
+                trace: None,
             },
         ],
         expectations: vec![

@@ -4,10 +4,21 @@
 //! The synthetic generator is the default workload source in this
 //! reproduction (the real month-long trace is ~40 GB and not redistributable
 //! here), but users who have downloaded it can extract the same
-//! `(arrival, duration, demand)` tuples the paper uses with
-//! [`parse_task_events`]: SUBMIT events give arrivals and resource requests,
-//! and a task's duration is its FINISH time minus its SCHEDULE time. Jobs
-//! are filtered to the paper's duration window of [1 minute, 2 hours].
+//! `(arrival, duration, demand)` tuples the paper uses:
+//! [`parse_task_events_with_stats`] reconstructs each task from its event
+//! rows — SUBMIT gives the arrival and resource request, FINISH − SCHEDULE
+//! gives the duration — and reports [`ParseStats`] provenance (how many
+//! tasks were dropped at each filter and how many kept jobs had missing
+//! demand columns defaulted). Jobs are filtered to the paper's duration
+//! window of [1 minute, 2 hours] ([`PAPER_MIN_DURATION_S`],
+//! [`PAPER_MAX_DURATION_S`]).
+//!
+//! This parser usually sits behind [`crate::source::RealTraceSource`] with
+//! [`crate::source::TraceFormat::GoogleTaskEvents`], which is how the
+//! experiment layer consumes it; the sibling
+//! [`crate::alibaba`] module reads the Alibaba v2017 `batch_task` table
+//! behind the same interface. Column layouts, counter semantics, and the
+//! committed-fixture recipe are documented in `crates/trace/README.md`.
 //!
 //! `task_events` CSV columns (see the trace format document):
 //! `0` timestamp (µs), `1` missing info, `2` job ID, `3` task index,

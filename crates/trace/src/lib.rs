@@ -1,8 +1,9 @@
 //! # hierdrl-trace
 //!
 //! Workload substrate for the hierarchical DRL framework: synthetic
-//! Google-cluster-style trace generation, trace statistics/slicing, and a
-//! parser for the real Google ClusterData-2011 `task_events` format.
+//! Google-cluster-style trace generation, trace statistics/slicing, parsers
+//! for two real cluster-trace formats, and a common [`source::TraceSource`]
+//! interface over all of them.
 //!
 //! The paper evaluates on the May-2011 Google cluster-usage traces, split
 //! into ~week-long segments of ~100,000 jobs for a 30–40 machine cluster,
@@ -10,10 +11,16 @@
 //! is not redistributable, [`generator::WorkloadConfig::google_like`]
 //! produces synthetic traces with the same marginals (arrival rate, duration
 //! law, demand law) and realistic non-stationarity (diurnal + weekend
-//! cycles); [`google::parse_task_events`] ingests the real thing for users
-//! who have it.
+//! cycles) — and stays the default workload source. Users who have real
+//! trace files feed them in through [`source::RealTraceSource`]:
+//! [`google::parse_task_events_with_stats`] reads the Google ClusterData
+//! `task_events` tables and [`alibaba::parse_batch_tasks_with_stats`] reads
+//! the Alibaba cluster-trace-v2017 `batch_task` table, both reporting
+//! [`google::ParseStats`] provenance so consumers can gate on data quality.
 //!
 //! # Examples
+//!
+//! Synthetic generation:
 //!
 //! ```
 //! use hierdrl_trace::prelude::*;
@@ -26,19 +33,51 @@
 //! assert!(stats.mean_duration_s >= 60.0 && stats.mean_duration_s <= 7200.0);
 //! # Ok::<(), String>(())
 //! ```
+//!
+//! Any source — synthetic recipe or real trace file — behind the common
+//! interface, with load/stream equivalence:
+//!
+//! ```
+//! use hierdrl_trace::prelude::*;
+//!
+//! let sources: Vec<Box<dyn TraceSource>> = vec![
+//!     Box::new(SyntheticSource::new(TraceSpec::new(
+//!         WorkloadConfig::google_like(42, 60_000.0),
+//!         500,
+//!     ))),
+//!     Box::new(RealTraceSource::from_csv(
+//!         "0,300,1,1,1,Terminated,50,0.25",
+//!         TraceFormat::AlibabaBatchTask,
+//!     )),
+//! ];
+//! for source in &sources {
+//!     let (trace, stats) = source.load()?;
+//!     assert_eq!(stats.jobs_kept, trace.len());
+//!     let streamed: Vec<_> = source.stream()?.collect();
+//!     assert_eq!(trace.jobs(), streamed.as_slice());
+//! }
+//! # Ok::<(), String>(())
+//! ```
 
+#![warn(missing_docs)]
+
+pub mod alibaba;
 pub mod distributions;
 pub mod drift;
 pub mod generator;
 pub mod google;
 pub mod materialize;
 pub mod pattern;
+pub mod source;
 pub mod stats;
 pub mod stream;
 pub mod trace;
 
 /// Convenient glob-import of the crate's main types.
 pub mod prelude {
+    pub use crate::alibaba::{
+        parse_batch_tasks, parse_batch_tasks_paper, parse_batch_tasks_with_stats,
+    };
     pub use crate::distributions::Dist;
     pub use crate::drift::{mix_seed, SegmentShift, SegmentedTraceSpec};
     pub use crate::generator::{TraceGenerator, WorkloadConfig};
@@ -48,6 +87,9 @@ pub mod prelude {
     };
     pub use crate::materialize::{TraceCache, TraceSpec};
     pub use crate::pattern::{ArrivalPattern, SECS_PER_DAY, SECS_PER_WEEK};
+    pub use crate::source::{
+        with_synthetic_demands, RealTraceSource, SyntheticSource, TraceFormat, TraceSource,
+    };
     pub use crate::stats::{Histogram, WorkloadProfile};
     pub use crate::stream::{GeneratorStream, JobStream, TraceStream};
     pub use crate::trace::{Trace, TraceError, TraceStats};

@@ -1,0 +1,361 @@
+//! A common interface over every way a workload trace can originate:
+//! synthetic generation, the Google ClusterData-2011 `task_events` parser,
+//! and the Alibaba cluster-trace-v2017 `batch_task` parser.
+//!
+//! Consumers (the `hierdrl-exp` suite runner, bench bins) program against
+//! [`TraceSource`]: jobs come back in arrival order, either materialized
+//! ([`TraceSource::load`]) or streamed ([`TraceSource::stream`]), and every
+//! source reports [`ParseStats`]-style provenance so callers can decide
+//! whether the demand columns are trustworthy before using them —
+//! see [`ParseStats::demand_defaulted`] and [`with_synthetic_demands`].
+//!
+//! # Example
+//!
+//! A real-trace source over an in-memory fixture (the on-disk form is
+//! [`RealTraceSource::from_path`]); streaming and loading are
+//! byte-identical:
+//!
+//! ```
+//! use hierdrl_trace::prelude::*;
+//!
+//! let csv = "\
+//! 100,400,1,1,1,Terminated,50,0.25
+//! 900,1500,2,1,1,Terminated,25,0.125";
+//! let source = RealTraceSource::from_csv(csv, TraceFormat::AlibabaBatchTask);
+//! let (trace, stats) = source.load()?;
+//! assert_eq!(stats.jobs_kept, 2);
+//! assert_eq!(stats.demand_defaulted, 0);
+//!
+//! let streamed: Vec<_> = source.stream()?.collect();
+//! assert_eq!(trace.jobs(), streamed.as_slice());
+//! # Ok::<(), String>(())
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs::File;
+use std::io::{BufReader, Cursor};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::drift::mix_seed;
+use crate::google::{ParseStats, PAPER_MAX_DURATION_S, PAPER_MIN_DURATION_S};
+use crate::materialize::TraceSpec;
+use crate::stream::{JobStream, TraceStream};
+use crate::trace::Trace;
+use crate::{alibaba, google};
+use hierdrl_sim::job::Job;
+
+/// On-disk trace formats with a parser behind [`RealTraceSource`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceFormat {
+    /// Google ClusterData-2011 `task_events` CSV ([`crate::google`]).
+    GoogleTaskEvents,
+    /// Alibaba cluster-trace-v2017 `batch_task` CSV ([`crate::alibaba`]).
+    AlibabaBatchTask,
+}
+
+impl TraceFormat {
+    /// Short stable name, used in CLI flags and report columns.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceFormat::GoogleTaskEvents => "google",
+            TraceFormat::AlibabaBatchTask => "alibaba",
+        }
+    }
+
+    /// Inverse of [`TraceFormat::name`]; `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "google" => Some(TraceFormat::GoogleTaskEvents),
+            "alibaba" => Some(TraceFormat::AlibabaBatchTask),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TraceFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A source of jobs in arrival order with parse provenance.
+///
+/// The two access paths are equivalent by contract: the jobs yielded by
+/// [`TraceSource::stream`] are byte-identical to
+/// [`TraceSource::load`]`.0.jobs()` — committed tests pin this for every
+/// implementation in this crate.
+pub trait TraceSource {
+    /// Human-readable identity of the source (path, format, or recipe).
+    fn label(&self) -> String;
+
+    /// Materializes the full trace along with what the source did to the
+    /// raw rows to produce it. Synthetic sources report an all-kept
+    /// [`ParseStats`] (every job "row" kept, nothing defaulted).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the I/O, parse, or config failure.
+    fn load(&self) -> Result<(Trace, ParseStats), String>;
+
+    /// Streams the same jobs lazily. The default implementation loads and
+    /// replays; sources with a genuinely lazy path override it.
+    ///
+    /// # Errors
+    ///
+    /// See [`TraceSource::load`].
+    fn stream(&self) -> Result<Box<dyn JobStream>, String> {
+        let (trace, _) = self.load()?;
+        Ok(Box::new(TraceStream::new(Arc::new(trace))))
+    }
+}
+
+/// The synthetic-generator path behind the [`TraceSource`] interface: a
+/// [`TraceSpec`] recipe, loaded via `materialize()` or streamed via the
+/// byte-identical [`crate::stream::GeneratorStream`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticSource {
+    spec: TraceSpec,
+}
+
+impl SyntheticSource {
+    /// Wraps a trace recipe.
+    pub fn new(spec: TraceSpec) -> Self {
+        Self { spec }
+    }
+
+    /// The underlying recipe.
+    pub fn spec(&self) -> &TraceSpec {
+        &self.spec
+    }
+}
+
+impl TraceSource for SyntheticSource {
+    fn label(&self) -> String {
+        format!("synthetic:{}", self.spec.fingerprint())
+    }
+
+    fn load(&self) -> Result<(Trace, ParseStats), String> {
+        let trace = self.spec.materialize()?;
+        let n = trace.len();
+        Ok((
+            trace,
+            ParseStats {
+                rows: n,
+                tasks_seen: n,
+                jobs_kept: n,
+                ..ParseStats::default()
+            },
+        ))
+    }
+
+    fn stream(&self) -> Result<Box<dyn JobStream>, String> {
+        Ok(Box::new(self.spec.stream()?))
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Input {
+    Path(PathBuf),
+    Memory(String),
+}
+
+/// An on-disk (or in-memory) real trace file behind the [`TraceSource`]
+/// interface, parsed by the format's parser with the paper's duration
+/// window unless overridden.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RealTraceSource {
+    input: Input,
+    /// Which parser reads the bytes.
+    pub format: TraceFormat,
+    /// Lower duration bound (seconds); defaults to the paper's 1 minute.
+    pub min_duration_s: f64,
+    /// Upper duration bound (seconds); defaults to the paper's 2 hours.
+    pub max_duration_s: f64,
+}
+
+impl RealTraceSource {
+    /// A source reading `path` with the paper's duration window.
+    pub fn from_path(path: impl AsRef<Path>, format: TraceFormat) -> Self {
+        Self {
+            input: Input::Path(path.as_ref().to_path_buf()),
+            format,
+            min_duration_s: PAPER_MIN_DURATION_S,
+            max_duration_s: PAPER_MAX_DURATION_S,
+        }
+    }
+
+    /// An in-memory source over CSV text — for tests and doctests; parses
+    /// identically to [`RealTraceSource::from_path`].
+    pub fn from_csv(csv: impl Into<String>, format: TraceFormat) -> Self {
+        Self {
+            input: Input::Memory(csv.into()),
+            format,
+            min_duration_s: PAPER_MIN_DURATION_S,
+            max_duration_s: PAPER_MAX_DURATION_S,
+        }
+    }
+
+    /// Replaces the paper's duration window.
+    #[must_use]
+    pub fn with_duration_window(mut self, min_s: f64, max_s: f64) -> Self {
+        self.min_duration_s = min_s;
+        self.max_duration_s = max_s;
+        self
+    }
+
+    fn parse<R: std::io::BufRead>(&self, reader: R) -> Result<(Trace, ParseStats), String> {
+        let parsed = match self.format {
+            TraceFormat::GoogleTaskEvents => google::parse_task_events_with_stats(
+                reader,
+                self.min_duration_s,
+                self.max_duration_s,
+            ),
+            TraceFormat::AlibabaBatchTask => alibaba::parse_batch_tasks_with_stats(
+                reader,
+                self.min_duration_s,
+                self.max_duration_s,
+            ),
+        };
+        parsed.map_err(|e| format!("{}: {e}", self.label()))
+    }
+}
+
+impl TraceSource for RealTraceSource {
+    fn label(&self) -> String {
+        match &self.input {
+            Input::Path(p) => format!("{}:{}", self.format.name(), p.display()),
+            Input::Memory(_) => format!("{}:<memory>", self.format.name()),
+        }
+    }
+
+    fn load(&self) -> Result<(Trace, ParseStats), String> {
+        match &self.input {
+            Input::Path(p) => {
+                let file =
+                    File::open(p).map_err(|e| format!("cannot open {}: {e}", p.display()))?;
+                self.parse(BufReader::new(file))
+            }
+            Input::Memory(csv) => self.parse(Cursor::new(csv.as_bytes())),
+        }
+    }
+}
+
+/// Replaces every job's demand vector with a deterministic synthetic one
+/// derived from `seed` and the job's position — the fallback the suite
+/// runner applies when a real trace's [`ParseStats::demand_defaulted`]
+/// fraction is too high to trust the demand columns (arrivals and
+/// durations are kept; only demands are resampled).
+///
+/// Components are SplitMix64-derived uniforms: CPU and memory in
+/// `[0.05, 0.5]`, disk in `[1e-4, 0.2]` — always valid for a normalized
+/// server, and identical across runs and platforms.
+pub fn with_synthetic_demands(trace: &Trace, seed: u64) -> Trace {
+    let unit = |bits: u64| (bits >> 11) as f64 / (1u64 << 53) as f64;
+    let jobs: Vec<Job> = trace
+        .jobs()
+        .iter()
+        .enumerate()
+        .map(|(i, j)| {
+            let job_seed = mix_seed(seed, i as u64);
+            let cpu = 0.05 + 0.45 * unit(mix_seed(job_seed, 1));
+            let mem = 0.05 + 0.45 * unit(mix_seed(job_seed, 2));
+            let disk = 1e-4 + 0.2 * unit(mix_seed(job_seed, 3));
+            Job::new(
+                j.id,
+                j.arrival,
+                j.duration,
+                hierdrl_sim::resources::ResourceVec::cpu_mem_disk(cpu, mem, disk),
+            )
+        })
+        .collect();
+    Trace::new(jobs).expect("same arrivals, valid demands")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::WorkloadConfig;
+
+    #[test]
+    fn synthetic_source_stream_matches_load() {
+        let source = SyntheticSource::new(TraceSpec::new(
+            WorkloadConfig::google_like(11, 60_000.0),
+            800,
+        ));
+        let (trace, stats) = source.load().unwrap();
+        assert_eq!(stats.jobs_kept, 800);
+        assert_eq!(stats.rows, 800);
+        assert_eq!(stats.demand_defaulted, 0);
+        let streamed: Vec<Job> = source.stream().unwrap().collect();
+        assert_eq!(trace.jobs(), streamed.as_slice());
+    }
+
+    #[test]
+    fn real_source_stream_matches_load_for_both_formats() {
+        let google_csv = "\
+1000000,,1,0,42,0,u,2,5,0.25,0.1,0.01,0
+2000000,,1,0,42,1,u,2,5,,,,0
+302000000,,1,0,42,4,u,2,5,,,,0";
+        let alibaba_csv = "\
+100,400,1,1,1,Terminated,50,0.25
+900,1500,2,1,1,Terminated,25,0.125";
+        for (csv, format) in [
+            (google_csv, TraceFormat::GoogleTaskEvents),
+            (alibaba_csv, TraceFormat::AlibabaBatchTask),
+        ] {
+            let source = RealTraceSource::from_csv(csv, format);
+            let (trace, stats) = source.load().unwrap();
+            assert!(stats.jobs_kept > 0, "{}", source.label());
+            let streamed: Vec<Job> = source.stream().unwrap().collect();
+            assert_eq!(trace.jobs(), streamed.as_slice(), "{}", source.label());
+        }
+    }
+
+    #[test]
+    fn missing_file_reports_path_in_error() {
+        let source =
+            RealTraceSource::from_path("/nonexistent/trace.csv", TraceFormat::GoogleTaskEvents);
+        let err = source.load().unwrap_err();
+        assert!(err.contains("/nonexistent/trace.csv"), "{err}");
+    }
+
+    #[test]
+    fn parse_errors_carry_the_source_label() {
+        let source = RealTraceSource::from_csv("garbage", TraceFormat::AlibabaBatchTask);
+        let err = source.load().unwrap_err();
+        assert!(err.contains("alibaba:<memory>"), "{err}");
+    }
+
+    #[test]
+    fn format_names_round_trip() {
+        for f in [TraceFormat::GoogleTaskEvents, TraceFormat::AlibabaBatchTask] {
+            assert_eq!(TraceFormat::from_name(f.name()), Some(f));
+        }
+        assert_eq!(TraceFormat::from_name("swim"), None);
+    }
+
+    #[test]
+    fn synthetic_demands_are_deterministic_and_bounded() {
+        let source = RealTraceSource::from_csv(
+            "100,400,1,1,1,Terminated,,\n900,1500,2,1,1,Terminated,,",
+            TraceFormat::AlibabaBatchTask,
+        );
+        let (trace, stats) = source.load().unwrap();
+        assert_eq!(stats.demand_defaulted, 2);
+        let a = with_synthetic_demands(&trace, 42);
+        let b = with_synthetic_demands(&trace, 42);
+        assert_eq!(a, b, "same seed, same demands");
+        let c = with_synthetic_demands(&trace, 43);
+        assert_ne!(a, c, "different seed perturbs demands");
+        for (orig, repl) in trace.jobs().iter().zip(a.jobs()) {
+            assert_eq!(orig.arrival, repl.arrival);
+            assert_eq!(orig.duration, repl.duration);
+            for d in repl.demand.as_slice() {
+                assert!(*d > 0.0 && *d <= 1.0);
+            }
+            assert!(repl.demand.get(0) >= 0.05);
+        }
+    }
+}

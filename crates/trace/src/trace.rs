@@ -200,6 +200,44 @@ impl Trace {
         Self::rebased_slice(&self.jobs[..count.min(self.jobs.len())])
     }
 
+    /// Splits the trace at wall-clock boundaries: each segment covers
+    /// `window_s` seconds of arrivals (relative to the first arrival) and
+    /// is re-based so its own first arrival is at time zero. Windows with
+    /// no arrivals are skipped, so every returned segment is non-empty —
+    /// this is how a real month-long trace becomes the week-long regime
+    /// segments the drift axis replays ([`crate::pattern::SECS_PER_WEEK`]
+    /// is the canonical window).
+    ///
+    /// Unlike [`Trace::segments`], segment sizes follow the trace's own
+    /// arrival intensity rather than being equalized by job count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_s` is not positive and finite.
+    pub fn segments_by_wall_clock(&self, window_s: f64) -> Vec<Trace> {
+        assert!(
+            window_s.is_finite() && window_s > 0.0,
+            "wall-clock window must be positive, got {window_s}"
+        );
+        if self.jobs.is_empty() {
+            return Vec::new();
+        }
+        let base = self.jobs[0].arrival.as_secs();
+        let mut out = Vec::new();
+        let mut lo = 0usize;
+        while lo < self.jobs.len() {
+            let window = ((self.jobs[lo].arrival.as_secs() - base) / window_s).floor();
+            let end = base + (window + 1.0) * window_s;
+            let mut hi = lo + 1;
+            while hi < self.jobs.len() && self.jobs[hi].arrival.as_secs() < end {
+                hi += 1;
+            }
+            out.push(Self::rebased_slice(&self.jobs[lo..hi]));
+            lo = hi;
+        }
+        out
+    }
+
     fn rebased_slice(slice: &[Job]) -> Trace {
         if slice.is_empty() {
             return Trace { jobs: Vec::new() };
@@ -318,6 +356,42 @@ mod tests {
         for s in &segs {
             assert_eq!(s.jobs()[0].arrival, SimTime::ZERO);
         }
+    }
+
+    #[test]
+    fn wall_clock_segments_follow_arrival_intensity() {
+        // Arrivals at 0..5 s, 100..102 s, 250 s with a 100 s window:
+        // three non-empty windows (an empty 3rd window would start at 200,
+        // but 250 falls inside [200, 300)).
+        let mut jobs: Vec<Job> = (0..6).map(|i| job(i, i as f64, 10.0)).collect();
+        jobs.push(job(6, 100.0, 10.0));
+        jobs.push(job(7, 102.0, 10.0));
+        jobs.push(job(8, 250.0, 10.0));
+        let t = Trace::new(jobs).unwrap();
+        let segs = t.segments_by_wall_clock(100.0);
+        assert_eq!(segs.iter().map(Trace::len).collect::<Vec<_>>(), [6, 2, 1]);
+        for s in &segs {
+            assert_eq!(s.jobs()[0].arrival, SimTime::ZERO, "segments are rebased");
+        }
+    }
+
+    #[test]
+    fn wall_clock_segments_skip_empty_windows() {
+        // A gap of many windows between two bursts yields exactly two
+        // segments, not a run of empties.
+        let t = Trace::new(vec![job(0, 0.0, 10.0), job(1, 1000.0, 10.0)]).unwrap();
+        let segs = t.segments_by_wall_clock(10.0);
+        assert_eq!(segs.len(), 2);
+        assert!(segs.iter().all(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn wall_clock_segments_one_window_holds_everything() {
+        let jobs: Vec<Job> = (0..5).map(|i| job(i, i as f64, 10.0)).collect();
+        let t = Trace::new(jobs).unwrap();
+        let segs = t.segments_by_wall_clock(1e6);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].len(), 5);
     }
 
     #[test]

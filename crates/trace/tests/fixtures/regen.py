@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Regenerates the committed trace fixtures in this directory.
+
+Deterministic (fixed LCG seeds, no wall clock): rerunning reproduces the
+committed bytes exactly. Counter expectations pinned in
+crates/trace/tests/fixtures.rs must be updated together with any change
+here. See crates/trace/README.md ("Fixtures").
+"""
+import os
+
+DAY = 86_400.0
+SPAN_DAYS = 25.0  # > 3 weeks so weekly segmentation yields 4 segments
+
+
+class Lcg:
+    """Numerical Recipes LCG — stable across python versions."""
+
+    def __init__(self, seed):
+        self.state = seed & 0xFFFFFFFFFFFFFFFF
+
+    def next_u64(self):
+        self.state = (self.state * 6364136223846793005 + 1442695040888963407) & 0xFFFFFFFFFFFFFFFF
+        return self.state
+
+    def unit(self):
+        return (self.next_u64() >> 11) / float(1 << 53)
+
+    def uniform(self, lo, hi):
+        return lo + (hi - lo) * self.unit()
+
+    def shuffle(self, xs):
+        for i in range(len(xs) - 1, 0, -1):
+            j = self.next_u64() % (i + 1)
+            xs[i], xs[j] = xs[j], xs[i]
+
+
+def google(path):
+    """task_events: 120 kept (8 demand-defaulted), 3 incomplete,
+    2 non-positive-duration, 4 duration-filtered."""
+    rng = Lcg(0x600613)
+    rows = []
+    tasks = (
+        [("kept", i) for i in range(120)]
+        + [("incomplete", i) for i in range(3)]
+        + [("nonpositive", i) for i in range(2)]
+        + [("filtered", i) for i in range(4)]
+    )
+    rng.shuffle(tasks)
+    for job_id, (kind, k) in enumerate(tasks, start=1000):
+        submit = int(rng.uniform(0.0, SPAN_DAYS * DAY) * 1e6)
+        sched = submit + int(rng.uniform(0.5, 30.0) * 1e6)
+        cpu = f"{rng.uniform(0.02, 0.6):.4f}"
+        mem = f"{rng.uniform(0.01, 0.5):.4f}"
+        disk = f"{rng.uniform(0.001, 0.05):.5f}"
+        if kind == "kept":
+            finish = sched + int(rng.uniform(90.0, 5400.0) * 1e6)
+            if k < 8:  # missing demand column -> demand_defaulted
+                cpu = ""
+            rows.append((submit, f"{submit},,{job_id},0,42,0,user,2,5,{cpu},{mem},{disk},0"))
+            rows.append((sched, f"{sched},,{job_id},0,42,1,user,2,5,,,,0"))
+            rows.append((finish, f"{finish},,{job_id},0,42,4,user,2,5,,,,0"))
+        elif kind == "incomplete":
+            rows.append((submit, f"{submit},,{job_id},0,42,0,user,2,5,{cpu},{mem},{disk},0"))
+        elif kind == "nonpositive":
+            rows.append((submit, f"{submit},,{job_id},0,42,0,user,2,5,{cpu},{mem},{disk},0"))
+            rows.append((sched, f"{sched},,{job_id},0,42,1,user,2,5,,,,0"))
+            rows.append((sched, f"{sched},,{job_id},0,42,4,user,2,5,,,,0"))
+        else:  # filtered: alternate too-short / too-long
+            dur = 20.0 if k % 2 == 0 else 9000.0
+            finish = sched + int(dur * 1e6)
+            rows.append((submit, f"{submit},,{job_id},0,42,0,user,2,5,{cpu},{mem},{disk},0"))
+            rows.append((sched, f"{sched},,{job_id},0,42,1,user,2,5,,,,0"))
+            rows.append((finish, f"{finish},,{job_id},0,42,4,user,2,5,,,,0"))
+    rows.sort(key=lambda r: r[0])  # event log is time-ordered like the real trace
+    with open(path, "w") as f:
+        f.write("\n".join(r[1] for r in rows) + "\n")
+    print(f"{path}: {len(rows)} rows, {len(tasks)} tasks")
+
+
+def alibaba(path):
+    """batch_task: 130 kept (7 demand-defaulted), 8 running + 5 failed
+    (incomplete), 3 non-positive-duration, 6 duration-filtered."""
+    rng = Lcg(0xA11BABA)
+    rows = []
+    specs = (
+        [("kept", i) for i in range(130)]
+        + [("running", i) for i in range(8)]
+        + [("failed", i) for i in range(5)]
+        + [("nonpositive", i) for i in range(3)]
+        + [("filtered", i) for i in range(6)]
+    )
+    rng.shuffle(specs)
+    for task_no, (kind, k) in enumerate(specs, start=1):
+        create = int(rng.uniform(0.0, SPAN_DAYS * DAY))
+        cpu = f"{rng.uniform(10.0, 90.0):.1f}"
+        mem = f"{rng.uniform(0.01, 0.4):.4f}"
+        job = 2000 + task_no
+        if kind == "kept":
+            end = create + int(rng.uniform(90.0, 5400.0))
+            if k < 7:  # missing plan columns -> demand_defaulted
+                cpu, mem = "", ""
+            rows.append((create, f"{create},{end},{job},1,1,Terminated,{cpu},{mem}"))
+        elif kind == "running":
+            rows.append((create, f"{create},,{job},1,1,Running,{cpu},{mem}"))
+        elif kind == "failed":
+            end = create + int(rng.uniform(10.0, 500.0))
+            rows.append((create, f"{create},{end},{job},1,1,Failed,{cpu},{mem}"))
+        elif kind == "nonpositive":
+            rows.append((create, f"{create},{create},{job},1,1,Terminated,{cpu},{mem}"))
+        else:
+            dur = 30 if k % 2 == 0 else 10000
+            rows.append((create, f"{create},{create + dur},{job},1,1,Terminated,{cpu},{mem}"))
+    rows.sort(key=lambda r: r[0])
+    with open(path, "w") as f:
+        f.write("\n".join(r[1] for r in rows) + "\n")
+    print(f"{path}: {len(rows)} rows")
+
+
+if __name__ == "__main__":
+    here = os.path.dirname(os.path.abspath(__file__))
+    google(os.path.join(here, "google_task_events.csv"))
+    alibaba(os.path.join(here, "alibaba_batch_task.csv"))

@@ -156,7 +156,7 @@ pub mod prop {
             VecStrategy { element, size }
         }
 
-        /// The strategy returned by [`vec`].
+        /// The strategy returned by [`vec()`].
         pub struct VecStrategy<S, Z> {
             element: S,
             size: Z,
