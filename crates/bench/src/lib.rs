@@ -26,4 +26,6 @@
 //! Criterion micro-benches (decision latency, LSTM step, simulator
 //! throughput) live in `benches/`.
 
+#![forbid(unsafe_code)]
+
 pub mod harness;

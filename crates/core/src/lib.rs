@@ -42,6 +42,8 @@
 //! # Ok::<(), String>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod allocator;
 pub mod dpm;
 pub mod dqn;

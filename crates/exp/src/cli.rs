@@ -66,6 +66,7 @@ pub struct SweepArgs {
 impl SweepArgs {
     /// Parses `std::env::args()`, ignoring unknown flags with a warning.
     pub fn from_env() -> Self {
+        // lint:allow(ambient-entropy): CLI argv parsing for bin targets, not sim state
         Self::parse(std::env::args().skip(1))
     }
 

@@ -237,6 +237,8 @@
 //! ([`report::peak_rss_bytes`]) that the CI perf gate guards alongside
 //! throughput.
 
+#![forbid(unsafe_code)]
+
 pub mod cli;
 pub mod presets;
 pub mod report;

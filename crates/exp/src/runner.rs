@@ -44,7 +44,7 @@ use hierdrl_trace::materialize::{TraceCache, TraceSpec};
 use hierdrl_trace::source::{with_synthetic_demands, TraceSource};
 use hierdrl_trace::trace::Trace;
 use rayon::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -59,9 +59,12 @@ struct Pretrained {
 
 type PretrainSlot = Arc<Mutex<Option<Pretrained>>>;
 
+// Key-ordered maps for both memoization caches: lookups don't care, but
+// key order means any future iteration (diagnostics, eviction sweeps) is
+// deterministic by construction, and the nondet-iteration lint stays quiet.
 #[derive(Default)]
 struct PretrainCache {
-    slots: Mutex<HashMap<String, PretrainSlot>>,
+    slots: Mutex<BTreeMap<String, PretrainSlot>>,
 }
 
 impl PretrainCache {
@@ -94,7 +97,7 @@ struct RunContext {
     /// Parsed on-disk traces, memoized by source label (`format:path`) so
     /// every cell replaying the same file parses it once. Parsing is a
     /// pure function of the file, so the cache never changes results.
-    real_traces: Mutex<HashMap<String, Arc<(Trace, ParseStats)>>>,
+    real_traces: Mutex<BTreeMap<String, Arc<(Trace, ParseStats)>>>,
 }
 
 impl RunContext {
@@ -406,11 +409,11 @@ impl SuiteRunner {
     ///
     /// Returns the first failing cell's error, tagged with its scenario id.
     pub fn run(&self, suite: &Suite) -> Result<SuiteRun, String> {
-        let started = Instant::now();
+        let started = Instant::now(); // lint:allow(wall-clock): timing feeds BenchReport only, never SuiteReport
         let ctx = RunContext {
             traces: self.traces.clone().unwrap_or_default(),
             pretrained: PretrainCache::default(),
-            real_traces: Mutex::new(HashMap::new()),
+            real_traces: Mutex::new(BTreeMap::new()),
         };
         // An external cache may carry earlier activity; report deltas.
         let (hits_before, misses_before) = (ctx.traces.hits(), ctx.traces.misses());
@@ -935,7 +938,7 @@ fn execute_policy(
         .with_fleet_events(&fault_events);
     let mut segments: Vec<SegmentRun> = Vec::with_capacity(segment_traces.len());
     for (i, trace) in segment_traces.iter().enumerate() {
-        let started = Instant::now();
+        let started = Instant::now(); // lint:allow(wall-clock): timing feeds BenchReport only, never SuiteReport
         let result = experiment.run_segment(i, allocator.as_dyn(), power.as_dyn())?;
         segments.push(SegmentRun {
             segment: i,
@@ -973,7 +976,7 @@ fn run_shard(
     segment_jobs: Vec<Vec<hierdrl_sim::job::Job>>,
     name: &str,
 ) -> Result<ShardRun, String> {
-    let started = Instant::now();
+    let started = Instant::now(); // lint:allow(wall-clock): timing feeds BenchReport only, never SuiteReport
     let jobs_routed: u64 = segment_jobs.iter().map(|j| j.len() as u64).sum();
     // The streams were truncated before routing; each shard drains its
     // share of each segment.
@@ -1088,7 +1091,7 @@ fn resolve_cell_traces(
 }
 
 fn run_cell(scenario: &Scenario, ctx: &RunContext) -> Result<CellRun, String> {
-    let started = Instant::now();
+    let started = Instant::now(); // lint:allow(wall-clock): timing feeds BenchReport only, never SuiteReport
     let (mut traces, provenance) = resolve_cell_traces(scenario, ctx)?;
     // Arrival-spike fault shapes extend the evaluation stream itself, so
     // they inject here — before the single/multi-cluster split and before

@@ -156,6 +156,7 @@ pub fn run_scale_cell(spec: &ScaleSpec, policy: &str) -> Result<ScaleCellRun, St
     let cluster = spec.cluster();
     let arrivals = ArrivalSource::from_stream(spec.trace_spec().stream()?);
     let mut allocator = RoundRobinAllocator::new();
+    // lint:allow(wall-clock): throughput telemetry only, kept out of reports
     let started = Instant::now();
     let result = match policy {
         "round-robin" => run_streamed(

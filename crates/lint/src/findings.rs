@@ -1,0 +1,207 @@
+//! Findings, the per-file report table, and the machine-readable JSON
+//! artifact (hand-serialized — the linter depends on nothing it lints).
+
+use std::fmt::Write as _;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The rule id (e.g. `wall-clock`).
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Convenience constructor.
+    pub fn new(rule: &str, file: &str, line: u32, message: impl Into<String>) -> Self {
+        Self {
+            rule: rule.to_string(),
+            file: file.to_string(),
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+/// One justified suppression that was actually exercised.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsedAllow {
+    /// The suppressed rule id.
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line of the allow comment.
+    pub line: u32,
+    /// The written justification.
+    pub reason: String,
+}
+
+/// The outcome of one linter run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Allows that suppressed at least one finding.
+    pub allows_used: Vec<UsedAllow>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Rule ids that ran.
+    pub rules: Vec<String>,
+}
+
+impl Report {
+    /// Whether the run is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders the per-file findings table (empty string when clean).
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        let mut current_file = "";
+        for f in &self.findings {
+            if f.file != current_file {
+                if !current_file.is_empty() {
+                    out.push('\n');
+                }
+                let _ = writeln!(out, "{}", f.file);
+                current_file = &f.file;
+            }
+            let _ = writeln!(out, "  {:>5}  {:<24} {}", f.line, f.rule, f.message);
+        }
+        out
+    }
+
+    /// Renders the one-line summary.
+    pub fn summary(&self) -> String {
+        if self.is_clean() {
+            format!(
+                "lint clean: {} files, {} rules, {} justified allow(s) in use",
+                self.files_scanned,
+                self.rules.len(),
+                self.allows_used.len()
+            )
+        } else {
+            format!(
+                "{} finding(s) across {} files ({} rules ran)",
+                self.findings.len(),
+                self.files_scanned,
+                self.rules.len()
+            )
+        }
+    }
+
+    /// Serializes the report as a stable JSON artifact.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": \"hierdrl-lint/1\",");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"clean\": {},", self.is_clean());
+        let _ = writeln!(
+            out,
+            "  \"rules\": [{}],",
+            self.rules
+                .iter()
+                .map(|r| json_str(r))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                json_str(&f.rule),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.message)
+            );
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"allows_used\": [");
+        for (i, a) in self.allows_used.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"reason\": {}}}",
+                json_str(&a.rule),
+                json_str(&a.file),
+                a.line,
+                json_str(&a.reason)
+            );
+        }
+        if !self.allows_used.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// JSON string literal with escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_quotes_and_newlines() {
+        assert_eq!(json_str("a\"b\nc"), "\"a\\\"b\\nc\"");
+    }
+
+    #[test]
+    fn clean_report_serializes_empty_arrays() {
+        let r = Report {
+            files_scanned: 3,
+            rules: vec!["wall-clock".into()],
+            ..Report::default()
+        };
+        let json = r.to_json();
+        assert!(json.contains("\"clean\": true"));
+        assert!(json.contains("\"findings\": []"));
+        assert!(r.table().is_empty());
+    }
+
+    #[test]
+    fn table_groups_by_file() {
+        let r = Report {
+            findings: vec![
+                Finding::new("wall-clock", "a.rs", 3, "x"),
+                Finding::new("wall-clock", "a.rs", 9, "y"),
+                Finding::new("ambient-entropy", "b.rs", 1, "z"),
+            ],
+            files_scanned: 2,
+            ..Report::default()
+        };
+        let t = r.table();
+        assert_eq!(t.matches("a.rs").count(), 1);
+        assert!(t.contains("b.rs"));
+    }
+}

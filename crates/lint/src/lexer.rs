@@ -1,0 +1,480 @@
+//! A minimal, hand-rolled Rust lexer: just enough to tell code from
+//! comments and string literals, which is what every rule needs.
+//!
+//! The lexer is deliberately *not* a full Rust grammar — no keywords, no
+//! operator fusing, no macro awareness. It guarantees exactly two things:
+//!
+//! 1. identifiers and punctuation inside string/char literals and comments
+//!    never appear in the code-token stream (so `"Instant::now"` in a log
+//!    message is not a wall-clock read), and
+//! 2. every comment is captured with its line span and whether it trails
+//!    code on the same line (so `lint:allow` and `// SAFETY:` scanning is
+//!    exact).
+//!
+//! Handled literal forms: `//`/`///`/`//!` line comments, nested
+//! `/* .. */` block comments, `"…"` with escapes, raw strings
+//! `r"…"`/`r#"…"#` (any `#` depth, with optional `b` prefix), byte strings
+//! `b"…"`, char literals (`'a'`, `'\n'`), and lifetimes (`'a`, `'_`).
+
+/// What a code token is. Comments are reported separately (see
+/// [`Comment`]) and never appear in the token stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (the lexer does not distinguish).
+    Ident(String),
+    /// A single punctuation character (`::` is two `Punct(':')` tokens).
+    Punct(char),
+    /// A string literal (regular, raw, or byte); contents discarded.
+    Str,
+    /// A char literal; contents discarded.
+    Char,
+    /// A numeric literal (integer or float, any base); text discarded.
+    Num,
+    /// A lifetime such as `'a`.
+    Lifetime,
+}
+
+/// One code token with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token's kind (and text, for identifiers).
+    pub kind: TokenKind,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// One comment (line or block) with its line span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (equal to `line` for `//`).
+    pub end_line: u32,
+    /// Full comment text including the `//` / `/*` markers.
+    pub text: String,
+    /// Whether code tokens precede the comment on its starting line.
+    pub trailing: bool,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order (no comments, no literal contents).
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` into code tokens and comments. Never fails: unterminated
+/// literals simply consume to end of input (the compiler rejects such
+/// files long before the linter matters).
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+        line_has_code: false,
+        current_line: 1,
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+    /// Whether a code token has been emitted on `current_line`.
+    line_has_code: bool,
+    current_line: u32,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn note_code(&mut self) {
+        if self.line != self.current_line {
+            self.current_line = self.line;
+            self.line_has_code = false;
+        }
+        self.line_has_code = true;
+    }
+
+    fn push(&mut self, kind: TokenKind, line: u32) {
+        self.note_code();
+        self.out.tokens.push(Token { kind, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            if self.line != self.current_line {
+                self.current_line = self.line;
+                self.line_has_code = false;
+            }
+            match c {
+                ' ' | '\t' | '\r' | '\n' => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(),
+                'r' | 'b' if self.raw_or_byte_string() => {}
+                '\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c == '_' || c.is_alphanumeric() => self.ident(),
+                c => {
+                    let line = self.line;
+                    self.bump();
+                    self.push(TokenKind::Punct(c), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let trailing = self.line_has_code && self.current_line == line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            line,
+            end_line: line,
+            text,
+            trailing,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let trailing = self.line_has_code && self.current_line == line;
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment {
+            line,
+            end_line: self.line,
+            text,
+            trailing,
+        });
+    }
+
+    /// Consumes a `"…"` literal (cursor on the opening quote).
+    fn string(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Str, line);
+    }
+
+    /// Tries to consume a raw/byte string starting at the current `r`/`b`.
+    /// Returns false (consuming nothing) if the prefix isn't one.
+    fn raw_or_byte_string(&mut self) -> bool {
+        let line = self.line;
+        let mut ahead = 1; // past the `r` or `b`
+        let first = self.peek(0).expect("caller saw r/b");
+        if first == 'b' && self.peek(1) == Some('r') {
+            ahead = 2;
+        }
+        let raw = first == 'r' || ahead == 2;
+        // Count `#`s after the prefix (raw strings only).
+        let mut hashes = 0;
+        if raw {
+            while self.peek(ahead + hashes) == Some('#') {
+                hashes += 1;
+            }
+        }
+        if self.peek(ahead + hashes) != Some('"') {
+            return false; // plain identifier starting with r/b
+        }
+        if !raw && hashes == 0 && first == 'b' {
+            // b"…" — plain byte string with escapes.
+            self.bump(); // b
+            self.string();
+            return true;
+        }
+        // r…" or br…" — raw: no escapes, ends at `"` + `hashes` `#`s.
+        for _ in 0..ahead + hashes + 1 {
+            self.bump();
+        }
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokenKind::Str, line);
+        true
+    }
+
+    /// Disambiguates char literals from lifetimes (cursor on the `'`).
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        // '\…' is always a char literal.
+        if self.peek(1) == Some('\\') {
+            self.bump(); // '
+            self.bump(); // backslash
+            self.bump(); // escaped char
+            while let Some(c) = self.bump() {
+                if c == '\'' {
+                    break;
+                }
+            }
+            self.push(TokenKind::Char, line);
+            return;
+        }
+        // 'x' — any single character followed by a closing quote — is a
+        // char literal (including '"', '.', ' '); 'ident without a closing
+        // quote is a lifetime.
+        if self.peek(2) == Some('\'') && self.peek(1) != Some('\'') {
+            self.bump();
+            self.bump();
+            self.bump();
+            self.push(TokenKind::Char, line);
+            return;
+        }
+        let mut len = 0;
+        while let Some(c) = self.peek(1 + len) {
+            if c == '_' || c.is_alphanumeric() {
+                len += 1;
+            } else {
+                break;
+            }
+        }
+        self.bump(); // '
+        for _ in 0..len {
+            self.bump();
+        }
+        self.push(TokenKind::Lifetime, line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        // Integer part (also consumes hex/suffix alphanumerics: 0xFF, 1u64).
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Fraction only if `.` is followed by a digit (so `0..n` stays a
+        // range and `x.0` stays field access).
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        // Exponent sign (`1e-3`): the `e` was consumed above, the sign and
+        // digits were not.
+        if (self.peek(0) == Some('-') || self.peek(0) == Some('+'))
+            && self
+                .chars
+                .get(self.pos.wrapping_sub(1))
+                .is_some_and(|&c| c == 'e' || c == 'E')
+            && self.peek(1).is_some_and(|c| c.is_ascii_digit())
+        {
+            self.bump();
+            while self.peek(0).is_some_and(|c| c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        self.push(TokenKind::Num, line);
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident(text), line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_their_contents() {
+        let src = r#"
+            // Instant::now in a comment
+            let x = "Instant::now in a string";
+            /* HashMap in a block
+               comment */
+            let y = 1;
+        "#;
+        let ids = idents(src);
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert_eq!(ids, vec!["let", "x", "let", "y"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_opaque() {
+        let src = r##"let s = r#"thread_rng() "quoted" inside"#; call();"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"thread_rng".to_string()));
+        assert!(ids.contains(&"call".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let lexed = lex(src);
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn punctuation_char_literals_are_not_lifetimes() {
+        // A quote inside a char literal must not open a phantom string.
+        let src = "if c == '\"' { x(); }\nlet after = thread_rng;";
+        let lexed = lex(src);
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Char && t.line == 1));
+        assert!(idents(src).contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn escaped_char_literal_does_not_eat_the_file() {
+        let src = "let a = '\\n'; let b = after;";
+        assert!(idents(src).contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn trailing_comments_are_marked() {
+        let src = "let x = 1; // trailing\n// leading\nlet y = 2;";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].trailing);
+        assert!(!lexed.comments[1].trailing);
+    }
+
+    #[test]
+    fn numbers_cover_floats_ranges_and_exponents() {
+        let src = "let a = 1e-3 + 0.5; for i in 0..10 { x.0; }";
+        let lexed = lex(src);
+        let nums = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Num)
+            .count();
+        // 1e-3, 0.5, 0, 10, 0 (tuple index)
+        assert_eq!(nums, 5);
+        assert!(idents(src).contains(&"i".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let src = "/* outer /* inner */ still comment */ let real = 1;";
+        assert_eq!(idents(src), vec!["let", "real"]);
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_accurate() {
+        let src = "let a = 1;\n\nlet b = 2;";
+        let lexed = lex(src);
+        assert_eq!(lexed.tokens[0].line, 1);
+        let b_tok = lexed.tokens.iter().find(|t| t.ident() == Some("b"));
+        assert_eq!(b_tok.unwrap().line, 3);
+    }
+}

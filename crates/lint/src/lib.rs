@@ -1,0 +1,128 @@
+//! # hierdrl-lint
+//!
+//! The workspace determinism & safety linter ("detlint"). The repo's
+//! headline guarantee — serial == sharded == batched, **bit for bit** —
+//! is enforced at runtime by equivalence tests, but the hazard classes
+//! that break it (unordered `HashMap` iteration, wall-clock reads,
+//! ambient entropy, reassociated parallel float reductions, unaudited
+//! `unsafe`) used to be caught by nothing until a golden file flipped.
+//! This crate promotes those conventions into declarative, machine-checked
+//! rules that run in CI *before* any simulation does.
+//!
+//! Run it over the workspace with:
+//!
+//! ```text
+//! cargo run --release -p hierdrl-lint -- --workspace
+//! ```
+//!
+//! Suppress an individual finding with an inline justification, which the
+//! linter verifies is present, non-empty, and actually used:
+//!
+//! ```text
+//! let started = Instant::now(); // lint:allow(wall-clock): bench metadata only
+//! ```
+//!
+//! See `crates/lint/README.md` for every rule and its rationale.
+
+#![forbid(unsafe_code)]
+
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+use findings::{Finding, Report, UsedAllow};
+use rules::Rule;
+use source::Workspace;
+use std::io;
+use std::path::Path;
+
+/// Known rule ids, used to validate `lint:allow(<id>)` references.
+fn known_rule_ids(rules: &[Box<dyn Rule>]) -> Vec<String> {
+    rules.iter().map(|r| r.id().to_string()).collect()
+}
+
+/// Lints a loaded [`Workspace`] with the given rules, applying inline
+/// suppressions and reporting meta-findings (allows without a reason,
+/// allows that suppress nothing, allows naming unknown rules).
+pub fn lint(ws: &Workspace, rules: &[Box<dyn Rule>]) -> Report {
+    let rule_ids = known_rule_ids(rules);
+    let mut findings: Vec<Finding> = Vec::new();
+
+    for rule in rules {
+        for file in &ws.files {
+            let mut raw = Vec::new();
+            rule.check_file(file, &mut raw);
+            for f in raw {
+                if !file.suppresses(rule.id(), f.line) {
+                    findings.push(f);
+                }
+            }
+        }
+        rule.check_workspace(ws, &mut findings);
+    }
+
+    // Meta-findings about the allow machinery itself. These are not
+    // themselves suppressible: an unused or reasonless allow is dead
+    // weight that misleads the next reader about what the code needs.
+    let mut allows_used = Vec::new();
+    for file in &ws.files {
+        for a in &file.allows {
+            if !rule_ids.iter().any(|id| id == &a.rule) {
+                findings.push(Finding::new(
+                    "unknown-rule-allow",
+                    &file.rel,
+                    a.line,
+                    format!("lint:allow names unknown rule `{}`", a.rule),
+                ));
+                continue;
+            }
+            if a.reason.is_empty() {
+                findings.push(Finding::new(
+                    "allow-missing-reason",
+                    &file.rel,
+                    a.line,
+                    format!(
+                        "lint:allow({}) has no written reason; append `: <why>`",
+                        a.rule
+                    ),
+                ));
+            }
+            if a.used.get() {
+                allows_used.push(UsedAllow {
+                    rule: a.rule.clone(),
+                    file: file.rel.clone(),
+                    line: a.line,
+                    reason: a.reason.clone(),
+                });
+            } else {
+                findings.push(Finding::new(
+                    "unused-allow",
+                    &file.rel,
+                    a.line,
+                    format!("lint:allow({}) suppresses nothing here; remove it", a.rule),
+                ));
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule.as_str()).cmp(&(b.file.as_str(), b.line, b.rule.as_str()))
+    });
+    Report {
+        findings,
+        allows_used,
+        files_scanned: ws.files.len(),
+        rules: rule_ids,
+    }
+}
+
+/// Loads the workspace at `root` and lints it with the default rules.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the workspace walk.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let ws = Workspace::load(root)?;
+    Ok(lint(&ws, &rules::default_rules()))
+}

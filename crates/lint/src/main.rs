@@ -1,0 +1,80 @@
+//! The `hierdrl-lint` CLI: `cargo run --release -p hierdrl-lint -- --workspace`.
+//!
+//! Exits nonzero on any finding, so the lint step gates CI. `--json PATH`
+//! additionally writes the machine-readable findings artifact.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    json: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut root = None;
+    let mut json = None;
+    let mut workspace = false;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => {
+                let v = iter.next().ok_or("--root needs a path")?;
+                root = Some(PathBuf::from(v));
+            }
+            "--json" => {
+                let v = iter.next().ok_or("--json needs a path")?;
+                json = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                return Err(String::from(
+                    "usage: hierdrl-lint --workspace [--root DIR] [--json OUT.json]",
+                ))
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    if !workspace {
+        return Err(String::from(
+            "pass --workspace to lint the whole workspace (the only mode)",
+        ));
+    }
+    // Under `cargo run` the working directory is the workspace root.
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+    Ok(Args { root, json })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match hierdrl_lint::lint_workspace(&args.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("hierdrl-lint: workspace walk failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &args.json {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("hierdrl-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if !report.is_clean() {
+        print!("{}", report.table());
+    }
+    println!("{}", report.summary());
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

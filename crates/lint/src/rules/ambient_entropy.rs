@@ -1,0 +1,71 @@
+//! `ambient-entropy`: no entropy or environment reads outside bin targets.
+//!
+//! Every RNG in the workspace must be seeded from the scenario's own
+//! SplitMix64 seed tree; `thread_rng()` / `from_entropy()` smuggle OS
+//! entropy into what must be a pure function of (scenario, seed), and
+//! `std::env` reads make library behavior depend on who launched the
+//! process. Bin targets (CLI flag parsing) and test code (e.g. the
+//! `UPDATE_GOLDEN` regeneration switch) are exempt; library sites that
+//! genuinely parse process arguments for the bins carry
+//! `// lint:allow(ambient-entropy): <why>`.
+
+use super::Rule;
+use crate::findings::Finding;
+use crate::source::{LintedFile, TargetKind};
+
+/// `std::env` functions that read the ambient environment.
+const ENV_READS: &[&str] = &["var", "var_os", "vars", "vars_os", "args", "args_os"];
+
+/// See the module docs.
+pub struct AmbientEntropy;
+
+impl Rule for AmbientEntropy {
+    fn id(&self) -> &'static str {
+        "ambient-entropy"
+    }
+
+    fn check_file(&self, file: &LintedFile, out: &mut Vec<Finding>) {
+        if matches!(file.kind, TargetKind::Bin | TargetKind::Example) {
+            return;
+        }
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            let Some(id) = toks[i].ident() else {
+                continue;
+            };
+            let line = toks[i].line;
+            if file.is_test_code(line) {
+                continue;
+            }
+            if id == "thread_rng" || id == "from_entropy" {
+                out.push(Finding::new(
+                    self.id(),
+                    &file.rel,
+                    line,
+                    format!(
+                        "`{id}` draws ambient OS entropy; seed from the scenario's \
+                         SplitMix64 tree instead or justify with lint:allow"
+                    ),
+                ));
+            }
+            // `env::var(…)` etc., qualified through the `env` module.
+            if id == "env"
+                && i + 3 < toks.len()
+                && toks[i + 1].is_punct(':')
+                && toks[i + 2].is_punct(':')
+                && toks[i + 3].ident().is_some_and(|f| ENV_READS.contains(&f))
+            {
+                let f = toks[i + 3].ident().unwrap_or_default();
+                out.push(Finding::new(
+                    self.id(),
+                    &file.rel,
+                    line,
+                    format!(
+                        "`env::{f}` reads the process environment in library code; \
+                         move to a bin target or justify with lint:allow"
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! `float-reduction`: parallel reductions must be marked order-safe.
+//!
+//! Floating-point addition is not associative, so a rayon `fold`/`reduce`/
+//! `sum` over floats produces schedule-dependent bytes — the exact failure
+//! mode the serial==sharded bar exists to catch. The workspace convention
+//! is that parallel stages return per-item results which are *merged in
+//! input order* on one thread (see `aggregate_shards`); a parallel
+//! reduction is only acceptable when its operation is genuinely
+//! order-insensitive (integer counters, max of ints) and says so:
+//! `// lint:allow(float-reduction): <why the reduction is order-safe>`.
+
+use super::Rule;
+use crate::findings::Finding;
+use crate::source::LintedFile;
+
+/// Identifiers that start a rayon-style parallel chain.
+const PAR_SOURCES: &[&str] = &[
+    "par_iter",
+    "par_iter_mut",
+    "into_par_iter",
+    "par_chunks",
+    "par_chunks_mut",
+    "par_bridge",
+    "par_extend",
+];
+
+/// Reducing adapters whose result depends on evaluation order for
+/// non-associative operations.
+const REDUCERS: &[&str] = &[
+    "sum",
+    "product",
+    "fold",
+    "reduce",
+    "fold_with",
+    "reduce_with",
+];
+
+/// See the module docs.
+pub struct FloatReduction;
+
+impl Rule for FloatReduction {
+    fn id(&self) -> &'static str {
+        "float-reduction"
+    }
+
+    fn check_file(&self, file: &LintedFile, out: &mut Vec<Finding>) {
+        let toks = &file.tokens;
+        // Paren/bracket/brace depth per token, so a chain's window can end
+        // at the statement's own `;` and not a closure-internal one.
+        let mut depths = Vec::with_capacity(toks.len());
+        let mut d = 0i32;
+        for t in toks {
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depths.push(d);
+                d += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                d -= 1;
+                depths.push(d);
+            } else {
+                depths.push(d);
+            }
+        }
+        for i in 0..toks.len() {
+            let Some(id) = toks[i].ident() else {
+                continue;
+            };
+            if !PAR_SOURCES.contains(&id) || file.is_test_code(toks[i].line) {
+                continue;
+            }
+            let base = depths[i];
+            // Scan the rest of the statement for a reducing adapter.
+            for j in i + 1..toks.len().min(i + 600) {
+                // Statement end, or the enclosing block closed (a tail
+                // expression has no `;` — don't scan into the next item).
+                if (toks[j].is_punct(';') && depths[j] <= base) || depths[j] < base {
+                    break;
+                }
+                let Some(m) = toks[j].ident() else {
+                    continue;
+                };
+                if REDUCERS.contains(&m) && j > 0 && toks[j - 1].is_punct('.') && depths[j] == base
+                {
+                    out.push(Finding::new(
+                        self.id(),
+                        &file.rel,
+                        toks[j].line,
+                        format!(
+                            "`.{m}(…)` on a `{id}` chain: parallel reductions reassociate; \
+                             merge per-item results in input order, or mark the reduction \
+                             order-safe with lint:allow"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! The rule registry.
+//!
+//! Each rule maps one hazard class for the workspace's standing
+//! correctness bar — serial == sharded == batched, bit for bit — onto a
+//! machine-checked source pattern. See `crates/lint/README.md` for the
+//! rationale behind every rule.
+
+mod ambient_entropy;
+mod float_reduction;
+mod nondet_iteration;
+mod test_presence;
+mod unsafe_safety;
+mod wall_clock;
+
+use crate::findings::Finding;
+use crate::source::{LintedFile, Workspace};
+
+pub use ambient_entropy::AmbientEntropy;
+pub use float_reduction::FloatReduction;
+pub use nondet_iteration::NondetIteration;
+pub use test_presence::{TestPresence, EXPECTED_TESTS_MANIFEST};
+pub use unsafe_safety::UnsafeSafetyComment;
+pub use wall_clock::WallClock;
+
+/// A lint rule. Rules see one file at a time plus, optionally, the whole
+/// workspace (for cross-file obligations such as crate-level
+/// `#![forbid(unsafe_code)]` or the test-inventory manifest).
+pub trait Rule {
+    /// Stable rule id, as written in `lint:allow(<id>)`.
+    fn id(&self) -> &'static str;
+
+    /// Checks one file, pushing findings (suppression is applied by the
+    /// engine afterwards, so rules never look at allows).
+    fn check_file(&self, _file: &LintedFile, _out: &mut Vec<Finding>) {}
+
+    /// Checks workspace-level obligations. Findings from this hook are
+    /// *not* suppressible with inline allows.
+    fn check_workspace(&self, _ws: &Workspace, _out: &mut Vec<Finding>) {}
+}
+
+/// The default registry, in the order rules run and report.
+pub fn default_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(nondet_iteration::NondetIteration),
+        Box::new(wall_clock::WallClock),
+        Box::new(ambient_entropy::AmbientEntropy),
+        Box::new(float_reduction::FloatReduction),
+        Box::new(unsafe_safety::UnsafeSafetyComment),
+        Box::new(test_presence::TestPresence),
+    ]
+}

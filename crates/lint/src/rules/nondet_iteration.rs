@@ -1,0 +1,164 @@
+//! `nondet-iteration`: iteration over `HashMap`/`HashSet` in the crates
+//! that feed reports and snapshots.
+//!
+//! `std::collections::HashMap` iterates in a per-instance random order
+//! (its hasher is seeded from process entropy), so any value that flows
+//! from map iteration into a report row, a serialized snapshot, or a job
+//! stream can differ between two runs of the *same* binary — exactly the
+//! hazard class behind the one real bug this rule surfaced on landing:
+//! `google.rs` pushed jobs in `tasks.values()` order and stable-sorted by
+//! arrival, so equal-arrival jobs kept random relative order. Iterate a
+//! `BTreeMap`/sorted keys instead, or justify the site with
+//! `// lint:allow(nondet-iteration): <why order cannot matter>`.
+
+use super::Rule;
+use crate::findings::Finding;
+use crate::source::LintedFile;
+use std::collections::BTreeSet;
+
+/// Crates whose values reach reports, snapshots, or golden files.
+const SCOPED_CRATES: &[&str] = &[
+    "hierdrl",
+    "hierdrl-core",
+    "hierdrl-exp",
+    "hierdrl-rl",
+    "hierdrl-sim",
+    "hierdrl-trace",
+];
+
+/// Methods whose results expose map iteration order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+];
+
+/// See the module docs.
+pub struct NondetIteration;
+
+impl Rule for NondetIteration {
+    fn id(&self) -> &'static str {
+        "nondet-iteration"
+    }
+
+    fn check_file(&self, file: &LintedFile, out: &mut Vec<Finding>) {
+        if !SCOPED_CRATES.contains(&file.crate_name.as_str()) {
+            return;
+        }
+        let names = declared_hash_collections(file);
+        if names.is_empty() {
+            return;
+        }
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if file.is_test_code(toks[i].line) {
+                continue;
+            }
+            // `name.method(` where `name` is a known hash collection.
+            if i + 3 < toks.len()
+                && toks[i + 1].is_punct('.')
+                && toks[i + 3].is_punct('(')
+                && toks[i].ident().is_some_and(|n| {
+                    names.contains(n)
+                        && toks[i + 2]
+                            .ident()
+                            .is_some_and(|m| ITER_METHODS.contains(&m))
+                })
+            {
+                let name = toks[i].ident().unwrap_or_default();
+                let method = toks[i + 2].ident().unwrap_or_default();
+                out.push(Finding::new(
+                    self.id(),
+                    &file.rel,
+                    toks[i + 2].line,
+                    format!(
+                        "`{name}.{method}()` iterates a HashMap/HashSet in random order; \
+                         use a BTreeMap/sorted keys or justify with lint:allow"
+                    ),
+                ));
+            }
+            // `for pat in [&[mut]] name` where `name` is a known collection.
+            if toks[i].ident() == Some("in") && i > 0 && i + 1 < toks.len() {
+                let mut j = i + 1;
+                while j < toks.len() && (toks[j].is_punct('&') || toks[j].ident() == Some("mut")) {
+                    j += 1;
+                }
+                // Only a bare `name` (not `name.something` / `name(...)`):
+                // the method-call arm above handles chained forms.
+                let bare = j + 1 >= toks.len()
+                    || !(toks[j + 1].is_punct('.') || toks[j + 1].is_punct('('));
+                if bare {
+                    if let Some(name) = toks[j].ident() {
+                        if names.contains(name) && preceded_by_for(toks, i) {
+                            out.push(Finding::new(
+                                self.id(),
+                                &file.rel,
+                                toks[j].line,
+                                format!(
+                                    "`for … in {name}` iterates a HashMap/HashSet in random \
+                                     order; use a BTreeMap/sorted keys or justify with lint:allow"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Collects identifiers bound to `HashMap`/`HashSet` in this file: let
+/// bindings and struct fields with an explicit `: …HashMap<…>` type, and
+/// `name = HashMap::new()`-style initializers.
+fn declared_hash_collections(file: &LintedFile) -> BTreeSet<String> {
+    let toks = &file.tokens;
+    let mut names = BTreeSet::new();
+    for i in 0..toks.len() {
+        let Some(name) = toks[i].ident() else {
+            continue;
+        };
+        if name == "HashMap" || name == "HashSet" {
+            continue;
+        }
+        let Some(next) = toks.get(i + 1) else {
+            continue;
+        };
+        // `name : …HashMap< …` — scan a short window of type tokens.
+        if next.is_punct(':') && !toks.get(i + 2).is_some_and(|t| t.is_punct(':')) {
+            for t in toks.iter().skip(i + 2).take(10) {
+                if t.is_punct(';') || t.is_punct(',') || t.is_punct('=') || t.is_punct('{') {
+                    break;
+                }
+                if matches!(t.ident(), Some("HashMap" | "HashSet")) {
+                    names.insert(name.to_string());
+                    break;
+                }
+            }
+        }
+        // `name = HashMap::new()` / struct-literal `name: HashMap::new()`.
+        if next.is_punct('=') || next.is_punct(':') {
+            if let (Some(a), Some(b)) = (toks.get(i + 2), toks.get(i + 3)) {
+                if matches!(a.ident(), Some("HashMap" | "HashSet")) && b.is_punct(':') {
+                    names.insert(name.to_string());
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Whether the `in` at token index `i` belongs to a `for` loop (rather
+/// than e.g. a pattern guard) — looks back a few tokens for `for`.
+fn preceded_by_for(toks: &[crate::lexer::Token], i: usize) -> bool {
+    toks[..i]
+        .iter()
+        .rev()
+        .take(8)
+        .any(|t| t.ident() == Some("for"))
+}

@@ -1,0 +1,174 @@
+//! `test-presence`: the determinism/equivalence test inventory.
+//!
+//! The suite's standing guarantees (serial==parallel, sharded==serial,
+//! batched==unbatched, streamed==materialized, …) are only as durable as
+//! the tests that pin them. This rule replaces the old 11-line grep block
+//! in `.github/workflows/ci.yml`: `crates/lint/expected_tests.toml` lists
+//! every load-bearing test by file and function name, and the rule fails
+//! if a file disappears or a test function is renamed away. The manifest
+//! is parsed with a tiny built-in TOML-subset reader (`[[check]]` tables
+//! of string keys) so the linter stays dependency-free.
+
+use super::Rule;
+use crate::findings::Finding;
+use crate::source::Workspace;
+use std::fs;
+
+/// Workspace-relative path of the manifest this rule reads.
+pub const EXPECTED_TESTS_MANIFEST: &str = "crates/lint/expected_tests.toml";
+
+/// One `[[check]]` entry of the manifest.
+#[derive(Debug, Default, Clone)]
+struct Check {
+    file: String,
+    test: String,
+    reason: String,
+}
+
+/// See the module docs.
+pub struct TestPresence;
+
+impl Rule for TestPresence {
+    fn id(&self) -> &'static str {
+        "test-presence"
+    }
+
+    fn check_workspace(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        let manifest_path = ws.root.join(EXPECTED_TESTS_MANIFEST);
+        let text = match fs::read_to_string(&manifest_path) {
+            Ok(t) => t,
+            Err(e) => {
+                out.push(Finding::new(
+                    self.id(),
+                    EXPECTED_TESTS_MANIFEST,
+                    1,
+                    format!("cannot read the expected-tests manifest: {e}"),
+                ));
+                return;
+            }
+        };
+        let checks = match parse_checks(&text) {
+            Ok(c) => c,
+            Err((line, msg)) => {
+                out.push(Finding::new(self.id(), EXPECTED_TESTS_MANIFEST, line, msg));
+                return;
+            }
+        };
+        if checks.is_empty() {
+            out.push(Finding::new(
+                self.id(),
+                EXPECTED_TESTS_MANIFEST,
+                1,
+                "the expected-tests manifest lists no [[check]] entries",
+            ));
+            return;
+        }
+        for (idx, check) in checks.iter().enumerate() {
+            if check.file.is_empty() || check.test.is_empty() {
+                out.push(Finding::new(
+                    self.id(),
+                    EXPECTED_TESTS_MANIFEST,
+                    1,
+                    format!("[[check]] #{} must set both `file` and `test`", idx + 1),
+                ));
+                continue;
+            }
+            let Some(file) = ws.files.iter().find(|f| f.rel == check.file) else {
+                out.push(Finding::new(
+                    self.id(),
+                    &check.file,
+                    1,
+                    format!(
+                        "expected test file is missing from the workspace \
+                         (pins: {})",
+                        check.reason
+                    ),
+                ));
+                continue;
+            };
+            let present = file
+                .tokens
+                .windows(2)
+                .any(|w| w[0].ident() == Some("fn") && w[1].ident() == Some(check.test.as_str()));
+            if !present {
+                out.push(Finding::new(
+                    self.id(),
+                    &check.file,
+                    1,
+                    format!(
+                        "expected test `fn {}` is missing (pins: {})",
+                        check.test, check.reason
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Parses the `[[check]]` TOML subset: table headers, `key = "value"`
+/// string pairs, `#` comments, blank lines. Anything else is an error.
+fn parse_checks(text: &str) -> Result<Vec<Check>, (u32, String)> {
+    let mut checks: Vec<Check> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[check]]" {
+            checks.push(Check::default());
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err((line_no, format!("unparsable manifest line: {line:?}")));
+        };
+        let Some(entry) = checks.last_mut() else {
+            return Err((line_no, "key before the first [[check]] table".to_string()));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        if value.len() < 2 || !value.starts_with('"') || !value.ends_with('"') {
+            return Err((line_no, format!("`{key}` must be a quoted string")));
+        }
+        let value = value[1..value.len() - 1].to_string();
+        match key {
+            "file" => entry.file = value,
+            "test" => entry.test = value,
+            "reason" => entry.reason = value,
+            other => return Err((line_no, format!("unknown manifest key `{other}`"))),
+        }
+    }
+    Ok(checks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_checks_with_comments_and_blanks() {
+        let text = r#"
+# comment
+[[check]]
+file = "a/b.rs"
+test = "t1"
+reason = "serial==parallel"
+
+[[check]]
+file = "c.rs"
+test = "t2"
+reason = "x"
+"#;
+        let checks = parse_checks(text).unwrap();
+        assert_eq!(checks.len(), 2);
+        assert_eq!(checks[0].file, "a/b.rs");
+        assert_eq!(checks[1].test, "t2");
+    }
+
+    #[test]
+    fn rejects_unquoted_values_and_unknown_keys() {
+        assert!(parse_checks("[[check]]\nfile = bare\n").is_err());
+        assert!(parse_checks("[[check]]\nnope = \"x\"\n").is_err());
+        assert!(parse_checks("file = \"orphan\"\n").is_err());
+    }
+}

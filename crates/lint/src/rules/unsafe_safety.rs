@@ -1,0 +1,125 @@
+//! `unsafe-safety-comment`: every `unsafe` needs a written safety
+//! argument, and crates with no `unsafe` must say so with
+//! `#![forbid(unsafe_code)]`.
+//!
+//! Two obligations:
+//!
+//! 1. **Per site** — an `unsafe { … }` block needs a `// SAFETY:` comment
+//!    on the same line or within the three lines above it; an `unsafe fn`
+//!    (or `unsafe impl`) needs a `# Safety` section in its doc comment or
+//!    a `// SAFETY:` comment above the item.
+//! 2. **Per crate** — a crate whose `src/` contains no `unsafe` at all
+//!    must carry `#![forbid(unsafe_code)]` in its crate root, so unsafe
+//!    cannot creep in silently later.
+
+use super::Rule;
+use crate::findings::Finding;
+use crate::source::{LintedFile, Workspace};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How many lines above an `unsafe` site a `// SAFETY:` comment may sit.
+const SAFETY_LOOKBACK: u32 = 3;
+
+/// How many lines of contiguous docs/attributes above an `unsafe fn` are
+/// searched for a `# Safety` section.
+const DOC_LOOKBACK: u32 = 60;
+
+/// See the module docs.
+pub struct UnsafeSafetyComment;
+
+impl Rule for UnsafeSafetyComment {
+    fn id(&self) -> &'static str {
+        "unsafe-safety-comment"
+    }
+
+    fn check_file(&self, file: &LintedFile, out: &mut Vec<Finding>) {
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if toks[i].ident() != Some("unsafe") {
+                continue;
+            }
+            let line = toks[i].line;
+            let next = toks.get(i + 1);
+            let is_block = next.is_some_and(|t| t.is_punct('{'));
+            if is_block {
+                let from = line.saturating_sub(SAFETY_LOOKBACK);
+                if !file.has_comment_containing("SAFETY:", from, line) {
+                    out.push(Finding::new(
+                        self.id(),
+                        &file.rel,
+                        line,
+                        "`unsafe` block without a `// SAFETY:` comment on or above it",
+                    ));
+                }
+            } else {
+                // `unsafe fn` / `unsafe impl` / `unsafe extern`: accept a
+                // `# Safety` doc section in the attached doc block or a
+                // `// SAFETY:` comment above the item.
+                let from = line.saturating_sub(DOC_LOOKBACK);
+                if !file.has_comment_containing("# Safety", from, line)
+                    && !file.has_comment_containing("SAFETY:", from, line)
+                {
+                    out.push(Finding::new(
+                        self.id(),
+                        &file.rel,
+                        line,
+                        "`unsafe` item without a `# Safety` doc section or \
+                         `// SAFETY:` comment",
+                    ));
+                }
+            }
+        }
+    }
+
+    fn check_workspace(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        // Which crates use `unsafe` anywhere in src/ (test code included:
+        // forbid is crate-wide), and where each crate's root file is.
+        let mut uses_unsafe: BTreeSet<&str> = BTreeSet::new();
+        let mut roots: BTreeMap<&str, &LintedFile> = BTreeMap::new();
+        for f in &ws.files {
+            let in_src = f.rel.contains("/src/") || f.rel.starts_with("src/");
+            if !in_src {
+                continue;
+            }
+            if f.tokens.iter().any(|t| t.ident() == Some("unsafe")) {
+                uses_unsafe.insert(&f.crate_name);
+            }
+            if f.rel.ends_with("src/lib.rs") {
+                roots.insert(&f.crate_name, f);
+            } else if f.rel.ends_with("src/main.rs") && !roots.contains_key(f.crate_name.as_str()) {
+                roots.entry(&f.crate_name).or_insert(f);
+            }
+        }
+        for (krate, root) in roots {
+            if uses_unsafe.contains(krate) {
+                continue;
+            }
+            if !has_forbid_unsafe(root) {
+                out.push(Finding::new(
+                    self.id(),
+                    &root.rel,
+                    1,
+                    format!(
+                        "crate `{krate}` contains no unsafe code but its root lacks \
+                         `#![forbid(unsafe_code)]`"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Detects the token sequence `# ! [ forbid ( unsafe_code ) ]`.
+fn has_forbid_unsafe(file: &LintedFile) -> bool {
+    let toks = &file.tokens;
+    (0..toks.len().saturating_sub(7)).any(|i| {
+        toks[i].is_punct('#')
+            && toks[i + 1].is_punct('!')
+            && toks[i + 2].is_punct('[')
+            && toks[i + 3].ident() == Some("forbid")
+            && toks[i + 4].is_punct('(')
+            && toks[i + 5].ident() == Some("unsafe_code")
+            && toks[i + 6].is_punct(')')
+            && toks[i + 7].is_punct(']')
+    })
+}

@@ -1,0 +1,65 @@
+//! `wall-clock`: no `Instant::now` / `SystemTime::now` in deterministic
+//! crates.
+//!
+//! Simulated time is the only clock the deterministic core may read —
+//! every run is a pure function of (scenario, seed), and a wall-clock
+//! read is a hidden input that varies per run. Timing *metadata* (bench
+//! wall-clock columns, which are documented as inherently nondeterministic
+//! and kept out of `SuiteReport`) is legitimate; such sites carry
+//! `// lint:allow(wall-clock): <why it never reaches deterministic bytes>`.
+//! Test code and bin targets are exempt.
+
+use super::Rule;
+use crate::findings::Finding;
+use crate::source::{LintedFile, TargetKind};
+
+/// Crates that must stay wall-clock-free (the deterministic core plus the
+/// orchestration layer, whose reports are byte-compared across schedules).
+const SCOPED_CRATES: &[&str] = &[
+    "hierdrl",
+    "hierdrl-core",
+    "hierdrl-exp",
+    "hierdrl-neural",
+    "hierdrl-rl",
+    "hierdrl-sim",
+    "hierdrl-trace",
+];
+
+/// See the module docs.
+pub struct WallClock;
+
+impl Rule for WallClock {
+    fn id(&self) -> &'static str {
+        "wall-clock"
+    }
+
+    fn check_file(&self, file: &LintedFile, out: &mut Vec<Finding>) {
+        if !SCOPED_CRATES.contains(&file.crate_name.as_str())
+            || matches!(file.kind, TargetKind::Bin | TargetKind::Example)
+        {
+            return;
+        }
+        let toks = &file.tokens;
+        for i in 0..toks.len().saturating_sub(3) {
+            let Some(ty) = toks[i].ident() else {
+                continue;
+            };
+            if (ty == "Instant" || ty == "SystemTime")
+                && toks[i + 1].is_punct(':')
+                && toks[i + 2].is_punct(':')
+                && toks[i + 3].ident() == Some("now")
+                && !file.is_test_code(toks[i].line)
+            {
+                out.push(Finding::new(
+                    self.id(),
+                    &file.rel,
+                    toks[i].line,
+                    format!(
+                        "`{ty}::now()` reads the wall clock in a deterministic crate; \
+                         derive from simulated time or justify with lint:allow"
+                    ),
+                ));
+            }
+        }
+    }
+}

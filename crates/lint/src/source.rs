@@ -1,0 +1,434 @@
+//! The linted view of one source file and of the whole workspace.
+
+use crate::lexer::{lex, Comment, Lexed, Token};
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Which compilation target a file belongs to. Several rules scope by
+/// this: bin targets may read `std::env`, test code may read wall clocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetKind {
+    /// Library code (`src/` outside `src/bin/`).
+    Lib,
+    /// A binary target (`src/bin/*.rs`, `src/main.rs`).
+    Bin,
+    /// Integration tests and benches (`tests/`, `benches/`).
+    Test,
+    /// Example programs (`examples/`).
+    Example,
+}
+
+/// An inline suppression: `// lint:allow(rule): reason`.
+///
+/// An allow written on its own line covers the next line that holds code;
+/// written trailing after code, it covers its own line. Both placements
+/// survive `cargo fmt`, which preserves standalone and trailing comments.
+#[derive(Debug)]
+pub struct Allow {
+    /// The rule id being suppressed.
+    pub rule: String,
+    /// The written justification (may be empty — itself a finding).
+    pub reason: String,
+    /// 1-based line of the allow comment.
+    pub line: u32,
+    /// First line the allow covers.
+    pub covers_from: u32,
+    /// Last line the allow covers.
+    pub covers_to: u32,
+    /// Set when a rule finding was suppressed by this allow.
+    pub used: Cell<bool>,
+}
+
+/// One lexed source file plus everything rules need to scope themselves.
+#[derive(Debug)]
+pub struct LintedFile {
+    /// Workspace-relative path with `/` separators (stable across OSes).
+    pub rel: String,
+    /// Cargo package name of the owning crate (e.g. `hierdrl-rl`).
+    pub crate_name: String,
+    /// Which target the file compiles into.
+    pub kind: TargetKind,
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+    /// Parsed `lint:allow` suppressions.
+    pub allows: Vec<Allow>,
+    /// 1-based line count.
+    pub line_count: u32,
+    /// `in_cfg_test[line]` (1-based) — line sits inside a `#[cfg(test)]`
+    /// item, i.e. unit-test code embedded in a lib file.
+    in_cfg_test: Vec<bool>,
+    /// Lines that contain at least one code token.
+    has_code: Vec<bool>,
+}
+
+impl LintedFile {
+    /// Lexes `content` into a linted file.
+    pub fn new(rel: &str, crate_name: &str, kind: TargetKind, content: &str) -> Self {
+        let Lexed { tokens, comments } = lex(content);
+        let line_count = content.lines().count().max(1) as u32;
+        let mut has_code = vec![false; line_count as usize + 2];
+        for t in &tokens {
+            if let Some(slot) = has_code.get_mut(t.line as usize) {
+                *slot = true;
+            }
+        }
+        let in_cfg_test = cfg_test_lines(&tokens, line_count);
+        let allows = parse_allows(&comments, &has_code, line_count);
+        Self {
+            rel: rel.to_string(),
+            crate_name: crate_name.to_string(),
+            kind,
+            tokens,
+            comments,
+            allows,
+            line_count,
+            in_cfg_test,
+            has_code,
+        }
+    }
+
+    /// Whether `line` is test code: the whole file is a test/bench target,
+    /// or the line sits inside a `#[cfg(test)]` item.
+    pub fn is_test_code(&self, line: u32) -> bool {
+        self.kind == TargetKind::Test || *self.in_cfg_test.get(line as usize).unwrap_or(&false)
+    }
+
+    /// Whether any comment containing `needle` touches lines
+    /// `[from, to]` (inclusive, by the comment's start line).
+    pub fn has_comment_containing(&self, needle: &str, from: u32, to: u32) -> bool {
+        self.comments
+            .iter()
+            .any(|c| c.line >= from && c.line <= to && c.text.contains(needle))
+    }
+
+    /// Whether `line` holds at least one code token.
+    pub fn line_has_code(&self, line: u32) -> bool {
+        *self.has_code.get(line as usize).unwrap_or(&false)
+    }
+
+    /// Tries to suppress a finding of `rule` at `line`; marks the matching
+    /// allow as used.
+    pub fn suppresses(&self, rule: &str, line: u32) -> bool {
+        let mut hit = false;
+        for a in &self.allows {
+            if a.rule == rule && line >= a.covers_from && line <= a.covers_to {
+                a.used.set(true);
+                hit = true;
+            }
+        }
+        hit
+    }
+}
+
+/// Marks lines covered by `#[cfg(test)]` items (in practice: the unit-test
+/// `mod tests` blocks every crate in this workspace uses).
+fn cfg_test_lines(tokens: &[Token], line_count: u32) -> Vec<bool> {
+    let mut flags = vec![false; line_count as usize + 2];
+    let mut i = 0;
+    while i + 6 < tokens.len() {
+        let is_cfg_test = tokens[i].is_punct('#')
+            && tokens[i + 1].is_punct('[')
+            && tokens[i + 2].ident() == Some("cfg")
+            && tokens[i + 3].is_punct('(')
+            && tokens[i + 4].ident() == Some("test")
+            && tokens[i + 5].is_punct(')')
+            && tokens[i + 6].is_punct(']');
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Find the body `{ … }` of the annotated item; a `;` first means a
+        // braceless item (e.g. `#[cfg(test)] use …;`) covering one line.
+        let mut j = i + 7;
+        let mut open = None;
+        while j < tokens.len() {
+            if tokens[j].is_punct('{') {
+                open = Some(j);
+                break;
+            }
+            if tokens[j].is_punct(';') {
+                break;
+            }
+            j += 1;
+        }
+        let (from, to) = match open {
+            Some(open_idx) => {
+                let mut depth = 0i32;
+                let mut end = open_idx;
+                for (k, t) in tokens.iter().enumerate().skip(open_idx) {
+                    if t.is_punct('{') {
+                        depth += 1;
+                    } else if t.is_punct('}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = k;
+                            break;
+                        }
+                    }
+                }
+                (tokens[i].line, tokens[end].line)
+            }
+            None => (tokens[i].line, tokens[j.min(tokens.len() - 1)].line),
+        };
+        for line in from..=to {
+            if let Some(slot) = flags.get_mut(line as usize) {
+                *slot = true;
+            }
+        }
+        i = j;
+    }
+    flags
+}
+
+/// Parses `lint:allow(rule): reason` comments into [`Allow`] records.
+fn parse_allows(comments: &[Comment], has_code: &[bool], line_count: u32) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for c in comments {
+        // Doc comments never carry live allows — prose about the allow
+        // syntax (like this crate's own rule docs) must not parse as one.
+        if c.text.starts_with("///")
+            || c.text.starts_with("//!")
+            || c.text.starts_with("/**")
+            || c.text.starts_with("/*!")
+        {
+            continue;
+        }
+        let Some(start) = c.text.find("lint:allow(") else {
+            continue;
+        };
+        let rest = &c.text[start + "lint:allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let after = &rest[close + 1..];
+        let reason = after
+            .strip_prefix(':')
+            .map(|r| r.trim())
+            .unwrap_or("")
+            .to_string();
+        let (covers_from, covers_to) = if c.trailing {
+            (c.line, c.line)
+        } else {
+            // Standalone comment: cover through the next line holding code.
+            let mut to = c.end_line + 1;
+            while to <= line_count && !has_code.get(to as usize).copied().unwrap_or(false) {
+                to += 1;
+            }
+            (c.line, to.min(line_count))
+        };
+        allows.push(Allow {
+            rule,
+            reason,
+            line: c.line,
+            covers_from,
+            covers_to,
+            used: Cell::new(false),
+        });
+    }
+    allows
+}
+
+/// The linted view of the workspace: every Rust source file plus the
+/// workspace root (for workspace-level rules such as `test-presence`).
+pub struct Workspace {
+    /// Workspace root directory.
+    pub root: PathBuf,
+    /// All linted files, sorted by relative path.
+    pub files: Vec<LintedFile>,
+}
+
+impl Workspace {
+    /// Builds a workspace directly from in-memory sources (used by the
+    /// fixture tests; `root` need not exist on disk).
+    pub fn from_sources(root: &Path, sources: Vec<(String, String, TargetKind, String)>) -> Self {
+        let files = sources
+            .into_iter()
+            .map(|(rel, krate, kind, content)| LintedFile::new(&rel, &krate, kind, &content))
+            .collect();
+        Self {
+            root: root.to_path_buf(),
+            files,
+        }
+    }
+
+    /// Loads every `.rs` file under the workspace's source roots
+    /// (`crates/`, `shims/`, `src/`, `tests/`, `examples/`), excluding
+    /// build output and the linter's own rule fixtures (which violate the
+    /// rules on purpose).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from directory walks and file reads.
+    pub fn load(root: &Path) -> io::Result<Self> {
+        let mut crate_names: BTreeMap<String, String> = BTreeMap::new();
+        let mut paths = Vec::new();
+        for top in ["crates", "shims", "src", "tests", "examples"] {
+            let dir = root.join(top);
+            if dir.is_dir() {
+                walk(&dir, &mut paths)?;
+            }
+        }
+        paths.sort();
+
+        let mut files = Vec::new();
+        for path in paths {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            if rel.contains("/tests/fixtures/") || rel.starts_with("target/") {
+                continue;
+            }
+            let crate_name = crate_name_for(root, &rel, &mut crate_names)?;
+            let kind = target_kind_for(&rel);
+            let content = fs::read_to_string(&path)?;
+            files.push(LintedFile::new(&rel, &crate_name, kind, &content));
+        }
+        Ok(Self {
+            root: root.to_path_buf(),
+            files,
+        })
+    }
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<io::Result<_>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        if path.is_dir() {
+            if name == "target" {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Resolves the Cargo package name owning `rel`, memoized per crate dir.
+fn crate_name_for(
+    root: &Path,
+    rel: &str,
+    cache: &mut BTreeMap<String, String>,
+) -> io::Result<String> {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let crate_dir = match parts.as_slice() {
+        ["crates" | "shims", name, ..] => format!("{}/{}", parts[0], name),
+        _ => String::new(), // root package
+    };
+    if let Some(hit) = cache.get(&crate_dir) {
+        return Ok(hit.clone());
+    }
+    let manifest = if crate_dir.is_empty() {
+        root.join("Cargo.toml")
+    } else {
+        root.join(&crate_dir).join("Cargo.toml")
+    };
+    let name = fs::read_to_string(&manifest)
+        .ok()
+        .and_then(|text| {
+            text.lines().find_map(|l| {
+                let l = l.trim();
+                l.strip_prefix("name")
+                    .map(|r| r.trim_start())
+                    .and_then(|r| r.strip_prefix('='))
+                    .map(|r| r.trim().trim_matches('"').to_string())
+            })
+        })
+        .unwrap_or_else(|| "unknown".to_string());
+    cache.insert(crate_dir, name.clone());
+    Ok(name)
+}
+
+fn target_kind_for(rel: &str) -> TargetKind {
+    if rel.contains("/src/bin/") || rel.ends_with("src/main.rs") {
+        TargetKind::Bin
+    } else if rel.contains("/tests/")
+        || rel.starts_with("tests/")
+        || rel.contains("/benches/")
+        || rel.starts_with("benches/")
+    {
+        TargetKind::Test
+    } else if rel.contains("/examples/") || rel.starts_with("examples/") {
+        TargetKind::Example
+    } else {
+        TargetKind::Lib
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_trailing_covers_its_own_line() {
+        let f = LintedFile::new(
+            "a.rs",
+            "c",
+            TargetKind::Lib,
+            "let x = now(); // lint:allow(wall-clock): timing metadata only\n",
+        );
+        assert_eq!(f.allows.len(), 1);
+        assert_eq!((f.allows[0].covers_from, f.allows[0].covers_to), (1, 1));
+        assert_eq!(f.allows[0].reason, "timing metadata only");
+        assert!(f.suppresses("wall-clock", 1));
+        assert!(!f.suppresses("ambient-entropy", 1));
+    }
+
+    #[test]
+    fn allow_standalone_covers_next_code_line() {
+        let src = "// lint:allow(wall-clock): reason here\n\nlet x = now();\n";
+        let f = LintedFile::new("a.rs", "c", TargetKind::Lib, src);
+        assert_eq!((f.allows[0].covers_from, f.allows[0].covers_to), (1, 3));
+        assert!(f.suppresses("wall-clock", 3));
+    }
+
+    #[test]
+    fn allow_without_reason_is_recorded_empty() {
+        let f = LintedFile::new(
+            "a.rs",
+            "c",
+            TargetKind::Lib,
+            "// lint:allow(wall-clock)\nlet x = 1;\n",
+        );
+        assert_eq!(f.allows[0].reason, "");
+    }
+
+    #[test]
+    fn cfg_test_region_is_detected() {
+        let src = "\
+pub fn real() {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t() {}
+}
+";
+        let f = LintedFile::new("a.rs", "c", TargetKind::Lib, src);
+        assert!(!f.is_test_code(1));
+        assert!(f.is_test_code(4));
+        assert!(f.is_test_code(8));
+    }
+
+    #[test]
+    fn test_target_files_are_all_test_code() {
+        let f = LintedFile::new("crates/x/tests/t.rs", "c", TargetKind::Test, "fn a() {}\n");
+        assert!(f.is_test_code(1));
+    }
+}

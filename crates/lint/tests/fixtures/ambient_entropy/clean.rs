@@ -1,0 +1,7 @@
+// Fixture: every seed flows in through configuration.
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+pub fn rng_from_config(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}

@@ -1,0 +1,11 @@
+// Fixture: seeds state from the ambient environment in library code.
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+pub fn seed_override() -> Option<u64> {
+    std::env::var("HIERDRL_SEED").ok()?.parse().ok()
+}
+
+pub fn fresh_rng() -> SmallRng {
+    SmallRng::from_entropy()
+}

@@ -1,0 +1,7 @@
+// Fixture: parallel map, serial order-preserving merge on one thread.
+use rayon::prelude::*;
+
+pub fn total_power(samples: &[f64]) -> f64 {
+    let per_item: Vec<f64> = samples.par_iter().map(|s| s * 0.5).collect();
+    per_item.iter().sum()
+}

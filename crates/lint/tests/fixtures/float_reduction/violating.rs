@@ -1,0 +1,13 @@
+// Fixture: parallel float reductions whose result depends on scheduling.
+use rayon::prelude::*;
+
+pub fn total_power(samples: &[f64]) -> f64 {
+    samples.par_iter().sum()
+}
+
+pub fn weighted(samples: &[f64]) -> f64 {
+    samples
+        .par_iter()
+        .map(|s| s * 0.5)
+        .reduce(|| 0.0, |a, b| a + b)
+}

@@ -1,0 +1,13 @@
+// Fixture: key-ordered iteration; point lookups into a HashMap are fine.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn dump(metrics: &BTreeMap<String, u64>) -> Vec<String> {
+    metrics
+        .iter()
+        .map(|(name, value)| format!("{name}={value}"))
+        .collect()
+}
+
+pub fn lookup(by_name: &HashMap<String, u64>, name: &str) -> u64 {
+    by_name.get(name).copied().unwrap_or(0)
+}

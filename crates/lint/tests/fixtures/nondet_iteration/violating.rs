@@ -1,0 +1,17 @@
+// Fixture: iterates hash collections whose order is per-process random.
+use std::collections::{HashMap, HashSet};
+
+pub fn dump(metrics: &HashMap<String, u64>) -> Vec<String> {
+    let mut rows = Vec::new();
+    for (name, value) in metrics.iter() {
+        rows.push(format!("{name}={value}"));
+    }
+    rows
+}
+
+pub fn first_label(labels: HashSet<String>) -> Option<String> {
+    for label in labels {
+        return Some(label);
+    }
+    None
+}

@@ -1,0 +1,8 @@
+// Fixture: every unsafe block carries a SAFETY justification.
+
+pub fn first_byte(bytes: &[u8]) -> u8 {
+    assert!(!bytes.is_empty());
+    // SAFETY: the assert above guarantees `bytes` is non-empty, so reading
+    // one byte at the start pointer stays in bounds.
+    unsafe { *bytes.as_ptr() }
+}

@@ -1,0 +1,6 @@
+// Fixture: an unsafe block with no SAFETY comment anywhere near it.
+
+pub fn first_byte(bytes: &[u8]) -> u8 {
+    assert!(!bytes.is_empty());
+    unsafe { *bytes.as_ptr() }
+}

@@ -1,0 +1,10 @@
+// Fixture: simulated time only, plus one justified wall-clock read.
+use std::time::Instant;
+
+pub fn sim_elapsed(start_s: f64, end_s: f64) -> f64 {
+    end_s - start_s
+}
+
+pub fn bench_stamp() -> Instant {
+    Instant::now() // lint:allow(wall-clock): bench timing metadata, never in reports
+}

@@ -1,0 +1,10 @@
+// Fixture: reads the wall clock in deterministic library code.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+pub fn epoch() -> SystemTime {
+    SystemTime::now()
+}

@@ -1,0 +1,238 @@
+//! Fixture-based rule tests: every rule must fire on its violating fixture
+//! and stay quiet — including the allow bookkeeping — on its clean one.
+//!
+//! The fixtures live under `tests/fixtures/<rule>/` and are excluded from
+//! the workspace walk (`Workspace::load` skips `/tests/fixtures/`), so the
+//! violating ones never trip the real lint run.
+
+use hierdrl_lint::findings::Report;
+use hierdrl_lint::rules::{self, Rule};
+use hierdrl_lint::source::{TargetKind, Workspace};
+use std::path::Path;
+
+/// Lints `content` as a lib file of `crate_name` with a single rule.
+fn lint_one(rule: Box<dyn Rule>, crate_name: &str, content: &str) -> Report {
+    let ws = Workspace::from_sources(
+        Path::new("/fixture-root-does-not-exist"),
+        vec![(
+            "crates/demo/src/lib.rs".to_string(),
+            crate_name.to_string(),
+            TargetKind::Lib,
+            content.to_string(),
+        )],
+    );
+    hierdrl_lint::lint(&ws, &[rule])
+}
+
+fn count(report: &Report, rule: &str) -> usize {
+    report.findings.iter().filter(|f| f.rule == rule).count()
+}
+
+#[test]
+fn nondet_iteration_fires_on_violating_fixture_only() {
+    let bad = lint_one(
+        Box::new(rules::NondetIteration),
+        "hierdrl-core",
+        include_str!("fixtures/nondet_iteration/violating.rs"),
+    );
+    assert_eq!(count(&bad, "nondet-iteration"), 2, "{}", bad.table());
+
+    let good = lint_one(
+        Box::new(rules::NondetIteration),
+        "hierdrl-core",
+        include_str!("fixtures/nondet_iteration/clean.rs"),
+    );
+    assert!(good.is_clean(), "{}", good.table());
+}
+
+#[test]
+fn nondet_iteration_is_scoped_to_report_feeding_crates() {
+    // The same violating source in an out-of-scope crate is not flagged.
+    let report = lint_one(
+        Box::new(rules::NondetIteration),
+        "some-unrelated-tool",
+        include_str!("fixtures/nondet_iteration/violating.rs"),
+    );
+    assert!(report.is_clean(), "{}", report.table());
+}
+
+#[test]
+fn wall_clock_fires_on_violating_fixture_only() {
+    let bad = lint_one(
+        Box::new(rules::WallClock),
+        "hierdrl-core",
+        include_str!("fixtures/wall_clock/violating.rs"),
+    );
+    assert_eq!(count(&bad, "wall-clock"), 2, "{}", bad.table());
+
+    // The clean fixture includes one *justified* read: the finding must be
+    // suppressed and the allow counted as used (no unused-allow either).
+    let good = lint_one(
+        Box::new(rules::WallClock),
+        "hierdrl-core",
+        include_str!("fixtures/wall_clock/clean.rs"),
+    );
+    assert!(good.is_clean(), "{}", good.table());
+    assert_eq!(good.allows_used.len(), 1);
+    assert_eq!(good.allows_used[0].rule, "wall-clock");
+}
+
+#[test]
+fn ambient_entropy_fires_on_violating_fixture_only() {
+    let bad = lint_one(
+        Box::new(rules::AmbientEntropy),
+        "hierdrl-core",
+        include_str!("fixtures/ambient_entropy/violating.rs"),
+    );
+    assert_eq!(count(&bad, "ambient-entropy"), 2, "{}", bad.table());
+
+    let good = lint_one(
+        Box::new(rules::AmbientEntropy),
+        "hierdrl-core",
+        include_str!("fixtures/ambient_entropy/clean.rs"),
+    );
+    assert!(good.is_clean(), "{}", good.table());
+}
+
+#[test]
+fn ambient_entropy_permits_bin_targets() {
+    let ws = Workspace::from_sources(
+        Path::new("/fixture-root-does-not-exist"),
+        vec![(
+            "crates/demo/src/main.rs".to_string(),
+            "hierdrl-core".to_string(),
+            TargetKind::Bin,
+            include_str!("fixtures/ambient_entropy/violating.rs").to_string(),
+        )],
+    );
+    let report = hierdrl_lint::lint(&ws, &[Box::new(rules::AmbientEntropy) as Box<dyn Rule>]);
+    assert!(report.is_clean(), "{}", report.table());
+}
+
+#[test]
+fn float_reduction_fires_on_violating_fixture_only() {
+    let bad = lint_one(
+        Box::new(rules::FloatReduction),
+        "hierdrl-core",
+        include_str!("fixtures/float_reduction/violating.rs"),
+    );
+    assert_eq!(count(&bad, "float-reduction"), 2, "{}", bad.table());
+
+    // The clean fixture still ends in a `.sum()` — but a *serial* one, on
+    // the collected per-item vector, which must not be flagged.
+    let good = lint_one(
+        Box::new(rules::FloatReduction),
+        "hierdrl-core",
+        include_str!("fixtures/float_reduction/clean.rs"),
+    );
+    assert!(good.is_clean(), "{}", good.table());
+}
+
+#[test]
+fn unsafe_safety_fires_on_violating_fixture_only() {
+    let bad = lint_one(
+        Box::new(rules::UnsafeSafetyComment),
+        "demo-unsafe",
+        include_str!("fixtures/unsafe_safety/violating.rs"),
+    );
+    assert_eq!(count(&bad, "unsafe-safety-comment"), 1, "{}", bad.table());
+
+    let good = lint_one(
+        Box::new(rules::UnsafeSafetyComment),
+        "demo-unsafe",
+        include_str!("fixtures/unsafe_safety/clean.rs"),
+    );
+    assert!(good.is_clean(), "{}", good.table());
+}
+
+#[test]
+fn unsafe_free_crates_must_forbid_unsafe() {
+    let src = "pub fn f() -> u32 {\n    7\n}\n";
+    let report = lint_one(Box::new(rules::UnsafeSafetyComment), "demo-safe", src);
+    assert_eq!(
+        count(&report, "unsafe-safety-comment"),
+        1,
+        "{}",
+        report.table()
+    );
+
+    let src = "#![forbid(unsafe_code)]\n\npub fn f() -> u32 {\n    7\n}\n";
+    let report = lint_one(Box::new(rules::UnsafeSafetyComment), "demo-safe", src);
+    assert!(report.is_clean(), "{}", report.table());
+}
+
+fn test_presence_ws(sources: Vec<(String, String, TargetKind, String)>) -> Report {
+    // This fixture root really exists on disk: it holds the manifest the
+    // rule reads (`crates/lint/expected_tests.toml` relative to the root).
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/test_presence/ws");
+    let ws = Workspace::from_sources(&root, sources);
+    hierdrl_lint::lint(&ws, &[Box::new(rules::TestPresence) as Box<dyn Rule>])
+}
+
+#[test]
+fn test_presence_passes_when_the_pinned_test_exists() {
+    let report = test_presence_ws(vec![(
+        "crates/demo/tests/equivalence.rs".to_string(),
+        "demo".to_string(),
+        TargetKind::Test,
+        "#[test]\nfn sharded_matches_serial() {}\n".to_string(),
+    )]);
+    assert!(report.is_clean(), "{}", report.table());
+}
+
+#[test]
+fn test_presence_fails_on_renamed_test_and_missing_file() {
+    // Renamed away: the file exists but the pinned `fn` is gone.
+    let report = test_presence_ws(vec![(
+        "crates/demo/tests/equivalence.rs".to_string(),
+        "demo".to_string(),
+        TargetKind::Test,
+        "#[test]\nfn renamed_to_something_else() {}\n".to_string(),
+    )]);
+    assert_eq!(count(&report, "test-presence"), 1, "{}", report.table());
+
+    // Deleted: the expected file is missing from the workspace entirely.
+    let report = test_presence_ws(vec![]);
+    assert_eq!(count(&report, "test-presence"), 1, "{}", report.table());
+}
+
+#[test]
+fn allow_meta_findings_catch_stale_and_unjustified_allows() {
+    let src = "\
+pub fn f(start_s: f64) -> f64 {
+    // lint:allow(wall-clock)
+    let a = start_s + 1.0;
+    let b = a; // lint:allow(no-such-rule): typo'd rule id
+    b // lint:allow(ambient-entropy): suppresses nothing on this line
+}
+";
+    // Two known rules so `ambient-entropy` resolves but suppresses nothing.
+    let ws = Workspace::from_sources(
+        Path::new("/fixture-root-does-not-exist"),
+        vec![(
+            "crates/demo/src/lib.rs".to_string(),
+            "hierdrl-core".to_string(),
+            TargetKind::Lib,
+            src.to_string(),
+        )],
+    );
+    let report = hierdrl_lint::lint(
+        &ws,
+        &[
+            Box::new(rules::WallClock) as Box<dyn Rule>,
+            Box::new(rules::AmbientEntropy) as Box<dyn Rule>,
+        ],
+    );
+    let rules_hit: Vec<&str> = report.findings.iter().map(|f| f.rule.as_str()).collect();
+    assert!(
+        rules_hit.contains(&"allow-missing-reason"),
+        "{}",
+        report.table()
+    );
+    assert!(
+        rules_hit.contains(&"unknown-rule-allow"),
+        "{}",
+        report.table()
+    );
+    assert!(rules_hit.contains(&"unused-allow"), "{}", report.table());
+}

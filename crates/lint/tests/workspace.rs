@@ -1,0 +1,36 @@
+//! Self-hosting: the repository must pass its own determinism/safety lint.
+//!
+//! This is the acceptance bar the CI lint step enforces; keeping it as a
+//! test too means a plain `cargo test` catches regressions (a new unordered
+//! iteration, a reasonless allow, a renamed pinned test) without the
+//! workflow having to run.
+
+use std::path::Path;
+
+#[test]
+fn repo_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = hierdrl_lint::lint_workspace(&root).expect("workspace walk succeeds");
+    assert!(
+        report.is_clean(),
+        "the workspace has lint findings:\n{}{}",
+        report.table(),
+        report.summary()
+    );
+    // Guard against the walk silently scanning nothing (wrong root, over-
+    // aggressive exclusions): the workspace has far more sources than this.
+    assert!(
+        report.files_scanned > 50,
+        "workspace walk looks truncated: only {} files scanned",
+        report.files_scanned
+    );
+    // Every surviving allow carries a written justification.
+    for allow in &report.allows_used {
+        assert!(
+            !allow.reason.is_empty(),
+            "allow without a reason at {}:{}",
+            allow.file,
+            allow.line
+        );
+    }
+}

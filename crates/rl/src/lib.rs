@@ -6,7 +6,8 @@
 //! - [`smdp`] — the continuous-time Q-learning update for semi-Markov
 //!   decision processes (the paper's Eqn. 2), used by the global DRL tier
 //!   (with a DNN Q-function) and the local power manager (with a table);
-//! - [`qtable`] — tabular `Q(s, a)` over hashable states;
+//! - [`qtable`] — tabular `Q(s, a)` over ordered states (key-ordered
+//!   storage, so snapshots are insertion-order independent);
 //! - [`policy`] — epsilon-greedy exploration with decay schedules;
 //! - [`replay`] — bounded experience memory with uniform sampling
 //!   (Algorithm 1's memory `D`);
@@ -30,6 +31,8 @@
 //! let action = policy.select(&q.q_row(&state), &mut rng);
 //! q.update_smdp(&params, &state, action, -3.0, 12.5, &1u32);
 //! ```
+
+#![forbid(unsafe_code)]
 
 pub mod discretize;
 pub mod policy;

@@ -1,9 +1,8 @@
-//! Tabular Q-function over hashable states.
+//! Tabular Q-function over ordered states.
 
 use crate::smdp::{smdp_update, SmdpParams};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
 
 /// A tabular action-value function `Q(s, a)` with a fixed action count.
 ///
@@ -11,20 +10,24 @@ use std::hash::Hash;
 /// the local power manager's state space (machine mode x predicted
 /// inter-arrival bin) is small, so a table suffices — exactly the paper's
 /// "model-free RL" for the local tier.
+///
+/// The table is a `BTreeMap` rather than a `HashMap` so that iteration,
+/// snapshots, and serialization follow key order regardless of the order
+/// states were first visited — part of the repo's byte-identity guarantee.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct QTable<S>
 where
-    S: Eq + Hash,
+    S: Ord,
 {
     num_actions: usize,
     initial_value: f64,
-    values: HashMap<S, Vec<f64>>,
-    visits: HashMap<S, Vec<u64>>,
+    values: BTreeMap<S, Vec<f64>>,
+    visits: BTreeMap<S, Vec<u64>>,
 }
 
 impl<S> QTable<S>
 where
-    S: Eq + Hash + Clone,
+    S: Ord + Clone,
 {
     /// Creates a table with `num_actions` actions per state and the given
     /// initial Q estimate for unseen state-action pairs.
@@ -38,8 +41,8 @@ where
         Self {
             num_actions,
             initial_value,
-            values: HashMap::new(),
-            visits: HashMap::new(),
+            values: BTreeMap::new(),
+            visits: BTreeMap::new(),
         }
     }
 
@@ -196,6 +199,25 @@ mod tests {
     fn action_out_of_range_panics() {
         let t: QTable<u32> = QTable::new(2, 0.0);
         let _ = t.q(&0, 5);
+    }
+
+    #[test]
+    fn snapshot_serialization_is_identical_across_insertion_orders() {
+        // Build the same logical table twice with states first visited in
+        // opposite orders; the serialized snapshots must match byte for
+        // byte. With a hash map this would depend on per-process hashing.
+        let states: Vec<u32> = (0..32).collect();
+        let mut forward: QTable<u32> = QTable::new(3, 0.0);
+        for &s in &states {
+            forward.set_q(&s, (s as usize) % 3, f64::from(s) * 0.25);
+        }
+        let mut reverse: QTable<u32> = QTable::new(3, 0.0);
+        for &s in states.iter().rev() {
+            reverse.set_q(&s, (s as usize) % 3, f64::from(s) * 0.25);
+        }
+        let a = serde_json::to_string(&forward).unwrap();
+        let b = serde_json::to_string(&reverse).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -47,6 +47,8 @@
 //! # Ok::<(), String>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cluster;
 pub mod config;
 pub mod events;

@@ -30,7 +30,7 @@ use hierdrl_sim::job::{Job, JobId};
 use hierdrl_sim::resources::ResourceVec;
 use hierdrl_sim::time::SimTime;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::io::BufRead;
 
@@ -148,7 +148,12 @@ pub fn parse_task_events_with_stats<R: BufRead>(
     min_duration_s: f64,
     max_duration_s: f64,
 ) -> Result<(Trace, ParseStats), ParseError> {
-    let mut tasks: HashMap<(u64, u64), TaskRecord> = HashMap::new();
+    // Keyed by `(job_id, task_index)` in a BTreeMap so the emission loop
+    // below walks tasks in key order. The final sort is by arrival only, and
+    // `sort_by_key` is stable — with a hash map, equal-arrival tasks would
+    // keep whatever order the per-process RandomState produced, making job
+    // numbering (and thus every downstream report) nondeterministic.
+    let mut tasks: BTreeMap<(u64, u64), TaskRecord> = BTreeMap::new();
     let mut stats = ParseStats::default();
 
     for (idx, line) in reader.lines().enumerate() {
@@ -452,6 +457,36 @@ mod tests {
         assert_eq!(stats.duration_filtered, 1);
         assert_eq!(stats.demand_defaulted, 0);
         assert_eq!(stats.jobs_kept, 1);
+    }
+
+    #[test]
+    fn equal_arrival_jobs_order_deterministically() {
+        // Many tasks submitted at the same microsecond: the arrival sort
+        // cannot distinguish them, so their relative order (and therefore
+        // their assigned JobIds and demands-by-position) must come from the
+        // ordered (job, task) map walk, not from hash iteration order.
+        let mut rows = Vec::new();
+        for job in (1..=16u64).rev() {
+            rows.push(row(0, job, 0, 0, &format!("0.{job:02}"), "0.1", "0.1"));
+            rows.push(row(1_000_000, job, 0, 1, "", "", ""));
+            rows.push(row(301_000_000, job, 0, 4, "", "", ""));
+        }
+        let csv = rows.join("\n");
+        let trace = parse_task_events_paper(Cursor::new(csv.clone())).unwrap();
+        assert_eq!(trace.len(), 16);
+        for (i, j) in trace.jobs().iter().enumerate() {
+            assert_eq!(j.id, JobId(i as u64));
+            // Job `i + 1` (lowest key first) lands at position `i`.
+            let expected_cpu = f64::from(i as u32 + 1) / 100.0;
+            assert!(
+                (j.demand.get(0) - expected_cpu).abs() < 1e-9,
+                "position {i} got cpu {}, want {expected_cpu}",
+                j.demand.get(0)
+            );
+        }
+        // And a reparse of the same bytes is identical, job for job.
+        let again = parse_task_events_paper(Cursor::new(csv)).unwrap();
+        assert_eq!(trace.jobs(), again.jobs());
     }
 
     #[test]

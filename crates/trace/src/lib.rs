@@ -59,6 +59,7 @@
 //! # Ok::<(), String>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod alibaba;

@@ -28,7 +28,7 @@
 use crate::generator::{TraceGenerator, WorkloadConfig};
 use crate::trace::Trace;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -72,9 +72,14 @@ type Slot = Arc<Mutex<Option<Arc<Trace>>>>;
 /// then a per-slot lock while generating — so concurrent requests for
 /// *different* specs generate in parallel, while concurrent requests for
 /// the *same* spec generate once and share the result.
+///
+/// Key-ordered (`BTreeMap`) so any walk over the slots — [`resident`]
+/// today, diagnostics tomorrow — observes a deterministic order.
+///
+/// [`resident`]: TraceCache::resident
 #[derive(Debug, Default)]
 pub struct TraceCache {
-    slots: Mutex<HashMap<String, Slot>>,
+    slots: Mutex<BTreeMap<String, Slot>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }

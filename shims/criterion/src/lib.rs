@@ -6,6 +6,8 @@
 //! criterion's statistical machinery. Each benchmark prints one
 //! `name ... time per iter` line.
 
+#![forbid(unsafe_code)]
+
 pub use std::hint::black_box;
 
 use std::time::{Duration, Instant};

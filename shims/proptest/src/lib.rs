@@ -8,6 +8,8 @@
 //! index), so failures reproduce exactly. There is **no shrinking** — a
 //! failing case panics with its case index instead.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 use rand::rngs::StdRng;

@@ -12,6 +12,8 @@
 //! - [`Rng`] with `gen`, `gen_range` (half-open and inclusive integer/float
 //!   ranges), and `gen_bool`; [`SeedableRng`] with `seed_from_u64`.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// The core source of randomness: a stream of `u64` words.

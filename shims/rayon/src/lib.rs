@@ -7,6 +7,8 @@
 //! (index stealing), results are written back by index, so output order is
 //! always the input order regardless of scheduling.
 
+#![forbid(unsafe_code)]
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 

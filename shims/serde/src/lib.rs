@@ -8,9 +8,10 @@
 //!   for named/tuple/unit structs and for enums with unit, newtype, tuple,
 //!   and struct variants, including generic types with `where` clauses and
 //!   the `#[serde(skip)]` field attribute;
-//! - impls for the primitives, `String`, `Option`, `Box`, `Vec`, tuples and
-//!   `HashMap` (map keys serialized through strings, entries sorted so
-//!   output is deterministic).
+//! - impls for the primitives, `String`, `Option`, `Box`, `Vec`, tuples,
+//!   `HashMap` and `BTreeMap` (map keys serialized through strings; hash-map
+//!   entries are sorted so output is deterministic, tree-map entries are
+//!   already in key order).
 //!
 //! Unlike real serde there is no `Serializer`/`Deserializer` abstraction:
 //! values serialize into a self-describing [`Value`] tree which
@@ -20,7 +21,9 @@
 //! integer/float variants, so JSON written by this shim round-trips through
 //! the same types exactly.
 
-use std::collections::HashMap;
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::hash::Hash;
 
@@ -430,6 +433,30 @@ impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
     fn from_value(v: &Value) -> Result<Self, Error> {
         v.as_map()
             .ok_or_else(|| Error::expected("map", "HashMap"))?
+            .iter()
+            .map(|(k, val)| Ok((key_from_string::<K>(k)?, V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Iteration follows `Ord` on the key; re-sort by the *stringified*
+        // key so BTreeMap output matches the HashMap impl byte for byte
+        // (e.g. integer keys 2 and 10 order differently as strings).
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_to_string(&k.to_value()), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_map()
+            .ok_or_else(|| Error::expected("map", "BTreeMap"))?
             .iter()
             .map(|(k, val)| Ok((key_from_string::<K>(k)?, V::from_value(val)?)))
             .collect()

@@ -20,6 +20,8 @@
 //! structs become arrays, unit variants become strings, and data-carrying
 //! variants become single-entry maps keyed by the variant name.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 struct Field {

@@ -8,6 +8,8 @@
 //! exactly to `f64`), so numeric round trips are bit-exact; non-finite
 //! floats render as `null` like real serde_json.
 
+#![forbid(unsafe_code)]
+
 use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 

@@ -12,6 +12,8 @@
 //! - [`exp`] — experiment orchestration: Topology/Scenario/Suite grids and
 //!   the parallel, deterministic sweep runner.
 
+#![forbid(unsafe_code)]
+
 pub use hierdrl_core as core;
 pub use hierdrl_exp as exp;
 pub use hierdrl_neural as neural;
