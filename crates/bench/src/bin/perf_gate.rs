@@ -15,7 +15,11 @@
 //!   (the sequential raw-scale cells of the `scale` bin) grew its peak RSS
 //!   by more than the allowed percentage — or lost the reading entirely
 //!   (a fresh run that stopped measuring memory must not pass the memory
-//!   gate).
+//!   gate);
+//! - any matched cell whose baseline carries `fleet_size` columns (every
+//!   suite cell since the elastic axis landed) lost them in the fresh
+//!   artifact — a run that silently dropped the membership accounting
+//!   must not pass the gate.
 //!
 //! ```sh
 //! cargo run --release -p hierdrl-bench --bin perf_gate -- \
@@ -225,6 +229,27 @@ fn main() -> ExitCode {
         }
     }
 
+    // Fleet-size gate: baseline cells carrying the membership columns must
+    // keep reporting them. There is no numeric threshold here — the
+    // columns are bookkeeping, not a performance metric — but losing them
+    // silently would blind the elastic axis, so their absence fails hard.
+    let mut fleet_failures = 0usize;
+    for base_cell in &baseline.cells {
+        if base_cell.fleet_size.is_none() {
+            continue;
+        }
+        let Some(fresh_cell) = fresh.cells.iter().find(|c| c.id == base_cell.id) else {
+            continue; // already counted under `missing`
+        };
+        if fresh_cell.fleet_size.is_none() {
+            fleet_failures += 1;
+            println!(
+                "fleet-size gate: {} lost its fleet_size columns",
+                base_cell.id
+            );
+        }
+    }
+
     assert!(
         matched > 0,
         "perf_gate: no cell ids in common between {} and {} — wrong artifacts?",
@@ -250,6 +275,11 @@ fn main() -> ExitCode {
         verdicts.push(format!(
             "{rss_failures}/{rss_matched} memory-gated cell(s) regressed peak RSS more than {:.0}% (or lost the reading)",
             args.max_regression_pct
+        ));
+    }
+    if fleet_failures > 0 {
+        verdicts.push(format!(
+            "{fleet_failures} cell(s) lost their fleet_size columns"
         ));
     }
     if verdicts.is_empty() {

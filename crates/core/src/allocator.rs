@@ -382,13 +382,16 @@ impl DrlAllocator {
         };
         let tau = (view.totals().time_s - p.time_s).max(0.0);
         // Aggregate fleet peak: capacity-scaled on heterogeneous fleets,
-        // exactly `M * peak_watts` on homogeneous ones.
+        // exactly `M * peak_watts` on homogeneous ones. Both the peak and
+        // the server count track the *live* fleet so elastic membership
+        // changes rescale the reward normalization (on fixed fleets
+        // `num_live == num_servers` and nothing changes).
         let reward_rate = self.config.reward_scale
             * reward_rate_between(
                 &p.totals,
                 view.totals(),
                 &self.config.reward,
-                self.num_servers,
+                view.num_live(),
                 view.fleet_peak_watts(),
             );
         self.replay.push(Transition {
@@ -411,6 +414,9 @@ impl DrlAllocator {
         let mut sleeping: Option<usize> = None;
         let mut fallback = (usize::MAX, 0usize);
         for (i, s) in view.servers().iter().enumerate() {
+            if !s.is_live() {
+                continue; // departed slot: never a consolidation target
+            }
             if s.state().is_on() {
                 if s.queue_len() == 0
                     && s.jobs_in_system() < cap
@@ -533,7 +539,13 @@ impl Allocator for DrlAllocator {
 
         let q = self.qnet.q_values(&state);
         let dither = self.config.q_dither;
-        let q64: Vec<f64> = q[..self.num_servers]
+        // Elastic fleets: actions are masked to the slots that exist right
+        // now — a view narrower than the declared width means trailing
+        // servers have not joined yet and must never be selected (departed
+        // in-range slots stay selectable; the cluster's healthy remap
+        // redirects them deterministically, exactly like crashed targets).
+        let live_width = view.num_servers().min(self.num_servers);
+        let q64: Vec<f64> = q[..live_width]
             .iter()
             .map(|&v| f64::from(v) + self.rng.gen_range(-dither..=dither))
             .collect();
@@ -640,6 +652,40 @@ mod tests {
         // Every arrival was dispatched somewhere legal (enqueue asserts in
         // the cluster would have panicked otherwise) and all jobs finished.
         assert_eq!(cluster.completed_jobs().len(), 200);
+    }
+
+    #[test]
+    fn elastic_fleet_actions_stay_within_the_live_width() {
+        // Allocator declared for max_servers = 6 drives a fleet that
+        // starts at 3, loses server 2, and grows by two joins. Selecting a
+        // slot beyond the current width would trip the cluster's placement
+        // assert, so a clean run is the proof of masking.
+        use hierdrl_sim::events::{FleetOp, ServerSpec};
+        let mut alloc = DrlAllocator::new(6, 3, small_config());
+        let mut config = ClusterConfig::paper(3);
+        config.max_servers = Some(6);
+        let mut cluster = Cluster::new(config, jobs(300, 12.0)).unwrap();
+        cluster.schedule_fleet_op(SimTime::from_secs(300.0), FleetOp::Leave(ServerId(2)));
+        cluster.schedule_fleet_op(
+            SimTime::from_secs(900.0),
+            FleetOp::Join(ServerSpec::unit(3, true)),
+        );
+        cluster.schedule_fleet_op(
+            SimTime::from_secs(1200.0),
+            FleetOp::Join(ServerSpec::unit(3, true)),
+        );
+        let out = cluster.run(
+            &mut alloc,
+            &mut SleepImmediatelyPower,
+            RunLimit::unbounded(),
+        );
+        assert_eq!(
+            out.totals.jobs_completed, 300,
+            "no job lost across membership changes"
+        );
+        assert_eq!(cluster.num_live(), 4); // 3 - 1 left + rejoin + append
+                                           // Jobs drained by the leave re-enter through the allocator.
+        assert_eq!(alloc.stats().decisions, 300 + out.totals.jobs_requeued);
     }
 
     #[test]

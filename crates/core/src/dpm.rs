@@ -179,12 +179,15 @@ fn capacity_eq(a: &[f64], b: &[f64]) -> bool {
 /// Groups servers into capacity classes: servers with bit-identical
 /// capacity vectors share a class, in first-appearance order. Returns the
 /// per-server class index and each class's representative capacity vector
-/// (`(vec![0; M], [unit])` for a homogeneous cluster).
+/// (`(vec![0; M], [unit])` for a homogeneous cluster). Elastic fleets get
+/// one agent per *slot* up to `effective_max()` — slots beyond the initial
+/// fleet take the unit capacity joins default to — so every server that can
+/// ever exist has a stable, `ServerId`-keyed agent from the start.
 fn capacity_classes(cluster: &hierdrl_sim::config::ClusterConfig) -> (Vec<usize>, Vec<Vec<f64>>) {
     let mut reps: Vec<Vec<f64>> = Vec::new();
-    let classes = (0..cluster.num_servers)
+    let classes = (0..cluster.effective_max())
         .map(|i| {
-            let key = cluster.server_capacity(i).as_slice().to_vec();
+            let key = cluster.slot_capacity(i).as_slice().to_vec();
             match reps.iter().position(|k| capacity_eq(k, &key)) {
                 Some(c) => c,
                 None => {
@@ -251,7 +254,7 @@ impl RlPowerManager {
     ) -> Self {
         assert!(cluster.num_servers > 0, "need at least one server");
         let (classes, class_capacities) = capacity_classes(cluster);
-        Self::with_classes(cluster.num_servers, classes, class_capacities, config)
+        Self::with_classes(cluster.effective_max(), classes, class_capacities, config)
     }
 
     /// `class_capacities` is empty when the capacity structure is unknown
@@ -373,7 +376,7 @@ impl RlPowerManager {
         let expected = if snapshot.config.shared_learning {
             class_capacities.len()
         } else {
-            cluster.num_servers
+            cluster.effective_max()
         };
         assert_eq!(
             snapshot.tables.len(),
@@ -398,7 +401,7 @@ impl RlPowerManager {
             );
         }
         let mut mgr = Self::with_classes(
-            cluster.num_servers,
+            cluster.effective_max(),
             classes,
             class_capacities,
             snapshot.config,

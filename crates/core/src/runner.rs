@@ -168,8 +168,8 @@ impl<'a> Experiment<'a> {
         power: &mut dyn PowerManager,
     ) -> Result<ExperimentResult, String> {
         let mut cluster = Cluster::new(self.cluster.clone(), self.trace.jobs().to_vec())?;
-        for &(time_s, op) in self.fleet_events {
-            cluster.schedule_fleet_op(SimTime::from_secs(time_s), op);
+        for (time_s, op) in self.fleet_events {
+            cluster.schedule_fleet_op(SimTime::from_secs(*time_s), op.clone());
         }
         let outcome = cluster.run(allocator, power, self.limit);
         Ok(ExperimentResult {

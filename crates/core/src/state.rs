@@ -202,7 +202,7 @@ impl StateEncoder {
         view.config().server_capacities.as_ref()?;
         let dims = view.servers()[0].capacity().dims();
         let mut max_cap = vec![0.0f64; dims];
-        for s in view.servers() {
+        for s in view.servers().iter().filter(|s| s.is_live()) {
             for (d, m) in max_cap.iter_mut().enumerate() {
                 *m = m.max(s.capacity().get(d));
             }
@@ -223,15 +223,20 @@ impl StateEncoder {
 
     /// Encodes the cluster + job state at a decision epoch.
     ///
+    /// Elastic fleets: a view may carry *fewer* slots than the encoder was
+    /// declared with (`max_servers`). Slots beyond the view — servers not
+    /// yet joined — and departed slots are encoded all-zero, exactly like
+    /// group padding, so a fixed-width network sees a stable layout while
+    /// the fleet grows and shrinks.
+    ///
     /// # Panics
     ///
-    /// Panics if the view's server count or the job's demand dimensionality
-    /// disagree with the encoder.
+    /// Panics if the view has more servers than the encoder was declared
+    /// with, or the job's demand dimensionality disagrees.
     pub fn encode(&self, job: &Job, view: &ClusterView<'_>) -> GlobalState {
-        assert_eq!(
-            view.num_servers(),
-            self.num_servers,
-            "view has {} servers, encoder expects {}",
+        assert!(
+            view.num_servers() <= self.num_servers,
+            "view has {} servers, encoder expects at most {}",
             view.num_servers(),
             self.num_servers
         );
@@ -253,7 +258,13 @@ impl StateEncoder {
             let mut g = vec![0.0f32; self.group_width()];
             for slot in 0..self.group_size {
                 if let Some(m) = self.server_at(k, slot) {
+                    if m >= view.num_servers() {
+                        continue; // not-yet-joined slot: stays zero
+                    }
                     let server = &view.servers()[m];
+                    if !server.is_live() {
+                        continue; // departed slot: masked like padding
+                    }
                     let util = server.utilization();
                     let base = slot * f;
                     for p in 0..self.resource_dims {
@@ -477,6 +488,32 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn narrower_view_encodes_missing_slots_as_padding() {
+        // Elastic fleets: an encoder declared for max_servers = 4 must
+        // accept a 2-server view, zero-filling the not-yet-joined slots
+        // exactly like group padding.
+        let e = encoder(4, 2);
+        let f = e.features_per_server();
+        let s = idle_probe_state(ClusterConfig::paper(2), e.clone());
+        // Real slots: idle, on, capacity 1.
+        for m in 0..2 {
+            let g = &s.groups[e.group_of(m)];
+            let base = e.slot_of(m) * f;
+            assert_eq!(g[base + 3], 1.0, "server {m} availability");
+            assert_eq!(g[base + f - 1], 1.0, "server {m} capacity");
+        }
+        // Slots 2 and 3 have not joined: all-zero.
+        for m in 2..4 {
+            let g = &s.groups[e.group_of(m)];
+            let base = e.slot_of(m) * f;
+            assert!(
+                g[base..base + f].iter().all(|&x| x == 0.0),
+                "not-yet-joined slot {m} must stay zero"
+            );
         }
     }
 

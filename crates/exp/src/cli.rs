@@ -17,6 +17,8 @@
 //!   (names from `presets::DRIFT_NAMES`);
 //! - `--faults <F1,F2,...>` — fault-schedule axis for the chaos preset
 //!   (names from `presets::FAULT_NAMES`);
+//! - `--elastics <E1,E2,...>` — autoscaler axis for the elastic preset
+//!   (names from `presets::ELASTIC_NAMES`);
 //! - `--trace <PATH>` — an on-disk trace file for the realtrace preset
 //!   (default: both committed fixtures);
 //! - `--format <google|alibaba>` — the `--trace` file's format (names
@@ -56,6 +58,9 @@ pub struct SweepArgs {
     /// `--faults` override (comma-separated fault-schedule names for the
     /// chaos preset).
     pub faults: Option<Vec<String>>,
+    /// `--elastics` override (comma-separated autoscaler names for the
+    /// elastic preset).
+    pub elastics: Option<Vec<String>>,
     /// `--trace` override (path of an on-disk trace for the realtrace
     /// preset).
     pub trace: Option<String>,
@@ -145,6 +150,14 @@ impl SweepArgs {
                             .collect(),
                     );
                 }
+                "--elastics" => {
+                    out.elastics = Some(
+                        take("--elastics")
+                            .split(',')
+                            .map(|s| s.trim().to_string())
+                            .collect(),
+                    );
+                }
                 "--trace" => out.trace = Some(take("--trace")),
                 "--format" => {
                     let name = take("--format");
@@ -202,6 +215,13 @@ impl SweepArgs {
     /// The fault-schedule axis, starting from a preset's default.
     pub fn fault_names(&self, default_names: &[&str]) -> Vec<String> {
         self.faults
+            .clone()
+            .unwrap_or_else(|| default_names.iter().map(|s| s.to_string()).collect())
+    }
+
+    /// The autoscaler axis, starting from a preset's default.
+    pub fn elastic_names(&self, default_names: &[&str]) -> Vec<String> {
+        self.elastics
             .clone()
             .unwrap_or_else(|| default_names.iter().map(|s| s.to_string()).collect())
     }
@@ -285,6 +305,19 @@ mod tests {
         assert_eq!(args.trace.as_deref(), Some("a/b.csv"));
         assert_eq!(args.format, Some(TraceFormat::AlibabaBatchTask));
         assert_eq!(parse(&[]).format, None);
+    }
+
+    #[test]
+    fn elastics_parse_comma_list() {
+        let args = parse(&["--elastics", "threshold, learned"]);
+        assert_eq!(
+            args.elastic_names(&["fixed"]),
+            vec!["threshold".to_string(), "learned".to_string()]
+        );
+        assert_eq!(
+            parse(&[]).elastic_names(&["fixed", "threshold"]),
+            vec!["fixed".to_string(), "threshold".to_string()]
+        );
     }
 
     #[test]

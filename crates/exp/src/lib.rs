@@ -169,6 +169,45 @@
 //! # Ok::<(), String>(())
 //! ```
 //!
+//! # Elastic fleets and the autoscaler tier
+//!
+//! An [`scenario::ElasticSpec`] adds the elastic axis: a named,
+//! deterministic membership schedule — `Join`/`Leave` fleet ops lowered at
+//! epoch boundaries from the cell's own arrival stream by a reactive
+//! threshold autoscaler or a learned tabular policy
+//! ([`scenario::AutoscalePolicy`]) — applied between arrivals exactly like
+//! fault events. Departing servers drain-and-requeue like crashes, joins
+//! add capacity-scaled slots under the spec's headroom ceiling, and on
+//! multi-cluster cells the front-end router re-derives capacity weights at
+//! the scheduled membership epochs, so sharded elastic cells stay
+//! byte-identical to serial execution. Every fresh cell reports
+//! [`report::FleetSize`] columns (fixed fleets as `min = max = M`), and
+//! the [`suite::Expectation::AutoscaleEconomics`] headline pins the
+//! economics: autoscale + DRL must beat (or match) the fixed-fleet DRL
+//! twin on energy-per-job at equal latency.
+//!
+//! ```
+//! use hierdrl_exp::prelude::*;
+//!
+//! let suite = Suite::builder("elastic")
+//!     .topologies([Topology::paper(4)])
+//!     .workloads([WorkloadSpec::paper().with_total_jobs(150)])
+//!     .elastics_with_baseline([ElasticSpec::threshold()])
+//!     .policies([PolicySpec::round_robin()])
+//!     .seeds([1])
+//!     .build();
+//!
+//! let run = SuiteRunner::new().run(&suite)?;
+//! let report = run.report();
+//! // The autoscaled cell rode next to its fixed-fleet twin...
+//! assert_eq!(report.cells[1].elastic.as_deref(), Some("threshold"));
+//! // ...and both report their fleet-size columns.
+//! let fixed = report.cells[0].fleet_size.as_ref().unwrap();
+//! assert_eq!((fixed.min, fixed.max), (4, 4));
+//! assert!(report.cells[1].fleet_size.is_some());
+//! # Ok::<(), String>(())
+//! ```
+//!
 //! # Real-trace replay
 //!
 //! [`scenario::WorkloadSpec::RealTrace`] swaps a cell's synthetic
@@ -223,8 +262,9 @@
 //! use hierdrl_exp::presets::{self, Scale};
 //!
 //! let suite = presets::table1(Scale::quick());
-//! // (2 cluster sizes + big/little + rate-step drift) x 3 systems
-//! assert_eq!(suite.len(), 12);
+//! // (2 cluster sizes + big/little + rate-step drift + threshold elastic)
+//! // x 3 systems
+//! assert_eq!(suite.len(), 15);
 //! ```
 //!
 //! # Raw scale
@@ -253,13 +293,13 @@ pub mod prelude {
     pub use crate::presets;
     pub use crate::report::{
         BenchReport, BenchSegment, BenchShard, CellMetrics, CellReport, CellTiming, ExpectationRow,
-        SegmentReport, ShardReport, SuiteReport, TraceProvenance,
+        FleetSize, SegmentReport, ShardReport, SuiteReport, TraceProvenance,
     };
     pub use crate::runner::{CellRun, SegmentRun, ShardRun, SuiteRun, SuiteRunner};
     pub use crate::scale::{ScaleCellRun, ScaleSpec};
     pub use crate::scenario::{
-        DriftSpec, FaultShape, FaultSpec, JobsBudget, PolicySpec, Pretrain, Scenario, Topology,
-        WorkloadSpec,
+        AutoscalePolicy, DriftSpec, ElasticSchedule, ElasticSpec, FaultShape, FaultSpec,
+        JobsBudget, PolicySpec, Pretrain, Scenario, Topology, WorkloadSpec,
     };
     pub use crate::suite::{Expectation, Suite, SuiteBuilder};
     pub use hierdrl_core::hierarchical::{AllocatorKind, PowerKind};

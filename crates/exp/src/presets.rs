@@ -5,7 +5,9 @@
 //! operating point — so the same grid runs at paper scale or as a smoke
 //! test (`Scale::quick()`), exactly like the old per-binary `--quick` flag.
 
-use crate::scenario::{DriftSpec, FaultSpec, PolicySpec, Pretrain, Topology, WorkloadSpec};
+use crate::scenario::{
+    DriftSpec, ElasticSpec, FaultSpec, PolicySpec, Pretrain, Topology, WorkloadSpec,
+};
 use crate::suite::{Expectation, Suite};
 use hierdrl_core::allocator::DrlAllocatorConfig;
 use hierdrl_core::hierarchical::{AllocatorKind, PowerKind};
@@ -200,6 +202,79 @@ pub fn chaos(scale: Scale, names: &[String]) -> Suite {
     builder.build()
 }
 
+/// The named autoscalers of the `elastic` preset, by CLI name.
+/// `"fixed"` is not an [`ElasticSpec`] — it selects the fixed-fleet
+/// baseline entry of the axis and is handled by [`elastic`] directly.
+pub fn elastic_spec(name: &str) -> ElasticSpec {
+    match name {
+        "threshold" => ElasticSpec::threshold(),
+        "learned" => ElasticSpec::learned(),
+        other => panic!("unknown autoscaler {other:?}; expected one of fixed, threshold, learned"),
+    }
+}
+
+/// The default elastic axis of the `elastic` preset.
+pub const ELASTIC_NAMES: [&str; 3] = ["fixed", "threshold", "learned"];
+
+/// Ceiling on the autoscaled cells' mean energy-per-job relative to their
+/// fixed-fleet twins (the scale-down economics must beat — or at worst
+/// match — keeping the whole fleet DPM-sleeping).
+pub const ELASTIC_ENERGY_TOLERANCE: f64 = 1.0;
+/// Ceiling on the autoscaled cells' mean latency relative to their
+/// fixed-fleet twins ("at equal latency", with a little headroom for the
+/// smaller live fleet absorbing the same arrivals).
+pub const ELASTIC_LATENCY_SLACK: f64 = 1.10;
+
+/// Elastic-fleet grid: {fixed, threshold, learned} × {round-robin,
+/// DRL-only, hierarchical}, every autoscaled cell paired with its
+/// fixed-fleet twin, plus the committed expectations: conservation through
+/// join/leave churn, a determinism pin on an elastic cell, and the
+/// headline autoscale-economics checks — does scaling the fleet with a
+/// hierarchical learner beat leaving the whole fleet to DPM sleep on
+/// energy-per-job, at equal latency?
+///
+/// # Panics
+///
+/// Panics on an unknown autoscaler name (see [`elastic_spec`]).
+pub fn elastic(scale: Scale, names: &[String]) -> Suite {
+    let specs: Vec<ElasticSpec> = names
+        .iter()
+        .filter(|n| n.as_str() != "fixed")
+        .map(|n| elastic_spec(n))
+        .collect();
+    let baseline = names.len() != specs.len() || specs.is_empty();
+    let mut builder = Suite::builder("elastic")
+        .topologies([Topology::paper(scale.m)])
+        .workloads([scale.workload()])
+        .policies(three_systems())
+        .seeds([42])
+        .expect(Expectation::JobConservation {
+            name: "jobs-conserved".into(),
+        });
+    builder = if baseline {
+        builder.elastics_with_baseline(specs)
+    } else {
+        builder.elastics(specs)
+    };
+    for name in names.iter().filter(|n| n.as_str() != "fixed") {
+        builder = builder.expect(Expectation::DeterminismPin {
+            name: format!("determinism-{name}"),
+            cell_contains: format!("~{name}/round-robin"),
+        });
+        // The economics comparison needs the fixed-fleet twins on the grid.
+        if baseline {
+            builder = builder.expect(Expectation::AutoscaleEconomics {
+                name: format!("autoscale-{name}"),
+                elastic: name.clone(),
+                policy: "hierarchical".into(),
+                energy_tolerance: ELASTIC_ENERGY_TOLERANCE,
+                latency_slack: ELASTIC_LATENCY_SLACK,
+            });
+        }
+    }
+    builder.build()
+}
+
 /// The committed trace fixtures the `realtrace` preset replays by default:
 /// `(workload name, repo-relative path, format)`. Tiny deterministic files
 /// (see `crates/trace/tests/fixtures/regen.py`), so the preset runs
@@ -271,14 +346,15 @@ pub fn fig9(scale: Scale) -> Suite {
         .build()
 }
 
-/// **Table I**, extended with a heterogeneity row and a drift row: the
+/// **Table I**, extended with heterogeneity, drift, and elastic rows: the
 /// three systems at `M` and `4/3 · M` (the paper's 30 and 40), evaluation
 /// length scaling with `M` so per-server work is constant — plus the
 /// canonical big/little fleet at `M` (a quarter of the servers at 2x
-/// capacity) and a rate-step concept-drift row at `M`, so the committed
-/// `BENCH_suite.json` baseline carries heterogeneous *and* drift cells
-/// (with per-segment rows) and the perf gate tracks them alongside the
-/// paper's.
+/// capacity), a rate-step concept-drift row at `M`, and a
+/// threshold-autoscaled row at `M`, so the committed `BENCH_suite.json`
+/// baseline carries heterogeneous, drift, *and* elastic cells (with
+/// per-segment rows and `fleet_size` columns) and the perf gate tracks
+/// them alongside the paper's.
 pub fn table1(scale: Scale) -> Suite {
     let m_small = scale.m;
     let m_large = (scale.m * 4).div_ceil(3);
@@ -300,6 +376,14 @@ pub fn table1(scale: Scale) -> Suite {
         .seeds([42])
         .build();
     suite.scenarios.extend(drift_row.scenarios);
+    let elastic_row = Suite::builder("table1")
+        .topologies([Topology::paper(m_small)])
+        .workloads([scale.workload_per_server()])
+        .elastics([ElasticSpec::threshold()])
+        .policies(three_systems())
+        .seeds([42])
+        .build();
+    suite.scenarios.extend(elastic_row.scenarios);
     suite
 }
 
@@ -453,15 +537,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn table1_covers_both_cluster_sizes_a_big_little_and_a_drift_row() {
+    fn table1_covers_both_cluster_sizes_a_big_little_drift_and_elastic_rows() {
         let suite = table1(Scale::paper(30));
-        assert_eq!(suite.len(), 12);
-        let ms: Vec<usize> = suite
+        assert_eq!(suite.len(), 15);
+        assert!(suite
             .scenarios
             .iter()
-            .map(|s| s.topology.servers())
-            .collect();
-        assert_eq!(ms, [30, 30, 30, 40, 40, 40, 30, 30, 30, 30, 30, 30]);
+            .all(|s| s.topology.servers() == 30 || s.topology.servers() == 40));
         // Per-server work held constant: 95k jobs at M=30, ~126.7k at M=40.
         assert_eq!(suite.scenarios[0].workload.jobs_for(30), 95_000);
         assert_eq!(suite.scenarios[3].workload.jobs_for(40), 126_667);
@@ -472,12 +554,18 @@ mod tests {
         assert!((hetero.topology.total_capacity() - 38.0).abs() < 1e-12);
         // The drift row: the last three cells run the rate-step segments
         // online, splitting the same total budget across segments.
-        for s in &suite.scenarios[9..] {
+        for s in &suite.scenarios[9..12] {
             assert_eq!(s.num_segments(), 2);
             assert!(s.online_learning());
             assert!(s.id.contains("@rate-step-x2"));
             let total: usize = s.segment_trace_specs().iter().map(|t| t.jobs).sum();
             assert_eq!(total, 95_000);
+        }
+        // The elastic row: the last three cells autoscale under the
+        // threshold policy at M=30.
+        for s in &suite.scenarios[12..] {
+            assert!(s.id.contains("~threshold"));
+            assert_eq!(s.elastic.as_ref().unwrap().name, "threshold");
         }
         // Non-drift cells keep their historical ids (perf-gate stability).
         assert_eq!(suite.scenarios[0].id, "paper-m30/paper/round-robin/s42");
@@ -552,6 +640,47 @@ mod tests {
     }
 
     #[test]
+    fn elastic_preset_pairs_autoscaled_cells_with_their_twins() {
+        let names: Vec<String> = ELASTIC_NAMES.iter().map(|s| s.to_string()).collect();
+        let suite = elastic(Scale::quick(), &names);
+        // {fixed + 2 autoscalers} x 3 systems.
+        assert_eq!(suite.len(), 9);
+        // The fixed-fleet twins come first and keep their historical ids.
+        assert_eq!(suite.scenarios[0].id, "paper-m10/paper/round-robin/s42");
+        assert_eq!(
+            suite.scenarios[3].id,
+            "paper-m10/paper~threshold/round-robin/s42"
+        );
+        assert_eq!(
+            suite.scenarios[8].id,
+            "paper-m10/paper~learned/hierarchical/s42"
+        );
+        // Committed expectations: conservation + per-autoscaler determinism
+        // pin and the autoscale-economics headline.
+        assert_eq!(suite.expectations.len(), 1 + 2 * 2);
+        assert_eq!(suite.expectations[0].name(), "jobs-conserved");
+        assert!(suite
+            .expectations
+            .iter()
+            .any(|e| e.name() == "autoscale-threshold"));
+        // Subsetting the axis by name works (the CLI path); without the
+        // fixed entry there are no twins, so no economics checks.
+        let one = elastic(Scale::quick(), &["learned".to_string()]);
+        assert_eq!(one.len(), 3);
+        assert!(one.scenarios.iter().all(|s| s.elastic.is_some()));
+        assert!(!one
+            .expectations
+            .iter()
+            .any(|e| matches!(e, Expectation::AutoscaleEconomics { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown autoscaler")]
+    fn unknown_elastic_name_rejected() {
+        let _ = elastic_spec("clairvoyant");
+    }
+
+    #[test]
     fn heterogeneous_grids_skew_by_policy() {
         let suite = heterogeneous(Scale::quick());
         // 3 fleets x 3 systems.
@@ -584,6 +713,7 @@ mod tests {
     #[test]
     fn quick_scale_shrinks_every_preset() {
         let fault_names: Vec<String> = FAULT_NAMES.iter().map(|s| s.to_string()).collect();
+        let elastic_names: Vec<String> = ELASTIC_NAMES.iter().map(|s| s.to_string()).collect();
         for suite in [
             fig8(Scale::quick()),
             fig9(Scale::quick()),
@@ -591,6 +721,7 @@ mod tests {
             ablation_dqn(Scale::quick()),
             calibrate(Scale::quick()),
             chaos(Scale::quick(), &fault_names),
+            elastic(Scale::quick(), &elastic_names),
         ] {
             for s in &suite.scenarios {
                 assert!(s.workload.jobs_for(s.topology.servers()) <= 7_000);

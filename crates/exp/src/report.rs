@@ -48,6 +48,32 @@ impl CellMetrics {
     }
 }
 
+/// The scheduled fleet-size envelope of one cell: constant at the topology
+/// size for fixed fleets; for elastic cells, the lowered membership
+/// trajectory — summed across shards on their shared clock, span-weighted
+/// across drift segments. A pure function of the scenario, so the column
+/// is safe in the canonical byte-comparable report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetSize {
+    /// Smallest scheduled live-server count.
+    pub min: usize,
+    /// Largest scheduled live-server count.
+    pub max: usize,
+    /// Time-weighted mean scheduled live-server count.
+    pub mean: f64,
+}
+
+impl FleetSize {
+    /// The fixed-fleet envelope: every column equals the topology size.
+    pub fn fixed(servers: usize) -> Self {
+        Self {
+            min: servers,
+            max: servers,
+            mean: servers as f64,
+        }
+    }
+}
+
 /// One segment's row of a concept-drift cell: which shift the segment ran
 /// and the metrics of carrying the learners through it, in drift order.
 /// `drl` snapshots the global tier's *cumulative* statistics at segment
@@ -129,6 +155,14 @@ pub struct CellReport {
     /// Fault-schedule name (`None` for fault-free cells).
     #[serde(default)]
     pub fault: Option<String>,
+    /// Elastic-schedule name (`None` for fixed-fleet cells).
+    #[serde(default)]
+    pub elastic: Option<String>,
+    /// Scheduled fleet-size envelope (`None` only in reports written
+    /// before the elastic axis existed; fresh runs always populate it,
+    /// fixed fleets included).
+    #[serde(default)]
+    pub fleet_size: Option<FleetSize>,
     /// Policy name.
     pub policy: String,
     /// The cell's base seed.
@@ -238,6 +272,10 @@ pub struct BenchCell {
     pub jobs: u64,
     /// Per-server capacity skew of the cell's fleet (`1.0` = homogeneous).
     pub capacity_skew: f64,
+    /// Scheduled fleet-size envelope (`None` only in artifacts written
+    /// before the elastic axis existed; fresh runs always populate it).
+    #[serde(default)]
+    pub fleet_size: Option<FleetSize>,
     /// Cell wall-clock, seconds.
     pub wall_s: f64,
     /// Simulated jobs per wall-clock second.
@@ -363,6 +401,7 @@ mod tests {
         assert_eq!(report.peak_rss_bytes, None);
         assert_eq!(report.cells[0].peak_rss_bytes, None);
         assert_eq!(report.cells[0].trace, None);
+        assert_eq!(report.cells[0].fleet_size, None);
         assert!(report.expectations.is_empty());
         let back: BenchReport = serde_json::from_str(&report.to_json_pretty()).expect("round trip");
         assert_eq!(report, back);
@@ -390,6 +429,8 @@ mod tests {
         }"#;
         let report: SuiteReport = serde_json::from_str(legacy).expect("legacy report parses");
         assert_eq!(report.cells[0].fault, None);
+        assert_eq!(report.cells[0].elastic, None);
+        assert_eq!(report.cells[0].fleet_size, None);
         assert_eq!(report.cells[0].jobs_requeued, 0);
         assert_eq!(report.cells[0].trace, None);
         assert!(report.expectations.is_empty());

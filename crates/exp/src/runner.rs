@@ -24,9 +24,9 @@
 
 use crate::report::{
     BenchCell, BenchReport, BenchSegment, BenchShard, CellMetrics, CellReport, CellTiming,
-    ExpectationRow, SegmentReport, ShardReport, SuiteReport, TraceProvenance,
+    ExpectationRow, FleetSize, SegmentReport, ShardReport, SuiteReport, TraceProvenance,
 };
-use crate::scenario::{mix_seed, PolicySpec, Pretrain, Scenario};
+use crate::scenario::{mix_seed, ElasticSchedule, ElasticSpec, PolicySpec, Pretrain, Scenario};
 use crate::suite::{Expectation, Suite};
 use hierdrl_core::allocator::{DrlAllocator, DrlAllocatorConfig, DrlSnapshot, DrlStats};
 use hierdrl_core::dpm::{DpmSnapshot, RlPowerConfig, RlPowerManager};
@@ -180,6 +180,10 @@ pub struct CellRun {
     /// Per-cluster outcomes in shard order (empty for single-cluster
     /// cells).
     pub shards: Vec<ShardRun>,
+    /// The cell's scheduled fleet-size envelope: constant at the topology
+    /// size for fixed fleets, the lowered membership trajectory (summed
+    /// across shards, span-weighted across segments) for elastic cells.
+    pub fleet_size: FleetSize,
     /// Real-trace provenance (`None` for synthetic cells).
     pub provenance: Option<TraceProvenance>,
     /// Wall-clock timing.
@@ -221,6 +225,8 @@ fn cell_report(c: &CellRun) -> CellReport {
         capacity_skew: c.scenario.topology.capacity_skew(),
         workload: c.scenario.workload.name().to_string(),
         fault: c.scenario.fault.as_ref().map(|f| f.name.clone()),
+        elastic: c.scenario.elastic.as_ref().map(|e| e.name.clone()),
+        fleet_size: Some(c.fleet_size),
         policy: c.scenario.policy.name(),
         seed: c.scenario.seed,
         metrics: CellMetrics::from_result(&c.result),
@@ -289,6 +295,7 @@ impl SuiteRun {
                     id: c.scenario.id.clone(),
                     jobs: c.result.outcome.totals.jobs_completed,
                     capacity_skew: c.scenario.topology.capacity_skew(),
+                    fleet_size: Some(c.fleet_size),
                     wall_s: c.timing.wall_s,
                     jobs_per_s: c.timing.jobs_per_s,
                     segments: (!c.segments.is_empty()).then(|| {
@@ -474,6 +481,19 @@ fn evaluate_expectations(expectations: &[Expectation], run: &SuiteRun) -> Vec<Ex
                     tolerance,
                     ..
                 } => check_graceful_degradation(run, fault, policy, baseline, *tolerance),
+                Expectation::AutoscaleEconomics {
+                    elastic,
+                    policy,
+                    energy_tolerance,
+                    latency_slack,
+                    ..
+                } => check_autoscale_economics(
+                    run,
+                    elastic,
+                    policy,
+                    *energy_tolerance,
+                    *latency_slack,
+                ),
             };
             ExpectationRow {
                 name: e.name().to_string(),
@@ -679,6 +699,52 @@ fn check_graceful_degradation(
     )
 }
 
+/// Autoscaling must pay for itself: `~elastic` cells of `policy` must land
+/// at or below `energy_tolerance`× the fixed-fleet twin's energy-per-job
+/// while keeping mean latency within `latency_slack`× of the twin. Both
+/// ratios are means across every matching cell (i.e. across seeds).
+fn check_autoscale_economics(
+    run: &SuiteRun,
+    elastic: &str,
+    policy: &str,
+    energy_tolerance: f64,
+    latency_slack: f64,
+) -> (bool, String) {
+    let scaled: Vec<&CellRun> = run
+        .cells
+        .iter()
+        .filter(|c| {
+            c.scenario.policy.name() == policy
+                && c.scenario
+                    .elastic
+                    .as_ref()
+                    .is_some_and(|e| e.name == elastic)
+        })
+        .collect();
+    if scaled.is_empty() {
+        return (false, format!("no {policy} cell under ~{elastic}"));
+    }
+    let mut energy = Vec::with_capacity(scaled.len());
+    let mut latency = Vec::with_capacity(scaled.len());
+    for cell in scaled {
+        let twin_id = cell.scenario.id.replace(&format!("~{elastic}"), "");
+        let Some(twin) = run.cells.iter().find(|c| c.scenario.id == twin_id) else {
+            return (false, format!("no fixed-fleet twin {twin_id}"));
+        };
+        energy.push(cell.result.energy_per_job_j() / twin.result.energy_per_job_j().max(1e-12));
+        latency.push(cell.result.mean_latency_s() / twin.result.mean_latency_s().max(1e-12));
+    }
+    let e = energy.iter().sum::<f64>() / energy.len() as f64;
+    let l = latency.iter().sum::<f64>() / latency.len() as f64;
+    (
+        e <= energy_tolerance && l <= latency_slack,
+        format!(
+            "~{elastic} {policy} energy/job {e:.3}x (tolerance {energy_tolerance}), \
+             latency {l:.3}x (slack {latency_slack}) vs fixed fleet"
+        ),
+    )
+}
+
 /// The fully-derived learner inputs of one execution unit — a whole
 /// single-cluster cell, or one shard of a multi-cluster cell. Both levels
 /// run through the same policy executor; only the seed derivation differs.
@@ -744,8 +810,11 @@ fn pretrain(
             .iter()
             .map(|spec| ctx.traces.get(spec).map(|t| (*t).clone()))
             .collect::<Result<_, _>>()?;
+        // Size the allocator at the slot ceiling (`== num_servers` for
+        // fixed fleets): elastic cells must encode joined slots, and the
+        // zero-padded group encoding keeps narrower views bitwise stable.
         let mut allocator = DrlAllocator::new(
-            cluster.num_servers,
+            cluster.effective_max(),
             cluster.resource_dims,
             drl_config.clone(),
         );
@@ -906,7 +975,17 @@ fn execute_policy(
     name: &str,
     seeds: &LearnerSeeds,
     segment_traces: &[&Trace],
+    elastic: &[ElasticSchedule],
 ) -> Result<(ExperimentResult, Option<DrlStats>, Vec<SegmentRun>), String> {
+    // Elastic cells run (and pre-train) against the headroom config, so
+    // mid-run joins have slots and learners size their padded width from
+    // the same `effective_max`. Pre-training itself stays membership-free,
+    // like it stays fault-free: schedules apply only at evaluation.
+    let headroom = scenario
+        .elastic
+        .as_ref()
+        .map(|spec| spec.cluster_with_headroom(cluster));
+    let cluster = headroom.as_ref().unwrap_or(cluster);
     let (mut allocator, mut power) = build_policy(scenario, ctx, cluster, seeds)?;
     if !scenario.online_learning() {
         allocator.set_learning(false);
@@ -917,7 +996,7 @@ fn execute_policy(
     // fault seed. Pre-training above stays fault-free — the paper's
     // learners train on healthy fleets and meet faults only at evaluation
     // (and pre-train cache keys stay stable across the fault axis).
-    let fault_events: Vec<Vec<(f64, FleetOp)>> = match &scenario.fault {
+    let mut fleet_events: Vec<Vec<(f64, FleetOp)>> = match &scenario.fault {
         None => Vec::new(),
         Some(fault) => segment_traces
             .iter()
@@ -933,9 +1012,22 @@ fn execute_policy(
             })
             .collect(),
     };
+    // Merge the pre-lowered elastic schedules (the caller lowers them —
+    // against the cell stream for the single path, the shard's capacity
+    // share for shards) behind the fault events: a stable sort keeps fault
+    // ops ahead of membership ops at equal times, deterministically.
+    if !elastic.is_empty() {
+        if fleet_events.is_empty() {
+            fleet_events = vec![Vec::new(); segment_traces.len()];
+        }
+        for (events, schedule) in fleet_events.iter_mut().zip(elastic) {
+            events.extend(schedule.events.iter().cloned());
+            events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("event times are finite"));
+        }
+    }
     let experiment = SegmentedExperiment::new(name, cluster, segment_traces)
         .with_limit(scenario.run_limit())
-        .with_fleet_events(&fault_events);
+        .with_fleet_events(&fleet_events);
     let mut segments: Vec<SegmentRun> = Vec::with_capacity(segment_traces.len());
     for (i, trace) in segment_traces.iter().enumerate() {
         let started = Instant::now(); // lint:allow(wall-clock): timing feeds BenchReport only, never SuiteReport
@@ -974,6 +1066,7 @@ fn run_shard(
     shard: usize,
     cluster: &ClusterConfig,
     segment_jobs: Vec<Vec<hierdrl_sim::job::Job>>,
+    elastic: &[ElasticSchedule],
     name: &str,
 ) -> Result<ShardRun, String> {
     let started = Instant::now(); // lint:allow(wall-clock): timing feeds BenchReport only, never SuiteReport
@@ -990,7 +1083,7 @@ fn run_shard(
     let refs: Vec<&Trace> = traces.iter().collect();
     let seeds = LearnerSeeds::for_shard(scenario, shard);
     let (result, drl_stats, segments) =
-        execute_policy(scenario, ctx, cluster, name, &seeds, &refs)?;
+        execute_policy(scenario, ctx, cluster, name, &seeds, &refs, elastic)?;
     Ok(ShardRun {
         shard: ShardResult {
             cluster: shard,
@@ -1090,6 +1183,96 @@ fn resolve_cell_traces(
     Ok((traces, Some(provenance)))
 }
 
+/// Lowers one execution unit's elastic schedule for one segment: against
+/// the segment's arrival span when it has one, degenerating to a fixed
+/// fleet for empty segments (mirroring fault lowering).
+fn lower_elastic(
+    spec: &ElasticSpec,
+    elastic_seed: u64,
+    cluster: &ClusterConfig,
+    jobs: &[hierdrl_sim::job::Job],
+    demand_share: f64,
+) -> ElasticSchedule {
+    match jobs.last() {
+        None => ElasticSchedule::fixed(cluster.num_servers),
+        Some(last) => spec.lower(
+            elastic_seed,
+            cluster.num_servers,
+            cluster.resource_dims,
+            jobs,
+            last.arrival.as_secs(),
+            demand_share,
+        ),
+    }
+}
+
+/// `(min, max, time-weighted mean)` of the summed scheduled live count
+/// across one segment's per-shard schedules (a single-element slice for
+/// single-cluster cells), over `[0, end_s]`.
+fn combined_size_stats(schedules: &[&ElasticSchedule], end_s: f64) -> (usize, usize, f64) {
+    let initial: usize = schedules.iter().map(|s| s.sizes[0].1).sum();
+    if end_s <= 0.0 {
+        return (initial, initial, initial as f64);
+    }
+    let mut times: Vec<f64> = vec![0.0];
+    for s in schedules {
+        times.extend(
+            s.sizes
+                .iter()
+                .skip(1)
+                .map(|&(t, _)| t)
+                .filter(|&t| t < end_s),
+        );
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("schedule times are finite"));
+    times.dedup();
+    let (mut min, mut max, mut weighted) = (usize::MAX, 0usize, 0.0f64);
+    for (i, &t) in times.iter().enumerate() {
+        let next = times.get(i + 1).copied().unwrap_or(end_s);
+        let n: usize = schedules.iter().map(|s| s.size_at(t)).sum();
+        min = min.min(n);
+        max = max.max(n);
+        weighted += n as f64 * (next - t);
+    }
+    (min, max, weighted / end_s)
+}
+
+/// The cell's fleet-size envelope from its lowered schedules: shards sum
+/// on their shared clock within a segment, segments weight by their spans.
+/// Fixed-fleet cells (`per_shard` empty) report the constant topology size.
+fn fleet_size_for(m_total: usize, per_shard: &[Vec<ElasticSchedule>], spans: &[f64]) -> FleetSize {
+    if per_shard.is_empty() {
+        return FleetSize::fixed(m_total);
+    }
+    let (mut min, mut max) = (usize::MAX, 0usize);
+    let (mut weighted, mut total_span) = (0.0f64, 0.0f64);
+    for (i, &span) in spans.iter().enumerate() {
+        let schedules: Vec<&ElasticSchedule> = per_shard.iter().map(|s| &s[i]).collect();
+        let (lo, hi, mean) = combined_size_stats(&schedules, span);
+        min = min.min(lo);
+        max = max.max(hi);
+        weighted += mean * span.max(0.0);
+        total_span += span.max(0.0);
+    }
+    if total_span <= 0.0 {
+        return FleetSize::fixed(m_total);
+    }
+    FleetSize {
+        min,
+        max,
+        mean: weighted / total_span,
+    }
+}
+
+/// Per-segment arrival spans of an execution stream (0 for empty
+/// segments), the weights `fleet_size_for` aggregates over.
+fn segment_spans<'a>(segments: impl IntoIterator<Item = &'a [hierdrl_sim::job::Job]>) -> Vec<f64> {
+    segments
+        .into_iter()
+        .map(|jobs| jobs.last().map_or(0.0, |j| j.arrival.as_secs()))
+        .collect()
+}
+
 fn run_cell(scenario: &Scenario, ctx: &RunContext) -> Result<CellRun, String> {
     let started = Instant::now(); // lint:allow(wall-clock): timing feeds BenchReport only, never SuiteReport
     let (mut traces, provenance) = resolve_cell_traces(scenario, ctx)?;
@@ -1119,13 +1302,29 @@ fn run_cell(scenario: &Scenario, ctx: &RunContext) -> Result<CellRun, String> {
     }
     let name = scenario.policy.name();
 
-    let (result, drl_stats, segments, shards) = match &scenario.topology {
+    let (result, drl_stats, segments, shards, fleet_size) = match &scenario.topology {
         crate::scenario::Topology::Single { cluster, .. } => {
             let refs: Vec<&Trace> = traces.iter().map(Arc::as_ref).collect();
+            // Lower the elastic axis (if any) feed-forward from the cell
+            // stream: one schedule per segment, from the cell-level
+            // elastic seed, seeing the whole offered demand.
+            let elastic: Vec<ElasticSchedule> = match &scenario.elastic {
+                None => Vec::new(),
+                Some(spec) => refs
+                    .iter()
+                    .map(|t| lower_elastic(spec, scenario.elastic_seed(), cluster, t.jobs(), 1.0))
+                    .collect(),
+            };
+            let fleet_size = if elastic.is_empty() {
+                FleetSize::fixed(cluster.num_servers)
+            } else {
+                let spans = segment_spans(refs.iter().map(|t| t.jobs()));
+                fleet_size_for(cluster.num_servers, std::slice::from_ref(&elastic), &spans)
+            };
             let seeds = LearnerSeeds::for_cell(scenario);
             let (result, drl_stats, segments) =
-                execute_policy(scenario, ctx, cluster, &name, &seeds, &refs)?;
-            (result, drl_stats, segments, Vec::new())
+                execute_policy(scenario, ctx, cluster, &name, &seeds, &refs, &elastic)?;
+            (result, drl_stats, segments, Vec::new(), fleet_size)
         }
         crate::scenario::Topology::MultiCluster {
             clusters, router, ..
@@ -1135,21 +1334,82 @@ fn run_cell(scenario: &Scenario, ctx: &RunContext) -> Result<CellRun, String> {
             // outweighs one of three little machines.
             let weights: Vec<f64> = clusters.iter().map(ClusterConfig::routing_weight).collect();
             // `max_jobs` truncates each segment's arrival stream before
-            // routing (see module docs), then the router splits every
-            // segment independently and deterministically.
+            // routing (see module docs).
+            let streams: Vec<&[hierdrl_sim::job::Job]> = traces
+                .iter()
+                .map(|trace| {
+                    let jobs = trace.jobs();
+                    match scenario.max_jobs {
+                        Some(n) => &jobs[..jobs.len().min(n as usize)],
+                        None => jobs,
+                    }
+                })
+                .collect();
+            // Elastic cells lower every shard's membership trajectory
+            // *before* routing, from the cell-level stream scaled by the
+            // shard's initial capacity share — feed-forward, so the router
+            // can re-derive capacity weights at the scheduled membership
+            // boundaries without ever observing live simulation state.
+            let elastic_per_shard: Vec<Vec<ElasticSchedule>> = match &scenario.elastic {
+                None => Vec::new(),
+                Some(spec) => {
+                    let total: f64 = weights.iter().sum();
+                    (0..clusters.len())
+                        .map(|k| {
+                            streams
+                                .iter()
+                                .map(|jobs| {
+                                    lower_elastic(
+                                        spec,
+                                        scenario.shard_elastic_seed(k),
+                                        &clusters[k],
+                                        jobs,
+                                        weights[k] / total,
+                                    )
+                                })
+                                .collect()
+                        })
+                        .collect()
+                }
+            };
+            let fleet_size = if elastic_per_shard.is_empty() {
+                FleetSize::fixed(scenario.topology.servers())
+            } else {
+                let spans = segment_spans(streams.iter().copied());
+                fleet_size_for(scenario.topology.servers(), &elastic_per_shard, &spans)
+            };
+            // Route every segment independently and deterministically:
+            // static capacity weights for fixed fleets; for elastic cells,
+            // a piecewise-constant weight timeline that scales each
+            // shard's weight with its scheduled live count.
             let mut per_shard: Vec<Vec<Vec<hierdrl_sim::job::Job>>> =
                 (0..clusters.len()).map(|_| Vec::new()).collect();
-            for trace in &traces {
-                let jobs = trace.jobs();
-                let stream = match scenario.max_jobs {
-                    Some(n) => &jobs[..jobs.len().min(n as usize)],
-                    None => jobs,
+            for (i, stream) in streams.iter().enumerate() {
+                let routed = if elastic_per_shard.is_empty() {
+                    Router::split(*router, &weights, stream)
+                } else {
+                    let mut times: Vec<f64> = vec![0.0];
+                    for schedules in &elastic_per_shard {
+                        times.extend(schedules[i].sizes.iter().skip(1).map(|&(t, _)| t));
+                    }
+                    times.sort_by(|a, b| a.partial_cmp(b).expect("schedule times are finite"));
+                    times.dedup();
+                    let epochs: Vec<(f64, Vec<f64>)> = times
+                        .iter()
+                        .map(|&t| {
+                            let w = (0..clusters.len())
+                                .map(|k| {
+                                    elastic_per_shard[k][i].size_at(t) as f64 * weights[k]
+                                        / clusters[k].num_servers as f64
+                                })
+                                .collect();
+                            (t, w)
+                        })
+                        .collect();
+                    Router::split_epochs(*router, &epochs, stream)
                 };
-                for (k, routed) in Router::split(*router, &weights, stream)
-                    .into_iter()
-                    .enumerate()
-                {
-                    per_shard[k].push(routed);
+                for (k, jobs) in routed.into_iter().enumerate() {
+                    per_shard[k].push(jobs);
                 }
             }
 
@@ -1161,7 +1421,11 @@ fn run_cell(scenario: &Scenario, ctx: &RunContext) -> Result<CellRun, String> {
                 per_shard.into_iter().enumerate().collect();
             let outcomes: Vec<Result<ShardRun, String>> = work
                 .into_par_iter()
-                .map(|(k, segs)| run_shard(scenario, ctx, k, &clusters[k], segs, &name))
+                .map(|(k, segs)| {
+                    let elastic: &[ElasticSchedule] =
+                        elastic_per_shard.get(k).map_or(&[], Vec::as_slice);
+                    run_shard(scenario, ctx, k, &clusters[k], segs, elastic, &name)
+                })
                 .collect();
             let shards = outcomes.into_iter().collect::<Result<Vec<_>, _>>()?;
 
@@ -1206,7 +1470,7 @@ fn run_cell(scenario: &Scenario, ctx: &RunContext) -> Result<CellRun, String> {
                 (aggregate_shards(&name, &shard_results), Vec::new())
             };
             let drl_stats = merge_drl_stats(shards.iter().map(|s| s.drl_stats));
-            (result, drl_stats, segments, shards)
+            (result, drl_stats, segments, shards, fleet_size)
         }
     };
 
@@ -1218,6 +1482,7 @@ fn run_cell(scenario: &Scenario, ctx: &RunContext) -> Result<CellRun, String> {
         drl_stats,
         segments,
         shards,
+        fleet_size,
         provenance,
         timing: CellTiming {
             wall_s,

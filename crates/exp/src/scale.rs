@@ -134,6 +134,7 @@ impl ScaleCellRun {
             id: self.id.clone(),
             jobs: self.result.outcome.totals.jobs_completed,
             capacity_skew: 1.0,
+            fleet_size: None,
             wall_s: self.wall_s,
             jobs_per_s: self.jobs_per_s,
             segments: None,

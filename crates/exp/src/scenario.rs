@@ -4,9 +4,11 @@
 use hierdrl_core::allocator::DrlAllocatorConfig;
 use hierdrl_core::dpm::RlPowerConfig;
 use hierdrl_core::hierarchical::{AllocatorKind, PowerKind};
+use hierdrl_rl::qtable::QTable;
+use hierdrl_rl::smdp::SmdpParams;
 use hierdrl_sim::cluster::RunLimit;
 use hierdrl_sim::config::ClusterConfig;
-use hierdrl_sim::events::FleetOp;
+use hierdrl_sim::events::{FleetOp, ServerSpec};
 use hierdrl_sim::job::{Job, JobId, ServerId};
 use hierdrl_sim::router::RouterPolicy;
 use hierdrl_sim::time::SimTime;
@@ -1122,6 +1124,334 @@ impl FaultSpec {
     }
 }
 
+/// How the autoscaler tier picks a scaling action at each epoch boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AutoscalePolicy {
+    /// The classic reactive baseline: scale out above the high-water
+    /// utilization mark, scale in below the low-water mark.
+    Threshold {
+        /// High-water offered utilization (scale out above).
+        high: f64,
+        /// Low-water offered utilization (scale in below).
+        low: f64,
+    },
+    /// A learned tabular policy: epsilon-greedy SMDP Q-learning (reusing
+    /// [`hierdrl_rl::qtable::QTable`]) over offered-utilization bins with
+    /// actions {scale-in, hold, scale-out}, trained online during the
+    /// feed-forward lowering pass against a cost of fleet fraction plus
+    /// overload overshoot.
+    Learned {
+        /// Number of utilization bins (states).
+        bins: usize,
+        /// Exploration rate in `[0, 1)`.
+        epsilon: f64,
+    },
+}
+
+impl AutoscalePolicy {
+    fn validate(&self) -> Result<(), String> {
+        match *self {
+            AutoscalePolicy::Threshold { high, low } => {
+                if !(low.is_finite() && high.is_finite() && 0.0 < low && low < high) {
+                    return Err(format!(
+                        "threshold autoscaler needs 0 < low < high, got low {low} high {high}"
+                    ));
+                }
+                Ok(())
+            }
+            AutoscalePolicy::Learned { bins, epsilon } => {
+                if bins < 2 {
+                    return Err(format!("learned autoscaler needs >= 2 bins, got {bins}"));
+                }
+                if !(epsilon.is_finite() && (0.0..1.0).contains(&epsilon)) {
+                    return Err(format!(
+                        "learned autoscaler epsilon must be in [0, 1), got {epsilon}"
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The scheduled fleet-membership trajectory one [`ElasticSpec`] lowers to
+/// for one evaluation segment: the event-level [`FleetOp`]s plus the
+/// piecewise-constant live-count timeline behind them (consumed by the
+/// front-end router's epoch weights and the `fleet_size` report columns).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElasticSchedule {
+    /// Scheduled membership changes, sorted by time.
+    pub events: Vec<(f64, FleetOp)>,
+    /// Piecewise-constant scheduled live-server count: `(start_s, live)`,
+    /// first entry at `0.0` with the initial size.
+    pub sizes: Vec<(f64, usize)>,
+}
+
+impl ElasticSchedule {
+    /// A schedule that never changes membership.
+    pub fn fixed(num_servers: usize) -> Self {
+        Self {
+            events: Vec::new(),
+            sizes: vec![(0.0, num_servers)],
+        }
+    }
+
+    /// The scheduled live count at time `t`.
+    pub fn size_at(&self, t: f64) -> usize {
+        self.sizes
+            .iter()
+            .take_while(|(start, _)| *start <= t)
+            .last()
+            .map_or(0, |&(_, n)| n)
+    }
+
+    /// `(min, max, time-weighted mean)` of the scheduled live count over
+    /// `[0, end_s]`. Degenerates to the initial size when `end_s <= 0`.
+    pub fn size_stats(&self, end_s: f64) -> (usize, usize, f64) {
+        let first = self.sizes.first().map_or(0, |&(_, n)| n);
+        if end_s <= 0.0 {
+            return (first, first, first as f64);
+        }
+        let (mut min, mut max, mut weighted) = (usize::MAX, 0usize, 0.0f64);
+        for (i, &(start, n)) in self.sizes.iter().enumerate() {
+            let next = self.sizes.get(i + 1).map_or(end_s, |&(t, _)| t.min(end_s));
+            min = min.min(n);
+            max = max.max(n);
+            weighted += n as f64 * (next - start.min(end_s)).max(0.0);
+        }
+        (min, max, weighted / end_s)
+    }
+}
+
+/// The elastic axis of a scenario: a named autoscaler tier that grows and
+/// shrinks fleet membership at deterministic epoch boundaries. Like the
+/// chaos axis, the spec lowers *feed-forward* — the schedule is a pure
+/// function of the elastic seed (`mix(seed, 5)`) and the segment's arrival
+/// stream, never of live simulation state — so elastic cells keep every
+/// byte-identity guarantee (sharded vs. serial, re-run vs. suite run).
+///
+/// Lowering simulates the autoscaler against the *offered* utilization
+/// trajectory: per epoch, arrival-windowed `cpu x duration` demand divided
+/// by the epoch's live unit-capacity. Scale-out joins a unit server
+/// ([`ServerSpec::unit`]); scale-in retires the highest-index live member
+/// (LIFO), mirroring the cluster's lowest-departed-slot reuse on rejoin so
+/// the scheduled slot bookkeeping matches the simulator's exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ElasticSpec {
+    /// Display name (joined into the scenario id as `workload~elastic`).
+    pub name: String,
+    /// The autoscaler's decision rule.
+    pub policy: AutoscalePolicy,
+    /// Number of equal decision epochs across each evaluation segment.
+    pub epochs: usize,
+    /// Fleet floor as a fraction of the initial size (rounded, >= 1).
+    pub min_frac: f64,
+    /// Fleet ceiling as a fraction of the initial size (rounded up).
+    pub max_frac: f64,
+    /// Boundaries to hold after a scaling action before the next one.
+    pub cooldown: usize,
+}
+
+impl ElasticSpec {
+    /// A named elastic schedule from explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy parameters are out of range, `epochs < 2`,
+    /// `min_frac` is outside `(0, 1]`, or `max_frac < 1`.
+    pub fn new(
+        name: impl Into<String>,
+        policy: AutoscalePolicy,
+        epochs: usize,
+        min_frac: f64,
+        max_frac: f64,
+        cooldown: usize,
+    ) -> Self {
+        policy.validate().unwrap_or_else(|e| panic!("{e}"));
+        assert!(epochs >= 2, "elastic spec needs >= 2 epochs, got {epochs}");
+        assert!(
+            min_frac.is_finite() && min_frac > 0.0 && min_frac <= 1.0,
+            "min_frac must be in (0, 1], got {min_frac}"
+        );
+        assert!(
+            max_frac.is_finite() && max_frac >= 1.0,
+            "max_frac must be >= 1, got {max_frac}"
+        );
+        Self {
+            name: name.into(),
+            policy,
+            epochs,
+            min_frac,
+            max_frac,
+            cooldown,
+        }
+    }
+
+    /// The canonical threshold autoscaler: 75%/30% water marks, 12 epochs,
+    /// half-to-1.5x fleet range, one-boundary cooldown.
+    pub fn threshold() -> Self {
+        Self::new(
+            "threshold",
+            AutoscalePolicy::Threshold {
+                high: 0.75,
+                low: 0.30,
+            },
+            12,
+            0.5,
+            1.5,
+            1,
+        )
+    }
+
+    /// The canonical learned autoscaler: 8 utilization bins, 20%
+    /// exploration, same range and cadence as [`ElasticSpec::threshold`].
+    pub fn learned() -> Self {
+        Self::new(
+            "learned",
+            AutoscalePolicy::Learned {
+                bins: 8,
+                epsilon: 0.2,
+            },
+            12,
+            0.5,
+            1.5,
+            1,
+        )
+    }
+
+    /// The fleet ceiling in slots for an initial size of `num_servers`.
+    pub fn max_slots(&self, num_servers: usize) -> usize {
+        ((num_servers as f64 * self.max_frac).ceil() as usize).max(num_servers)
+    }
+
+    /// The fleet floor in slots for an initial size of `num_servers`.
+    pub fn min_slots(&self, num_servers: usize) -> usize {
+        ((num_servers as f64 * self.min_frac).round() as usize).clamp(1, num_servers)
+    }
+
+    /// The cell's cluster configuration with join headroom: `max_servers`
+    /// raised to this spec's ceiling so mid-run [`FleetOp::Join`]s have
+    /// slots to land in. Learners size their padded slot width from the
+    /// same `effective_max`, keeping batched paths bitwise stable.
+    pub fn cluster_with_headroom(&self, cluster: &ClusterConfig) -> ClusterConfig {
+        let mut grown = cluster.clone();
+        grown.max_servers = Some(
+            self.max_slots(cluster.num_servers)
+                .max(cluster.effective_max()),
+        );
+        grown
+    }
+
+    /// Lowers the autoscaler to membership events for one evaluation
+    /// segment: `num_servers` initial servers of `resource_dims` resource
+    /// dimensions, fed `jobs` over `span_s` seconds, this unit seeing
+    /// `demand_share` of the stream's offered demand (1.0 for
+    /// single-cluster cells; a shard's initial capacity share when the
+    /// cell-level stream is lowered per shard). Decisions fire at epoch
+    /// boundaries from the utilization observed over the *previous* epoch,
+    /// so the schedule is causal as well as feed-forward.
+    pub fn lower(
+        &self,
+        elastic_seed: u64,
+        num_servers: usize,
+        resource_dims: usize,
+        jobs: &[Job],
+        span_s: f64,
+        demand_share: f64,
+    ) -> ElasticSchedule {
+        assert!(num_servers > 0, "elastic lowering needs >= 1 server");
+        let mut schedule = ElasticSchedule::fixed(num_servers);
+        if span_s <= 0.0 || span_s.is_nan() || jobs.is_empty() {
+            return schedule;
+        }
+        let epoch_s = span_s / self.epochs as f64;
+        // Offered demand per epoch: arrival-windowed cpu x duration, in
+        // unit-server-seconds (the share scales multi-cluster lowering).
+        let mut demand = vec![0.0f64; self.epochs];
+        for job in jobs {
+            let e = ((job.arrival.as_secs() / epoch_s) as usize).min(self.epochs - 1);
+            demand[e] += job.demand.cpu() * job.duration * demand_share;
+        }
+        let (min, max) = (self.min_slots(num_servers), self.max_slots(num_servers));
+        // Mirror of the cluster's slot bookkeeping: joins reuse the
+        // lowest-index departed slot before appending, leaves retire the
+        // highest-index live slot (LIFO).
+        let mut slots = vec![true; num_servers];
+        let mut live = num_servers;
+        let mut cooldown_left = 0usize;
+        // Learned-policy state (unused by the threshold baseline).
+        let mut qtable: QTable<u64> = QTable::new(3, 0.0);
+        let params = SmdpParams::new(0.5, 1e-3);
+        let mut prev: Option<(u64, usize)> = None;
+        for e in 1..self.epochs {
+            let t = e as f64 * epoch_s;
+            let util = demand[e - 1] / (epoch_s * live as f64);
+            // Action encoding: 0 = scale in, 1 = hold, 2 = scale out.
+            let action = match self.policy {
+                AutoscalePolicy::Threshold { high, low } => {
+                    if util > high {
+                        2
+                    } else if util < low {
+                        0
+                    } else {
+                        1
+                    }
+                }
+                AutoscalePolicy::Learned { bins, epsilon } => {
+                    // Bin offered utilization over [0, 2) (>= 2x live
+                    // capacity saturates the top bin).
+                    let state = (((util / 2.0) * bins as f64) as u64).min(bins as u64 - 1);
+                    // Cost rate of the epoch that just elapsed: fleet
+                    // fraction (energy proxy) plus overload overshoot
+                    // (latency proxy), credited to the previous decision.
+                    let cost = live as f64 / num_servers as f64 + 4.0 * (util - 1.0).max(0.0);
+                    if let Some((ps, pa)) = prev {
+                        qtable.update_smdp(&params, &ps, pa, -cost, epoch_s, &state);
+                    }
+                    let draw = mix_seed(elastic_seed, e as u64);
+                    // A uniform draw in [0, 1) from the high 53 bits.
+                    let u = (draw >> 11) as f64 / (1u64 << 53) as f64;
+                    let action = if u < epsilon {
+                        mix_seed(draw, 1) as usize % 3
+                    } else {
+                        qtable.best_action(&state)
+                    };
+                    prev = Some((state, action));
+                    action
+                }
+            };
+            if cooldown_left > 0 {
+                cooldown_left -= 1;
+                continue;
+            }
+            match action {
+                0 if live > min => {
+                    let idx = slots.iter().rposition(|&l| l).expect("live slot exists");
+                    slots[idx] = false;
+                    live -= 1;
+                    schedule.events.push((t, FleetOp::Leave(ServerId(idx))));
+                    schedule.sizes.push((t, live));
+                    cooldown_left = self.cooldown;
+                }
+                2 if live < max => {
+                    match slots.iter().position(|&l| !l) {
+                        Some(idx) => slots[idx] = true,
+                        None => slots.push(true),
+                    }
+                    live += 1;
+                    schedule
+                        .events
+                        .push((t, FleetOp::Join(ServerSpec::unit(resource_dims, true))));
+                    schedule.sizes.push((t, live));
+                    cooldown_left = self.cooldown;
+                }
+                _ => {}
+            }
+        }
+        schedule
+    }
+}
+
 /// A named policy recipe: which control planes run the cell and how the
 /// learners are pre-trained.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -1296,7 +1626,8 @@ impl PolicySpec {
 /// run, including its RNG seeding.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
-    /// Stable identifier: `topology/workload[@drift][%fault]/policy/s<seed>`.
+    /// Stable identifier:
+    /// `topology/workload[@drift][%fault][~elastic]/policy/s<seed>`.
     pub id: String,
     /// Cluster under test.
     pub topology: Topology,
@@ -1309,6 +1640,10 @@ pub struct Scenario {
     /// evaluation segment (`None` = the classic fault-free cell).
     #[serde(default)]
     pub fault: Option<FaultSpec>,
+    /// Elastic axis: an autoscaler tier scheduling membership changes at
+    /// deterministic epoch boundaries (`None` = the classic fixed fleet).
+    #[serde(default)]
+    pub elastic: Option<ElasticSpec>,
     /// Control planes.
     pub policy: PolicySpec,
     /// The cell's base seed; every random stream in the cell derives from
@@ -1334,6 +1669,7 @@ impl Scenario {
             workload,
             drift: None,
             fault: None,
+            elastic: None,
             policy,
             seed,
             max_jobs,
@@ -1342,9 +1678,10 @@ impl Scenario {
         scenario
     }
 
-    /// The canonical id: `topology/workload[@drift][%fault]/policy/s<seed>`
-    /// — byte-identical to the historical format when neither axis is set,
-    /// so perf-gate baselines keyed on ids stay stable.
+    /// The canonical id:
+    /// `topology/workload[@drift][%fault][~elastic]/policy/s<seed>` —
+    /// byte-identical to the historical format when no axis is set, so
+    /// perf-gate baselines keyed on ids stay stable.
     fn compute_id(&self) -> String {
         let mut workload = self.workload.name().to_string();
         if let Some(drift) = &self.drift {
@@ -1352,6 +1689,9 @@ impl Scenario {
         }
         if let Some(fault) = &self.fault {
             workload = format!("{workload}%{}", fault.name);
+        }
+        if let Some(elastic) = &self.elastic {
+            workload = format!("{workload}~{}", elastic.name);
         }
         format!(
             "{}/{}/{}/s{}",
@@ -1390,10 +1730,19 @@ impl Scenario {
     }
 
     /// Attaches a chaos axis, rebuilding the id as
-    /// `topology/workload[@drift]%fault/policy/s<seed>`.
+    /// `topology/workload[@drift]%fault[~elastic]/policy/s<seed>`.
     #[must_use]
     pub fn with_fault(mut self, fault: FaultSpec) -> Self {
         self.fault = Some(fault);
+        self.id = self.compute_id();
+        self
+    }
+
+    /// Attaches an elastic axis, rebuilding the id as
+    /// `topology/workload[@drift][%fault]~elastic/policy/s<seed>`.
+    #[must_use]
+    pub fn with_elastic(mut self, elastic: ElasticSpec) -> Self {
+        self.elastic = Some(elastic);
         self.id = self.compute_id();
         self
     }
@@ -1418,6 +1767,13 @@ impl Scenario {
     /// policy (2), and local-tier (3) streams.
     pub fn fault_seed(&self) -> u64 {
         mix_seed(self.seed, 4)
+    }
+
+    /// Seed of the elastic schedule (the learned autoscaler's exploration
+    /// and every seed-drawn scaling choice) — stream 5, disjoint from
+    /// trace (1), policy (2), local-tier (3), and fault (4) streams.
+    pub fn elastic_seed(&self) -> u64 {
+        mix_seed(self.seed, 5)
     }
 
     /// Base seed of shard `k` of a multi-cluster cell — the second level of
@@ -1446,6 +1802,14 @@ impl Scenario {
     /// sharded execution stays byte-identical to serial.
     pub fn shard_fault_seed(&self, shard: usize) -> u64 {
         mix_seed(self.shard_seed(shard), 4)
+    }
+
+    /// Seed of shard `k`'s elastic schedule: each shard's membership
+    /// trajectory lowers from its own sub-seed (and its capacity share of
+    /// the cell stream), so sharded elastic cells stay byte-identical to
+    /// serial execution.
+    pub fn shard_elastic_seed(&self, shard: usize) -> u64 {
+        mix_seed(self.shard_seed(shard), 5)
     }
 
     /// The evaluation trace recipe (the whole stream for non-drift cells;
@@ -2157,5 +2521,128 @@ mod tests {
         .with_drift(DriftSpec::real_segments());
         assert_eq!(daily.segment_label(2), "seg2");
         assert!(weekly.id.contains("@real-weeks/"));
+    }
+
+    #[test]
+    fn elastic_axis_joins_the_id_after_the_fault_component() {
+        let s = Scenario::new(
+            Topology::paper(4),
+            WorkloadSpec::paper(),
+            PolicySpec::round_robin(),
+            7,
+            None,
+        )
+        .with_fault(FaultSpec::cap_window())
+        .with_elastic(ElasticSpec::threshold());
+        assert_eq!(s.id, "paper-m4/paper%cap-window~threshold/round-robin/s7");
+        // The fixed-fleet twin differs only by the `~elastic` component —
+        // the strip the autoscale-economics expectation relies on.
+        assert_eq!(
+            s.id.replace("~threshold", ""),
+            "paper-m4/paper%cap-window/round-robin/s7"
+        );
+        // Stream 5 is disjoint from the other per-cell streams.
+        assert_ne!(s.elastic_seed(), s.fault_seed());
+        assert_ne!(s.elastic_seed(), s.trace_seed());
+        assert_ne!(s.shard_elastic_seed(0), s.shard_elastic_seed(1));
+    }
+
+    /// A saturating-then-quiet stream: heavy demand in the first half of
+    /// the span, nothing afterwards.
+    fn front_loaded_jobs(n: usize, span_s: f64) -> Vec<Job> {
+        (0..n)
+            .map(|i| {
+                Job::new(
+                    JobId(i as u64),
+                    SimTime::from_secs(i as f64 * (span_s / 2.0) / n as f64),
+                    600.0,
+                    hierdrl_sim::resources::ResourceVec::cpu_mem_disk(0.9, 0.1, 0.01),
+                )
+            })
+            .chain(std::iter::once(Job::new(
+                JobId(n as u64),
+                SimTime::from_secs(span_s),
+                1.0,
+                hierdrl_sim::resources::ResourceVec::cpu_mem_disk(0.01, 0.01, 0.01),
+            )))
+            .collect()
+    }
+
+    #[test]
+    fn threshold_lowering_scales_out_under_load_and_back_in_when_quiet() {
+        let spec = ElasticSpec::threshold();
+        let jobs = front_loaded_jobs(200, 12_000.0);
+        let schedule = spec.lower(99, 4, 3, &jobs, 12_000.0, 1.0);
+        assert!(!schedule.events.is_empty(), "autoscaler never acted");
+        let joins = schedule
+            .events
+            .iter()
+            .filter(|(_, op)| matches!(op, FleetOp::Join(_)))
+            .count();
+        let leaves = schedule
+            .events
+            .iter()
+            .filter(|(_, op)| matches!(op, FleetOp::Leave(_)))
+            .count();
+        assert!(joins >= 1, "heavy first half should trigger scale-out");
+        assert!(leaves >= 1, "quiet second half should trigger scale-in");
+        // The scheduled size stays inside the configured range.
+        let (min, max, mean) = schedule.size_stats(12_000.0);
+        assert!(min >= spec.min_slots(4) && max <= spec.max_slots(4));
+        assert!(mean >= min as f64 && mean <= max as f64);
+        // Events arrive in time order, sizes start at the initial fleet.
+        assert!(schedule.events.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(schedule.sizes[0], (0.0, 4));
+    }
+
+    #[test]
+    fn elastic_lowering_is_deterministic_and_seed_sensitive() {
+        let spec = ElasticSpec::learned();
+        let jobs = front_loaded_jobs(200, 12_000.0);
+        let a = spec.lower(5, 4, 3, &jobs, 12_000.0, 1.0);
+        let b = spec.lower(5, 4, 3, &jobs, 12_000.0, 1.0);
+        assert_eq!(a, b, "same seed must reproduce the schedule");
+        // An empty or zero-span segment lowers to a fixed fleet.
+        let empty = spec.lower(5, 4, 3, &[], 12_000.0, 1.0);
+        assert_eq!(empty, ElasticSchedule::fixed(4));
+    }
+
+    #[test]
+    fn schedule_size_stats_are_time_weighted() {
+        let schedule = ElasticSchedule {
+            events: Vec::new(),
+            sizes: vec![(0.0, 4), (100.0, 5), (300.0, 3)],
+        };
+        assert_eq!(schedule.size_at(0.0), 4);
+        assert_eq!(schedule.size_at(150.0), 5);
+        assert_eq!(schedule.size_at(1000.0), 3);
+        let (min, max, mean) = schedule.size_stats(400.0);
+        assert_eq!((min, max), (3, 5));
+        // 100s at 4, 200s at 5, 100s at 3 over 400s.
+        assert!((mean - (400.0 + 1000.0 + 300.0) / 400.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn elastic_headroom_raises_max_servers() {
+        let spec = ElasticSpec::threshold();
+        let grown = spec.cluster_with_headroom(&ClusterConfig::paper(4));
+        assert_eq!(grown.effective_max(), 6);
+        assert_eq!(grown.num_servers, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < low < high")]
+    fn inverted_thresholds_are_rejected() {
+        let _ = ElasticSpec::new(
+            "bad",
+            AutoscalePolicy::Threshold {
+                high: 0.2,
+                low: 0.8,
+            },
+            12,
+            0.5,
+            1.5,
+            1,
+        );
     }
 }

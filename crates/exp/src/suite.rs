@@ -3,7 +3,9 @@
 //! [`SuiteBuilder`] — plus the declarative [`Expectation`]s the runner
 //! evaluates against the finished grid.
 
-use crate::scenario::{DriftSpec, FaultSpec, PolicySpec, Scenario, Topology, WorkloadSpec};
+use crate::scenario::{
+    DriftSpec, ElasticSpec, FaultSpec, PolicySpec, Scenario, Topology, WorkloadSpec,
+};
 use serde::{Deserialize, Serialize};
 
 /// A declarative acceptance check attached to a [`Suite`], evaluated by
@@ -59,6 +61,24 @@ pub enum Expectation {
         /// `ratio(policy) <= ratio(baseline) * tolerance`.
         tolerance: f64,
     },
+    /// The elastic headline: under autoscale schedule `elastic`, policy
+    /// `policy` spends no more energy per job than its fixed-fleet twin
+    /// (the cell whose id lacks the `~elastic` component), within
+    /// `energy_tolerance`, while holding mean latency within
+    /// `latency_slack` — scale-down economics must beat (or at worst
+    /// match) keeping the whole fleet DPM-sleeping, at equal latency.
+    AutoscaleEconomics {
+        /// Row label in the report.
+        name: String,
+        /// Elastic-schedule name (the `~elastic` id component).
+        elastic: String,
+        /// The policy compared against its own fixed-fleet twin.
+        policy: String,
+        /// Pass iff mean energy-per-job ratio `<= energy_tolerance`.
+        energy_tolerance: f64,
+        /// Pass iff mean latency ratio `<= latency_slack`.
+        latency_slack: f64,
+    },
 }
 
 impl Expectation {
@@ -68,7 +88,8 @@ impl Expectation {
             Expectation::MetricBound { name, .. }
             | Expectation::JobConservation { name }
             | Expectation::DeterminismPin { name, .. }
-            | Expectation::GracefulDegradation { name, .. } => name,
+            | Expectation::GracefulDegradation { name, .. }
+            | Expectation::AutoscaleEconomics { name, .. } => name,
         }
     }
 }
@@ -94,6 +115,7 @@ impl Suite {
             workloads: Vec::new(),
             drifts: vec![None],
             faults: vec![None],
+            elastics: vec![None],
             policies: Vec::new(),
             seeds: Vec::new(),
             max_jobs: None,
@@ -115,10 +137,10 @@ impl Suite {
 /// Cartesian grid builder for [`Suite`].
 ///
 /// Cells expand in nesting order topology → workload → drift → fault →
-/// policy → seed, so a suite's scenario order (and therefore its report)
-/// is independent of how it is executed. The drift and fault axes each
-/// default to one empty entry, leaving classic grids (and their cell ids)
-/// exactly as before.
+/// elastic → policy → seed, so a suite's scenario order (and therefore its
+/// report) is independent of how it is executed. The drift, fault, and
+/// elastic axes each default to one empty entry, leaving classic grids
+/// (and their cell ids) exactly as before.
 #[derive(Debug, Clone)]
 pub struct SuiteBuilder {
     name: String,
@@ -126,6 +148,7 @@ pub struct SuiteBuilder {
     workloads: Vec<WorkloadSpec>,
     drifts: Vec<Option<DriftSpec>>,
     faults: Vec<Option<FaultSpec>>,
+    elastics: Vec<Option<ElasticSpec>>,
     policies: Vec<PolicySpec>,
     seeds: Vec<u64>,
     max_jobs: Option<u64>,
@@ -186,6 +209,29 @@ impl SuiteBuilder {
         self
     }
 
+    /// Sets the elastic axis: every cell runs under each autoscale
+    /// schedule. Replaces the default fixed-fleet entry; use
+    /// [`SuiteBuilder::elastics_with_baseline`] to keep it alongside.
+    #[must_use]
+    pub fn elastics(mut self, elastics: impl IntoIterator<Item = ElasticSpec>) -> Self {
+        self.elastics = elastics.into_iter().map(Some).collect();
+        self
+    }
+
+    /// Like [`SuiteBuilder::elastics`], but keeps the fixed-fleet cell as
+    /// the first entry of the axis — every elastic cell's fixed twin,
+    /// which autoscale-economics expectations compare against.
+    #[must_use]
+    pub fn elastics_with_baseline(
+        mut self,
+        elastics: impl IntoIterator<Item = ElasticSpec>,
+    ) -> Self {
+        self.elastics = std::iter::once(None)
+            .chain(elastics.into_iter().map(Some))
+            .collect();
+        self
+    }
+
     /// Attaches a declarative acceptance check to the suite.
     #[must_use]
     pub fn expect(mut self, expectation: Expectation) -> Self {
@@ -225,6 +271,7 @@ impl SuiteBuilder {
         assert!(!self.workloads.is_empty(), "suite needs >= 1 workload");
         assert!(!self.drifts.is_empty(), "suite needs >= 1 drift entry");
         assert!(!self.faults.is_empty(), "suite needs >= 1 fault entry");
+        assert!(!self.elastics.is_empty(), "suite needs >= 1 elastic entry");
         assert!(!self.policies.is_empty(), "suite needs >= 1 policy");
         assert!(!self.seeds.is_empty(), "suite needs >= 1 seed");
         let mut scenarios = Vec::with_capacity(
@@ -232,6 +279,7 @@ impl SuiteBuilder {
                 * self.workloads.len()
                 * self.drifts.len()
                 * self.faults.len()
+                * self.elastics.len()
                 * self.policies.len()
                 * self.seeds.len(),
         );
@@ -239,22 +287,27 @@ impl SuiteBuilder {
             for workload in &self.workloads {
                 for drift in &self.drifts {
                     for fault in &self.faults {
-                        for policy in &self.policies {
-                            for &seed in &self.seeds {
-                                let mut scenario = Scenario::new(
-                                    topology.clone(),
-                                    workload.clone(),
-                                    policy.clone(),
-                                    seed,
-                                    self.max_jobs,
-                                );
-                                if let Some(d) = drift {
-                                    scenario = scenario.with_drift(d.clone());
+                        for elastic in &self.elastics {
+                            for policy in &self.policies {
+                                for &seed in &self.seeds {
+                                    let mut scenario = Scenario::new(
+                                        topology.clone(),
+                                        workload.clone(),
+                                        policy.clone(),
+                                        seed,
+                                        self.max_jobs,
+                                    );
+                                    if let Some(d) = drift {
+                                        scenario = scenario.with_drift(d.clone());
+                                    }
+                                    if let Some(f) = fault {
+                                        scenario = scenario.with_fault(f.clone());
+                                    }
+                                    if let Some(e) = elastic {
+                                        scenario = scenario.with_elastic(e.clone());
+                                    }
+                                    scenarios.push(scenario);
                                 }
-                                if let Some(f) = fault {
-                                    scenario = scenario.with_fault(f.clone());
-                                }
-                                scenarios.push(scenario);
                             }
                         }
                     }
@@ -357,6 +410,43 @@ mod tests {
         assert_eq!(
             both.scenarios[0].id,
             "paper-m4/paper@rate-step-x2%cap-window/round-robin/s1"
+        );
+    }
+
+    #[test]
+    fn elastic_axis_expands_between_fault_and_policy() {
+        let suite = Suite::builder("t")
+            .topologies([Topology::paper(4)])
+            .workloads([WorkloadSpec::paper()])
+            .elastics_with_baseline([ElasticSpec::threshold()])
+            .policies([PolicySpec::round_robin(), PolicySpec::drl_only()])
+            .seeds([1])
+            .build();
+        assert_eq!(suite.len(), 4);
+        assert_eq!(suite.scenarios[0].id, "paper-m4/paper/round-robin/s1");
+        assert_eq!(
+            suite.scenarios[2].id,
+            "paper-m4/paper~threshold/round-robin/s1"
+        );
+        assert_eq!(
+            suite.scenarios[3].id,
+            "paper-m4/paper~threshold/drl-only/s1"
+        );
+
+        // `.elastics` without the baseline replaces the fixed-fleet entry,
+        // and the axes compose: fault nests outside elastic.
+        let both = Suite::builder("t")
+            .topologies([Topology::paper(4)])
+            .workloads([WorkloadSpec::paper()])
+            .faults([FaultSpec::cap_window()])
+            .elastics([ElasticSpec::learned()])
+            .policies([PolicySpec::round_robin()])
+            .seeds([1])
+            .build();
+        assert_eq!(both.len(), 1);
+        assert_eq!(
+            both.scenarios[0].id,
+            "paper-m4/paper%cap-window~learned/round-robin/s1"
         );
     }
 

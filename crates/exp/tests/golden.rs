@@ -13,7 +13,7 @@
 
 use hierdrl_core::allocator::DrlStats;
 use hierdrl_exp::report::{
-    CellMetrics, CellReport, ExpectationRow, SegmentReport, ShardReport, SuiteReport,
+    CellMetrics, CellReport, ExpectationRow, FleetSize, SegmentReport, ShardReport, SuiteReport,
 };
 use std::path::PathBuf;
 
@@ -44,7 +44,8 @@ fn drl_stats(train_steps: u64) -> DrlStats {
 /// A fixed report exercising every schema branch: a single-cluster cell
 /// with learner statistics, a sharded cell with per-cluster rows, a
 /// concept-drift cell with per-segment rows, a chaos cell with its fault
-/// column and requeue counter, and evaluated expectation rows.
+/// column and requeue counter, an autoscaled cell with its elastic column
+/// and fleet-size bounds, and evaluated expectation rows.
 fn canonical_report() -> SuiteReport {
     SuiteReport {
         suite: "golden".to_string(),
@@ -57,10 +58,12 @@ fn canonical_report() -> SuiteReport {
                 capacity_skew: 1.0,
                 workload: "paper".to_string(),
                 fault: None,
+                elastic: None,
                 policy: "drl-only".to_string(),
                 seed: 7,
                 metrics: metrics(1.0),
                 jobs_requeued: 0,
+                fleet_size: Some(FleetSize::fixed(5)),
                 drl: Some(drl_stats(550)),
                 segments: None,
                 clusters: None,
@@ -74,10 +77,12 @@ fn canonical_report() -> SuiteReport {
                 capacity_skew: 2.0,
                 workload: "paper".to_string(),
                 fault: None,
+                elastic: None,
                 policy: "round-robin".to_string(),
                 seed: 7,
                 metrics: metrics(2.0),
                 jobs_requeued: 0,
+                fleet_size: Some(FleetSize::fixed(6)),
                 drl: None,
                 segments: None,
                 trace: None,
@@ -106,10 +111,12 @@ fn canonical_report() -> SuiteReport {
                 capacity_skew: 1.0,
                 workload: "paper".to_string(),
                 fault: None,
+                elastic: None,
                 policy: "drl-only".to_string(),
                 seed: 7,
                 metrics: metrics(2.0),
                 jobs_requeued: 0,
+                fleet_size: Some(FleetSize::fixed(5)),
                 drl: Some(drl_stats(700)),
                 segments: Some(vec![
                     SegmentReport {
@@ -136,10 +143,35 @@ fn canonical_report() -> SuiteReport {
                 capacity_skew: 1.0,
                 workload: "paper".to_string(),
                 fault: Some("crash-storm".to_string()),
+                elastic: None,
                 policy: "hierarchical".to_string(),
                 seed: 7,
                 metrics: metrics(1.0),
                 jobs_requeued: 17,
+                fleet_size: Some(FleetSize::fixed(5)),
+                drl: Some(drl_stats(550)),
+                segments: None,
+                clusters: None,
+                trace: None,
+            },
+            CellReport {
+                id: "paper-m5/paper~threshold/hierarchical/s7".to_string(),
+                topology: "paper-m5".to_string(),
+                servers: 5,
+                capacity_total: 5.0,
+                capacity_skew: 1.0,
+                workload: "paper".to_string(),
+                fault: None,
+                elastic: Some("threshold".to_string()),
+                policy: "hierarchical".to_string(),
+                seed: 7,
+                metrics: metrics(1.0),
+                jobs_requeued: 4,
+                fleet_size: Some(FleetSize {
+                    min: 3,
+                    max: 7,
+                    mean: 4.75,
+                }),
                 drl: Some(drl_stats(550)),
                 segments: None,
                 clusters: None,
@@ -150,7 +182,14 @@ fn canonical_report() -> SuiteReport {
             ExpectationRow {
                 name: "jobs-conserved".to_string(),
                 passed: true,
-                detail: "400 jobs completed exactly once across 4 cells (17 crash requeues)"
+                detail: "500 jobs completed exactly once across 5 cells (21 crash requeues)"
+                    .to_string(),
+            },
+            ExpectationRow {
+                name: "autoscale-threshold".to_string(),
+                passed: true,
+                detail: "~threshold hierarchical energy/job 0.930x (tolerance 1), \
+                         latency 1.020x (slack 1.1) vs fixed fleet"
                     .to_string(),
             },
             ExpectationRow {

@@ -9,6 +9,49 @@ use crate::power::{MachineState, PowerModel};
 use crate::server::Server;
 use crate::time::SimTime;
 
+/// Cached fleet-wide aggregates, recomputed by one deterministic
+/// index-order fold on every fleet mutation (crash, recover, scale change,
+/// join, leave) instead of on every view construction. The fold order is
+/// identical to the per-view folds it replaced, so the cached values are
+/// bitwise identical to the old per-call computation.
+#[derive(Debug, Clone)]
+struct FleetAgg {
+    /// Component-wise capacity sum over live (non-departed) slots.
+    total_capacity: crate::resources::ResourceVec,
+    /// Component-wise capacity sum over healthy servers only.
+    healthy_capacity: crate::resources::ResourceVec,
+    /// Sum of healthy servers' power-model multipliers.
+    healthy_peak_scale: f64,
+    /// Servers in the healthy pool.
+    num_healthy: usize,
+    /// Live (non-departed) slots.
+    num_live: usize,
+}
+
+impl FleetAgg {
+    fn compute(servers: &[Server], dims: usize) -> Self {
+        let mut agg = Self {
+            total_capacity: crate::resources::ResourceVec::zeros(dims),
+            healthy_capacity: crate::resources::ResourceVec::zeros(dims),
+            healthy_peak_scale: 0.0,
+            num_healthy: 0,
+            num_live: 0,
+        };
+        for s in servers {
+            if s.is_live() {
+                agg.total_capacity.add_assign(s.capacity());
+                agg.num_live += 1;
+            }
+            if s.is_healthy() {
+                agg.healthy_capacity.add_assign(s.capacity());
+                agg.healthy_peak_scale += s.peak_scale();
+                agg.num_healthy += 1;
+            }
+        }
+        agg
+    }
+}
+
 /// Read-only view of the cluster handed to allocators and power managers at
 /// decision epochs. All time integrals are up to date as of [`ClusterView::now`].
 #[derive(Debug)]
@@ -18,10 +61,13 @@ pub struct ClusterView<'a> {
     servers: &'a [Server],
     totals: ClusterTotals,
     config: &'a ClusterConfig,
+    fleet: &'a FleetAgg,
 }
 
 impl<'a> ClusterView<'a> {
-    /// Number of servers `M`.
+    /// Number of server slots (live and departed alike) — the bound on
+    /// valid `ServerId`s. Equals the initial `M` until the elastic axis
+    /// appends slots; see [`ClusterView::num_live`] for the live count.
     pub fn num_servers(&self) -> usize {
         self.servers.len()
     }
@@ -50,45 +96,39 @@ impl<'a> ClusterView<'a> {
         self.config
     }
 
-    /// Aggregate cluster capacity: component-wise sum of every server's
-    /// capacity vector (`M` per dimension for homogeneous clusters).
+    /// Aggregate cluster capacity: component-wise sum of every live
+    /// (non-departed) server's capacity vector (`M` per dimension for
+    /// fixed homogeneous clusters). Cached; recomputed on fleet mutations.
     pub fn total_capacity(&self) -> crate::resources::ResourceVec {
-        let mut total = crate::resources::ResourceVec::zeros(self.config.resource_dims);
-        for s in self.servers {
-            total.add_assign(s.capacity());
-        }
-        total
+        self.fleet.total_capacity.clone()
     }
 
     /// Fleet peak power in watts: the per-unit-server peak scaled by every
     /// *healthy* server's [`Server::peak_scale`]. `M * peak_watts` for
     /// homogeneous clusters with no crashes; drops while servers are
-    /// crashed or power-capped, so normalized rewards see the degraded
-    /// fleet.
+    /// crashed, power-capped, or departed, so normalized rewards always
+    /// see the live capacity-scaled fleet.
     pub fn fleet_peak_watts(&self) -> f64 {
-        let scale: f64 = self
-            .servers
-            .iter()
-            .filter(|s| s.is_healthy())
-            .map(|s| s.peak_scale())
-            .sum();
-        self.config.power.peak_watts * scale
+        self.config.power.peak_watts * self.fleet.healthy_peak_scale
     }
 
     /// Number of servers currently in the healthy pool (equals
-    /// [`ClusterView::num_servers`] unless the chaos axis crashed some).
+    /// [`ClusterView::num_servers`] unless the chaos or elastic axis
+    /// removed some).
     pub fn num_healthy(&self) -> usize {
-        self.servers.iter().filter(|s| s.is_healthy()).count()
+        self.fleet.num_healthy
+    }
+
+    /// Number of live (non-departed) slots — the elastic axis's fleet
+    /// size. Crashed-but-recoverable servers still count as live.
+    pub fn num_live(&self) -> usize {
+        self.fleet.num_live
     }
 
     /// Aggregate capacity of the healthy pool only — what routing and
     /// placement can actually use while servers are crashed or degraded.
     pub fn healthy_capacity(&self) -> crate::resources::ResourceVec {
-        let mut total = crate::resources::ResourceVec::zeros(self.config.resource_dims);
-        for s in self.servers.iter().filter(|s| s.is_healthy()) {
-            total.add_assign(s.capacity());
-        }
-        total
+        self.fleet.healthy_capacity.clone()
     }
 }
 
@@ -332,8 +372,14 @@ pub struct Cluster {
     last_arrival: SimTime,
     now: SimTime,
     jobs_arrived: u64,
-    /// Jobs re-placed through the allocator after a server crash.
+    /// Jobs re-placed through the allocator after a server crash or leave.
     jobs_requeued: u64,
+    /// Fleet ops that targeted an invalid server (out-of-range id,
+    /// departed slot, or inapplicable state) and were dropped as
+    /// documented no-ops.
+    fleet_ops_ignored: u64,
+    /// Cached fleet aggregates; recomputed on every fleet mutation.
+    fleet: FleetAgg,
     /// Completions counted independently of the (possibly unretained)
     /// `completed` record vector.
     jobs_done: u64,
@@ -399,6 +445,7 @@ impl Cluster {
         for s in &servers {
             agg.add_server(s, &config.power);
         }
+        let fleet = FleetAgg::compute(&servers, config.resource_dims);
         let mut cluster = Self {
             config,
             servers,
@@ -409,6 +456,8 @@ impl Cluster {
             now: SimTime::ZERO,
             jobs_arrived: 0,
             jobs_requeued: 0,
+            fleet_ops_ignored: 0,
+            fleet,
             jobs_done: 0,
             completed: Vec::new(),
             total_latency: 0.0,
@@ -549,7 +598,25 @@ impl Cluster {
             servers: &self.servers,
             totals: self.totals(),
             config: &self.config,
+            fleet: &self.fleet,
         }
+    }
+
+    /// Fleet ops dropped as documented no-ops because they targeted an
+    /// out-of-range id, a departed slot, or an inapplicable state (see
+    /// [`FleetOp`]).
+    pub fn fleet_ops_ignored(&self) -> u64 {
+        self.fleet_ops_ignored
+    }
+
+    /// Current live (non-departed) fleet size.
+    pub fn num_live(&self) -> usize {
+        self.fleet.num_live
+    }
+
+    /// Re-derives the cached fleet aggregates after a fleet mutation.
+    fn refresh_fleet_agg(&mut self) {
+        self.fleet = FleetAgg::compute(&self.servers, self.config.resource_dims);
     }
 
     /// Public snapshot of current cluster totals.
@@ -768,74 +835,175 @@ impl Cluster {
         self.touch_end(sid);
     }
 
-    /// Applies a scheduled fleet mutation. A crash drains the victim's
-    /// queued and running jobs and re-places each exactly once through the
-    /// allocator (counted in `jobs_requeued`, not `jobs_arrived`); running
-    /// jobs restart from scratch, keeping their original arrival so the
-    /// lost work shows up as latency. Both control tiers are notified via
+    /// Whether `sid` names a live (in-range, non-departed) slot; counts
+    /// the op as ignored otherwise.
+    fn validate_fleet_target(&mut self, sid: ServerId) -> bool {
+        if sid.0 < self.servers.len() && self.servers[sid.0].is_live() {
+            true
+        } else {
+            self.fleet_ops_ignored += 1;
+            false
+        }
+    }
+
+    /// Applies a scheduled fleet mutation. A crash (or leave) drains the
+    /// victim's queued and running jobs and re-places each exactly once
+    /// through the allocator (counted in `jobs_requeued`, not
+    /// `jobs_arrived`); running jobs restart from scratch, keeping their
+    /// original arrival so the lost work shows up as latency. A join
+    /// re-uses the lowest-index departed slot, or appends a fresh one
+    /// while the fleet is below [`ClusterConfig::effective_max`]. Ops
+    /// targeting an invalid server — out-of-range id, departed slot, or an
+    /// inapplicable state (recover of a healthy server, crash of a crashed
+    /// one, join at the cap) — are documented no-ops counted in
+    /// [`Cluster::fleet_ops_ignored`]. Both control tiers are notified via
     /// their `on_fleet_change` hooks after the mutation (and after any
     /// re-placements) so they see the settled fleet.
     ///
     /// # Panics
     ///
-    /// Panics on a crash of the last healthy server (the simulation would
-    /// otherwise hang with unplaceable jobs) and on out-of-range ids.
+    /// Panics on a crash or leave of the last healthy server (the
+    /// simulation would otherwise hang with unplaceable jobs).
     fn apply_fleet_op(
         &mut self,
         op: FleetOp,
         allocator: &mut dyn Allocator,
         power: &mut dyn PowerManager,
     ) {
+        let mut joined_idle: Option<ServerId> = None;
         match op {
             FleetOp::Crash(sid) => {
-                assert!(
-                    sid.0 < self.servers.len(),
-                    "fleet op crashes {sid} out of {} servers",
-                    self.servers.len()
-                );
-                let others_healthy = self
-                    .servers
-                    .iter()
-                    .enumerate()
-                    .any(|(i, s)| i != sid.0 && s.is_healthy());
-                assert!(
-                    others_healthy,
-                    "cannot crash {sid}: it is the last healthy server in the cluster"
-                );
+                if !self.validate_fleet_target(sid) || !self.servers[sid.0].is_healthy() {
+                    self.note_inapplicable(sid);
+                    return;
+                }
+                self.assert_not_last_healthy(sid, "crash");
                 self.touch_begin(sid);
                 let orphans = self.servers[sid.0].crash(self.now);
                 self.touch_end(sid);
+                self.refresh_fleet_agg();
                 for job in orphans {
                     self.place_job(job, allocator, power, false);
                 }
             }
             FleetOp::Recover(sid) => {
-                assert!(
-                    sid.0 < self.servers.len(),
-                    "fleet op recovers {sid} out of {} servers",
-                    self.servers.len()
-                );
+                if !self.validate_fleet_target(sid) || self.servers[sid.0].is_healthy() {
+                    self.note_inapplicable(sid);
+                    return;
+                }
                 // Healthy-pool membership changes no power/job rates, so no
                 // accounting bracket is needed.
                 self.servers[sid.0].recover();
+                self.refresh_fleet_agg();
             }
             FleetOp::SetScale { server: sid, scale } => {
-                assert!(
-                    sid.0 < self.servers.len(),
-                    "fleet op rescales {sid} out of {} servers",
-                    self.servers.len()
-                );
+                if !self.validate_fleet_target(sid) {
+                    return;
+                }
                 self.touch_begin(sid);
                 self.servers[sid.0].set_degraded_scale(scale);
                 // Restoring capacity can unblock the FCFS head; a shrink
                 // starts nothing (fits are only re-checked, never revoked).
                 self.start_and_schedule(sid);
                 self.touch_end(sid);
+                self.refresh_fleet_agg();
+            }
+            FleetOp::Join(spec) => match self.apply_join(spec) {
+                Some(sid) => joined_idle = Some(sid).filter(|&s| self.servers[s.0].is_idle()),
+                None => return,
+            },
+            FleetOp::Leave(sid) => {
+                if !self.validate_fleet_target(sid) || !self.servers[sid.0].is_healthy() {
+                    self.note_inapplicable(sid);
+                    return;
+                }
+                self.assert_not_last_healthy(sid, "leave");
+                self.touch_begin(sid);
+                let orphans = self.servers[sid.0].depart(self.now);
+                self.touch_end(sid);
+                self.refresh_fleet_agg();
+                for job in orphans {
+                    self.place_job(job, allocator, power, false);
+                }
             }
         }
-        let view = self.view();
-        allocator.on_fleet_change(&view);
-        power.on_fleet_change(&view);
+        {
+            let view = self.view();
+            allocator.on_fleet_change(&view);
+            power.on_fleet_change(&view);
+        }
+        // A joined server that comes up on and idle gets its case-(1)
+        // decision epoch, exactly like initially-on servers at t = 0.
+        if let Some(sid) = joined_idle {
+            self.handle_idle_decision(sid, power);
+        }
+    }
+
+    /// Counts an in-range op whose target state made it inapplicable. The
+    /// `validate_fleet_target` short-circuit already counted out-of-range
+    /// and departed targets.
+    fn note_inapplicable(&mut self, sid: ServerId) {
+        if sid.0 < self.servers.len() && self.servers[sid.0].is_live() {
+            self.fleet_ops_ignored += 1;
+        }
+    }
+
+    /// Backstop against draining the fleet: panics if `sid` is the last
+    /// healthy server.
+    fn assert_not_last_healthy(&self, sid: ServerId, what: &str) {
+        let others_healthy = self
+            .servers
+            .iter()
+            .enumerate()
+            .any(|(i, s)| i != sid.0 && s.is_healthy());
+        assert!(
+            others_healthy,
+            "cannot {what} {sid}: it is the last healthy server in the cluster"
+        );
+    }
+
+    /// Admits a joining server: re-uses the lowest-index departed slot, or
+    /// appends a new one below the `effective_max` cap. Returns the slot
+    /// id, or `None` (counted as ignored) when the spec is invalid or the
+    /// fleet is at its cap.
+    fn apply_join(&mut self, spec: crate::events::ServerSpec) -> Option<ServerId> {
+        let valid = spec.capacity.dims() == self.config.resource_dims
+            && spec.capacity.as_slice().iter().all(|&c| c > 0.0);
+        if !valid {
+            self.fleet_ops_ignored += 1;
+            return None;
+        }
+        let reusable = self.servers.iter().position(|s| !s.is_live());
+        let sid = match reusable {
+            Some(i) => {
+                let sid = ServerId(i);
+                self.touch_begin(sid);
+                self.servers[i].rejoin(spec.capacity, spec.initially_on);
+                self.touch_end(sid);
+                sid
+            }
+            None if self.servers.len() < self.config.effective_max() => {
+                let sid = ServerId(self.servers.len());
+                let mut server =
+                    Server::new(spec.capacity, spec.initially_on, self.config.reliability);
+                // The server exists only from `now` on: advance the fleet
+                // integrals first, then start its clock at `now` so it
+                // never retroactively integrates the pre-join interval.
+                server.reset_account_clock(self.now);
+                if self.config.lazy_accounting {
+                    self.agg.advance(self.now);
+                    self.agg.add_server(&server, &self.config.power);
+                }
+                self.servers.push(server);
+                sid
+            }
+            None => {
+                self.fleet_ops_ignored += 1;
+                return None;
+            }
+        };
+        self.refresh_fleet_agg();
+        Some(sid)
     }
 
     fn handle_timeout(&mut self, sid: ServerId, token: u64) {

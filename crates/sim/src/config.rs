@@ -93,6 +93,16 @@ pub struct ClusterConfig {
     /// (`hierdrl_exp::scenario::Topology::big_little` and the
     /// `heterogeneous` suite preset).
     pub server_capacities: Option<Vec<crate::resources::ResourceVec>>,
+    /// Upper bound on live servers for elastic (join/leave) runs: the
+    /// fleet starts at `num_servers` and may grow to this many slots via
+    /// [`FleetOp::Join`](crate::events::FleetOp::Join). `None` (the
+    /// default, and every fixed-fleet config) pins the bound to
+    /// `num_servers`, so joins beyond the initial fleet are ignored.
+    /// Control planes size their per-slot state (state-encoder groups,
+    /// per-server Q-agents) by [`ClusterConfig::effective_max`], so a
+    /// mid-run join never reshapes learned state.
+    #[serde(default)]
+    pub max_servers: Option<usize>,
     /// Record a time-series sample every this many job completions.
     pub sample_every: usize,
     /// Use O(1) incremental fleet accounting instead of the eager
@@ -131,6 +141,7 @@ impl ClusterConfig {
             reliability: ReliabilityConfig::paper(),
             servers_initially_on: true,
             server_capacities: None,
+            max_servers: None,
             sample_every: 1000,
             lazy_accounting: false,
             retain_completed_jobs: true,
@@ -147,6 +158,33 @@ impl ClusterConfig {
         match &self.server_capacities {
             Some(caps) => caps[i].clone(),
             None => crate::resources::ResourceVec::ones(self.resource_dims),
+        }
+    }
+
+    /// The most slots the fleet can ever hold: `max_servers` when declared
+    /// (elastic runs), otherwise `num_servers`. Per-slot control-plane
+    /// state is sized by this, so membership changes never reshape it.
+    pub fn effective_max(&self) -> usize {
+        self.max_servers.unwrap_or(self.num_servers)
+    }
+
+    /// The capacity vector a server (re)joining slot `i` carries: the
+    /// configured capacity for initial-fleet slots, unit capacity for
+    /// slots appended beyond `num_servers`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= effective_max()`.
+    pub fn slot_capacity(&self, i: usize) -> crate::resources::ResourceVec {
+        assert!(
+            i < self.effective_max(),
+            "slot {i} beyond effective max {}",
+            self.effective_max()
+        );
+        if i < self.num_servers {
+            self.server_capacity(i)
+        } else {
+            crate::resources::ResourceVec::ones(self.resource_dims)
         }
     }
 
@@ -248,6 +286,14 @@ impl ClusterConfig {
                 if c.as_slice().iter().any(|&v| v <= 0.0) {
                     return Err(format!("server {i} capacity must be positive"));
                 }
+            }
+        }
+        if let Some(max) = self.max_servers {
+            if max < self.num_servers {
+                return Err(format!(
+                    "max_servers ({max}) must be >= num_servers ({})",
+                    self.num_servers
+                ));
             }
         }
         if self.sample_every == 0 {

@@ -1,13 +1,43 @@
 //! Discrete-event queue.
 
 use crate::job::{Job, JobId, ServerId};
+use crate::resources::ResourceVec;
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+/// Specification of a server joining the fleet mid-run (the elastic axis).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerSpec {
+    /// Capacity vector of the joining server; must match the cluster's
+    /// resource dimensionality. The power curve scales with the CPU
+    /// component, exactly as for any heterogeneous server.
+    pub capacity: ResourceVec,
+    /// Whether the server comes up powered on. When `false` it joins
+    /// asleep and wakes through the normal transition on its first job.
+    pub initially_on: bool,
+}
+
+impl ServerSpec {
+    /// A unit-capacity server with `dims` resource dimensions.
+    pub fn unit(dims: usize, initially_on: bool) -> Self {
+        Self {
+            capacity: ResourceVec::ones(dims),
+            initially_on,
+        }
+    }
+}
+
 /// A deterministic fleet mutation applied between arrivals: the event-level
-/// lowering of the chaos axis (crashes, stragglers, power-cap windows).
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// lowering of the chaos axis (crashes, stragglers, power-cap windows) and
+/// of the elastic axis (membership changes).
+///
+/// Ops targeting an invalid server — an out-of-range id, a departed slot,
+/// or a state the op does not apply to (recover of a healthy server, crash
+/// of a crashed one) — are documented no-ops counted in
+/// [`Cluster::fleet_ops_ignored`](crate::cluster::Cluster::fleet_ops_ignored),
+/// never silent index panics.
+#[derive(Debug, Clone, PartialEq)]
 pub enum FleetOp {
     /// The server fails: its queued and running jobs are requeued through
     /// the allocator exactly once, and it stops accepting work (and drawing
@@ -25,6 +55,16 @@ pub enum FleetOp {
         /// Multiplier of nominal capacity, in `(0, 1]`.
         scale: f64,
     },
+    /// A server joins the fleet: the lowest-index departed slot is re-used
+    /// (so `ServerId`s stay stable for every incumbent), or a fresh slot is
+    /// appended while the fleet is below
+    /// [`ClusterConfig::effective_max`](crate::config::ClusterConfig::effective_max).
+    Join(ServerSpec),
+    /// The server leaves the fleet: queued and running jobs are drained and
+    /// requeued through the allocator exactly once (crash semantics), and
+    /// the slot is masked — excluded from every aggregate and never offered
+    /// work — until a later [`FleetOp::Join`] re-uses it.
+    Leave(ServerId),
 }
 
 /// A simulation event.

@@ -67,7 +67,7 @@ pub mod prelude {
         Allocator, ArrivalSource, Cluster, ClusterView, PowerManager, RunLimit, TimeoutDecision,
     };
     pub use crate::config::ClusterConfig;
-    pub use crate::events::FleetOp;
+    pub use crate::events::{FleetOp, ServerSpec};
     pub use crate::job::{CompletedJob, Job, JobId, ServerId};
     pub use crate::metrics::{
         ClusterTotals, LatencyStats, RunOutcome, SamplePoint, JOULES_PER_KWH,

@@ -241,6 +241,37 @@ impl Router {
         k
     }
 
+    /// Re-derives the per-cluster capacity weights at a deterministic
+    /// epoch boundary (the elastic axis: scheduled membership changes the
+    /// aggregate capacity behind each shard). Routing bookkeeping — the
+    /// round-robin cursor, assigned counts, and backlog estimates — is
+    /// carried across the boundary, so the split stays a pure feed-forward
+    /// function of (stream, policy, weight timeline) and sharded execution
+    /// remains byte-identical to serial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacities` fails the [`Router::new`] validation or its
+    /// length differs from the current cluster count.
+    pub fn set_weights(&mut self, capacities: &[f64]) {
+        assert_eq!(
+            capacities.len(),
+            self.weights.len(),
+            "re-weighting cannot change the cluster count ({} -> {})",
+            self.weights.len(),
+            capacities.len()
+        );
+        assert!(
+            capacities.iter().all(|&w| w.is_finite() && w >= 0.0),
+            "every cluster needs non-negative finite capacity, got {capacities:?}"
+        );
+        assert!(
+            capacities.iter().any(|&w| w > 0.0),
+            "at least one cluster needs positive capacity, got {capacities:?}"
+        );
+        self.weights = capacities.to_vec();
+    }
+
     /// Splits a whole arrival stream into per-cluster sub-streams, in
     /// arrival order. Every input job lands in exactly one sub-stream.
     /// `capacities` are per-cluster aggregate capacities, as for
@@ -249,6 +280,41 @@ impl Router {
         let mut router = Router::new(policy, capacities);
         let mut shards: Vec<Vec<Job>> = vec![Vec::new(); capacities.len()];
         for job in jobs {
+            shards[router.route(job)].push(job.clone());
+        }
+        shards
+    }
+
+    /// Like [`Router::split`], but with a piecewise-constant capacity
+    /// timeline: `epochs` is a non-empty list of `(start_s, weights)`
+    /// entries in non-decreasing start order, and each job is routed under
+    /// the weights of the last epoch whose start is `<= arrival`
+    /// (arrivals before the first epoch use the first entry). Derive the
+    /// timeline from *scheduled* membership (never live cluster state) so
+    /// the split stays feed-forward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epochs` is empty, unsorted, of inconsistent width, or
+    /// any weight vector fails the [`Router::new`] validation.
+    pub fn split_epochs(
+        policy: RouterPolicy,
+        epochs: &[(f64, Vec<f64>)],
+        jobs: &[Job],
+    ) -> Vec<Vec<Job>> {
+        assert!(!epochs.is_empty(), "split_epochs needs >= 1 epoch");
+        assert!(
+            epochs.windows(2).all(|w| w[0].0 <= w[1].0),
+            "epoch starts must be non-decreasing"
+        );
+        let mut router = Router::new(policy, &epochs[0].1);
+        let mut shards: Vec<Vec<Job>> = vec![Vec::new(); epochs[0].1.len()];
+        let mut next_epoch = 1;
+        for job in jobs {
+            while next_epoch < epochs.len() && epochs[next_epoch].0 <= job.arrival.as_secs() {
+                router.set_weights(&epochs[next_epoch].1);
+                next_epoch += 1;
+            }
             shards[router.route(job)].push(job.clone());
         }
         shards
@@ -395,6 +461,45 @@ mod tests {
         for j in stream(10) {
             assert_eq!(r.route(&j), 0);
         }
+    }
+
+    #[test]
+    fn split_epochs_with_one_epoch_matches_split() {
+        let jobs = stream(40);
+        for policy in RouterPolicy::ALL {
+            let plain = Router::split(policy, &[3.0, 2.0], &jobs);
+            let epoch = Router::split_epochs(policy, &[(0.0, vec![3.0, 2.0])], &jobs);
+            assert_eq!(plain, epoch, "{policy}");
+        }
+    }
+
+    #[test]
+    fn split_epochs_reweights_at_boundaries() {
+        // Cluster 1's capacity collapses at t = 100: every later arrival
+        // must land on cluster 0, while bookkeeping carries across.
+        let jobs = stream(30); // arrivals at 0, 10, ..., 290
+        let epochs = vec![(0.0, vec![1.0, 1.0]), (100.0, vec![1.0, 0.0])];
+        let shards = Router::split_epochs(RouterPolicy::WeightedByCapacity, &epochs, &jobs);
+        assert_eq!(shards[0].len() + shards[1].len(), 30);
+        assert!(shards[1].iter().all(|j| j.arrival.as_secs() < 100.0));
+        assert!(shards[1].len() >= 4, "early arrivals split both ways");
+    }
+
+    #[test]
+    fn set_weights_carries_round_robin_cursor() {
+        let mut r = Router::new(RouterPolicy::RoundRobin, &[1.0, 1.0, 1.0]);
+        assert_eq!(r.route(&job(0, 0.0, 10.0)), 0);
+        r.set_weights(&[1.0, 0.0, 1.0]);
+        // Cursor was at 1; zero-weight cluster 1 takes no turn.
+        assert_eq!(r.route(&job(1, 1.0, 10.0)), 2);
+        assert_eq!(r.route(&job(2, 2.0, 10.0)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot change the cluster count")]
+    fn set_weights_rejects_width_change() {
+        let mut r = Router::new(RouterPolicy::RoundRobin, &[1.0, 1.0]);
+        r.set_weights(&[1.0]);
     }
 
     #[test]

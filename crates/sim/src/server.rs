@@ -77,6 +77,10 @@ pub struct Server {
     /// Whether the server is in the healthy pool. A crashed server reports
     /// unhealthy until recovered and must not be offered jobs.
     healthy: bool,
+    /// Whether the server has left the fleet (elastic axis). A departed
+    /// slot is masked — unhealthy, zero-capacity for aggregates, never
+    /// offered work — until a later join re-uses it.
+    departed: bool,
     used: ResourceVec,
     state: MachineState,
     /// Set when a job arrives while the server is descending into sleep;
@@ -112,6 +116,7 @@ impl Server {
             nominal_capacity: capacity,
             peak_scale,
             healthy: true,
+            departed: false,
             used: ResourceVec::zeros(dims),
             state: if initially_on {
                 MachineState::On
@@ -353,6 +358,81 @@ impl Server {
     pub fn recover(&mut self) {
         assert!(!self.healthy, "recover of a healthy server");
         self.healthy = true;
+    }
+
+    /// Whether the server currently occupies a live fleet slot (has not
+    /// departed via [`Server::depart`]).
+    pub fn is_live(&self) -> bool {
+        !self.departed
+    }
+
+    /// Removes the server from the fleet (elastic scale-in): the same
+    /// drain as [`Server::crash`] — queued jobs in FCFS order, then running
+    /// jobs in start order, each for the cluster to re-place exactly once —
+    /// then the slot is masked (unhealthy + departed, sleeping at 0 W)
+    /// until a later [`Server::rejoin`].
+    ///
+    /// The caller must [`Server::account`] to `now` first.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the server is healthy and live.
+    pub fn depart(&mut self, now: SimTime) -> Vec<Job> {
+        assert!(
+            self.healthy && !self.departed,
+            "depart of an unhealthy or already-departed server"
+        );
+        let drained = self.crash(now);
+        self.departed = true;
+        drained
+    }
+
+    /// Re-occupies a departed slot with a (possibly different-capacity)
+    /// joining server: capacity and power curve are replaced, the slot
+    /// returns to the healthy pool, and the machine comes up `On` or
+    /// `Sleeping` per `initially_on`. Slot statistics keep accumulating —
+    /// the departed interval contributed 0 W sleep time, like any slept
+    /// machine.
+    ///
+    /// The caller must [`Server::account`] to `now` first.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the slot is departed, or if `capacity` has a
+    /// non-positive component or the wrong dimensionality.
+    pub fn rejoin(&mut self, capacity: ResourceVec, initially_on: bool) {
+        assert!(self.departed, "rejoin of a live slot");
+        assert_eq!(
+            capacity.dims(),
+            self.capacity.dims(),
+            "joining capacity has {} dims, slot has {}",
+            capacity.dims(),
+            self.capacity.dims()
+        );
+        assert!(
+            capacity.as_slice().iter().all(|&c| c > 0.0),
+            "joining capacity must be positive in every dimension"
+        );
+        debug_assert_eq!(self.jobs_in_system(), 0, "departed slot held jobs");
+        self.peak_scale = capacity.cpu();
+        self.capacity = capacity.clone();
+        self.nominal_capacity = capacity;
+        self.healthy = true;
+        self.departed = false;
+        self.state = if initially_on {
+            MachineState::On
+        } else {
+            MachineState::Sleeping
+        };
+        self.wake_after_sleep = false;
+        self.cancel_timeout();
+    }
+
+    /// Resets the accounting clock to `now` without integrating: used when
+    /// a freshly-constructed server joins mid-run, so it does not
+    /// retroactively integrate the interval before it existed.
+    pub fn reset_account_clock(&mut self, now: SimTime) {
+        self.last_account = now;
     }
 
     /// Scales capacity (and the power curve) to `scale` times nominal — a

@@ -388,3 +388,171 @@ fn heterogeneous_capacity_validation() {
     ]);
     assert!(c.validate().is_ok());
 }
+
+/// Pins every job to server 1 — after a `Leave(1)` the healthy-pool remap
+/// must redirect both requeues and fresh arrivals, and after a `Join` that
+/// reuses the slot the pin must land on the rejoined machine again.
+struct PinToOne;
+impl Allocator for PinToOne {
+    fn select(&mut self, _job: &Job, _view: &ClusterView<'_>) -> ServerId {
+        ServerId(1)
+    }
+}
+
+#[test]
+fn join_leave_conserves_jobs() {
+    // Four 0.8-CPU jobs pinned to server 1: one runs, three queue. The
+    // leave at t = 50 drains all four exactly once onto server 0 (the
+    // cyclic healthy remap), where they serialize: 150, 250, 350, 450.
+    // A join at t = 300 reuses the departed slot; job 4 (arriving t = 320)
+    // then runs on the rejoined server 1 with no queueing: 320..420.
+    let mut jobs: Vec<Job> = (0..4).map(|i| job(i, 0.0, 100.0, 0.8)).collect();
+    jobs.push(job(4, 320.0, 100.0, 0.8));
+    let mut cluster = Cluster::new(ClusterConfig::paper(2), jobs).unwrap();
+    cluster.schedule_fleet_op(SimTime::from_secs(50.0), FleetOp::Leave(ServerId(1)));
+    cluster.schedule_fleet_op(
+        SimTime::from_secs(300.0),
+        FleetOp::Join(ServerSpec::unit(3, true)),
+    );
+    let out = cluster.run(&mut PinToOne, &mut AlwaysOnPower, RunLimit::unbounded());
+
+    assert_eq!(
+        out.totals.jobs_arrived, 5,
+        "requeues must not inflate arrivals"
+    );
+    assert_eq!(
+        out.totals.jobs_requeued, 4,
+        "each drained job requeued exactly once"
+    );
+    assert_eq!(
+        out.totals.jobs_completed, 5,
+        "no job lost across leave + join"
+    );
+    let recs = cluster.completed_jobs();
+    let mut ids: Vec<u64> = recs.iter().map(|r| r.id.0).collect();
+    ids.sort_unstable();
+    assert_eq!(ids, vec![0, 1, 2, 3, 4], "each job completes exactly once");
+    let mut finishes: Vec<f64> = recs.iter().map(|r| r.finished.as_secs()).collect();
+    finishes.sort_by(f64::total_cmp);
+    assert_eq!(finishes, vec![150.0, 250.0, 350.0, 420.0, 450.0]);
+    let late = recs.iter().find(|r| r.id.0 == 4).unwrap();
+    assert_eq!(
+        late.server,
+        ServerId(1),
+        "post-join arrival lands on the rejoined slot"
+    );
+    assert_eq!(
+        cluster.num_live(),
+        2,
+        "join restored the fleet to two live servers"
+    );
+    assert_eq!(cluster.fleet_ops_ignored(), 0);
+}
+
+#[test]
+fn departed_slot_draws_no_power_and_keeps_ids_stable() {
+    // Server 1 leaves at t = 100 of a 400 s always-on run. The departed
+    // slot must stop drawing power at the instant of departure while its
+    // ServerId (and slot count) remain stable for control-plane indexing.
+    let jobs = vec![job(0, 0.0, 400.0, 0.2)]; // keeps server 0 busy to t=400
+    let mut cluster = Cluster::new(ClusterConfig::paper(2), jobs).unwrap();
+    cluster.schedule_fleet_op(SimTime::from_secs(100.0), FleetOp::Leave(ServerId(1)));
+    let out = cluster.run(&mut PinToZero, &mut AlwaysOnPower, RunLimit::unbounded());
+    assert_eq!(out.totals.jobs_completed, 1);
+    assert_eq!(
+        cluster.servers().len(),
+        2,
+        "slots are masked, never removed"
+    );
+    assert_eq!(cluster.num_live(), 1);
+    let s1 = cluster.servers()[1].stats();
+    // 100 s idle-on before the leave, nothing after: P(0) = 87 W.
+    assert!(
+        (s1.energy_joules - 87.0 * 100.0).abs() < 1e-6,
+        "departed slot must draw zero power, got {} J",
+        s1.energy_joules
+    );
+}
+
+#[test]
+fn unknown_fleet_targets_are_counted_no_ops() {
+    // Satellite: FleetOp::Recover / SetScale (and friends) aimed at an
+    // unknown ServerId are documented no-ops — the run is unaffected and
+    // each ignored op increments `fleet_ops_ignored`.
+    let jobs = vec![job(0, 0.0, 100.0, 0.5)];
+    let mut cluster = Cluster::new(ClusterConfig::paper(2), jobs).unwrap();
+    cluster.schedule_fleet_op(SimTime::from_secs(10.0), FleetOp::Recover(ServerId(5)));
+    cluster.schedule_fleet_op(
+        SimTime::from_secs(20.0),
+        FleetOp::SetScale {
+            server: ServerId(7),
+            scale: 0.5,
+        },
+    );
+    cluster.schedule_fleet_op(SimTime::from_secs(30.0), FleetOp::Crash(ServerId(3)));
+    cluster.schedule_fleet_op(SimTime::from_secs(40.0), FleetOp::Leave(ServerId(4)));
+    // Inapplicable state: recovering a server that never crashed.
+    cluster.schedule_fleet_op(SimTime::from_secs(50.0), FleetOp::Recover(ServerId(0)));
+    let out = cluster.run(
+        &mut RoundRobinAllocator::new(),
+        &mut AlwaysOnPower,
+        RunLimit::unbounded(),
+    );
+    assert_eq!(out.totals.jobs_completed, 1);
+    assert_eq!(
+        out.totals.jobs_requeued, 0,
+        "no-ops must not disturb placement"
+    );
+    assert_eq!(cluster.completed_jobs()[0].finished.as_secs(), 100.0);
+    assert_eq!(cluster.fleet_ops_ignored(), 5);
+}
+
+#[test]
+fn join_respects_max_servers_and_spec_validation() {
+    // Without `max_servers` the fleet is pinned at its starting width:
+    // an append-style join is a counted no-op. With headroom, invalid
+    // capacities (wrong dims, non-positive) are rejected the same way
+    // while a valid join lands on the next fresh slot.
+    let mut config = ClusterConfig::paper(1);
+    config.max_servers = Some(2);
+    let jobs = vec![job(0, 0.0, 200.0, 0.2)];
+    let mut cluster = Cluster::new(config, jobs).unwrap();
+    // Wrong dimensionality and non-positive capacity: ignored.
+    cluster.schedule_fleet_op(
+        SimTime::from_secs(10.0),
+        FleetOp::Join(ServerSpec::unit(2, true)),
+    );
+    cluster.schedule_fleet_op(
+        SimTime::from_secs(20.0),
+        FleetOp::Join(ServerSpec {
+            capacity: ResourceVec::new(&[0.0, 1.0, 1.0]),
+            initially_on: true,
+        }),
+    );
+    // Valid: appends slot 1. A second valid join exceeds max_servers.
+    cluster.schedule_fleet_op(
+        SimTime::from_secs(30.0),
+        FleetOp::Join(ServerSpec::unit(3, true)),
+    );
+    cluster.schedule_fleet_op(
+        SimTime::from_secs(40.0),
+        FleetOp::Join(ServerSpec::unit(3, true)),
+    );
+    let out = cluster.run(
+        &mut RoundRobinAllocator::new(),
+        &mut AlwaysOnPower,
+        RunLimit::unbounded(),
+    );
+    assert_eq!(out.totals.jobs_completed, 1);
+    assert_eq!(cluster.servers().len(), 2);
+    assert_eq!(cluster.num_live(), 2);
+    assert_eq!(cluster.fleet_ops_ignored(), 3);
+    // The mid-run join must not retroactively integrate the pre-join
+    // interval: slot 1 was on for 170 s (t = 30..200) at idle.
+    let s1 = cluster.servers()[1].stats();
+    assert!(
+        (s1.energy_joules - 87.0 * 170.0).abs() < 1e-6,
+        "joined server accounts energy only from its join, got {} J",
+        s1.energy_joules
+    );
+}

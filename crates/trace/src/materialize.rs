@@ -66,6 +66,14 @@ impl TraceSpec {
 
 type Slot = Arc<Mutex<Option<Arc<Trace>>>>;
 
+/// One cache slot plus the recency stamp the bounded mode orders
+/// evictions by (refreshed on every `get`, hit or miss).
+#[derive(Debug)]
+struct SlotEntry {
+    slot: Slot,
+    last_used: u64,
+}
+
 /// A thread-safe, per-spec memoization of trace materialization.
 ///
 /// Locking is two-level: a brief map lock to find/create the spec's slot,
@@ -76,18 +84,48 @@ type Slot = Arc<Mutex<Option<Arc<Trace>>>>;
 /// Key-ordered (`BTreeMap`) so any walk over the slots — [`resident`]
 /// today, diagnostics tomorrow — observes a deterministic order.
 ///
+/// [`TraceCache::new`] caches without bound; [`TraceCache::with_capacity`]
+/// caps the number of *resident* traces, evicting the least-recently-used
+/// one when a fresh materialization would exceed the cap — the working-set
+/// mode for segmented sweeps, where each segment's trace is re-touched many
+/// times in a burst and then never again.
+///
 /// [`resident`]: TraceCache::resident
 #[derive(Debug, Default)]
 pub struct TraceCache {
-    slots: Mutex<BTreeMap<String, Slot>>,
+    slots: Mutex<BTreeMap<String, SlotEntry>>,
+    /// Maximum resident traces (`None`: unbounded).
+    capacity: Option<usize>,
+    /// Monotonic recency clock; each `get` stamps its slot.
+    tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl TraceCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache holding at most `capacity` resident traces.
+    ///
+    /// When a materialization would leave more than `capacity` traces
+    /// resident, least-recently-used resident traces are dropped (counted
+    /// by [`TraceCache::evictions`]). Outstanding `Arc<Trace>` handles
+    /// survive, and a later `get` re-materializes byte-identically, so the
+    /// cap trades wall-clock for memory without affecting results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace cache capacity must be positive");
+        Self {
+            capacity: Some(capacity),
+            ..Self::default()
+        }
     }
 
     /// Returns the trace for `spec`, generating it on first request.
@@ -96,12 +134,18 @@ impl TraceCache {
     ///
     /// Returns an error if the workload configuration is invalid.
     pub fn get(&self, spec: &TraceSpec) -> Result<Arc<Trace>, String> {
+        let fingerprint = spec.fingerprint();
         let slot = {
             let mut slots = self.slots.lock().expect("trace cache map lock");
-            slots
-                .entry(spec.fingerprint())
-                .or_insert_with(|| Arc::new(Mutex::new(None)))
-                .clone()
+            let stamp = self.tick.fetch_add(1, Ordering::Relaxed);
+            let entry = slots
+                .entry(fingerprint.clone())
+                .or_insert_with(|| SlotEntry {
+                    slot: Arc::new(Mutex::new(None)),
+                    last_used: 0,
+                });
+            entry.last_used = stamp;
+            Arc::clone(&entry.slot)
         };
         let mut entry = slot.lock().expect("trace cache slot lock");
         if let Some(trace) = entry.as_ref() {
@@ -111,7 +155,49 @@ impl TraceCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
         let trace = Arc::new(spec.materialize()?);
         *entry = Some(Arc::clone(&trace));
+        drop(entry);
+        self.enforce_capacity(&fingerprint);
         Ok(trace)
+    }
+
+    /// Evicts least-recently-used resident traces until at most
+    /// `capacity` remain. `keep` (the slot just filled) is never evicted.
+    /// Slots whose per-slot lock is busy are mid-materialization or being
+    /// read — in active use, so they count as resident but are skipped as
+    /// eviction candidates.
+    fn enforce_capacity(&self, keep: &str) {
+        let Some(cap) = self.capacity else { return };
+        let slots = self.slots.lock().expect("trace cache map lock");
+        let mut resident = 0usize;
+        let mut candidates: Vec<(u64, &SlotEntry)> = Vec::new();
+        for (key, entry) in slots.iter() {
+            match entry.slot.try_lock() {
+                Ok(guard) => {
+                    if guard.is_some() {
+                        resident += 1;
+                        if key != keep {
+                            candidates.push((entry.last_used, entry));
+                        }
+                    }
+                }
+                Err(_) => resident += 1,
+            }
+        }
+        if resident <= cap {
+            return;
+        }
+        candidates.sort_unstable_by_key(|(stamp, _)| *stamp);
+        for (_, entry) in candidates.into_iter().take(resident - cap) {
+            if entry
+                .slot
+                .lock()
+                .expect("trace cache slot lock")
+                .take()
+                .is_some()
+            {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Number of cache hits so far.
@@ -122,6 +208,12 @@ impl TraceCache {
     /// Number of cache misses (i.e. materializations) so far.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of traces dropped by the capacity bound (explicit
+    /// [`TraceCache::evict`]/[`TraceCache::clear`] calls do not count).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Number of distinct specs requested so far.
@@ -141,7 +233,7 @@ impl TraceCache {
         let slots = self.slots.lock().expect("trace cache map lock");
         slots
             .values()
-            .filter(|slot| slot.lock().expect("trace cache slot lock").is_some())
+            .filter(|entry| entry.slot.lock().expect("trace cache slot lock").is_some())
             .count()
     }
 
@@ -156,7 +248,12 @@ impl TraceCache {
     pub fn evict(&self, spec: &TraceSpec) -> bool {
         let mut slots = self.slots.lock().expect("trace cache map lock");
         match slots.remove(&spec.fingerprint()) {
-            Some(slot) => slot.lock().expect("trace cache slot lock").take().is_some(),
+            Some(entry) => entry
+                .slot
+                .lock()
+                .expect("trace cache slot lock")
+                .take()
+                .is_some(),
             None => false,
         }
     }
@@ -246,6 +343,57 @@ mod tests {
         assert_eq!(cache.resident(), 0);
         assert!(cache.is_empty());
         assert_eq!(cache.misses(), 2, "counters survive clear");
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used_segment() {
+        // A segmented sweep touches per-segment traces in interleaved
+        // bursts: segment 0 and 1 alternate while both cells run, then
+        // segment 2 starts. With room for two resident traces the third
+        // materialization must push out the *least recently used* one —
+        // segment 1 here, because segment 0 was re-touched after it.
+        let cache = TraceCache::with_capacity(2);
+        let segments = [spec(10, 60), spec(11, 60), spec(12, 60)];
+
+        let s0_first = cache.get(&segments[0]).unwrap(); // miss
+        let _s1 = cache.get(&segments[1]).unwrap(); // miss
+        let _ = cache.get(&segments[1]).unwrap(); // hit
+        let _ = cache.get(&segments[0]).unwrap(); // hit: s0 now most recent
+        assert_eq!((cache.hits(), cache.misses(), cache.evictions()), (2, 2, 0));
+        assert_eq!(cache.resident(), 2);
+
+        let _s2 = cache.get(&segments[2]).unwrap(); // miss: evicts segment 1
+        assert_eq!(cache.resident(), 2);
+        assert_eq!(cache.evictions(), 1);
+
+        // Segment 0 survived (still a hit, same allocation)...
+        let s0_again = cache.get(&segments[0]).unwrap();
+        assert!(Arc::ptr_eq(&s0_first, &s0_again));
+        // ...while segment 1 was evicted: re-touching it is a fresh miss
+        // that regenerates byte-identically and in turn evicts segment 2
+        // (now the least recently used).
+        let s1_again = cache.get(&segments[1]).unwrap();
+        assert_eq!(*s1_again, segments[1].materialize().unwrap());
+        assert_eq!((cache.hits(), cache.misses(), cache.evictions()), (3, 4, 2));
+        assert_eq!(cache.resident(), 2);
+    }
+
+    #[test]
+    fn bounded_cache_never_evicts_below_its_capacity() {
+        // Repeated access to a working set that fits the cap must be pure
+        // hits: no eviction churn.
+        let cache = TraceCache::with_capacity(2);
+        for _ in 0..3 {
+            let _ = cache.get(&spec(21, 40)).unwrap();
+            let _ = cache.get(&spec(22, 40)).unwrap();
+        }
+        assert_eq!((cache.hits(), cache.misses(), cache.evictions()), (4, 2, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = TraceCache::with_capacity(0);
     }
 
     #[test]
